@@ -1,0 +1,142 @@
+//! The shared engine behind Dijkstra and the status-frontier A\* versions.
+//!
+//! Figures 2 and 3 differ only in the selection score (`C(s,u)` vs
+//! `C(s,u) + f(u,d)`) and in whether an improved *explored* node re-enters
+//! the frontier (Figure 2 checks `frontierSet ∪ exploredSet`, Figure 3
+//! only `frontierSet`). Everything else — the scan-based min selection,
+//! the adjacency join, the keyed REPLACE relaxations — is identical, and
+//! identically priced by Table 3's ten cost steps.
+
+use crate::database::Database;
+use crate::error::AlgorithmError;
+use crate::estimator::Estimator;
+use crate::trace::{RunTrace, StepBreakdown};
+use atis_graph::{NodeId, Path, Point};
+use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus};
+use std::time::Instant;
+
+/// Configuration for a status-frontier best-first run.
+pub(crate) struct StatusFrontierConfig {
+    /// Trace label.
+    pub label: String,
+    /// Estimator added to the path cost during selection.
+    pub estimator: Estimator,
+    /// Whether an improved closed node re-enters the frontier (Figure 3
+    /// semantics; `false` reproduces Figure 2's Dijkstra).
+    pub reopen_closed: bool,
+}
+
+/// Runs best-first search with the frontier encoded in `R.status`.
+pub(crate) fn run_status_frontier(
+    db: &Database,
+    s: NodeId,
+    d: NodeId,
+    cfg: StatusFrontierConfig,
+) -> Result<RunTrace, AlgorithmError> {
+    let wall_start = Instant::now();
+    let mut io = IoStats::new();
+    let mut steps = StepBreakdown::default();
+    let s_id = s.0 as u16;
+    let d_id = d.0 as u16;
+
+    // C1 + C2 + C3: create R, bulk-load all nodes, build the ISAM index.
+    let mut r = NodeRelation::load(db.graph(), db.edges().block_count(), db.params().isam_levels, &mut io)?;
+    if let Some(pool) = db.buffer() {
+        r.attach_buffer(pool);
+    }
+
+    // Fetch the destination's coordinates for the estimator (keyed read).
+    let dt = r.get(d_id, &mut io)?;
+    let dest = Point::new(dt.x as f64, dt.y as f64);
+
+    // C4: mark the start node (REPLACE through the index).
+    r.replace(s_id, &mut io, |t| {
+        t.status = NodeStatus::Open;
+        t.path_cost = 0.0;
+    })?;
+    steps.init = io;
+
+    let mut iterations = 0u64;
+    let mut reopened = 0u64;
+    let mut order = Vec::new();
+    let mut join_strategy: Option<JoinStrategy> = None;
+    let mut found = false;
+
+    loop {
+        // Select u from frontierSet with minimum C(s,u) [+ f(u,d)] — a
+        // scan of R.
+        let mark = io;
+        let selected = r.select_min_open(&mut io, |_, t| {
+            t.path_cost as f64 + cfg.estimator.evaluate_f32(t.x, t.y, dest)
+        });
+        steps.select += io.since(&mark);
+        let Some((u, ut)) = selected else {
+            break; // frontier exhausted: no path
+        };
+
+        // Move u from the frontierSet to the exploredSet.
+        let mark = io;
+        r.replace(u, &mut io, |t| t.status = NodeStatus::Closed)?;
+        steps.update += io.since(&mark);
+        if u == d_id {
+            found = true;
+            break; // Lemma 2 / Lemma 3 termination
+        }
+        iterations += 1;
+        order.push(NodeId(u as u32));
+
+        // Fetch u.adjacencyList via the join against S.
+        let mark = io;
+        let (adjacency, strategy) =
+            join_adjacency(&[(u, ut)], db.edges(), db.join_policy(), db.params(), &mut io);
+        steps.join += io.since(&mark);
+        join_strategy = Some(strategy);
+
+        // Relax each neighbour with a keyed REPLACE.
+        let mark = io;
+        for (_, e) in adjacency {
+            let candidate = ut.path_cost + e.cost as f32;
+            let mut did_reopen = false;
+            r.replace(e.end, &mut io, |t| {
+                if candidate < t.path_cost {
+                    t.path_cost = candidate;
+                    t.path = u;
+                    match t.status {
+                        NodeStatus::Null => t.status = NodeStatus::Open,
+                        NodeStatus::Closed if cfg.reopen_closed => {
+                            t.status = NodeStatus::Open;
+                            did_reopen = true;
+                        }
+                        _ => {}
+                    }
+                }
+            })?;
+            if did_reopen {
+                reopened += 1;
+            }
+        }
+        steps.update += io.since(&mark);
+    }
+    let attributed = steps.total();
+    steps.bookkeeping = io.since(&attributed);
+
+    let path = if found {
+        let cost = r.peek(d_id)?.path_cost as f64;
+        Path::from_predecessors(s, d, cost, &r.predecessors())
+    } else {
+        None
+    };
+
+    Ok(RunTrace {
+        algorithm: cfg.label,
+        iterations,
+        expanded: iterations,
+        reopened,
+        io,
+        join_strategy,
+        path,
+        wall: wall_start.elapsed(),
+        expansion_order: order,
+        steps,
+    })
+}

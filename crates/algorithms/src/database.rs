@@ -1,0 +1,305 @@
+//! The run harness: a graph loaded into the storage engine plus the knobs
+//! an experiment can turn (join policy, cost parameters).
+
+use crate::astar::{self, AStarVersion};
+use crate::dijkstra;
+use crate::error::AlgorithmError;
+use crate::estimator::Estimator;
+use crate::iterative;
+use crate::trace::RunTrace;
+use atis_graph::{Graph, NodeId};
+use atis_storage::{BufferPool, CostParams, EdgeRelation, IoStats, JoinPolicy, SharedBuffer};
+
+/// FrontierSet management strategy (Section 5.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrontierKind {
+    /// "an attribute status to each node in the node relation" — REPLACE
+    /// based; used by A\* versions 2 and 3 (and by Dijkstra/Iterative).
+    StatusAttribute,
+    /// "managed as an independent relation" — APPEND/DELETE based with
+    /// index adjustment; used by A\* version 1.
+    SeparateRelation,
+}
+
+/// A path-computation algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// The iterative (breadth-first) transitive-closure algorithm (Fig. 1).
+    Iterative,
+    /// Dijkstra's algorithm (Fig. 2).
+    Dijkstra,
+    /// A\* in one of the paper's three implementation versions (Fig. 3 +
+    /// Section 5.3).
+    AStar(AStarVersion),
+    /// A custom best-first configuration for ablation studies: any frontier
+    /// management × any estimator, with Figure 3's reopening semantics.
+    Custom {
+        /// Frontier management strategy.
+        frontier: FrontierKind,
+        /// Estimator function.
+        estimator: Estimator,
+    },
+}
+
+impl Algorithm {
+    /// The three algorithms as the paper's tables list them
+    /// (Iterative / A\* (version 3) / Dijkstra).
+    pub const TABLE: [Algorithm; 3] =
+        [Algorithm::Iterative, Algorithm::AStar(AStarVersion::V3), Algorithm::Dijkstra];
+
+    /// Row label used by the paper's tables.
+    pub fn label(&self) -> String {
+        match self {
+            Algorithm::Iterative => "Iterative".to_string(),
+            Algorithm::Dijkstra => "Dijkstra".to_string(),
+            Algorithm::AStar(v) => v.label().to_string(),
+            Algorithm::Custom { frontier, estimator } => {
+                let f = match frontier {
+                    FrontierKind::StatusAttribute => "status",
+                    FrontierKind::SeparateRelation => "relation",
+                };
+                format!("A* ({f} frontier, {} estimator)", estimator.label())
+            }
+        }
+    }
+}
+
+/// A graph resident in the storage engine: the persistent edge relation
+/// `S` plus run-time configuration. Loading `S` happens once here and is
+/// *not* metered into run traces — it is the stored database, not
+/// algorithm work (the cost models start at step `C1`, creating `R`).
+#[derive(Debug, Clone)]
+pub struct Database {
+    graph: Graph,
+    edges: EdgeRelation,
+    params: CostParams,
+    join_policy: JoinPolicy,
+    buffer: Option<SharedBuffer>,
+}
+
+impl Database {
+    /// Loads `graph` into the engine with Table 4A cost parameters and the
+    /// paper's forced nested-loop join policy (Section 4.3).
+    ///
+    /// # Errors
+    /// Fails if the graph exceeds the tuple encodings (more than 65 535
+    /// nodes).
+    pub fn open(graph: &Graph) -> Result<Self, AlgorithmError> {
+        let mut io = IoStats::new();
+        let edges = EdgeRelation::load(graph, &mut io)?;
+        Ok(Database {
+            graph: graph.clone(),
+            edges,
+            params: CostParams::default(),
+            join_policy: JoinPolicy::default(),
+            buffer: None,
+        })
+    }
+
+    /// Overrides the join policy (e.g. `JoinPolicy::CostBased` for the
+    /// optimizer ablation).
+    pub fn with_join_policy(mut self, policy: JoinPolicy) -> Self {
+        self.join_policy = policy;
+        self
+    }
+
+    /// Overrides the cost parameters.
+    pub fn with_params(mut self, params: CostParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Attaches an LRU buffer pool of `capacity` blocks — an extension of
+    /// the paper's cold-cache model (see `atis_storage::buffer`). The pool
+    /// is shared by `S` and every relation the algorithms create, so
+    /// repeated reads of hot blocks stop being charged.
+    pub fn with_buffer_pool(mut self, capacity: usize) -> Self {
+        let pool = BufferPool::shared(capacity);
+        self.edges.attach_buffer(&pool);
+        self.buffer = Some(pool);
+        self
+    }
+
+    /// The attached buffer pool, if any.
+    pub fn buffer(&self) -> Option<&SharedBuffer> {
+        self.buffer.as_ref()
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The edge relation `S`.
+    pub fn edges(&self) -> &EdgeRelation {
+        &self.edges
+    }
+
+    /// The active cost parameters.
+    pub fn params(&self) -> &CostParams {
+        &self.params
+    }
+
+    /// The active join policy.
+    pub fn join_policy(&self) -> JoinPolicy {
+        self.join_policy
+    }
+
+    /// Applies a real-time cost update to edge `(u, v)` — both the
+    /// resident graph and the stored edge relation `S` change, so the next
+    /// run plans against live traffic. Returns the number of directed
+    /// edge tuples updated.
+    ///
+    /// # Errors
+    /// Fails for unknown endpoints or invalid costs.
+    pub fn update_edge_cost(
+        &mut self,
+        u: NodeId,
+        v: NodeId,
+        cost: f64,
+    ) -> Result<usize, AlgorithmError> {
+        if !self.graph.contains(u) {
+            return Err(AlgorithmError::UnknownSource(u));
+        }
+        if !self.graph.contains(v) {
+            return Err(AlgorithmError::UnknownDestination(v));
+        }
+        let n = self.graph.set_edge_cost(u, v, cost)?;
+        let mut io = IoStats::new();
+        let m = self.edges.update_cost(u.0 as u16, v.0 as u16, cost, &mut io)?;
+        debug_assert_eq!(n, m, "graph and S must stay in sync");
+        Ok(n)
+    }
+
+    /// Route evaluation as a database operation (Section 1.1: "the goal
+    /// of route evaluation is to find the attributes of a given route").
+    /// Fetches each segment of `path` through `S`'s hash index, charging
+    /// one bucket probe per hop, and returns the summed distance and
+    /// congestion-aware travel time together with the metered I/O.
+    ///
+    /// # Errors
+    /// Fails if the path uses a road that is not in the database.
+    pub fn evaluate_route(
+        &self,
+        path: &atis_graph::Path,
+    ) -> Result<(f64, f64, IoStats), AlgorithmError> {
+        let mut io = IoStats::new();
+        let mut distance = 0.0;
+        let mut travel_time = 0.0;
+        for (u, v) in path.hops() {
+            let adjacency = self.edges.fetch_adjacency(u.0 as u16, &mut io);
+            let tuple = adjacency
+                .iter()
+                .filter(|t| t.end == v.0 as u16)
+                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+                .ok_or(AlgorithmError::Graph(atis_graph::GraphError::MissingEdge {
+                    from: u,
+                    to: v,
+                }))?;
+            distance += tuple.cost;
+            // Effective speed degrades with occupancy exactly as the
+            // graph-side model does (Edge::travel_time).
+            let class = match tuple.class {
+                1 => atis_graph::RoadClass::Highway,
+                2 => atis_graph::RoadClass::Freeway,
+                _ => atis_graph::RoadClass::Street,
+            };
+            let speed = class.free_flow_speed()
+                * (1.0 - 0.8 * f64::from(tuple.occupancy).clamp(0.0, 1.0));
+            travel_time += tuple.cost / speed;
+        }
+        Ok((distance, travel_time, io))
+    }
+
+    /// Runs `algorithm` from `s` to `d`, returning the full trace.
+    ///
+    /// # Errors
+    /// Fails if either endpoint is not in the graph or a storage operation
+    /// fails (which would indicate an engine bug).
+    pub fn run(
+        &self,
+        algorithm: Algorithm,
+        s: NodeId,
+        d: NodeId,
+    ) -> Result<RunTrace, AlgorithmError> {
+        if !self.graph.contains(s) {
+            return Err(AlgorithmError::UnknownSource(s));
+        }
+        if !self.graph.contains(d) {
+            return Err(AlgorithmError::UnknownDestination(d));
+        }
+        match algorithm {
+            Algorithm::Iterative => iterative::run(self, s, d),
+            Algorithm::Dijkstra => dijkstra::run(self, s, d),
+            Algorithm::AStar(v) => astar::run(self, s, d, v),
+            Algorithm::Custom { frontier, estimator } => {
+                astar::run_custom(self, s, d, frontier, estimator)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::graph::graph_from_arcs;
+
+    #[test]
+    fn open_small_graph() {
+        let g = graph_from_arcs(3, &[(0, 1, 1.0), (1, 2, 1.0)]).unwrap();
+        let db = Database::open(&g).unwrap();
+        assert_eq!(db.edges().tuple_count(), 2);
+        assert_eq!(db.graph().node_count(), 3);
+    }
+
+    #[test]
+    fn run_rejects_unknown_endpoints() {
+        let g = graph_from_arcs(2, &[(0, 1, 1.0)]).unwrap();
+        let db = Database::open(&g).unwrap();
+        assert!(matches!(
+            db.run(Algorithm::Dijkstra, NodeId(5), NodeId(1)),
+            Err(AlgorithmError::UnknownSource(_))
+        ));
+        assert!(matches!(
+            db.run(Algorithm::Dijkstra, NodeId(0), NodeId(5)),
+            Err(AlgorithmError::UnknownDestination(_))
+        ));
+    }
+
+    #[test]
+    fn metered_route_evaluation_matches_the_graph() {
+        use atis_graph::{CostModel, Grid, QueryKind};
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 4).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let path = db.run(Algorithm::Dijkstra, s, d).unwrap().path.unwrap();
+        let (distance, travel_time, io) = db.evaluate_route(&path).unwrap();
+        let recomputed = path.validate(grid.graph()).unwrap();
+        assert!((distance - recomputed).abs() < 1e-9);
+        assert!(travel_time > 0.0);
+        // One bucket probe per hop.
+        assert_eq!(io.block_reads, path.len() as u64);
+    }
+
+    #[test]
+    fn metered_evaluation_rejects_phantom_roads() {
+        use atis_graph::Path;
+        let g = graph_from_arcs(3, &[(0, 1, 1.0)]).unwrap();
+        let db = Database::open(&g).unwrap();
+        let bogus = Path { nodes: vec![NodeId(0), NodeId(2)], cost: 1.0 };
+        assert!(db.evaluate_route(&bogus).is_err());
+    }
+
+    #[test]
+    fn labels_match_paper_rows() {
+        assert_eq!(Algorithm::Iterative.label(), "Iterative");
+        assert_eq!(Algorithm::Dijkstra.label(), "Dijkstra");
+        assert_eq!(Algorithm::AStar(AStarVersion::V3).label(), "A* (version 3)");
+        let custom = Algorithm::Custom {
+            frontier: FrontierKind::SeparateRelation,
+            estimator: Estimator::Manhattan,
+        };
+        assert!(custom.label().contains("relation"));
+        assert!(custom.label().contains("manhattan"));
+    }
+}

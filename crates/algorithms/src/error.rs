@@ -1,0 +1,51 @@
+//! Algorithm-level errors.
+
+use atis_graph::{GraphError, NodeId};
+use atis_storage::StorageError;
+use std::fmt;
+
+/// Errors raised while running a path-computation algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgorithmError {
+    /// A storage operation failed.
+    Storage(StorageError),
+    /// The graph could not be loaded or a produced path failed validation.
+    Graph(GraphError),
+    /// The requested source node is not in the graph.
+    UnknownSource(NodeId),
+    /// The requested destination node is not in the graph.
+    UnknownDestination(NodeId),
+}
+
+impl fmt::Display for AlgorithmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgorithmError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgorithmError::Graph(e) => write!(f, "graph error: {e}"),
+            AlgorithmError::UnknownSource(n) => write!(f, "unknown source node {n}"),
+            AlgorithmError::UnknownDestination(n) => write!(f, "unknown destination node {n}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgorithmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgorithmError::Storage(e) => Some(e),
+            AlgorithmError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for AlgorithmError {
+    fn from(e: StorageError) -> Self {
+        AlgorithmError::Storage(e)
+    }
+}
+
+impl From<GraphError> for AlgorithmError {
+    fn from(e: GraphError) -> Self {
+        AlgorithmError::Graph(e)
+    }
+}

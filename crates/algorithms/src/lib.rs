@@ -1,0 +1,48 @@
+//! The paper's three single-pair path-computation algorithms, executed
+//! *database-resident* against the `atis-storage` engine, plus in-memory
+//! reference implementations used as correctness oracles.
+//!
+//! Section 3 of the paper defines the candidates:
+//!
+//! * [`iterative`] — the transitive-closure representative (Figure 1):
+//!   breadth-first, set-oriented relaxation of *all* current nodes per
+//!   round; cannot stop early.
+//! * [`dijkstra`] — the partial-transitive-closure representative
+//!   (Figure 2): expands one minimum-`C(s,u)` node per iteration and
+//!   terminates when the destination is selected.
+//! * [`astar`] — the estimator-based single-pair representative
+//!   (Figure 3), in the three implementation versions of Section 5.3:
+//!   v1 (separate frontier relation + Euclidean), v2 (status-attribute
+//!   frontier + Euclidean), v3 (status-attribute frontier + Manhattan).
+//!
+//! Every run produces a [`RunTrace`]: the iteration count the paper's
+//! tables report, the metered [`atis_storage::IoStats`], the cost in
+//! Table 4A units (the paper's "execution time"), and the discovered path.
+//!
+//! Entry point: [`Database`] — load a graph once (the persistent edge
+//! relation `S`), then [`Database::run`] any [`Algorithm`] between node
+//! pairs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod astar;
+pub(crate) mod bestfirst;
+pub mod bidirectional;
+pub mod closure;
+pub mod database;
+pub mod dijkstra;
+pub mod duplicates;
+pub mod error;
+pub mod estimator;
+pub mod iterative;
+pub mod memory;
+pub mod trace;
+
+pub use astar::AStarVersion;
+pub use bidirectional::{bidirectional_dijkstra, BidirectionalResult};
+pub use database::{Algorithm, Database, FrontierKind};
+pub use duplicates::DuplicatePolicy;
+pub use error::AlgorithmError;
+pub use estimator::Estimator;
+pub use trace::RunTrace;

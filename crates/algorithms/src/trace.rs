@@ -1,0 +1,152 @@
+//! Run traces: what a database-resident run measured.
+
+use atis_graph::{NodeId, Path};
+use atis_storage::{CostParams, IoStats, JoinStrategy};
+use std::time::Duration;
+
+/// Per-step I/O attribution, mirroring the step structure of the paper's
+/// cost models (Tables 2–3). Summing the five parts reproduces
+/// [`RunTrace::io`]; the `breakdown` experiment compares each part with
+/// its algebraic counterpart.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StepBreakdown {
+    /// `C1..C4`: relation creation, bulk load, index build, start-node
+    /// marking.
+    pub init: IoStats,
+    /// Frontier selection: the scans behind "select u with minimum ..."
+    /// (Table 3) or "fetch all current nodes" (Table 2, step 5).
+    pub select: IoStats,
+    /// The adjacency join (`C6` / the `F(B1,B2,B3)` step).
+    pub join: IoStats,
+    /// State updates: marking the selected node and relaxing neighbours
+    /// (Table 3) or the two REPLACE passes (Table 2, step 7).
+    pub update: IoStats,
+    /// Remaining bookkeeping: current-count scans (Table 2, step 8),
+    /// destination-coordinate fetch, path extraction.
+    pub bookkeeping: IoStats,
+}
+
+impl StepBreakdown {
+    /// The sum of all parts (must equal the trace's total `io`).
+    pub fn total(&self) -> IoStats {
+        self.init + self.select + self.join + self.update + self.bookkeeping
+    }
+}
+
+/// The record of one algorithm run. `iterations` is the quantity the
+/// paper's Tables 5–8 report; `cost_units(…)` is the "execution time" of
+/// Figures 5–12 (I/O charged at Table 4A unit costs).
+#[derive(Debug, Clone)]
+pub struct RunTrace {
+    /// Human-readable algorithm label (e.g. `"A* (version 3)"`).
+    pub algorithm: String,
+    /// Iteration count: expansions for Dijkstra/A\*, rounds for Iterative.
+    pub iterations: u64,
+    /// Nodes expanded (selected and explored). Equals `iterations` for the
+    /// one-node-per-iteration algorithms.
+    pub expanded: u64,
+    /// Closed nodes that re-entered the frontier (A\* reopening; always 0
+    /// for Dijkstra).
+    pub reopened: u64,
+    /// Total metered storage work.
+    pub io: IoStats,
+    /// Join strategy used for the adjacency joins (uniform per run).
+    pub join_strategy: Option<JoinStrategy>,
+    /// The discovered path, or `None` when the destination is unreachable.
+    pub path: Option<Path>,
+    /// Wall-clock time of the run (ours, not the paper's).
+    pub wall: Duration,
+    /// Expansion order (node ids in the order they were selected);
+    /// round-by-round current sets are flattened for the iterative
+    /// algorithm.
+    pub expansion_order: Vec<NodeId>,
+    /// Per-step I/O attribution (sums to `io`).
+    pub steps: StepBreakdown,
+}
+
+impl RunTrace {
+    /// The run's cost in the paper's units under `params`.
+    pub fn cost_units(&self, params: &CostParams) -> f64 {
+        self.io.cost(params)
+    }
+
+    /// Cost of the discovered path (`∞` when unreachable) — convenient for
+    /// comparisons in tests and tables.
+    pub fn path_cost(&self) -> f64 {
+        self.path.as_ref().map_or(f64::INFINITY, |p| p.cost)
+    }
+
+    /// Whether a path was found.
+    pub fn found(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// One-line human summary, for logs and examples.
+    pub fn summary(&self, params: &CostParams) -> String {
+        match &self.path {
+            Some(p) => format!(
+                "{}: {} iterations, {:.1} cost units, path cost {:.3} ({} segments)",
+                self.algorithm,
+                self.iterations,
+                self.cost_units(params),
+                p.cost,
+                p.len()
+            ),
+            None => format!(
+                "{}: {} iterations, {:.1} cost units, no route",
+                self.algorithm,
+                self.iterations,
+                self.cost_units(params)
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> RunTrace {
+        let mut io = IoStats::new();
+        io.read_blocks(10);
+        RunTrace {
+            algorithm: "test".into(),
+            iterations: 5,
+            expanded: 5,
+            reopened: 0,
+            io,
+            join_strategy: None,
+            path: Some(Path { nodes: vec![NodeId(0), NodeId(1)], cost: 2.0 }),
+            wall: Duration::ZERO,
+            expansion_order: vec![NodeId(0)],
+            steps: StepBreakdown::default(),
+        }
+    }
+
+    #[test]
+    fn cost_units_price_the_io() {
+        let t = trace();
+        assert!((t.cost_units(&CostParams::default()) - 0.35).abs() < 1e-12);
+    }
+
+    #[test]
+    fn summary_mentions_the_essentials() {
+        let t = trace();
+        let s = t.summary(&CostParams::default());
+        assert!(s.contains("test:"));
+        assert!(s.contains("5 iterations"));
+        assert!(s.contains("path cost 2.000"));
+        let mut t = t;
+        t.path = None;
+        assert!(t.summary(&CostParams::default()).contains("no route"));
+    }
+
+    #[test]
+    fn path_cost_of_found_path() {
+        assert_eq!(trace().path_cost(), 2.0);
+        let mut t = trace();
+        t.path = None;
+        assert!(t.path_cost().is_infinite());
+        assert!(!t.found());
+    }
+}

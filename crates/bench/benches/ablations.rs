@@ -1,0 +1,63 @@
+//! Wall-clock for the design-decision ablations: duplicate policies,
+//! buffer pool, and the QUEL interpreter overhead.
+
+use atis_algorithms::duplicates::{run_with_duplicate_policy, DuplicatePolicy};
+use atis_algorithms::{AStarVersion, Algorithm, Database, Estimator};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, QueryKind};
+use atis_storage::quel::QuelEngine;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+
+    let grid = Grid::new(15, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+    let db = Database::open(grid.graph()).unwrap();
+
+    for policy in DuplicatePolicy::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("duplicate_policy", policy.label()),
+            &policy,
+            |b, &p| {
+                b.iter(|| {
+                    run_with_duplicate_policy(&db, s, d, Estimator::Manhattan, p)
+                        .unwrap()
+                        .iterations
+                })
+            },
+        );
+    }
+
+    for capacity in [0usize, 8, 64] {
+        let db = if capacity == 0 {
+            Database::open(grid.graph()).unwrap()
+        } else {
+            Database::open(grid.graph()).unwrap().with_buffer_pool(capacity)
+        };
+        group.bench_with_input(
+            BenchmarkId::new("buffer_pool_blocks", capacity),
+            &capacity,
+            |b, _| b.iter(|| db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap().iterations),
+        );
+    }
+
+    group.bench_function("quel_interpreter_roundtrip", |b| {
+        b.iter(|| {
+            let mut e = QuelEngine::new();
+            e.run("CREATE t (id = int, cost = float) KEY id").unwrap();
+            e.run("RANGE OF x IS t").unwrap();
+            for i in 0..50 {
+                e.run(&format!("APPEND TO t (id = {i}, cost = {}.5)", i)).unwrap();
+            }
+            e.run("RETRIEVE (MIN(x.cost)) WHERE x.id > 10").unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Transitive-closure baselines vs single-pair search: the measurable
+//! version of Section 1.2's complaint that closure algorithms "compute
+//! many more paths beyond the single pair path that is of interest to
+//! ATIS".
+
+use atis_algorithms::{closure, memory, Estimator};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, QueryKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closure_baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for k in [8usize, 12, 16] {
+        let grid = Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+        group.bench_with_input(BenchmarkId::new("floyd_warshall", k), &k, |b, _| {
+            b.iter(|| closure::floyd_warshall(grid.graph()))
+        });
+        group.bench_with_input(BenchmarkId::new("warren_closure", k), &k, |b, _| {
+            b.iter(|| closure::warren_closure(grid.graph()))
+        });
+        group.bench_with_input(BenchmarkId::new("logarithmic_closure", k), &k, |b, _| {
+            b.iter(|| closure::logarithmic_closure(grid.graph()))
+        });
+        group.bench_with_input(BenchmarkId::new("interval_closure", k), &k, |b, _| {
+            b.iter(|| closure::IntervalClosure::build(grid.graph()))
+        });
+        group.bench_with_input(BenchmarkId::new("single_pair_dijkstra", k), &k, |b, _| {
+            b.iter(|| memory::dijkstra_pair(grid.graph(), s, d))
+        });
+        group.bench_with_input(BenchmarkId::new("single_pair_astar", k), &k, |b, _| {
+            b.iter(|| memory::astar_pair(grid.graph(), s, d, Estimator::Manhattan))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 11 — effect of the edge-cost model on the execution time of the
+//! three A\* versions (20×20 grid, diagonal path).
+
+use atis_algorithms::{AStarVersion, Algorithm, Database};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, QueryKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11_versions_cost");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for model in [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed] {
+        let grid = Grid::new(20, model, PAPER_SEED).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        for v in AStarVersion::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(v.label().replace([' ', '(', ')', '*'], ""), model.label()),
+                &model,
+                |b, _| b.iter(|| db.run(Algorithm::AStar(v), s, d).unwrap().iterations),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

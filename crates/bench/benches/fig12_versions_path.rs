@@ -1,0 +1,29 @@
+//! Figure 12 — effect of path length on the execution time of the three
+//! A\* versions (30×30 grid, 20% variance).
+
+use atis_algorithms::{AStarVersion, Algorithm, Database};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, QueryKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_versions_path");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let grid = Grid::new(30, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
+    let db = Database::open(grid.graph()).unwrap();
+    for kind in QueryKind::TABLE {
+        let (s, d) = grid.query_pair(kind);
+        for v in AStarVersion::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(v.label().replace([' ', '(', ')', '*'], ""), kind.label()),
+                &kind,
+                |b, _| b.iter(|| db.run(Algorithm::AStar(v), s, d).unwrap().iterations),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

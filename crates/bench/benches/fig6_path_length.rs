@@ -1,0 +1,31 @@
+//! Figure 6 — effect of path length on execution time (30×30 grid,
+//! 20% edge cost variance).
+
+use atis_algorithms::{AStarVersion, Algorithm, Database};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, QueryKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_path_length");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let grid = Grid::new(30, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
+    let db = Database::open(grid.graph()).unwrap();
+    for kind in QueryKind::TABLE {
+        let (s, d) = grid.query_pair(kind);
+        for (name, alg) in [
+            ("dijkstra", Algorithm::Dijkstra),
+            ("astar_v3", Algorithm::AStar(AStarVersion::V3)),
+            ("iterative", Algorithm::Iterative),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, kind.label()), &kind, |b, _| {
+                b.iter(|| db.run(alg, s, d).unwrap().iterations)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 7 — effect of edge cost models on execution time (20×20 grid,
+//! diagonal path).
+
+use atis_algorithms::{AStarVersion, Algorithm, Database};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, QueryKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_cost_models");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    for model in [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed] {
+        let grid = Grid::new(20, model, PAPER_SEED).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        for (name, alg) in [
+            ("dijkstra", Algorithm::Dijkstra),
+            ("astar_v3", Algorithm::AStar(AStarVersion::V3)),
+            ("iterative", Algorithm::Iterative),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, model.label()), &model, |b, _| {
+                b.iter(|| db.run(alg, s, d).unwrap().iterations)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 9 / Table 8 — the four Minneapolis queries.
+
+use atis_algorithms::{AStarVersion, Algorithm, Database};
+use atis_graph::minneapolis::{Minneapolis, NamedPair};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9_minneapolis");
+    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let m = Minneapolis::paper();
+    let db = Database::open(m.graph()).unwrap();
+    for pair in NamedPair::ALL {
+        let (s, d) = m.query_pair(pair);
+        for (name, alg) in [
+            ("iterative", Algorithm::Iterative),
+            ("astar_v3", Algorithm::AStar(AStarVersion::V3)),
+            ("dijkstra", Algorithm::Dijkstra),
+        ] {
+            group.bench_with_input(BenchmarkId::new(name, pair.label()), &pair, |b, _| {
+                b.iter(|| db.run(alg, s, d).unwrap().iterations)
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! In-memory baselines: binary-heap Dijkstra and A\* on the paper's
+//! workloads. These are the modern reference against which the
+//! `memory_vs_db` ablation compares the metered engine.
+
+use atis_algorithms::{memory, Estimator};
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, Minneapolis, NamedPair, QueryKind};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory_algorithms");
+    group.sample_size(50).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+
+    for k in [10usize, 30, 100] {
+        let grid = Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        group.bench_with_input(BenchmarkId::new("dijkstra_grid", k), &k, |b, _| {
+            b.iter(|| memory::dijkstra_pair(grid.graph(), s, d))
+        });
+        group.bench_with_input(BenchmarkId::new("astar_manhattan_grid", k), &k, |b, _| {
+            b.iter(|| memory::astar_pair(grid.graph(), s, d, Estimator::Manhattan))
+        });
+        group.bench_with_input(BenchmarkId::new("bidirectional_grid", k), &k, |b, _| {
+            b.iter(|| atis_algorithms::bidirectional_dijkstra(grid.graph(), s, d))
+        });
+    }
+
+    let m = Minneapolis::paper();
+    for pair in [NamedPair::AtoB, NamedPair::GtoD] {
+        let (s, d) = m.query_pair(pair);
+        group.bench_with_input(
+            BenchmarkId::new("dijkstra_minneapolis", pair.label()),
+            &pair,
+            |b, _| b.iter(|| memory::dijkstra_pair(m.graph(), s, d)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("astar_minneapolis", pair.label()),
+            &pair,
+            |b, _| b.iter(|| memory::astar_pair(m.graph(), s, d, Estimator::Euclidean)),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Micro-benchmarks of the storage engine: heap-file scans, index probes,
+//! adjacency fetches, the four join strategies, and temp-relation
+//! APPEND/DELETE — the primitives whose charged I/O the cost model prices.
+
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid};
+use atis_storage::{
+    join_adjacency, CostParams, EdgeRelation, IoStats, JoinPolicy, JoinStrategy, NodeRelation,
+    NodeStatus, NodeTuple, TempRelation, NO_PRED,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn setup() -> (EdgeRelation, NodeRelation) {
+    let grid = Grid::new(30, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
+    let mut io = IoStats::new();
+    let s = EdgeRelation::load(grid.graph(), &mut io).unwrap();
+    let r = NodeRelation::load(grid.graph(), s.block_count(), 3, &mut io).unwrap();
+    (s, r)
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro_storage");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    let (edges, nodes) = setup();
+    let params = CostParams::default();
+
+    group.bench_function("node_relation_scan_900", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            let mut count = 0u32;
+            nodes.scan(&mut io, |_, _| count += 1);
+            count
+        })
+    });
+
+    group.bench_function("select_min_open_scan", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            nodes.select_min_open(&mut io, |_, t| t.path_cost as f64)
+        })
+    });
+
+    group.bench_function("isam_keyed_get", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            nodes.get(450, &mut io).unwrap()
+        })
+    });
+
+    group.bench_function("hash_adjacency_fetch", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            edges.fetch_adjacency(450, &mut io)
+        })
+    });
+
+    let current: Vec<(u16, NodeTuple)> = vec![(
+        450,
+        NodeTuple { x: 0.0, y: 0.0, status: NodeStatus::Current, path: NO_PRED, path_cost: 0.0 },
+    )];
+    for strat in JoinStrategy::ALL {
+        group.bench_with_input(BenchmarkId::new("join_one_current", strat.label()), &strat, |b, &s| {
+            b.iter(|| {
+                let mut io = IoStats::new();
+                join_adjacency(&current, &edges, JoinPolicy::Force(s), &params, &mut io)
+            })
+        });
+    }
+
+    group.bench_function("temp_relation_append_delete_100", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            let mut t: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
+            for k in 0..100u32 {
+                t.append(
+                    k,
+                    &NodeTuple {
+                        x: 0.0,
+                        y: 0.0,
+                        status: NodeStatus::Open,
+                        path: NO_PRED,
+                        path_cost: k as f32,
+                    },
+                    &mut io,
+                );
+            }
+            for k in 0..100u32 {
+                t.delete(k, &mut io).unwrap();
+            }
+            io.tuple_updates
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

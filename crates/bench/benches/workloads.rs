@@ -1,0 +1,57 @@
+//! Workload-generation benchmarks: grid and Minneapolis construction,
+//! interchange-format serialisation, relation loading, and SVG rendering.
+
+use atis_bench::PAPER_SEED;
+use atis_core::{render_svg, SvgOptions};
+use atis_graph::{format, CostModel, Grid, Minneapolis, RadialCity};
+use atis_storage::{EdgeRelation, IoStats, NodeRelation};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workloads");
+    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+
+    for k in [10usize, 30] {
+        group.bench_with_input(BenchmarkId::new("grid_generation", k), &k, |b, &k| {
+            b.iter(|| Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap())
+        });
+    }
+
+    group.bench_function("minneapolis_generation", |b| b.iter(Minneapolis::paper));
+
+    group.bench_function("radial_city_generation", |b| {
+        b.iter(|| RadialCity::new(8, 24, 0.1, PAPER_SEED).unwrap())
+    });
+
+    let m = Minneapolis::paper();
+    group.bench_function("format_write_minneapolis", |b| {
+        b.iter(|| format::write_graph(m.graph()))
+    });
+    let text = format::write_graph(m.graph());
+    group.bench_function("format_read_minneapolis", |b| {
+        b.iter(|| format::read_graph(&text).unwrap())
+    });
+
+    group.bench_function("edge_relation_load_minneapolis", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            EdgeRelation::load(m.graph(), &mut io).unwrap()
+        })
+    });
+    group.bench_function("node_relation_load_minneapolis", |b| {
+        b.iter(|| {
+            let mut io = IoStats::new();
+            NodeRelation::load(m.graph(), 27, 3, &mut io).unwrap()
+        })
+    });
+
+    group.bench_function("svg_render_minneapolis", |b| {
+        b.iter(|| render_svg(m.graph(), None, m.landmarks(), &SvgOptions::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Command-line driver that regenerates every table and figure of the
+//! paper.
+//!
+//! ```text
+//! experiments all             # everything, in paper order (markdown)
+//! experiments table4b         # one artifact
+//! experiments fig5 fig9       # several artifacts
+//! experiments all --out DIR   # also write DIR/experiments.md + figure8.svg
+//! experiments --list          # artifact ids
+//! ```
+
+use atis_bench::experiments as exp;
+use atis_bench::ExperimentOutput;
+
+type Driver = (&'static str, &'static str, fn() -> ExperimentOutput);
+
+const DRIVERS: &[Driver] = &[
+    ("table4b", "Table 4B: algebraic cost estimates", exp::table_4b_comparison),
+    ("breakdown", "Validation: per-step cost breakdown", exp::step_breakdown),
+    ("models", "Validation: A* version models vs measured", exp::validation_version_models),
+    ("fig5", "Figure 5 / Table 5: graph size", exp::fig5_table5),
+    ("fig6", "Figure 6 / Table 6: path length", exp::fig6_table6),
+    ("fig7", "Figure 7 / Table 7: edge cost models", exp::fig7_table7),
+    ("fig8", "Figure 8: Minneapolis map", exp::fig8_map),
+    ("fig9", "Figure 9 / Table 8: Minneapolis queries", exp::fig9_table8),
+    ("fig10", "Figure 10: A* versions vs graph size", exp::fig10_versions_size),
+    ("fig11", "Figure 11: A* versions vs cost model", exp::fig11_versions_cost),
+    ("fig12", "Figure 12: A* versions vs path length", exp::fig12_versions_path),
+    ("joins", "Ablation: four join strategies", exp::ablation_join_strategies),
+    ("optimizer", "Ablation: forced vs cost-based joins", exp::ablation_optimizer),
+    ("estimators", "Ablation: estimator quality", exp::ablation_estimators),
+    ("duplicates", "Ablation: frontier duplicate policies", exp::ablation_duplicates),
+    ("buffer", "Ablation: buffer pool vs cold cache", exp::ablation_buffer_pool),
+    ("isam", "Ablation: ISAM index depth sensitivity", exp::ablation_isam_depth),
+    ("allpairs", "Ablation: all-pairs closure vs single-pair", exp::ablation_allpairs),
+    ("memdb", "Ablation: in-memory vs database-resident", exp::ablation_memory_vs_db),
+    ("tradeoff", "Extension: optimality/speed trade-off curve", exp::tradeoff_curve),
+    ("scaling", "Extension: grids beyond the paper (up to 50x50)", exp::extension_scaling),
+    ("devices", "Extension: device sensitivity (disk vs SSD re-pricing)", exp::extension_devices),
+    ("radial", "Extension: radial city (estimator ranking reverses)", exp::extension_radial),
+    ("seeds", "Extension: seed robustness of draw-dependent counts", exp::extension_seeds),
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for (id, desc, _) in DRIVERS {
+            println!("{id:12} {desc}");
+        }
+        return;
+    }
+    // Optional output directory.
+    let mut out_dir: Option<std::path::PathBuf> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--out") {
+        if pos + 1 >= args.len() {
+            eprintln!("--out needs a directory");
+            std::process::exit(2);
+        }
+        out_dir = Some(std::path::PathBuf::from(args.remove(pos + 1)));
+        args.remove(pos);
+    }
+    let selected: Vec<&Driver> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        DRIVERS.iter().collect()
+    } else {
+        let mut sel = Vec::new();
+        for a in &args {
+            match DRIVERS.iter().find(|(id, _, _)| id == a) {
+                Some(d) => sel.push(d),
+                None => {
+                    eprintln!("unknown experiment '{a}' (use --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        sel
+    };
+    let mut document = String::new();
+    document.push_str("# ATIS path-computation experiments (ICDE'93 reproduction)\n\n");
+    document.push_str(&format!(
+        "Deterministic seed {}; execution time = simulated I/O in Table 4A units.\n\n",
+        atis_bench::PAPER_SEED
+    ));
+    for (_, _, driver) in selected {
+        document.push_str(&driver().to_string());
+    }
+    print!("{document}");
+    if let Some(dir) = out_dir {
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+        let md = dir.join("experiments.md");
+        if let Err(e) = std::fs::write(&md, &document) {
+            eprintln!("cannot write {}: {e}", md.display());
+            std::process::exit(1);
+        }
+        // Figure 8 as a vector image.
+        let m = atis_graph::Minneapolis::paper();
+        let svg = atis_core::render_svg(
+            m.graph(),
+            None,
+            m.landmarks(),
+            &atis_core::SvgOptions::default(),
+        );
+        let svg_path = dir.join("figure8.svg");
+        if let Err(e) = std::fs::write(&svg_path, svg) {
+            eprintln!("cannot write {}: {e}", svg_path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {} and {}", md.display(), svg_path.display());
+    }
+}

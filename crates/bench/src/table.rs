@@ -1,0 +1,95 @@
+//! Minimal markdown table rendering for experiment output.
+
+use std::fmt;
+
+/// A rectangular table with a header row, rendered as GitHub-flavoured
+/// markdown.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Column headers; the first column is the row label.
+    pub columns: Vec<String>,
+    /// Rows: label + one cell per remaining column.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given headers.
+    pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
+        Table { columns: columns.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count does not match the header count.
+    pub fn push_row<S: Into<String>>(&mut self, cells: Vec<S>) {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.columns.len(), "row width must match header");
+        self.rows.push(row);
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.columns.iter().map(|c| c.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            write!(f, "|")?;
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, " {:<width$} |", c, width = w[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.columns)?;
+        write!(f, "|")?;
+        for width in &w {
+            write!(f, "{:-<width$}|", "", width = width + 2)?;
+        }
+        writeln!(f)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(vec!["Algorithm", "10x10", "20x20"]);
+        t.push_row(vec!["Dijkstra", "99", "399"]);
+        let s = t.to_string();
+        assert!(s.contains("| Algorithm | 10x10 | 20x20 |"));
+        assert!(s.contains("| Dijkstra  | 99    | 399   |"));
+        assert!(s.lines().nth(1).unwrap().starts_with("|--"));
+    }
+
+    #[test]
+    fn unicode_cells_align_by_character_count() {
+        let mut t = Table::new(vec!["név", "érték"]);
+        t.push_row(vec!["útvonal", "12"]);
+        let s = t.to_string();
+        // Every rendered row has the same display width in characters.
+        let widths: Vec<usize> = s.lines().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(vec!["a", "b"]);
+        t.push_row(vec!["only one"]);
+    }
+}

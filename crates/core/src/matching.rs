@@ -1,0 +1,126 @@
+//! Map matching: snapping observed positions onto the road network — the
+//! "current location" primitive an ATIS needs before it can run any
+//! path computation (Section 1.1 frames route computation as "from
+//! current location to destination").
+//!
+//! [`match_trace`] converts a polyline of (noisy) positions into a
+//! connected route: each observation snaps to its nearest connected node,
+//! consecutive snaps are joined by shortest paths, and repeated snaps are
+//! collapsed.
+
+use atis_algorithms::memory;
+use atis_graph::{Graph, NodeId, Path, Point};
+
+/// The result of matching one observed trace.
+#[derive(Debug, Clone)]
+pub struct MatchedTrace {
+    /// The snapped node for each input observation (same length/order).
+    pub snapped: Vec<NodeId>,
+    /// The stitched road route through the snapped nodes.
+    pub route: Path,
+    /// Mean snap distance (observation → chosen node).
+    pub mean_snap_distance: f64,
+}
+
+/// Matches a polyline of observed positions to the network.
+///
+/// # Errors
+/// Returns `None` if the trace is empty, the graph has no nodes, or two
+/// consecutive snaps are disconnected.
+pub fn match_trace(graph: &Graph, observations: &[Point]) -> Option<MatchedTrace> {
+    if observations.is_empty() {
+        return None;
+    }
+    let snapped: Vec<NodeId> =
+        observations.iter().map(|&p| graph.nearest_node(p)).collect::<Option<_>>()?;
+    let mean_snap_distance = observations
+        .iter()
+        .zip(&snapped)
+        .map(|(p, &n)| graph.point(n).euclidean(p))
+        .sum::<f64>()
+        / observations.len() as f64;
+
+    // Stitch shortest paths between consecutive *distinct* snaps.
+    let mut nodes = vec![snapped[0]];
+    let mut cost = 0.0;
+    for window in snapped.windows(2) {
+        let (a, b) = (window[0], window[1]);
+        if a == b {
+            continue;
+        }
+        let leg = memory::dijkstra_pair(graph, a, b)?;
+        nodes.extend(leg.nodes.iter().skip(1));
+        cost += leg.cost;
+    }
+    Some(MatchedTrace { snapped, route: Path { nodes, cost }, mean_snap_distance })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::{CostModel, Grid, Minneapolis};
+
+    #[test]
+    fn clean_trace_matches_exactly() {
+        let grid = Grid::new(8, CostModel::Uniform, 0).unwrap();
+        // Observations exactly on nodes along row 2.
+        let obs: Vec<Point> = (0..5).map(|c| Point::new(c as f64, 2.0)).collect();
+        let m = match_trace(grid.graph(), &obs).unwrap();
+        assert_eq!(m.snapped.len(), 5);
+        assert!(m.mean_snap_distance < 1e-9);
+        m.route.validate(grid.graph()).unwrap();
+        assert_eq!(m.route.len(), 4);
+        assert_eq!(m.route.source(), grid.node_at(2, 0));
+        assert_eq!(m.route.destination(), grid.node_at(2, 4));
+    }
+
+    #[test]
+    fn noisy_trace_snaps_to_the_road() {
+        let grid = Grid::new(8, CostModel::Uniform, 0).unwrap();
+        let obs: Vec<Point> =
+            (0..5).map(|c| Point::new(c as f64 + 0.2, 2.0 - 0.3)).collect();
+        let m = match_trace(grid.graph(), &obs).unwrap();
+        assert!(m.mean_snap_distance > 0.0 && m.mean_snap_distance < 0.5);
+        m.route.validate(grid.graph()).unwrap();
+    }
+
+    #[test]
+    fn sparse_observations_get_stitched_through_the_network() {
+        // Two observations far apart: the route fills in the road between.
+        let grid = Grid::new(10, CostModel::TWENTY_PERCENT, 3).unwrap();
+        let obs = vec![Point::new(0.0, 0.0), Point::new(9.0, 9.0)];
+        let m = match_trace(grid.graph(), &obs).unwrap();
+        assert_eq!(m.route.len(), 18, "shortest hop path has 18 edges");
+        m.route.validate(grid.graph()).unwrap();
+    }
+
+    #[test]
+    fn stationary_observations_collapse() {
+        let grid = Grid::new(6, CostModel::Uniform, 0).unwrap();
+        let obs = vec![Point::new(2.0, 2.0); 4];
+        let m = match_trace(grid.graph(), &obs).unwrap();
+        assert_eq!(m.route.len(), 0);
+        assert_eq!(m.snapped.len(), 4);
+    }
+
+    #[test]
+    fn empty_trace_and_empty_graph_are_none() {
+        let grid = Grid::new(4, CostModel::Uniform, 0).unwrap();
+        assert!(match_trace(grid.graph(), &[]).is_none());
+        let empty = atis_graph::GraphBuilder::new().build().unwrap();
+        assert!(match_trace(&empty, &[Point::new(0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn minneapolis_trace_avoids_lakes() {
+        // Observations over the lake snap to shoreline roads, never to
+        // isolated island nodes.
+        let m = Minneapolis::paper();
+        let obs = vec![Point::new(6.0, 6.5), Point::new(10.0, 6.0), Point::new(14.0, 8.0)];
+        let matched = match_trace(m.graph(), &obs).unwrap();
+        for &n in &matched.snapped {
+            assert!(m.graph().degree(n) > 0, "snapped to an isolated node {n}");
+        }
+        matched.route.validate(m.graph()).unwrap();
+    }
+}

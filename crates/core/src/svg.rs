@@ -1,0 +1,184 @@
+//! SVG map rendering — a publication-quality counterpart to the ASCII
+//! renderer, used to regenerate Figure 8 as a vector image.
+
+use atis_graph::{Graph, NodeId, Path, RoadClass};
+use std::fmt::Write as _;
+
+/// Rendering options for [`render_svg`].
+#[derive(Debug, Clone)]
+pub struct SvgOptions {
+    /// Canvas width in pixels.
+    pub width: u32,
+    /// Canvas height in pixels.
+    pub height: u32,
+    /// Margin around the map, in pixels.
+    pub margin: f64,
+    /// Whether to draw network edges (off for very dense maps).
+    pub draw_edges: bool,
+}
+
+impl Default for SvgOptions {
+    fn default() -> Self {
+        SvgOptions { width: 800, height: 800, margin: 24.0, draw_edges: true }
+    }
+}
+
+fn class_style(class: RoadClass) -> (&'static str, f64) {
+    match class {
+        RoadClass::Street => ("#9aa0a6", 0.8),
+        RoadClass::Highway => ("#5f6368", 1.2),
+        RoadClass::Freeway => ("#1a73e8", 1.8),
+    }
+}
+
+/// Renders a road network (with optional route and landmarks) as an SVG
+/// document string.
+pub fn render_svg(
+    graph: &Graph,
+    route: Option<&Path>,
+    landmarks: &[(char, NodeId)],
+    options: &SvgOptions,
+) -> String {
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    for u in graph.node_ids() {
+        let p = graph.point(u);
+        min_x = min_x.min(p.x);
+        min_y = min_y.min(p.y);
+        max_x = max_x.max(p.x);
+        max_y = max_y.max(p.y);
+    }
+    if graph.node_count() == 0 {
+        (min_x, min_y, max_x, max_y) = (0.0, 0.0, 1.0, 1.0);
+    }
+    let span_x = (max_x - min_x).max(1e-9);
+    let span_y = (max_y - min_y).max(1e-9);
+    let w = options.width as f64 - 2.0 * options.margin;
+    let h = options.height as f64 - 2.0 * options.margin;
+    let place = |n: NodeId| {
+        let p = graph.point(n);
+        let x = options.margin + (p.x - min_x) / span_x * w;
+        // SVG y grows downward; map y grows upward.
+        let y = options.margin + (1.0 - (p.y - min_y) / span_y) * h;
+        (x, y)
+    };
+
+    let mut svg = String::new();
+    let _ = writeln!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{}" height="{}" viewBox="0 0 {} {}">"#,
+        options.width, options.height, options.width, options.height
+    );
+    let _ = writeln!(svg, r#"<rect width="100%" height="100%" fill="white"/>"#);
+
+    if options.draw_edges {
+        // One direction per undirected pair is enough visually.
+        for e in graph.edges() {
+            if e.from.0 > e.to.0 && graph.edge_cost(e.to, e.from).is_some() {
+                continue;
+            }
+            let (x1, y1) = place(e.from);
+            let (x2, y2) = place(e.to);
+            let (color, width) = class_style(e.class);
+            let _ = writeln!(
+                svg,
+                r#"<line x1="{x1:.1}" y1="{y1:.1}" x2="{x2:.1}" y2="{y2:.1}" stroke="{color}" stroke-width="{width}"/>"#
+            );
+        }
+    } else {
+        for u in graph.node_ids() {
+            if graph.degree(u) > 0 {
+                let (x, y) = place(u);
+                let _ = writeln!(svg, r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.2" fill="#9aa0a6"/>"##);
+            }
+        }
+    }
+
+    if let Some(path) = route {
+        let points: Vec<String> = path
+            .nodes
+            .iter()
+            .map(|&n| {
+                let (x, y) = place(n);
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        let _ = writeln!(
+            svg,
+            r##"<polyline points="{}" fill="none" stroke="#d93025" stroke-width="3" stroke-linejoin="round"/>"##,
+            points.join(" ")
+        );
+    }
+
+    for &(label, n) in landmarks {
+        let (x, y) = place(n);
+        let _ = writeln!(svg, r##"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="#188038"/>"##);
+        let _ = writeln!(
+            svg,
+            r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="14" font-weight="bold" fill="#188038">{label}</text>"##,
+            x + 8.0,
+            y - 6.0
+        );
+    }
+
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::{CostModel, Grid, Minneapolis, QueryKind};
+
+    #[test]
+    fn renders_well_formed_svg() {
+        let grid = Grid::new(6, CostModel::Uniform, 0).unwrap();
+        let svg = render_svg(grid.graph(), None, &[], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<line"));
+        // Balanced: one line per undirected segment = 2*6*5 / 2... each
+        // undirected pair renders once.
+        assert_eq!(svg.matches("<line").count(), 2 * 6 * 5);
+    }
+
+    #[test]
+    fn route_renders_as_polyline() {
+        let grid = Grid::new(5, CostModel::Uniform, 0).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Horizontal);
+        let path = Path {
+            nodes: (0..5).map(|c| grid.node_at(0, c)).collect(),
+            cost: 4.0,
+        };
+        let svg = render_svg(grid.graph(), Some(&path), &[('S', s), ('D', d)], &SvgOptions::default());
+        assert!(svg.contains("<polyline"));
+        assert_eq!(svg.matches("<text").count(), 2);
+        assert!(svg.contains(">S</text>"));
+    }
+
+    #[test]
+    fn minneapolis_renders_with_freeway_styling() {
+        let m = Minneapolis::paper();
+        let svg = render_svg(m.graph(), None, m.landmarks(), &SvgOptions::default());
+        // Freeway color appears (one-way corridors).
+        assert!(svg.contains("#1a73e8"));
+        // All seven landmarks labelled.
+        assert_eq!(svg.matches("<text").count(), 7);
+    }
+
+    #[test]
+    fn empty_graph_renders_cleanly() {
+        let g = atis_graph::GraphBuilder::new().build().unwrap();
+        let svg = render_svg(&g, None, &[], &SvgOptions::default());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn nodes_mode_draws_circles() {
+        let grid = Grid::new(4, CostModel::Uniform, 0).unwrap();
+        let opts = SvgOptions { draw_edges: false, ..SvgOptions::default() };
+        let svg = render_svg(grid.graph(), None, &[], &opts);
+        assert!(!svg.contains("<line"));
+        assert_eq!(svg.matches("<circle").count(), 16);
+    }
+}

@@ -1,0 +1,218 @@
+//! Table 2 — the algebraic cost of the iterative BFS algorithm.
+//!
+//! ```text
+//! C1 = I                                   create R
+//! C2 = B_s·t_read + B_r·t_write            initialise R with all nodes
+//! C3 = 2(B_r·log B_r + B_r)·t_update       index & sort R by node id
+//! C4 = (I_l + S_r)·t_update + B_r·t_read   mark start current, count
+//! per iteration i:
+//!   C5 = B_r·t_read                        fetch current nodes
+//!   C6 = F(B_c, B_s, B_join)               join for the neighbours
+//!   C7 = 2·B_r·t_update                    relax + flip statuses
+//!   C8 = B_r·t_read                        count current nodes
+//! Total = C1 + C2 + C3 + C4 + Σ Γ_i
+//! ```
+//!
+//! The per-iteration current-set size is the dynamic quantity; the paper
+//! approximates it as `|R| / B(L)` ("if there is no backtracking at all").
+
+use crate::dijkstra_astar_model::ModelStep;
+use crate::join_cost;
+use crate::params::ModelParams;
+use atis_storage::JoinStrategy;
+
+/// Table 2 instantiated over a parameter set.
+#[derive(Debug, Clone, Copy)]
+pub struct IterativeModel {
+    p: ModelParams,
+    /// Join strategy used for step C6 (`None` = let the optimizer pick).
+    pub forced_join: Option<JoinStrategy>,
+}
+
+impl IterativeModel {
+    /// Builds the model with the paper's forced nested-loop join.
+    pub fn new(p: ModelParams) -> Self {
+        IterativeModel { p, forced_join: Some(JoinStrategy::NestedLoop) }
+    }
+
+    /// Lets the optimizer pick the join strategy per iteration.
+    pub fn with_optimizer(mut self) -> Self {
+        self.forced_join = None;
+        self
+    }
+
+    /// `C1 + C2 + C3 + C4`.
+    pub fn init_cost(&self) -> f64 {
+        let p = &self.p;
+        let b_r = p.b_r() as f64;
+        let b_s = p.b_s() as f64;
+        let c1 = p.io.t_create;
+        let c2 = b_s * p.io.t_read + b_r * p.io.t_write;
+        let c3 = 2.0 * (b_r * b_r.log2().max(0.0) + b_r) * p.io.t_update;
+        let c4 = (p.io.isam_levels as f64 + p.selection_cardinality as f64) * p.io.t_update
+            + b_r * p.io.t_read;
+        c1 + c2 + c3 + c4
+    }
+
+    /// Step 5: fetch the current nodes (a scan of `R`).
+    pub fn select_cost(&self) -> f64 {
+        self.p.b_r() as f64 * self.p.io.t_read
+    }
+
+    /// Step 6: the join `F(B_c, B_s, B_join)` for `current_nodes` current
+    /// nodes.
+    pub fn join_step_cost(&self, current_nodes: f64) -> f64 {
+        let p = &self.p;
+        let b_c = p.b_c(current_nodes);
+        let b_join = p.b_join(current_nodes * p.avg_degree);
+        match self.forced_join {
+            Some(s) => {
+                join_cost::algebraic_join_cost(s, b_c, p.b_s(), b_join, current_nodes, p)
+            }
+            None => join_cost::cheapest_join(b_c, p.b_s(), b_join, current_nodes, p).1,
+        }
+    }
+
+    /// Step 7: the two REPLACE passes (`2·B_r·t_update`).
+    pub fn update_step_cost(&self) -> f64 {
+        2.0 * self.p.b_r() as f64 * self.p.io.t_update
+    }
+
+    /// Step 8: count the current nodes (a scan of `R`).
+    pub fn count_cost(&self) -> f64 {
+        self.p.b_r() as f64 * self.p.io.t_read
+    }
+
+    /// `Γ = C5 + C6 + C7 + C8` for an iteration with `current_nodes`
+    /// current nodes.
+    pub fn iteration_cost(&self, current_nodes: f64) -> f64 {
+        self.select_cost()
+            + self.join_step_cost(current_nodes)
+            + self.update_step_cost()
+            + self.count_cost()
+    }
+
+    /// The model as named steps (Table 2's `C1..C8`); per-iteration steps
+    /// are computed for an average current-set of `current_nodes`.
+    pub fn steps(&self, current_nodes: f64) -> Vec<ModelStep> {
+        let p = &self.p;
+        let b_r = p.b_r() as f64;
+        let b_s = p.b_s() as f64;
+        vec![
+            ModelStep { label: "C1: create R".into(), cost: p.io.t_create, per_iteration: false },
+            ModelStep {
+                label: "C2: initialise R from S".into(),
+                cost: b_s * p.io.t_read + b_r * p.io.t_write,
+                per_iteration: false,
+            },
+            ModelStep {
+                label: "C3: index & sort R".into(),
+                cost: 2.0 * (b_r * b_r.log2().max(0.0) + b_r) * p.io.t_update,
+                per_iteration: false,
+            },
+            ModelStep {
+                label: "C4: mark start node".into(),
+                cost: (p.io.isam_levels as f64 + p.selection_cardinality as f64) * p.io.t_update
+                    + b_r * p.io.t_read,
+                per_iteration: false,
+            },
+            ModelStep {
+                label: "C5: fetch current nodes (scan R)".into(),
+                cost: self.select_cost(),
+                per_iteration: true,
+            },
+            ModelStep {
+                label: "C6: join for neighbours".into(),
+                cost: self.join_step_cost(current_nodes),
+                per_iteration: true,
+            },
+            ModelStep {
+                label: "C7: relax + flip statuses (2 REPLACE passes)".into(),
+                cost: self.update_step_cost(),
+                per_iteration: true,
+            },
+            ModelStep {
+                label: "C8: count current nodes (scan R)".into(),
+                cost: self.count_cost(),
+                per_iteration: true,
+            },
+        ]
+    }
+
+    /// Total cost for `iterations` rounds, using the paper's average
+    /// current-set estimate `|R| / B(L)`.
+    pub fn total(&self, iterations: u64) -> f64 {
+        let avg_current = self.p.r_tuples as f64 / iterations.max(1) as f64;
+        self.total_with_current(iterations, avg_current)
+    }
+
+    /// Total cost with an explicit average current-set size (e.g. taken
+    /// from an execution trace, as the paper's simulation does).
+    pub fn total_with_current(&self, iterations: u64, avg_current: f64) -> f64 {
+        self.init_cost() + iterations as f64 * self.iteration_cost(avg_current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn init_cost_matches_hand_computation() {
+        // Table 4A instance: C1 = 0.5, C2 = 28*.035 + 4*.05 = 1.18,
+        // C3 = 2*(4*2+4)*.085 = 2.04, C4 = 4*.085 + 4*.035 = 0.48.
+        let m = IterativeModel::new(ModelParams::table_4a());
+        assert!((m.init_cost() - 4.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iteration_cost_matches_hand_computation() {
+        // 15.25 current nodes -> B_c = 1, B_join = 1:
+        // C5 = .14, C6 = 1.065, C7 = .68, C8 = .14 -> 2.025.
+        let m = IterativeModel::new(ModelParams::table_4a());
+        assert!((m.iteration_cost(900.0 / 59.0) - 2.025).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_is_close_to_table_4b_shape() {
+        // The paper's Table 4B prints 176.9 for the iterative algorithm at
+        // 59 iterations; the printed value implies a larger current-set
+        // footprint (B_c = 2) than the no-backtracking estimate. Our
+        // formula gives ~124 and our physical engine measures ~115 — the
+        // model must stay in that envelope.
+        let m = IterativeModel::new(ModelParams::table_4a());
+        let t = m.total(59);
+        assert!((110.0..140.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn optimizer_never_costs_more_than_forced_nested_loop() {
+        let p = ModelParams::table_4a();
+        let forced = IterativeModel::new(p);
+        let opt = IterativeModel::new(p).with_optimizer();
+        for current in [1.0, 15.0, 100.0, 500.0] {
+            assert!(opt.iteration_cost(current) <= forced.iteration_cost(current) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn steps_sum_to_the_closed_form() {
+        let m = IterativeModel::new(ModelParams::table_4a());
+        for iters in [1u64, 19, 59] {
+            let avg = 900.0 / iters as f64;
+            let from_steps: f64 = m
+                .steps(avg)
+                .iter()
+                .map(|s| if s.per_iteration { s.cost * iters as f64 } else { s.cost })
+                .sum();
+            let closed = m.total_with_current(iters, avg);
+            assert!((from_steps - closed).abs() < 1e-9, "{iters}: {from_steps} vs {closed}");
+        }
+    }
+
+    #[test]
+    fn iteration_cost_grows_with_current_set() {
+        let m = IterativeModel::new(ModelParams::table_4a());
+        assert!(m.iteration_cost(600.0) > m.iteration_cost(10.0));
+    }
+}

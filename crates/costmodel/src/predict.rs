@@ -1,0 +1,106 @@
+//! End-to-end prediction and the Table 4B reproduction.
+//!
+//! "The simulation took the number of iterations from the execution trace
+//! of the EQUEL programs to predict the execution-time" — [`predict_cost`]
+//! does the same from a [`atis_algorithms::RunTrace`]'s iteration count,
+//! and [`table_4b`] regenerates the paper's worked example from Table 6's
+//! iteration counts.
+
+use crate::dijkstra_astar_model::BestFirstModel;
+use crate::iterative_model::IterativeModel;
+use crate::params::ModelParams;
+
+/// Which cost model applies to a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AlgorithmKind {
+    /// Table 2 (iterative BFS).
+    Iterative,
+    /// Table 3 (Dijkstra or a status-frontier A\*).
+    BestFirst,
+}
+
+/// One predicted cost with its inputs, for experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Iterations the prediction was fed.
+    pub iterations: u64,
+    /// Predicted cost in Table 4A units.
+    pub cost: f64,
+}
+
+/// Predicts the execution cost of a run from its iteration count, exactly
+/// as the paper's optimizer simulation does.
+pub fn predict_cost(kind: AlgorithmKind, iterations: u64, params: ModelParams) -> Prediction {
+    let cost = match kind {
+        AlgorithmKind::Iterative => IterativeModel::new(params).total(iterations),
+        AlgorithmKind::BestFirst => BestFirstModel::new(params).total(iterations),
+    };
+    Prediction { iterations, cost }
+}
+
+/// Table 4B, regenerated: estimated costs on the 30×30 grid with 20% edge
+/// cost variance, from Table 6's iteration counts. Rows are
+/// (algorithm, horizontal, semi-diagonal, diagonal).
+pub fn table_4b() -> [(&'static str, [Prediction; 3]); 3] {
+    let p = ModelParams::table_4a();
+    let bf = |iters: u64| predict_cost(AlgorithmKind::BestFirst, iters, p);
+    let it = |iters: u64| predict_cost(AlgorithmKind::Iterative, iters, p);
+    [
+        ("Dijkstra", [bf(488), bf(767), bf(899)]),
+        ("A* (version 3)", [bf(29), bf(407), bf(838)]),
+        ("Iterative", [it(59), it(59), it(59)]),
+    ]
+}
+
+/// The values Table 4B prints, for comparison in tests and experiment
+/// output (same row/column order as [`table_4b`]).
+pub const PAPER_TABLE_4B: [(&str, [f64; 3]); 3] = [
+    ("Dijkstra", [1055.6, 1656.8, 1941.2]),
+    ("A* (version 3)", [66.7, 881.2, 1809.8]),
+    ("Iterative", [176.9, 176.9, 176.9]),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_4b_best_first_rows_match_the_paper_within_2_percent() {
+        let ours = table_4b();
+        for (row, (label, cells)) in ours.iter().enumerate().take(2) {
+            let (plabel, pcells) = PAPER_TABLE_4B[row];
+            assert_eq!(*label, plabel);
+            for (c, pred) in cells.iter().enumerate() {
+                let err = (pred.cost - pcells[c]).abs() / pcells[c];
+                assert!(
+                    err < 0.02,
+                    "{label} col {c}: predicted {:.1}, paper {:.1}",
+                    pred.cost,
+                    pcells[c]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_4b_iterative_row_is_below_the_papers_print() {
+        // The paper's 176.9 implies a 2-block current set; the
+        // no-backtracking estimate (and our physical engine) land near
+        // 115-125. Assert the documented envelope and the relative
+        // ordering that drives every conclusion: Iterative far below
+        // Dijkstra/A* on the diagonal.
+        let ours = table_4b();
+        let iterative = ours[2].1[2].cost;
+        assert!((110.0..180.0).contains(&iterative), "{iterative}");
+        assert!(iterative < ours[0].1[2].cost / 5.0);
+    }
+
+    #[test]
+    fn predictions_scale_linearly_with_iterations() {
+        let p = ModelParams::table_4a();
+        let a = predict_cost(AlgorithmKind::BestFirst, 100, p).cost;
+        let b = predict_cost(AlgorithmKind::BestFirst, 200, p).cost;
+        let c = predict_cost(AlgorithmKind::BestFirst, 300, p).cost;
+        assert!(((b - a) - (c - b)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,152 @@
+//! The three edge-cost models of Section 5.1.3.
+//!
+//! * **Uniform** — every edge costs exactly 1.
+//! * **Uniform with 20% variance** — every edge costs `1 + 0.2 · U[0,1]`.
+//!   "This cost model will change the degree of backtracking required in the
+//!   execution of estimator-based algorithms such as A\* (version 3)."
+//! * **Skewed** — a cheap corridor along the bottom row and the right column
+//!   of the grid; "This model eliminates backtracking from estimator-based
+//!   A\* (version 3), creating the best case for that version."
+
+use crate::rng::SplitMix64;
+
+/// Fraction of the unit cost used for the cheap edges of the skewed model.
+/// The paper only says "a small cost"; 0.05 makes the whole boundary
+/// corridor (`2(k-1)` edges) cheaper than a couple of interior steps, which
+/// reproduces the iteration collapse of Table 7 (Dijkstra 399 → 48,
+/// A\* v3 360 → 38): Dijkstra expands the corridor plus only the interior
+/// nodes within the corridor's total cost.
+pub const SKEWED_LOW_COST: f64 = 0.05;
+
+/// Edge-cost model for synthetic grids.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CostModel {
+    /// Unit cost on every edge.
+    Uniform,
+    /// `1 + variance · U[0,1]` per undirected segment (both directions get
+    /// the same draw). The paper's experiments use `variance = 0.2`.
+    UniformVariance {
+        /// Amplitude of the uniform perturbation (0.2 in the paper).
+        variance: f64,
+    },
+    /// Unit cost everywhere except the bottom row and right column of the
+    /// grid, which cost [`SKEWED_LOW_COST`]. Orientation matches the paper's
+    /// diagonal query pair: the corridor connects the source corner to the
+    /// destination corner.
+    Skewed,
+}
+
+impl CostModel {
+    /// The paper's "20% variance" model.
+    pub const TWENTY_PERCENT: CostModel = CostModel::UniformVariance { variance: 0.2 };
+
+    /// Cost for the undirected grid segment between grid cells
+    /// `(r1, c1)` and `(r2, c2)` of a `k × k` grid (cells are adjacent).
+    ///
+    /// `rng` is consulted only by the variance model; draws happen once per
+    /// undirected segment so both directions share the cost, as in an
+    /// undirected graph.
+    pub fn segment_cost(
+        &self,
+        k: usize,
+        (r1, c1): (usize, usize),
+        (r2, c2): (usize, usize),
+        rng: &mut SplitMix64,
+    ) -> f64 {
+        debug_assert!(r1.abs_diff(r2) + c1.abs_diff(c2) == 1, "cells must be adjacent");
+        match *self {
+            CostModel::Uniform => 1.0,
+            CostModel::UniformVariance { variance } => 1.0 + variance * rng.next_f64(),
+            CostModel::Skewed => {
+                // Bottom row: r == 0 for both endpoints (horizontal segment).
+                let bottom = r1 == 0 && r2 == 0;
+                // Right column: c == k-1 for both endpoints (vertical segment).
+                let right = c1 == k - 1 && c2 == k - 1;
+                if bottom || right {
+                    SKEWED_LOW_COST
+                } else {
+                    1.0
+                }
+            }
+        }
+    }
+
+    /// Short label used in experiment tables ("Uniform Cost", "20%
+    /// Variance", "Skewed" — the column heads of Table 7).
+    pub fn label(&self) -> &'static str {
+        match self {
+            CostModel::Uniform => "Uniform Cost",
+            CostModel::UniformVariance { .. } => "20% Variance",
+            CostModel::Skewed => "Skewed",
+        }
+    }
+
+    /// Whether every edge cost produced by this model is ≥ 1, i.e. whether
+    /// the Manhattan estimator on a unit-spaced grid is admissible.
+    pub fn manhattan_admissible(&self) -> bool {
+        match self {
+            CostModel::Uniform => true,
+            CostModel::UniformVariance { variance } => *variance >= 0.0,
+            CostModel::Skewed => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_always_one() {
+        let mut rng = SplitMix64::new(1);
+        let c = CostModel::Uniform.segment_cost(10, (0, 0), (0, 1), &mut rng);
+        assert_eq!(c, 1.0);
+    }
+
+    #[test]
+    fn variance_stays_in_band() {
+        let mut rng = SplitMix64::new(2);
+        for i in 0..8 {
+            let c = CostModel::TWENTY_PERCENT.segment_cost(10, (i, 3), (i + 1, 3), &mut rng);
+            assert!((1.0..1.2).contains(&c), "cost {c} outside [1, 1.2)");
+        }
+    }
+
+    #[test]
+    fn skewed_bottom_row_is_cheap() {
+        let mut rng = SplitMix64::new(3);
+        let c = CostModel::Skewed.segment_cost(10, (0, 4), (0, 5), &mut rng);
+        assert_eq!(c, SKEWED_LOW_COST);
+    }
+
+    #[test]
+    fn skewed_right_column_is_cheap() {
+        let mut rng = SplitMix64::new(3);
+        let c = CostModel::Skewed.segment_cost(10, (4, 9), (5, 9), &mut rng);
+        assert_eq!(c, SKEWED_LOW_COST);
+    }
+
+    #[test]
+    fn skewed_interior_is_unit() {
+        let mut rng = SplitMix64::new(3);
+        let c = CostModel::Skewed.segment_cost(10, (4, 4), (4, 5), &mut rng);
+        assert_eq!(c, 1.0);
+        // A vertical segment leaving the bottom row is also full price.
+        let c2 = CostModel::Skewed.segment_cost(10, (0, 4), (1, 4), &mut rng);
+        assert_eq!(c2, 1.0);
+    }
+
+    #[test]
+    fn admissibility_flags() {
+        assert!(CostModel::Uniform.manhattan_admissible());
+        assert!(CostModel::TWENTY_PERCENT.manhattan_admissible());
+        assert!(!CostModel::Skewed.manhattan_admissible());
+    }
+
+    #[test]
+    fn labels_match_table7_columns() {
+        assert_eq!(CostModel::Uniform.label(), "Uniform Cost");
+        assert_eq!(CostModel::TWENTY_PERCENT.label(), "20% Variance");
+        assert_eq!(CostModel::Skewed.label(), "Skewed");
+    }
+}

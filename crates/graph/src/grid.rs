@@ -1,0 +1,286 @@
+//! The synthetic `k × k` grid benchmark of Section 5.1 (Figure 4).
+//!
+//! "The synthetic graph represents two-dimensional grids with 4 neighbor
+//! nodes. The grid includes k·k nodes, with k nodes along each row and each
+//! column, and with edges connecting adjacent nodes along rows and columns."
+//!
+//! Nodes are laid out with unit spacing; cell `(row, col)` sits at point
+//! `(col, row)` and has id `row · k + col`. The grid is undirected: each
+//! segment contributes two directed edges, matching the paper's relational
+//! representation.
+
+use crate::cost_model::CostModel;
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::{NodeId, Point};
+use crate::rng::SplitMix64;
+
+/// The paper's named query pairs (Figure 4): "We chose three node pairs for
+/// path computation: diagonally opposite nodes, linearly opposite nodes and
+/// a random-node pair." Tables 6 and 4B additionally name a "Semi-Diagonal"
+/// pair between the horizontal and diagonal extremes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// Linearly opposite nodes: `(0,0) → (0, k-1)`, a straight path along
+    /// one side of the grid.
+    Horizontal,
+    /// An intermediate pair `(0,0) → (k/2, k-1)` whose shortest path is
+    /// about 1.5× the horizontal one.
+    SemiDiagonal,
+    /// Diagonally opposite corners `(0,0) → (k-1, k-1)` — the longest
+    /// shortest path in the grid, used for worst-case comparisons.
+    Diagonal,
+    /// A seeded random pair.
+    Random,
+}
+
+impl QueryKind {
+    /// Column label used by Tables 4B and 6.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryKind::Horizontal => "Horizontal",
+            QueryKind::SemiDiagonal => "Semi-Diagonal",
+            QueryKind::Diagonal => "Diagonal",
+            QueryKind::Random => "Random",
+        }
+    }
+
+    /// The three deterministic kinds reported in the paper's tables.
+    pub const TABLE: [QueryKind; 3] =
+        [QueryKind::Horizontal, QueryKind::SemiDiagonal, QueryKind::Diagonal];
+}
+
+/// A `k × k` four-neighbour grid graph with one of the paper's cost models
+/// applied.
+///
+/// ```
+/// use atis_graph::{CostModel, Grid, QueryKind};
+///
+/// let grid = Grid::new(30, CostModel::TWENTY_PERCENT, 1993).unwrap();
+/// assert_eq!(grid.graph().node_count(), 900);   // |R| of Table 4A
+/// assert_eq!(grid.graph().edge_count(), 3480);  // |S| of Table 4A
+/// let (s, d) = grid.query_pair(QueryKind::Diagonal);
+/// assert_eq!(grid.hop_distance(s, d), 58);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Grid {
+    graph: Graph,
+    k: usize,
+    cost_model: CostModel,
+    seed: u64,
+}
+
+impl Grid {
+    /// Builds a `k × k` grid with `cost_model` edge costs. `seed` drives the
+    /// variance model and random query pairs; fixed seed ⇒ fixed graph.
+    ///
+    /// # Errors
+    /// Fails for `k < 2`.
+    pub fn new(k: usize, cost_model: CostModel, seed: u64) -> Result<Self, GraphError> {
+        if k < 2 {
+            return Err(GraphError::DegenerateGrid(k));
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut b = GraphBuilder::with_capacity(k * k, 4 * k * (k - 1));
+        for r in 0..k {
+            for c in 0..k {
+                b.add_node(Point::new(c as f64, r as f64));
+            }
+        }
+        let id = |r: usize, c: usize| NodeId((r * k + c) as u32);
+        for r in 0..k {
+            for c in 0..k {
+                // Horizontal segment to the right neighbour.
+                if c + 1 < k {
+                    let cost = cost_model.segment_cost(k, (r, c), (r, c + 1), &mut rng);
+                    b.add_undirected(id(r, c), id(r, c + 1), cost);
+                }
+                // Vertical segment to the upper neighbour.
+                if r + 1 < k {
+                    let cost = cost_model.segment_cost(k, (r, c), (r + 1, c), &mut rng);
+                    b.add_undirected(id(r, c), id(r + 1, c), cost);
+                }
+            }
+        }
+        Ok(Grid { graph: b.build()?, k, cost_model, seed })
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Grid dimension `k`.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The cost model the grid was built with.
+    pub fn cost_model(&self) -> CostModel {
+        self.cost_model
+    }
+
+    /// Node id of cell `(row, col)`.
+    ///
+    /// # Panics
+    /// Panics if the cell is out of range.
+    pub fn node_at(&self, row: usize, col: usize) -> NodeId {
+        assert!(row < self.k && col < self.k, "cell ({row},{col}) outside {0}x{0} grid", self.k);
+        NodeId((row * self.k + col) as u32)
+    }
+
+    /// Cell `(row, col)` of a node id.
+    pub fn cell_of(&self, id: NodeId) -> (usize, usize) {
+        (id.index() / self.k, id.index() % self.k)
+    }
+
+    /// The `(source, destination)` pair for a named query kind.
+    ///
+    /// The random pair is drawn from a stream derived from the grid seed, so
+    /// it is stable for a given grid; distinct nodes are guaranteed.
+    pub fn query_pair(&self, kind: QueryKind) -> (NodeId, NodeId) {
+        let k = self.k;
+        match kind {
+            QueryKind::Horizontal => (self.node_at(0, 0), self.node_at(0, k - 1)),
+            QueryKind::SemiDiagonal => (self.node_at(0, 0), self.node_at(k / 2, k - 1)),
+            QueryKind::Diagonal => (self.node_at(0, 0), self.node_at(k - 1, k - 1)),
+            QueryKind::Random => {
+                let mut rng = SplitMix64::new(self.seed ^ 0x5EED_BEEF);
+                let n = (k * k) as u64;
+                let s = rng.next_below(n) as u32;
+                let mut d = rng.next_below(n) as u32;
+                while d == s {
+                    d = rng.next_below(n) as u32;
+                }
+                (NodeId(s), NodeId(d))
+            }
+        }
+    }
+
+    /// Manhattan hop distance between the cells of two nodes — the exact
+    /// number of edges on a shortest path under the uniform cost model.
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> usize {
+        let (ra, ca) = self.cell_of(a);
+        let (rb, cb) = self.cell_of(b);
+        ra.abs_diff(rb) + ca.abs_diff(cb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_counts_match_formula() {
+        // |S| for a k-grid is 2 * 2 * k * (k-1): the paper's 30x30 instance
+        // has |S| = 3480 (Table 4A).
+        let g = Grid::new(30, CostModel::TWENTY_PERCENT, 1993).unwrap();
+        assert_eq!(g.graph().node_count(), 900);
+        assert_eq!(g.graph().edge_count(), 3480);
+    }
+
+    #[test]
+    fn interior_node_has_four_neighbors() {
+        let g = Grid::new(10, CostModel::Uniform, 0).unwrap();
+        assert_eq!(g.graph().degree(g.node_at(5, 5)), 4);
+        assert_eq!(g.graph().degree(g.node_at(0, 0)), 2);
+        assert_eq!(g.graph().degree(g.node_at(0, 5)), 3);
+    }
+
+    #[test]
+    fn coordinates_are_cell_positions() {
+        let g = Grid::new(4, CostModel::Uniform, 0).unwrap();
+        let p = g.graph().point(g.node_at(2, 3));
+        assert_eq!((p.x, p.y), (3.0, 2.0));
+    }
+
+    #[test]
+    fn cell_roundtrip() {
+        let g = Grid::new(7, CostModel::Uniform, 0).unwrap();
+        for r in 0..7 {
+            for c in 0..7 {
+                assert_eq!(g.cell_of(g.node_at(r, c)), (r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn query_pairs_are_where_the_paper_puts_them() {
+        let g = Grid::new(30, CostModel::Uniform, 0).unwrap();
+        let (s, d) = g.query_pair(QueryKind::Diagonal);
+        assert_eq!((s, d), (g.node_at(0, 0), g.node_at(29, 29)));
+        let (s, d) = g.query_pair(QueryKind::Horizontal);
+        assert_eq!((s, d), (g.node_at(0, 0), g.node_at(0, 29)));
+        let (s, d) = g.query_pair(QueryKind::SemiDiagonal);
+        assert_eq!((s, d), (g.node_at(0, 0), g.node_at(15, 29)));
+        // hop distances are ordered: horizontal < semi-diagonal < diagonal
+        let h = g.hop_distance(g.node_at(0, 0), g.node_at(0, 29));
+        let sd = g.hop_distance(g.node_at(0, 0), g.node_at(15, 29));
+        let di = g.hop_distance(g.node_at(0, 0), g.node_at(29, 29));
+        assert!(h < sd && sd < di);
+        assert_eq!((h, sd, di), (29, 44, 58));
+    }
+
+    #[test]
+    fn random_pair_is_stable_and_distinct() {
+        let g = Grid::new(10, CostModel::Uniform, 77).unwrap();
+        let (s1, d1) = g.query_pair(QueryKind::Random);
+        let (s2, d2) = g.query_pair(QueryKind::Random);
+        assert_eq!((s1, d1), (s2, d2));
+        assert_ne!(s1, d1);
+    }
+
+    #[test]
+    fn same_seed_same_costs() {
+        let a = Grid::new(12, CostModel::TWENTY_PERCENT, 5).unwrap();
+        let b = Grid::new(12, CostModel::TWENTY_PERCENT, 5).unwrap();
+        for (ea, eb) in a.graph().edges().zip(b.graph().edges()) {
+            assert_eq!(ea.cost, eb.cost);
+        }
+    }
+
+    #[test]
+    fn different_seed_different_costs() {
+        let a = Grid::new(12, CostModel::TWENTY_PERCENT, 5).unwrap();
+        let b = Grid::new(12, CostModel::TWENTY_PERCENT, 6).unwrap();
+        let differing =
+            a.graph().edges().zip(b.graph().edges()).filter(|(x, y)| x.cost != y.cost).count();
+        assert!(differing > 0);
+    }
+
+    #[test]
+    fn undirected_costs_are_symmetric() {
+        let g = Grid::new(8, CostModel::TWENTY_PERCENT, 9).unwrap();
+        for e in g.graph().edges() {
+            let back = g.graph().edge_cost(e.to, e.from).unwrap();
+            assert_eq!(e.cost, back, "asymmetric cost on ({}, {})", e.from, e.to);
+        }
+    }
+
+    #[test]
+    fn skewed_corridor_is_cheap_end_to_end() {
+        let g = Grid::new(10, CostModel::Skewed, 0).unwrap();
+        // Walk along the bottom row then up the right column; every segment
+        // must be the low cost.
+        for c in 0..9 {
+            assert_eq!(
+                g.graph().edge_cost(g.node_at(0, c), g.node_at(0, c + 1)),
+                Some(crate::cost_model::SKEWED_LOW_COST)
+            );
+        }
+        for r in 0..9 {
+            assert_eq!(
+                g.graph().edge_cost(g.node_at(r, 9), g.node_at(r + 1, 9)),
+                Some(crate::cost_model::SKEWED_LOW_COST)
+            );
+        }
+        // An interior segment is full price.
+        assert_eq!(g.graph().edge_cost(g.node_at(5, 5), g.node_at(5, 6)), Some(1.0));
+    }
+
+    #[test]
+    fn rejects_degenerate_grid() {
+        assert!(Grid::new(1, CostModel::Uniform, 0).is_err());
+        assert!(Grid::new(0, CostModel::Uniform, 0).is_err());
+    }
+}

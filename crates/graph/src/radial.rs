@@ -1,0 +1,241 @@
+//! A radial (ring-and-spoke) city — an extension workload.
+//!
+//! The paper's benchmark family is the rectilinear grid, where the
+//! Manhattan estimator is "a perfect estimate" (Section 5.3). Many real
+//! cities are radial: concentric ring roads crossed by spokes. On such a
+//! network with distance edge costs the situation *reverses* — Manhattan
+//! distance overestimates (it assumes axis-aligned travel that the
+//! geometry never requires), while Euclidean stays admissible. The
+//! `radial` experiment in `atis-bench` measures that reversal.
+//!
+//! Construction: a centre node, `rings` concentric circles of `spokes`
+//! nodes each; ring segments connect angular neighbours, spoke segments
+//! connect radial neighbours (the innermost ring connects to the centre).
+//! Every edge is two-way with cost equal to the straight-line distance,
+//! optionally jittered upward by a seeded factor (congestion never makes
+//! a road *shorter* than geometry allows, so admissibility of Euclidean
+//! is preserved by construction).
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder};
+use crate::node::{NodeId, Point};
+use crate::rng::SplitMix64;
+
+/// Named query pairs for the radial benchmark.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RadialQuery {
+    /// Diametrically opposite nodes on the outer ring (the radial
+    /// analogue of the grid's diagonal pair).
+    Across,
+    /// Outer ring to the city centre.
+    Inward,
+    /// A quarter-circle apart on the outer ring — the case where ring
+    /// travel beats cutting through the centre.
+    Tangential,
+    /// Three-eighths of a turn apart on the outer ring — the ambiguous
+    /// zone where ring travel and centre-cutting compete, which is where
+    /// the inadmissible Manhattan estimator returns suboptimal routes.
+    Offset,
+}
+
+impl RadialQuery {
+    /// Table label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RadialQuery::Across => "Across",
+            RadialQuery::Inward => "Inward",
+            RadialQuery::Tangential => "Tangential",
+            RadialQuery::Offset => "Offset",
+        }
+    }
+
+    /// All four queries.
+    pub const ALL: [RadialQuery; 4] = [
+        RadialQuery::Across,
+        RadialQuery::Inward,
+        RadialQuery::Tangential,
+        RadialQuery::Offset,
+    ];
+}
+
+/// A ring-and-spoke city network.
+///
+/// ```
+/// use atis_graph::{RadialCity, RadialQuery};
+///
+/// let city = RadialCity::new(5, 12, 0.0, 0).unwrap();
+/// assert_eq!(city.graph().node_count(), 61); // 5 rings x 12 spokes + centre
+/// let (s, d) = city.query_pair(RadialQuery::Across);
+/// assert_ne!(s, d);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RadialCity {
+    graph: Graph,
+    rings: usize,
+    spokes: usize,
+}
+
+impl RadialCity {
+    /// Builds a city of `rings` concentric rings with `spokes` nodes per
+    /// ring (ring radius `r` is `r` distance units). `jitter` in `[0, 1)`
+    /// scales seeded multiplicative cost noise (`cost ∈ [geometric,
+    /// geometric · (1 + jitter)]`).
+    ///
+    /// # Errors
+    /// Requires at least one ring and three spokes.
+    pub fn new(rings: usize, spokes: usize, jitter: f64, seed: u64) -> Result<Self, GraphError> {
+        if rings < 1 || spokes < 3 {
+            return Err(GraphError::DegenerateGrid(rings.min(spokes)));
+        }
+        let mut rng = SplitMix64::new(seed);
+        let mut b = GraphBuilder::with_capacity(rings * spokes + 1, 4 * rings * spokes);
+        let centre = b.add_node(Point::new(0.0, 0.0));
+        // Node on ring r (1-based), spoke k: id = 1 + (r-1)*spokes + k.
+        for r in 1..=rings {
+            for k in 0..spokes {
+                let theta = 2.0 * std::f64::consts::PI * k as f64 / spokes as f64;
+                b.add_node(Point::new(r as f64 * theta.cos(), r as f64 * theta.sin()));
+            }
+        }
+        let id = |r: usize, k: usize| NodeId((1 + (r - 1) * spokes + k % spokes) as u32);
+        let mut cost = |geometric: f64| geometric * (1.0 + jitter * rng.next_f64());
+
+        for r in 1..=rings {
+            for k in 0..spokes {
+                // Ring segment to the next spoke: chord length.
+                let a = 2.0 * std::f64::consts::PI / spokes as f64;
+                let chord = 2.0 * r as f64 * (a / 2.0).sin();
+                b.add_undirected(id(r, k), id(r, k + 1), cost(chord));
+                // Spoke segment inward.
+                if r == 1 {
+                    b.add_undirected(id(1, k), centre, cost(1.0));
+                } else {
+                    b.add_undirected(id(r, k), id(r - 1, k), cost(1.0));
+                }
+            }
+        }
+        Ok(RadialCity { graph: b.build()?, rings, spokes })
+    }
+
+    /// The road network.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Number of rings.
+    pub fn rings(&self) -> usize {
+        self.rings
+    }
+
+    /// Nodes per ring.
+    pub fn spokes(&self) -> usize {
+        self.spokes
+    }
+
+    /// The city-centre node.
+    pub fn centre(&self) -> NodeId {
+        NodeId(0)
+    }
+
+    /// Node on ring `r` (1-based), spoke `k` (wrapping).
+    ///
+    /// # Panics
+    /// Panics if `r` is outside `1..=rings`.
+    pub fn node_at(&self, r: usize, k: usize) -> NodeId {
+        assert!((1..=self.rings).contains(&r), "ring {r} outside 1..={}", self.rings);
+        NodeId((1 + (r - 1) * self.spokes + k % self.spokes) as u32)
+    }
+
+    /// `(source, destination)` for a named query.
+    pub fn query_pair(&self, q: RadialQuery) -> (NodeId, NodeId) {
+        let outer = self.rings;
+        match q {
+            RadialQuery::Across => (self.node_at(outer, 0), self.node_at(outer, self.spokes / 2)),
+            RadialQuery::Inward => (self.node_at(outer, 0), self.centre()),
+            RadialQuery::Tangential => {
+                (self.node_at(outer, 0), self.node_at(outer, self.spokes / 4))
+            }
+            RadialQuery::Offset => {
+                (self.node_at(outer, 0), self.node_at(outer, 3 * self.spokes / 8))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn city() -> RadialCity {
+        RadialCity::new(5, 12, 0.0, 0).unwrap()
+    }
+
+    #[test]
+    fn node_and_edge_counts() {
+        let c = city();
+        assert_eq!(c.graph().node_count(), 5 * 12 + 1);
+        // Per ring-node: one ring segment + one spoke segment = 2
+        // undirected = 4 directed; total 4 * rings * spokes.
+        assert_eq!(c.graph().edge_count(), 4 * 5 * 12);
+    }
+
+    #[test]
+    fn geometry_is_circular() {
+        let c = city();
+        let p = c.graph().point(c.node_at(3, 0));
+        assert!((p.x - 3.0).abs() < 1e-9 && p.y.abs() < 1e-9);
+        let q = c.graph().point(c.node_at(3, 6)); // half turn
+        assert!((q.x + 3.0).abs() < 1e-9 && q.y.abs() < 1e-9);
+        // All ring-3 nodes are 3 units from the centre.
+        for k in 0..12 {
+            let p = c.graph().point(c.node_at(3, k));
+            assert!((p.euclidean(&Point::new(0.0, 0.0)) - 3.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn costs_are_geometric_without_jitter() {
+        let c = city();
+        // Spoke edges cost exactly 1.
+        let spoke = c.graph().edge_cost(c.node_at(2, 0), c.node_at(1, 0)).unwrap();
+        assert!((spoke - 1.0).abs() < 1e-9);
+        // Ring edges cost the chord length.
+        let a = 2.0 * std::f64::consts::PI / 12.0;
+        let chord3 = 2.0 * 3.0 * (a / 2.0).sin();
+        let ring = c.graph().edge_cost(c.node_at(3, 0), c.node_at(3, 1)).unwrap();
+        assert!((ring - chord3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_only_increases_costs() {
+        let plain = RadialCity::new(4, 10, 0.0, 7).unwrap();
+        let noisy = RadialCity::new(4, 10, 0.3, 7).unwrap();
+        for (a, b) in plain.graph().edges().zip(noisy.graph().edges()) {
+            assert!(b.cost >= a.cost - 1e-12, "jitter must not shorten roads");
+            assert!(b.cost <= a.cost * 1.3 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn query_pairs_have_the_right_geometry() {
+        let c = city();
+        let (s, d) = c.query_pair(RadialQuery::Across);
+        let (ps, pd) = (c.graph().point(s), c.graph().point(d));
+        assert!((ps.euclidean(&pd) - 10.0).abs() < 1e-9, "diametrically opposite");
+        let (s, d) = c.query_pair(RadialQuery::Inward);
+        assert_eq!(d, c.centre());
+        let _ = s;
+    }
+
+    #[test]
+    fn degenerate_cities_are_rejected() {
+        assert!(RadialCity::new(0, 12, 0.0, 0).is_err());
+        assert!(RadialCity::new(3, 2, 0.0, 0).is_err());
+    }
+
+    #[test]
+    fn wrapping_spoke_index() {
+        let c = city();
+        assert_eq!(c.node_at(2, 12), c.node_at(2, 0));
+    }
+}

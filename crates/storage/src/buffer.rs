@@ -1,0 +1,180 @@
+//! An optional LRU buffer pool — an *extension* of the paper's model.
+//!
+//! The paper's cost formulas (Tables 2–3) price every scan at full block
+//! cost: INGRES in single-user mode with a cold cache, re-reading `R` on
+//! every frontier selection. A modern engine keeps hot blocks resident.
+//! [`BufferPool`] lets the experiments quantify how much of the paper's
+//! cost landscape is an artifact of that assumption: with a pool that
+//! holds `R`'s four blocks, the per-iteration scans of Dijkstra/A\*
+//! become nearly free and the algorithm ranking compresses (see the
+//! `buffer_pool` ablation).
+//!
+//! The pool is deliberately simple: block-granular, strict LRU,
+//! write-through (writes and tuple updates are always charged; only
+//! repeated *reads* are absorbed). It is disabled by default everywhere —
+//! the paper-faithful configuration.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static NEXT_FILE_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocates a process-unique file id for a heap file that joins a pool.
+pub fn next_file_id() -> u64 {
+    NEXT_FILE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// A block-granular LRU buffer pool with hit/miss accounting.
+#[derive(Debug)]
+pub struct BufferPool {
+    capacity: usize,
+    /// (file, block) → last-use tick.
+    resident: HashMap<(u64, usize), u64>,
+    tick: u64,
+    /// Reads absorbed by the pool.
+    pub hits: u64,
+    /// Reads that went to disk.
+    pub misses: u64,
+}
+
+/// A pool shared by several heap files (one `Database`'s relations).
+/// `Arc<Mutex<…>>` so a `Database` stays `Send + Sync` (e.g. behind a
+/// route server); contention is nil in the single-threaded engine.
+pub type SharedBuffer = Arc<Mutex<BufferPool>>;
+
+impl BufferPool {
+    /// A pool holding up to `capacity` blocks.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> BufferPool {
+        assert!(capacity > 0, "a zero-block pool is the no-pool configuration");
+        BufferPool { capacity, resident: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+    }
+
+    /// Shared handle constructor.
+    pub fn shared(capacity: usize) -> SharedBuffer {
+        Arc::new(Mutex::new(BufferPool::new(capacity)))
+    }
+
+    /// Records an access to `(file, block)`. Returns `true` when the block
+    /// was already resident (the read is free), `false` on a miss (charge
+    /// it). Either way the block is resident afterwards, evicting the
+    /// least-recently-used block if the pool is full.
+    pub fn access(&mut self, file: u64, block: usize) -> bool {
+        self.tick += 1;
+        let key = (file, block);
+        let hit = self.resident.contains_key(&key);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+            if self.resident.len() >= self.capacity {
+                if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
+                    self.resident.remove(&victim);
+                }
+            }
+        }
+        self.resident.insert(key, self.tick);
+        hit
+    }
+
+    /// Installs a block after a write (write-allocate) without counting a
+    /// hit or miss, evicting if necessary.
+    pub fn install(&mut self, file: u64, block: usize) {
+        self.tick += 1;
+        let key = (file, block);
+        if !self.resident.contains_key(&key) && self.resident.len() >= self.capacity {
+            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
+                self.resident.remove(&victim);
+            }
+        }
+        self.resident.insert(key, self.tick);
+    }
+
+    /// Drops every block of a file (relation cleared or dropped).
+    pub fn invalidate_file(&mut self, file: u64) {
+        self.resident.retain(|&(f, _), _| f != file);
+    }
+
+    /// Blocks currently resident.
+    pub fn resident_blocks(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Hit rate over all accesses so far (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut p = BufferPool::new(4);
+        assert!(!p.access(1, 0));
+        assert!(p.access(1, 0));
+        assert_eq!((p.hits, p.misses), (1, 1));
+        assert!((p.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_block() {
+        let mut p = BufferPool::new(2);
+        p.access(1, 0);
+        p.access(1, 1);
+        p.access(1, 0); // refresh block 0
+        p.access(1, 2); // evicts block 1 (coldest)
+        assert!(p.access(1, 0), "block 0 stayed resident");
+        assert!(!p.access(1, 1), "block 1 was evicted");
+    }
+
+    #[test]
+    fn files_are_disjoint() {
+        let mut p = BufferPool::new(4);
+        p.access(1, 0);
+        assert!(!p.access(2, 0), "same block number, different file");
+        assert!(p.access(1, 0));
+    }
+
+    #[test]
+    fn invalidation_clears_a_file_only() {
+        let mut p = BufferPool::new(8);
+        p.access(1, 0);
+        p.access(2, 0);
+        p.invalidate_file(1);
+        assert!(!p.access(1, 0));
+        assert!(p.access(2, 0));
+    }
+
+    #[test]
+    fn capacity_bounds_residency() {
+        let mut p = BufferPool::new(3);
+        for b in 0..10 {
+            p.access(1, b);
+        }
+        assert_eq!(p.resident_blocks(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-block")]
+    fn zero_capacity_panics() {
+        let _ = BufferPool::new(0);
+    }
+
+    #[test]
+    fn file_ids_are_unique() {
+        let a = next_file_id();
+        let b = next_file_id();
+        assert_ne!(a, b);
+    }
+}

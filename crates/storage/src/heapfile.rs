@@ -1,0 +1,425 @@
+//! Paged heap files of fixed-width tuples with block-level I/O charging.
+//!
+//! A [`HeapFile`] is the physical body of a relation: a vector of 4096-byte
+//! blocks, each holding `BLOCK_SIZE / T::SIZE` tuple slots. Operations
+//! charge the borrowed [`IoStats`]:
+//!
+//! * `scan`-style visits charge one **block read** per block entered;
+//! * `read_slot` charges one block read;
+//! * `update_slot` charges one **tuple update** (the in-place
+//!   read-modify-write the paper prices at `t_update = t_read + t_write`);
+//! * `append` stages tuples into the tail block and [`HeapFile::flush`]
+//!   charges one **block write** per dirty block — so a bulk load of `|R|`
+//!   tuples costs exactly `B_r` writes, matching cost step `C2` of
+//!   Tables 2–3.
+
+use crate::block::{Block, BLOCK_SIZE};
+use crate::buffer::{next_file_id, SharedBuffer};
+use crate::error::StorageError;
+use crate::io::IoStats;
+use crate::tuple::FixedTuple;
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+
+/// A paged heap file of fixed-width tuples.
+#[derive(Debug, Clone)]
+pub struct HeapFile<T: FixedTuple> {
+    blocks: Vec<Block>,
+    len: usize,
+    dirty: BTreeSet<usize>,
+    /// Optional buffer pool (an extension; `None` is the paper-faithful
+    /// cold-cache configuration). See [`crate::buffer`].
+    buffer: Option<(SharedBuffer, u64)>,
+    _tuple: PhantomData<T>,
+}
+
+impl<T: FixedTuple> HeapFile<T> {
+    /// Tuples per block for this tuple type.
+    pub const TUPLES_PER_BLOCK: usize = BLOCK_SIZE / T::SIZE;
+
+    /// Creates an empty heap file. Charges the relation-creation cost `I`.
+    pub fn create(io: &mut IoStats) -> Self {
+        io.create_relation();
+        HeapFile {
+            blocks: Vec::new(),
+            len: 0,
+            dirty: BTreeSet::new(),
+            buffer: None,
+            _tuple: PhantomData,
+        }
+    }
+
+    /// Attaches a shared buffer pool: subsequent block *reads* that hit
+    /// the pool are not charged. Writes stay write-through.
+    pub fn attach_buffer(&mut self, pool: &SharedBuffer) {
+        self.buffer = Some((pool.clone(), next_file_id()));
+    }
+
+    /// Charges a read of `block` unless the buffer pool absorbs it.
+    #[inline]
+    pub(crate) fn charge_read(&self, block: usize, io: &mut IoStats) {
+        match &self.buffer {
+            Some((pool, file)) => {
+                if !pool.lock().expect("buffer pool lock").access(*file, block) {
+                    io.read_blocks(1);
+                }
+            }
+            None => io.read_blocks(1),
+        }
+    }
+
+    /// Charges a full-scan's worth of block reads (buffer-aware) without
+    /// decoding any tuples — used by join strategies whose formulas price
+    /// repeated passes over this file.
+    pub(crate) fn charge_scan(&self, io: &mut IoStats) {
+        for b in 0..self.blocks.len() {
+            self.charge_read(b, io);
+        }
+    }
+
+    /// Marks `block` resident after a write (write-allocate) without
+    /// touching the hit/miss statistics.
+    #[inline]
+    fn install_block(&self, block: usize) {
+        if let Some((pool, file)) = &self.buffer {
+            pool.lock().expect("buffer pool lock").install(*file, block);
+        }
+    }
+
+    /// Number of tuples.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the file holds no tuples.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of blocks — the `B_x` of the cost model.
+    #[inline]
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    #[inline]
+    fn locate(slot: usize) -> (usize, usize) {
+        (slot / Self::TUPLES_PER_BLOCK, (slot % Self::TUPLES_PER_BLOCK) * T::SIZE)
+    }
+
+    /// Appends a tuple, staging the tail block as dirty. The block write is
+    /// charged by [`HeapFile::flush`]; call it after a batch (a single
+    /// QUEL `APPEND` is a one-tuple batch).
+    pub fn append(&mut self, tuple: &T) -> usize {
+        let slot = self.len;
+        let (b, off) = Self::locate(slot);
+        if b == self.blocks.len() {
+            self.blocks.push(Block::new());
+        }
+        tuple.encode(self.blocks[b].bytes_mut(off, T::SIZE));
+        self.dirty.insert(b);
+        self.len += 1;
+        slot
+    }
+
+    /// Writes out all dirty blocks, charging one block write each.
+    pub fn flush(&mut self, io: &mut IoStats) {
+        io.write_blocks(self.dirty.len() as u64);
+        for &b in &self.dirty {
+            self.install_block(b);
+        }
+        self.dirty.clear();
+    }
+
+    /// Reads one tuple, charging one block read.
+    ///
+    /// # Errors
+    /// Fails if `slot` is out of range.
+    pub fn read_slot(&self, slot: usize, io: &mut IoStats) -> Result<T, StorageError> {
+        if slot >= self.len {
+            return Err(StorageError::SlotOutOfRange { slot, len: self.len });
+        }
+        let (b, off) = Self::locate(slot);
+        self.charge_read(b, io);
+        Ok(T::decode(self.blocks[b].bytes(off, T::SIZE)))
+    }
+
+    /// Reads one tuple *without* charging I/O — for callers that already
+    /// paid for the containing block (e.g. a scan that re-visits a slot it
+    /// just passed) or for assertions in tests.
+    pub fn peek_slot(&self, slot: usize) -> Result<T, StorageError> {
+        if slot >= self.len {
+            return Err(StorageError::SlotOutOfRange { slot, len: self.len });
+        }
+        let (b, off) = Self::locate(slot);
+        Ok(T::decode(self.blocks[b].bytes(off, T::SIZE)))
+    }
+
+    /// Updates one tuple in place, charging one tuple update.
+    ///
+    /// # Errors
+    /// Fails if `slot` is out of range.
+    pub fn update_slot(
+        &mut self,
+        slot: usize,
+        io: &mut IoStats,
+        f: impl FnOnce(&mut T),
+    ) -> Result<(), StorageError> {
+        if slot >= self.len {
+            return Err(StorageError::SlotOutOfRange { slot, len: self.len });
+        }
+        io.update_tuples(1);
+        let (b, off) = Self::locate(slot);
+        self.install_block(b);
+        let mut t = T::decode(self.blocks[b].bytes(off, T::SIZE));
+        f(&mut t);
+        t.encode(self.blocks[b].bytes_mut(off, T::SIZE));
+        Ok(())
+    }
+
+    /// Full scan: visits every tuple in slot order, charging one block read
+    /// per block. The visitor receives `(slot, tuple)`.
+    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(usize, T)) {
+        for b in 0..self.blocks.len() {
+            self.charge_read(b, io);
+        }
+        for slot in 0..self.len {
+            let (b, off) = Self::locate(slot);
+            visit(slot, T::decode(self.blocks[b].bytes(off, T::SIZE)));
+        }
+    }
+
+    /// Scans a contiguous slot range `[start, end)`, charging reads only
+    /// for the blocks the range touches. Used for clustered lookups
+    /// (adjacency lists in the hash-clustered edge relation).
+    pub fn scan_range(
+        &self,
+        start: usize,
+        end: usize,
+        io: &mut IoStats,
+        mut visit: impl FnMut(usize, T),
+    ) {
+        let end = end.min(self.len);
+        if start >= end {
+            return;
+        }
+        let first_block = start / Self::TUPLES_PER_BLOCK;
+        let last_block = (end - 1) / Self::TUPLES_PER_BLOCK;
+        for b in first_block..=last_block {
+            self.charge_read(b, io);
+        }
+        for slot in start..end {
+            let (b, off) = Self::locate(slot);
+            visit(slot, T::decode(self.blocks[b].bytes(off, T::SIZE)));
+        }
+    }
+
+    /// Set-oriented rewrite pass — the QUEL `REPLACE ... WHERE` used by the
+    /// iterative algorithm's step 7. Visits every tuple and lets the
+    /// visitor modify it (returning `true` if it did). Charging follows the
+    /// paper's pricing of such a pass at `B_r * t_update`: each block the
+    /// pass dirties costs one tuple update (its read + write), and each
+    /// clean block costs one block read.
+    pub fn rewrite(&mut self, io: &mut IoStats, mut visit: impl FnMut(usize, &mut T) -> bool) {
+        let mut dirty_blocks = 0u64;
+        let mut block_dirty = false;
+        for slot in 0..self.len {
+            let (b, off) = Self::locate(slot);
+            if off == 0 {
+                if block_dirty {
+                    dirty_blocks += 1;
+                }
+                block_dirty = false;
+            }
+            let mut t = T::decode(self.blocks[b].bytes(off, T::SIZE));
+            if visit(slot, &mut t) {
+                t.encode(self.blocks[b].bytes_mut(off, T::SIZE));
+                block_dirty = true;
+            }
+        }
+        if block_dirty {
+            dirty_blocks += 1;
+        }
+        let clean_blocks = self.blocks.len() as u64 - dirty_blocks;
+        io.read_blocks(clean_blocks);
+        io.update_tuples(dirty_blocks);
+    }
+
+    // Rewrite is intentionally not buffer-aware: a set-oriented REPLACE
+    // streams every block through the engine, and the paper prices it as
+    // such; the pool only absorbs point reads and scans.
+
+    /// Clears all tuples, charging the relation-deletion cost `D_t`.
+    pub fn clear(&mut self, io: &mut IoStats) {
+        io.delete_relation();
+        if let Some((pool, file)) = &self.buffer {
+            pool.lock().expect("buffer pool lock").invalidate_file(*file);
+        }
+        self.blocks.clear();
+        self.dirty.clear();
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::EdgeTuple;
+
+    fn edge(b: u16, e: u16, c: f64) -> EdgeTuple {
+        EdgeTuple { begin: b, end: e, cost: c, class: 0, occupancy: 0.0, end_x: 0.0, end_y: 0.0 }
+    }
+
+    #[test]
+    fn create_charges_relation_creation() {
+        let mut io = IoStats::new();
+        let _f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        assert_eq!(io.relations_created, 1);
+    }
+
+    #[test]
+    fn append_flush_charges_block_writes() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        // 300 edge tuples at 128/block -> 3 blocks.
+        for i in 0..300 {
+            f.append(&edge(i, i + 1, 1.0));
+        }
+        let before = io;
+        f.flush(&mut io);
+        assert_eq!(io.since(&before).block_writes, 3);
+        assert_eq!(f.block_count(), 3);
+        assert_eq!(f.len(), 300);
+    }
+
+    #[test]
+    fn flush_is_idempotent() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.append(&edge(0, 1, 1.0));
+        f.flush(&mut io);
+        let before = io;
+        f.flush(&mut io);
+        assert_eq!(io.since(&before).block_writes, 0);
+    }
+
+    #[test]
+    fn read_slot_roundtrips_and_charges() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.append(&edge(7, 8, 2.5));
+        f.flush(&mut io);
+        let before = io;
+        let t = f.read_slot(0, &mut io).unwrap();
+        assert_eq!(t, edge(7, 8, 2.5));
+        assert_eq!(io.since(&before).block_reads, 1);
+    }
+
+    #[test]
+    fn read_out_of_range_fails() {
+        let mut io = IoStats::new();
+        let f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        assert!(matches!(f.read_slot(0, &mut io), Err(StorageError::SlotOutOfRange { .. })));
+    }
+
+    #[test]
+    fn update_slot_charges_tuple_update() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.append(&edge(1, 2, 1.0));
+        f.flush(&mut io);
+        let before = io;
+        f.update_slot(0, &mut io, |t| t.cost = 9.0).unwrap();
+        assert_eq!(io.since(&before).tuple_updates, 1);
+        assert_eq!(f.peek_slot(0).unwrap().cost, 9.0);
+    }
+
+    #[test]
+    fn scan_charges_one_read_per_block() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        for i in 0..200 {
+            f.append(&edge(i, i, 0.0));
+        }
+        f.flush(&mut io);
+        let before = io;
+        let mut seen = 0;
+        f.scan(&mut io, |_, _| seen += 1);
+        assert_eq!(seen, 200);
+        assert_eq!(io.since(&before).block_reads, 2); // 200/128 -> 2 blocks
+    }
+
+    #[test]
+    fn scan_range_charges_touched_blocks_only() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        for i in 0..512 {
+            f.append(&edge(i, i, 0.0));
+        }
+        f.flush(&mut io);
+        let before = io;
+        let mut seen = vec![];
+        f.scan_range(100, 104, &mut io, |s, _| seen.push(s));
+        assert_eq!(seen, vec![100, 101, 102, 103]);
+        assert_eq!(io.since(&before).block_reads, 1);
+        // A range spanning a block boundary charges 2 reads.
+        let before = io;
+        f.scan_range(126, 130, &mut io, |_, _| {});
+        assert_eq!(io.since(&before).block_reads, 2);
+    }
+
+    #[test]
+    fn scan_range_is_clamped() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.append(&edge(0, 0, 0.0));
+        f.flush(&mut io);
+        let mut seen = 0;
+        f.scan_range(0, 100, &mut io, |_, _| seen += 1);
+        assert_eq!(seen, 1);
+        // Empty range charges nothing.
+        let before = io;
+        f.scan_range(5, 5, &mut io, |_, _| unreachable!());
+        assert_eq!(io.since(&before).block_reads, 0);
+    }
+
+    #[test]
+    fn rewrite_charges_updates_for_dirty_blocks() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        for i in 0..256 {
+            f.append(&edge(i, i, 1.0));
+        }
+        f.flush(&mut io); // 2 blocks
+        let before = io;
+        // Touch only tuples in the first block.
+        f.rewrite(&mut io, |s, t| {
+            if s < 10 {
+                t.cost = 2.0;
+                true
+            } else {
+                false
+            }
+        });
+        let d = io.since(&before);
+        // One dirty block (one t_update = its read+write), one clean block
+        // (one read).
+        assert_eq!(d.block_reads, 1);
+        assert_eq!(d.tuple_updates, 1);
+        assert_eq!(f.peek_slot(5).unwrap().cost, 2.0);
+        assert_eq!(f.peek_slot(200).unwrap().cost, 1.0);
+    }
+
+    #[test]
+    fn clear_charges_deletion() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.append(&edge(0, 1, 1.0));
+        f.clear(&mut io);
+        assert_eq!(io.relations_deleted, 1);
+        assert!(f.is_empty());
+        assert_eq!(f.block_count(), 0);
+    }
+}

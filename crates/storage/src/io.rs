@@ -1,0 +1,255 @@
+//! I/O metering and the Table 4A unit-cost parameters.
+//!
+//! Every storage operation charges its block touches to an [`IoStats`]
+//! borrowed from the caller. [`CostParams`] converts the counters into the
+//! paper's abstract cost units (`t_read = 0.035`, `t_write = 0.05`,
+//! `t_update = 0.085`, …), which is the "execution time" reported by the
+//! experiments (Figures 5–12) and estimated by Table 4B.
+
+use std::ops::{Add, AddAssign};
+
+/// The parameter values of Table 4A.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostParams {
+    /// `t_read` — time to read one block from disk (0.035 units).
+    pub t_read: f64,
+    /// `t_write` — time to write one block to disk (0.05 units).
+    pub t_write: f64,
+    /// `t_update` — time to update one tuple, `t_read + t_write`
+    /// (0.085 units).
+    pub t_update: f64,
+    /// `I` — I/O cost of creating a temporary relation (0.5 units).
+    pub t_create: f64,
+    /// `D_t` — cost of deleting all tuples in a relation (0.5 units).
+    pub t_delete: f64,
+    /// `I_l` — number of ISAM index levels (3).
+    pub isam_levels: u64,
+}
+
+impl Default for CostParams {
+    /// The exact Table 4A values.
+    fn default() -> Self {
+        CostParams {
+            t_read: 0.035,
+            t_write: 0.05,
+            t_update: 0.085,
+            t_create: 0.5,
+            t_delete: 0.5,
+            isam_levels: 3,
+        }
+    }
+}
+
+impl CostParams {
+    /// The canonical Table 4A parameter set.
+    pub const fn table_4a() -> Self {
+        CostParams {
+            t_read: 0.035,
+            t_write: 0.05,
+            t_update: 0.085,
+            t_create: 0.5,
+            t_delete: 0.5,
+            isam_levels: 3,
+        }
+    }
+}
+
+/// Counters of physical storage work.
+///
+/// *Block reads/writes* are whole-page transfers; a *tuple update* is the
+/// in-place read-modify-write of one tuple's block (`t_update = t_read +
+/// t_write`, Table 4A). Relation creation/deletion are the `I` and `D_t`
+/// fixed costs. Index-maintenance work (splitting/adjusting the index on
+/// APPEND/DELETE, Section 5.3.1) is charged as tuple updates by the index
+/// code and also tracked separately in `index_adjustments` for ablations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Whole blocks read.
+    pub block_reads: u64,
+    /// Whole blocks written.
+    pub block_writes: u64,
+    /// In-place tuple updates (read + write of the tuple's block).
+    pub tuple_updates: u64,
+    /// Temporary relations created (`I` each).
+    pub relations_created: u64,
+    /// Relations dropped / cleared (`D_t` each).
+    pub relations_deleted: u64,
+    /// Subset of `tuple_updates` spent maintaining indexes.
+    pub index_adjustments: u64,
+}
+
+impl IoStats {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        IoStats::default()
+    }
+
+    /// Charges `n` block reads.
+    #[inline]
+    pub fn read_blocks(&mut self, n: u64) {
+        self.block_reads += n;
+    }
+
+    /// Charges `n` block writes.
+    #[inline]
+    pub fn write_blocks(&mut self, n: u64) {
+        self.block_writes += n;
+    }
+
+    /// Charges `n` tuple updates.
+    #[inline]
+    pub fn update_tuples(&mut self, n: u64) {
+        self.tuple_updates += n;
+    }
+
+    /// Charges `n` index-maintenance tuple updates.
+    #[inline]
+    pub fn adjust_index(&mut self, n: u64) {
+        self.tuple_updates += n;
+        self.index_adjustments += n;
+    }
+
+    /// Charges one relation creation.
+    #[inline]
+    pub fn create_relation(&mut self) {
+        self.relations_created += 1;
+    }
+
+    /// Charges one relation deletion.
+    #[inline]
+    pub fn delete_relation(&mut self) {
+        self.relations_deleted += 1;
+    }
+
+    /// Converts the counters to cost units under `params` — the paper's
+    /// "execution time".
+    pub fn cost(&self, params: &CostParams) -> f64 {
+        self.block_reads as f64 * params.t_read
+            + self.block_writes as f64 * params.t_write
+            + self.tuple_updates as f64 * params.t_update
+            + self.relations_created as f64 * params.t_create
+            + self.relations_deleted as f64 * params.t_delete
+    }
+
+    /// The difference `self - earlier`, for metering a span of operations.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `earlier` is not a prefix of `self`.
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        debug_assert!(self.block_reads >= earlier.block_reads);
+        IoStats {
+            block_reads: self.block_reads - earlier.block_reads,
+            block_writes: self.block_writes - earlier.block_writes,
+            tuple_updates: self.tuple_updates - earlier.tuple_updates,
+            relations_created: self.relations_created - earlier.relations_created,
+            relations_deleted: self.relations_deleted - earlier.relations_deleted,
+            index_adjustments: self.index_adjustments - earlier.index_adjustments,
+        }
+    }
+}
+
+impl std::fmt::Display for IoStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} reads, {} writes, {} updates ({} index), {} created, {} dropped",
+            self.block_reads,
+            self.block_writes,
+            self.tuple_updates,
+            self.index_adjustments,
+            self.relations_created,
+            self.relations_deleted
+        )
+    }
+}
+
+impl Add for IoStats {
+    type Output = IoStats;
+    fn add(self, rhs: IoStats) -> IoStats {
+        IoStats {
+            block_reads: self.block_reads + rhs.block_reads,
+            block_writes: self.block_writes + rhs.block_writes,
+            tuple_updates: self.tuple_updates + rhs.tuple_updates,
+            relations_created: self.relations_created + rhs.relations_created,
+            relations_deleted: self.relations_deleted + rhs.relations_deleted,
+            index_adjustments: self.index_adjustments + rhs.index_adjustments,
+        }
+    }
+}
+
+impl AddAssign for IoStats {
+    fn add_assign(&mut self, rhs: IoStats) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_4a_defaults() {
+        let p = CostParams::default();
+        assert_eq!(p.t_read, 0.035);
+        assert_eq!(p.t_write, 0.05);
+        assert_eq!(p.t_update, 0.085);
+        assert_eq!(p.isam_levels, 3);
+        // t_update = t_read + t_write (Table 4A definition).
+        assert!((p.t_update - (p.t_read + p.t_write)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cost_is_linear_in_counters() {
+        let mut io = IoStats::new();
+        io.read_blocks(10);
+        io.write_blocks(4);
+        io.update_tuples(2);
+        io.create_relation();
+        let p = CostParams::default();
+        let expect = 10.0 * 0.035 + 4.0 * 0.05 + 2.0 * 0.085 + 0.5;
+        assert!((io.cost(&p) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let mut io = IoStats::new();
+        io.read_blocks(5);
+        let mark = io;
+        io.read_blocks(3);
+        io.update_tuples(1);
+        let d = io.since(&mark);
+        assert_eq!(d.block_reads, 3);
+        assert_eq!(d.tuple_updates, 1);
+    }
+
+    #[test]
+    fn add_accumulates() {
+        let mut a = IoStats::new();
+        a.read_blocks(1);
+        let mut b = IoStats::new();
+        b.write_blocks(2);
+        let c = a + b;
+        assert_eq!(c.block_reads, 1);
+        assert_eq!(c.block_writes, 2);
+    }
+
+    #[test]
+    fn display_summarises_counters() {
+        let mut io = IoStats::new();
+        io.read_blocks(3);
+        io.write_blocks(1);
+        io.adjust_index(2);
+        let text = io.to_string();
+        assert!(text.contains("3 reads"));
+        assert!(text.contains("1 writes"));
+        assert!(text.contains("2 updates (2 index)"));
+    }
+
+    #[test]
+    fn index_adjustments_count_as_updates() {
+        let mut io = IoStats::new();
+        io.adjust_index(3);
+        assert_eq!(io.tuple_updates, 3);
+        assert_eq!(io.index_adjustments, 3);
+    }
+}

@@ -1,0 +1,61 @@
+//! A from-scratch paged relational storage engine reproducing the database
+//! substrate of the ICDE'93 ATIS paper (Section 4).
+//!
+//! The paper runs its path algorithms *inside* INGRES: the graph is a pair
+//! of relations — a read-only **edge relation `S`** (Begin-node, End-node,
+//! Edge-cost; primary hash index on Begin-node) and a working **node
+//! relation `R`** (node-id, x, y, status, path, path-cost; primary ISAM
+//! index on node-id) — and every step of every algorithm is a relational
+//! operation whose cost is *disk I/O measured in 4096-byte blocks*.
+//!
+//! This crate rebuilds that substrate:
+//!
+//! * [`block`] — 4096-byte pages.
+//! * [`mod@tuple`] — fixed-width tuple codecs: 32-byte edge tuples
+//!   (`Bf_s = 128` per block) and 16-byte node tuples (`Bf_r = 256`),
+//!   exactly the blocking factors of Table 4A.
+//! * [`heapfile`] — paged heap files with per-block read/write charging and
+//!   dirty-page flushing.
+//! * [`io`] — the I/O meter ([`IoStats`]) and the unit-cost table
+//!   ([`CostParams`], Table 4A) that converts counts to the paper's cost
+//!   units.
+//! * [`isam`] — the static multi-level ISAM index on `R.node-id`.
+//! * [`relations`] — [`EdgeRelation`] (hash-clustered `S`) and
+//!   [`NodeRelation`] (ISAM-indexed `R`) with QUEL-flavoured operations
+//!   (`REPLACE`-style keyed updates, full scans).
+//! * [`join`] — the four join strategies of Section 4 (nested-loop, hash,
+//!   sort-merge, primary-key/index join) and the cost-based chooser
+//!   `F(B1, B2, B3)`.
+//! * [`temp`] — temporary relations with APPEND/DELETE and index-maintenance
+//!   charging, used by the separate-relation frontier of A\* version 1.
+//!
+//! Faithfulness notes: there is deliberately **no buffer pool** — the
+//! paper's cost model (Tables 2–3) charges every scan at full block cost,
+//! which models INGRES single-user mode with a cold cache. All cost
+//! accounting flows through an explicit [`IoStats`] borrowed by each
+//! operation, so a caller can meter any sequence of operations.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod block;
+pub mod buffer;
+pub mod error;
+pub mod heapfile;
+pub mod io;
+pub mod isam;
+pub mod join;
+pub mod quel;
+pub mod relations;
+pub mod temp;
+pub mod tuple;
+
+pub use buffer::{BufferPool, SharedBuffer};
+pub use error::StorageError;
+pub use heapfile::HeapFile;
+pub use io::{CostParams, IoStats};
+pub use isam::IsamIndex;
+pub use join::{choose_strategy, join_adjacency, JoinPolicy, JoinStrategy};
+pub use relations::{EdgeRelation, NodeRelation, NodeStatus};
+pub use temp::{MultiRelation, TempRelation};
+pub use tuple::{EdgeTuple, FixedTuple, NodeTuple, NO_PRED};

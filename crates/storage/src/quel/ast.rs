@@ -1,0 +1,174 @@
+//! Abstract syntax of the QUEL subset.
+
+use super::value::{Value, ValueType};
+
+/// A column reference `range_var.column` (or `range_var.ALL` in targets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnRef {
+    /// The range variable.
+    pub range_var: String,
+    /// The column name (lower-cased).
+    pub column: String,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+/// Expressions over one bound row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A literal value.
+    Literal(Value),
+    /// A column of the current row.
+    Column(ColumnRef),
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Logical negation `NOT e`.
+    Not(Box<Expr>),
+    /// Arithmetic negation `-e`.
+    Neg(Box<Expr>),
+    /// `ABS(e)`.
+    Abs(Box<Expr>),
+}
+
+/// A retrieve target.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Target {
+    /// `x.column`.
+    Column(ColumnRef),
+    /// `x.ALL` — every column of the range variable.
+    All(String),
+    /// `MIN(expr)` aggregate over the qualifying rows.
+    Min(Expr),
+    /// `MAX(expr)`.
+    Max(Expr),
+    /// `COUNT(expr)` — number of qualifying rows; the expression supplies
+    /// the range binding (e.g. `COUNT(n.id)`), as in QUEL.
+    Count(Expr),
+    /// `SUM(expr)`.
+    Sum(Expr),
+}
+
+/// One `column = expr` assignment (APPEND / REPLACE).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Assignment {
+    /// Column name.
+    pub column: String,
+    /// Value expression.
+    pub expr: Expr,
+}
+
+/// A QUEL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `EXPLAIN <statement>` — describe the access path without executing
+    /// (an extension; the paper's optimizer-simulation decisions, made
+    /// visible).
+    Explain(Box<Statement>),
+    /// `CREATE name (col = type, ...) [KEY col]`.
+    Create {
+        /// Relation name.
+        name: String,
+        /// Columns in declaration order.
+        columns: Vec<(String, ValueType)>,
+        /// Optional key column (gets an index with maintenance charges).
+        key: Option<String>,
+    },
+    /// `DROP name`.
+    Drop {
+        /// Relation name.
+        name: String,
+    },
+    /// `RANGE OF var IS name`.
+    Range {
+        /// The range variable.
+        var: String,
+        /// The relation it ranges over.
+        relation: String,
+    },
+    /// `APPEND TO name (col = expr, ...)` — expressions must be constant.
+    Append {
+        /// Target relation.
+        relation: String,
+        /// Column assignments.
+        assignments: Vec<Assignment>,
+    },
+    /// `RETRIEVE [UNIQUE] (targets) [WHERE pred] [SORT BY expr [DESC]]`.
+    Retrieve {
+        /// Targets (all plain or all aggregate).
+        targets: Vec<Target>,
+        /// Optional qualification.
+        predicate: Option<Expr>,
+        /// Drop duplicate result rows (QUEL's `RETRIEVE UNIQUE`).
+        unique: bool,
+        /// Optional sort key and direction (`true` = descending).
+        sort: Option<(Expr, bool)>,
+    },
+    /// `RETRIEVE INTO name (col = expr, ...) [WHERE pred]` — materialise
+    /// a query's result as a new relation (QUEL's workspace-relation
+    /// idiom).
+    RetrieveInto {
+        /// Name of the relation to create.
+        name: String,
+        /// Projected columns: name = expression over the range variables.
+        assignments: Vec<Assignment>,
+        /// Optional qualification.
+        predicate: Option<Expr>,
+    },
+    /// `REPLACE var (col = expr, ...) [WHERE pred]`.
+    Replace {
+        /// Range variable of the rows to update.
+        var: String,
+        /// Column assignments (may reference the current row).
+        assignments: Vec<Assignment>,
+        /// Optional qualification.
+        predicate: Option<Expr>,
+    },
+    /// `DELETE var [WHERE pred]`.
+    Delete {
+        /// Range variable of the rows to delete.
+        var: String,
+        /// Optional qualification.
+        predicate: Option<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for binary nodes.
+    pub fn binary(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+}

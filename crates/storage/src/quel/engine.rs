@@ -1,0 +1,1302 @@
+//! Statement execution for the QUEL subset.
+
+use super::ast::{Assignment, BinOp, ColumnRef, Expr, Statement, Target};
+use super::parser::parse;
+use super::relation::{DynRelation, Schema};
+use super::value::Value;
+use super::QuelError;
+use crate::io::IoStats;
+use std::collections::HashMap;
+
+/// The result of executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuelOutput {
+    /// DDL / range statements produce no data.
+    None,
+    /// `RETRIEVE` output: column headers and rows.
+    Rows {
+        /// Column headers.
+        columns: Vec<String>,
+        /// Result rows.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `APPEND` / `REPLACE` / `DELETE`: how many tuples were touched.
+    Affected(usize),
+}
+
+impl QuelOutput {
+    /// The rows of a `Rows` output (empty otherwise).
+    pub fn rows(&self) -> &[Vec<Value>] {
+        match self {
+            QuelOutput::Rows { rows, .. } => rows,
+            _ => &[],
+        }
+    }
+
+    /// The single value of a one-row, one-column result (aggregates).
+    pub fn scalar(&self) -> Option<&Value> {
+        match self {
+            QuelOutput::Rows { rows, .. } if rows.len() == 1 && rows[0].len() == 1 => {
+                Some(&rows[0][0])
+            }
+            _ => None,
+        }
+    }
+}
+
+/// An interpreted QUEL session: named relations, range bindings, and an
+/// I/O meter shared with the rest of the engine.
+///
+/// ```
+/// use atis_storage::quel::{QuelEngine, Value};
+///
+/// let mut quel = QuelEngine::new();
+/// quel.run("CREATE nodes (id = int, cost = float) KEY id").unwrap();
+/// quel.run("RANGE OF n IS nodes").unwrap();
+/// quel.run("APPEND TO nodes (id = 7, cost = 2.5)").unwrap();
+/// let out = quel.run("RETRIEVE (MIN(n.cost))").unwrap();
+/// assert_eq!(out.scalar(), Some(&Value::Float(2.5)));
+/// ```
+#[derive(Debug, Default)]
+pub struct QuelEngine {
+    relations: HashMap<String, DynRelation>,
+    ranges: HashMap<String, String>,
+    /// The session's I/O meter; inspect or reset between statements to
+    /// meter QUEL programs exactly like native runs.
+    pub io: IoStats,
+    index_levels: u64,
+}
+
+impl QuelEngine {
+    /// A fresh session with the Table 4A ISAM depth.
+    pub fn new() -> QuelEngine {
+        QuelEngine { index_levels: 3, ..QuelEngine::default() }
+    }
+
+    /// Parses and executes one statement.
+    ///
+    /// # Errors
+    /// Propagates lexing, parsing, typing and storage errors.
+    pub fn run(&mut self, src: &str) -> Result<QuelOutput, QuelError> {
+        let stmt = parse(src)?;
+        self.execute(&stmt)
+    }
+
+    /// Runs a semicolon-free script: one statement per non-empty,
+    /// non-comment (`--`) line. Returns the last statement's output.
+    ///
+    /// # Errors
+    /// Stops at the first failing statement.
+    pub fn run_script(&mut self, src: &str) -> Result<QuelOutput, QuelError> {
+        let mut last = QuelOutput::None;
+        for line in src.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with("--") {
+                continue;
+            }
+            last = self.run(line)?;
+        }
+        Ok(last)
+    }
+
+    /// Direct access to a relation (tests and host programs).
+    pub fn relation(&self, name: &str) -> Option<&DynRelation> {
+        self.relations.get(name)
+    }
+
+    /// Executes a parsed statement.
+    ///
+    /// # Errors
+    /// Propagates typing and storage errors.
+    pub fn execute(&mut self, stmt: &Statement) -> Result<QuelOutput, QuelError> {
+        match stmt {
+            Statement::Explain(inner) => self.explain(inner),
+            Statement::Create { name, columns, key } => {
+                if self.relations.contains_key(name) {
+                    return Err(QuelError::DuplicateRelation(name.clone()));
+                }
+                let schema = Schema::new(columns.clone())?;
+                let rel = DynRelation::create(schema, key.as_deref(), self.index_levels, &mut self.io)?;
+                self.relations.insert(name.clone(), rel);
+                Ok(QuelOutput::None)
+            }
+            Statement::Drop { name } => {
+                let mut rel = self
+                    .relations
+                    .remove(name)
+                    .ok_or_else(|| QuelError::UnknownRelation(name.clone()))?;
+                rel.clear(&mut self.io);
+                self.ranges.retain(|_, r| r != name);
+                Ok(QuelOutput::None)
+            }
+            Statement::Range { var, relation } => {
+                if !self.relations.contains_key(relation) {
+                    return Err(QuelError::UnknownRelation(relation.clone()));
+                }
+                self.ranges.insert(var.clone(), relation.clone());
+                Ok(QuelOutput::None)
+            }
+            Statement::Append { relation, assignments } => self.exec_append(relation, assignments),
+            Statement::Retrieve { targets, predicate, unique, sort } => {
+                self.exec_retrieve(targets, predicate.as_ref(), *unique, sort.as_ref())
+            }
+            Statement::RetrieveInto { name, assignments, predicate } => {
+                self.exec_retrieve_into(name, assignments, predicate.as_ref())
+            }
+            Statement::Replace { var, assignments, predicate } => {
+                self.exec_replace(var, assignments, predicate.as_ref())
+            }
+            Statement::Delete { var, predicate } => self.exec_delete(var, predicate.as_ref()),
+        }
+    }
+
+    /// Produces a textual access-path plan without executing or charging
+    /// any I/O — the optimizer's decisions, made visible.
+    fn explain(&self, stmt: &Statement) -> Result<QuelOutput, QuelError> {
+        let mut lines: Vec<String> = Vec::new();
+        match stmt {
+            Statement::Explain(inner) => return self.explain(inner),
+            Statement::Create { name, columns, key } => {
+                lines.push(format!(
+                    "CREATE {name}: {} column(s){}",
+                    columns.len(),
+                    match key {
+                        Some(k) => format!(", keyed on '{k}' (index maintained per APPEND/DELETE)"),
+                        None => ", heap only".to_string(),
+                    }
+                ));
+            }
+            Statement::Drop { name } => lines.push(format!("DROP {name}: charge D_t")),
+            Statement::Range { var, relation } => {
+                lines.push(format!("RANGE: bind '{var}' over '{relation}' (catalog only)"));
+            }
+            Statement::Append { relation, .. } => {
+                let keyed = self
+                    .relations
+                    .get(relation)
+                    .ok_or_else(|| QuelError::UnknownRelation(relation.clone()))?
+                    .is_keyed();
+                lines.push(format!(
+                    "APPEND {relation}: 1 block write{}",
+                    if keyed { " + I_l index adjustments" } else { "" }
+                ));
+            }
+            Statement::Retrieve { predicate, .. }
+            | Statement::RetrieveInto { predicate, .. } => {
+                // Which range variables participate.
+                let mut vars: Vec<String> = Vec::new();
+                let mut note = |v: &str| {
+                    if !vars.iter().any(|x| x == v) {
+                        vars.push(v.to_string());
+                    }
+                };
+                match stmt {
+                    Statement::Retrieve { targets, .. } => {
+                        for t in targets {
+                            match t {
+                                Target::Column(c) => note(&c.range_var),
+                                Target::All(v) => note(v),
+                                Target::Min(e)
+                                | Target::Max(e)
+                                | Target::Sum(e)
+                                | Target::Count(e) => collect_vars(e, &mut note),
+                            }
+                        }
+                    }
+                    Statement::RetrieveInto { assignments, .. } => {
+                        for a in assignments {
+                            collect_vars(&a.expr, &mut note);
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+                if let Some(p) = predicate {
+                    collect_vars(p, &mut note);
+                }
+                if vars.is_empty() {
+                    lines.push("RETRIEVE: constant projection, no relation access".into());
+                }
+                for (i, v) in vars.iter().enumerate() {
+                    let rel_name = self.relation_of_var(v)?;
+                    let rel = &self.relations[rel_name];
+                    if i == 0 {
+                        lines.push(format!(
+                            "scan '{rel_name}' as {v}: {} block(s), {} live row(s)",
+                            rel.block_count(),
+                            rel.len()
+                        ));
+                    } else {
+                        lines.push(format!(
+                            "nested-loop join '{rel_name}' as {v}: rescan {} block(s) per outer block",
+                            rel.block_count()
+                        ));
+                    }
+                }
+                if let Statement::RetrieveInto { name, .. } = stmt {
+                    lines.push(format!("materialise into '{name}': 1 block write per row"));
+                }
+            }
+            Statement::Replace { var, predicate, .. } | Statement::Delete { var, predicate } => {
+                let rel_name = self.relation_of_var(var)?;
+                let rel = &self.relations[rel_name];
+                let op = if matches!(stmt, Statement::Replace { .. }) { "REPLACE" } else { "DELETE" };
+                // Mirror the executor's keyed-point detection.
+                let keyed_point = match (rel.key_column(), predicate) {
+                    (Some(kc), Some(Expr::Binary { op: BinOp::Eq, lhs, rhs })) => {
+                        let key_name = rel
+                            .schema()
+                            .column_names()
+                            .nth(kc)
+                            .expect("key column exists")
+                            .to_string();
+                        matches!(
+                            (&**lhs, &**rhs),
+                            (Expr::Column(c), Expr::Literal(_)) | (Expr::Literal(_), Expr::Column(c))
+                                if c.range_var == *var && c.column == key_name
+                        )
+                    }
+                    _ => false,
+                };
+                if keyed_point {
+                    lines.push(format!(
+                        "{op} '{rel_name}': keyed point access — I_l index reads + 1 tuple update"
+                    ));
+                } else {
+                    lines.push(format!(
+                        "{op} '{rel_name}': full scan of {} block(s), update qualifying rows",
+                        rel.block_count()
+                    ));
+                }
+            }
+        }
+        Ok(QuelOutput::Rows {
+            columns: vec!["plan".to_string()],
+            rows: lines.into_iter().map(|l| vec![Value::Str(l)]).collect(),
+        })
+    }
+
+    fn relation_of_var(&self, var: &str) -> Result<&str, QuelError> {
+        self.ranges
+            .get(var)
+            .map(String::as_str)
+            .ok_or_else(|| QuelError::UnknownRange(var.to_string()))
+    }
+
+    fn exec_append(
+        &mut self,
+        relation: &str,
+        assignments: &[Assignment],
+    ) -> Result<QuelOutput, QuelError> {
+        // Constant-fold the assignments first (no range variables in an
+        // APPEND), then build the row in schema order.
+        let env = Environment::empty();
+        let mut values: HashMap<&str, Value> = HashMap::new();
+        for a in assignments {
+            values.insert(a.column.as_str(), eval(&a.expr, &env)?);
+        }
+        let rel = self
+            .relations
+            .get_mut(relation)
+            .ok_or_else(|| QuelError::UnknownRelation(relation.to_string()))?;
+        let mut row = Vec::with_capacity(rel.schema().arity());
+        for name in rel.schema().column_names().map(str::to_owned).collect::<Vec<_>>() {
+            let v = values
+                .remove(name.as_str())
+                .ok_or_else(|| QuelError::Type(format!("missing value for column '{name}'")))?;
+            row.push(v);
+        }
+        if let Some(extra) = values.keys().next() {
+            return Err(QuelError::UnknownColumn(extra.to_string()));
+        }
+        rel.append(row, &mut self.io)?;
+        Ok(QuelOutput::Affected(1))
+    }
+
+    fn exec_retrieve(
+        &mut self,
+        targets: &[Target],
+        predicate: Option<&Expr>,
+        unique: bool,
+        sort: Option<&(Expr, bool)>,
+    ) -> Result<QuelOutput, QuelError> {
+        // Which range variables participate, in order of first mention.
+        let mut vars: Vec<String> = Vec::new();
+        let mut note = |v: &str| {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.to_string());
+            }
+        };
+        for t in targets {
+            match t {
+                Target::Column(c) => note(&c.range_var),
+                Target::All(v) => note(v),
+                Target::Min(e) | Target::Max(e) | Target::Sum(e) | Target::Count(e) => {
+                    collect_vars(e, &mut note)
+                }
+            }
+        }
+        if let Some(p) = predicate {
+            collect_vars(p, &mut note);
+        }
+        if let Some((key, _)) = sort {
+            collect_vars(key, &mut note);
+        }
+        if vars.is_empty() {
+            // Pure-constant retrieve (e.g. RETRIEVE (MIN(1+2))): evaluate
+            // over a single empty binding.
+            let env = Environment::empty();
+            let mut row = Vec::new();
+            let mut columns = Vec::new();
+            for (i, t) in targets.iter().enumerate() {
+                match t {
+                    Target::Min(e) | Target::Max(e) | Target::Sum(e) => {
+                        row.push(eval(e, &env)?);
+                        columns.push(format!("agg{i}"));
+                    }
+                    Target::Count(_) => {
+                        row.push(Value::Int(1));
+                        columns.push("count".into());
+                    }
+                    _ => return Err(QuelError::Type("column target without range".into())),
+                }
+            }
+            return Ok(QuelOutput::Rows { columns, rows: vec![row] });
+        }
+
+        // Materialise each participating relation with one charged scan,
+        // then evaluate the (block-)nested-loop cross product, charging
+        // the nested-loop formula for the joins beyond the first scan.
+        let mut scans: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+        for v in &vars {
+            let rel_name = self.relation_of_var(v)?.to_string();
+            let rel = self
+                .relations
+                .get(&rel_name)
+                .ok_or_else(|| QuelError::UnknownRelation(rel_name.clone()))?;
+            let mut rows = Vec::with_capacity(rel.len());
+            rel.scan(&mut self.io, |_, row| rows.push(row));
+            scans.push((v.clone(), rows));
+        }
+        // Nested-loop re-scan charges: the inner relation is re-read once
+        // per outer block (B1·B2, extended left-to-right for k-way).
+        if vars.len() > 1 {
+            let mut outer_blocks = 1u64;
+            for (i, v) in vars.iter().enumerate() {
+                let rel = &self.relations[self.relation_of_var(v)?];
+                let b = rel.block_count().max(1) as u64;
+                if i > 0 {
+                    self.io.read_blocks(outer_blocks.saturating_mul(b).saturating_sub(b));
+                }
+                outer_blocks = outer_blocks.saturating_mul(b);
+            }
+        }
+
+        let aggregates = targets.iter().any(|t| {
+            matches!(
+                t,
+                Target::Min(_) | Target::Max(_) | Target::Sum(_) | Target::Count(_)
+            )
+        });
+        let plain = targets
+            .iter()
+            .any(|t| matches!(t, Target::Column(_) | Target::All(_)));
+        if aggregates && plain {
+            return Err(QuelError::Type("cannot mix aggregate and plain targets".into()));
+        }
+
+        let mut columns = Vec::new();
+        for (i, t) in targets.iter().enumerate() {
+            match t {
+                Target::Column(c) => columns.push(format!("{}.{}", c.range_var, c.column)),
+                Target::All(v) => {
+                    let rel = &self.relations[self.relation_of_var(v)?];
+                    for name in rel.schema().column_names() {
+                        columns.push(format!("{v}.{name}"));
+                    }
+                }
+                Target::Min(_) => columns.push(format!("min{i}")),
+                Target::Max(_) => columns.push(format!("max{i}")),
+                Target::Sum(_) => columns.push(format!("sum{i}")),
+                Target::Count(_) => columns.push("count".into()),
+            }
+        }
+
+        let mut out_rows: Vec<Vec<Value>> = Vec::new();
+        let mut sort_keys: Vec<Value> = Vec::new();
+        let mut agg_state: Vec<Option<Value>> = vec![None; targets.len()];
+        let mut count = 0u64;
+        let schemas: Vec<&DynRelation> = vars
+            .iter()
+            .map(|v| Ok(&self.relations[self.relation_of_var(v)?]))
+            .collect::<Result<_, QuelError>>()?;
+
+        // Cross-product iteration (indices into each scan).
+        let sizes: Vec<usize> = scans.iter().map(|(_, rows)| rows.len()).collect();
+        if sizes.iter().all(|&s| s > 0) {
+            let mut idx = vec![0usize; scans.len()];
+            'outer: loop {
+                let env = Environment {
+                    bindings: vars
+                        .iter()
+                        .zip(&scans)
+                        .zip(&idx)
+                        .zip(schemas.iter())
+                        .map(|(((v, (_, rows)), &i), rel)| {
+                            (v.as_str(), &rows[i], rel.schema())
+                        })
+                        .collect(),
+                };
+                let keep = match predicate {
+                    None => true,
+                    Some(p) => truthy(&eval(p, &env)?)?,
+                };
+                if keep {
+                    count += 1;
+                    if aggregates {
+                        for (i, t) in targets.iter().enumerate() {
+                            match t {
+                                Target::Min(e) => {
+                                    let v = eval(e, &env)?;
+                                    agg_state[i] = Some(match agg_state[i].take() {
+                                        None => v,
+                                        Some(cur) => {
+                                            if v.compare(&cur)? == std::cmp::Ordering::Less {
+                                                v
+                                            } else {
+                                                cur
+                                            }
+                                        }
+                                    });
+                                }
+                                Target::Max(e) => {
+                                    let v = eval(e, &env)?;
+                                    agg_state[i] = Some(match agg_state[i].take() {
+                                        None => v,
+                                        Some(cur) => {
+                                            if v.compare(&cur)? == std::cmp::Ordering::Greater {
+                                                v
+                                            } else {
+                                                cur
+                                            }
+                                        }
+                                    });
+                                }
+                                Target::Sum(e) => {
+                                    let v = eval(e, &env)?.as_f64()?;
+                                    let cur = match &agg_state[i] {
+                                        None => 0.0,
+                                        Some(c) => c.as_f64()?,
+                                    };
+                                    agg_state[i] = Some(Value::Float(cur + v));
+                                }
+                                Target::Count(_) => {}
+                                _ => unreachable!("mixed targets rejected above"),
+                            }
+                        }
+                    } else {
+                        let mut row = Vec::new();
+                        for t in targets {
+                            match t {
+                                Target::Column(c) => row.push(env.column(c)?),
+                                Target::All(v) => {
+                                    let (_, bound, _) = env
+                                        .bindings
+                                        .iter()
+                                        .find(|(name, _, _)| name == v)
+                                        .ok_or_else(|| QuelError::UnknownRange(v.clone()))?;
+                                    row.extend(bound.iter().cloned());
+                                }
+                                _ => unreachable!(),
+                            }
+                        }
+                        if let Some((key, _)) = sort {
+                            sort_keys.push(eval(key, &env)?);
+                        }
+                        out_rows.push(row);
+                    }
+                }
+                // Advance the cross-product counter.
+                for i in (0..idx.len()).rev() {
+                    idx[i] += 1;
+                    if idx[i] < sizes[i] {
+                        continue 'outer;
+                    }
+                    idx[i] = 0;
+                }
+                break;
+            }
+        }
+
+        if aggregates {
+            let mut row = Vec::new();
+            for (i, t) in targets.iter().enumerate() {
+                match t {
+                    Target::Count(_) => row.push(Value::Int(count as i64)),
+                    Target::Sum(_) => {
+                        row.push(agg_state[i].clone().unwrap_or(Value::Float(0.0)))
+                    }
+                    _ => match agg_state[i].clone() {
+                        Some(v) => row.push(v),
+                        None => return Ok(QuelOutput::Rows { columns, rows: vec![] }),
+                    },
+                }
+            }
+            Ok(QuelOutput::Rows { columns, rows: vec![row] })
+        } else {
+            let mut rows = out_rows;
+            if let Some((_, desc)) = sort {
+                let mut paired: Vec<(Value, Vec<Value>)> =
+                    sort_keys.into_iter().zip(rows).collect();
+                // Stable sort; comparison errors (mixed types) surface.
+                let mut sort_err = None;
+                paired.sort_by(|a, b| match a.0.compare(&b.0) {
+                    Ok(o) => {
+                        if *desc {
+                            o.reverse()
+                        } else {
+                            o
+                        }
+                    }
+                    Err(e) => {
+                        sort_err.get_or_insert(e);
+                        std::cmp::Ordering::Equal
+                    }
+                });
+                if let Some(e) = sort_err {
+                    return Err(e);
+                }
+                rows = paired.into_iter().map(|(_, r)| r).collect();
+            }
+            if unique {
+                let mut seen: Vec<Vec<Value>> = Vec::new();
+                rows.retain(|r| {
+                    if seen.iter().any(|s| s == r) {
+                        false
+                    } else {
+                        seen.push(r.clone());
+                        true
+                    }
+                });
+            }
+            Ok(QuelOutput::Rows { columns, rows })
+        }
+    }
+
+    /// `RETRIEVE INTO`: evaluate the projection over the (cross product
+    /// of the) bound relations and materialise the qualifying rows as a
+    /// new relation. Column types are inferred statically from the
+    /// expressions.
+    fn exec_retrieve_into(
+        &mut self,
+        name: &str,
+        assignments: &[Assignment],
+        predicate: Option<&Expr>,
+    ) -> Result<QuelOutput, QuelError> {
+        if self.relations.contains_key(name) {
+            return Err(QuelError::DuplicateRelation(name.to_string()));
+        }
+        // Participating range variables, in order of first mention.
+        let mut vars: Vec<String> = Vec::new();
+        let mut note = |v: &str| {
+            if !vars.iter().any(|x| x == v) {
+                vars.push(v.to_string());
+            }
+        };
+        for a in assignments {
+            collect_vars(&a.expr, &mut note);
+        }
+        if let Some(p) = predicate {
+            collect_vars(p, &mut note);
+        }
+
+        // Infer the schema.
+        let schemas: Vec<(&str, &Schema)> = vars
+            .iter()
+            .map(|v| {
+                let rel = self.relation_of_var(v)?;
+                Ok((v.as_str(), self.relations[rel].schema()))
+            })
+            .collect::<Result<_, QuelError>>()?;
+        let columns: Vec<(String, super::value::ValueType)> = assignments
+            .iter()
+            .map(|a| Ok((a.column.clone(), infer_type(&a.expr, &schemas)?)))
+            .collect::<Result<_, QuelError>>()?;
+        let schema = Schema::new(columns)?;
+
+        // Materialise each participating relation with one charged scan.
+        let mut scans: Vec<(String, Vec<Vec<Value>>)> = Vec::new();
+        for v in &vars {
+            let rel_name = self.relation_of_var(v)?.to_string();
+            let rel = &self.relations[&rel_name];
+            let mut rows = Vec::with_capacity(rel.len());
+            rel.scan(&mut self.io, |_, row| rows.push(row));
+            scans.push((v.clone(), rows));
+        }
+        let rel_schemas: Vec<Schema> = vars
+            .iter()
+            .map(|v| {
+                let rel = self.relation_of_var(v)?;
+                Ok(self.relations[rel].schema().clone())
+            })
+            .collect::<Result<_, QuelError>>()?;
+
+        let mut out = DynRelation::create(schema, None, self.index_levels, &mut self.io)?;
+        let mut appended = 0usize;
+        let sizes: Vec<usize> = scans.iter().map(|(_, rows)| rows.len()).collect();
+        if (vars.is_empty() || sizes.iter().all(|&s| s > 0)) && !vars.is_empty() {
+            let mut idx = vec![0usize; scans.len()];
+            'outer: loop {
+                let env = Environment {
+                    bindings: vars
+                        .iter()
+                        .zip(&scans)
+                        .zip(&idx)
+                        .zip(rel_schemas.iter())
+                        .map(|(((v, (_, rows)), &i), schema)| (v.as_str(), &rows[i], schema))
+                        .collect(),
+                };
+                let keep = match predicate {
+                    None => true,
+                    Some(p) => truthy(&eval(p, &env)?)?,
+                };
+                if keep {
+                    let row: Vec<Value> = assignments
+                        .iter()
+                        .map(|a| eval(&a.expr, &env))
+                        .collect::<Result<_, QuelError>>()?;
+                    out.append(row, &mut self.io)?;
+                    appended += 1;
+                }
+                for i in (0..idx.len()).rev() {
+                    idx[i] += 1;
+                    if idx[i] < sizes[i] {
+                        continue 'outer;
+                    }
+                    idx[i] = 0;
+                }
+                break;
+            }
+        } else if vars.is_empty() {
+            // Constant projection: one row (subject to a constant WHERE).
+            let env = Environment::empty();
+            let keep = match predicate {
+                None => true,
+                Some(p) => truthy(&eval(p, &env)?)?,
+            };
+            if keep {
+                let row: Vec<Value> = assignments
+                    .iter()
+                    .map(|a| eval(&a.expr, &env))
+                    .collect::<Result<_, QuelError>>()?;
+                out.append(row, &mut self.io)?;
+                appended += 1;
+            }
+        }
+        self.relations.insert(name.to_string(), out);
+        Ok(QuelOutput::Affected(appended))
+    }
+
+    fn exec_replace(
+        &mut self,
+        var: &str,
+        assignments: &[Assignment],
+        predicate: Option<&Expr>,
+    ) -> Result<QuelOutput, QuelError> {
+        let rel_name = self.relation_of_var(var)?.to_string();
+        let rel = self
+            .relations
+            .get(&rel_name)
+            .ok_or_else(|| QuelError::UnknownRelation(rel_name.clone()))?;
+        let schema = rel.schema().clone();
+
+        // Fast path: keyed point update (`var.keycol = literal`).
+        if let Some((slot, old_row)) = self.keyed_lookup(&rel_name, var, predicate)? {
+            let new_row = apply_assignments(&schema, var, &old_row, assignments)?;
+            let rel = self.relations.get_mut(&rel_name).expect("checked");
+            rel.update_slot(slot, new_row, &mut self.io)?;
+            return Ok(QuelOutput::Affected(1));
+        }
+
+        // General path: scan, qualify, update each matching slot.
+        let rel = self.relations.get(&rel_name).expect("checked");
+        let mut matches: Vec<(usize, Vec<Value>)> = Vec::new();
+        let mut scan_err = None;
+        rel.scan(&mut self.io, |slot, row| {
+            if scan_err.is_some() {
+                return;
+            }
+            let env = Environment::single(var, &row, &schema);
+            match predicate.map(|p| eval(p, &env)).transpose() {
+                Ok(v) => {
+                    let keep = v.map(|v| truthy(&v)).transpose().unwrap_or(Some(true));
+                    match keep {
+                        Some(true) => matches.push((slot, row)),
+                        Some(false) => {}
+                        None => scan_err = Some(QuelError::Type("non-boolean predicate".into())),
+                    }
+                }
+                Err(e) => scan_err = Some(e),
+            }
+        });
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let n = matches.len();
+        for (slot, old_row) in matches {
+            let new_row = apply_assignments(&schema, var, &old_row, assignments)?;
+            let rel = self.relations.get_mut(&rel_name).expect("checked");
+            rel.update_slot(slot, new_row, &mut self.io)?;
+        }
+        Ok(QuelOutput::Affected(n))
+    }
+
+    fn exec_delete(
+        &mut self,
+        var: &str,
+        predicate: Option<&Expr>,
+    ) -> Result<QuelOutput, QuelError> {
+        let rel_name = self.relation_of_var(var)?.to_string();
+        if let Some((slot, _)) = self.keyed_lookup(&rel_name, var, predicate)? {
+            let rel = self.relations.get_mut(&rel_name).expect("checked");
+            rel.delete_slot(slot, &mut self.io)?;
+            return Ok(QuelOutput::Affected(1));
+        }
+        let rel = self
+            .relations
+            .get(&rel_name)
+            .ok_or_else(|| QuelError::UnknownRelation(rel_name.clone()))?;
+        let schema = rel.schema().clone();
+        let mut slots = Vec::new();
+        let mut scan_err = None;
+        rel.scan(&mut self.io, |slot, row| {
+            if scan_err.is_some() {
+                return;
+            }
+            let env = Environment::single(var, &row, &schema);
+            match predicate.map(|p| eval(p, &env)).transpose() {
+                Ok(None) => slots.push(slot),
+                Ok(Some(v)) => match truthy(&v) {
+                    Ok(true) => slots.push(slot),
+                    Ok(false) => {}
+                    Err(e) => scan_err = Some(e),
+                },
+                Err(e) => scan_err = Some(e),
+            }
+        });
+        if let Some(e) = scan_err {
+            return Err(e);
+        }
+        let n = slots.len();
+        let rel = self.relations.get_mut(&rel_name).expect("checked");
+        for slot in slots {
+            rel.delete_slot(slot, &mut self.io)?;
+        }
+        Ok(QuelOutput::Affected(n))
+    }
+
+    /// Detects the keyed point pattern `var.keycol = literal` (either
+    /// side) and probes the index. Returns the slot and row on a hit;
+    /// `None` means "use the scan path".
+    fn keyed_lookup(
+        &mut self,
+        rel_name: &str,
+        var: &str,
+        predicate: Option<&Expr>,
+    ) -> Result<Option<(usize, Vec<Value>)>, QuelError> {
+        let Some(Expr::Binary { op: BinOp::Eq, lhs, rhs }) = predicate else {
+            return Ok(None);
+        };
+        let rel = self.relations.get(rel_name).expect("caller checked");
+        let Some(key_col) = rel.key_column() else {
+            return Ok(None);
+        };
+        let key_name = rel.schema().column_names().nth(key_col).expect("key exists").to_string();
+        let (col, lit) = match (&**lhs, &**rhs) {
+            (Expr::Column(c), Expr::Literal(v)) => (c, v),
+            (Expr::Literal(v), Expr::Column(c)) => (c, v),
+            _ => return Ok(None),
+        };
+        if col.range_var != var || col.column != key_name {
+            return Ok(None);
+        }
+        let rel = self.relations.get(rel_name).expect("caller checked");
+        rel.probe(lit, &mut self.io)
+    }
+}
+
+/// Evaluation environment: `(range_var, row, schema)` bindings.
+struct Environment<'a> {
+    bindings: Vec<(&'a str, &'a Vec<Value>, &'a Schema)>,
+}
+
+impl<'a> Environment<'a> {
+    fn empty() -> Environment<'static> {
+        Environment { bindings: Vec::new() }
+    }
+
+    fn single(var: &'a str, row: &'a Vec<Value>, schema: &'a Schema) -> Environment<'a> {
+        Environment { bindings: vec![(var, row, schema)] }
+    }
+
+    fn column(&self, c: &ColumnRef) -> Result<Value, QuelError> {
+        let (_, row, schema) = self
+            .bindings
+            .iter()
+            .find(|(v, _, _)| *v == c.range_var)
+            .ok_or_else(|| QuelError::UnknownRange(c.range_var.clone()))?;
+        let (idx, _) = schema.column(&c.column)?;
+        Ok(row[idx].clone())
+    }
+}
+
+fn collect_vars(e: &Expr, note: &mut impl FnMut(&str)) {
+    match e {
+        Expr::Literal(_) => {}
+        Expr::Column(c) => note(&c.range_var),
+        Expr::Binary { lhs, rhs, .. } => {
+            collect_vars(lhs, note);
+            collect_vars(rhs, note);
+        }
+        Expr::Not(inner) | Expr::Neg(inner) | Expr::Abs(inner) => collect_vars(inner, note),
+    }
+}
+
+/// Static type inference for `RETRIEVE INTO` schemas, consistent with
+/// `eval`'s dynamic behaviour.
+fn infer_type(
+    e: &Expr,
+    schemas: &[(&str, &Schema)],
+) -> Result<super::value::ValueType, QuelError> {
+    use super::value::ValueType;
+    Ok(match e {
+        Expr::Literal(v) => v.value_type(),
+        Expr::Column(c) => {
+            let (_, schema) = schemas
+                .iter()
+                .find(|(v, _)| *v == c.range_var)
+                .ok_or_else(|| QuelError::UnknownRange(c.range_var.clone()))?;
+            schema.column(&c.column)?.1
+        }
+        Expr::Neg(_) | Expr::Abs(_) => ValueType::Float,
+        Expr::Not(_) => ValueType::Int,
+        Expr::Binary { op, lhs, rhs } => match op {
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                let (l, r) = (infer_type(lhs, schemas)?, infer_type(rhs, schemas)?);
+                if l == ValueType::Int && r == ValueType::Int {
+                    ValueType::Int
+                } else {
+                    ValueType::Float
+                }
+            }
+            _ => ValueType::Int, // comparisons and logic are 0/1
+        },
+    })
+}
+
+fn truthy(v: &Value) -> Result<bool, QuelError> {
+    match v {
+        Value::Int(i) => Ok(*i != 0),
+        other => Err(QuelError::Type(format!("predicate evaluated to non-boolean {other}"))),
+    }
+}
+
+fn bool_val(b: bool) -> Value {
+    Value::Int(b as i64)
+}
+
+fn eval(e: &Expr, env: &Environment<'_>) -> Result<Value, QuelError> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => env.column(c),
+        Expr::Neg(inner) => Ok(Value::Float(-eval(inner, env)?.as_f64()?)),
+        Expr::Abs(inner) => Ok(Value::Float(eval(inner, env)?.as_f64()?.abs())),
+        Expr::Not(inner) => Ok(bool_val(!truthy(&eval(inner, env)?)?)),
+        Expr::Binary { op, lhs, rhs } => {
+            use std::cmp::Ordering::*;
+            match op {
+                BinOp::And => {
+                    Ok(bool_val(truthy(&eval(lhs, env)?)? && truthy(&eval(rhs, env)?)?))
+                }
+                BinOp::Or => {
+                    Ok(bool_val(truthy(&eval(lhs, env)?)? || truthy(&eval(rhs, env)?)?))
+                }
+                BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                    let l = eval(lhs, env)?;
+                    let r = eval(rhs, env)?;
+                    let ord = l.compare(&r)?;
+                    Ok(bool_val(match op {
+                        BinOp::Eq => ord == Equal,
+                        BinOp::Ne => ord != Equal,
+                        BinOp::Lt => ord == Less,
+                        BinOp::Le => ord != Greater,
+                        BinOp::Gt => ord == Greater,
+                        BinOp::Ge => ord != Less,
+                        _ => unreachable!(),
+                    }))
+                }
+                BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => {
+                    let l = eval(lhs, env)?;
+                    let r = eval(rhs, env)?;
+                    // Integer arithmetic stays integral; floats contaminate.
+                    if let (Value::Int(a), Value::Int(b)) = (&l, &r) {
+                        return Ok(match op {
+                            BinOp::Add => Value::Int(a + b),
+                            BinOp::Sub => Value::Int(a - b),
+                            BinOp::Mul => Value::Int(a * b),
+                            BinOp::Div => {
+                                if *b == 0 {
+                                    return Err(QuelError::Type("division by zero".into()));
+                                }
+                                Value::Int(a / b)
+                            }
+                            _ => unreachable!(),
+                        });
+                    }
+                    let (a, b) = (l.as_f64()?, r.as_f64()?);
+                    Ok(Value::Float(match op {
+                        BinOp::Add => a + b,
+                        BinOp::Sub => a - b,
+                        BinOp::Mul => a * b,
+                        BinOp::Div => {
+                            if b == 0.0 {
+                                return Err(QuelError::Type("division by zero".into()));
+                            }
+                            a / b
+                        }
+                        _ => unreachable!(),
+                    }))
+                }
+            }
+        }
+    }
+}
+
+fn apply_assignments(
+    schema: &Schema,
+    var: &str,
+    old_row: &Vec<Value>,
+    assignments: &[Assignment],
+) -> Result<Vec<Value>, QuelError> {
+    let env = Environment::single(var, old_row, schema);
+    let mut new_row = old_row.clone();
+    for a in assignments {
+        let (idx, _) = schema.column(&a.column)?;
+        new_row[idx] = eval(&a.expr, &env)?;
+    }
+    Ok(new_row)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine_with_nodes() -> QuelEngine {
+        let mut e = QuelEngine::new();
+        e.run("CREATE nodes (id = int, cost = float, status = string) KEY id").unwrap();
+        e.run("RANGE OF n IS nodes").unwrap();
+        for (id, cost, status) in [(0, 0.0, "open"), (1, 2.5, "open"), (2, 1.5, "closed")] {
+            e.run(&format!("APPEND TO nodes (id = {id}, cost = {cost:?}, status = \"{status}\")"))
+                .unwrap();
+        }
+        e
+    }
+
+    #[test]
+    fn create_append_retrieve() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE (n.id, n.cost) WHERE n.status = \"open\"").unwrap();
+        assert_eq!(out.rows().len(), 2);
+        assert_eq!(out.rows()[1], vec![Value::Int(1), Value::Float(2.5)]);
+    }
+
+    #[test]
+    fn retrieve_all_expands_columns() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE (n.all) WHERE n.id = 2").unwrap();
+        let QuelOutput::Rows { columns, rows } = out else { panic!() };
+        assert_eq!(columns, vec!["n.id", "n.cost", "n.status"]);
+        assert_eq!(rows[0][2], Value::Str("closed".into()));
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut e = engine_with_nodes();
+        let min = e.run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"").unwrap();
+        assert_eq!(min.scalar(), Some(&Value::Float(0.0)));
+        let count = e.run("RETRIEVE (COUNT(n.id))").unwrap();
+        assert_eq!(count.scalar(), Some(&Value::Int(3)));
+        let sum = e.run("RETRIEVE (SUM(n.cost))").unwrap();
+        assert_eq!(sum.scalar(), Some(&Value::Float(4.0)));
+        let max = e.run("RETRIEVE (MAX(n.cost))").unwrap();
+        assert_eq!(max.scalar(), Some(&Value::Float(2.5)));
+    }
+
+    #[test]
+    fn empty_min_returns_no_rows() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE (MIN(n.cost)) WHERE n.cost > 100").unwrap();
+        assert!(out.rows().is_empty());
+    }
+
+    #[test]
+    fn replace_by_key_uses_probe() {
+        let mut e = engine_with_nodes();
+        let before = e.io;
+        let out = e.run("REPLACE n (status = \"closed\") WHERE n.id = 1").unwrap();
+        assert_eq!(out, QuelOutput::Affected(1));
+        let d = e.io.since(&before);
+        // Probe (3 index + 1 data reads) + 1 update — no full scan.
+        assert_eq!(d.block_reads, 4);
+        assert_eq!(d.tuple_updates, 1);
+        let check = e.run("RETRIEVE (n.status) WHERE n.id = 1").unwrap();
+        assert_eq!(check.rows()[0][0], Value::Str("closed".into()));
+    }
+
+    #[test]
+    fn replace_with_general_predicate_scans() {
+        let mut e = engine_with_nodes();
+        let out = e.run("REPLACE n (cost = n.cost + 1.0) WHERE n.status = \"open\"").unwrap();
+        assert_eq!(out, QuelOutput::Affected(2));
+        let check = e.run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"").unwrap();
+        assert_eq!(check.scalar(), Some(&Value::Float(1.0)));
+    }
+
+    #[test]
+    fn delete_by_key_and_by_predicate() {
+        let mut e = engine_with_nodes();
+        assert_eq!(e.run("DELETE n WHERE n.id = 0").unwrap(), QuelOutput::Affected(1));
+        assert_eq!(
+            e.run("DELETE n WHERE n.status = \"open\"").unwrap(),
+            QuelOutput::Affected(1)
+        );
+        let left = e.run("RETRIEVE (COUNT(n.id))").unwrap();
+        assert_eq!(left.scalar(), Some(&Value::Int(1)));
+    }
+
+    #[test]
+    fn two_variable_join() {
+        let mut e = QuelEngine::new();
+        e.run("CREATE edges (src = int, dst = int, w = float)").unwrap();
+        e.run("CREATE current (id = int) KEY id").unwrap();
+        e.run("RANGE OF ed IS edges").unwrap();
+        e.run("RANGE OF c IS current").unwrap();
+        e.run("APPEND TO edges (src = 0, dst = 1, w = 1.0)").unwrap();
+        e.run("APPEND TO edges (src = 1, dst = 2, w = 2.0)").unwrap();
+        e.run("APPEND TO edges (src = 2, dst = 0, w = 3.0)").unwrap();
+        e.run("APPEND TO current (id = 1)").unwrap();
+        let out = e.run("RETRIEVE (ed.dst, ed.w) WHERE ed.src = c.id").unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Int(2), Value::Float(2.0)]]);
+    }
+
+    #[test]
+    fn run_script_executes_lines() {
+        let mut e = QuelEngine::new();
+        let out = e
+            .run_script(
+                "-- a tiny session\n\
+                 CREATE t (a = int)\n\
+                 RANGE OF x IS t\n\
+                 APPEND TO t (a = 5)\n\
+                 \n\
+                 RETRIEVE (x.a)",
+            )
+            .unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Int(5)]]);
+    }
+
+    #[test]
+    fn drop_unbinds_ranges() {
+        let mut e = engine_with_nodes();
+        e.run("DROP nodes").unwrap();
+        assert!(matches!(
+            e.run("RETRIEVE (n.id)"),
+            Err(QuelError::UnknownRange(_))
+        ));
+        assert!(e.relation("nodes").is_none());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        let mut e = engine_with_nodes();
+        assert!(matches!(
+            e.run("RETRIEVE (z.id)"),
+            Err(QuelError::UnknownRange(_))
+        ));
+        assert!(matches!(
+            e.run("RETRIEVE (n.bogus)"),
+            Err(QuelError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            e.run("APPEND TO nodes (id = 0, cost = 0.0, status = \"open\")"),
+            Err(QuelError::DuplicateKey(_))
+        ));
+        assert!(matches!(
+            e.run("RETRIEVE (n.id, MIN(n.cost))"),
+            Err(QuelError::Type(_))
+        ));
+        assert!(matches!(
+            e.run("CREATE nodes (x = int)"),
+            Err(QuelError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn explain_shows_access_paths_without_executing() {
+        let mut e = engine_with_nodes();
+        let before = e.io;
+        // Keyed point REPLACE -> index path.
+        let plan = e.run("EXPLAIN REPLACE n (status = \"x\") WHERE n.id = 1").unwrap();
+        let text = format!("{:?}", plan.rows());
+        assert!(text.contains("keyed point access"), "{text}");
+        // Predicate REPLACE -> scan path.
+        let plan = e.run("EXPLAIN REPLACE n (cost = 0.0) WHERE n.cost > 1").unwrap();
+        assert!(format!("{:?}", plan.rows()).contains("full scan"));
+        // Join retrieve -> nested loop line.
+        e.run("CREATE other (id = int)").unwrap();
+        e.run("RANGE OF o IS other").unwrap();
+        let plan = e.run("EXPLAIN RETRIEVE (n.id) WHERE n.id = o.id").unwrap();
+        let text = format!("{:?}", plan.rows());
+        assert!(text.contains("nested-loop join"), "{text}");
+        // Nothing was charged or mutated.
+        assert_eq!(e.io.since(&before).block_reads, 0);
+        assert_eq!(e.io.since(&before).tuple_updates, 0);
+        let check = e.run("RETRIEVE (n.status) WHERE n.id = 1").unwrap();
+        assert_eq!(check.rows()[0][0], Value::Str("open".into()));
+    }
+
+    #[test]
+    fn explain_retrieve_into_and_append() {
+        let mut e = engine_with_nodes();
+        let plan = e.run("EXPLAIN RETRIEVE INTO w (id = n.id)").unwrap();
+        assert!(format!("{:?}", plan.rows()).contains("materialise into 'w'"));
+        assert!(e.relation("w").is_none(), "EXPLAIN must not create the relation");
+        let plan = e.run("EXPLAIN APPEND TO nodes (id = 9, cost = 0.0, status = \"x\")").unwrap();
+        assert!(format!("{:?}", plan.rows()).contains("index adjustments"));
+        let count = e.run("RETRIEVE (COUNT(n.id))").unwrap();
+        assert_eq!(count.scalar(), Some(&Value::Int(3)), "EXPLAIN must not append");
+    }
+
+    #[test]
+    fn retrieve_into_materialises_a_projection() {
+        let mut e = engine_with_nodes();
+        let out = e
+            .run("RETRIEVE INTO cheap (id = n.id, double = n.cost * 2) WHERE n.cost < 2.0")
+            .unwrap();
+        assert_eq!(out, QuelOutput::Affected(2));
+        e.run("RANGE OF c IS cheap").unwrap();
+        let rows = e.run("RETRIEVE (c.id, c.double) SORT BY c.id").unwrap();
+        assert_eq!(
+            rows.rows(),
+            &[
+                vec![Value::Int(0), Value::Float(0.0)],
+                vec![Value::Int(2), Value::Float(3.0)]
+            ]
+        );
+    }
+
+    #[test]
+    fn retrieve_into_joins_two_relations() {
+        let mut e = QuelEngine::new();
+        e.run("CREATE edges (src = int, dst = int, w = float)").unwrap();
+        e.run("CREATE cur (id = int) KEY id").unwrap();
+        e.run("RANGE OF ed IS edges").unwrap();
+        e.run("RANGE OF c IS cur").unwrap();
+        e.run("APPEND TO edges (src = 0, dst = 1, w = 1.0)").unwrap();
+        e.run("APPEND TO edges (src = 1, dst = 2, w = 2.0)").unwrap();
+        e.run("APPEND TO cur (id = 1)").unwrap();
+        let out = e
+            .run("RETRIEVE INTO hop (node = ed.dst, cost = ed.w) WHERE ed.src = c.id")
+            .unwrap();
+        assert_eq!(out, QuelOutput::Affected(1));
+        e.run("RANGE OF h IS hop").unwrap();
+        let rows = e.run("RETRIEVE (h.node, h.cost)").unwrap();
+        assert_eq!(rows.rows(), &[vec![Value::Int(2), Value::Float(2.0)]]);
+    }
+
+    #[test]
+    fn retrieve_into_rejects_existing_relation() {
+        let mut e = engine_with_nodes();
+        assert!(matches!(
+            e.run("RETRIEVE INTO nodes (id = n.id)"),
+            Err(QuelError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn retrieve_into_with_constant_projection() {
+        let mut e = QuelEngine::new();
+        let out = e.run("RETRIEVE INTO one (v = 1 + 2)").unwrap();
+        assert_eq!(out, QuelOutput::Affected(1));
+        e.run("RANGE OF o IS one").unwrap();
+        assert_eq!(
+            e.run("RETRIEVE (o.v)").unwrap().rows(),
+            &[vec![Value::Int(3)]]
+        );
+    }
+
+    #[test]
+    fn retrieve_into_type_inference() {
+        let mut e = engine_with_nodes();
+        e.run("RETRIEVE INTO typed (i = n.id + 1, f = n.cost + 1, s = n.status)").unwrap();
+        e.run("RANGE OF t2 IS typed").unwrap();
+        let rows = e.run("RETRIEVE (t2.i, t2.f, t2.s) WHERE t2.i = 1").unwrap();
+        assert_eq!(
+            rows.rows(),
+            &[vec![Value::Int(1), Value::Float(1.0), Value::Str("open".into())]]
+        );
+    }
+
+    #[test]
+    fn sort_by_orders_results() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE (n.id) SORT BY n.cost DESC").unwrap();
+        let ids: Vec<_> = out.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(1), Value::Int(2), Value::Int(0)]);
+        let out = e.run("RETRIEVE (n.id) SORT BY n.cost").unwrap();
+        let ids: Vec<_> = out.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(0), Value::Int(2), Value::Int(1)]);
+    }
+
+    #[test]
+    fn unique_deduplicates_rows() {
+        let mut e = engine_with_nodes();
+        let dup = e.run("RETRIEVE (n.status)").unwrap();
+        assert_eq!(dup.rows().len(), 3);
+        let uniq = e.run("RETRIEVE UNIQUE (n.status)").unwrap();
+        assert_eq!(uniq.rows().len(), 2); // open, closed
+    }
+
+    #[test]
+    fn unique_sorted_retrieve_combines() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE UNIQUE (n.status) SORT BY n.status").unwrap();
+        let vals: Vec<_> = out.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(vals, vec![Value::Str("closed".into()), Value::Str("open".into())]);
+    }
+
+    #[test]
+    fn sort_by_expression() {
+        let mut e = engine_with_nodes();
+        // Sort by distance from cost 2.0: ids 1 and 2 tie at 0.5 (stable
+        // sort keeps scan order), id 0 is 2.0 away.
+        let out = e.run("RETRIEVE (n.id) SORT BY ABS(n.cost - 2.0)").unwrap();
+        let ids: Vec<_> = out.rows().iter().map(|r| r[0].clone()).collect();
+        assert_eq!(ids, vec![Value::Int(1), Value::Int(2), Value::Int(0)]);
+    }
+
+    #[test]
+    fn arithmetic_in_predicates() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE (n.id) WHERE n.cost * 2 >= 3.0 AND NOT (n.id = 1)").unwrap();
+        assert_eq!(out.rows(), &[vec![Value::Int(2)]]);
+        let div = e.run("RETRIEVE (n.id) WHERE n.cost / 0.0 > 1");
+        assert!(matches!(div, Err(QuelError::Type(_))));
+    }
+
+    #[test]
+    fn abs_and_negation() {
+        let mut e = engine_with_nodes();
+        let out = e.run("RETRIEVE (MIN(ABS(0 - n.cost)))").unwrap();
+        assert_eq!(out.scalar(), Some(&Value::Float(0.0)));
+    }
+}

@@ -1,0 +1,282 @@
+//! Tokeniser for the QUEL subset.
+
+use super::QuelError;
+
+/// Lexical tokens.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword or identifier (lower-cased; keywords are matched by the
+    /// parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Double-quoted string literal.
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+/// Tokenises a statement. Identifiers and keywords are case-insensitive
+/// (lower-cased); string literals keep their case.
+pub fn lex(input: &str) -> Result<Vec<Token>, QuelError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ne);
+                    i += 2;
+                } else {
+                    return Err(QuelError::Lex(i, "expected '=' after '!'".into()));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Le);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    tokens.push(Token::Ge);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != b'"' {
+                    j += 1;
+                }
+                if j == bytes.len() {
+                    return Err(QuelError::Lex(i, "unterminated string literal".into()));
+                }
+                tokens.push(Token::Str(input[start..j].to_string()));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let start = i;
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    match bytes[j] as char {
+                        '0'..='9' => j += 1,
+                        '.' if !is_float
+                            && matches!(bytes.get(j + 1), Some(b'0'..=b'9')) =>
+                        {
+                            is_float = true;
+                            j += 1;
+                        }
+                        _ => break,
+                    }
+                }
+                // Optional exponent: e / E, optional sign, digits.
+                if matches!(bytes.get(j), Some(b'e' | b'E')) {
+                    let mut k = j + 1;
+                    if matches!(bytes.get(k), Some(b'+' | b'-')) {
+                        k += 1;
+                    }
+                    if matches!(bytes.get(k), Some(b'0'..=b'9')) {
+                        while matches!(bytes.get(k), Some(b'0'..=b'9')) {
+                            k += 1;
+                        }
+                        is_float = true;
+                        j = k;
+                    }
+                }
+                let text = &input[start..j];
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| QuelError::Lex(start, e.to_string()))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| QuelError::Lex(start, e.to_string()))?;
+                    tokens.push(Token::Int(v));
+                }
+                i = j;
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len()
+                    && matches!(bytes[j] as char, 'a'..='z' | 'A'..='Z' | '0'..='9' | '_')
+                {
+                    j += 1;
+                }
+                tokens.push(Token::Ident(input[start..j].to_ascii_lowercase()));
+                i = j;
+            }
+            other => {
+                return Err(QuelError::Lex(i, format!("unexpected character '{other}'")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_retrieve() {
+        let toks = lex("RETRIEVE (n.id, n.cost) WHERE n.status = \"open\"").unwrap();
+        assert_eq!(toks[0], Token::Ident("retrieve".into()));
+        assert!(toks.contains(&Token::Str("open".into())));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Eq));
+    }
+
+    #[test]
+    fn numbers_and_operators() {
+        let toks = lex("1 + 2.5 <= 10 != 3 >= 4 < 5 > 6").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Int(1),
+                Token::Plus,
+                Token::Float(2.5),
+                Token::Le,
+                Token::Int(10),
+                Token::Ne,
+                Token::Int(3),
+                Token::Ge,
+                Token::Int(4),
+                Token::Lt,
+                Token::Int(5),
+                Token::Gt,
+                Token::Int(6),
+            ]
+        );
+    }
+
+    #[test]
+    fn identifiers_are_lowercased_strings_are_not() {
+        let toks = lex("Replace N (Status = \"Closed\")").unwrap();
+        assert_eq!(toks[0], Token::Ident("replace".into()));
+        assert_eq!(toks[1], Token::Ident("n".into()));
+        assert!(toks.contains(&Token::Str("Closed".into())));
+    }
+
+    #[test]
+    fn unterminated_string_fails() {
+        assert!(matches!(lex("x = \"oops"), Err(QuelError::Lex(_, _))));
+    }
+
+    #[test]
+    fn bang_without_eq_fails() {
+        assert!(matches!(lex("a ! b"), Err(QuelError::Lex(_, _))));
+    }
+
+    #[test]
+    fn scientific_notation() {
+        assert_eq!(lex("1e18").unwrap(), vec![Token::Float(1e18)]);
+        assert_eq!(lex("2.5E-3").unwrap(), vec![Token::Float(2.5e-3)]);
+        assert_eq!(lex("3e+2").unwrap(), vec![Token::Float(300.0)]);
+        // A bare 'e' suffix stays an identifier boundary, not an exponent.
+        assert_eq!(
+            lex("7 east").unwrap(),
+            vec![Token::Int(7), Token::Ident("east".into())]
+        );
+    }
+
+    #[test]
+    fn dot_in_range_expression_vs_float() {
+        // `n.5` must lex as Ident Dot Int, while `0.5` is a float.
+        let toks = lex("n.cost 0.5").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("n".into()),
+                Token::Dot,
+                Token::Ident("cost".into()),
+                Token::Float(0.5)
+            ]
+        );
+    }
+
+    #[test]
+    fn unexpected_character_reports_position() {
+        match lex("a ; b") {
+            Err(QuelError::Lex(pos, _)) => assert_eq!(pos, 2),
+            other => panic!("expected lex error, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! A small QUEL interpreter over the paged storage engine.
+//!
+//! The paper's algorithms were "implemented in EQUEL" — QUEL embedded in a
+//! host language — and Section 5.3 reasons about the relative costs of the
+//! QUEL operations `APPEND`, `DELETE` and `REPLACE`. This module provides
+//! the QUEL side of that pairing: a typed, interpreted subset of the
+//! language executing against dynamically-schema'd relations stored in the
+//! same 4096-byte blocks, charged through the same [`crate::IoStats`]
+//! meter as the native engine.
+//!
+//! Supported statements (see [`parser`] for the grammar):
+//!
+//! ```quel
+//! CREATE nodes (id = int, cost = float, status = string) KEY id
+//! RANGE OF n IS nodes
+//! APPEND TO nodes (id = 0, cost = 0.0, status = "open")
+//! RETRIEVE (n.id, n.cost) WHERE n.status = "open" AND n.cost < 10.0
+//! REPLACE n (status = "closed") WHERE n.id = 0
+//! DELETE n WHERE n.cost > 100.0
+//! RETRIEVE (MIN(n.cost)) WHERE n.status = "open"
+//! RETRIEVE UNIQUE (n.status) SORT BY n.status
+//! RETRIEVE INTO open_ids (id = n.id) WHERE n.status = "open"
+//! DROP nodes
+//! ```
+//!
+//! `examples/quel_session.rs` (workspace root) drives a full Dijkstra run
+//! through this interface, mirroring the paper's EQUEL programs.
+
+pub mod ast;
+pub mod engine;
+pub mod lexer;
+pub mod parser;
+pub mod printer;
+pub mod relation;
+pub mod value;
+
+pub use ast::Statement;
+pub use engine::{QuelEngine, QuelOutput};
+pub use parser::parse;
+pub use relation::DynRelation;
+pub use value::{Value, ValueType};
+
+use std::fmt;
+
+/// Errors from parsing or executing QUEL.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuelError {
+    /// Lexical error at a byte offset.
+    Lex(usize, String),
+    /// Parse error.
+    Parse(String),
+    /// Unknown relation name.
+    UnknownRelation(String),
+    /// Unknown range variable.
+    UnknownRange(String),
+    /// Unknown column.
+    UnknownColumn(String),
+    /// A value had the wrong type for its column or operator.
+    Type(String),
+    /// Relation already exists.
+    DuplicateRelation(String),
+    /// Duplicate key on APPEND into a keyed relation.
+    DuplicateKey(String),
+    /// Storage-level failure.
+    Storage(crate::StorageError),
+}
+
+impl fmt::Display for QuelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuelError::Lex(pos, msg) => write!(f, "lex error at byte {pos}: {msg}"),
+            QuelError::Parse(msg) => write!(f, "parse error: {msg}"),
+            QuelError::UnknownRelation(n) => write!(f, "unknown relation '{n}'"),
+            QuelError::UnknownRange(n) => write!(f, "unknown range variable '{n}'"),
+            QuelError::UnknownColumn(n) => write!(f, "unknown column '{n}'"),
+            QuelError::Type(msg) => write!(f, "type error: {msg}"),
+            QuelError::DuplicateRelation(n) => write!(f, "relation '{n}' already exists"),
+            QuelError::DuplicateKey(k) => write!(f, "duplicate key {k}"),
+            QuelError::Storage(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QuelError {}
+
+impl From<crate::StorageError> for QuelError {
+    fn from(e: crate::StorageError) -> Self {
+        QuelError::Storage(e)
+    }
+}

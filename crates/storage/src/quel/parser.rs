@@ -1,0 +1,504 @@
+//! Recursive-descent parser for the QUEL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! statement   := create | drop | range | append | retrieve | replace | delete
+//! create      := CREATE ident '(' coldef (',' coldef)* ')' [KEY ident]
+//! coldef      := ident '=' ('int' | 'float' | 'string')
+//! drop        := DROP ident
+//! range       := RANGE OF ident IS ident
+//! append      := APPEND TO ident '(' assign (',' assign)* ')'
+//! retrieve    := RETRIEVE [UNIQUE] '(' target (',' target)* ')'
+//!                [WHERE expr] [SORT BY expr [ASC|DESC]]
+//!              | RETRIEVE INTO ident '(' assign (',' assign)* ')' [WHERE expr]
+//! target      := ident '.' (ident | ALL) | MIN '(' expr ')' | MAX '(' expr ')'
+//!              | SUM '(' expr ')' | COUNT '(' expr ')'
+//! replace     := REPLACE ident '(' assign (',' assign)* ')' [WHERE expr]
+//! delete      := DELETE ident [WHERE expr]
+//! assign      := ident '=' expr
+//! expr        := or_expr
+//! or_expr     := and_expr (OR and_expr)*
+//! and_expr    := not_expr (AND not_expr)*
+//! not_expr    := NOT not_expr | comparison
+//! comparison  := additive [('=' | '!=' | '<' | '<=' | '>' | '>=') additive]
+//! additive    := term (('+' | '-') term)*
+//! term        := factor (('*' | '/') factor)*
+//! factor      := literal | ident '.' ident | ABS '(' expr ')'
+//!              | '-' factor | '(' expr ')'
+//! ```
+
+use super::ast::{Assignment, BinOp, ColumnRef, Expr, Statement, Target};
+use super::lexer::{lex, Token};
+use super::value::{Value, ValueType};
+use super::QuelError;
+
+/// Parses one QUEL statement.
+pub fn parse(input: &str) -> Result<Statement, QuelError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    if p.pos != p.tokens.len() {
+        return Err(QuelError::Parse(format!(
+            "trailing tokens after statement: {:?}",
+            &p.tokens[p.pos..]
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Result<Token, QuelError> {
+        let t = self
+            .tokens
+            .get(self.pos)
+            .cloned()
+            .ok_or_else(|| QuelError::Parse("unexpected end of statement".into()))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), QuelError> {
+        let t = self.next()?;
+        if &t == tok {
+            Ok(())
+        } else {
+            Err(QuelError::Parse(format!("expected {tok:?}, found {t:?}")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, QuelError> {
+        match self.next()? {
+            Token::Ident(s) => Ok(s),
+            other => Err(QuelError::Parse(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), QuelError> {
+        let id = self.ident()?;
+        if id == kw {
+            Ok(())
+        } else {
+            Err(QuelError::Parse(format!("expected keyword '{kw}', found '{id}'")))
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s == kw)
+    }
+
+    fn statement(&mut self) -> Result<Statement, QuelError> {
+        let head = self.ident()?;
+        match head.as_str() {
+            "explain" => Ok(Statement::Explain(Box::new(self.statement()?))),
+            "create" => self.create(),
+            "drop" => Ok(Statement::Drop { name: self.ident()? }),
+            "range" => self.range(),
+            "append" => self.append(),
+            "retrieve" => self.retrieve(),
+            "replace" => self.replace(),
+            "delete" => self.delete(),
+            other => Err(QuelError::Parse(format!("unknown statement '{other}'"))),
+        }
+    }
+
+    fn create(&mut self) -> Result<Statement, QuelError> {
+        let name = self.ident()?;
+        self.expect(&Token::LParen)?;
+        let mut columns = Vec::new();
+        loop {
+            let col = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let ty = match self.ident()?.as_str() {
+                "int" => ValueType::Int,
+                "float" => ValueType::Float,
+                "string" => ValueType::Str,
+                other => {
+                    return Err(QuelError::Parse(format!("unknown column type '{other}'")))
+                }
+            };
+            columns.push((col, ty));
+            match self.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(QuelError::Parse(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        let key = if self.peek_keyword("key") {
+            self.pos += 1;
+            Some(self.ident()?)
+        } else {
+            None
+        };
+        Ok(Statement::Create { name, columns, key })
+    }
+
+    fn range(&mut self) -> Result<Statement, QuelError> {
+        self.keyword("of")?;
+        let var = self.ident()?;
+        self.keyword("is")?;
+        let relation = self.ident()?;
+        Ok(Statement::Range { var, relation })
+    }
+
+    fn append(&mut self) -> Result<Statement, QuelError> {
+        self.keyword("to")?;
+        let relation = self.ident()?;
+        let assignments = self.assignments()?;
+        Ok(Statement::Append { relation, assignments })
+    }
+
+    fn assignments(&mut self) -> Result<Vec<Assignment>, QuelError> {
+        self.expect(&Token::LParen)?;
+        let mut out = Vec::new();
+        loop {
+            let column = self.ident()?;
+            self.expect(&Token::Eq)?;
+            let expr = self.expr()?;
+            out.push(Assignment { column, expr });
+            match self.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(QuelError::Parse(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        Ok(out)
+    }
+
+    fn retrieve(&mut self) -> Result<Statement, QuelError> {
+        if self.peek_keyword("into") {
+            self.pos += 1;
+            let name = self.ident()?;
+            let assignments = self.assignments()?;
+            let predicate = self.optional_where()?;
+            return Ok(Statement::RetrieveInto { name, assignments, predicate });
+        }
+        let unique = if self.peek_keyword("unique") {
+            self.pos += 1;
+            true
+        } else {
+            false
+        };
+        self.expect(&Token::LParen)?;
+        let mut targets = Vec::new();
+        loop {
+            targets.push(self.target()?);
+            match self.next()? {
+                Token::Comma => continue,
+                Token::RParen => break,
+                other => return Err(QuelError::Parse(format!("expected ',' or ')', found {other:?}"))),
+            }
+        }
+        let predicate = self.optional_where()?;
+        let sort = if self.peek_keyword("sort") {
+            self.pos += 1;
+            self.keyword("by")?;
+            let key = self.expr()?;
+            let desc = if self.peek_keyword("desc") {
+                self.pos += 1;
+                true
+            } else {
+                if self.peek_keyword("asc") {
+                    self.pos += 1;
+                }
+                false
+            };
+            Some((key, desc))
+        } else {
+            None
+        };
+        Ok(Statement::Retrieve { targets, predicate, unique, sort })
+    }
+
+    fn target(&mut self) -> Result<Target, QuelError> {
+        let first = self.ident()?;
+        match first.as_str() {
+            "min" | "max" | "sum" => {
+                self.expect(&Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(match first.as_str() {
+                    "min" => Target::Min(e),
+                    "max" => Target::Max(e),
+                    _ => Target::Sum(e),
+                })
+            }
+            "count" => {
+                self.expect(&Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Target::Count(e))
+            }
+            var => {
+                self.expect(&Token::Dot)?;
+                let col = self.ident()?;
+                if col == "all" {
+                    Ok(Target::All(var.to_string()))
+                } else {
+                    Ok(Target::Column(ColumnRef { range_var: var.to_string(), column: col }))
+                }
+            }
+        }
+    }
+
+    fn replace(&mut self) -> Result<Statement, QuelError> {
+        let var = self.ident()?;
+        let assignments = self.assignments()?;
+        let predicate = self.optional_where()?;
+        Ok(Statement::Replace { var, assignments, predicate })
+    }
+
+    fn delete(&mut self) -> Result<Statement, QuelError> {
+        let var = self.ident()?;
+        let predicate = self.optional_where()?;
+        Ok(Statement::Delete { var, predicate })
+    }
+
+    fn optional_where(&mut self) -> Result<Option<Expr>, QuelError> {
+        if self.peek_keyword("where") {
+            self.pos += 1;
+            Ok(Some(self.expr()?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    // --- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, QuelError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, QuelError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek_keyword("or") {
+            self.pos += 1;
+            let rhs = self.and_expr()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, QuelError> {
+        let mut lhs = self.not_expr()?;
+        while self.peek_keyword("and") {
+            self.pos += 1;
+            let rhs = self.not_expr()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, QuelError> {
+        if self.peek_keyword("not") {
+            self.pos += 1;
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.comparison()
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, QuelError> {
+        let lhs = self.additive()?;
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::Ne) => Some(BinOp::Ne),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::Le) => Some(BinOp::Le),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::Ge) => Some(BinOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.additive()?;
+            Ok(Expr::binary(op, lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn additive(&mut self) -> Result<Expr, QuelError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn term(&mut self) -> Result<Expr, QuelError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.factor()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn factor(&mut self) -> Result<Expr, QuelError> {
+        match self.next()? {
+            Token::Int(i) => Ok(Expr::Literal(Value::Int(i))),
+            Token::Float(f) => Ok(Expr::Literal(Value::Float(f))),
+            Token::Str(s) => Ok(Expr::Literal(Value::Str(s))),
+            Token::Minus => Ok(Expr::Neg(Box::new(self.factor()?))),
+            Token::LParen => {
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(e)
+            }
+            Token::Ident(id) if id == "abs" => {
+                self.expect(&Token::LParen)?;
+                let e = self.expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(Expr::Abs(Box::new(e)))
+            }
+            Token::Ident(var) => {
+                self.expect(&Token::Dot)?;
+                let column = self.ident()?;
+                Ok(Expr::Column(ColumnRef { range_var: var, column }))
+            }
+            other => Err(QuelError::Parse(format!("unexpected token {other:?} in expression"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_create_with_key() {
+        let s = parse("CREATE nodes (id = int, cost = float, status = string) KEY id").unwrap();
+        match s {
+            Statement::Create { name, columns, key } => {
+                assert_eq!(name, "nodes");
+                assert_eq!(columns.len(), 3);
+                assert_eq!(columns[1], ("cost".into(), ValueType::Float));
+                assert_eq!(key, Some("id".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_range() {
+        let s = parse("RANGE OF n IS nodes").unwrap();
+        assert_eq!(s, Statement::Range { var: "n".into(), relation: "nodes".into() });
+    }
+
+    #[test]
+    fn parses_append() {
+        let s = parse("APPEND TO nodes (id = 3, cost = 1.5 + 2.0, status = \"open\")").unwrap();
+        match s {
+            Statement::Append { relation, assignments } => {
+                assert_eq!(relation, "nodes");
+                assert_eq!(assignments.len(), 3);
+                assert_eq!(assignments[0].column, "id");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_retrieve_with_where() {
+        let s = parse("RETRIEVE (n.id, n.cost) WHERE n.status = \"open\" AND n.cost < 5").unwrap();
+        match s {
+            Statement::Retrieve { targets, predicate, .. } => {
+                assert_eq!(targets.len(), 2);
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_aggregates_and_all() {
+        let s = parse("RETRIEVE (MIN(n.cost + 1), COUNT(n.id), n.all)").unwrap();
+        match s {
+            Statement::Retrieve { targets, .. } => {
+                assert!(matches!(targets[0], Target::Min(_)));
+                assert!(matches!(targets[1], Target::Count(_)));
+                assert_eq!(targets[2], Target::All("n".into()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_replace() {
+        let s = parse("REPLACE n (status = \"closed\", cost = n.cost * 2) WHERE n.id = 7").unwrap();
+        match s {
+            Statement::Replace { var, assignments, predicate } => {
+                assert_eq!(var, "n");
+                assert_eq!(assignments.len(), 2);
+                assert!(predicate.is_some());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_delete_without_where() {
+        let s = parse("DELETE f").unwrap();
+        assert_eq!(s, Statement::Delete { var: "f".into(), predicate: None });
+    }
+
+    #[test]
+    fn operator_precedence() {
+        // 1 + 2 * 3 parses as 1 + (2 * 3).
+        let s = parse("RETRIEVE (MIN(1 + 2 * 3))").unwrap();
+        let Statement::Retrieve { targets, .. } = s else { panic!() };
+        let Target::Min(Expr::Binary { op: BinOp::Add, rhs, .. }) = &targets[0] else {
+            panic!("{targets:?}")
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn and_binds_tighter_than_or() {
+        let s = parse("DELETE f WHERE f.a = 1 OR f.b = 2 AND f.c = 3").unwrap();
+        let Statement::Delete { predicate: Some(Expr::Binary { op, .. }), .. } = s else {
+            panic!()
+        };
+        assert_eq!(op, BinOp::Or);
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        assert!(matches!(parse("DROP x y"), Err(QuelError::Parse(_))));
+    }
+
+    #[test]
+    fn rejects_unknown_statement() {
+        assert!(matches!(parse("SELECT 1"), Err(QuelError::Parse(_))));
+    }
+
+    #[test]
+    fn parses_negation_and_abs() {
+        let s = parse("RETRIEVE (MIN(ABS(-n.cost)))").unwrap();
+        let Statement::Retrieve { targets, .. } = s else { panic!() };
+        assert!(matches!(&targets[0], Target::Min(Expr::Abs(_))));
+    }
+}

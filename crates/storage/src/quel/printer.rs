@@ -1,0 +1,217 @@
+//! Pretty-printing QUEL ASTs back to source — `parse(print(ast)) == ast`.
+//!
+//! Used by tooling (EXPLAIN output, error messages, tests) and verified by
+//! a round-trip property test over generated statements.
+
+use super::ast::{Assignment, BinOp, Expr, Statement, Target};
+use super::value::Value;
+use std::fmt;
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+impl fmt::Display for Expr {
+    /// Fully parenthesised rendering: unambiguous under any precedence,
+    /// which is what makes the round-trip exact.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(Value::Float(v)) => {
+                // Keep a decimal point so the literal lexes as a float.
+                if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e15 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Column(c) => write!(f, "{}.{}", c.range_var, c.column),
+            Expr::Binary { op, lhs, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::Neg(e) => write!(f, "(-{e})"),
+            Expr::Abs(e) => write!(f, "ABS({e})"),
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Column(c) => write!(f, "{}.{}", c.range_var, c.column),
+            Target::All(v) => write!(f, "{v}.ALL"),
+            Target::Min(e) => write!(f, "MIN({e})"),
+            Target::Max(e) => write!(f, "MAX({e})"),
+            Target::Sum(e) => write!(f, "SUM({e})"),
+            Target::Count(e) => write!(f, "COUNT({e})"),
+        }
+    }
+}
+
+fn write_assignments(f: &mut fmt::Formatter<'_>, a: &[Assignment]) -> fmt::Result {
+    write!(f, "(")?;
+    for (i, x) in a.iter().enumerate() {
+        if i > 0 {
+            write!(f, ", ")?;
+        }
+        write!(f, "{} = {}", x.column, x.expr)?;
+    }
+    write!(f, ")")
+}
+
+impl fmt::Display for Statement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Statement::Explain(inner) => write!(f, "EXPLAIN {inner}"),
+            Statement::Create { name, columns, key } => {
+                write!(f, "CREATE {name} (")?;
+                for (i, (col, ty)) in columns.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{col} = {}", ty.keyword())?;
+                }
+                write!(f, ")")?;
+                if let Some(k) = key {
+                    write!(f, " KEY {k}")?;
+                }
+                Ok(())
+            }
+            Statement::Drop { name } => write!(f, "DROP {name}"),
+            Statement::Range { var, relation } => write!(f, "RANGE OF {var} IS {relation}"),
+            Statement::Append { relation, assignments } => {
+                write!(f, "APPEND TO {relation} ")?;
+                write_assignments(f, assignments)
+            }
+            Statement::Retrieve { targets, predicate, unique, sort } => {
+                write!(f, "RETRIEVE ")?;
+                if *unique {
+                    write!(f, "UNIQUE ")?;
+                }
+                write!(f, "(")?;
+                for (i, t) in targets.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, ")")?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                if let Some((key, desc)) = sort {
+                    write!(f, " SORT BY {key}")?;
+                    if *desc {
+                        write!(f, " DESC")?;
+                    }
+                }
+                Ok(())
+            }
+            Statement::RetrieveInto { name, assignments, predicate } => {
+                write!(f, "RETRIEVE INTO {name} ")?;
+                write_assignments(f, assignments)?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Replace { var, assignments, predicate } => {
+                write!(f, "REPLACE {var} ")?;
+                write_assignments(f, assignments)?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+            Statement::Delete { var, predicate } => {
+                write!(f, "DELETE {var}")?;
+                if let Some(p) = predicate {
+                    write!(f, " WHERE {p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::parser::parse;
+
+    fn roundtrip(src: &str) {
+        let ast = parse(src).unwrap_or_else(|e| panic!("{src}: {e}"));
+        let printed = ast.to_string();
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("printed {printed:?} failed: {e}"));
+        assert_eq!(ast, reparsed, "roundtrip changed the AST for {src:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn statements_roundtrip() {
+        for src in [
+            "CREATE nodes (id = int, cost = float, status = string) KEY id",
+            "CREATE t (a = int)",
+            "DROP nodes",
+            "RANGE OF n IS nodes",
+            "APPEND TO nodes (id = 1, cost = 2.5, status = \"open\")",
+            "RETRIEVE (n.id, n.cost) WHERE n.status = \"open\" AND n.cost < 10.0",
+            "RETRIEVE UNIQUE (n.status) SORT BY n.status DESC",
+            "RETRIEVE (MIN(n.cost), MAX(n.cost), SUM(n.cost), COUNT(n.id))",
+            "RETRIEVE (n.all)",
+            "RETRIEVE INTO w (id = n.id, c = n.cost * 2.0) WHERE NOT (n.id = 3)",
+            "REPLACE n (cost = n.cost + 1.0) WHERE n.id >= 2 OR n.id != 0",
+            "DELETE n WHERE ABS(n.cost - 2.0) <= 0.5",
+            "DELETE n",
+            "EXPLAIN RETRIEVE (n.id) WHERE n.cost / 2.0 > 1.0",
+        ] {
+            roundtrip(src);
+        }
+    }
+
+    #[test]
+    fn printed_form_is_stable() {
+        // print(parse(print(parse(s)))) == print(parse(s)): pretty output
+        // is a fixed point.
+        let src = "RETRIEVE (n.id) WHERE n.a = 1 OR n.b = 2 AND n.c = 3";
+        let once = parse(src).unwrap().to_string();
+        let twice = parse(&once).unwrap().to_string();
+        assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn parenthesisation_preserves_precedence() {
+        // The printed form of a right-leaning OR/AND tree reparses to the
+        // same tree even though the parser is left-associative.
+        let src = "DELETE f WHERE f.a = 1 OR f.b = 2 AND f.c = 3";
+        roundtrip(src);
+    }
+
+    #[test]
+    fn float_literals_stay_floats() {
+        let ast = parse("APPEND TO t (x = 3.0)").unwrap();
+        let printed = ast.to_string();
+        assert!(printed.contains("3.0"), "{printed}");
+        roundtrip("APPEND TO t (x = 3.0)");
+    }
+
+    #[test]
+    fn negative_numbers_roundtrip() {
+        roundtrip("RETRIEVE (MIN(-n.cost))");
+        roundtrip("REPLACE n (cost = 0.0 - 1.5) WHERE n.id = 1");
+    }
+}

@@ -1,0 +1,460 @@
+//! Dynamically-schema'd relations for the QUEL interpreter.
+//!
+//! A [`DynRelation`] is a paged heap of fixed-width rows whose layout
+//! comes from a runtime [`Schema`] instead of a compile-time tuple type.
+//! Charging matches the native engine exactly: scans pay one block read
+//! per block (tombstoned slots included), appends pay one block write plus
+//! index adjustment when the relation is keyed, keyed probes pay `I_l`
+//! index reads, and in-place updates pay one tuple update.
+
+use super::value::{Value, ValueType};
+use super::QuelError;
+use crate::block::{Block, BLOCK_SIZE};
+use crate::io::IoStats;
+use std::collections::HashMap;
+
+/// A runtime schema: named, typed, fixed-width columns.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    columns: Vec<(String, ValueType)>,
+    offsets: Vec<usize>,
+    row_size: usize,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Errors
+    /// Fails on duplicate column names or rows wider than a block.
+    pub fn new(columns: Vec<(String, ValueType)>) -> Result<Schema, QuelError> {
+        let mut offsets = Vec::with_capacity(columns.len());
+        let mut off = 0;
+        for (i, (name, ty)) in columns.iter().enumerate() {
+            if columns[..i].iter().any(|(n, _)| n == name) {
+                return Err(QuelError::Parse(format!("duplicate column '{name}'")));
+            }
+            offsets.push(off);
+            off += ty.width();
+        }
+        if off == 0 || off > BLOCK_SIZE {
+            return Err(QuelError::Type(format!("row size {off} invalid")));
+        }
+        Ok(Schema { columns, offsets, row_size: off })
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Encoded row width in bytes.
+    pub fn row_size(&self) -> usize {
+        self.row_size
+    }
+
+    /// Rows per 4096-byte block.
+    pub fn rows_per_block(&self) -> usize {
+        BLOCK_SIZE / self.row_size
+    }
+
+    /// Column names in order.
+    pub fn column_names(&self) -> impl Iterator<Item = &str> {
+        self.columns.iter().map(|(n, _)| n.as_str())
+    }
+
+    /// Index and type of a named column.
+    pub fn column(&self, name: &str) -> Result<(usize, ValueType), QuelError> {
+        self.columns
+            .iter()
+            .position(|(n, _)| n == name)
+            .map(|i| (i, self.columns[i].1))
+            .ok_or_else(|| QuelError::UnknownColumn(name.to_string()))
+    }
+
+    /// Type of column `i`.
+    pub fn column_type(&self, i: usize) -> ValueType {
+        self.columns[i].1
+    }
+
+    fn encode_row(&self, row: &[Value], buf: &mut [u8]) {
+        for (i, v) in row.iter().enumerate() {
+            let w = self.columns[i].1.width();
+            v.encode(&mut buf[self.offsets[i]..self.offsets[i] + w]);
+        }
+    }
+
+    fn decode_row(&self, buf: &[u8]) -> Vec<Value> {
+        self.columns
+            .iter()
+            .enumerate()
+            .map(|(i, (_, ty))| {
+                let w = ty.width();
+                Value::decode(*ty, &buf[self.offsets[i]..self.offsets[i] + w])
+            })
+            .collect()
+    }
+}
+
+/// Hashable key values (float keys are disallowed at CREATE time).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum KeyVal {
+    Int(i64),
+    Str(String),
+}
+
+impl KeyVal {
+    fn from_value(v: &Value) -> Result<KeyVal, QuelError> {
+        match v {
+            Value::Int(i) => Ok(KeyVal::Int(*i)),
+            Value::Str(s) => Ok(KeyVal::Str(s.clone())),
+            Value::Float(_) => Err(QuelError::Type("float keys are not supported".into())),
+        }
+    }
+}
+
+/// A paged relation with runtime schema, optional key index, and
+/// tombstoning deletes (heap space is not reclaimed mid-session, like the
+/// native temp relations).
+#[derive(Debug, Clone)]
+pub struct DynRelation {
+    schema: Schema,
+    blocks: Vec<Block>,
+    live: Vec<bool>,
+    len: usize,
+    live_count: usize,
+    key_column: Option<usize>,
+    directory: HashMap<KeyVal, usize>,
+    index_levels: u64,
+}
+
+impl DynRelation {
+    /// Creates an empty relation (charges the creation cost `I`).
+    ///
+    /// # Errors
+    /// Fails if the key column is missing or float-typed.
+    pub fn create(
+        schema: Schema,
+        key: Option<&str>,
+        index_levels: u64,
+        io: &mut IoStats,
+    ) -> Result<DynRelation, QuelError> {
+        io.create_relation();
+        let key_column = match key {
+            None => None,
+            Some(name) => {
+                let (idx, ty) = schema.column(name)?;
+                if ty == ValueType::Float {
+                    return Err(QuelError::Type("float keys are not supported".into()));
+                }
+                Some(idx)
+            }
+        };
+        Ok(DynRelation {
+            schema,
+            blocks: Vec::new(),
+            live: Vec::new(),
+            len: 0,
+            live_count: 0,
+            key_column,
+            directory: HashMap::new(),
+            index_levels,
+        })
+    }
+
+    /// The schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Live row count (`len` excludes tombstones; the raw slot count is
+    /// an internal detail).
+    #[allow(clippy::misnamed_getters)]
+    pub fn len(&self) -> usize {
+        self.live_count
+    }
+
+    /// Whether no live rows remain.
+    pub fn is_empty(&self) -> bool {
+        self.live_count == 0
+    }
+
+    /// Occupied blocks (tombstones included) — what scans pay for.
+    pub fn block_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Whether the relation has a key index.
+    pub fn is_keyed(&self) -> bool {
+        self.key_column.is_some()
+    }
+
+    /// The key column index, if keyed.
+    pub fn key_column(&self) -> Option<usize> {
+        self.key_column
+    }
+
+    fn locate(&self, slot: usize) -> (usize, usize) {
+        let rpb = self.schema.rows_per_block();
+        (slot / rpb, (slot % rpb) * self.schema.row_size())
+    }
+
+    /// Appends a typed row (QUEL `APPEND`): one block write plus `I_l`
+    /// index adjustments when keyed.
+    ///
+    /// # Errors
+    /// Fails on arity/type mismatch or duplicate key.
+    pub fn append(&mut self, row: Vec<Value>, io: &mut IoStats) -> Result<(), QuelError> {
+        if row.len() != self.schema.arity() {
+            return Err(QuelError::Type(format!(
+                "expected {} values, got {}",
+                self.schema.arity(),
+                row.len()
+            )));
+        }
+        let row: Vec<Value> = row
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.coerce(self.schema.column_type(i)))
+            .collect::<Result<_, _>>()?;
+        if let Some(kc) = self.key_column {
+            let key = KeyVal::from_value(&row[kc])?;
+            if self.directory.contains_key(&key) {
+                return Err(QuelError::DuplicateKey(format!("{:?}", row[kc])));
+            }
+            self.directory.insert(key, self.len);
+        }
+        let slot = self.len;
+        let (b, off) = self.locate(slot);
+        if b == self.blocks.len() {
+            self.blocks.push(Block::new());
+        }
+        let size = self.schema.row_size();
+        self.schema.encode_row(&row, self.blocks[b].bytes_mut(off, size));
+        self.live.push(true);
+        self.len += 1;
+        self.live_count += 1;
+        io.write_blocks(1);
+        if self.key_column.is_some() {
+            io.adjust_index(self.index_levels);
+        }
+        Ok(())
+    }
+
+    /// Full scan over live rows (one read per block).
+    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(usize, Vec<Value>)) {
+        io.read_blocks(self.blocks.len() as u64);
+        for slot in 0..self.len {
+            if self.live[slot] {
+                let (b, off) = self.locate(slot);
+                visit(slot, self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size())));
+            }
+        }
+    }
+
+    /// Keyed probe (charges `I_l` index reads plus one data read).
+    /// Returns `None` for absent keys.
+    pub fn probe(&self, key: &Value, io: &mut IoStats) -> Result<Option<(usize, Vec<Value>)>, QuelError> {
+        io.read_blocks(self.index_levels);
+        let Some(kc) = self.key_column else {
+            return Err(QuelError::Type("relation has no key".into()));
+        };
+        let coerced = key.clone().coerce(self.schema.column_type(kc))?;
+        let key = KeyVal::from_value(&coerced)?;
+        match self.directory.get(&key) {
+            None => Ok(None),
+            Some(&slot) => {
+                io.read_blocks(1);
+                let (b, off) = self.locate(slot);
+                Ok(Some((
+                    slot,
+                    self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size())),
+                )))
+            }
+        }
+    }
+
+    /// In-place update of one slot (one tuple update). Maintains the key
+    /// directory if the key changes.
+    ///
+    /// # Errors
+    /// Fails on type mismatch or a key collision.
+    pub fn update_slot(
+        &mut self,
+        slot: usize,
+        row: Vec<Value>,
+        io: &mut IoStats,
+    ) -> Result<(), QuelError> {
+        debug_assert!(slot < self.len && self.live[slot]);
+        let row: Vec<Value> = row
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| v.coerce(self.schema.column_type(i)))
+            .collect::<Result<_, _>>()?;
+        if let Some(kc) = self.key_column {
+            let (b, off) = self.locate(slot);
+            let old = self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size()));
+            let old_key = KeyVal::from_value(&old[kc])?;
+            let new_key = KeyVal::from_value(&row[kc])?;
+            if old_key != new_key {
+                if self.directory.contains_key(&new_key) {
+                    return Err(QuelError::DuplicateKey(format!("{:?}", row[kc])));
+                }
+                self.directory.remove(&old_key);
+                self.directory.insert(new_key, slot);
+                io.adjust_index(self.index_levels);
+            }
+        }
+        let size = self.schema.row_size();
+        let (b, off) = self.locate(slot);
+        self.schema.encode_row(&row, self.blocks[b].bytes_mut(off, size));
+        io.update_tuples(1);
+        Ok(())
+    }
+
+    /// Tombstones one slot (one tuple update plus index adjustment when
+    /// keyed).
+    pub fn delete_slot(&mut self, slot: usize, io: &mut IoStats) -> Result<(), QuelError> {
+        debug_assert!(slot < self.len && self.live[slot]);
+        if let Some(kc) = self.key_column {
+            let (b, off) = self.locate(slot);
+            let row = self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size()));
+            self.directory.remove(&KeyVal::from_value(&row[kc])?);
+            io.adjust_index(self.index_levels);
+        }
+        self.live[slot] = false;
+        self.live_count -= 1;
+        io.update_tuples(1);
+        Ok(())
+    }
+
+    /// Drops all contents (charges `D_t`).
+    pub fn clear(&mut self, io: &mut IoStats) {
+        io.delete_relation();
+        self.blocks.clear();
+        self.live.clear();
+        self.directory.clear();
+        self.len = 0;
+        self.live_count = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("id".into(), ValueType::Int),
+            ("cost".into(), ValueType::Float),
+            ("status".into(), ValueType::Str),
+        ])
+        .unwrap()
+    }
+
+    fn row(id: i64, cost: f64, status: &str) -> Vec<Value> {
+        vec![Value::Int(id), Value::Float(cost), Value::Str(status.into())]
+    }
+
+    #[test]
+    fn schema_layout() {
+        let s = schema();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.row_size(), 8 + 8 + 16);
+        assert_eq!(s.rows_per_block(), 128);
+        assert_eq!(s.column("cost").unwrap(), (1, ValueType::Float));
+        assert!(s.column("missing").is_err());
+    }
+
+    #[test]
+    fn duplicate_columns_rejected() {
+        assert!(Schema::new(vec![
+            ("a".into(), ValueType::Int),
+            ("a".into(), ValueType::Int)
+        ])
+        .is_err());
+    }
+
+    #[test]
+    fn append_scan_roundtrip() {
+        let mut io = IoStats::new();
+        let mut r = DynRelation::create(schema(), Some("id"), 3, &mut io).unwrap();
+        r.append(row(1, 0.5, "open"), &mut io).unwrap();
+        r.append(row(2, 1.5, "closed"), &mut io).unwrap();
+        let mut seen = Vec::new();
+        r.scan(&mut io, |_, row| seen.push(row));
+        assert_eq!(seen.len(), 2);
+        assert_eq!(seen[0][0], Value::Int(1));
+        assert_eq!(seen[1][2], Value::Str("closed".into()));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut io = IoStats::new();
+        let mut r = DynRelation::create(schema(), Some("id"), 3, &mut io).unwrap();
+        r.append(row(1, 0.5, "open"), &mut io).unwrap();
+        assert!(matches!(
+            r.append(row(1, 9.0, "open"), &mut io),
+            Err(QuelError::DuplicateKey(_))
+        ));
+    }
+
+    #[test]
+    fn probe_hits_and_misses() {
+        let mut io = IoStats::new();
+        let mut r = DynRelation::create(schema(), Some("id"), 3, &mut io).unwrap();
+        r.append(row(7, 2.0, "open"), &mut io).unwrap();
+        let before = io;
+        let hit = r.probe(&Value::Int(7), &mut io).unwrap();
+        assert!(hit.is_some());
+        assert_eq!(io.since(&before).block_reads, 4); // 3 index + 1 data
+        assert!(r.probe(&Value::Int(8), &mut io).unwrap().is_none());
+    }
+
+    #[test]
+    fn delete_tombstones() {
+        let mut io = IoStats::new();
+        let mut r = DynRelation::create(schema(), Some("id"), 3, &mut io).unwrap();
+        r.append(row(1, 0.5, "open"), &mut io).unwrap();
+        r.append(row(2, 1.5, "open"), &mut io).unwrap();
+        r.delete_slot(0, &mut io).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r.probe(&Value::Int(1), &mut io).unwrap().is_none());
+        let mut ids = Vec::new();
+        r.scan(&mut io, |_, row| ids.push(row[0].clone()));
+        assert_eq!(ids, vec![Value::Int(2)]);
+        // Blocks are not reclaimed.
+        assert_eq!(r.block_count(), 1);
+    }
+
+    #[test]
+    fn update_slot_can_move_key() {
+        let mut io = IoStats::new();
+        let mut r = DynRelation::create(schema(), Some("id"), 3, &mut io).unwrap();
+        r.append(row(1, 0.5, "open"), &mut io).unwrap();
+        r.update_slot(0, row(9, 0.5, "open"), &mut io).unwrap();
+        assert!(r.probe(&Value::Int(1), &mut io).unwrap().is_none());
+        assert!(r.probe(&Value::Int(9), &mut io).unwrap().is_some());
+    }
+
+    #[test]
+    fn float_key_rejected() {
+        let mut io = IoStats::new();
+        let s = Schema::new(vec![("x".into(), ValueType::Float)]).unwrap();
+        assert!(DynRelation::create(s, Some("x"), 3, &mut io).is_err());
+    }
+
+    #[test]
+    fn type_coercion_on_append() {
+        let mut io = IoStats::new();
+        let mut r = DynRelation::create(schema(), None, 3, &mut io).unwrap();
+        // Int literal into the float column widens.
+        r.append(vec![Value::Int(1), Value::Int(2), Value::Str("x".into())], &mut io).unwrap();
+        let mut seen = Vec::new();
+        r.scan(&mut io, |_, row| seen.push(row));
+        assert_eq!(seen[0][1], Value::Float(2.0));
+        // String into int fails.
+        assert!(r
+            .append(vec![Value::Str("no".into()), Value::Float(0.0), Value::Str("x".into())], &mut io)
+            .is_err());
+    }
+}

@@ -1,0 +1,211 @@
+//! Typed values and their fixed-width on-page encoding.
+
+use super::QuelError;
+use std::fmt;
+
+/// The column types of the QUEL subset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueType {
+    /// 64-bit signed integer (`int`).
+    Int,
+    /// 64-bit float (`float`).
+    Float,
+    /// Short string, at most [`STRING_CAPACITY`] bytes (`string`) —
+    /// INGRES-era fixed-width character columns.
+    Str,
+}
+
+/// Maximum encoded length of a string value.
+pub const STRING_CAPACITY: usize = 15;
+
+impl ValueType {
+    /// Encoded width in bytes.
+    pub fn width(self) -> usize {
+        match self {
+            ValueType::Int | ValueType::Float => 8,
+            ValueType::Str => STRING_CAPACITY + 1, // length prefix
+        }
+    }
+
+    /// The keyword used in `CREATE` statements.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            ValueType::Int => "int",
+            ValueType::Float => "float",
+            ValueType::Str => "string",
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Integer.
+    Int(i64),
+    /// Float.
+    Float(f64),
+    /// Short string.
+    Str(String),
+}
+
+impl Value {
+    /// The value's type.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Float(_) => ValueType::Float,
+            Value::Str(_) => ValueType::Str,
+        }
+    }
+
+    /// Numeric view: ints widen to floats (QUEL's arithmetic coercion).
+    pub fn as_f64(&self) -> Result<f64, QuelError> {
+        match self {
+            Value::Int(i) => Ok(*i as f64),
+            Value::Float(f) => Ok(*f),
+            Value::Str(s) => Err(QuelError::Type(format!("'{s}' is not numeric"))),
+        }
+    }
+
+    /// Coerces into a column of type `ty` (int → float allowed).
+    pub fn coerce(self, ty: ValueType) -> Result<Value, QuelError> {
+        match (self, ty) {
+            (v @ Value::Int(_), ValueType::Int) => Ok(v),
+            (v @ Value::Float(_), ValueType::Float) => Ok(v),
+            (Value::Int(i), ValueType::Float) => Ok(Value::Float(i as f64)),
+            (Value::Float(f), ValueType::Int) if f.fract() == 0.0 => Ok(Value::Int(f as i64)),
+            (Value::Str(s), ValueType::Str) => {
+                if s.len() > STRING_CAPACITY {
+                    Err(QuelError::Type(format!(
+                        "string '{s}' exceeds {STRING_CAPACITY} bytes"
+                    )))
+                } else {
+                    Ok(Value::Str(s))
+                }
+            }
+            (v, ty) => Err(QuelError::Type(format!(
+                "cannot store {:?} into a {} column",
+                v,
+                ty.keyword()
+            ))),
+        }
+    }
+
+    /// Encodes into exactly `ty.width()` bytes.
+    pub fn encode(&self, buf: &mut [u8]) {
+        match self {
+            Value::Int(i) => buf[..8].copy_from_slice(&i.to_le_bytes()),
+            Value::Float(f) => buf[..8].copy_from_slice(&f.to_le_bytes()),
+            Value::Str(s) => {
+                let bytes = s.as_bytes();
+                buf[0] = bytes.len() as u8;
+                buf[1..1 + bytes.len()].copy_from_slice(bytes);
+                buf[1 + bytes.len()..].fill(0);
+            }
+        }
+    }
+
+    /// Decodes a value of type `ty` from `buf`.
+    pub fn decode(ty: ValueType, buf: &[u8]) -> Value {
+        match ty {
+            ValueType::Int => Value::Int(i64::from_le_bytes(buf[..8].try_into().expect("8 bytes"))),
+            ValueType::Float => {
+                Value::Float(f64::from_le_bytes(buf[..8].try_into().expect("8 bytes")))
+            }
+            ValueType::Str => {
+                let len = (buf[0] as usize).min(STRING_CAPACITY);
+                Value::Str(String::from_utf8_lossy(&buf[1..1 + len]).into_owned())
+            }
+        }
+    }
+
+    /// QUEL comparison: numeric across int/float, lexicographic for
+    /// strings; mixed string/number comparisons are type errors.
+    pub fn compare(&self, other: &Value) -> Result<std::cmp::Ordering, QuelError> {
+        use std::cmp::Ordering;
+        match (self, other) {
+            (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+            (Value::Str(_), _) | (_, Value::Str(_)) => {
+                Err(QuelError::Type("cannot compare string with number".into()))
+            }
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b).ok_or_else(|| QuelError::Type("NaN comparison".into()))
+                    .map(|o| if o == Ordering::Equal { Ordering::Equal } else { o })
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths() {
+        assert_eq!(ValueType::Int.width(), 8);
+        assert_eq!(ValueType::Float.width(), 8);
+        assert_eq!(ValueType::Str.width(), 16);
+    }
+
+    #[test]
+    fn int_roundtrip() {
+        let mut buf = [0u8; 8];
+        Value::Int(-42).encode(&mut buf);
+        assert_eq!(Value::decode(ValueType::Int, &buf), Value::Int(-42));
+    }
+
+    #[test]
+    fn float_roundtrip() {
+        let mut buf = [0u8; 8];
+        Value::Float(1.5e-3).encode(&mut buf);
+        assert_eq!(Value::decode(ValueType::Float, &buf), Value::Float(1.5e-3));
+    }
+
+    #[test]
+    fn string_roundtrip() {
+        let mut buf = [0u8; 16];
+        Value::Str("open".into()).encode(&mut buf);
+        assert_eq!(Value::decode(ValueType::Str, &buf), Value::Str("open".into()));
+    }
+
+    #[test]
+    fn long_string_rejected_by_coercion() {
+        let long = "x".repeat(16);
+        assert!(Value::Str(long).coerce(ValueType::Str).is_err());
+    }
+
+    #[test]
+    fn int_widens_to_float() {
+        assert_eq!(Value::Int(3).coerce(ValueType::Float).unwrap(), Value::Float(3.0));
+    }
+
+    #[test]
+    fn fractional_float_does_not_narrow() {
+        assert!(Value::Float(3.5).coerce(ValueType::Int).is_err());
+        assert_eq!(Value::Float(3.0).coerce(ValueType::Int).unwrap(), Value::Int(3));
+    }
+
+    #[test]
+    fn comparisons() {
+        use std::cmp::Ordering::*;
+        assert_eq!(Value::Int(2).compare(&Value::Float(2.5)).unwrap(), Less);
+        assert_eq!(Value::Str("a".into()).compare(&Value::Str("b".into())).unwrap(), Less);
+        assert!(Value::Str("a".into()).compare(&Value::Int(1)).is_err());
+    }
+
+    #[test]
+    fn string_cannot_be_numeric() {
+        assert!(Value::Str("open".into()).as_f64().is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! Fixed-width tuple codecs for the edge relation `S` and node relation `R`.
+//!
+//! Table 4A fixes the physical layout this crate honours exactly:
+//!
+//! * `T_s = 32` bytes per `S` tuple → `Bf_s = 4096 / 32 = 128` tuples/block;
+//! * `T_r = 16` bytes per `R` tuple → `Bf_r = 4096 / 16 = 256` tuples/block;
+//! * `Bf_rs = 4096 / (16 + 32) = 85` joined tuples/block (the paper rounds
+//!   to 86; we follow the byte arithmetic and document the off-by-one).
+//!
+//! `R`'s logical schema is (node-id, x, y, status, path, path-cost). The
+//! node-id is the ISAM key; ids are dense, so the tuple's *slot position*
+//! encodes it and the 16 payload bytes carry the remaining attributes at
+//! full `f32` precision. `path` is the predecessor pointer ("The complete
+//! path to the source node can be constructed by traversing this pointer",
+//! Section 4); [`NO_PRED`] marks null.
+
+use crate::relations::NodeStatus;
+
+/// Sentinel for a null `path` pointer in a node tuple.
+pub const NO_PRED: u16 = u16::MAX;
+
+/// A fixed-width tuple that can be stored in a heap file.
+pub trait FixedTuple: Clone {
+    /// Encoded size in bytes; must divide evenly into useful block space.
+    const SIZE: usize;
+    /// Writes the tuple into `buf` (`buf.len() == SIZE`).
+    fn encode(&self, buf: &mut [u8]);
+    /// Reads a tuple back from `buf` (`buf.len() == SIZE`).
+    fn decode(buf: &[u8]) -> Self;
+}
+
+/// A tuple of the edge relation `S = (Begin-node, End-node, Edge-cost)`
+/// plus the segment attributes of the Minneapolis data (Section 5.2: "The
+/// data about each segment includes x and y position of the two nodes,
+/// average speed for the segment, average occupancy, and road type"). The
+/// end-node position lets A\* version 1 discover coordinates for nodes it
+/// has not yet appended to its resultant relation.
+///
+/// Layout (32 bytes): begin `u16`, end `u16`, cost `f64`, class `u8`,
+/// 3 pad, occupancy `f32`, end_x `f32`, end_y `f32`, 4 reserved.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EdgeTuple {
+    /// `Begin-node` — the hash-clustering key.
+    pub begin: u16,
+    /// `End-node`.
+    pub end: u16,
+    /// `Edge-cost`.
+    pub cost: f64,
+    /// Road class discriminant (0 street, 1 highway, 2 freeway).
+    pub class: u8,
+    /// Average occupancy in `[0, 1]`.
+    pub occupancy: f32,
+    /// x position of the end node.
+    pub end_x: f32,
+    /// y position of the end node.
+    pub end_y: f32,
+}
+
+impl FixedTuple for EdgeTuple {
+    const SIZE: usize = 32;
+
+    fn encode(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), Self::SIZE);
+        buf[0..2].copy_from_slice(&self.begin.to_le_bytes());
+        buf[2..4].copy_from_slice(&self.end.to_le_bytes());
+        buf[4..12].copy_from_slice(&self.cost.to_le_bytes());
+        buf[12] = self.class;
+        buf[13..16].fill(0);
+        buf[16..20].copy_from_slice(&self.occupancy.to_le_bytes());
+        buf[20..24].copy_from_slice(&self.end_x.to_le_bytes());
+        buf[24..28].copy_from_slice(&self.end_y.to_le_bytes());
+        buf[28..32].fill(0);
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        debug_assert_eq!(buf.len(), Self::SIZE);
+        EdgeTuple {
+            begin: u16::from_le_bytes([buf[0], buf[1]]),
+            end: u16::from_le_bytes([buf[2], buf[3]]),
+            cost: f64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")),
+            class: buf[12],
+            occupancy: f32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
+            end_x: f32::from_le_bytes(buf[20..24].try_into().expect("4 bytes")),
+            end_y: f32::from_le_bytes(buf[24..28].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// A tuple of the node relation `R` (16 payload bytes; the node-id is the
+/// slot position).
+///
+/// Layout: x `f32`, y `f32`, status `u8`, 1 pad, path `u16`, path-cost
+/// `f32`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeTuple {
+    /// `x-coordinate` (for estimator functions).
+    pub x: f32,
+    /// `y-coordinate`.
+    pub y: f32,
+    /// frontier/explored membership: the paper's four-valued `status`
+    /// attribute (Section 4).
+    pub status: NodeStatus,
+    /// Predecessor pointer on the best known path to the source
+    /// ([`NO_PRED`] = null).
+    pub path: u16,
+    /// `path-cost` — cost of the best known path from the source.
+    /// `f32::INFINITY` until the node is reached.
+    pub path_cost: f32,
+}
+
+impl NodeTuple {
+    /// A fresh, unreached node at `(x, y)`.
+    pub fn unreached(x: f32, y: f32) -> Self {
+        NodeTuple { x, y, status: NodeStatus::Null, path: NO_PRED, path_cost: f32::INFINITY }
+    }
+}
+
+impl FixedTuple for NodeTuple {
+    const SIZE: usize = 16;
+
+    fn encode(&self, buf: &mut [u8]) {
+        debug_assert_eq!(buf.len(), Self::SIZE);
+        buf[0..4].copy_from_slice(&self.x.to_le_bytes());
+        buf[4..8].copy_from_slice(&self.y.to_le_bytes());
+        buf[8] = self.status as u8;
+        buf[9] = 0;
+        buf[10..12].copy_from_slice(&self.path.to_le_bytes());
+        buf[12..16].copy_from_slice(&self.path_cost.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        debug_assert_eq!(buf.len(), Self::SIZE);
+        NodeTuple {
+            x: f32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
+            y: f32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
+            status: NodeStatus::from_u8(buf[8]),
+            path: u16::from_le_bytes([buf[10], buf[11]]),
+            path_cost: f32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
+        }
+    }
+}
+
+/// Blocking factor for a tuple type — `Bf = B / T` (Table 4A).
+pub const fn blocking_factor<T: FixedTuple>() -> usize {
+    crate::block::BLOCK_SIZE / T::SIZE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocking_factors_match_table_4a() {
+        assert_eq!(blocking_factor::<EdgeTuple>(), 128); // Bf_s
+        assert_eq!(blocking_factor::<NodeTuple>(), 256); // Bf_r
+    }
+
+    #[test]
+    fn edge_tuple_roundtrip() {
+        let t = EdgeTuple {
+            begin: 17,
+            end: 900,
+            cost: 1.125,
+            class: 2,
+            occupancy: 0.75,
+            end_x: 3.5,
+            end_y: -8.25,
+        };
+        let mut buf = [0u8; 32];
+        t.encode(&mut buf);
+        assert_eq!(EdgeTuple::decode(&buf), t);
+    }
+
+    #[test]
+    fn node_tuple_roundtrip() {
+        let t = NodeTuple {
+            x: 12.5,
+            y: -3.25,
+            status: NodeStatus::Open,
+            path: 42,
+            path_cost: 7.5,
+        };
+        let mut buf = [0u8; 16];
+        t.encode(&mut buf);
+        assert_eq!(NodeTuple::decode(&buf), t);
+    }
+
+    #[test]
+    fn unreached_node_is_null_with_infinite_cost() {
+        let t = NodeTuple::unreached(1.0, 2.0);
+        assert_eq!(t.status, NodeStatus::Null);
+        assert_eq!(t.path, NO_PRED);
+        assert!(t.path_cost.is_infinite());
+        // Infinity survives the codec.
+        let mut buf = [0u8; 16];
+        t.encode(&mut buf);
+        assert!(NodeTuple::decode(&buf).path_cost.is_infinite());
+    }
+
+    #[test]
+    fn all_statuses_roundtrip() {
+        for s in [NodeStatus::Null, NodeStatus::Open, NodeStatus::Closed, NodeStatus::Current] {
+            let t = NodeTuple { x: 0.0, y: 0.0, status: s, path: 0, path_cost: 0.0 };
+            let mut buf = [0u8; 16];
+            t.encode(&mut buf);
+            assert_eq!(NodeTuple::decode(&buf).status, s);
+        }
+    }
+}

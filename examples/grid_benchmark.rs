@@ -1,0 +1,42 @@
+//! The paper's grid benchmark (Section 5.1) at configurable size: runs
+//! the three algorithms over the three query pairs and prints the
+//! paper-style iteration and cost tables.
+//!
+//! ```sh
+//! cargo run --release --example grid_benchmark            # 20x20 default
+//! cargo run --release --example grid_benchmark -- 30 1993 # k and seed
+//! ```
+
+use atis::algorithms::{Algorithm, Database};
+use atis::storage::CostParams;
+use atis::{CostModel, Grid, QueryKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let k: usize = args.next().map(|a| a.parse()).transpose()?.unwrap_or(20);
+    let seed: u64 = args.next().map(|a| a.parse()).transpose()?.unwrap_or(1993);
+    let params = CostParams::default();
+
+    println!("Grid benchmark: {k}x{k} nodes, seed {seed}\n");
+    for model in [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed] {
+        let grid = Grid::new(k, model, seed)?;
+        let db = Database::open(grid.graph())?;
+        println!("--- {} ---", model.label());
+        println!("{:16} {:>14} {:>12} {:>12}", "query", "algorithm", "iterations", "cost units");
+        for kind in QueryKind::TABLE {
+            let (s, d) = grid.query_pair(kind);
+            for alg in Algorithm::TABLE {
+                let t = db.run(alg, s, d)?;
+                println!(
+                    "{:16} {:>14} {:>12} {:>12.1}",
+                    kind.label(),
+                    t.algorithm,
+                    t.iterations,
+                    t.cost_units(&params)
+                );
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

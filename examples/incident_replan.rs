@@ -1,0 +1,63 @@
+//! Live traffic-incident re-planning: the ATIS premise of Section 1.1
+//! ("real-time traffic information"), exercised through the in-place edge
+//! update path — the stored edge relation `S` changes and the very next
+//! query plans around the incident.
+//!
+//! ```sh
+//! cargo run --release --example incident_replan
+//! ```
+
+use atis::algorithms::{Algorithm, Database};
+use atis::{CostModel, Grid, QueryKind};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(12, CostModel::TWENTY_PERCENT, 3)?;
+    let mut db = Database::open(grid.graph())?;
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+    // Morning: plan the commute.
+    let before = db.run(Algorithm::Dijkstra, s, d)?;
+    let route = before.path.clone().expect("grid is connected");
+    println!("planned route: {} segments, cost {:.3}", route.len(), route.cost);
+
+    // An incident closes the middle of that route: every segment of its
+    // central third becomes 10x slower. The updates hit the stored edge
+    // relation in place — no reload.
+    let hops: Vec<_> = route.hops().collect();
+    let third = hops.len() / 3;
+    let blocked = &hops[third..2 * third];
+    for &(u, v) in blocked {
+        let old = grid.graph().edge_cost(u, v).expect("route edge exists");
+        let n = db.update_edge_cost(u, v, old * 10.0)?;
+        assert!(n >= 1);
+        // Two-way street: the reverse direction jams too.
+        if grid.graph().edge_cost(v, u).is_some() {
+            db.update_edge_cost(v, u, old * 10.0)?;
+        }
+    }
+    println!("incident injected on {} segments (10x cost)", blocked.len());
+
+    // Re-plan: the route detours and the old route is now far worse.
+    let after = db.run(Algorithm::Dijkstra, s, d)?;
+    let detour = after.path.clone().expect("still connected");
+    println!("re-planned route: {} segments, cost {:.3}", detour.len(), detour.cost);
+
+    let old_route_cost_now: f64 = route
+        .hops()
+        .map(|(u, v)| {
+            if blocked.contains(&(u, v)) {
+                grid.graph().edge_cost(u, v).unwrap() * 10.0
+            } else {
+                grid.graph().edge_cost(u, v).unwrap()
+            }
+        })
+        .sum();
+    println!(
+        "sticking to the old route would now cost {:.3} — re-planning saves {:.1}%",
+        old_route_cost_now,
+        100.0 * (old_route_cost_now - detour.cost) / old_route_cost_now
+    );
+    assert!(detour.cost <= old_route_cost_now + 1e-9);
+    assert_ne!(route.nodes, detour.nodes, "the detour must differ");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! The paper's motivating scenario: route computation on the Minneapolis
+//! road map. Plans the four Table 8 trips (A→B, C→D, G→D, E→F), compares
+//! the three algorithm classes on each, and renders the chosen route on
+//! the map.
+//!
+//! ```sh
+//! cargo run --release --example minneapolis_commute
+//! ```
+
+use atis::algorithms::Algorithm;
+use atis::core::{evaluate_route, render_map, render_svg, RoutePlanner, SvgOptions};
+use atis::graph::minneapolis::{Minneapolis, NamedPair};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mpls = Minneapolis::paper();
+    println!(
+        "Synthetic Minneapolis map: {} nodes, {} directed road segments",
+        mpls.graph().node_count(),
+        mpls.graph().edge_count()
+    );
+
+    let planner = RoutePlanner::new(mpls.graph())?;
+
+    for pair in NamedPair::ALL {
+        let (s, d) = mpls.query_pair(pair);
+        println!("\n=== Trip {} ===", pair.label());
+        for report in planner.compare(&Algorithm::TABLE, s, d)? {
+            match &report.route {
+                Some(route) => println!(
+                    "  {:16} iterations={:5}  I/O cost={:8.1}  distance={:.2}",
+                    report.algorithm, report.iterations, report.cost_units, route.cost
+                ),
+                None => println!("  {:16} found no route", report.algorithm),
+            }
+        }
+    }
+
+    // Show the default (A* v3) route for the short G -> D trip on the map,
+    // with its evaluation — the kind of answer an ATIS terminal displays.
+    let (s, d) = mpls.query_pair(NamedPair::GtoD);
+    let report = planner.plan(s, d)?;
+    let route = report.route.expect("G and D are connected");
+    let attrs = evaluate_route(mpls.graph(), &route)?;
+    println!(
+        "\nChosen G->D route: {} segments, distance {:.2}, travel time {:.2}, mean occupancy {:.0}%",
+        attrs.segments,
+        attrs.distance,
+        attrs.travel_time,
+        attrs.mean_occupancy * 100.0
+    );
+    println!("{}", render_map(mpls.graph(), Some(&route), mpls.landmarks(), 78, 36));
+
+    // Also emit the map as a vector image (Figure 8, regenerated).
+    let svg = render_svg(mpls.graph(), Some(&route), mpls.landmarks(), &SvgOptions::default());
+    let out = std::env::temp_dir().join("atis_minneapolis.svg");
+    std::fs::write(&out, svg)?;
+    println!("SVG map written to {}", out.display());
+    Ok(())
+}

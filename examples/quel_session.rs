@@ -1,0 +1,137 @@
+//! Dijkstra's algorithm written as an embedded-QUEL program — the way the
+//! paper actually implemented its algorithms ("the algorithms implemented
+//! in EQUEL were run on the graphs").
+//!
+//! The host loop below issues QUEL statements against the interpreted
+//! engine: the graph lives in an `edges` relation, the working state in a
+//! `nodes` relation with the paper's `status` attribute, and every
+//! selection / relaxation is a RETRIEVE or REPLACE. At the end the result
+//! is checked against the in-memory oracle and the native DB-resident
+//! Dijkstra.
+//!
+//! ```sh
+//! cargo run --release --example quel_session
+//! ```
+
+use atis::algorithms::{memory, Algorithm, Database};
+use atis::storage::quel::{QuelEngine, Value};
+use atis::{CostModel, Grid, NodeId, QueryKind};
+
+fn scalar_f64(v: &Value) -> f64 {
+    match v {
+        Value::Int(i) => *i as f64,
+        Value::Float(f) => *f,
+        Value::Str(_) => panic!("expected a number"),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7)?;
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+    println!("QUEL-embedded Dijkstra on a 6x6 grid, {} -> {}\n", s, d);
+
+    let mut quel = QuelEngine::new();
+
+    // --- schema ----------------------------------------------------------
+    quel.run("CREATE edges (src = int, dst = int, w = float)")?;
+    quel.run("CREATE nodes (id = int, cost = float, status = string, pred = int) KEY id")?;
+    quel.run("RANGE OF e IS edges")?;
+    quel.run("RANGE OF n IS nodes")?;
+
+    // --- load the graph ----------------------------------------------------
+    for edge in grid.graph().edges() {
+        quel.run(&format!(
+            "APPEND TO edges (src = {}, dst = {}, w = {:?})",
+            edge.from.0, edge.to.0, edge.cost
+        ))?;
+    }
+    for u in grid.graph().node_ids() {
+        let (status, cost) = if u == s { ("open", 0.0) } else { ("null", 1.0e18) };
+        quel.run(&format!(
+            "APPEND TO nodes (id = {}, cost = {:?}, status = \"{status}\", pred = -1)",
+            u.0, cost
+        ))?;
+    }
+    println!(
+        "loaded {} edge tuples, {} node tuples",
+        quel.relation("edges").unwrap().len(),
+        quel.relation("nodes").unwrap().len()
+    );
+
+    // --- the Figure 2 loop, in QUEL ---------------------------------------
+    let mut iterations = 0u64;
+    let found = loop {
+        // select u from frontierSet with minimum C(s, u)
+        let min = quel.run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"")?;
+        let Some(min_cost) = min.scalar().map(scalar_f64) else {
+            break false; // frontier exhausted
+        };
+        let row = quel.run(&format!(
+            "RETRIEVE (n.id) WHERE n.status = \"open\" AND n.cost <= {min_cost:?}"
+        ))?;
+        let u = match row.rows().first().map(|r| &r[0]) {
+            Some(Value::Int(id)) => *id,
+            _ => break false,
+        };
+        // move u to the exploredSet
+        quel.run(&format!("REPLACE n (status = \"closed\") WHERE n.id = {u}"))?;
+        if u as u32 == d.0 {
+            break true; // Lemma 2 termination
+        }
+        iterations += 1;
+
+        // fetch u.adjacencyList and relax each neighbour
+        let adjacency = quel.run(&format!("RETRIEVE (e.dst, e.w) WHERE e.src = {u}"))?;
+        for hop in adjacency.rows().to_vec() {
+            let (Value::Int(v), w) = (&hop[0], scalar_f64(&hop[1])) else {
+                unreachable!("edges schema is (int, int, float)")
+            };
+            let candidate = min_cost + w;
+            // REPLACE ... WHERE improvement, reopening frontier membership
+            // for previously-unreached nodes.
+            quel.run(&format!(
+                "REPLACE n (cost = {candidate:?}, pred = {u}, status = \"open\") \
+                 WHERE n.id = {v} AND n.cost > {candidate:?} AND n.status != \"closed\""
+            ))?;
+            quel.run(&format!(
+                "REPLACE n (cost = {candidate:?}, pred = {u}) \
+                 WHERE n.id = {v} AND n.cost > {candidate:?} AND n.status = \"closed\""
+            ))?;
+        }
+    };
+
+    assert!(found, "grid is connected");
+    let cost_row = quel.run(&format!("RETRIEVE (n.cost) WHERE n.id = {}", d.0))?;
+    let quel_cost = scalar_f64(&cost_row.rows()[0][0]);
+
+    // Walk the pred pointers back to the source.
+    let mut route = vec![d];
+    let mut cursor = d.0 as i64;
+    while cursor as u32 != s.0 {
+        let row = quel.run(&format!("RETRIEVE (n.pred) WHERE n.id = {cursor}"))?;
+        let Value::Int(p) = row.rows()[0][0] else { unreachable!() };
+        cursor = p;
+        route.push(NodeId(cursor as u32));
+    }
+    route.reverse();
+
+    println!("QUEL Dijkstra: {} iterations, path cost {:.4}", iterations, quel_cost);
+    println!(
+        "QUEL session I/O: {} block reads, {} block writes, {} tuple updates",
+        quel.io.block_reads, quel.io.block_writes, quel.io.tuple_updates
+    );
+    println!("route: {}", route.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" -> "));
+
+    // --- cross-checks ------------------------------------------------------
+    let oracle = memory::dijkstra_pair(grid.graph(), s, d).expect("connected");
+    let native = Database::open(grid.graph())?.run(Algorithm::Dijkstra, s, d)?;
+    println!(
+        "\noracle cost {:.4}, native DB-resident cost {:.4}",
+        oracle.cost,
+        native.path_cost()
+    );
+    assert!((quel_cost - oracle.cost).abs() < 1e-9, "QUEL result must be optimal");
+    assert_eq!(iterations, native.iterations, "same expansion count as the native engine");
+    println!("\nQUEL, native, and in-memory implementations all agree.");
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! A miniature ATIS route server — the deployment the paper's IVHS
+//! context implies: in-vehicle clients query a central map database over
+//! the network for routes ("travel in unfamiliar areas", Section 1.1).
+//!
+//! Line protocol over TCP, one request per line:
+//!
+//! ```text
+//! ROUTE <from> <to>        -> COST <c> SEGMENTS <n> VIA <id> <id> ...
+//! EVAL <id> <id> ...       -> DIST <d> TIME <t>
+//! UPDATE <from> <to> <c>   -> UPDATED <count>   (live traffic)
+//! QUIT
+//! ```
+//!
+//! Run `--serve [port]` for a real server, or with no arguments for a
+//! self-test that spins the server up on an ephemeral port and exercises
+//! it with a client, including a live traffic update between two
+//! identical queries.
+//!
+//! ```sh
+//! cargo run --release --example route_server            # self-test
+//! cargo run --release --example route_server -- --serve # listen on 4750
+//! ```
+
+use atis::algorithms::{Algorithm, Database};
+use atis::core::evaluate_route;
+use atis::{CostModel, Grid, NodeId, Path};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+
+fn respond(db: &Mutex<Database>, line: &str) -> String {
+    let mut parts = line.split_whitespace();
+    let parse_node = |t: Option<&str>| -> Result<NodeId, String> {
+        let t = t.ok_or("missing node id")?;
+        let id: u32 = t.parse().map_err(|_| format!("bad node id {t:?}"))?;
+        Ok(NodeId(id))
+    };
+    match parts.next() {
+        Some("ROUTE") => (|| -> Result<String, String> {
+            let s = parse_node(parts.next())?;
+            let d = parse_node(parts.next())?;
+            let db = db.lock().expect("server mutex");
+            let trace = db.run(Algorithm::AStar(atis::algorithms::AStarVersion::V3), s, d)
+                .map_err(|e| e.to_string())?;
+            match trace.path {
+                Some(p) => Ok(format!(
+                    "COST {:.4} SEGMENTS {} VIA {}",
+                    p.cost,
+                    p.len(),
+                    p.nodes.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(" ")
+                )),
+                None => Err("unreachable".into()),
+            }
+        })()
+        .unwrap_or_else(|e| format!("ERR {e}")),
+        Some("EVAL") => (|| -> Result<String, String> {
+            let nodes: Vec<NodeId> = parts
+                .map(|t| t.parse::<u32>().map(NodeId).map_err(|_| format!("bad id {t:?}")))
+                .collect::<Result<_, _>>()?;
+            if nodes.len() < 2 {
+                return Err("need at least two nodes".into());
+            }
+            let db = db.lock().expect("server mutex");
+            let cost = nodes
+                .windows(2)
+                .map(|w| db.graph().edge_cost(w[0], w[1]).ok_or("not a road"))
+                .sum::<Result<f64, _>>()?;
+            let path = Path { nodes, cost };
+            let attrs = evaluate_route(db.graph(), &path).map_err(|e| e.to_string())?;
+            Ok(format!("DIST {:.4} TIME {:.4}", attrs.distance, attrs.travel_time))
+        })()
+        .unwrap_or_else(|e| format!("ERR {e}")),
+        Some("UPDATE") => (|| -> Result<String, String> {
+            let u = parse_node(parts.next())?;
+            let v = parse_node(parts.next())?;
+            let c: f64 = parts
+                .next()
+                .ok_or("missing cost")?
+                .parse()
+                .map_err(|_| "bad cost".to_string())?;
+            let mut db = db.lock().expect("server mutex");
+            let n = db.update_edge_cost(u, v, c).map_err(|e| e.to_string())?;
+            Ok(format!("UPDATED {n}"))
+        })()
+        .unwrap_or_else(|e| format!("ERR {e}")),
+        Some("QUIT") => "BYE".to_string(),
+        _ => "ERR unknown command".to_string(),
+    }
+}
+
+fn serve(listener: TcpListener, db: Arc<Mutex<Database>>) {
+    for stream in listener.incoming() {
+        let Ok(stream) = stream else { continue };
+        let db = db.clone();
+        std::thread::spawn(move || handle(stream, &db));
+    }
+}
+
+fn handle(stream: TcpStream, db: &Mutex<Database>) {
+    let mut writer = stream.try_clone().expect("clone stream");
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        let reply = respond(db, &line);
+        let done = reply == "BYE";
+        if writeln!(writer, "{reply}").is_err() {
+            break;
+        }
+        if done {
+            break;
+        }
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grid = Grid::new(12, CostModel::TWENTY_PERCENT, 3)?;
+    let db = Arc::new(Mutex::new(Database::open(grid.graph())?));
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--serve") {
+        let port: u16 = args.get(1).map(|p| p.parse()).transpose()?.unwrap_or(4750);
+        let listener = TcpListener::bind(("127.0.0.1", port))?;
+        println!("ATIS route server on 127.0.0.1:{port} (12x12 grid map)");
+        serve(listener, db);
+        return Ok(());
+    }
+
+    // --- self-test ---------------------------------------------------------
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    {
+        let db = db.clone();
+        std::thread::spawn(move || serve(listener, db));
+    }
+
+    let mut client = TcpStream::connect(addr)?;
+    let mut reader = BufReader::new(client.try_clone()?);
+    let mut ask = |req: &str| -> std::io::Result<String> {
+        writeln!(client, "{req}")?;
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        println!("> {req}\n< {}", line.trim_end());
+        Ok(line.trim_end().to_string())
+    };
+
+    let first = ask("ROUTE 0 143")?;
+    assert!(first.starts_with("COST "), "{first}");
+    let via: Vec<u32> = first
+        .split(" VIA ")
+        .nth(1)
+        .expect("VIA clause")
+        .split_whitespace()
+        .map(|t| t.parse().unwrap())
+        .collect();
+
+    let eval = ask(&format!(
+        "EVAL {}",
+        via.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
+    ))?;
+    assert!(eval.starts_with("DIST "), "{eval}");
+
+    // Jam the first hop of the returned route and watch the route change.
+    let update = ask(&format!("UPDATE {} {} 50.0", via[0], via[1]))?;
+    assert!(update.starts_with("UPDATED "), "{update}");
+    let second = ask("ROUTE 0 143")?;
+    assert!(second.starts_with("COST "), "{second}");
+    assert_ne!(first, second, "the jammed route must change");
+
+    assert!(ask("NOPE")?.starts_with("ERR"));
+    assert_eq!(ask("QUIT")?, "BYE");
+    println!("\nself-test passed: live update changed the planned route");
+    Ok(())
+}

@@ -1,0 +1,277 @@
+//! `atis` — command-line route planning over interchange-format maps.
+//!
+//! ```text
+//! atis export-map grid 20 1993 variance map.txt   # write a benchmark grid
+//! atis export-map minneapolis map.txt             # write the synthetic map
+//! atis info map.txt                               # network statistics
+//! atis route map.txt 0 399                        # plan with A* (version 3)
+//! atis route map.txt 3.5,2.0 28.0,30.5            # endpoints as map coordinates
+//! atis route map.txt 0 399 --algorithm dijkstra --svg route.svg
+//! atis compare map.txt 0 399                      # all three algorithms
+//! ```
+
+use atis::algorithms::{AStarVersion, Algorithm};
+use atis::core::{
+    evaluate_route, plan_alternatives, plan_trip, render_svg, turn_instructions, RoutePlanner,
+    SvgOptions,
+};
+use atis::graph::{format, Minneapolis};
+use atis::{CostModel, Graph, Grid, NodeId};
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         atis export-map grid <k> <seed> <uniform|variance|skewed> <file>\n  \
+         atis export-map radial <rings> <spokes> <seed> <file>\n  \
+         atis export-map minneapolis <file>\n  \
+         atis info <file>\n  \
+         atis route <file> <from> <to> [--algorithm iterative|dijkstra|astar1|astar2|astar3] [--svg <out>]\n  \
+         atis compare <file> <from> <to>\n  \
+         atis trip <file> <stop> <stop> [<stop>...]\n  \
+         atis alternatives <file> <from> <to> [<k>]"
+    );
+    ExitCode::from(2)
+}
+
+fn fail(message: impl std::fmt::Display) -> ExitCode {
+    eprintln!("error: {message}");
+    ExitCode::FAILURE
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    format::read_graph(&text).map_err(|e| format!("cannot parse {path}: {e}"))
+}
+
+/// Endpoints are either node ids (`42`) or map coordinates (`x,y`), which
+/// snap to the nearest connected node.
+fn parse_node(graph: &Graph, token: &str) -> Result<NodeId, String> {
+    if let Some((xs, ys)) = token.split_once(',') {
+        let x: f64 = xs.trim().parse().map_err(|_| format!("invalid x in {token:?}"))?;
+        let y: f64 = ys.trim().parse().map_err(|_| format!("invalid y in {token:?}"))?;
+        return graph
+            .nearest_node(atis::graph::Point::new(x, y))
+            .ok_or_else(|| "the map has no nodes".to_string());
+    }
+    let id: u32 = token.parse().map_err(|_| format!("invalid node id {token:?}"))?;
+    let node = NodeId(id);
+    if graph.contains(node) {
+        Ok(node)
+    } else {
+        Err(format!("node {id} is outside the map (0..{})", graph.node_count()))
+    }
+}
+
+fn parse_algorithm(token: &str) -> Result<Algorithm, String> {
+    match token {
+        "iterative" => Ok(Algorithm::Iterative),
+        "dijkstra" => Ok(Algorithm::Dijkstra),
+        "astar1" => Ok(Algorithm::AStar(AStarVersion::V1)),
+        "astar2" => Ok(Algorithm::AStar(AStarVersion::V2)),
+        "astar3" => Ok(Algorithm::AStar(AStarVersion::V3)),
+        other => Err(format!("unknown algorithm {other:?}")),
+    }
+}
+
+fn export_map(args: &[String]) -> Result<(), String> {
+    let (graph, file) = match args {
+        [kind, file] if kind == "minneapolis" => (Minneapolis::paper().graph().clone(), file),
+        [kind, rings, spokes, seed, file] if kind == "radial" => {
+            let rings: usize = rings.parse().map_err(|_| format!("invalid rings {rings:?}"))?;
+            let spokes: usize =
+                spokes.parse().map_err(|_| format!("invalid spokes {spokes:?}"))?;
+            let seed: u64 = seed.parse().map_err(|_| format!("invalid seed {seed:?}"))?;
+            let city = atis::graph::RadialCity::new(rings, spokes, 0.1, seed)
+                .map_err(|e| e.to_string())?;
+            (city.graph().clone(), file)
+        }
+        [kind, k, seed, model, file] if kind == "grid" => {
+            let k: usize = k.parse().map_err(|_| format!("invalid grid size {k:?}"))?;
+            let seed: u64 = seed.parse().map_err(|_| format!("invalid seed {seed:?}"))?;
+            let model = match model.as_str() {
+                "uniform" => CostModel::Uniform,
+                "variance" => CostModel::TWENTY_PERCENT,
+                "skewed" => CostModel::Skewed,
+                other => return Err(format!("unknown cost model {other:?}")),
+            };
+            let grid = Grid::new(k, model, seed).map_err(|e| e.to_string())?;
+            (grid.graph().clone(), file)
+        }
+        _ => return Err("export-map: bad arguments (see usage)".into()),
+    };
+    std::fs::write(file, format::write_graph(&graph)).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} nodes, {} directed edges)",
+        file,
+        graph.node_count(),
+        graph.edge_count()
+    );
+    Ok(())
+}
+
+fn info(args: &[String]) -> Result<(), String> {
+    let [file] = args else { return Err("info: expected one map file".into()) };
+    let graph = load(file)?;
+    println!("map: {file}");
+    println!("  nodes:          {}", graph.node_count());
+    println!("  directed edges: {}", graph.edge_count());
+    println!("  average degree: {:.2}", graph.average_degree());
+    println!("  min edge cost:  {:.4}", graph.min_edge_cost());
+    let one_way = graph
+        .edges()
+        .filter(|e| graph.edge_cost(e.to, e.from).is_none())
+        .count();
+    println!("  one-way edges:  {one_way}");
+    Ok(())
+}
+
+fn route(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err("route: expected <file> <from> <to>".into());
+    }
+    let graph = load(&args[0])?;
+    let s = parse_node(&graph, &args[1])?;
+    let d = parse_node(&graph, &args[2])?;
+    let mut algorithm = Algorithm::AStar(AStarVersion::V3);
+    let mut svg_out: Option<&str> = None;
+    let mut rest = args[3..].iter();
+    while let Some(flag) = rest.next() {
+        match flag.as_str() {
+            "--algorithm" => {
+                let v = rest.next().ok_or("--algorithm needs a value")?;
+                algorithm = parse_algorithm(v)?;
+            }
+            "--svg" => svg_out = Some(rest.next().ok_or("--svg needs a file")?),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+
+    let planner =
+        RoutePlanner::new(&graph).map_err(|e| e.to_string())?.with_algorithm(algorithm);
+    let report = planner.plan(s, d).map_err(|e| e.to_string())?;
+    let Some(routed) = report.route.clone() else {
+        return Err(format!("no route from {s} to {d}"));
+    };
+    println!("{}: {} segments, cost {:.3}", report.algorithm, routed.len(), routed.cost);
+    println!(
+        "{} iterations, {:.1} simulated I/O units, {:.2} ms wall",
+        report.iterations,
+        report.cost_units,
+        report.wall.as_secs_f64() * 1e3
+    );
+    let attrs = evaluate_route(&graph, &routed).map_err(|e| e.to_string())?;
+    println!(
+        "distance {:.2}, est. travel time {:.2}, mean occupancy {:.0}%",
+        attrs.distance,
+        attrs.travel_time,
+        attrs.mean_occupancy * 100.0
+    );
+    println!("\nDirections:");
+    for line in turn_instructions(&graph, &routed) {
+        println!("  - {line}");
+    }
+    if let Some(out) = svg_out {
+        let svg = render_svg(&graph, Some(&routed), &[('S', s), ('D', d)], &SvgOptions::default());
+        std::fs::write(out, svg).map_err(|e| e.to_string())?;
+        println!("\nSVG written to {out}");
+    }
+    Ok(())
+}
+
+fn compare(args: &[String]) -> Result<(), String> {
+    let [file, from, to] = args else { return Err("compare: expected <file> <from> <to>".into()) };
+    let graph = load(file)?;
+    let s = parse_node(&graph, from)?;
+    let d = parse_node(&graph, to)?;
+    let planner = RoutePlanner::new(&graph).map_err(|e| e.to_string())?;
+    println!("{:16} {:>10} {:>12} {:>10}", "algorithm", "iterations", "cost units", "path cost");
+    for report in planner.compare(&Algorithm::TABLE, s, d).map_err(|e| e.to_string())? {
+        println!(
+            "{:16} {:>10} {:>12.1} {:>10.3}",
+            report.algorithm,
+            report.iterations,
+            report.cost_units,
+            report.route.as_ref().map_or(f64::NAN, |p| p.cost)
+        );
+    }
+    Ok(())
+}
+
+fn trip(args: &[String]) -> Result<(), String> {
+    if args.len() < 3 {
+        return Err("trip: expected <file> and at least two stops".into());
+    }
+    let graph = load(&args[0])?;
+    let stops: Vec<NodeId> = args[1..]
+        .iter()
+        .map(|t| parse_node(&graph, t))
+        .collect::<Result<_, _>>()?;
+    let planner = RoutePlanner::new(&graph).map_err(|e| e.to_string())?;
+    let plan = plan_trip(&planner, &stops).map_err(|e| e.to_string())?;
+    println!(
+        "trip through {} stops: {} segments, cost {:.3}",
+        stops.len(),
+        plan.route.len(),
+        plan.route.cost
+    );
+    for (i, leg) in plan.legs.iter().enumerate() {
+        let route = leg.route.as_ref().expect("plan_trip rejects unreachable legs");
+        println!(
+            "  leg {}: {} -> {}  cost {:.3}  ({} iterations, {:.1} I/O units)",
+            i + 1,
+            route.source(),
+            route.destination(),
+            route.cost,
+            leg.iterations,
+            leg.cost_units
+        );
+    }
+    Ok(())
+}
+
+fn alternatives(args: &[String]) -> Result<(), String> {
+    if !(3..=4).contains(&args.len()) {
+        return Err("alternatives: expected <file> <from> <to> [<k>]".into());
+    }
+    let graph = load(&args[0])?;
+    let s = parse_node(&graph, &args[1])?;
+    let d = parse_node(&graph, &args[2])?;
+    let k: usize = match args.get(3) {
+        Some(t) => t.parse().map_err(|_| format!("invalid k {t:?}"))?,
+        None => 3,
+    };
+    let routes = plan_alternatives(&graph, s, d, k, 0.4).map_err(|e| e.to_string())?;
+    for (i, route) in routes.iter().enumerate() {
+        let attrs = evaluate_route(&graph, route).map_err(|e| e.to_string())?;
+        println!(
+            "option {}: cost {:.3}, {} segments, est. travel time {:.2}",
+            i + 1,
+            route.cost,
+            route.len(),
+            attrs.travel_time
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        return usage();
+    };
+    let result = match command.as_str() {
+        "export-map" => export_map(rest),
+        "info" => info(rest),
+        "route" => route(rest),
+        "compare" => compare(rest),
+        "trip" => trip(rest),
+        "alternatives" => alternatives(rest),
+        "--help" | "-h" | "help" => return usage(),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => fail(e),
+    }
+}

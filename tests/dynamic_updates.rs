@@ -1,0 +1,95 @@
+//! Real-time edge-cost updates: the resident graph and the stored edge
+//! relation must stay in sync, and re-planning after an update must match
+//! planning on a freshly loaded network.
+
+use atis::algorithms::{memory, Algorithm, Database};
+use atis::{CostModel, Grid, NodeId, QueryKind};
+
+#[test]
+fn update_propagates_to_graph_and_relation() {
+    let grid = Grid::new(6, CostModel::Uniform, 0).unwrap();
+    let mut db = Database::open(grid.graph()).unwrap();
+    let (u, v) = (grid.node_at(2, 2), grid.node_at(2, 3));
+    let n = db.update_edge_cost(u, v, 9.5).unwrap();
+    assert_eq!(n, 1);
+    // The resident graph changed...
+    assert_eq!(db.graph().edge_cost(u, v), Some(9.5));
+    // ...and so did the stored S tuples.
+    let mut io = atis::storage::IoStats::new();
+    let adj = db.edges().fetch_adjacency(u.0 as u16, &mut io);
+    let tuple = adj.iter().find(|t| t.end == v.0 as u16).unwrap();
+    assert_eq!(tuple.cost, 9.5);
+    // The reverse direction is untouched (directed update).
+    assert_eq!(db.graph().edge_cost(v, u), Some(1.0));
+}
+
+#[test]
+fn replanning_after_update_matches_fresh_load() {
+    let grid = Grid::new(9, CostModel::TWENTY_PERCENT, 21).unwrap();
+    let mut db = Database::open(grid.graph()).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+    // Jam a band of edges.
+    let route = db.run(Algorithm::Dijkstra, s, d).unwrap().path.unwrap();
+    let jammed: Vec<_> = route.hops().take(5).collect();
+    for &(u, v) in &jammed {
+        let old = db.graph().edge_cost(u, v).unwrap();
+        db.update_edge_cost(u, v, old * 8.0).unwrap();
+        let old_back = db.graph().edge_cost(v, u).unwrap();
+        db.update_edge_cost(v, u, old_back * 8.0).unwrap();
+    }
+
+    // Every algorithm agrees with the oracle on the *updated* network.
+    let oracle = memory::dijkstra_pair(db.graph(), s, d).unwrap();
+    for alg in [Algorithm::Dijkstra, Algorithm::Iterative] {
+        let t = db.run(alg, s, d).unwrap();
+        let recomputed = t.path.unwrap().validate(db.graph()).unwrap();
+        assert!(
+            (recomputed - oracle.cost).abs() < 1e-3,
+            "{} after update: {} vs {}",
+            alg.label(),
+            recomputed,
+            oracle.cost
+        );
+    }
+
+    // And matches a database loaded fresh from the updated graph.
+    let fresh = Database::open(db.graph()).unwrap();
+    let a = db.run(Algorithm::Dijkstra, s, d).unwrap();
+    let b = fresh.run(Algorithm::Dijkstra, s, d).unwrap();
+    assert_eq!(a.iterations, b.iterations);
+    assert_eq!(a.expansion_order, b.expansion_order);
+    assert!((a.path_cost() - b.path_cost()).abs() < 1e-6);
+}
+
+#[test]
+fn updates_reject_invalid_costs_and_unknown_nodes() {
+    let grid = Grid::new(4, CostModel::Uniform, 0).unwrap();
+    let mut db = Database::open(grid.graph()).unwrap();
+    let (u, v) = (grid.node_at(0, 0), grid.node_at(0, 1));
+    assert!(db.update_edge_cost(u, v, -1.0).is_err());
+    assert!(db.update_edge_cost(u, v, f64::NAN).is_err());
+    assert!(db.update_edge_cost(NodeId(999), v, 1.0).is_err());
+    assert!(db.update_edge_cost(u, NodeId(999), 1.0).is_err());
+    // A valid but non-existent edge updates zero tuples.
+    let far = grid.node_at(3, 3);
+    assert_eq!(db.update_edge_cost(u, far, 1.0).unwrap(), 0);
+    // Nothing was corrupted along the way.
+    assert_eq!(db.graph().edge_cost(u, v), Some(1.0));
+}
+
+#[test]
+fn update_then_restore_is_identity_for_planning() {
+    let grid = Grid::new(7, CostModel::TWENTY_PERCENT, 2).unwrap();
+    let mut db = Database::open(grid.graph()).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+    let before = db.run(Algorithm::Dijkstra, s, d).unwrap();
+    let (u, v) = (grid.node_at(3, 3), grid.node_at(3, 4));
+    let original = db.graph().edge_cost(u, v).unwrap();
+    db.update_edge_cost(u, v, original * 50.0).unwrap();
+    db.update_edge_cost(u, v, original).unwrap();
+    let after = db.run(Algorithm::Dijkstra, s, d).unwrap();
+    assert_eq!(before.iterations, after.iterations);
+    assert_eq!(before.expansion_order, after.expansion_order);
+    assert_eq!(before.io, after.io);
+}

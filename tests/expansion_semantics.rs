@@ -1,0 +1,121 @@
+//! Semantic invariants of the search algorithms, checked on the actual
+//! expansion traces: Dijkstra expands in nondecreasing distance order,
+//! A\* with a consistent estimator expands in nondecreasing f order and
+//! never reopens, and the iterative algorithm's rounds follow hop levels.
+
+use atis::algorithms::{memory, AStarVersion, Algorithm, Database, Estimator};
+use atis::{CostModel, Grid, Minneapolis, QueryKind};
+
+#[test]
+fn dijkstra_expands_in_nondecreasing_distance_order() {
+    let grid = Grid::new(10, CostModel::TWENTY_PERCENT, 9).unwrap();
+    let db = Database::open(grid.graph()).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+    let trace = db.run(Algorithm::Dijkstra, s, d).unwrap();
+    let (dist, _) = memory::dijkstra_all(grid.graph(), s);
+    let mut last = 0.0f64;
+    for &n in &trace.expansion_order {
+        let g = dist[n.index()];
+        assert!(
+            g >= last - 1e-4,
+            "expansion of {n} at distance {g} after distance {last}"
+        );
+        last = g;
+    }
+    // The first expansion is the source itself.
+    assert_eq!(trace.expansion_order.first(), Some(&s));
+}
+
+#[test]
+fn astar_with_consistent_estimator_expands_in_nondecreasing_f_order() {
+    // Manhattan on a variance grid is consistent (|Δh| = 1 <= cost), so f
+    // along the expansion sequence must be monotone and no node reopens.
+    let grid = Grid::new(10, CostModel::TWENTY_PERCENT, 31).unwrap();
+    let db = Database::open(grid.graph()).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+    let trace = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
+    assert_eq!(trace.reopened, 0, "consistent estimators never reopen");
+    let (dist, _) = memory::dijkstra_all(grid.graph(), s);
+    let dest = grid.graph().point(d);
+    let mut last = 0.0f64;
+    for &n in &trace.expansion_order {
+        let f = dist[n.index()] + Estimator::Manhattan.evaluate(grid.graph().point(n), dest);
+        assert!(f >= last - 1e-3, "f regressed at {n}: {f} after {last}");
+        last = f;
+    }
+}
+
+#[test]
+fn expansions_are_unique_when_no_reopening_happens() {
+    let grid = Grid::new(9, CostModel::TWENTY_PERCENT, 12).unwrap();
+    let db = Database::open(grid.graph()).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+    for alg in [Algorithm::Dijkstra, Algorithm::AStar(AStarVersion::V3)] {
+        let trace = db.run(alg, s, d).unwrap();
+        if trace.reopened == 0 {
+            let mut seen = trace.expansion_order.clone();
+            seen.sort();
+            let before = seen.len();
+            seen.dedup();
+            assert_eq!(seen.len(), before, "{}: duplicate expansion", alg.label());
+        }
+    }
+}
+
+#[test]
+fn iterative_rounds_follow_hop_levels_on_uniform_grids() {
+    // Under unit costs there is no reopening, so the nodes expanded in
+    // round i are exactly those at hop distance i-1 from the source.
+    let grid = Grid::new(7, CostModel::Uniform, 0).unwrap();
+    let db = Database::open(grid.graph()).unwrap();
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+    let trace = db.run(Algorithm::Iterative, s, d).unwrap();
+    // Reconstruct rounds from the flattened order using hop distances.
+    let mut last_level = 0usize;
+    for &n in &trace.expansion_order {
+        let level = grid.hop_distance(s, n);
+        assert!(
+            level >= last_level || level + 1 >= last_level,
+            "node {n} at level {level} expanded after level {last_level}"
+        );
+        last_level = last_level.max(level);
+    }
+    assert_eq!(trace.expanded, grid.graph().node_count() as u64);
+}
+
+#[test]
+fn astar_expansion_count_never_exceeds_dijkstras_on_admissible_grids() {
+    for seed in [4u64, 8, 15] {
+        let grid = Grid::new(9, CostModel::TWENTY_PERCENT, seed).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        for kind in QueryKind::TABLE {
+            let (s, d) = grid.query_pair(kind);
+            let a = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
+            let dj = db.run(Algorithm::Dijkstra, s, d).unwrap();
+            assert!(
+                a.iterations <= dj.iterations,
+                "seed {seed} {kind:?}: A* {} > Dijkstra {}",
+                a.iterations,
+                dj.iterations
+            );
+        }
+    }
+}
+
+#[test]
+fn minneapolis_inconsistent_estimator_reopens_but_terminates() {
+    // Manhattan is inadmissible on the Minneapolis map, so reopening is
+    // both possible and observed on the long diagonals; iteration counts
+    // must stay finite and bounded well under pathological blowup.
+    let m = Minneapolis::paper();
+    let db = Database::open(m.graph()).unwrap();
+    let (s, d) = m.query_pair(atis::graph::minneapolis::NamedPair::AtoB);
+    let t = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
+    assert!(t.reopened > 0, "the downtown warp should force reopening");
+    assert!(
+        t.iterations < 4 * m.graph().node_count() as u64,
+        "{} iterations is runaway",
+        t.iterations
+    );
+    assert!(t.found());
+}

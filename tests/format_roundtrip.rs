@@ -1,0 +1,93 @@
+//! Property tests for the road-network interchange format: serialising
+//! any valid graph and parsing it back must be the identity, and the
+//! planner must behave identically on the round-tripped network.
+
+use atis::algorithms::{Algorithm, Database};
+use atis::graph::format::{read_graph, write_graph};
+use atis::graph::graph::GraphBuilder;
+use atis::graph::{Edge, NodeId, Point, RoadClass};
+use atis::{CostModel, Graph, Grid, Minneapolis};
+use proptest::prelude::*;
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (1usize..30).prop_flat_map(|n| {
+        let nodes = prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), n..=n);
+        let edges = prop::collection::vec(
+            (0..n as u32, 0..n as u32, 0.0f64..50.0, 0u8..3, 0.0f64..1.0),
+            0..n * 3,
+        );
+        (nodes, edges).prop_map(|(nodes, edges)| {
+            let mut b = GraphBuilder::with_capacity(nodes.len(), edges.len());
+            for (x, y) in nodes {
+                b.add_node(Point::new(x, y));
+            }
+            for (u, v, cost, class, occ) in edges {
+                let class = [RoadClass::Street, RoadClass::Highway, RoadClass::Freeway]
+                    [class as usize];
+                b.add_edge(Edge::new(NodeId(u), NodeId(v), cost).with_class(class).with_occupancy(occ));
+            }
+            b.build().expect("generated graphs are valid")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn roundtrip_is_identity(g in arb_graph()) {
+        let back = read_graph(&write_graph(&g)).expect("own output must parse");
+        prop_assert_eq!(back.node_count(), g.node_count());
+        prop_assert_eq!(back.edge_count(), g.edge_count());
+        for u in g.node_ids() {
+            prop_assert_eq!(g.point(u), back.point(u));
+        }
+        for (a, b) in g.edges().zip(back.edges()) {
+            prop_assert_eq!((a.from, a.to), (b.from, b.to));
+            prop_assert_eq!(a.cost, b.cost);
+            prop_assert_eq!(a.class, b.class);
+            prop_assert!((a.occupancy - b.occupancy).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn double_roundtrip_is_stable(g in arb_graph()) {
+        let once = write_graph(&g);
+        let twice = write_graph(&read_graph(&once).unwrap());
+        prop_assert_eq!(once, twice);
+    }
+}
+
+#[test]
+fn planner_behaves_identically_on_roundtripped_maps() {
+    let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 17).unwrap();
+    let back = read_graph(&write_graph(grid.graph())).unwrap();
+    let a = Database::open(grid.graph()).unwrap();
+    let b = Database::open(&back).unwrap();
+    let (s, d) = grid.query_pair(atis::QueryKind::Diagonal);
+    for alg in Algorithm::TABLE {
+        let ta = a.run(alg, s, d).unwrap();
+        let tb = b.run(alg, s, d).unwrap();
+        assert_eq!(ta.iterations, tb.iterations, "{}", alg.label());
+        assert_eq!(ta.expansion_order, tb.expansion_order);
+        assert_eq!(ta.io, tb.io);
+        assert_eq!(
+            ta.path.map(|p| p.nodes),
+            tb.path.map(|p| p.nodes)
+        );
+    }
+}
+
+#[test]
+fn minneapolis_roundtrips_through_a_file() {
+    let m = Minneapolis::paper();
+    let dir = std::env::temp_dir().join("atis_format_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mpls.txt");
+    std::fs::write(&path, write_graph(m.graph())).unwrap();
+    let text = std::fs::read_to_string(&path).unwrap();
+    let back = read_graph(&text).unwrap();
+    assert_eq!(back.node_count(), 1089);
+    assert_eq!(back.edge_count(), m.graph().edge_count());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,172 @@
+//! Structural validation of the synthetic Minneapolis map against every
+//! feature Section 5.2 describes — the evidence that the DESIGN.md
+//! substitution preserves what the paper's observations depend on.
+
+use atis::algorithms::memory;
+use atis::graph::minneapolis::{Minneapolis, LATTICE};
+use atis::graph::{NodeId, Point, RoadClass};
+
+fn mpls() -> Minneapolis {
+    Minneapolis::paper()
+}
+
+#[test]
+fn downtown_is_denser_than_the_outskirts() {
+    // The warp compresses the centre: mean nearest-neighbour distance in
+    // the central disc must be clearly below the outskirts' (which sit on
+    // a unit lattice with jitter).
+    let m = mpls();
+    let centre = Point::new(16.0, 16.0);
+    let mean_edge_len = |pred: &dyn Fn(Point) -> bool| {
+        let (mut total, mut n) = (0.0, 0usize);
+        for e in m.graph().edges() {
+            let p = m.graph().point(e.from);
+            if pred(p) {
+                total += e.cost;
+                n += 1;
+            }
+        }
+        total / n as f64
+    };
+    let downtown = mean_edge_len(&|p| p.euclidean(&centre) < 4.0);
+    let outskirts = mean_edge_len(&|p| p.euclidean(&centre) > 10.0);
+    // The compression peaks at the very centre; averaged over the disc it
+    // is a clear but moderate shortening.
+    assert!(
+        downtown < 0.95 * outskirts,
+        "downtown segments ({downtown:.3}) should be shorter than outskirts ({outskirts:.3})"
+    );
+}
+
+#[test]
+fn downtown_grid_is_rotated() {
+    // Edges near the centre should be visibly non-axis-aligned: measure
+    // the mean angular deviation from the axes.
+    let m = mpls();
+    let centre = Point::new(16.0, 16.0);
+    let mut deviations = Vec::new();
+    for e in m.graph().edges() {
+        let p = m.graph().point(e.from);
+        let q = m.graph().point(e.to);
+        if p.euclidean(&centre) < 3.0 {
+            let angle = (q.y - p.y).atan2(q.x - p.x).abs();
+            // Deviation from the nearest axis (0, pi/2, pi).
+            let dev = [0.0f64, std::f64::consts::FRAC_PI_2, std::f64::consts::PI]
+                .iter()
+                .map(|a| (angle - a).abs())
+                .fold(f64::MAX, f64::min);
+            deviations.push(dev);
+        }
+    }
+    let mean = deviations.iter().sum::<f64>() / deviations.len() as f64;
+    assert!(
+        mean > 0.3,
+        "downtown edges deviate only {mean:.3} rad from the axes — not rotated enough"
+    );
+}
+
+#[test]
+fn river_forces_bridge_crossings() {
+    // Every path from the lower-left to the far upper-right corner must
+    // cross the river at one of the bridge gaps: verify by walking the
+    // shortest path and detecting its crossing of x + y = 52 inside the
+    // river region.
+    let m = mpls();
+    let k = LATTICE;
+    let cell = |n: NodeId| (n.index() / k, n.index() % k);
+    let s = m.landmark('A');
+    let d = m.landmark('B');
+    let path = memory::dijkstra_pair(m.graph(), s, d).expect("A reaches B");
+    let mut crossings = 0;
+    for (u, v) in path.hops() {
+        let (r1, c1) = cell(u);
+        let (r2, c2) = cell(v);
+        if c1.min(c2) >= 19 && r1.min(r2) >= 19 {
+            let s1 = (c1 + r1) as f64;
+            let s2 = (c2 + r2) as f64;
+            if s1.min(s2) < 52.0 && s1.max(s2) >= 52.0 {
+                crossings += 1;
+                // The map generator already guarantees this crossing is at
+                // a bridge (tested in the graph crate); here we confirm a
+                // route actually uses one.
+            }
+        }
+    }
+    assert!(crossings >= 1, "the A->B route must cross the river");
+}
+
+#[test]
+fn freeways_are_one_way_and_fast() {
+    let m = mpls();
+    let mut one_way = 0;
+    let mut freeway_total = 0;
+    for e in m.graph().edges() {
+        if e.class == RoadClass::Freeway {
+            freeway_total += 1;
+            if m.graph().edge_cost(e.to, e.from).is_none() {
+                one_way += 1;
+            }
+            // Freeways carry less congestion than downtown streets by
+            // construction (occupancy halved).
+            assert!(e.occupancy <= 0.5, "freeway occupancy {}", e.occupancy);
+        }
+    }
+    assert!(freeway_total > 100, "{freeway_total} freeway segments");
+    assert_eq!(one_way, freeway_total, "every freeway segment is one-way");
+}
+
+#[test]
+fn lakes_create_unreachable_pockets() {
+    // Some nodes are swallowed by lakes (degree 0). They must exist and
+    // be cleanly unreachable rather than corrupting queries.
+    let m = mpls();
+    let isolated: Vec<NodeId> =
+        m.graph().node_ids().filter(|&u| m.graph().degree(u) == 0).collect();
+    assert!(!isolated.is_empty(), "the lakes should swallow some lattice nodes");
+    // The bulk of the isolation is in the lower-left lake region (random
+    // thinning and the river corner can isolate the odd node elsewhere).
+    let in_lakes = isolated
+        .iter()
+        .filter(|&&u| {
+            let p = m.graph().point(u);
+            p.x < 16.0 && p.y < 16.0
+        })
+        .count();
+    assert!(
+        in_lakes * 2 > isolated.len(),
+        "{in_lakes} of {} isolated nodes in the lake region",
+        isolated.len()
+    );
+    let reach = memory::dijkstra_pair(m.graph(), m.landmark('A'), isolated[0]);
+    assert!(reach.is_none());
+}
+
+#[test]
+fn all_landmarks_are_mutually_reachable() {
+    // The generator restricts landmarks to the strongly-connected core;
+    // verify all 42 ordered pairs route.
+    let m = mpls();
+    for &(la, a) in m.landmarks() {
+        for &(lb, b) in m.landmarks() {
+            if a != b {
+                assert!(
+                    memory::dijkstra_pair(m.graph(), a, b).is_some(),
+                    "no route {la} -> {lb}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn seeds_change_details_but_not_structure() {
+    for seed in [1u64, 7, 42] {
+        let m = Minneapolis::new(seed).unwrap();
+        assert_eq!(m.graph().node_count(), 1089, "seed {seed}");
+        let e = m.graph().edge_count();
+        assert!((3000..=3700).contains(&e), "seed {seed}: {e} edges");
+        // Landmarks stay mutually reachable.
+        let (s, d) = m.query_pair(atis::graph::minneapolis::NamedPair::AtoB);
+        assert!(memory::dijkstra_pair(m.graph(), s, d).is_some(), "seed {seed}");
+    }
+}

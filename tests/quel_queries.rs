@@ -1,0 +1,206 @@
+//! Integration and property tests for the QUEL interpreter: scripted
+//! sessions, and random workloads checked against an in-memory model.
+
+use atis::storage::quel::{QuelEngine, QuelOutput, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn fresh() -> QuelEngine {
+    let mut e = QuelEngine::new();
+    e.run("CREATE t (id = int, cost = float, tag = string) KEY id").unwrap();
+    e.run("RANGE OF x IS t").unwrap();
+    e
+}
+
+#[test]
+fn scripted_session_end_to_end() {
+    let mut e = QuelEngine::new();
+    let out = e
+        .run_script(
+            "-- load a tiny frontier\n\
+             CREATE frontier (id = int, f = float) KEY id\n\
+             RANGE OF n IS frontier\n\
+             APPEND TO frontier (id = 1, f = 3.5)\n\
+             APPEND TO frontier (id = 2, f = 1.25)\n\
+             APPEND TO frontier (id = 3, f = 2.0)\n\
+             DELETE n WHERE n.id = 3\n\
+             RETRIEVE (MIN(n.f))",
+        )
+        .unwrap();
+    assert_eq!(out.scalar(), Some(&Value::Float(1.25)));
+}
+
+#[test]
+fn join_retrieve_matches_manual_expansion() {
+    let mut e = QuelEngine::new();
+    e.run("CREATE edges (src = int, dst = int, w = float)").unwrap();
+    e.run("CREATE open (id = int) KEY id").unwrap();
+    e.run("RANGE OF ed IS edges").unwrap();
+    e.run("RANGE OF o IS open").unwrap();
+    let arcs = [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 0.5), (2, 0, 4.0)];
+    for (s, d, w) in arcs {
+        e.run(&format!("APPEND TO edges (src = {s}, dst = {d}, w = {w:?})")).unwrap();
+    }
+    e.run("APPEND TO open (id = 0)").unwrap();
+    e.run("APPEND TO open (id = 2)").unwrap();
+    let out = e.run("RETRIEVE (ed.src, ed.dst) WHERE ed.src = o.id").unwrap();
+    let got: Vec<(i64, i64)> = out
+        .rows()
+        .iter()
+        .map(|r| match (&r[0], &r[1]) {
+            (Value::Int(a), Value::Int(b)) => (*a, *b),
+            _ => panic!("ints expected"),
+        })
+        .collect();
+    let mut expect: Vec<(i64, i64)> =
+        arcs.iter().filter(|(s, _, _)| *s == 0 || *s == 2).map(|(s, d, _)| (*s, *d)).collect();
+    let mut got_sorted = got.clone();
+    got_sorted.sort_unstable();
+    expect.sort_unstable();
+    assert_eq!(got_sorted, expect);
+}
+
+#[test]
+fn io_metering_accumulates_across_statements() {
+    let mut e = fresh();
+    let before = e.io;
+    e.run("APPEND TO t (id = 1, cost = 1.0, tag = \"a\")").unwrap();
+    let after_append = e.io;
+    assert!(after_append.block_writes > before.block_writes);
+    e.run("RETRIEVE (x.cost)").unwrap();
+    assert!(e.io.block_reads > after_append.block_reads);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn parser_never_panics_on_arbitrary_input(input in ".{0,120}") {
+        // Any byte salad must produce Ok or Err, never a panic.
+        let _ = atis::storage::quel::parse(&input);
+    }
+
+    #[test]
+    fn parser_never_panics_on_token_salad(
+        tokens in prop::collection::vec(
+            prop_oneof![
+                Just("retrieve".to_string()),
+                Just("replace".to_string()),
+                Just("append".to_string()),
+                Just("where".to_string()),
+                Just("(".to_string()),
+                Just(")".to_string()),
+                Just(",".to_string()),
+                Just("=".to_string()),
+                Just("n.id".to_string()),
+                Just("min".to_string()),
+                Just("1".to_string()),
+                Just("\"s\"".to_string()),
+            ],
+            0..16
+        )
+    ) {
+        let _ = atis::storage::quel::parse(&tokens.join(" "));
+    }
+
+    #[test]
+    fn random_append_delete_replace_matches_model(
+        ops in prop::collection::vec(
+            (0u8..3, 0i64..15, 0.0f64..100.0),
+            0..40
+        )
+    ) {
+        let mut e = fresh();
+        let mut model: HashMap<i64, f64> = HashMap::new();
+        for (op, id, cost) in ops {
+            match op {
+                0 => {
+                    let res = e.run(&format!(
+                        "APPEND TO t (id = {id}, cost = {cost:?}, tag = \"x\")"
+                    ));
+                    match model.entry(id) {
+                        std::collections::hash_map::Entry::Occupied(_) => {
+                            prop_assert!(res.is_err(), "duplicate key accepted");
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            prop_assert!(res.is_ok());
+                            slot.insert(cost);
+                        }
+                    }
+                }
+                1 => {
+                    let res = e.run(&format!("DELETE x WHERE x.id = {id}")).unwrap();
+                    let expected = usize::from(model.remove(&id).is_some());
+                    prop_assert_eq!(res, QuelOutput::Affected(expected));
+                }
+                _ => {
+                    let res = e
+                        .run(&format!("REPLACE x (cost = {cost:?}) WHERE x.id = {id}"))
+                        .unwrap();
+                    if let std::collections::hash_map::Entry::Occupied(mut o) = model.entry(id) {
+                        o.insert(cost);
+                        prop_assert_eq!(res, QuelOutput::Affected(1));
+                    } else {
+                        prop_assert_eq!(res, QuelOutput::Affected(0));
+                    }
+                }
+            }
+        }
+        // Count agrees.
+        let count = e.run("RETRIEVE (COUNT(x.id))").unwrap();
+        prop_assert_eq!(count.scalar(), Some(&Value::Int(model.len() as i64)));
+        // Min agrees.
+        let min = e.run("RETRIEVE (MIN(x.cost))").unwrap();
+        match min.scalar() {
+            None => prop_assert!(model.is_empty()),
+            Some(Value::Float(m)) => {
+                let expect = model.values().cloned().fold(f64::INFINITY, f64::min);
+                prop_assert!((m - expect).abs() < 1e-9);
+            }
+            other => prop_assert!(false, "unexpected scalar {other:?}"),
+        }
+        // Every surviving row retrievable by key.
+        for (id, cost) in &model {
+            let row = e.run(&format!("RETRIEVE (x.cost) WHERE x.id = {id}")).unwrap();
+            prop_assert_eq!(row.rows().len(), 1);
+            match &row.rows()[0][0] {
+                Value::Float(c) => prop_assert!((c - cost).abs() < 1e-9),
+                other => prop_assert!(false, "unexpected value {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn predicate_filters_match_model(
+        rows in prop::collection::vec((0i64..50, 0.0f64..10.0), 1..25),
+        threshold in 0.0f64..10.0
+    ) {
+        let mut e = fresh();
+        let mut model: HashMap<i64, f64> = HashMap::new();
+        for (id, cost) in rows {
+            if let std::collections::hash_map::Entry::Vacant(slot) = model.entry(id) {
+                e.run(&format!("APPEND TO t (id = {id}, cost = {cost:?}, tag = \"x\")")).unwrap();
+                slot.insert(cost);
+            }
+        }
+        let out = e
+            .run(&format!("RETRIEVE (x.id) WHERE x.cost < {threshold:?} AND x.id >= 10"))
+            .unwrap();
+        let mut got: Vec<i64> = out
+            .rows()
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!(),
+            })
+            .collect();
+        got.sort_unstable();
+        let mut expect: Vec<i64> = model
+            .iter()
+            .filter(|(id, c)| **c < threshold && **id >= 10)
+            .map(|(id, _)| *id)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+}
