@@ -142,6 +142,11 @@ fn run_relation_frontier(
         result.attach_buffer(pool);
         frontier.attach_buffer(pool);
     }
+    if let Some(faults) = db.faults() {
+        result.attach_faults(faults);
+        frontier.attach_faults(faults);
+    }
+    let meter = db.budget_meter();
 
     let sp = db.graph().point(s);
     let dest: Point = db.graph().point(d);
@@ -152,8 +157,8 @@ fn run_relation_frontier(
         path: NO_PRED,
         path_cost: 0.0,
     };
-    result.append(s_id, &start_tuple, &mut io);
-    frontier.append(s_id, &start_tuple, &mut io);
+    result.append(s_id, &start_tuple, &mut io)?;
+    frontier.append(s_id, &start_tuple, &mut io)?;
 
     let mut iterations = 0u64;
     let mut reopened = 0u64;
@@ -162,10 +167,11 @@ fn run_relation_frontier(
     let mut found = false;
 
     loop {
+        meter.check(iterations, &io)?;
         // Select the best node by a scan of the frontier relation.
         let selected = frontier.select_min(&mut io, |_, t| {
             t.path_cost as f64 + estimator.evaluate_f32(t.x, t.y, dest)
-        });
+        })?;
         let Some((u, ut)) = selected else {
             break;
         };
@@ -182,13 +188,13 @@ fn run_relation_frontier(
         order.push(NodeId(u));
 
         let (adjacency, strategy) =
-            join_adjacency(&[(u as u16, ut)], db.edges(), db.join_policy(), db.params(), &mut io);
+            join_adjacency(&[(u as u16, ut)], db.edges(), db.join_policy(), db.params(), &mut io)?;
         join_strategy = Some(strategy);
 
         for (_, e) in adjacency {
             let v = e.end as u32;
             let candidate = ut.path_cost + e.cost as f32;
-            if result.contains(v, &mut io) {
+            if result.contains(v, &mut io)? {
                 let current = result.get(v, &mut io)?;
                 if candidate < current.path_cost {
                     result.replace(v, &mut io, |t| {
@@ -210,7 +216,7 @@ fn run_relation_frontier(
                             t.path_cost = candidate;
                             t.path = u as u16;
                             t.status = NodeStatus::Open;
-                            frontier.append(v, &t, &mut io);
+                            frontier.append(v, &t, &mut io)?;
                             reopened += 1;
                         }
                     }
@@ -225,8 +231,8 @@ fn run_relation_frontier(
                     path: u as u16,
                     path_cost: candidate,
                 };
-                result.append(v, &t, &mut io);
-                frontier.append(v, &t, &mut io);
+                result.append(v, &t, &mut io)?;
+                frontier.append(v, &t, &mut io)?;
             }
         }
     }
@@ -235,13 +241,13 @@ fn run_relation_frontier(
         let n = db.graph().node_count();
         let mut pred: Vec<Option<NodeId>> = vec![None; n];
         for id in 0..n as u32 {
-            if let Some(t) = result.peek(id) {
+            if let Some(t) = result.peek(id)? {
                 if t.path != NO_PRED {
                     pred[id as usize] = Some(NodeId(t.path as u32));
                 }
             }
         }
-        let cost = result.peek(d_id as u32).map(|t| t.path_cost as f64).unwrap_or(f64::INFINITY);
+        let cost = result.peek(d_id as u32)?.map(|t| t.path_cost as f64).unwrap_or(f64::INFINITY);
         Path::from_predecessors(s, d, cost, &pred)
     } else {
         None

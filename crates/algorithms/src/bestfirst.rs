@@ -44,6 +44,10 @@ pub(crate) fn run_status_frontier(
     if let Some(pool) = db.buffer() {
         r.attach_buffer(pool);
     }
+    if let Some(faults) = db.faults() {
+        r.attach_faults(faults);
+    }
+    let meter = db.budget_meter();
 
     // Fetch the destination's coordinates for the estimator (keyed read).
     let dt = r.get(d_id, &mut io)?;
@@ -63,12 +67,13 @@ pub(crate) fn run_status_frontier(
     let mut found = false;
 
     loop {
+        meter.check(iterations, &io)?;
         // Select u from frontierSet with minimum C(s,u) [+ f(u,d)] — a
         // scan of R.
         let mark = io;
         let selected = r.select_min_open(&mut io, |_, t| {
             t.path_cost as f64 + cfg.estimator.evaluate_f32(t.x, t.y, dest)
-        });
+        })?;
         steps.select += io.since(&mark);
         let Some((u, ut)) = selected else {
             break; // frontier exhausted: no path
@@ -88,7 +93,7 @@ pub(crate) fn run_status_frontier(
         // Fetch u.adjacencyList via the join against S.
         let mark = io;
         let (adjacency, strategy) =
-            join_adjacency(&[(u, ut)], db.edges(), db.join_policy(), db.params(), &mut io);
+            join_adjacency(&[(u, ut)], db.edges(), db.join_policy(), db.params(), &mut io)?;
         steps.join += io.since(&mark);
         join_strategy = Some(strategy);
 
@@ -122,7 +127,7 @@ pub(crate) fn run_status_frontier(
 
     let path = if found {
         let cost = r.peek(d_id)?.path_cost as f64;
-        Path::from_predecessors(s, d, cost, &r.predecessors())
+        Path::from_predecessors(s, d, cost, &r.predecessors()?)
     } else {
         None
     };

@@ -3,12 +3,98 @@
 
 use crate::astar::{self, AStarVersion};
 use crate::dijkstra;
-use crate::error::AlgorithmError;
+use crate::error::{AlgorithmError, BudgetKind};
 use crate::estimator::Estimator;
 use crate::iterative;
 use crate::trace::RunTrace;
 use atis_graph::{Graph, NodeId};
-use atis_storage::{BufferPool, CostParams, EdgeRelation, IoStats, JoinPolicy, SharedBuffer};
+use atis_storage::{
+    BufferPool, CostParams, EdgeRelation, FaultPlan, IoStats, JoinPolicy, SharedBuffer,
+    SharedFaults,
+};
+use std::time::{Duration, Instant};
+
+/// Resource limits for a single algorithm run. `None` means unlimited —
+/// the default everywhere, so the paper's experiments are unaffected.
+///
+/// Budgets make a run *fail fast with a typed error* instead of grinding
+/// through a degenerate search (e.g. a fault-corrupted frontier or an
+/// oversized query): the resilient planner catches
+/// [`AlgorithmError::BudgetExceeded`] and degrades to a cheaper algorithm.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct Budgets {
+    /// Maximum main-loop iterations (frontier selections / BFS rounds).
+    pub max_iterations: Option<u64>,
+    /// Maximum accumulated I/O cost, in Table 4A cost units.
+    pub max_cost_units: Option<f64>,
+    /// Wall-clock deadline for the run.
+    pub deadline: Option<Duration>,
+}
+
+impl Budgets {
+    /// No limits (the default).
+    pub const fn unlimited() -> Self {
+        Budgets { max_iterations: None, max_cost_units: None, deadline: None }
+    }
+
+    /// Caps main-loop iterations.
+    pub fn with_max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Caps accumulated I/O cost (Table 4A units).
+    pub fn with_max_cost_units(mut self, units: f64) -> Self {
+        self.max_cost_units = Some(units);
+        self
+    }
+
+    /// Sets a wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Whether any limit is set.
+    pub fn is_limited(&self) -> bool {
+        self.max_iterations.is_some() || self.max_cost_units.is_some() || self.deadline.is_some()
+    }
+}
+
+/// Per-run budget enforcement: algorithms call [`BudgetMeter::check`] once
+/// per main-loop iteration.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    budgets: Budgets,
+    params: CostParams,
+    started: Instant,
+}
+
+impl BudgetMeter {
+    /// Checks every configured limit against the run so far.
+    ///
+    /// # Errors
+    /// Returns [`AlgorithmError::BudgetExceeded`] naming the first
+    /// exhausted budget (iterations, then cost units, then wall clock).
+    pub fn check(&self, iterations: u64, io: &IoStats) -> Result<(), AlgorithmError> {
+        if let Some(max) = self.budgets.max_iterations {
+            if iterations > max {
+                return Err(AlgorithmError::BudgetExceeded(BudgetKind::Iterations));
+            }
+        }
+        if let Some(max) = self.budgets.max_cost_units {
+            if io.cost(&self.params) > max {
+                return Err(AlgorithmError::BudgetExceeded(BudgetKind::CostUnits));
+            }
+        }
+        if let Some(deadline) = self.budgets.deadline {
+            if self.started.elapsed() > deadline {
+                return Err(AlgorithmError::BudgetExceeded(BudgetKind::WallClock));
+            }
+        }
+        Ok(())
+    }
+}
 
 /// FrontierSet management strategy (Section 5.3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,6 +161,8 @@ pub struct Database {
     params: CostParams,
     join_policy: JoinPolicy,
     buffer: Option<SharedBuffer>,
+    budgets: Budgets,
+    faults: Option<SharedFaults>,
 }
 
 impl Database {
@@ -93,6 +181,8 @@ impl Database {
             params: CostParams::default(),
             join_policy: JoinPolicy::default(),
             buffer: None,
+            budgets: Budgets::unlimited(),
+            faults: None,
         })
     }
 
@@ -123,6 +213,38 @@ impl Database {
     /// The attached buffer pool, if any.
     pub fn buffer(&self) -> Option<&SharedBuffer> {
         self.buffer.as_ref()
+    }
+
+    /// Sets per-run search budgets (default: unlimited).
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.budgets = budgets;
+        self
+    }
+
+    /// The active search budgets.
+    pub fn budgets(&self) -> Budgets {
+        self.budgets
+    }
+
+    /// Starts budget enforcement for one run; algorithms call
+    /// [`BudgetMeter::check`] once per main-loop iteration.
+    pub(crate) fn budget_meter(&self) -> BudgetMeter {
+        BudgetMeter { budgets: self.budgets, params: self.params, started: Instant::now() }
+    }
+
+    /// Arms deterministic fault injection: every physical storage
+    /// operation of `S` — and of the per-run relations the algorithms
+    /// create — consults the seeded plan (see `atis_storage::fault`).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        let faults = plan.into_shared();
+        self.edges.attach_faults(&faults);
+        self.faults = Some(faults);
+        self
+    }
+
+    /// The shared fault state, if fault injection is armed.
+    pub fn faults(&self) -> Option<&SharedFaults> {
+        self.faults.as_ref()
     }
 
     /// The resident graph.
@@ -187,7 +309,7 @@ impl Database {
         let mut distance = 0.0;
         let mut travel_time = 0.0;
         for (u, v) in path.hops() {
-            let adjacency = self.edges.fetch_adjacency(u.0 as u16, &mut io);
+            let adjacency = self.edges.fetch_adjacency(u.0 as u16, &mut io)?;
             let tuple = adjacency
                 .iter()
                 .filter(|t| t.end == v.0 as u16)

@@ -97,6 +97,11 @@ pub fn run_with_duplicate_policy(
 
     let mut result: TempRelation<NodeTuple> = TempRelation::create(levels, &mut io);
     let mut frontier: MultiRelation<NodeTuple> = MultiRelation::create(levels, &mut io);
+    if let Some(faults) = db.faults() {
+        result.attach_faults(faults);
+        frontier.attach_faults(faults);
+    }
+    let meter = db.budget_meter();
 
     let sp = db.graph().point(s);
     let dest: Point = db.graph().point(d);
@@ -107,8 +112,8 @@ pub fn run_with_duplicate_policy(
         path: NO_PRED,
         path_cost: 0.0,
     };
-    result.append(s_id, &start_tuple, &mut io);
-    frontier.append(s_id, &start_tuple, &mut io);
+    result.append(s_id, &start_tuple, &mut io)?;
+    frontier.append(s_id, &start_tuple, &mut io)?;
 
     let score =
         |t: &NodeTuple| t.path_cost as f64 + estimator.evaluate_f32(t.x, t.y, dest);
@@ -120,8 +125,9 @@ pub fn run_with_duplicate_policy(
     let mut join_strategy: Option<JoinStrategy> = None;
     let mut found = false;
 
-    while let Some((slot, u, ut)) = frontier.select_min(&mut io, |_, t| score(t)) {
-        frontier.delete_slot(slot, &mut io);
+    while let Some((slot, u, ut)) = frontier.select_min(&mut io, |_, t| score(t))? {
+        meter.check(iterations, &io)?;
+        frontier.delete_slot(slot, &mut io)?;
 
         // A stale duplicate: the node has already been explored at a cost
         // no worse than this entry. The selection itself was a full scan —
@@ -145,13 +151,13 @@ pub fn run_with_duplicate_policy(
         // which a fresher duplicate may have improved past this entry).
         let ut = NodeTuple { status: NodeStatus::Current, ..current };
         let (adjacency, strategy) =
-            join_adjacency(&[(u as u16, ut)], db.edges(), db.join_policy(), db.params(), &mut io);
+            join_adjacency(&[(u as u16, ut)], db.edges(), db.join_policy(), db.params(), &mut io)?;
         join_strategy = Some(strategy);
 
         for (_, e) in adjacency {
             let v = e.end as u32;
             let candidate = ut.path_cost + e.cost as f32;
-            if result.contains(v, &mut io) {
+            if result.contains(v, &mut io)? {
                 let cur = result.get(v, &mut io)?;
                 if candidate < cur.path_cost {
                     if cur.status == NodeStatus::Closed {
@@ -167,7 +173,7 @@ pub fn run_with_duplicate_policy(
                     t.path_cost = candidate;
                     t.path = u as u16;
                     t.status = NodeStatus::Open;
-                    frontier.append(v, &t, &mut io);
+                    frontier.append(v, &t, &mut io)?;
                 }
             } else {
                 let t = NodeTuple {
@@ -177,13 +183,13 @@ pub fn run_with_duplicate_policy(
                     path: u as u16,
                     path_cost: candidate,
                 };
-                result.append(v, &t, &mut io);
-                frontier.append(v, &t, &mut io);
+                result.append(v, &t, &mut io)?;
+                frontier.append(v, &t, &mut io)?;
             }
         }
 
         if policy == DuplicatePolicy::Eliminate {
-            frontier.eliminate_duplicates(&mut io, |_, t| score(t));
+            frontier.eliminate_duplicates(&mut io, |_, t| score(t))?;
         }
     }
 
@@ -191,13 +197,13 @@ pub fn run_with_duplicate_policy(
         let n = db.graph().node_count();
         let mut pred: Vec<Option<NodeId>> = vec![None; n];
         for id in 0..n as u32 {
-            if let Some(t) = result.peek(id) {
+            if let Some(t) = result.peek(id)? {
                 if t.path != NO_PRED {
                     pred[id as usize] = Some(NodeId(t.path as u32));
                 }
             }
         }
-        let cost = result.peek(d_id as u32).map(|t| t.path_cost as f64).unwrap_or(f64::INFINITY);
+        let cost = result.peek(d_id as u32)?.map(|t| t.path_cost as f64).unwrap_or(f64::INFINITY);
         Path::from_predecessors(s, d, cost, &pred)
     } else {
         None

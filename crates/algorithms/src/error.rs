@@ -4,6 +4,27 @@ use atis_graph::{GraphError, NodeId};
 use atis_storage::StorageError;
 use std::fmt;
 
+/// Which search budget a run exhausted (see `Database::with_budgets`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetKind {
+    /// The iteration cap was hit.
+    Iterations,
+    /// The accumulated I/O cost (Table 4A units) exceeded the cap.
+    CostUnits,
+    /// The wall-clock deadline passed.
+    WallClock,
+}
+
+impl fmt::Display for BudgetKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetKind::Iterations => write!(f, "iteration"),
+            BudgetKind::CostUnits => write!(f, "cost-unit"),
+            BudgetKind::WallClock => write!(f, "wall-clock"),
+        }
+    }
+}
+
 /// Errors raised while running a path-computation algorithm.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AlgorithmError {
@@ -15,6 +36,17 @@ pub enum AlgorithmError {
     UnknownSource(NodeId),
     /// The requested destination node is not in the graph.
     UnknownDestination(NodeId),
+    /// A search budget was exhausted before the run completed.
+    BudgetExceeded(BudgetKind),
+}
+
+impl AlgorithmError {
+    /// Whether the failure is transient — a retry of the same run may
+    /// succeed (injected I/O failures advance the global fault counters,
+    /// so planned Nth-operation failures do not repeat).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, AlgorithmError::Storage(e) if e.is_transient())
+    }
 }
 
 impl fmt::Display for AlgorithmError {
@@ -24,6 +56,7 @@ impl fmt::Display for AlgorithmError {
             AlgorithmError::Graph(e) => write!(f, "graph error: {e}"),
             AlgorithmError::UnknownSource(n) => write!(f, "unknown source node {n}"),
             AlgorithmError::UnknownDestination(n) => write!(f, "unknown destination node {n}"),
+            AlgorithmError::BudgetExceeded(k) => write!(f, "{k} budget exceeded"),
         }
     }
 }

@@ -37,13 +37,17 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     if let Some(pool) = db.buffer() {
         r.attach_buffer(pool);
     }
+    if let Some(faults) = db.faults() {
+        r.attach_faults(faults);
+    }
+    let meter = db.budget_meter();
 
     // C4: mark the start node current and count current nodes.
     r.replace(s_id, &mut io, |t| {
         t.status = NodeStatus::Current;
         t.path_cost = 0.0;
     })?;
-    let mut current_count = r.count_status(NodeStatus::Current, &mut io);
+    let mut current_count = r.count_status(NodeStatus::Current, &mut io)?;
     steps.init = io;
 
     let mut iterations = 0u64;
@@ -54,10 +58,11 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
 
     while current_count > 0 {
         iterations += 1;
+        meter.check(iterations, &io)?;
 
         // Step 5: fetch all current nodes (scan of R).
         let mark = io;
-        let current = r.fetch_status(NodeStatus::Current, &mut io);
+        let current = r.fetch_status(NodeStatus::Current, &mut io)?;
         steps.select += io.since(&mark);
         expanded += current.len() as u64;
         order.extend(current.iter().map(|(id, _)| NodeId(*id as u32)));
@@ -65,7 +70,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
         // Step 6: join to get the neighbours of all current nodes.
         let mark = io;
         let (joined, strategy) =
-            join_adjacency(&current, db.edges(), db.join_policy(), db.params(), &mut io);
+            join_adjacency(&current, db.edges(), db.join_policy(), db.params(), &mut io)?;
         steps.join += io.since(&mark);
         join_strategy = Some(strategy);
 
@@ -96,7 +101,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
                 }
             }
             false
-        });
+        })?;
 
         // Step 7, pass 2: flip statuses (current -> closed, open -> current).
         r.rewrite(&mut io, |_, t| match t.status {
@@ -109,18 +114,18 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
                 true
             }
             _ => false,
-        });
+        })?;
         steps.update += io.since(&mark);
 
         // Step 8: scan R to count the current nodes.
         let mark = io;
-        current_count = r.count_status(NodeStatus::Current, &mut io);
+        current_count = r.count_status(NodeStatus::Current, &mut io)?;
         steps.bookkeeping += io.since(&mark);
     }
 
     let dt = r.peek(d_id)?;
     let path = if dt.path_cost.is_finite() {
-        Path::from_predecessors(s, d, dt.path_cost as f64, &r.predecessors())
+        Path::from_predecessors(s, d, dt.path_cost as f64, &r.predecessors()?)
     } else {
         None
     };

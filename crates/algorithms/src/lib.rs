@@ -41,8 +41,8 @@ pub mod trace;
 
 pub use astar::AStarVersion;
 pub use bidirectional::{bidirectional_dijkstra, BidirectionalResult};
-pub use database::{Algorithm, Database, FrontierKind};
+pub use database::{Algorithm, Budgets, Database, FrontierKind};
 pub use duplicates::DuplicatePolicy;
-pub use error::AlgorithmError;
+pub use error::{AlgorithmError, BudgetKind};
 pub use estimator::Estimator;
 pub use trace::RunTrace;

@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut io = IoStats::new();
             let mut count = 0u32;
-            nodes.scan(&mut io, |_, _| count += 1);
+            nodes.scan(&mut io, |_, _| count += 1).unwrap();
             count
         })
     });
@@ -83,7 +83,8 @@ fn bench(c: &mut Criterion) {
                         path_cost: k as f32,
                     },
                     &mut io,
-                );
+                )
+                .unwrap();
             }
             for k in 0..100u32 {
                 t.delete(k, &mut io).unwrap();

@@ -26,6 +26,6 @@ pub mod trip;
 pub use display::{render_map, turn_instructions, MapCanvas};
 pub use evaluation::{evaluate_route, RouteAttributes};
 pub use matching::{match_trace, MatchedTrace};
-pub use planner::{PlanReport, RoutePlanner};
+pub use planner::{AttemptRecord, PlanReport, ResiliencePolicy, RoutePlanner};
 pub use svg::{render_svg, SvgOptions};
 pub use trip::{itinerary, plan_alternatives, plan_trip, TripPlan};

@@ -1,10 +1,65 @@
 //! Route computation: the planner facade over the database-resident
 //! algorithms.
 
-use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, Database, RunTrace};
+use atis_algorithms::{
+    memory, AStarVersion, Algorithm, AlgorithmError, Budgets, Database, RunTrace,
+};
 use atis_graph::{Graph, NodeId, Path};
-use atis_storage::{CostParams, JoinPolicy};
-use std::time::Duration;
+use atis_storage::{CostParams, FaultPlan, IoStats, JoinPolicy};
+use std::time::{Duration, Instant};
+
+/// How the planner reacts when a database-resident run fails.
+///
+/// Transient faults ([`atis_algorithms::AlgorithmError::is_transient`],
+/// i.e. injected I/O failures) are retried with doubling backoff; anything
+/// else — corruption, an exhausted budget — skips straight to degradation.
+/// When a rung of the ladder is out of retries the planner falls to the
+/// next one: the requested algorithm, then Dijkstra (exact, no estimator
+/// to mislead under partial data), then the in-memory oracle, which cannot
+/// touch the (faulty) storage engine at all and therefore always answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Retries per ladder rung for *transient* errors (0 = fail fast).
+    pub max_retries: u32,
+    /// Sleep before the first retry; doubles on each subsequent one.
+    pub backoff: Duration,
+}
+
+impl Default for ResiliencePolicy {
+    fn default() -> Self {
+        ResiliencePolicy { max_retries: 2, backoff: Duration::from_millis(1) }
+    }
+}
+
+impl ResiliencePolicy {
+    /// No retries, no sleeps: every failure degrades immediately.
+    pub fn fail_fast() -> Self {
+        ResiliencePolicy { max_retries: 0, backoff: Duration::ZERO }
+    }
+
+    /// Overrides the per-rung retry count.
+    pub fn with_max_retries(mut self, retries: u32) -> Self {
+        self.max_retries = retries;
+        self
+    }
+
+    /// Overrides the initial backoff (doubles per retry).
+    pub fn with_backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+}
+
+/// One failed run recorded by [`RoutePlanner::plan_resilient`].
+#[derive(Debug, Clone)]
+pub struct AttemptRecord {
+    /// Label of the algorithm that was attempted.
+    pub algorithm: String,
+    /// The error it returned, rendered for display.
+    pub error: String,
+    /// Whether the error was transient (and thus eligible for retry).
+    pub transient: bool,
+}
 
 /// The result of planning one route.
 #[derive(Debug, Clone)]
@@ -19,6 +74,12 @@ pub struct PlanReport {
     pub cost_units: f64,
     /// Wall-clock time of the run on this machine.
     pub wall: Duration,
+    /// Whether the answer came from a lower rung than the requested
+    /// algorithm (set only by [`RoutePlanner::plan_resilient`]).
+    pub degraded: bool,
+    /// Every failed run that preceded this answer (empty for the plain
+    /// `plan`/`plan_with` paths and for first-try successes).
+    pub attempts: Vec<AttemptRecord>,
     /// The full trace, for detailed inspection.
     pub trace: RunTrace,
 }
@@ -31,6 +92,8 @@ impl PlanReport {
             iterations: trace.iterations,
             cost_units: trace.cost_units(params),
             wall: trace.wall,
+            degraded: false,
+            attempts: Vec::new(),
             trace,
         }
     }
@@ -66,6 +129,7 @@ impl PlanReport {
 pub struct RoutePlanner {
     db: Database,
     default_algorithm: Algorithm,
+    resilience: ResiliencePolicy,
 }
 
 impl RoutePlanner {
@@ -77,6 +141,7 @@ impl RoutePlanner {
         Ok(RoutePlanner {
             db: Database::open(graph)?,
             default_algorithm: Algorithm::AStar(AStarVersion::V3),
+            resilience: ResiliencePolicy::default(),
         })
     }
 
@@ -91,6 +156,31 @@ impl RoutePlanner {
     pub fn with_join_policy(mut self, policy: JoinPolicy) -> Self {
         self.db = self.db.with_join_policy(policy);
         self
+    }
+
+    /// Overrides the retry/degradation policy used by
+    /// [`plan_resilient`](Self::plan_resilient).
+    pub fn with_resilience(mut self, policy: ResiliencePolicy) -> Self {
+        self.resilience = policy;
+        self
+    }
+
+    /// Caps every run with the given search budgets.
+    pub fn with_budgets(mut self, budgets: Budgets) -> Self {
+        self.db = self.db.with_budgets(budgets);
+        self
+    }
+
+    /// Attaches a fault-injection plan to the storage engine underneath
+    /// the planner (for chaos testing the resilience ladder).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.db = self.db.with_fault_plan(plan);
+        self
+    }
+
+    /// The retry/degradation policy.
+    pub fn resilience(&self) -> ResiliencePolicy {
+        self.resilience
     }
 
     /// The default algorithm.
@@ -142,6 +232,88 @@ impl RoutePlanner {
         d: NodeId,
     ) -> Result<Vec<PlanReport>, AlgorithmError> {
         algorithms.iter().map(|&a| self.plan_with(a, s, d)).collect()
+    }
+
+    /// Plans a route, riding out storage faults and exhausted budgets.
+    ///
+    /// Transient I/O failures are retried per [`ResiliencePolicy`]; when a
+    /// rung stays broken the planner degrades — requested algorithm, then
+    /// Dijkstra, then the in-memory oracle (which bypasses the storage
+    /// engine entirely and cannot fail). The report records every failed
+    /// attempt and whether the answer is degraded.
+    ///
+    /// # Errors
+    /// Only for unknown endpoints — the query itself is wrong, and no
+    /// amount of retrying fixes it.
+    pub fn plan_resilient(&self, s: NodeId, d: NodeId) -> Result<PlanReport, AlgorithmError> {
+        if !self.graph().contains(s) {
+            return Err(AlgorithmError::UnknownSource(s));
+        }
+        if !self.graph().contains(d) {
+            return Err(AlgorithmError::UnknownDestination(d));
+        }
+
+        let mut ladder = vec![self.default_algorithm];
+        if self.default_algorithm != Algorithm::Dijkstra {
+            ladder.push(Algorithm::Dijkstra);
+        }
+
+        let mut attempts = Vec::new();
+        for (rung, &algorithm) in ladder.iter().enumerate() {
+            let mut retries = 0u32;
+            let mut backoff = self.resilience.backoff;
+            loop {
+                match self.db.run(algorithm, s, d) {
+                    Ok(trace) => {
+                        let mut report = PlanReport::from_trace(trace, self.db.params());
+                        report.degraded = rung > 0;
+                        report.attempts = attempts;
+                        return Ok(report);
+                    }
+                    Err(err) => {
+                        let transient = err.is_transient();
+                        attempts.push(AttemptRecord {
+                            algorithm: algorithm.label(),
+                            error: err.to_string(),
+                            transient,
+                        });
+                        // Corruption and blown budgets won't heal on a
+                        // rerun; only transient I/O errors earn a retry.
+                        if transient && retries < self.resilience.max_retries {
+                            retries += 1;
+                            if !backoff.is_zero() {
+                                std::thread::sleep(backoff);
+                                backoff *= 2;
+                            }
+                            continue;
+                        }
+                        break; // next rung of the ladder
+                    }
+                }
+            }
+        }
+
+        // Last rung: the in-memory oracle. No storage engine, no faults,
+        // no budget — degraded service beats no service for a traveller
+        // already on the road.
+        let started = Instant::now();
+        let path = memory::dijkstra_pair(self.graph(), s, d);
+        let trace = RunTrace {
+            algorithm: "Dijkstra (in-memory fallback)".to_string(),
+            iterations: 0,
+            expanded: 0,
+            reopened: 0,
+            io: IoStats::new(),
+            join_strategy: None,
+            path,
+            wall: started.elapsed(),
+            expansion_order: Vec::new(),
+            steps: Default::default(),
+        };
+        let mut report = PlanReport::from_trace(trace, self.db.params());
+        report.degraded = true;
+        report.attempts = attempts;
+        Ok(report)
     }
 }
 
@@ -200,6 +372,84 @@ mod tests {
         let (s, d) = grid.query_pair(QueryKind::Horizontal);
         let report = p.plan(s, d).unwrap();
         assert_eq!(report.algorithm, "Dijkstra");
+    }
+
+    #[test]
+    fn plan_resilient_is_plain_plan_when_nothing_fails() {
+        let (grid, p) = planner();
+        let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+        let plain = p.plan(s, d).unwrap();
+        let resilient = p.plan_resilient(s, d).unwrap();
+        assert!(!resilient.degraded);
+        assert!(resilient.attempts.is_empty());
+        assert_eq!(resilient.algorithm, plain.algorithm);
+        assert_eq!(
+            resilient.route.as_ref().map(|r| r.cost),
+            plain.route.as_ref().map(|r| r.cost)
+        );
+    }
+
+    #[test]
+    fn transient_fault_is_retried_without_degrading() {
+        let (grid, _) = planner();
+        let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+        // One planned hard read failure: the first run dies, the retry's
+        // op counter is already past it and succeeds on the same rung.
+        let p = RoutePlanner::new(grid.graph())
+            .unwrap()
+            .with_fault_plan(atis_storage::FaultPlan::inert(7).with_fail_nth_read(30));
+        let report = p.plan_resilient(s, d).unwrap();
+        assert!(!report.degraded, "retry should succeed on the same rung");
+        assert_eq!(report.attempts.len(), 1);
+        assert!(report.attempts[0].transient);
+        assert!(report.found());
+    }
+
+    #[test]
+    fn persistent_faults_degrade_to_the_memory_fallback() {
+        let (grid, _) = planner();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        // Every read fails: no database-resident rung can ever finish.
+        let p = RoutePlanner::new(grid.graph())
+            .unwrap()
+            .with_resilience(ResiliencePolicy::fail_fast())
+            .with_fault_plan(atis_storage::FaultPlan::inert(1).with_read_failure_rate(1.0));
+        let report = p.plan_resilient(s, d).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.algorithm, "Dijkstra (in-memory fallback)");
+        // Fail-fast: one attempt per database-resident rung.
+        assert_eq!(report.attempts.len(), 2);
+        // The fallback still returns the exact shortest path.
+        let oracle = atis_algorithms::memory::dijkstra_pair(grid.graph(), s, d).unwrap();
+        assert!((report.route.unwrap().cost - oracle.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn blown_budget_degrades_without_retrying() {
+        let (grid, _) = planner();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let p = RoutePlanner::new(grid.graph())
+            .unwrap()
+            .with_budgets(Budgets::unlimited().with_max_iterations(1));
+        let report = p.plan_resilient(s, d).unwrap();
+        assert!(report.degraded);
+        // Budget errors are not transient: exactly one attempt per rung.
+        assert_eq!(report.attempts.len(), 2);
+        assert!(report.attempts.iter().all(|a| !a.transient));
+        assert!(report.found());
+    }
+
+    #[test]
+    fn plan_resilient_still_rejects_unknown_endpoints() {
+        let (_, p) = planner();
+        assert!(matches!(
+            p.plan_resilient(NodeId(40_000), NodeId(0)),
+            Err(AlgorithmError::UnknownSource(_))
+        ));
+        assert!(matches!(
+            p.plan_resilient(NodeId(0), NodeId(40_000)),
+            Err(AlgorithmError::UnknownDestination(_))
+        ));
     }
 
     #[test]

@@ -71,9 +71,7 @@ impl BufferPool {
         } else {
             self.misses += 1;
             if self.resident.len() >= self.capacity {
-                if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
-                    self.resident.remove(&victim);
-                }
+                self.evict_coldest();
             }
         }
         self.resident.insert(key, self.tick);
@@ -86,11 +84,20 @@ impl BufferPool {
         self.tick += 1;
         let key = (file, block);
         if !self.resident.contains_key(&key) && self.resident.len() >= self.capacity {
-            if let Some((&victim, _)) = self.resident.iter().min_by_key(|(_, &t)| t) {
-                self.resident.remove(&victim);
-            }
+            self.evict_coldest();
         }
         self.resident.insert(key, self.tick);
+    }
+
+    /// Removes the least-recently-used block. Ties on the use tick (which
+    /// can happen for blocks installed in one batch) break on the
+    /// `(file, block)` key, so eviction — and therefore every downstream
+    /// hit/miss count — is deterministic regardless of hash-map iteration
+    /// order.
+    fn evict_coldest(&mut self) {
+        if let Some((&victim, _)) = self.resident.iter().min_by_key(|(&k, &t)| (t, k)) {
+            self.resident.remove(&victim);
+        }
     }
 
     /// Drops every block of a file (relation cleared or dropped).

@@ -26,6 +26,31 @@ pub enum StorageError {
         /// The encoding's maximum.
         max: usize,
     },
+    /// A physical block operation failed transiently (injected by a
+    /// [`FaultPlan`](crate::FaultPlan); retrying the query may succeed).
+    IoFailed {
+        /// `"read"` or `"write"`.
+        op: &'static str,
+        /// The block the operation addressed.
+        block: usize,
+        /// 1-based index of the operation within its counter stream.
+        op_index: u64,
+    },
+    /// A block's checksum did not match its recorded content — a torn
+    /// write was detected. Persistent until the block is rewritten.
+    CorruptBlock {
+        /// The corrupt block.
+        block: usize,
+    },
+}
+
+impl StorageError {
+    /// Whether retrying the failed operation (or the whole query) can
+    /// plausibly succeed. Transient I/O failures are retryable; detected
+    /// corruption and logical errors are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::IoFailed { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -38,6 +63,12 @@ impl fmt::Display for StorageError {
             }
             StorageError::CapacityExceeded { what, value, max } => {
                 write!(f, "{what} {value} exceeds encoding maximum {max}")
+            }
+            StorageError::IoFailed { op, block, op_index } => {
+                write!(f, "block {op} of block {block} failed (op #{op_index})")
+            }
+            StorageError::CorruptBlock { block } => {
+                write!(f, "block {block} is corrupt (checksum mismatch)")
             }
         }
     }

@@ -1,0 +1,356 @@
+//! Deterministic fault injection for the storage engine.
+//!
+//! A [`FaultPlan`] describes *which* physical block operations should
+//! misbehave; a [`FaultState`] (shared between all relations of one
+//! database via [`SharedFaults`]) counts physical reads and writes and
+//! consults the plan on every one. Faults come in three flavours:
+//!
+//! * **Transient read/write failures** — the op returns
+//!   [`StorageError::IoFailed`](crate::StorageError::IoFailed); nothing is
+//!   corrupted, and a retry of the whole query usually succeeds because the
+//!   op counters have advanced past the planned failure.
+//! * **Per-block read failures** — every read of one specific block fails
+//!   with a given probability, modelling a flaky sector.
+//! * **Torn writes** — the write "succeeds" but the stored bytes differ
+//!   from the intended content by one flipped byte. The heap file keeps a
+//!   per-block checksum of the *intended* content, so the corruption is
+//!   detected as [`StorageError::CorruptBlock`](crate::StorageError::CorruptBlock)
+//!   on the next read of the block — persistent until the block is
+//!   rewritten.
+//!
+//! Every decision is a pure function of `(seed, op kind, op index)`, so a
+//! run under a given plan is exactly reproducible: same plan, same query,
+//! same faults. With no plan attached the engine's behaviour and its
+//! [`IoStats`](crate::IoStats) counters are bit-identical to a build
+//! without this module — checksums are only maintained once
+//! `attach_faults` is called.
+
+use crate::error::StorageError;
+use std::sync::{Arc, Mutex};
+
+/// Pseudo-block number base for ISAM index levels, so fault events on
+/// index probes are distinguishable from heap-block events in a
+/// [`FaultState::log`].
+pub const INDEX_BLOCK_BASE: usize = 1 << 32;
+
+/// splitmix64 — the same finaliser the graph generators use; good enough
+/// to decorrelate the per-op decision streams.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Bernoulli draw for op `counter` on decision `stream`.
+fn decide(seed: u64, stream: u64, counter: u64, p: f64) -> bool {
+    if p <= 0.0 {
+        return false;
+    }
+    if p >= 1.0 {
+        return true;
+    }
+    let h = splitmix64(seed ^ splitmix64(stream.wrapping_mul(0x9e37_79b9) ^ counter));
+    // Compare against p scaled to the full u64 range.
+    (h as f64) < p * (u64::MAX as f64)
+}
+
+/// A reproducible fault schedule. All fields default to "never fire";
+/// combine builder calls to mix fault kinds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// Fail exactly the `n`th physical block read (1-based).
+    pub fail_nth_read: Option<u64>,
+    /// Fail exactly the `n`th physical block write (1-based).
+    pub fail_nth_write: Option<u64>,
+    /// Probability that any physical read fails transiently.
+    pub read_failure_rate: f64,
+    /// Probability that any physical write fails transiently.
+    pub write_failure_rate: f64,
+    /// `(block, p)`: every read of `block` fails with probability `p`.
+    pub fail_block_reads: Option<(usize, f64)>,
+    /// Probability that a write is torn (stored corrupted, detected on the
+    /// next read of the block).
+    pub torn_write_rate: f64,
+}
+
+impl FaultPlan {
+    /// A plan that never fires (useful to prove injection plumbing is
+    /// inert).
+    pub fn inert(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            fail_nth_read: None,
+            fail_nth_write: None,
+            read_failure_rate: 0.0,
+            write_failure_rate: 0.0,
+            fail_block_reads: None,
+            torn_write_rate: 0.0,
+        }
+    }
+
+    /// A mixed chaos plan derived from `seed`: low-rate transient read and
+    /// write failures, an occasional torn write, and one planned hard
+    /// failure — the mixture the chaos sweep in `tests/fault_injection.rs`
+    /// drives across many seeds.
+    pub fn chaos(seed: u64) -> FaultPlan {
+        let h = splitmix64(seed);
+        FaultPlan {
+            seed,
+            // One planned hard failure somewhere in the first ~200 ops.
+            fail_nth_read: Some(1 + h % 200),
+            fail_nth_write: None,
+            read_failure_rate: 0.002 * ((h >> 8) % 4) as f64,
+            write_failure_rate: 0.002 * ((h >> 10) % 3) as f64,
+            fail_block_reads: None,
+            torn_write_rate: 0.001 * ((h >> 12) % 3) as f64,
+        }
+    }
+
+    /// Fails the `n`th physical read (1-based).
+    pub fn with_fail_nth_read(mut self, n: u64) -> FaultPlan {
+        self.fail_nth_read = Some(n);
+        self
+    }
+
+    /// Fails the `n`th physical write (1-based).
+    pub fn with_fail_nth_write(mut self, n: u64) -> FaultPlan {
+        self.fail_nth_write = Some(n);
+        self
+    }
+
+    /// Sets the transient read-failure probability.
+    pub fn with_read_failure_rate(mut self, p: f64) -> FaultPlan {
+        self.read_failure_rate = p;
+        self
+    }
+
+    /// Sets the transient write-failure probability.
+    pub fn with_write_failure_rate(mut self, p: f64) -> FaultPlan {
+        self.write_failure_rate = p;
+        self
+    }
+
+    /// Every read of `block` fails with probability `p`.
+    pub fn with_fail_block_reads(mut self, block: usize, p: f64) -> FaultPlan {
+        self.fail_block_reads = Some((block, p));
+        self
+    }
+
+    /// Sets the torn-write probability.
+    pub fn with_torn_write_rate(mut self, p: f64) -> FaultPlan {
+        self.torn_write_rate = p;
+        self
+    }
+
+    /// Wraps the plan in a fresh shared fault state.
+    pub fn into_shared(self) -> SharedFaults {
+        Arc::new(Mutex::new(FaultState::new(self)))
+    }
+}
+
+/// What a consulted write should do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteMode {
+    /// Store the intended bytes.
+    Clean,
+    /// Store the intended bytes, then flip the byte at this block offset
+    /// (the checksum still records the *intended* content, so the next
+    /// read detects the tear).
+    Torn(usize),
+}
+
+/// One injected fault, for post-mortem inspection in tests and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// `"read"` or `"write"`.
+    pub op: &'static str,
+    /// Block the op addressed (heap block, or `INDEX_BLOCK_BASE + level`
+    /// for index probes).
+    pub block: usize,
+    /// 1-based index of the op within its counter stream.
+    pub op_index: u64,
+    /// Whether the op failed transiently (`IoFailed`) or tore silently.
+    pub torn: bool,
+}
+
+/// Mutable fault-injection state: the plan plus op counters and a log of
+/// every fault that fired.
+#[derive(Debug)]
+pub struct FaultState {
+    plan: FaultPlan,
+    reads: u64,
+    writes: u64,
+    /// Every fault that fired, in order.
+    pub log: Vec<FaultEvent>,
+}
+
+/// A fault state shared by all relations of one database (`Arc<Mutex<…>>`
+/// mirroring [`SharedBuffer`](crate::buffer::SharedBuffer)).
+pub type SharedFaults = Arc<Mutex<FaultState>>;
+
+impl FaultState {
+    /// Fresh state for a plan: counters at zero, empty log.
+    pub fn new(plan: FaultPlan) -> FaultState {
+        FaultState { plan, reads: 0, writes: 0, log: Vec::new() }
+    }
+
+    /// The plan being executed.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Physical reads consulted so far.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Physical writes consulted so far.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Consults the plan for a physical read of `block`.
+    ///
+    /// # Errors
+    /// [`StorageError::IoFailed`] when the plan says this read fails.
+    pub fn on_read(&mut self, block: usize) -> Result<(), StorageError> {
+        self.reads += 1;
+        let idx = self.reads;
+        let planned = self.plan.fail_nth_read == Some(idx);
+        let flaky_block = matches!(
+            self.plan.fail_block_reads,
+            Some((b, p)) if b == block && decide(self.plan.seed, 1, idx, p)
+        );
+        let transient = decide(self.plan.seed, 2, idx, self.plan.read_failure_rate);
+        if planned || flaky_block || transient {
+            self.log.push(FaultEvent { op: "read", block, op_index: idx, torn: false });
+            return Err(StorageError::IoFailed { op: "read", block, op_index: idx });
+        }
+        Ok(())
+    }
+
+    /// Consults the plan for a physical write of `block`.
+    ///
+    /// # Errors
+    /// [`StorageError::IoFailed`] when the plan says this write fails
+    /// outright; `Ok(WriteMode::Torn(_))` when it should tear silently.
+    pub fn on_write(&mut self, block: usize) -> Result<WriteMode, StorageError> {
+        self.writes += 1;
+        let idx = self.writes;
+        if self.plan.fail_nth_write == Some(idx)
+            || decide(self.plan.seed, 3, idx, self.plan.write_failure_rate)
+        {
+            self.log.push(FaultEvent { op: "write", block, op_index: idx, torn: false });
+            return Err(StorageError::IoFailed { op: "write", block, op_index: idx });
+        }
+        if decide(self.plan.seed, 4, idx, self.plan.torn_write_rate) {
+            self.log.push(FaultEvent { op: "write", block, op_index: idx, torn: true });
+            let offset = (splitmix64(self.plan.seed ^ idx) % crate::block::BLOCK_SIZE as u64) as usize;
+            return Ok(WriteMode::Torn(offset));
+        }
+        Ok(WriteMode::Clean)
+    }
+}
+
+/// FNV-1a over a block's bytes — the per-block checksum heap files keep
+/// while faults are attached.
+pub(crate) fn checksum(bytes: &[u8]) -> u32 {
+    let mut h: u32 = 0x811c_9dc5;
+    for &b in bytes {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x0100_0193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_plan_never_fires() {
+        let mut st = FaultState::new(FaultPlan::inert(7));
+        for b in 0..1000 {
+            st.on_read(b).unwrap();
+            assert_eq!(st.on_write(b).unwrap(), WriteMode::Clean);
+        }
+        assert!(st.log.is_empty());
+        assert_eq!(st.reads(), 1000);
+        assert_eq!(st.writes(), 1000);
+    }
+
+    #[test]
+    fn nth_read_fails_exactly_once() {
+        let mut st = FaultState::new(FaultPlan::inert(1).with_fail_nth_read(3));
+        st.on_read(0).unwrap();
+        st.on_read(0).unwrap();
+        let err = st.on_read(9).unwrap_err();
+        assert_eq!(err, StorageError::IoFailed { op: "read", block: 9, op_index: 3 });
+        st.on_read(9).unwrap();
+        assert_eq!(st.log.len(), 1);
+    }
+
+    #[test]
+    fn nth_write_fails_exactly_once() {
+        let mut st = FaultState::new(FaultPlan::inert(1).with_fail_nth_write(2));
+        st.on_write(0).unwrap();
+        assert!(matches!(st.on_write(5), Err(StorageError::IoFailed { op: "write", .. })));
+        st.on_write(5).unwrap();
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let run = |seed| {
+            let mut st = FaultState::new(FaultPlan::inert(seed).with_read_failure_rate(0.3));
+            (0..200).map(|b| st.on_read(b).is_err()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn failure_rate_is_roughly_honoured() {
+        let mut st = FaultState::new(FaultPlan::inert(9).with_read_failure_rate(0.25));
+        let failures = (0..4000).filter(|&b| st.on_read(b).is_err()).count();
+        assert!((800..1200).contains(&failures), "{failures} failures out of 4000");
+    }
+
+    #[test]
+    fn flaky_block_only_affects_that_block() {
+        let plan = FaultPlan::inert(3).with_fail_block_reads(7, 1.0);
+        let mut st = FaultState::new(plan);
+        st.on_read(6).unwrap();
+        assert!(st.on_read(7).is_err());
+        st.on_read(8).unwrap();
+        assert!(st.on_read(7).is_err());
+    }
+
+    #[test]
+    fn torn_writes_report_an_offset_in_range() {
+        let mut st = FaultState::new(FaultPlan::inert(5).with_torn_write_rate(1.0));
+        match st.on_write(0).unwrap() {
+            WriteMode::Torn(off) => assert!(off < crate::block::BLOCK_SIZE),
+            WriteMode::Clean => panic!("torn rate 1.0 must tear"),
+        }
+        assert!(st.log[0].torn);
+    }
+
+    #[test]
+    fn chaos_plans_differ_by_seed_but_are_stable() {
+        assert_eq!(FaultPlan::chaos(11), FaultPlan::chaos(11));
+        assert_ne!(FaultPlan::chaos(11).fail_nth_read, FaultPlan::chaos(12).fail_nth_read);
+    }
+
+    #[test]
+    fn checksum_detects_single_byte_flips() {
+        let mut bytes = vec![0u8; 4096];
+        bytes[100] = 7;
+        let sum = checksum(&bytes);
+        bytes[2000] ^= 0x5a;
+        assert_ne!(checksum(&bytes), sum);
+    }
+}

@@ -12,10 +12,19 @@
 //!   charges one **block write** per dirty block — so a bulk load of `|R|`
 //!   tuples costs exactly `B_r` writes, matching cost step `C2` of
 //!   Tables 2–3.
+//!
+//! With a [`SharedFaults`] attached (see [`crate::fault`]) every physical
+//! block operation consults the fault plan and may fail with
+//! [`StorageError::IoFailed`], and the file maintains a per-block checksum
+//! of the intended content so torn writes surface as
+//! [`StorageError::CorruptBlock`] on the next read. Without faults the
+//! checksum machinery is entirely inert and the charged [`IoStats`] are
+//! bit-identical to the fault-free build.
 
 use crate::block::{Block, BLOCK_SIZE};
 use crate::buffer::{next_file_id, SharedBuffer};
 use crate::error::StorageError;
+use crate::fault::{self, SharedFaults, WriteMode};
 use crate::io::IoStats;
 use crate::tuple::FixedTuple;
 use std::collections::BTreeSet;
@@ -30,6 +39,12 @@ pub struct HeapFile<T: FixedTuple> {
     /// Optional buffer pool (an extension; `None` is the paper-faithful
     /// cold-cache configuration). See [`crate::buffer`].
     buffer: Option<(SharedBuffer, u64)>,
+    /// Optional fault injection; `None` disables all checks. See
+    /// [`crate::fault`].
+    faults: Option<SharedFaults>,
+    /// Per-block checksums of the durably written content, maintained only
+    /// while `faults` is attached (so the fault-free path is untouched).
+    sums: Vec<u32>,
     _tuple: PhantomData<T>,
 }
 
@@ -45,6 +60,8 @@ impl<T: FixedTuple> HeapFile<T> {
             len: 0,
             dirty: BTreeSet::new(),
             buffer: None,
+            faults: None,
+            sums: Vec::new(),
             _tuple: PhantomData,
         }
     }
@@ -55,26 +72,92 @@ impl<T: FixedTuple> HeapFile<T> {
         self.buffer = Some((pool.clone(), next_file_id()));
     }
 
-    /// Charges a read of `block` unless the buffer pool absorbs it.
+    /// Attaches shared fault-injection state. From now on every physical
+    /// block op consults the plan, and checksums of the current content
+    /// are recorded so later corruption is detectable.
+    pub fn attach_faults(&mut self, faults: &SharedFaults) {
+        self.faults = Some(faults.clone());
+        self.sums = self.blocks.iter().map(|b| fault::checksum(b.bytes(0, BLOCK_SIZE))).collect();
+    }
+
+    /// Consults the fault plan for a physical read of `block`.
     #[inline]
-    pub(crate) fn charge_read(&self, block: usize, io: &mut IoStats) {
-        match &self.buffer {
-            Some((pool, file)) => {
-                if !pool.lock().expect("buffer pool lock").access(*file, block) {
-                    io.read_blocks(1);
-                }
-            }
-            None => io.read_blocks(1),
+    fn consult_read(&self, block: usize) -> Result<(), StorageError> {
+        if let Some(f) = &self.faults {
+            f.lock().expect("fault state lock").on_read(block)?;
         }
+        Ok(())
+    }
+
+    /// Consults the fault plan for a physical write of `block`.
+    #[inline]
+    fn consult_write(&self, block: usize) -> Result<WriteMode, StorageError> {
+        match &self.faults {
+            Some(f) => f.lock().expect("fault state lock").on_write(block),
+            None => Ok(WriteMode::Clean),
+        }
+    }
+
+    /// Verifies `block` against its recorded checksum. Dirty (staged, not
+    /// yet flushed) blocks and files without faults are exempt.
+    #[inline]
+    fn verify(&self, block: usize) -> Result<(), StorageError> {
+        if self.faults.is_some()
+            && block < self.sums.len()
+            && !self.dirty.contains(&block)
+            && fault::checksum(self.blocks[block].bytes(0, BLOCK_SIZE)) != self.sums[block]
+        {
+            return Err(StorageError::CorruptBlock { block });
+        }
+        Ok(())
+    }
+
+    /// Records `block`'s current content as its durable checksum, then
+    /// applies a torn write's byte flip (so the checksum reflects the
+    /// *intended* content and the next [`verify`](Self::verify) fails).
+    fn commit_block(&mut self, block: usize, mode: WriteMode) {
+        if self.faults.is_some() {
+            if self.sums.len() <= block {
+                self.sums.resize(block + 1, 0);
+            }
+            self.sums[block] = fault::checksum(self.blocks[block].bytes(0, BLOCK_SIZE));
+            if let WriteMode::Torn(offset) = mode {
+                self.blocks[block].bytes_mut(offset, 1)[0] ^= 0x5a;
+            }
+        }
+    }
+
+    /// Charges a read of `block` unless the buffer pool absorbs it, then
+    /// verifies the block content.
+    ///
+    /// # Errors
+    /// Fails when the fault plan injects a read failure or the block is
+    /// corrupt. Pool hits skip the fault consult (no physical read
+    /// happens) but still verify — corruption lives in the stored bytes.
+    #[inline]
+    pub(crate) fn charge_read(&self, block: usize, io: &mut IoStats) -> Result<(), StorageError> {
+        let physical = match &self.buffer {
+            Some((pool, file)) => !pool.lock().expect("buffer pool lock").access(*file, block),
+            None => true,
+        };
+        if physical {
+            io.read_blocks(1);
+            self.consult_read(block)?;
+        }
+        self.verify(block)
     }
 
     /// Charges a full-scan's worth of block reads (buffer-aware) without
     /// decoding any tuples — used by join strategies whose formulas price
     /// repeated passes over this file.
-    pub(crate) fn charge_scan(&self, io: &mut IoStats) {
+    ///
+    /// # Errors
+    /// Fails on an injected read failure or a corrupt block.
+    pub(crate) fn charge_scan(&self, io: &mut IoStats) -> Result<(), StorageError> {
         for b in 0..self.blocks.len() {
-            self.charge_read(b, io);
+            self.charge_read(b, io)?;
         }
+        Ok(())
     }
 
     /// Marks `block` resident after a write (write-allocate) without
@@ -125,42 +208,57 @@ impl<T: FixedTuple> HeapFile<T> {
     }
 
     /// Writes out all dirty blocks, charging one block write each.
-    pub fn flush(&mut self, io: &mut IoStats) {
-        io.write_blocks(self.dirty.len() as u64);
-        for &b in &self.dirty {
+    ///
+    /// # Errors
+    /// Fails when the fault plan injects a write failure; the failed block
+    /// (and any not yet reached) stays dirty, so a retried flush finishes
+    /// the job.
+    pub fn flush(&mut self, io: &mut IoStats) -> Result<(), StorageError> {
+        while let Some(&b) = self.dirty.iter().next() {
+            io.write_blocks(1);
+            let mode = self.consult_write(b)?;
+            self.dirty.remove(&b);
             self.install_block(b);
+            self.commit_block(b, mode);
         }
-        self.dirty.clear();
+        Ok(())
     }
 
     /// Reads one tuple, charging one block read.
     ///
     /// # Errors
-    /// Fails if `slot` is out of range.
+    /// Fails if `slot` is out of range, on an injected read failure, or on
+    /// a corrupt block.
     pub fn read_slot(&self, slot: usize, io: &mut IoStats) -> Result<T, StorageError> {
         if slot >= self.len {
             return Err(StorageError::SlotOutOfRange { slot, len: self.len });
         }
         let (b, off) = Self::locate(slot);
-        self.charge_read(b, io);
+        self.charge_read(b, io)?;
         Ok(T::decode(self.blocks[b].bytes(off, T::SIZE)))
     }
 
     /// Reads one tuple *without* charging I/O — for callers that already
     /// paid for the containing block (e.g. a scan that re-visits a slot it
     /// just passed) or for assertions in tests.
+    ///
+    /// # Errors
+    /// Fails if `slot` is out of range or the block is corrupt.
     pub fn peek_slot(&self, slot: usize) -> Result<T, StorageError> {
         if slot >= self.len {
             return Err(StorageError::SlotOutOfRange { slot, len: self.len });
         }
         let (b, off) = Self::locate(slot);
+        self.verify(b)?;
         Ok(T::decode(self.blocks[b].bytes(off, T::SIZE)))
     }
 
     /// Updates one tuple in place, charging one tuple update.
     ///
     /// # Errors
-    /// Fails if `slot` is out of range.
+    /// Fails if `slot` is out of range, on injected read/write failures
+    /// (the paper prices an update as a read plus a write), or on a
+    /// corrupt block. A failed write leaves the old content intact.
     pub fn update_slot(
         &mut self,
         slot: usize,
@@ -170,50 +268,63 @@ impl<T: FixedTuple> HeapFile<T> {
         if slot >= self.len {
             return Err(StorageError::SlotOutOfRange { slot, len: self.len });
         }
-        io.update_tuples(1);
         let (b, off) = Self::locate(slot);
-        self.install_block(b);
+        self.verify(b)?;
+        io.update_tuples(1);
+        self.consult_read(b)?;
         let mut t = T::decode(self.blocks[b].bytes(off, T::SIZE));
         f(&mut t);
+        let mode = self.consult_write(b)?;
+        self.install_block(b);
         t.encode(self.blocks[b].bytes_mut(off, T::SIZE));
+        self.commit_block(b, mode);
         Ok(())
     }
 
     /// Full scan: visits every tuple in slot order, charging one block read
     /// per block. The visitor receives `(slot, tuple)`.
-    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(usize, T)) {
+    ///
+    /// # Errors
+    /// Fails on an injected read failure or a corrupt block (before any
+    /// tuple is visited).
+    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(usize, T)) -> Result<(), StorageError> {
         for b in 0..self.blocks.len() {
-            self.charge_read(b, io);
+            self.charge_read(b, io)?;
         }
         for slot in 0..self.len {
             let (b, off) = Self::locate(slot);
             visit(slot, T::decode(self.blocks[b].bytes(off, T::SIZE)));
         }
+        Ok(())
     }
 
     /// Scans a contiguous slot range `[start, end)`, charging reads only
     /// for the blocks the range touches. Used for clustered lookups
     /// (adjacency lists in the hash-clustered edge relation).
+    ///
+    /// # Errors
+    /// Fails on an injected read failure or a corrupt block.
     pub fn scan_range(
         &self,
         start: usize,
         end: usize,
         io: &mut IoStats,
         mut visit: impl FnMut(usize, T),
-    ) {
+    ) -> Result<(), StorageError> {
         let end = end.min(self.len);
         if start >= end {
-            return;
+            return Ok(());
         }
         let first_block = start / Self::TUPLES_PER_BLOCK;
         let last_block = (end - 1) / Self::TUPLES_PER_BLOCK;
         for b in first_block..=last_block {
-            self.charge_read(b, io);
+            self.charge_read(b, io)?;
         }
         for slot in start..end {
             let (b, off) = Self::locate(slot);
             visit(slot, T::decode(self.blocks[b].bytes(off, T::SIZE)));
         }
+        Ok(())
     }
 
     /// Set-oriented rewrite pass — the QUEL `REPLACE ... WHERE` used by the
@@ -222,29 +333,39 @@ impl<T: FixedTuple> HeapFile<T> {
     /// paper's pricing of such a pass at `B_r * t_update`: each block the
     /// pass dirties costs one tuple update (its read + write), and each
     /// clean block costs one block read.
-    pub fn rewrite(&mut self, io: &mut IoStats, mut visit: impl FnMut(usize, &mut T) -> bool) {
-        let mut dirty_blocks = 0u64;
-        let mut block_dirty = false;
-        for slot in 0..self.len {
-            let (b, off) = Self::locate(slot);
-            if off == 0 {
-                if block_dirty {
-                    dirty_blocks += 1;
+    ///
+    /// # Errors
+    /// Fails on injected read/write failures or corrupt blocks; blocks
+    /// already visited keep their new content (the caller is expected to
+    /// restart the query, not resume the pass).
+    pub fn rewrite(
+        &mut self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(usize, &mut T) -> bool,
+    ) -> Result<(), StorageError> {
+        for b in 0..self.blocks.len() {
+            self.verify(b)?;
+            self.consult_read(b)?;
+            let lo = b * Self::TUPLES_PER_BLOCK;
+            let hi = ((b + 1) * Self::TUPLES_PER_BLOCK).min(self.len);
+            let mut block_dirty = false;
+            for slot in lo..hi {
+                let off = (slot % Self::TUPLES_PER_BLOCK) * T::SIZE;
+                let mut t = T::decode(self.blocks[b].bytes(off, T::SIZE));
+                if visit(slot, &mut t) {
+                    t.encode(self.blocks[b].bytes_mut(off, T::SIZE));
+                    block_dirty = true;
                 }
-                block_dirty = false;
             }
-            let mut t = T::decode(self.blocks[b].bytes(off, T::SIZE));
-            if visit(slot, &mut t) {
-                t.encode(self.blocks[b].bytes_mut(off, T::SIZE));
-                block_dirty = true;
+            if block_dirty {
+                io.update_tuples(1);
+                let mode = self.consult_write(b)?;
+                self.commit_block(b, mode);
+            } else {
+                io.read_blocks(1);
             }
         }
-        if block_dirty {
-            dirty_blocks += 1;
-        }
-        let clean_blocks = self.blocks.len() as u64 - dirty_blocks;
-        io.read_blocks(clean_blocks);
-        io.update_tuples(dirty_blocks);
+        Ok(())
     }
 
     // Rewrite is intentionally not buffer-aware: a set-oriented REPLACE
@@ -259,6 +380,7 @@ impl<T: FixedTuple> HeapFile<T> {
         }
         self.blocks.clear();
         self.dirty.clear();
+        self.sums.clear();
         self.len = 0;
     }
 }
@@ -266,6 +388,7 @@ impl<T: FixedTuple> HeapFile<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultPlan;
     use crate::tuple::EdgeTuple;
 
     fn edge(b: u16, e: u16, c: f64) -> EdgeTuple {
@@ -288,7 +411,7 @@ mod tests {
             f.append(&edge(i, i + 1, 1.0));
         }
         let before = io;
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         assert_eq!(io.since(&before).block_writes, 3);
         assert_eq!(f.block_count(), 3);
         assert_eq!(f.len(), 300);
@@ -299,9 +422,9 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
         f.append(&edge(0, 1, 1.0));
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         let before = io;
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         assert_eq!(io.since(&before).block_writes, 0);
     }
 
@@ -310,7 +433,7 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
         f.append(&edge(7, 8, 2.5));
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         let before = io;
         let t = f.read_slot(0, &mut io).unwrap();
         assert_eq!(t, edge(7, 8, 2.5));
@@ -329,7 +452,7 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
         f.append(&edge(1, 2, 1.0));
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         let before = io;
         f.update_slot(0, &mut io, |t| t.cost = 9.0).unwrap();
         assert_eq!(io.since(&before).tuple_updates, 1);
@@ -343,10 +466,10 @@ mod tests {
         for i in 0..200 {
             f.append(&edge(i, i, 0.0));
         }
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         let before = io;
         let mut seen = 0;
-        f.scan(&mut io, |_, _| seen += 1);
+        f.scan(&mut io, |_, _| seen += 1).unwrap();
         assert_eq!(seen, 200);
         assert_eq!(io.since(&before).block_reads, 2); // 200/128 -> 2 blocks
     }
@@ -358,15 +481,15 @@ mod tests {
         for i in 0..512 {
             f.append(&edge(i, i, 0.0));
         }
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         let before = io;
         let mut seen = vec![];
-        f.scan_range(100, 104, &mut io, |s, _| seen.push(s));
+        f.scan_range(100, 104, &mut io, |s, _| seen.push(s)).unwrap();
         assert_eq!(seen, vec![100, 101, 102, 103]);
         assert_eq!(io.since(&before).block_reads, 1);
         // A range spanning a block boundary charges 2 reads.
         let before = io;
-        f.scan_range(126, 130, &mut io, |_, _| {});
+        f.scan_range(126, 130, &mut io, |_, _| {}).unwrap();
         assert_eq!(io.since(&before).block_reads, 2);
     }
 
@@ -375,13 +498,13 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
         f.append(&edge(0, 0, 0.0));
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         let mut seen = 0;
-        f.scan_range(0, 100, &mut io, |_, _| seen += 1);
+        f.scan_range(0, 100, &mut io, |_, _| seen += 1).unwrap();
         assert_eq!(seen, 1);
         // Empty range charges nothing.
         let before = io;
-        f.scan_range(5, 5, &mut io, |_, _| unreachable!());
+        f.scan_range(5, 5, &mut io, |_, _| unreachable!()).unwrap();
         assert_eq!(io.since(&before).block_reads, 0);
     }
 
@@ -392,7 +515,7 @@ mod tests {
         for i in 0..256 {
             f.append(&edge(i, i, 1.0));
         }
-        f.flush(&mut io); // 2 blocks
+        f.flush(&mut io).unwrap(); // 2 blocks
         let before = io;
         // Touch only tuples in the first block.
         f.rewrite(&mut io, |s, t| {
@@ -402,7 +525,8 @@ mod tests {
             } else {
                 false
             }
-        });
+        })
+        .unwrap();
         let d = io.since(&before);
         // One dirty block (one t_update = its read+write), one clean block
         // (one read).
@@ -421,5 +545,99 @@ mod tests {
         assert_eq!(io.relations_deleted, 1);
         assert!(f.is_empty());
         assert_eq!(f.block_count(), 0);
+    }
+
+    #[test]
+    fn inert_faults_leave_io_stats_identical() {
+        let run = |attach: bool| {
+            let mut io = IoStats::new();
+            let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+            if attach {
+                f.attach_faults(&FaultPlan::inert(0).into_shared());
+            }
+            for i in 0..300 {
+                f.append(&edge(i, i, 1.0));
+            }
+            f.flush(&mut io).unwrap();
+            f.scan(&mut io, |_, _| {}).unwrap();
+            f.update_slot(10, &mut io, |t| t.cost = 2.0).unwrap();
+            f.read_slot(200, &mut io).unwrap();
+            f.rewrite(&mut io, |s, t| {
+                t.cost += s as f64;
+                true
+            })
+            .unwrap();
+            io
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn nth_read_failure_surfaces_as_io_failed() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        for i in 0..10 {
+            f.append(&edge(i, i, 1.0));
+        }
+        f.attach_faults(&FaultPlan::inert(1).with_fail_nth_read(2).into_shared());
+        f.flush(&mut io).unwrap();
+        f.read_slot(0, &mut io).unwrap();
+        assert!(matches!(
+            f.read_slot(1, &mut io),
+            Err(StorageError::IoFailed { op: "read", .. })
+        ));
+        // The planned failure is consumed; the next read succeeds.
+        f.read_slot(1, &mut io).unwrap();
+    }
+
+    #[test]
+    fn failed_flush_keeps_the_block_dirty_for_retry() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.attach_faults(&FaultPlan::inert(1).with_fail_nth_write(1).into_shared());
+        f.append(&edge(3, 4, 1.0));
+        assert!(matches!(f.flush(&mut io), Err(StorageError::IoFailed { op: "write", .. })));
+        // Retry succeeds and the content is durable and verifiable.
+        f.flush(&mut io).unwrap();
+        assert_eq!(f.read_slot(0, &mut io).unwrap(), edge(3, 4, 1.0));
+    }
+
+    #[test]
+    fn torn_write_is_detected_on_next_read() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.attach_faults(&FaultPlan::inert(2).with_torn_write_rate(1.0).into_shared());
+        f.append(&edge(0, 1, 1.0));
+        f.flush(&mut io).unwrap();
+        assert_eq!(f.read_slot(0, &mut io), Err(StorageError::CorruptBlock { block: 0 }));
+        assert_eq!(f.peek_slot(0), Err(StorageError::CorruptBlock { block: 0 }));
+    }
+
+    #[test]
+    fn corruption_clears_when_the_block_is_rewritten() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        let faults = FaultPlan::inert(2).with_torn_write_rate(1.0).into_shared();
+        f.attach_faults(&faults);
+        f.append(&edge(0, 1, 1.0));
+        f.flush(&mut io).unwrap();
+        assert!(f.read_slot(0, &mut io).is_err());
+        drop(faults);
+        // Stop tearing, rewrite the block: readable again.
+        let clean = FaultPlan::inert(2).into_shared();
+        f.attach_faults(&clean);
+        f.update_slot(0, &mut io, |t| t.cost = 5.0).unwrap();
+        assert_eq!(f.read_slot(0, &mut io).unwrap().cost, 5.0);
+    }
+
+    #[test]
+    fn attach_faults_checksums_existing_blocks() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
+        f.append(&edge(1, 2, 3.0));
+        f.flush(&mut io).unwrap();
+        // Attaching after a fault-free load must leave everything readable.
+        f.attach_faults(&FaultPlan::inert(0).into_shared());
+        assert_eq!(f.read_slot(0, &mut io).unwrap(), edge(1, 2, 3.0));
     }
 }

@@ -137,6 +137,11 @@ impl IoStats {
     /// Panics in debug builds if `earlier` is not a prefix of `self`.
     pub fn since(&self, earlier: &IoStats) -> IoStats {
         debug_assert!(self.block_reads >= earlier.block_reads);
+        debug_assert!(self.block_writes >= earlier.block_writes);
+        debug_assert!(self.tuple_updates >= earlier.tuple_updates);
+        debug_assert!(self.relations_created >= earlier.relations_created);
+        debug_assert!(self.relations_deleted >= earlier.relations_deleted);
+        debug_assert!(self.index_adjustments >= earlier.index_adjustments);
         IoStats {
             block_reads: self.block_reads - earlier.block_reads,
             block_writes: self.block_writes - earlier.block_writes,

@@ -13,6 +13,7 @@
 //! traversal, exactly like the paper's cost model does.
 
 use crate::error::StorageError;
+use crate::fault::{SharedFaults, INDEX_BLOCK_BASE};
 use crate::io::IoStats;
 
 /// Fan-out of each index level. 4096-byte index blocks with 8-byte
@@ -30,6 +31,9 @@ pub struct IsamIndex {
     leaf: Vec<u32>,
     /// Number of levels `I_l` charged per probe.
     levels: u64,
+    /// Optional fault injection: each probed level is one physical read
+    /// of a pseudo-block `INDEX_BLOCK_BASE + level`.
+    faults: Option<SharedFaults>,
 }
 
 impl IsamIndex {
@@ -56,7 +60,14 @@ impl IsamIndex {
         IsamIndex {
             leaf: (0..n as u32).collect(),
             levels: forced_levels.unwrap_or(natural_levels),
+            faults: None,
         }
+    }
+
+    /// Attaches shared fault-injection state; every probed index level is
+    /// consulted as a physical read from then on.
+    pub fn attach_faults(&mut self, faults: &SharedFaults) {
+        self.faults = Some(faults.clone());
     }
 
     /// Number of keys indexed.
@@ -78,9 +89,16 @@ impl IsamIndex {
     /// the heap slot.
     ///
     /// # Errors
-    /// Fails if the key is not indexed.
+    /// Fails if the key is not indexed, or when the fault plan injects a
+    /// read failure on one of the probed index levels.
     pub fn probe(&self, key: u32, io: &mut IoStats) -> Result<usize, StorageError> {
         io.read_blocks(self.levels);
+        if let Some(f) = &self.faults {
+            let mut f = f.lock().expect("fault state lock");
+            for level in 0..self.levels {
+                f.on_read(INDEX_BLOCK_BASE + level as usize)?;
+            }
+        }
         self.leaf
             .get(key as usize)
             .map(|&s| s as usize)

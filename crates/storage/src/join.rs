@@ -140,15 +140,18 @@ pub fn choose_strategy(
 /// the result-materialisation writes (`B_join`). The join output is a
 /// temporary relation; its creation cost `I` is charged once per algorithm
 /// run (step `C1`), not here, matching Table 2/3's step structure.
+///
+/// # Errors
+/// Surfaces injected read failures and checksum mismatches from `S`.
 pub fn join_adjacency(
     current: &[(u16, NodeTuple)],
     edges: &EdgeRelation,
     policy: JoinPolicy,
     params: &CostParams,
     io: &mut IoStats,
-) -> (Vec<(u16, EdgeTuple)>, JoinStrategy) {
+) -> Result<(Vec<(u16, EdgeTuple)>, JoinStrategy), crate::error::StorageError> {
     if current.is_empty() {
-        return (Vec::new(), JoinStrategy::PrimaryKey);
+        return Ok((Vec::new(), JoinStrategy::PrimaryKey));
     }
     let est_result = ((current.len() as f64 * edges.average_degree()).ceil() as usize).max(1);
     let est_b_join = est_result.div_ceil(JOIN_BLOCKING).max(1);
@@ -163,7 +166,7 @@ pub fn join_adjacency(
     // four strategies produce this same relation.
     let mut result = Vec::with_capacity(est_result);
     for &(id, _) in current {
-        edges.peek_adjacency(id, |e| result.push((id, *e)));
+        edges.peek_adjacency(id, |e| result.push((id, *e)))?;
     }
 
     // Charging. Reads of `S` go through the relation's (possibly
@@ -175,30 +178,30 @@ pub fn join_adjacency(
         JoinStrategy::NestedLoop => {
             io.read_blocks(b_outer);
             for _ in 0..b_outer {
-                edges.charge_scan(io); // one full rescan of S per outer block
+                edges.charge_scan(io)?; // one full rescan of S per outer block
             }
             io.write_blocks(b_join);
         }
         JoinStrategy::Hash => {
             io.read_blocks(b_outer);
-            edges.charge_scan(io);
+            edges.charge_scan(io)?;
             io.write_blocks(b_join);
         }
         JoinStrategy::SortMerge => {
             let log2 = |b: u64| ((b as f64).log2().ceil().max(0.0)) as u64;
             io.update_tuples(b_outer * log2(b_outer) + b_inner * log2(b_inner));
             io.read_blocks(b_outer);
-            edges.charge_scan(io);
+            edges.charge_scan(io)?;
             io.write_blocks(b_join);
         }
         JoinStrategy::PrimaryKey => {
             for &(id, _) in current {
-                edges.charge_probe(id, io);
+                edges.charge_probe(id, io)?;
             }
             io.write_blocks(b_join);
         }
     }
-    (result, strategy)
+    Ok((result, strategy))
 }
 
 #[cfg(test)]
@@ -248,7 +251,8 @@ mod tests {
         let mut results = Vec::new();
         for strat in JoinStrategy::ALL {
             let (r, used) =
-                join_adjacency(&cur, &s, JoinPolicy::Force(strat), &p, &mut IoStats::new());
+                join_adjacency(&cur, &s, JoinPolicy::Force(strat), &p, &mut IoStats::new())
+                    .unwrap();
             assert_eq!(used, strat);
             results.push(r);
         }
@@ -267,7 +271,8 @@ mod tests {
         let cur = current(&[0]);
         let p = CostParams::default();
         let mut io2 = IoStats::new();
-        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::NestedLoop), &p, &mut io2);
+        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::NestedLoop), &p, &mut io2)
+            .unwrap();
         // B1 = 1, B2 = 1: 1 + 1*1 = 2 reads, 1 result write.
         assert_eq!(io2.block_reads, 2);
         assert_eq!(io2.block_writes, 1);
@@ -281,7 +286,8 @@ mod tests {
         let cur = current(&[0, 1, 2]);
         let p = CostParams::default();
         let mut io2 = IoStats::new();
-        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::PrimaryKey), &p, &mut io2);
+        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::PrimaryKey), &p, &mut io2)
+            .unwrap();
         // One bucket block per current node (adjacencies fit one block).
         assert_eq!(io2.block_reads, 3);
         assert_eq!(io2.block_writes, 1);
@@ -323,7 +329,7 @@ mod tests {
         let s = EdgeRelation::load(&g, &mut io).unwrap();
         let p = CostParams::default();
         let before = io;
-        let (r, _) = join_adjacency(&[], &s, JoinPolicy::CostBased, &p, &mut io);
+        let (r, _) = join_adjacency(&[], &s, JoinPolicy::CostBased, &p, &mut io).unwrap();
         assert!(r.is_empty());
         assert_eq!(io.since(&before), IoStats::default());
     }
@@ -336,7 +342,8 @@ mod tests {
         let cur = current(&[0]);
         let p = CostParams::default();
         let mut io2 = IoStats::new();
-        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::SortMerge), &p, &mut io2);
+        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::SortMerge), &p, &mut io2)
+            .unwrap();
         // log2(1) = 0 for both single-block sides: no sort updates, just
         // the merge reads and result write.
         assert_eq!(io2.tuple_updates, 0);

@@ -28,6 +28,9 @@
 //!   `F(B1, B2, B3)`.
 //! * [`temp`] — temporary relations with APPEND/DELETE and index-maintenance
 //!   charging, used by the separate-relation frontier of A\* version 1.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): seeded
+//!   transient read/write failures, flaky blocks, and torn writes detected
+//!   by per-block checksums, for exercising the resilient planner.
 //!
 //! Faithfulness notes: there is deliberately **no buffer pool** — the
 //! paper's cost model (Tables 2–3) charges every scan at full block cost,
@@ -41,6 +44,7 @@
 pub mod block;
 pub mod buffer;
 pub mod error;
+pub mod fault;
 pub mod heapfile;
 pub mod io;
 pub mod isam;
@@ -52,6 +56,7 @@ pub mod tuple;
 
 pub use buffer::{BufferPool, SharedBuffer};
 pub use error::StorageError;
+pub use fault::{FaultEvent, FaultPlan, FaultState, SharedFaults};
 pub use heapfile::HeapFile;
 pub use io::{CostParams, IoStats};
 pub use isam::IsamIndex;

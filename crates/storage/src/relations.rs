@@ -100,13 +100,18 @@ impl EdgeRelation {
             }
             buckets.push((start, graph.degree(u) as u32));
         }
-        heap.flush(io);
+        heap.flush(io)?;
         Ok(EdgeRelation { heap, buckets, avg_degree: graph.average_degree() })
     }
 
     /// Attaches a buffer pool to `S` (an extension; see [`crate::buffer`]).
     pub fn attach_buffer(&mut self, pool: &crate::buffer::SharedBuffer) {
         self.heap.attach_buffer(pool);
+    }
+
+    /// Attaches fault-injection state to `S` (see [`crate::fault`]).
+    pub fn attach_faults(&mut self, faults: &crate::fault::SharedFaults) {
+        self.heap.attach_faults(faults);
     }
 
     /// `|S|`, the tuple count.
@@ -127,35 +132,53 @@ impl EdgeRelation {
     /// Fetches `u.adjacencyList` through the hash index, charging the reads
     /// for the bucket's blocks (at least one — the bucket page is read even
     /// when the adjacency is empty).
-    pub fn fetch_adjacency(&self, u: u16, io: &mut IoStats) -> Vec<EdgeTuple> {
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn fetch_adjacency(&self, u: u16, io: &mut IoStats) -> Result<Vec<EdgeTuple>, StorageError> {
         let Some(&(start, len)) = self.buckets.get(u as usize) else {
             io.read_blocks(1);
-            return Vec::new();
+            return Ok(Vec::new());
         };
         if len == 0 {
             io.read_blocks(1);
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let mut out = Vec::with_capacity(len as usize);
-        self.heap.scan_range(start as usize, (start + len) as usize, io, |_, t| out.push(t));
-        out
+        self.heap.scan_range(start as usize, (start + len) as usize, io, |_, t| out.push(t))?;
+        Ok(out)
     }
 
     /// Visits the adjacency of `u` without charging I/O. Join strategies
     /// use this when their charging formula already covers the access
     /// (e.g. a nested-loop join has paid to scan all of `S`).
-    pub fn peek_adjacency(&self, u: u16, mut visit: impl FnMut(&EdgeTuple)) {
+    ///
+    /// # Errors
+    /// Surfaces checksum mismatches on corrupted blocks.
+    pub fn peek_adjacency(
+        &self,
+        u: u16,
+        mut visit: impl FnMut(&EdgeTuple),
+    ) -> Result<(), StorageError> {
         if let Some(&(start, len)) = self.buckets.get(u as usize) {
             for slot in start..start + len {
-                visit(&self.heap.peek_slot(slot as usize).expect("bucket slots in range"));
+                visit(&self.heap.peek_slot(slot as usize)?);
             }
         }
+        Ok(())
     }
 
     /// Full scan of `S` in physical (begin-node clustered) order, charging
     /// `B_s` reads.
-    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(&EdgeTuple)) {
-        self.heap.scan(io, |_, t| visit(&t));
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn scan(
+        &self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(&EdgeTuple),
+    ) -> Result<(), StorageError> {
+        self.heap.scan(io, |_, t| visit(&t))
     }
 
     /// Updates the cost of every `(u, v)` tuple in place — the real-time
@@ -193,20 +216,26 @@ impl EdgeRelation {
 
     /// Charges one full pass over `S` (buffer-aware) without decoding —
     /// the inner-relation rescan of a nested-loop join.
-    pub fn charge_scan(&self, io: &mut IoStats) {
-        self.heap.charge_scan(io);
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn charge_scan(&self, io: &mut IoStats) -> Result<(), StorageError> {
+        self.heap.charge_scan(io)
     }
 
     /// Charges the blocks a hash-bucket probe of `u` touches
     /// (buffer-aware, at least one block).
-    pub fn charge_probe(&self, u: u16, io: &mut IoStats) {
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn charge_probe(&self, u: u16, io: &mut IoStats) -> Result<(), StorageError> {
         let per_block = HeapFile::<EdgeTuple>::TUPLES_PER_BLOCK;
         match self.buckets.get(u as usize) {
             Some(&(start, len)) if len > 0 => {
                 let first = start as usize / per_block;
                 let last = (start + len - 1) as usize / per_block;
                 for b in first..=last {
-                    self.heap.charge_read(b, io);
+                    self.heap.charge_read(b, io)?;
                 }
             }
             _ => {
@@ -214,10 +243,11 @@ impl EdgeRelation {
                 if self.heap.block_count() == 0 {
                     io.read_blocks(1);
                 } else {
-                    self.heap.charge_read(0, io);
+                    self.heap.charge_read(0, io)?;
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -261,7 +291,7 @@ impl NodeRelation {
             let p = graph.point(u);
             heap.append(&NodeTuple::unreached(p.x as f32, p.y as f32));
         }
-        heap.flush(io); // C2 write side: B_r writes
+        heap.flush(io)?; // C2 write side: B_r writes
         let isam = IsamIndex::build(n, heap.block_count(), Some(isam_levels), io); // C3
         Ok(NodeRelation { heap, isam })
     }
@@ -269,6 +299,13 @@ impl NodeRelation {
     /// Attaches a buffer pool to `R` (an extension; see [`crate::buffer`]).
     pub fn attach_buffer(&mut self, pool: &crate::buffer::SharedBuffer) {
         self.heap.attach_buffer(pool);
+    }
+
+    /// Attaches fault-injection state to `R`'s heap and ISAM index
+    /// (see [`crate::fault`]).
+    pub fn attach_faults(&mut self, faults: &crate::fault::SharedFaults) {
+        self.heap.attach_faults(faults);
+        self.isam.attach_faults(faults);
     }
 
     /// `|R|`, the tuple count.
@@ -322,14 +359,28 @@ impl NodeRelation {
     }
 
     /// Full scan in node-id order, charging `B_r` reads.
-    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(u16, &NodeTuple)) {
-        self.heap.scan(io, |slot, t| visit(slot as u16, &t));
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn scan(
+        &self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(u16, &NodeTuple),
+    ) -> Result<(), StorageError> {
+        self.heap.scan(io, |slot, t| visit(slot as u16, &t))
     }
 
     /// Set-oriented rewrite pass (`REPLACE ... WHERE` over the whole
     /// relation); see [`HeapFile::rewrite`] for the charging rule.
-    pub fn rewrite(&mut self, io: &mut IoStats, mut visit: impl FnMut(u16, &mut NodeTuple) -> bool) {
-        self.heap.rewrite(io, |slot, t| visit(slot as u16, t));
+    ///
+    /// # Errors
+    /// Surfaces injected read/write failures and checksum mismatches.
+    pub fn rewrite(
+        &mut self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(u16, &mut NodeTuple) -> bool,
+    ) -> Result<(), StorageError> {
+        self.heap.rewrite(io, |slot, t| visit(slot as u16, t))
     }
 
     /// "Select u from frontierSet with minimum score" — a full scan of `R`
@@ -343,7 +394,7 @@ impl NodeRelation {
         &self,
         io: &mut IoStats,
         mut score: impl FnMut(u16, &NodeTuple) -> f64,
-    ) -> Option<(u16, NodeTuple)> {
+    ) -> Result<Option<(u16, NodeTuple)>, StorageError> {
         let mut best: Option<(f64, u64, u16, NodeTuple)> = None;
         self.scan(io, |id, t| {
             if t.status == NodeStatus::Open {
@@ -357,48 +408,61 @@ impl NodeRelation {
                     best = Some((s, tie, id, *t));
                 }
             }
-        });
-        best.map(|(_, _, id, t)| (id, t))
+        })?;
+        Ok(best.map(|(_, _, id, t)| (id, t)))
     }
 
     /// Counts tuples with the given status (a scan: `B_r` reads) — the
     /// iterative algorithm's step 8, "Scan R to count the number of
     /// current-nodes".
-    pub fn count_status(&self, status: NodeStatus, io: &mut IoStats) -> usize {
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn count_status(&self, status: NodeStatus, io: &mut IoStats) -> Result<usize, StorageError> {
         let mut n = 0;
         self.scan(io, |_, t| {
             if t.status == status {
                 n += 1;
             }
-        });
-        n
+        })?;
+        Ok(n)
     }
 
     /// Collects `(id, tuple)` for every node with the given status
     /// (a scan) — the iterative algorithm's step 5, "Fetch all
     /// current-nodes from R".
-    pub fn fetch_status(&self, status: NodeStatus, io: &mut IoStats) -> Vec<(u16, NodeTuple)> {
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn fetch_status(
+        &self,
+        status: NodeStatus,
+        io: &mut IoStats,
+    ) -> Result<Vec<(u16, NodeTuple)>, StorageError> {
         let mut out = Vec::new();
         self.scan(io, |id, t| {
             if t.status == status {
                 out.push((id, *t));
             }
-        });
-        out
+        })?;
+        Ok(out)
     }
 
     /// Reconstructs the predecessor array from the `path` pointers, for
     /// [`atis_graph::Path::from_predecessors`]. Uncharged (post-run
     /// extraction, not part of the algorithm's metered work).
-    pub fn predecessors(&self) -> Vec<Option<NodeId>> {
+    ///
+    /// # Errors
+    /// Surfaces checksum mismatches on corrupted blocks.
+    pub fn predecessors(&self) -> Result<Vec<Option<NodeId>>, StorageError> {
         (0..self.heap.len())
             .map(|slot| {
-                let t = self.heap.peek_slot(slot).expect("slot in range");
-                if t.path == crate::tuple::NO_PRED {
+                let t = self.heap.peek_slot(slot)?;
+                Ok(if t.path == crate::tuple::NO_PRED {
                     None
                 } else {
                     Some(NodeId(t.path as u32))
-                }
+                })
             })
             .collect()
     }
@@ -437,7 +501,7 @@ mod tests {
         let mut io = IoStats::new();
         let s = EdgeRelation::load(&small_graph(), &mut io).unwrap();
         let before = io;
-        let adj = s.fetch_adjacency(0, &mut io);
+        let adj = s.fetch_adjacency(0, &mut io).unwrap();
         assert_eq!(adj.len(), 2);
         assert_eq!(adj[0].end, 1);
         assert_eq!(adj[1].end, 2);
@@ -450,7 +514,7 @@ mod tests {
         let mut io = IoStats::new();
         let s = EdgeRelation::load(&g, &mut io).unwrap();
         let before = io;
-        assert!(s.fetch_adjacency(2, &mut io).is_empty());
+        assert!(s.fetch_adjacency(2, &mut io).unwrap().is_empty());
         assert_eq!(io.since(&before).block_reads, 1);
     }
 
@@ -528,7 +592,7 @@ mod tests {
             t.path_cost = 2.0;
         })
         .unwrap();
-        let (id, t) = r.select_min_open(&mut io, |_, t| t.path_cost as f64).unwrap();
+        let (id, t) = r.select_min_open(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
         assert_eq!(id, 3);
         assert_eq!(t.path_cost, 2.0);
     }
@@ -539,7 +603,7 @@ mod tests {
         let mut io = IoStats::new();
         let s = EdgeRelation::load(&g, &mut io).unwrap();
         let r = NodeRelation::load(&g, s.block_count(), 3, &mut io).unwrap();
-        assert!(r.select_min_open(&mut io, |_, t| t.path_cost as f64).is_none());
+        assert!(r.select_min_open(&mut io, |_, t| t.path_cost as f64).unwrap().is_none());
     }
 
     #[test]
@@ -561,8 +625,8 @@ mod tests {
         let mut r = NodeRelation::load(&g, s.block_count(), 3, &mut io).unwrap();
         r.replace(0, &mut io, |t| t.status = NodeStatus::Current).unwrap();
         r.replace(2, &mut io, |t| t.status = NodeStatus::Current).unwrap();
-        assert_eq!(r.count_status(NodeStatus::Current, &mut io), 2);
-        let fetched = r.fetch_status(NodeStatus::Current, &mut io);
+        assert_eq!(r.count_status(NodeStatus::Current, &mut io).unwrap(), 2);
+        let fetched = r.fetch_status(NodeStatus::Current, &mut io).unwrap();
         assert_eq!(fetched.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![0, 2]);
     }
 
@@ -573,7 +637,7 @@ mod tests {
         let s = EdgeRelation::load(&g, &mut io).unwrap();
         let mut r = NodeRelation::load(&g, s.block_count(), 3, &mut io).unwrap();
         r.replace(3, &mut io, |t| t.path = 1).unwrap();
-        let preds = r.predecessors();
+        let preds = r.predecessors().unwrap();
         assert_eq!(preds[3], Some(NodeId(1)));
         assert_eq!(preds[0], None);
     }

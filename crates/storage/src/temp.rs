@@ -15,10 +15,22 @@
 //! load-bearing for reproducing version 1's scaling behaviour.
 
 use crate::error::StorageError;
+use crate::fault::{SharedFaults, INDEX_BLOCK_BASE};
 use crate::heapfile::HeapFile;
 use crate::io::IoStats;
 use crate::tuple::FixedTuple;
 use std::collections::HashMap;
+
+/// Consults fault state for an index probe of `levels` pseudo-blocks.
+fn consult_index_probe(faults: &Option<SharedFaults>, levels: u64) -> Result<(), StorageError> {
+    if let Some(f) = faults {
+        let mut f = f.lock().expect("fault state lock");
+        for level in 0..levels {
+            f.on_read(INDEX_BLOCK_BASE + level as usize)?;
+        }
+    }
+    Ok(())
+}
 
 /// A keyed temporary relation of fixed-width tuples.
 ///
@@ -35,6 +47,8 @@ pub struct TempRelation<T: FixedTuple> {
     /// Index levels charged for maintenance on APPEND/DELETE and probes.
     index_levels: u64,
     live: usize,
+    /// Optional fault injection (index probes consult pseudo-blocks).
+    faults: Option<SharedFaults>,
 }
 
 impl<T: FixedTuple> TempRelation<T> {
@@ -46,12 +60,19 @@ impl<T: FixedTuple> TempRelation<T> {
             directory: HashMap::new(),
             index_levels,
             live: 0,
+            faults: None,
         }
     }
 
     /// Attaches a buffer pool (an extension; see [`crate::buffer`]).
     pub fn attach_buffer(&mut self, pool: &crate::buffer::SharedBuffer) {
         self.heap.attach_buffer(pool);
+    }
+
+    /// Attaches fault-injection state (see [`crate::fault`]).
+    pub fn attach_faults(&mut self, faults: &SharedFaults) {
+        self.heap.attach_faults(faults);
+        self.faults = Some(faults.clone());
     }
 
     /// Number of live tuples.
@@ -76,18 +97,23 @@ impl<T: FixedTuple> TempRelation<T> {
     /// Panics if the key is already present (the paper's duplicate
     /// *avoidance* policy checks membership before appending; the engine
     /// enforces it).
-    pub fn append(&mut self, key: u32, tuple: &T, io: &mut IoStats) {
+    ///
+    /// # Errors
+    /// Surfaces injected write failures; the tuple stays staged (dirty)
+    /// and registered under its key, so the relation remains consistent.
+    pub fn append(&mut self, key: u32, tuple: &T, io: &mut IoStats) -> Result<(), StorageError> {
         assert!(
             !self.directory.contains_key(&key),
             "append of duplicate key {key}; check membership first (duplicate avoidance)"
         );
         let slot = self.heap.append(tuple);
-        self.heap.flush(io);
         debug_assert_eq!(slot, self.keys.len());
         self.keys.push(Some(key));
         self.directory.insert(key, slot);
-        io.adjust_index(self.index_levels);
         self.live += 1;
+        self.heap.flush(io)?;
+        io.adjust_index(self.index_levels);
+        Ok(())
     }
 
     /// QUEL `DELETE`: removes `key`'s tuple (tombstoning its slot).
@@ -95,13 +121,15 @@ impl<T: FixedTuple> TempRelation<T> {
     /// tombstone write) and `I_l` index-adjustment updates.
     ///
     /// # Errors
-    /// Fails if the key is absent.
+    /// Fails if the key is absent, or on an injected fault (the key stays
+    /// live in that case — the delete can be retried).
     pub fn delete(&mut self, key: u32, io: &mut IoStats) -> Result<(), StorageError> {
         io.read_blocks(self.index_levels);
+        consult_index_probe(&self.faults, self.index_levels)?;
         let slot = *self.directory.get(&key).ok_or(StorageError::KeyNotFound(key))?;
+        self.heap.update_slot(slot, io, |_| {})?; // tombstone write
         self.directory.remove(&key);
         self.keys[slot] = None;
-        io.update_tuples(1);
         io.adjust_index(self.index_levels);
         self.live -= 1;
         Ok(())
@@ -119,6 +147,7 @@ impl<T: FixedTuple> TempRelation<T> {
         f: impl FnOnce(&mut T),
     ) -> Result<(), StorageError> {
         io.read_blocks(self.index_levels);
+        consult_index_probe(&self.faults, self.index_levels)?;
         let slot = *self.directory.get(&key).ok_or(StorageError::KeyNotFound(key))?;
         self.heap.update_slot(slot, io, f)
     }
@@ -129,14 +158,19 @@ impl<T: FixedTuple> TempRelation<T> {
     /// Fails if the key is absent.
     pub fn get(&self, key: u32, io: &mut IoStats) -> Result<T, StorageError> {
         io.read_blocks(self.index_levels);
+        consult_index_probe(&self.faults, self.index_levels)?;
         let slot = *self.directory.get(&key).ok_or(StorageError::KeyNotFound(key))?;
         self.heap.read_slot(slot, io)
     }
 
     /// Membership probe through the index (`I_l` reads).
-    pub fn contains(&self, key: u32, io: &mut IoStats) -> bool {
+    ///
+    /// # Errors
+    /// Surfaces injected index-probe failures.
+    pub fn contains(&self, key: u32, io: &mut IoStats) -> Result<bool, StorageError> {
         io.read_blocks(self.index_levels);
-        self.directory.contains_key(&key)
+        consult_index_probe(&self.faults, self.index_levels)?;
+        Ok(self.directory.contains_key(&key))
     }
 
     /// Uncharged membership check, for assertions.
@@ -145,28 +179,44 @@ impl<T: FixedTuple> TempRelation<T> {
     }
 
     /// Uncharged keyed read, for assertions and post-run inspection.
-    pub fn peek(&self, key: u32) -> Option<T> {
-        self.directory.get(&key).map(|&slot| self.heap.peek_slot(slot).expect("live slot"))
+    ///
+    /// # Errors
+    /// Surfaces checksum mismatches on corrupted blocks.
+    pub fn peek(&self, key: u32) -> Result<Option<T>, StorageError> {
+        match self.directory.get(&key) {
+            Some(&slot) => Ok(Some(self.heap.peek_slot(slot)?)),
+            None => Ok(None),
+        }
     }
 
     /// Full scan over live tuples, charging one read per occupied block
     /// (tombstoned blocks included — dead space still costs).
-    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(u32, T)) {
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn scan(
+        &self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(u32, T),
+    ) -> Result<(), StorageError> {
         self.heap.scan(io, |slot, t| {
             if let Some(key) = self.keys[slot] {
                 visit(key, t);
             }
-        });
+        })
     }
 
     /// "Select the best node by a scan of the frontierSet": minimum by
     /// `score`, ties broken by the deterministic id hash (same rule as
     /// [`crate::relations::NodeRelation::select_min_open`]).
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
     pub fn select_min(
         &self,
         io: &mut IoStats,
         mut score: impl FnMut(u32, &T) -> f64,
-    ) -> Option<(u32, T)> {
+    ) -> Result<Option<(u32, T)>, StorageError> {
         let mut best: Option<(f64, u64, u32, T)> = None;
         self.scan(io, |key, t| {
             let s = score(key, &t);
@@ -178,8 +228,8 @@ impl<T: FixedTuple> TempRelation<T> {
             if better {
                 best = Some((s, tie, key, t));
             }
-        });
-        best.map(|(_, _, k, t)| (k, t))
+        })?;
+        Ok(best.map(|(_, _, k, t)| (k, t)))
     }
 
     /// Drops the relation's contents (charges `D_t`).
@@ -212,6 +262,11 @@ impl<T: FixedTuple> MultiRelation<T> {
         MultiRelation { heap: HeapFile::create(io), keys: Vec::new(), index_levels, live: 0 }
     }
 
+    /// Attaches fault-injection state (see [`crate::fault`]).
+    pub fn attach_faults(&mut self, faults: &SharedFaults) {
+        self.heap.attach_faults(faults);
+    }
+
     /// Live tuple count (duplicates included).
     pub fn len(&self) -> usize {
         self.live
@@ -229,40 +284,60 @@ impl<T: FixedTuple> MultiRelation<T> {
 
     /// Blind `APPEND`: one block write plus index adjustment, and *no*
     /// membership probe — the saving that motivates allowing duplicates.
-    pub fn append(&mut self, key: u32, tuple: &T, io: &mut IoStats) {
+    ///
+    /// # Errors
+    /// Surfaces injected write failures; the tuple stays staged (dirty)
+    /// and registered, so the relation remains consistent.
+    pub fn append(&mut self, key: u32, tuple: &T, io: &mut IoStats) -> Result<(), StorageError> {
         let slot = self.heap.append(tuple);
-        self.heap.flush(io);
         debug_assert_eq!(slot, self.keys.len());
         self.keys.push(Some(key));
-        io.adjust_index(self.index_levels);
         self.live += 1;
+        self.heap.flush(io)?;
+        io.adjust_index(self.index_levels);
+        Ok(())
     }
 
     /// Tombstones one slot (one tuple update + index adjustment).
-    pub fn delete_slot(&mut self, slot: usize, io: &mut IoStats) {
-        if self.keys[slot].take().is_some() {
-            io.update_tuples(1);
+    ///
+    /// # Errors
+    /// Surfaces injected faults; the slot stays live in that case.
+    pub fn delete_slot(&mut self, slot: usize, io: &mut IoStats) -> Result<(), StorageError> {
+        if self.keys[slot].is_some() {
+            self.heap.update_slot(slot, io, |_| {})?; // tombstone write
+            self.keys[slot] = None;
             io.adjust_index(self.index_levels);
             self.live -= 1;
         }
+        Ok(())
     }
 
     /// Full scan over live entries.
-    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(usize, u32, T)) {
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
+    pub fn scan(
+        &self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(usize, u32, T),
+    ) -> Result<(), StorageError> {
         self.heap.scan(io, |slot, t| {
             if let Some(key) = self.keys[slot] {
                 visit(slot, key, t);
             }
-        });
+        })
     }
 
     /// Selects the minimum-score live entry, returning its slot too (the
     /// caller deletes by slot since keys are not unique).
+    ///
+    /// # Errors
+    /// Surfaces injected read failures and checksum mismatches.
     pub fn select_min(
         &self,
         io: &mut IoStats,
         mut score: impl FnMut(u32, &T) -> f64,
-    ) -> Option<(usize, u32, T)> {
+    ) -> Result<Option<(usize, u32, T)>, StorageError> {
         let mut best: Option<(f64, u64, usize, u32, T)> = None;
         self.scan(io, |slot, key, t| {
             let s = score(key, &t);
@@ -274,8 +349,8 @@ impl<T: FixedTuple> MultiRelation<T> {
             if better {
                 best = Some((s, tie, slot, key, t));
             }
-        });
-        best.map(|(_, _, slot, key, t)| (slot, key, t))
+        })?;
+        Ok(best.map(|(_, _, slot, key, t)| (slot, key, t)))
     }
 
     /// Duplicate-elimination pass (the paper's "removing duplicates"
@@ -286,7 +361,7 @@ impl<T: FixedTuple> MultiRelation<T> {
         &mut self,
         io: &mut IoStats,
         mut score: impl FnMut(u32, &T) -> f64,
-    ) -> usize {
+    ) -> Result<usize, StorageError> {
         use std::collections::HashMap;
         let mut best: HashMap<u32, (usize, f64)> = HashMap::new();
         let mut victims = Vec::new();
@@ -305,11 +380,11 @@ impl<T: FixedTuple> MultiRelation<T> {
                     }
                 }
             }
-        });
+        })?;
         for slot in &victims {
-            self.delete_slot(*slot, io);
+            self.delete_slot(*slot, io)?;
         }
-        victims.len()
+        Ok(victims.len())
     }
 }
 
@@ -328,7 +403,7 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
         let before = io;
-        f.append(5, &tup(1.0), &mut io);
+        f.append(5, &tup(1.0), &mut io).unwrap();
         let d = io.since(&before);
         assert_eq!(d.block_writes, 1);
         assert_eq!(d.index_adjustments, 3);
@@ -340,16 +415,16 @@ mod tests {
     fn duplicate_append_panics() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(5, &tup(1.0), &mut io);
-        f.append(5, &tup(2.0), &mut io);
+        f.append(5, &tup(1.0), &mut io).unwrap();
+        let _ = f.append(5, &tup(2.0), &mut io);
     }
 
     #[test]
     fn delete_tombstones_and_charges() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(1, &tup(1.0), &mut io);
-        f.append(2, &tup(2.0), &mut io);
+        f.append(1, &tup(1.0), &mut io).unwrap();
+        f.append(2, &tup(2.0), &mut io).unwrap();
         let before = io;
         f.delete(1, &mut io).unwrap();
         let d = io.since(&before);
@@ -374,11 +449,11 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
         for k in 0..5 {
-            f.append(k, &tup(k as f32), &mut io);
+            f.append(k, &tup(k as f32), &mut io).unwrap();
         }
         f.delete(2, &mut io).unwrap();
         let mut keys = vec![];
-        f.scan(&mut io, |k, _| keys.push(k));
+        f.scan(&mut io, |k, _| keys.push(k)).unwrap();
         assert_eq!(keys, vec![0, 1, 3, 4]);
     }
 
@@ -386,11 +461,11 @@ mod tests {
     fn select_min_finds_cheapest_live_tuple() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(10, &tup(5.0), &mut io);
-        f.append(11, &tup(1.0), &mut io);
-        f.append(12, &tup(3.0), &mut io);
+        f.append(10, &tup(5.0), &mut io).unwrap();
+        f.append(11, &tup(1.0), &mut io).unwrap();
+        f.append(12, &tup(3.0), &mut io).unwrap();
         f.delete(11, &mut io).unwrap();
-        let (k, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap();
+        let (k, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
         assert_eq!(k, 12);
         assert_eq!(t.path_cost, 3.0);
     }
@@ -399,23 +474,23 @@ mod tests {
     fn select_min_on_empty_is_none() {
         let mut io = IoStats::new();
         let f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        assert!(f.select_min(&mut io, |_, t| t.path_cost as f64).is_none());
+        assert!(f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().is_none());
     }
 
     #[test]
     fn replace_updates_in_place() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
+        f.append(1, &tup(5.0), &mut io).unwrap();
         f.replace(1, &mut io, |t| t.path_cost = 2.0).unwrap();
-        assert_eq!(f.peek(1).unwrap().path_cost, 2.0);
+        assert_eq!(f.peek(1).unwrap().unwrap().path_cost, 2.0);
     }
 
     #[test]
     fn get_roundtrips() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
+        f.append(1, &tup(5.0), &mut io).unwrap();
         assert_eq!(f.get(1, &mut io).unwrap().path_cost, 5.0);
         assert!(f.get(2, &mut io).is_err());
     }
@@ -424,10 +499,10 @@ mod tests {
     fn contains_charges_probe() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
+        f.append(1, &tup(5.0), &mut io).unwrap();
         let before = io;
-        assert!(f.contains(1, &mut io));
-        assert!(!f.contains(2, &mut io));
+        assert!(f.contains(1, &mut io).unwrap());
+        assert!(!f.contains(2, &mut io).unwrap());
         assert_eq!(io.since(&before).block_reads, 6);
     }
 
@@ -435,7 +510,7 @@ mod tests {
     fn clear_resets_and_charges_deletion() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
+        f.append(1, &tup(5.0), &mut io).unwrap();
         f.clear(&mut io);
         assert!(f.is_empty());
         assert_eq!(io.relations_deleted, 1);
@@ -446,8 +521,8 @@ mod tests {
         let mut io = IoStats::new();
         let mut f: MultiRelation<NodeTuple> = MultiRelation::create(3, &mut io);
         let before = io;
-        f.append(5, &tup(2.0), &mut io);
-        f.append(5, &tup(1.0), &mut io);
+        f.append(5, &tup(2.0), &mut io).unwrap();
+        f.append(5, &tup(1.0), &mut io).unwrap();
         let d = io.since(&before);
         assert_eq!(f.len(), 2);
         // Two appends: no probe reads at all.
@@ -459,14 +534,14 @@ mod tests {
     fn multi_relation_select_min_sees_best_duplicate() {
         let mut io = IoStats::new();
         let mut f: MultiRelation<NodeTuple> = MultiRelation::create(3, &mut io);
-        f.append(5, &tup(2.0), &mut io);
-        f.append(5, &tup(1.0), &mut io);
-        f.append(6, &tup(3.0), &mut io);
-        let (slot, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap();
+        f.append(5, &tup(2.0), &mut io).unwrap();
+        f.append(5, &tup(1.0), &mut io).unwrap();
+        f.append(6, &tup(3.0), &mut io).unwrap();
+        let (slot, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
         assert_eq!((key, t.path_cost), (5, 1.0));
-        f.delete_slot(slot, &mut io);
+        f.delete_slot(slot, &mut io).unwrap();
         // The stale duplicate is still there.
-        let (_, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap();
+        let (_, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
         assert_eq!((key, t.path_cost), (5, 2.0));
     }
 
@@ -474,14 +549,14 @@ mod tests {
     fn multi_relation_duplicate_elimination() {
         let mut io = IoStats::new();
         let mut f: MultiRelation<NodeTuple> = MultiRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
-        f.append(1, &tup(3.0), &mut io);
-        f.append(1, &tup(4.0), &mut io);
-        f.append(2, &tup(9.0), &mut io);
-        let removed = f.eliminate_duplicates(&mut io, |_, t| t.path_cost as f64);
+        f.append(1, &tup(5.0), &mut io).unwrap();
+        f.append(1, &tup(3.0), &mut io).unwrap();
+        f.append(1, &tup(4.0), &mut io).unwrap();
+        f.append(2, &tup(9.0), &mut io).unwrap();
+        let removed = f.eliminate_duplicates(&mut io, |_, t| t.path_cost as f64).unwrap();
         assert_eq!(removed, 2);
         assert_eq!(f.len(), 2);
-        let (_, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap();
+        let (_, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
         assert_eq!((key, t.path_cost), (1, 3.0));
     }
 
@@ -489,9 +564,9 @@ mod tests {
     fn multi_relation_delete_slot_is_idempotent() {
         let mut io = IoStats::new();
         let mut f: MultiRelation<NodeTuple> = MultiRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
-        f.delete_slot(0, &mut io);
-        f.delete_slot(0, &mut io);
+        f.append(1, &tup(5.0), &mut io).unwrap();
+        f.delete_slot(0, &mut io).unwrap();
+        f.delete_slot(0, &mut io).unwrap();
         assert!(f.is_empty());
     }
 
@@ -499,10 +574,10 @@ mod tests {
     fn reinsert_after_delete_is_allowed() {
         let mut io = IoStats::new();
         let mut f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        f.append(1, &tup(5.0), &mut io);
+        f.append(1, &tup(5.0), &mut io).unwrap();
         f.delete(1, &mut io).unwrap();
-        f.append(1, &tup(7.0), &mut io);
-        assert_eq!(f.peek(1).unwrap().path_cost, 7.0);
+        f.append(1, &tup(7.0), &mut io).unwrap();
+        assert_eq!(f.peek(1).unwrap().unwrap().path_cost, 7.0);
         assert_eq!(f.len(), 1);
     }
 }

@@ -28,6 +28,14 @@ use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::{Arc, Mutex};
 
+/// Locks the shared database, recovering from poisoning: a panicked
+/// handler thread must not wedge the server for every later client (the
+/// map itself stays consistent — each query rebuilds its working
+/// relations from scratch).
+fn lock(db: &Mutex<Database>) -> std::sync::MutexGuard<'_, Database> {
+    db.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 fn respond(db: &Mutex<Database>, line: &str) -> String {
     let mut parts = line.split_whitespace();
     let parse_node = |t: Option<&str>| -> Result<NodeId, String> {
@@ -39,7 +47,7 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
         Some("ROUTE") => (|| -> Result<String, String> {
             let s = parse_node(parts.next())?;
             let d = parse_node(parts.next())?;
-            let db = db.lock().expect("server mutex");
+            let db = lock(db);
             let trace = db.run(Algorithm::AStar(atis::algorithms::AStarVersion::V3), s, d)
                 .map_err(|e| e.to_string())?;
             match trace.path {
@@ -60,7 +68,10 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
             if nodes.len() < 2 {
                 return Err("need at least two nodes".into());
             }
-            let db = db.lock().expect("server mutex");
+            let db = lock(db);
+            if let Some(bad) = nodes.iter().find(|n| !db.graph().contains(**n)) {
+                return Err(format!("unknown node {bad}"));
+            }
             let cost = nodes
                 .windows(2)
                 .map(|w| db.graph().edge_cost(w[0], w[1]).ok_or("not a road"))
@@ -78,7 +89,7 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
                 .ok_or("missing cost")?
                 .parse()
                 .map_err(|_| "bad cost".to_string())?;
-            let mut db = db.lock().expect("server mutex");
+            let mut db = lock(db);
             let n = db.update_edge_cost(u, v, c).map_err(|e| e.to_string())?;
             Ok(format!("UPDATED {n}"))
         })()
@@ -97,7 +108,7 @@ fn serve(listener: TcpListener, db: Arc<Mutex<Database>>) {
 }
 
 fn handle(stream: TcpStream, db: &Mutex<Database>) {
-    let mut writer = stream.try_clone().expect("clone stream");
+    let Ok(mut writer) = stream.try_clone() else { return };
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -167,6 +178,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_ne!(first, second, "the jammed route must change");
 
     assert!(ask("NOPE")?.starts_with("ERR"));
+
+    // Malformed and out-of-range requests: every one must come back as a
+    // protocol-level ERR line — the connection stays up, the server never
+    // panics, and the next request still works.
+    for bad in [
+        "",                  // empty line
+        "ROUTE",             // missing both ids
+        "ROUTE 0",           // missing destination
+        "ROUTE zero one",    // unparsable ids
+        "ROUTE 0 99999",     // unknown destination
+        "ROUTE 99999 0",     // unknown source
+        "EVAL 5",            // fewer than two nodes
+        "EVAL 0 99999",      // out-of-range node
+        "EVAL 0 7",          // known nodes, but not a road
+        "UPDATE 0 1",        // missing cost
+        "UPDATE 0 1 fast",   // unparsable cost
+        "UPDATE 99999 0 2.0" // unknown endpoint
+    ] {
+        let reply = ask(bad)?;
+        assert!(reply.starts_with("ERR "), "{bad:?} -> {reply:?}");
+    }
+    let after = ask("ROUTE 0 143")?;
+    assert!(after.starts_with("COST "), "server must survive malformed input: {after}");
+
     assert_eq!(ask("QUIT")?, "BYE");
     println!("\nself-test passed: live update changed the planned route");
     Ok(())

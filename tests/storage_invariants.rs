@@ -44,7 +44,7 @@ proptest! {
             match op {
                 Op::Append(k, c) => {
                     model.entry(k).or_insert_with(|| {
-                        rel.append(k as u32, &node_tuple(c), &mut io);
+                        rel.append(k as u32, &node_tuple(c), &mut io).unwrap();
                         c
                     });
                 }
@@ -66,7 +66,7 @@ proptest! {
         // Final state must match the model exactly.
         prop_assert_eq!(rel.len(), model.len());
         let mut seen = HashMap::new();
-        rel.scan(&mut io, |k, t| { seen.insert(k as u8, t.path_cost); });
+        rel.scan(&mut io, |k, t| { seen.insert(k as u8, t.path_cost); }).unwrap();
         prop_assert_eq!(seen, model);
     }
 
@@ -78,7 +78,7 @@ proptest! {
         for op in ops {
             match op {
                 Op::Append(k, c) if !model.contains_key(&k) => {
-                    rel.append(k as u32, &node_tuple(c), &mut io);
+                    rel.append(k as u32, &node_tuple(c), &mut io).unwrap();
                     model.insert(k, c);
                 }
                 Op::Delete(k) => {
@@ -88,7 +88,7 @@ proptest! {
                 _ => {}
             }
         }
-        let selected = rel.select_min(&mut io, |_, t| t.path_cost as f64);
+        let selected = rel.select_min(&mut io, |_, t| t.path_cost as f64).unwrap();
         match selected {
             None => prop_assert!(model.is_empty()),
             Some((_, t)) => {
@@ -105,13 +105,13 @@ proptest! {
         for &c in &costs {
             f.append(&node_tuple(c));
         }
-        f.flush(&mut io);
+        f.flush(&mut io).unwrap();
         prop_assert_eq!(f.len(), costs.len());
         prop_assert_eq!(f.block_count(), costs.len().div_ceil(256));
         // Writes charged = block count (one bulk flush).
         prop_assert_eq!(io.block_writes as usize, f.block_count());
         let mut read_back = Vec::new();
-        f.scan(&mut io, |_, t| read_back.push(t.path_cost));
+        f.scan(&mut io, |_, t| read_back.push(t.path_cost)).unwrap();
         prop_assert_eq!(read_back, costs);
     }
 
@@ -199,7 +199,7 @@ fn node_relation_roundtrips_a_whole_grid() {
     // Every edge must be reachable through its begin-node bucket.
     let mut bucket_edges = 0;
     for u in grid.graph().node_ids() {
-        bucket_edges += s.fetch_adjacency(u.0 as u16, &mut io).len();
+        bucket_edges += s.fetch_adjacency(u.0 as u16, &mut io).unwrap().len();
     }
     assert_eq!(bucket_edges, grid.graph().edge_count());
 }
@@ -211,7 +211,7 @@ fn edge_relation_preserves_costs_exactly() {
     let mut io = IoStats::new();
     let s = EdgeRelation::load(grid.graph(), &mut io).unwrap();
     for u in grid.graph().node_ids() {
-        let adj = s.fetch_adjacency(u.0 as u16, &mut io);
+        let adj = s.fetch_adjacency(u.0 as u16, &mut io).unwrap();
         let expect: Vec<f64> = grid.graph().neighbors(u).iter().map(|e| e.cost).collect();
         let got: Vec<f64> = adj.iter().map(|t| t.cost).collect();
         assert_eq!(expect, got);

@@ -1,0 +1,188 @@
+//! Minimal offline stand-in for the `criterion` benchmark harness.
+//!
+//! The container image has no crates.io access, so the workspace vendors a
+//! tiny implementation of exactly the API surface the `crates/bench`
+//! benchmarks use: `Criterion::benchmark_group`, group configuration
+//! (`sample_size` / `measurement_time` / `warm_up_time`), `bench_function`,
+//! `bench_with_input` with [`BenchmarkId`], `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Timing is real (median of the sampled iterations, printed per benchmark)
+//! but there is no statistical analysis, plotting, or baseline storage.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and records wall-clock samples.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, recording one duration per sample batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call so lazy setup doesn't pollute the first sample.
+        std::hint::black_box(routine());
+        let budget_per_sample = self.measurement.as_secs_f64() / self.samples.max(1) as f64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let mut iters = 0u64;
+            loop {
+                std::hint::black_box(routine());
+                iters += 1;
+                let elapsed = start.elapsed();
+                if elapsed.as_secs_f64() >= budget_per_sample || iters >= 1_000_000 {
+                    self.recorded.push(elapsed / iters as u32);
+                    break;
+                }
+            }
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.recorded.is_empty() {
+            return Duration::ZERO;
+        }
+        self.recorded.sort_unstable();
+        self.recorded[self.recorded.len() / 2]
+    }
+}
+
+/// A named group of benchmarks with shared sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            recorded: Vec::new(),
+        };
+        routine(&mut b);
+        println!("{}/{}: median {:?}", self.name, id, b.median());
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement,
+            recorded: Vec::new(),
+        };
+        routine(&mut b, input);
+        println!("{}/{}: median {:?}", self.name, id, b.median());
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Throughput annotation — accepted and ignored by this stub.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 100,
+            measurement: Duration::from_secs(5),
+            warm_up: Duration::from_secs(3),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        self.benchmark_group(id.to_string()).bench_function("bench", routine);
+        self
+    }
+}
+
+/// Re-exported so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,7 @@
+//! Offline placeholder for `rand`.
+//!
+//! The workspace declares `rand` as a dev-dependency but no test or bench
+//! actually imports it; this empty crate satisfies dependency resolution
+//! without any network access. If a future test needs random numbers, use
+//! the deterministic generators in `proptest::test_runner` instead, or
+//! extend this stub.
