@@ -1,0 +1,49 @@
+#!/usr/bin/env sh
+# Checks that every relative markdown link and every bare mention of a
+# tracked .md / .rs / .sh file in the repo's markdown docs points at a
+# file that exists, so cross-document references cannot rot.
+#
+# Usage: ci/check-doc-links.sh   (from the repo root)
+set -eu
+
+fail=0
+
+# Markdown files to scan: the tracked docs (tooling config under .claude/
+# is not part of the documentation set).
+docs=$(git ls-files '*.md' | grep -v '^\.claude/')
+
+for doc in $docs; do
+    dir=$(dirname "$doc")
+
+    # 1. Explicit markdown links [text](target) with a relative target.
+    #    External links (scheme://, mailto:) and pure anchors are skipped;
+    #    in-page anchors on files (FILE.md#section) are checked as FILE.md.
+    targets=$(grep -o ']([^)#][^)]*)' "$doc" 2>/dev/null \
+        | sed -e 's/^](\(.*\))$/\1/' -e 's/#.*$//' \
+        | grep -v '^[a-z+]*://' | grep -v '^mailto:' | sort -u) || true
+    for t in $targets; do
+        [ -z "$t" ] && continue
+        if [ ! -e "$dir/$t" ] && [ ! -e "$t" ]; then
+            echo "BROKEN LINK: $doc -> $t"
+            fail=1
+        fi
+    done
+
+    # 2. Repo-style path mentions like `tests/observability.rs` in
+    #    backticks must resolve from the repo root (bare module names
+    #    such as `astar.rs` are prose shorthand and are not checked).
+    mentions=$(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_.-]*\.\(md\|rs\|sh\|toml\)`' "$doc" 2>/dev/null \
+        | tr -d '`' | sort -u) || true
+    for m in $mentions; do
+        if [ ! -e "$m" ] && [ ! -e "$dir/$m" ]; then
+            echo "BROKEN MENTION: $doc -> $m"
+            fail=1
+        fi
+    done
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "doc-link check FAILED"
+    exit 1
+fi
+echo "doc-link check OK"

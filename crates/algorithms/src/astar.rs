@@ -26,8 +26,10 @@ use crate::bestfirst::{run_status_frontier, StatusFrontierConfig};
 use crate::database::{Database, FrontierKind};
 use crate::error::AlgorithmError;
 use crate::estimator::Estimator;
+use crate::observe::RunObserver;
 use crate::trace::RunTrace;
 use atis_graph::{NodeId, Path, Point};
+use atis_obs::IterationPhase;
 use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeStatus, NodeTuple, TempRelation, NO_PRED};
 use std::time::Instant;
 
@@ -129,6 +131,8 @@ fn run_relation_frontier(
 ) -> Result<RunTrace, AlgorithmError> {
     let wall_start = Instant::now();
     let mut io = IoStats::new();
+    let mut observer = RunObserver::new(db, &label);
+    observer.run_started(s, d);
     let s_id = s.0;
     let d_id = d.0 as u16;
     let levels = db.params().isam_levels;
@@ -159,6 +163,9 @@ fn run_relation_frontier(
     };
     result.append(s_id, &start_tuple, &mut io)?;
     frontier.append(s_id, &start_tuple, &mut io)?;
+    // In-memory mirror of the frontier relation's live-tuple count.
+    let mut frontier_size = 1u64;
+    observer.span(IterationPhase::Init, 0, None, frontier_size, None, &io);
 
     let mut iterations = 0u64;
     let mut reopened = 0u64;
@@ -176,6 +183,7 @@ fn run_relation_frontier(
             break;
         };
 
+        frontier_size -= 1;
         // DELETE from the frontier (index adjustment charged), close in
         // the resultant relation.
         frontier.delete(u, &mut io)?;
@@ -218,6 +226,7 @@ fn run_relation_frontier(
                             t.status = NodeStatus::Open;
                             frontier.append(v, &t, &mut io)?;
                             reopened += 1;
+                            frontier_size += 1;
                         }
                     }
                 }
@@ -233,8 +242,17 @@ fn run_relation_frontier(
                 };
                 result.append(v, &t, &mut io)?;
                 frontier.append(v, &t, &mut io)?;
+                frontier_size += 1;
             }
         }
+        observer.span(
+            IterationPhase::Search,
+            iterations,
+            Some(u),
+            frontier_size,
+            Some(strategy),
+            &io,
+        );
     }
 
     let path = if found {
@@ -252,6 +270,7 @@ fn run_relation_frontier(
     } else {
         None
     };
+    observer.finished(iterations, path.is_some(), frontier_size, &io, io.cost(db.params()));
 
     Ok(RunTrace {
         algorithm: label,

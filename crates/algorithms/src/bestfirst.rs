@@ -10,8 +10,10 @@
 use crate::database::Database;
 use crate::error::AlgorithmError;
 use crate::estimator::Estimator;
+use crate::observe::RunObserver;
 use crate::trace::{RunTrace, StepBreakdown};
 use atis_graph::{NodeId, Path, Point};
+use atis_obs::IterationPhase;
 use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus};
 use std::time::Instant;
 
@@ -36,6 +38,8 @@ pub(crate) fn run_status_frontier(
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let mut steps = StepBreakdown::default();
+    let mut observer = RunObserver::new(db, &cfg.label);
+    observer.run_started(s, d);
     let s_id = s.0 as u16;
     let d_id = d.0 as u16;
 
@@ -59,6 +63,10 @@ pub(crate) fn run_status_frontier(
         t.path_cost = 0.0;
     })?;
     steps.init = io;
+    // In-memory frontier cardinality: kept incrementally so emitting it
+    // costs no storage work (IoStats stays bit-identical under tracing).
+    let mut frontier_size = 1u64;
+    observer.span(IterationPhase::Init, 0, None, frontier_size, None, &io);
 
     let mut iterations = 0u64;
     let mut reopened = 0u64;
@@ -78,6 +86,7 @@ pub(crate) fn run_status_frontier(
         let Some((u, ut)) = selected else {
             break; // frontier exhausted: no path
         };
+        frontier_size -= 1;
 
         // Move u from the frontierSet to the exploredSet.
         let mark = io;
@@ -102,15 +111,20 @@ pub(crate) fn run_status_frontier(
         for (_, e) in adjacency {
             let candidate = ut.path_cost + e.cost as f32;
             let mut did_reopen = false;
+            let mut became_open = false;
             r.replace(e.end, &mut io, |t| {
                 if candidate < t.path_cost {
                     t.path_cost = candidate;
                     t.path = u;
                     match t.status {
-                        NodeStatus::Null => t.status = NodeStatus::Open,
+                        NodeStatus::Null => {
+                            t.status = NodeStatus::Open;
+                            became_open = true;
+                        }
                         NodeStatus::Closed if cfg.reopen_closed => {
                             t.status = NodeStatus::Open;
                             did_reopen = true;
+                            became_open = true;
                         }
                         _ => {}
                     }
@@ -119,8 +133,19 @@ pub(crate) fn run_status_frontier(
             if did_reopen {
                 reopened += 1;
             }
+            if became_open {
+                frontier_size += 1;
+            }
         }
         steps.update += io.since(&mark);
+        observer.span(
+            IterationPhase::Search,
+            iterations,
+            Some(u as u32),
+            frontier_size,
+            Some(strategy),
+            &io,
+        );
     }
     let attributed = steps.total();
     steps.bookkeeping = io.since(&attributed);
@@ -131,6 +156,7 @@ pub(crate) fn run_status_frontier(
     } else {
         None
     };
+    observer.finished(iterations, path.is_some(), frontier_size, &io, io.cost(db.params()));
 
     Ok(RunTrace {
         algorithm: cfg.label,

@@ -8,6 +8,7 @@ use crate::estimator::Estimator;
 use crate::iterative;
 use crate::trace::RunTrace;
 use atis_graph::{Graph, NodeId};
+use atis_obs::{SharedRegistry, SharedSink, TraceEvent};
 use atis_storage::{
     BufferPool, CostParams, EdgeRelation, FaultPlan, IoStats, JoinPolicy, SharedBuffer,
     SharedFaults,
@@ -154,7 +155,7 @@ impl Algorithm {
 /// `S` plus run-time configuration. Loading `S` happens once here and is
 /// *not* metered into run traces — it is the stored database, not
 /// algorithm work (the cost models start at step `C1`, creating `R`).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Database {
     graph: Graph,
     edges: EdgeRelation,
@@ -163,6 +164,25 @@ pub struct Database {
     buffer: Option<SharedBuffer>,
     budgets: Budgets,
     faults: Option<SharedFaults>,
+    sink: Option<SharedSink>,
+    metrics: Option<SharedRegistry>,
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `SharedSink` is a trait object; report attachment, not contents.
+        f.debug_struct("Database")
+            .field("graph", &self.graph)
+            .field("edges", &self.edges)
+            .field("params", &self.params)
+            .field("join_policy", &self.join_policy)
+            .field("buffer", &self.buffer)
+            .field("budgets", &self.budgets)
+            .field("faults", &self.faults)
+            .field("sink", &self.sink.as_ref().map(|_| "TraceSink"))
+            .field("metrics", &self.metrics)
+            .finish()
+    }
 }
 
 impl Database {
@@ -183,7 +203,39 @@ impl Database {
             buffer: None,
             budgets: Budgets::unlimited(),
             faults: None,
+            sink: None,
+            metrics: None,
         })
+    }
+
+    /// Attaches a trace sink: every subsequent run emits `RunStarted`,
+    /// one `Iteration` event per main-loop iteration (with the exact
+    /// `IoStats` delta that iteration charged), any injected-fault
+    /// events, and `RunFinished`. Sinks observe the metering without
+    /// participating in it — attaching one leaves `IoStats` and answers
+    /// bit-identical.
+    pub fn with_trace_sink(mut self, sink: SharedSink) -> Self {
+        self.sink = Some(sink);
+        self
+    }
+
+    /// The attached trace sink, if any.
+    pub fn trace_sink(&self) -> Option<&SharedSink> {
+        self.sink.as_ref()
+    }
+
+    /// Attaches a metrics registry: every run updates process-wide
+    /// counters (`runs_total`, `io_block_reads_total`, …) and histograms
+    /// (`iterations_per_run`, `blocks_per_iteration`, `buffer_hit_rate`,
+    /// …). See `OBSERVABILITY.md` for the full metric list.
+    pub fn with_metrics(mut self, metrics: SharedRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&SharedRegistry> {
+        self.metrics.as_ref()
     }
 
     /// Overrides the join policy (e.g. `JoinPolicy::CostBased` for the
@@ -350,12 +402,82 @@ impl Database {
         if !self.graph.contains(d) {
             return Err(AlgorithmError::UnknownDestination(d));
         }
-        match algorithm {
+        let fault_mark = self
+            .faults
+            .as_ref()
+            .map(|f| f.lock().unwrap_or_else(|p| p.into_inner()).log.len())
+            .unwrap_or(0);
+        let buffer_mark = self.buffer.as_ref().map(|b| {
+            let pool = b.lock().unwrap_or_else(|p| p.into_inner());
+            (pool.hits, pool.misses)
+        });
+        let result = match algorithm {
             Algorithm::Iterative => iterative::run(self, s, d),
             Algorithm::Dijkstra => dijkstra::run(self, s, d),
             Algorithm::AStar(v) => astar::run(self, s, d, v),
             Algorithm::Custom { frontier, estimator } => {
                 astar::run_custom(self, s, d, frontier, estimator)
+            }
+        };
+        let faults_fired = self.drain_faults(&algorithm.label(), fault_mark);
+        self.update_metrics(&result, buffer_mark, faults_fired);
+        result
+    }
+
+    /// Re-emits the faults that fired during the run just finished as
+    /// trace events, so a trace shows them interleaved with the work they
+    /// disrupted. Returns how many fired.
+    fn drain_faults(&self, label: &str, mark: usize) -> u64 {
+        let Some(faults) = &self.faults else { return 0 };
+        let state = faults.lock().unwrap_or_else(|p| p.into_inner());
+        let fired = &state.log[mark.min(state.log.len())..];
+        if let Some(sink) = &self.sink {
+            for fault in fired {
+                sink.record(&TraceEvent::Fault { algorithm: label.to_string(), fault: *fault });
+            }
+        }
+        fired.len() as u64
+    }
+
+    /// Folds one finished run into the attached metrics registry.
+    fn update_metrics(
+        &self,
+        result: &Result<RunTrace, AlgorithmError>,
+        buffer_mark: Option<(u64, u64)>,
+        faults_fired: u64,
+    ) {
+        let Some(m) = &self.metrics else { return };
+        m.inc("runs_total");
+        m.add("faults_injected_total", faults_fired);
+        match result {
+            Ok(trace) => {
+                m.add("iterations_total", trace.iterations);
+                m.add("io_block_reads_total", trace.io.block_reads);
+                m.add("io_block_writes_total", trace.io.block_writes);
+                m.add("io_tuple_updates_total", trace.io.tuple_updates);
+                m.add("io_index_adjustments_total", trace.io.index_adjustments);
+                m.observe("iterations_per_run", trace.iterations as f64);
+                m.observe("run_cost_units", trace.io.cost(&self.params));
+                m.observe("run_wall_seconds", trace.wall.as_secs_f64());
+                if trace.iterations > 0 {
+                    let blocks = (trace.io.block_reads + trace.io.block_writes) as f64;
+                    m.observe("blocks_per_iteration", blocks / trace.iterations as f64);
+                    m.observe(
+                        "iteration_wall_seconds",
+                        trace.wall.as_secs_f64() / trace.iterations as f64,
+                    );
+                }
+            }
+            Err(_) => m.inc("runs_failed_total"),
+        }
+        if let Some((h0, m0)) = buffer_mark {
+            let pool = self.buffer.as_ref().expect("mark implies pool");
+            let pool = pool.lock().unwrap_or_else(|p| p.into_inner());
+            let (dh, dm) = (pool.hits - h0, pool.misses - m0);
+            m.add("buffer_hits_total", dh);
+            m.add("buffer_misses_total", dm);
+            if dh + dm > 0 {
+                m.observe("buffer_hit_rate", dh as f64 / (dh + dm) as f64);
             }
         }
     }

@@ -17,8 +17,10 @@
 
 use crate::database::Database;
 use crate::error::AlgorithmError;
+use crate::observe::RunObserver;
 use crate::trace::{RunTrace, StepBreakdown};
 use atis_graph::{NodeId, Path};
+use atis_obs::IterationPhase;
 use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus, NO_PRED};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -28,6 +30,8 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let mut steps = StepBreakdown::default();
+    let mut observer = RunObserver::new(db, "Iterative");
+    observer.run_started(s, d);
     let s_id = s.0 as u16;
     let d_id = d.0 as u16;
 
@@ -49,6 +53,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     })?;
     let mut current_count = r.count_status(NodeStatus::Current, &mut io)?;
     steps.init = io;
+    observer.span(IterationPhase::Init, 0, None, current_count as u64, None, &io);
 
     let mut iterations = 0u64;
     let mut expanded = 0u64;
@@ -121,6 +126,16 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
         let mark = io;
         current_count = r.count_status(NodeStatus::Current, &mut io)?;
         steps.bookkeeping += io.since(&mark);
+        // The iterative algorithm expands whole levels, so no single node
+        // is "selected"; the frontier is the next round's current set.
+        observer.span(
+            IterationPhase::Search,
+            iterations,
+            None,
+            current_count as u64,
+            join_strategy,
+            &io,
+        );
     }
 
     let dt = r.peek(d_id)?;
@@ -129,6 +144,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     } else {
         None
     };
+    observer.finished(iterations, path.is_some(), 0, &io, io.cost(db.params()));
 
     Ok(RunTrace {
         algorithm: "Iterative".to_string(),

@@ -22,6 +22,13 @@
 //! Entry point: [`Database`] — load a graph once (the persistent edge
 //! relation `S`), then [`Database::run`] any [`Algorithm`] between node
 //! pairs.
+//!
+//! Every run is observable: attach an `atis-obs` trace sink with
+//! [`Database::with_trace_sink`] to receive one event per main-loop
+//! iteration (with its exact I/O delta), or a metrics registry with
+//! [`Database::with_metrics`] for process-wide counters and histograms.
+//! With neither attached, instrumentation costs one branch per iteration
+//! and the metered `IoStats` are bit-identical.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,6 +44,7 @@ pub mod error;
 pub mod estimator;
 pub mod iterative;
 pub mod memory;
+pub(crate) mod observe;
 pub mod trace;
 
 pub use astar::AStarVersion;

@@ -17,6 +17,7 @@ type Driver = (&'static str, &'static str, fn() -> ExperimentOutput);
 const DRIVERS: &[Driver] = &[
     ("table4b", "Table 4B: algebraic cost estimates", exp::table_4b_comparison),
     ("breakdown", "Validation: per-step cost breakdown", exp::step_breakdown),
+    ("obsreport", "Validation: obs model-vs-measured reports", exp::model_vs_measured),
     ("models", "Validation: A* version models vs measured", exp::validation_version_models),
     ("fig5", "Figure 5 / Table 5: graph size", exp::fig5_table5),
     ("fig6", "Figure 6 / Table 6: path length", exp::fig6_table6),

@@ -15,6 +15,9 @@
 //!   [`experiments::fig12_versions_path`]).
 //! * Table 4B — the algebraic estimates
 //!   ([`experiments::table_4b_comparison`]).
+//! * Model validation — per-step breakdowns against Tables 2–3
+//!   ([`experiments::step_breakdown`]) and the `atis-obs` per-run
+//!   model-vs-measured reports ([`experiments::model_vs_measured`]).
 //! * Ablations beyond the paper ([`experiments::ablation_join_strategies`],
 //!   [`experiments::ablation_optimizer`],
 //!   [`experiments::ablation_estimators`],
@@ -40,6 +43,7 @@ pub fn run_all() -> Vec<ExperimentOutput> {
     vec![
         experiments::table_4b_comparison(),
         experiments::step_breakdown(),
+        experiments::model_vs_measured(),
         experiments::validation_version_models(),
         experiments::fig5_table5(),
         experiments::fig6_table6(),

@@ -12,6 +12,14 @@
 //!   information".
 //! * [`display`] — **route display**: turn-by-turn instructions and an
 //!   ASCII map renderer (used to regenerate Figure 8's Minneapolis map).
+//!
+//! Beyond the paper's three facilities, the planner carries the service
+//! concerns of a deployed ATIS: [`RoutePlanner::plan_resilient`] rides out
+//! injected storage faults via bounded retries and a degradation ladder
+//! (`DESIGN.md` §5a), and `with_trace_sink` / `with_metrics` attach the
+//! `atis-obs` observability layer so every attempt, retry, degradation
+//! rung and per-iteration I/O delta is emitted as a structured event
+//! (`OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

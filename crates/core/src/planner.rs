@@ -5,6 +5,7 @@ use atis_algorithms::{
     memory, AStarVersion, Algorithm, AlgorithmError, Budgets, Database, RunTrace,
 };
 use atis_graph::{Graph, NodeId, Path};
+use atis_obs::{PlanEvent, SharedRegistry, SharedSink, TraceEvent};
 use atis_storage::{CostParams, FaultPlan, IoStats, JoinPolicy};
 use std::time::{Duration, Instant};
 
@@ -178,6 +179,29 @@ impl RoutePlanner {
         self
     }
 
+    /// Attaches a trace sink: every run emits its iteration events, and
+    /// [`plan_resilient`](Self::plan_resilient) additionally emits
+    /// [`PlanEvent`] spans — attempts, retries, degradation rungs,
+    /// completion — interleaved with the runs they describe.
+    pub fn with_trace_sink(mut self, sink: SharedSink) -> Self {
+        self.db = self.db.with_trace_sink(sink);
+        self
+    }
+
+    /// Attaches a metrics registry; the planner adds `plans_total`,
+    /// `plans_degraded_total` and `plan_retries_total` on top of the
+    /// per-run metrics the database layer records.
+    pub fn with_metrics(mut self, metrics: SharedRegistry) -> Self {
+        self.db = self.db.with_metrics(metrics);
+        self
+    }
+
+    fn emit(&self, event: PlanEvent) {
+        if let Some(sink) = self.db.trace_sink() {
+            sink.record(&TraceEvent::Plan(event));
+        }
+    }
+
     /// The retry/degradation policy.
     pub fn resilience(&self) -> ResiliencePolicy {
         self.resilience
@@ -263,15 +287,34 @@ impl RoutePlanner {
             let mut retries = 0u32;
             let mut backoff = self.resilience.backoff;
             loop {
+                self.emit(PlanEvent::AttemptStarted {
+                    algorithm: algorithm.label(),
+                    rung: rung as u32,
+                    retry: retries,
+                });
                 match self.db.run(algorithm, s, d) {
                     Ok(trace) => {
                         let mut report = PlanReport::from_trace(trace, self.db.params());
                         report.degraded = rung > 0;
                         report.attempts = attempts;
+                        self.emit(PlanEvent::Completed {
+                            algorithm: report.algorithm.clone(),
+                            degraded: report.degraded,
+                            failed_attempts: report.attempts.len() as u32,
+                            found: report.found(),
+                        });
+                        self.record_plan_metrics(&report);
                         return Ok(report);
                     }
                     Err(err) => {
                         let transient = err.is_transient();
+                        self.emit(PlanEvent::AttemptFailed {
+                            algorithm: algorithm.label(),
+                            rung: rung as u32,
+                            retry: retries,
+                            error: err.to_string(),
+                            transient,
+                        });
                         attempts.push(AttemptRecord {
                             algorithm: algorithm.label(),
                             error: err.to_string(),
@@ -281,6 +324,9 @@ impl RoutePlanner {
                         // rerun; only transient I/O errors earn a retry.
                         if transient && retries < self.resilience.max_retries {
                             retries += 1;
+                            if let Some(m) = self.db.metrics() {
+                                m.inc("plan_retries_total");
+                            }
                             if !backoff.is_zero() {
                                 std::thread::sleep(backoff);
                                 backoff *= 2;
@@ -291,6 +337,15 @@ impl RoutePlanner {
                     }
                 }
             }
+            let next = ladder
+                .get(rung + 1)
+                .map(|a| a.label())
+                .unwrap_or_else(|| "Dijkstra (in-memory fallback)".to_string());
+            self.emit(PlanEvent::Degraded {
+                from: algorithm.label(),
+                to: next,
+                rung: rung as u32 + 1,
+            });
         }
 
         // Last rung: the in-memory oracle. No storage engine, no faults,
@@ -313,7 +368,22 @@ impl RoutePlanner {
         let mut report = PlanReport::from_trace(trace, self.db.params());
         report.degraded = true;
         report.attempts = attempts;
+        self.emit(PlanEvent::Completed {
+            algorithm: report.algorithm.clone(),
+            degraded: true,
+            failed_attempts: report.attempts.len() as u32,
+            found: report.found(),
+        });
+        self.record_plan_metrics(&report);
         Ok(report)
+    }
+
+    fn record_plan_metrics(&self, report: &PlanReport) {
+        let Some(m) = self.db.metrics() else { return };
+        m.inc("plans_total");
+        if report.degraded {
+            m.inc("plans_degraded_total");
+        }
     }
 }
 

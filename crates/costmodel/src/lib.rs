@@ -23,7 +23,14 @@
 //!
 //! The workspace's own validation inverts the paper's: our *physical*
 //! engine meters actual block I/O, and tests assert the algebraic model
-//! predicts it within a comparable envelope.
+//! predicts it within a comparable envelope. That check is also available
+//! as a runtime artifact — `atis-obs::report` renders any single run's
+//! measured per-step I/O beside these models with tolerance verdicts (see
+//! `OBSERVABILITY.md`).
+//!
+//! This crate sits *below* the algorithms in the build DAG (pure math
+//! over iteration counts and trace summaries); its cross-validation
+//! against live runs of `atis-algorithms` is a dev-dependency only.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

@@ -2,7 +2,7 @@
 //!
 //! "The simulation took the number of iterations from the execution trace
 //! of the EQUEL programs to predict the execution-time" — [`predict_cost`]
-//! does the same from a [`atis_algorithms::RunTrace`]'s iteration count,
+//! does the same from a `RunTrace`'s iteration count,
 //! and [`table_4b`] regenerates the paper's worked example from Table 6's
 //! iteration counts.
 

@@ -1,0 +1,357 @@
+//! The typed event taxonomy.
+//!
+//! Every observable moment in the system is one [`TraceEvent`]. The
+//! variants mirror the layers that emit them:
+//!
+//! * `RunStarted` / [`IterationEvent`] / `RunFinished` — the algorithm
+//!   layer: one event per main-loop iteration of a database-resident run,
+//!   carrying the per-iteration [`IoStats`] delta. The deltas partition
+//!   the run's total I/O exactly: `Init` covers relation creation through
+//!   start-node marking (steps `C1..C4` of Tables 2–3), each `Search`
+//!   event covers one iteration, and `Finish` covers the terminal
+//!   selection and path extraction. Summing every delta reproduces the
+//!   run's `IoStats` to the counter.
+//! * `Fault` — the storage layer's fault-injection log
+//!   ([`atis_storage::FaultEvent`]), re-emitted per run so a trace shows
+//!   faults interleaved with the work they disrupted.
+//! * `Plan` ([`PlanEvent`]) — the planner's resilience spans: attempts,
+//!   retries, degradation rungs, completion.
+//!
+//! Events render to single-line JSON via [`TraceEvent::to_json`] with a
+//! `type` discriminator, suitable for JSONL files (`jq`-able, one event
+//! per line). Field order is fixed, so identical runs produce identical
+//! bytes.
+
+use crate::json::JsonObject;
+use atis_storage::{FaultEvent, IoStats, JoinStrategy};
+
+/// Which part of a run an [`IterationEvent`] covers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationPhase {
+    /// Initialisation: create/load/index the working relation(s) and mark
+    /// the start node (steps `C1..C4`). Emitted once, as iteration 0.
+    Init,
+    /// One main-loop iteration: select, join, relax (steps `C5..C8`).
+    Search,
+    /// The tail: the terminal selection (if any), final scans, and path
+    /// extraction. Emitted once after the loop.
+    Finish,
+}
+
+impl IterationPhase {
+    /// Stable lowercase label used in the JSON encoding.
+    pub fn label(&self) -> &'static str {
+        match self {
+            IterationPhase::Init => "init",
+            IterationPhase::Search => "search",
+            IterationPhase::Finish => "finish",
+        }
+    }
+}
+
+/// One iteration of a database-resident run, with its exact I/O delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationEvent {
+    /// Algorithm label (e.g. `"A* (version 2)"`).
+    pub algorithm: String,
+    /// Which span of the run this event covers.
+    pub phase: IterationPhase,
+    /// 1-based main-loop iteration (0 for `Init`; for `Finish` the final
+    /// iteration count).
+    pub iteration: u64,
+    /// Node expanded this iteration (`None` for `Init`/`Finish` and for
+    /// the set-oriented iterative algorithm, which expands whole levels).
+    pub selected: Option<u32>,
+    /// FrontierSet size *after* this iteration's relaxations: open nodes
+    /// for the best-first family, the new current set for the iterative
+    /// algorithm.
+    pub frontier_size: u64,
+    /// Join strategy the engine chose for this iteration's adjacency join
+    /// (`None` when the span performed no join).
+    pub join_strategy: Option<JoinStrategy>,
+    /// Storage work performed by this span alone.
+    pub io_delta: IoStats,
+    /// Cumulative storage work at the end of this span.
+    pub io_total: IoStats,
+    /// Iterations left before the run's budget trips (`None` =
+    /// unlimited).
+    pub budget_iterations_left: Option<u64>,
+}
+
+/// One retry/degradation span from the resilient planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanEvent {
+    /// A database-resident run is about to start.
+    AttemptStarted {
+        /// Algorithm being attempted.
+        algorithm: String,
+        /// Degradation-ladder rung (0 = the requested algorithm).
+        rung: u32,
+        /// Retry number within the rung (0 = first try).
+        retry: u32,
+    },
+    /// The run failed.
+    AttemptFailed {
+        /// Algorithm that failed.
+        algorithm: String,
+        /// Degradation-ladder rung.
+        rung: u32,
+        /// Retry number within the rung.
+        retry: u32,
+        /// Rendered error.
+        error: String,
+        /// Whether the error is transient (eligible for retry).
+        transient: bool,
+    },
+    /// The planner fell to the next rung of the ladder.
+    Degraded {
+        /// Algorithm abandoned.
+        from: String,
+        /// Algorithm the planner falls to.
+        to: String,
+        /// Rung being entered.
+        rung: u32,
+    },
+    /// Planning finished (successfully — the resilient planner always
+    /// answers a valid query).
+    Completed {
+        /// Algorithm that produced the answer.
+        algorithm: String,
+        /// Whether the answer came from below the requested rung.
+        degraded: bool,
+        /// Failed attempts that preceded the answer.
+        failed_attempts: u32,
+        /// Whether a route was found.
+        found: bool,
+    },
+}
+
+/// Any event the observability layer can record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A database-resident run is starting.
+    RunStarted {
+        /// Algorithm label.
+        algorithm: String,
+        /// Source node id.
+        source: u32,
+        /// Destination node id.
+        destination: u32,
+    },
+    /// One span of a run with its I/O delta.
+    Iteration(IterationEvent),
+    /// An injected storage fault fired during the current run.
+    Fault {
+        /// Algorithm that was running when the fault fired.
+        algorithm: String,
+        /// The storage layer's fault record.
+        fault: FaultEvent,
+    },
+    /// A resilient-planner span.
+    Plan(PlanEvent),
+    /// A run finished (found a path, proved unreachability, or failed).
+    RunFinished {
+        /// Algorithm label.
+        algorithm: String,
+        /// Main-loop iterations performed.
+        iterations: u64,
+        /// Whether a path was found.
+        found: bool,
+        /// Total metered storage work.
+        io_total: IoStats,
+        /// The total in Table 4A cost units.
+        cost_units: f64,
+    },
+}
+
+/// Renders an [`IoStats`] as a nested JSON object with fixed key order.
+fn io_json(io: &IoStats) -> String {
+    JsonObject::new()
+        .u64("reads", io.block_reads)
+        .u64("writes", io.block_writes)
+        .u64("updates", io.tuple_updates)
+        .u64("index", io.index_adjustments)
+        .u64("created", io.relations_created)
+        .u64("dropped", io.relations_deleted)
+        .finish()
+}
+
+impl TraceEvent {
+    /// Renders the event as one line of JSON (no trailing newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            TraceEvent::RunStarted { algorithm, source, destination } => JsonObject::new()
+                .string("type", "run_started")
+                .string("algorithm", algorithm)
+                .u64("source", u64::from(*source))
+                .u64("destination", u64::from(*destination))
+                .finish(),
+            TraceEvent::Iteration(ev) => {
+                let mut o = JsonObject::new();
+                o.string("type", "iteration")
+                    .string("algorithm", &ev.algorithm)
+                    .string("phase", ev.phase.label())
+                    .u64("iteration", ev.iteration)
+                    .opt_u64("selected", ev.selected.map(u64::from))
+                    .u64("frontier_size", ev.frontier_size)
+                    .opt_string("join", ev.join_strategy.map(|s| s.label()))
+                    .raw("io_delta", &io_json(&ev.io_delta))
+                    .raw("io_total", &io_json(&ev.io_total))
+                    .opt_u64("budget_iterations_left", ev.budget_iterations_left);
+                o.finish()
+            }
+            TraceEvent::Fault { algorithm, fault } => JsonObject::new()
+                .string("type", "fault")
+                .string("algorithm", algorithm)
+                .string("op", fault.op)
+                .usize("block", fault.block)
+                .u64("op_index", fault.op_index)
+                .bool("torn", fault.torn)
+                .finish(),
+            TraceEvent::Plan(p) => p.to_json(),
+            TraceEvent::RunFinished { algorithm, iterations, found, io_total, cost_units } => {
+                JsonObject::new()
+                    .string("type", "run_finished")
+                    .string("algorithm", algorithm)
+                    .u64("iterations", *iterations)
+                    .bool("found", *found)
+                    .raw("io_total", &io_json(io_total))
+                    .f64("cost_units", *cost_units)
+                    .finish()
+            }
+        }
+    }
+}
+
+impl PlanEvent {
+    fn to_json(&self) -> String {
+        match self {
+            PlanEvent::AttemptStarted { algorithm, rung, retry } => JsonObject::new()
+                .string("type", "plan_attempt_started")
+                .string("algorithm", algorithm)
+                .u64("rung", u64::from(*rung))
+                .u64("retry", u64::from(*retry))
+                .finish(),
+            PlanEvent::AttemptFailed { algorithm, rung, retry, error, transient } => {
+                JsonObject::new()
+                    .string("type", "plan_attempt_failed")
+                    .string("algorithm", algorithm)
+                    .u64("rung", u64::from(*rung))
+                    .u64("retry", u64::from(*retry))
+                    .string("error", error)
+                    .bool("transient", *transient)
+                    .finish()
+            }
+            PlanEvent::Degraded { from, to, rung } => JsonObject::new()
+                .string("type", "plan_degraded")
+                .string("from", from)
+                .string("to", to)
+                .u64("rung", u64::from(*rung))
+                .finish(),
+            PlanEvent::Completed { algorithm, degraded, failed_attempts, found } => {
+                JsonObject::new()
+                    .string("type", "plan_completed")
+                    .string("algorithm", algorithm)
+                    .bool("degraded", *degraded)
+                    .u64("failed_attempts", u64::from(*failed_attempts))
+                    .bool("found", *found)
+                    .finish()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_iteration() -> IterationEvent {
+        let mut delta = IoStats::new();
+        delta.read_blocks(4);
+        delta.update_tuples(2);
+        IterationEvent {
+            algorithm: "Dijkstra".into(),
+            phase: IterationPhase::Search,
+            iteration: 3,
+            selected: Some(17),
+            frontier_size: 5,
+            join_strategy: Some(JoinStrategy::NestedLoop),
+            io_delta: delta,
+            io_total: delta,
+            budget_iterations_left: None,
+        }
+    }
+
+    #[test]
+    fn iteration_json_has_fixed_shape() {
+        let ev = TraceEvent::Iteration(sample_iteration());
+        let json = ev.to_json();
+        assert!(json.starts_with(r#"{"type":"iteration","algorithm":"Dijkstra""#), "{json}");
+        assert!(json.contains(r#""phase":"search""#));
+        assert!(json.contains(r#""selected":17"#));
+        assert!(json.contains(r#""join":"nested-loop""#));
+        assert!(json.contains(r#""io_delta":{"reads":4,"writes":0,"updates":2"#));
+        assert!(json.contains(r#""budget_iterations_left":null"#));
+    }
+
+    #[test]
+    fn identical_events_render_identically() {
+        let a = TraceEvent::Iteration(sample_iteration());
+        let b = TraceEvent::Iteration(sample_iteration());
+        assert_eq!(a.to_json(), b.to_json());
+    }
+
+    #[test]
+    fn run_events_round_out_the_taxonomy() {
+        let started = TraceEvent::RunStarted {
+            algorithm: "Iterative".into(),
+            source: 0,
+            destination: 63,
+        };
+        assert!(started.to_json().contains(r#""type":"run_started""#));
+        let finished = TraceEvent::RunFinished {
+            algorithm: "Iterative".into(),
+            iterations: 15,
+            found: true,
+            io_total: IoStats::new(),
+            cost_units: 12.5,
+        };
+        let json = finished.to_json();
+        assert!(json.contains(r#""type":"run_finished""#));
+        assert!(json.contains(r#""cost_units":12.5"#));
+    }
+
+    #[test]
+    fn plan_events_carry_rungs_and_retries() {
+        let ev = TraceEvent::Plan(PlanEvent::AttemptFailed {
+            algorithm: "A* (version 3)".into(),
+            rung: 0,
+            retry: 1,
+            error: "injected read failure".into(),
+            transient: true,
+        });
+        let json = ev.to_json();
+        assert!(json.contains(r#""type":"plan_attempt_failed""#));
+        assert!(json.contains(r#""retry":1"#));
+        assert!(json.contains(r#""transient":true"#));
+    }
+
+    #[test]
+    fn fault_events_mirror_the_storage_record() {
+        let ev = TraceEvent::Fault {
+            algorithm: "Dijkstra".into(),
+            fault: FaultEvent { op: "read", block: 9, op_index: 41, torn: false },
+        };
+        let json = ev.to_json();
+        assert!(json.contains(r#""op":"read""#));
+        assert!(json.contains(r#""block":9"#));
+        assert!(json.contains(r#""op_index":41"#));
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(IterationPhase::Init.label(), "init");
+        assert_eq!(IterationPhase::Search.label(), "search");
+        assert_eq!(IterationPhase::Finish.label(), "finish");
+    }
+}

@@ -1,0 +1,155 @@
+//! Minimal deterministic JSON rendering.
+//!
+//! The observability layer emits JSONL without pulling a serialisation
+//! dependency into the workspace: events and snapshots are flat enough
+//! that a small writer suffices. Determinism matters more than speed —
+//! two identical runs must produce byte-identical output, so keys are
+//! emitted in a fixed order and floats through Rust's shortest-roundtrip
+//! formatter.
+
+use std::fmt::Write;
+
+/// An in-progress JSON object: `{"k":v,...}` with insertion-ordered keys.
+pub(crate) struct JsonObject {
+    buf: String,
+    first: bool,
+}
+
+impl JsonObject {
+    pub(crate) fn new() -> JsonObject {
+        JsonObject { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        push_string(&mut self.buf, key);
+        self.buf.push(':');
+    }
+
+    pub(crate) fn string(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        push_string(&mut self.buf, value);
+        self
+    }
+
+    pub(crate) fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    pub(crate) fn usize(&mut self, key: &str, value: usize) -> &mut Self {
+        self.u64(key, value as u64)
+    }
+
+    pub(crate) fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        push_f64(&mut self.buf, value);
+        self
+    }
+
+    pub(crate) fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Optional u64: emitted as a number, or `null` when absent.
+    pub(crate) fn opt_u64(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        self.key(key);
+        match value {
+            Some(v) => {
+                let _ = write!(self.buf, "{v}");
+            }
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Optional string: emitted quoted, or `null` when absent.
+    pub(crate) fn opt_string(&mut self, key: &str, value: Option<&str>) -> &mut Self {
+        self.key(key);
+        match value {
+            Some(v) => push_string(&mut self.buf, v),
+            None => self.buf.push_str("null"),
+        }
+        self
+    }
+
+    /// Nested raw JSON value (already rendered).
+    pub(crate) fn raw(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(value);
+        self
+    }
+
+    pub(crate) fn finish(&self) -> String {
+        let mut out = self.buf.clone();
+        out.push('}');
+        out
+    }
+}
+
+/// Appends a JSON string literal (quoted, escaped).
+fn push_string(buf: &mut String, s: &str) {
+    buf.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => buf.push_str("\\\""),
+            '\\' => buf.push_str("\\\\"),
+            '\n' => buf.push_str("\\n"),
+            '\r' => buf.push_str("\\r"),
+            '\t' => buf.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(buf, "\\u{:04x}", c as u32);
+            }
+            c => buf.push(c),
+        }
+    }
+    buf.push('"');
+}
+
+/// Appends a float; non-finite values become `null` (JSON has no NaN).
+fn push_f64(buf: &mut String, v: f64) {
+    if v.is_finite() {
+        let _ = write!(buf, "{v}");
+    } else {
+        buf.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_in_insertion_order() {
+        let mut o = JsonObject::new();
+        o.string("b", "x").u64("a", 2).bool("c", true);
+        assert_eq!(o.finish(), r#"{"b":"x","a":2,"c":true}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut o = JsonObject::new();
+        o.string("s", "a\"b\\c\nd");
+        assert_eq!(o.finish(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn options_render_as_null_or_value() {
+        let mut o = JsonObject::new();
+        o.opt_u64("x", None).opt_u64("y", Some(3)).opt_string("z", None);
+        assert_eq!(o.finish(), r#"{"x":null,"y":3,"z":null}"#);
+    }
+
+    #[test]
+    fn floats_are_shortest_roundtrip_and_nan_is_null() {
+        let mut o = JsonObject::new();
+        o.f64("a", 0.25).f64("b", f64::NAN).f64("c", 3.0);
+        assert_eq!(o.finish(), r#"{"a":0.25,"b":null,"c":3}"#);
+    }
+}

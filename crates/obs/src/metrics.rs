@@ -1,0 +1,286 @@
+//! A registry of named monotonic counters and histograms.
+//!
+//! The tracing side of the crate answers "what did this run do, step by
+//! step"; the metrics side answers "what has this *process* done so far"
+//! — the aggregate view a long-running route server exposes. The design
+//! follows the usual time-series conventions: **counters** only go up
+//! (`*_total` names), **histograms** record value distributions in fixed
+//! buckets, and a [`MetricsRegistry::snapshot_json`] renders the whole
+//! registry as a deterministic JSON document (keys sorted, insertion
+//! order irrelevant) that the route server serves verbatim as its `STATS`
+//! response.
+//!
+//! The registry is cheap and coarse on purpose: one mutex around a
+//! sorted map, updated a handful of times per *run* (not per iteration),
+//! so attaching one to a `Database` is free at algorithm scale.
+
+use crate::json::JsonObject;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// Default histogram bucket upper bounds: a 1–2–5 ladder wide enough for
+/// iteration counts, block counts, and sub-second latencies alike.
+pub const DEFAULT_BUCKETS: [f64; 13] =
+    [0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 10_000.0];
+
+/// A histogram: counts per bucket plus running aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Inclusive upper bounds, ascending. A final implicit `+Inf` bucket
+    /// catches everything above the last bound.
+    pub bounds: Vec<f64>,
+    /// Observation counts per bucket (`bounds.len() + 1` entries; the
+    /// last is the `+Inf` bucket).
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observed value (`+Inf` when empty).
+    pub min: f64,
+    /// Largest observed value (`-Inf` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    fn new(bounds: &[f64]) -> Histogram {
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn observe(&mut self, value: f64) {
+        let slot = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Mean of the observed values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut buckets = String::from("[");
+        for (i, c) in self.counts.iter().enumerate() {
+            if i > 0 {
+                buckets.push(',');
+            }
+            buckets.push_str(&c.to_string());
+        }
+        buckets.push(']');
+        let mut o = JsonObject::new();
+        o.u64("count", self.count).f64("sum", self.sum);
+        if self.count > 0 {
+            o.f64("min", self.min).f64("max", self.max);
+        } else {
+            o.opt_u64("min", None).opt_u64("max", None);
+        }
+        o.f64("mean", self.mean()).raw("buckets", &buckets);
+        o.finish()
+    }
+}
+
+#[derive(Debug)]
+enum Metric {
+    Counter(u64),
+    Histogram(Histogram),
+}
+
+/// A registry of named counters and histograms, shareable across threads.
+///
+/// Names are free-form; the convention (and everything the instrumented
+/// layers register) is `snake_case`, `*_total` for counters. A name is
+/// bound to its kind on first use — later calls of the *other* kind on
+/// the same name are ignored rather than panicking, so a misnamed metric
+/// cannot take down a route server.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// A registry shared by everything observing one system.
+pub type SharedRegistry = Arc<MetricsRegistry>;
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// An empty shared registry.
+    pub fn shared() -> SharedRegistry {
+        Arc::new(MetricsRegistry::new())
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Adds `n` to the counter `name`, creating it at 0 first if needed.
+    pub fn add(&self, name: &str, n: u64) {
+        let mut map = self.lock();
+        match map.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            Metric::Counter(v) => *v += n,
+            Metric::Histogram(_) => {}
+        }
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn inc(&self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Records `value` into the histogram `name`, creating it with
+    /// [`DEFAULT_BUCKETS`] if needed. Non-finite values are dropped.
+    pub fn observe(&self, name: &str, value: f64) {
+        self.observe_in(name, &DEFAULT_BUCKETS, value);
+    }
+
+    /// Records `value` into the histogram `name`, creating it with the
+    /// given bucket bounds if needed (bounds of an existing histogram are
+    /// not changed).
+    pub fn observe_in(&self, name: &str, bounds: &[f64], value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut map = self.lock();
+        match map.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        {
+            Metric::Histogram(h) => h.observe(value),
+            Metric::Counter(_) => {}
+        }
+    }
+
+    /// Current value of the counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.lock().get(name) {
+            Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// A copy of the histogram `name`, if one exists.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        match self.lock().get(name) {
+            Some(Metric::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Names of all registered metrics, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.lock().keys().cloned().collect()
+    }
+
+    /// The whole registry as one JSON object:
+    /// `{"counters":{...},"histograms":{...}}`, keys sorted — byte-
+    /// identical for identical registry *contents* regardless of the
+    /// order in which metrics were touched.
+    pub fn snapshot_json(&self) -> String {
+        let map = self.lock();
+        let mut counters = JsonObject::new();
+        let mut histograms = JsonObject::new();
+        for (name, metric) in map.iter() {
+            match metric {
+                Metric::Counter(v) => {
+                    counters.u64(name, *v);
+                }
+                Metric::Histogram(h) => {
+                    histograms.raw(name, &h.to_json());
+                }
+            }
+        }
+        JsonObject::new()
+            .raw("counters", &counters.finish())
+            .raw("histograms", &histograms.finish())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let m = MetricsRegistry::new();
+        m.inc("runs_total");
+        m.add("runs_total", 4);
+        assert_eq!(m.counter("runs_total"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histograms_bucket_and_aggregate() {
+        let m = MetricsRegistry::new();
+        m.observe_in("iters", &[10.0, 100.0], 3.0);
+        m.observe_in("iters", &[10.0, 100.0], 42.0);
+        m.observe_in("iters", &[10.0, 100.0], 1000.0);
+        let h = m.histogram("iters").unwrap();
+        assert_eq!(h.counts, vec![1, 1, 1]);
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 3.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean() - 1045.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_across_insertion_orders() {
+        let build = |order: &[&str]| {
+            let m = MetricsRegistry::new();
+            for name in order {
+                m.add(name, 2);
+            }
+            m.observe_in("lat", &[1.0], 0.5);
+            m.snapshot_json()
+        };
+        let a = build(&["b_total", "a_total", "c_total"]);
+        let b = build(&["c_total", "b_total", "a_total"]);
+        assert_eq!(a, b, "snapshots must not depend on touch order");
+        assert!(a.starts_with(r#"{"counters":{"a_total":2,"b_total":2,"c_total":2}"#), "{a}");
+    }
+
+    #[test]
+    fn kind_conflicts_are_ignored_not_fatal() {
+        let m = MetricsRegistry::new();
+        m.inc("x");
+        m.observe("x", 1.0); // wrong kind: dropped
+        assert_eq!(m.counter("x"), 1);
+        assert!(m.histogram("x").is_none());
+        m.observe("y", 1.0);
+        m.inc("y"); // wrong kind: dropped
+        assert_eq!(m.histogram("y").unwrap().count, 1);
+        assert_eq!(m.counter("y"), 0);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_has_null_extrema() {
+        let m = MetricsRegistry::new();
+        m.observe("lat", f64::NAN); // dropped, but creates nothing
+        assert!(m.histogram("lat").is_none());
+        m.observe_in("lat", &[1.0], 0.2);
+        let json = m.snapshot_json();
+        assert!(json.contains(r#""lat":{"count":1"#), "{json}");
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let m = MetricsRegistry::new();
+        m.inc("zeta");
+        m.inc("alpha");
+        assert_eq!(m.names(), vec!["alpha".to_string(), "zeta".to_string()]);
+    }
+}

@@ -6,7 +6,7 @@
 //! consults the plan on every one. Faults come in three flavours:
 //!
 //! * **Transient read/write failures** — the op returns
-//!   [`StorageError::IoFailed`](crate::StorageError::IoFailed); nothing is
+//!   [`StorageError::IoFailed`]; nothing is
 //!   corrupted, and a retry of the whole query usually succeeds because the
 //!   op counters have advanced past the planned failure.
 //! * **Per-block read failures** — every read of one specific block fails
@@ -14,7 +14,7 @@
 //! * **Torn writes** — the write "succeeds" but the stored bytes differ
 //!   from the intended content by one flipped byte. The heap file keeps a
 //!   per-block checksum of the *intended* content, so the corruption is
-//!   detected as [`StorageError::CorruptBlock`](crate::StorageError::CorruptBlock)
+//!   detected as [`StorageError::CorruptBlock`]
 //!   on the next read of the block — persistent until the block is
 //!   rewritten.
 //!

@@ -8,8 +8,16 @@
 //! ROUTE <from> <to>        -> COST <c> SEGMENTS <n> VIA <id> <id> ...
 //! EVAL <id> <id> ...       -> DIST <d> TIME <t>
 //! UPDATE <from> <to> <c>   -> UPDATED <count>   (live traffic)
+//! STATS                    -> STATS <json>      (metrics snapshot)
 //! QUIT
 //! ```
+//!
+//! `STATS` serves the server's `atis-obs` metrics registry verbatim as a
+//! single-line JSON document, `{"counters":{...},"histograms":{...}}` —
+//! deterministic key order, so two identical servers produce identical
+//! snapshots. Every `ROUTE` request feeds the registry (`runs_total`,
+//! `iterations_per_run`, `io_block_reads_total`, …); see
+//! `OBSERVABILITY.md` for the full metric list and wire format.
 //!
 //! Run `--serve [port]` for a real server, or with no arguments for a
 //! self-test that spins the server up on an ephemeral port and exercises
@@ -23,6 +31,7 @@
 
 use atis::algorithms::{Algorithm, Database};
 use atis::core::evaluate_route;
+use atis::obs::MetricsRegistry;
 use atis::{CostModel, Grid, NodeId, Path};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
@@ -94,6 +103,13 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
             Ok(format!("UPDATED {n}"))
         })()
         .unwrap_or_else(|e| format!("ERR {e}")),
+        Some("STATS") => {
+            let db = lock(db);
+            match db.metrics() {
+                Some(m) => format!("STATS {}", m.snapshot_json()),
+                None => "ERR no metrics registry attached".to_string(),
+            }
+        }
         Some("QUIT") => "BYE".to_string(),
         _ => "ERR unknown command".to_string(),
     }
@@ -125,7 +141,9 @@ fn handle(stream: TcpStream, db: &Mutex<Database>) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::new(12, CostModel::TWENTY_PERCENT, 3)?;
-    let db = Arc::new(Mutex::new(Database::open(grid.graph())?));
+    let db = Arc::new(Mutex::new(
+        Database::open(grid.graph())?.with_metrics(MetricsRegistry::shared()),
+    ));
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--serve") {
@@ -176,6 +194,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let second = ask("ROUTE 0 143")?;
     assert!(second.starts_with("COST "), "{second}");
     assert_ne!(first, second, "the jammed route must change");
+
+    // The metrics registry has seen both ROUTE runs; the snapshot is one
+    // JSON line and is stable between requests that do no work.
+    let stats = ask("STATS")?;
+    assert!(stats.starts_with(r#"STATS {"counters":{"#), "{stats}");
+    assert!(stats.contains(r#""runs_total":2"#), "{stats}");
+    assert!(stats.contains(r#""iterations_per_run""#), "{stats}");
+    let again = ask("STATS")?;
+    assert_eq!(stats, again, "STATS must be deterministic when idle");
 
     assert!(ask("NOPE")?.starts_with("ERR"));
 

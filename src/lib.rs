@@ -14,6 +14,9 @@
 //!   (versions 1–3), plus in-memory reference implementations.
 //! * [`costmodel`] — the paper's algebraic cost models (Tables 1–3) and the
 //!   query-optimizer simulation.
+//! * [`obs`] — structured observability: iteration-level tracing, a
+//!   metrics registry, and model-vs-measured reports (see
+//!   `OBSERVABILITY.md`).
 //! * [`core`] — the ATIS route-planning service: route computation,
 //!   evaluation and display.
 //!
@@ -47,6 +50,7 @@ pub use atis_algorithms as algorithms;
 pub use atis_core as core;
 pub use atis_costmodel as costmodel;
 pub use atis_graph as graph;
+pub use atis_obs as obs;
 pub use atis_storage as storage;
 
 pub use atis_algorithms::{Algorithm, RunTrace};
@@ -65,5 +69,6 @@ pub mod prelude {
         CostModel, Graph, GraphBuilder, Grid, Minneapolis, NodeId, Path, Point, QueryKind,
         RadialCity,
     };
+    pub use atis_obs::{JsonlSink, MetricsRegistry, RingSink, TraceEvent, TraceSink};
     pub use atis_storage::{CostParams, IoStats, JoinPolicy};
 }
