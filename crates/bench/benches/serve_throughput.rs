@@ -1,0 +1,185 @@
+//! Serving-layer throughput: req/s and client-observed latency of the
+//! pooled route service at 1/2/4/8 workers on the paper's 30×30 grid.
+//!
+//! Not a Criterion bench: the quantity of interest is aggregate
+//! throughput of a *concurrent* system under offered load, not the
+//! wall-clock of one call, so this harness drives a fixed batch of
+//! requests through client threads and reports `BENCH_serve.json` at the
+//! repository root — the serving-side counterpart of the paper-figure
+//! benches, recorded so the perf trajectory tracks serving numbers PR
+//! over PR.
+//!
+//! The workload is the paper's own setting: a *disk-resident* map
+//! database (Section 2), modelled by arming the storage engine's fault
+//! layer with a per-block-read device latency
+//! ([`FaultPlan::with_read_latency`]). Requests then spend most of their
+//! wall-clock waiting on simulated I/O — which concurrent workers
+//! overlap, exactly as a real disk array overlaps independent requests —
+//! so the pool's scaling is visible even on a single-core host, where
+//! pure in-memory compute cannot parallelise at all.
+//!
+//! The route cache is disabled here on purpose: with repeated query
+//! pairs a warm cache short-circuits the planner and the bench would
+//! measure `HashMap` lookups, not worker-pool scaling. Cache behaviour
+//! has its own tests (`tests/route_cache.rs`).
+//!
+//! ```sh
+//! cargo bench -p atis-bench --bench serve_throughput
+//! ```
+
+use atis_algorithms::Database;
+use atis_bench::PAPER_SEED;
+use atis_graph::{CostModel, Grid, NodeId, QueryKind};
+use atis_serve::{RouteService, ServeConfig, ServeError};
+use atis_storage::FaultPlan;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const GRID_K: usize = 30;
+const WORKER_CONFIGS: [usize; 4] = [1, 2, 4, 8];
+const CLIENT_THREADS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 10;
+const QUERY_POOL: usize = 64;
+/// Simulated device latency per physical block read. A diagonal A* run
+/// on the 30×30 grid issues ~46k block reads, so 500 ns/read puts each
+/// request at ~85% simulated I/O wait — disk-resident territory.
+const READ_LATENCY: Duration = Duration::from_nanos(500);
+
+/// Deterministic query pairs (xorshift over the node-id space) shared by
+/// every worker configuration.
+fn query_pairs(grid: &Grid) -> Vec<(NodeId, NodeId)> {
+    let nodes = grid.graph().node_count() as u64;
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let mut pairs = Vec::with_capacity(QUERY_POOL);
+    // Anchor the pool with the paper's canonical worst case.
+    pairs.push(grid.query_pair(QueryKind::Diagonal));
+    while pairs.len() < QUERY_POOL {
+        let s = NodeId((next() % nodes) as u32);
+        let d = NodeId((next() % nodes) as u32);
+        if s != d {
+            pairs.push((s, d));
+        }
+    }
+    pairs
+}
+
+struct ConfigResult {
+    workers: usize,
+    elapsed: Duration,
+    req_per_s: f64,
+    p50: Duration,
+    p99: Duration,
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn drive(grid: &Grid, pairs: &[(NodeId, NodeId)], workers: usize) -> ConfigResult {
+    let db = Database::open(grid.graph())
+        .expect("30x30 grid fits the engine")
+        .with_fault_plan(FaultPlan::inert(PAPER_SEED).with_read_latency(READ_LATENCY));
+    let service = Arc::new(RouteService::new(
+        db,
+        ServeConfig::default()
+            .with_workers(workers)
+            .with_queue_capacity(128)
+            .with_cache_capacity(0),
+    ));
+    let started = Instant::now();
+    let clients: Vec<_> = (0..CLIENT_THREADS)
+        .map(|c| {
+            let service = service.clone();
+            let pairs = pairs.to_vec();
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(REQUESTS_PER_CLIENT);
+                for r in 0..REQUESTS_PER_CLIENT {
+                    let (s, d) = pairs[(c * REQUESTS_PER_CLIENT + r) % pairs.len()];
+                    let issued = Instant::now();
+                    loop {
+                        match service.route(s, d) {
+                            Ok(_) => break,
+                            Err(ServeError::Busy { .. }) => {
+                                std::thread::sleep(Duration::from_micros(100));
+                            }
+                            Err(e) => panic!("bench request failed: {e}"),
+                        }
+                    }
+                    latencies.push(issued.elapsed());
+                }
+                latencies
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> =
+        clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+    let elapsed = started.elapsed();
+    latencies.sort();
+    let total = latencies.len();
+    ConfigResult {
+        workers,
+        elapsed,
+        req_per_s: total as f64 / elapsed.as_secs_f64(),
+        p50: percentile(&latencies, 0.50),
+        p99: percentile(&latencies, 0.99),
+    }
+}
+
+fn main() {
+    let grid = Grid::new(GRID_K, CostModel::TWENTY_PERCENT, PAPER_SEED).expect("paper grid");
+    let pairs = query_pairs(&grid);
+    let total = CLIENT_THREADS * REQUESTS_PER_CLIENT;
+    println!(
+        "serve_throughput: {GRID_K}x{GRID_K} grid, {total} requests, \
+         {CLIENT_THREADS} clients, cache disabled, \
+         simulated disk {READ_LATENCY:?}/block read"
+    );
+
+    let mut results = Vec::new();
+    for workers in WORKER_CONFIGS {
+        let result = drive(&grid, &pairs, workers);
+        println!(
+            "  workers={:<2} {:>8.1} req/s  p50 {:>7.3?}  p99 {:>7.3?}  ({:?} total)",
+            result.workers, result.req_per_s, result.p50, result.p99, result.elapsed
+        );
+        results.push(result);
+    }
+
+    let base = results[0].req_per_s;
+    let four = results.iter().find(|r| r.workers == 4).expect("4-worker config");
+    let speedup = four.req_per_s / base;
+    println!("  4-worker speedup over 1 worker: {speedup:.2}x");
+
+    let mut configs = String::from("[");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            configs.push(',');
+        }
+        configs.push_str(&format!(
+            r#"{{"workers":{},"req_per_s":{:.2},"p50_ms":{:.3},"p99_ms":{:.3},"elapsed_ms":{:.1}}}"#,
+            r.workers,
+            r.req_per_s,
+            r.p50.as_secs_f64() * 1e3,
+            r.p99.as_secs_f64() * 1e3,
+            r.elapsed.as_secs_f64() * 1e3,
+        ));
+    }
+    configs.push(']');
+    let json = format!(
+        r#"{{"benchmark":"serve_throughput","grid":"{GRID_K}x{GRID_K}","algorithm":"A* (version 3)","requests":{total},"client_threads":{CLIENT_THREADS},"cache":"disabled","io_model":"simulated disk, {}ns per block read","configs":{configs},"speedup_4_over_1":{speedup:.2}}}"#,
+        READ_LATENCY.as_nanos(),
+    );
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
+    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_serve.json");
+    println!("  wrote {}", out.display());
+}

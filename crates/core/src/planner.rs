@@ -217,6 +217,16 @@ impl RoutePlanner {
         &self.db
     }
 
+    /// Consumes the planner and hands its configured database over — the
+    /// entry point for pooled execution: `atis-serve`'s `RouteService`
+    /// takes a `Database` (with whatever budgets, join policy, metrics
+    /// and sinks the planner accumulated) and serves it from a worker
+    /// pool behind epoch snapshots. The single-query planner and the
+    /// serving layer therefore share one configuration path.
+    pub fn into_database(self) -> Database {
+        self.db
+    }
+
     /// The resident road network.
     pub fn graph(&self) -> &Graph {
         self.db.graph()

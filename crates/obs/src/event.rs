@@ -16,6 +16,9 @@
 //!   faults interleaved with the work they disrupted.
 //! * `Plan` ([`PlanEvent`]) — the planner's resilience spans: attempts,
 //!   retries, degradation rungs, completion.
+//! * `Serve` ([`ServeEvent`]) — the serving layer's request spans:
+//!   admission (accepted/rejected), execution start on a worker at a
+//!   pinned epoch, cache hits, completion, and epoch installation.
 //!
 //! Events render to single-line JSON via [`TraceEvent::to_json`] with a
 //! `type` discriminator, suitable for JSONL files (`jq`-able, one event
@@ -126,6 +129,67 @@ pub enum PlanEvent {
     },
 }
 
+/// One span of a request's life inside the serving layer (`atis-serve`):
+/// admission, execution, cache interaction, and epoch installation. Request
+/// ids are monotonic per service; worker ids index the fixed pool.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeEvent {
+    /// A request passed admission control and entered the submission queue.
+    Submitted {
+        /// Monotonic request id.
+        request: u64,
+        /// Queue depth *after* this request was enqueued.
+        queue_depth: u64,
+    },
+    /// A request was rejected at admission (bounded queue full).
+    Rejected {
+        /// Monotonic request id.
+        request: u64,
+        /// Queue depth at the moment of rejection (== the queue capacity).
+        queue_depth: u64,
+    },
+    /// A worker dequeued the request and pinned an epoch snapshot.
+    Started {
+        /// Monotonic request id.
+        request: u64,
+        /// Pool index of the executing worker.
+        worker: u64,
+        /// Epoch the request will be answered at.
+        epoch: u64,
+    },
+    /// The route cache answered the request without running an algorithm.
+    CacheHit {
+        /// Monotonic request id.
+        request: u64,
+        /// Epoch of the cached entry (== the request's epoch).
+        epoch: u64,
+    },
+    /// The request finished (answer delivered to the waiting client).
+    Completed {
+        /// Monotonic request id.
+        request: u64,
+        /// Pool index of the executing worker.
+        worker: u64,
+        /// Epoch the answer is valid at.
+        epoch: u64,
+        /// Whether the answer came from the route cache.
+        cached: bool,
+        /// Whether a route was found.
+        found: bool,
+    },
+    /// An `UPDATE` installed a new database epoch and swept the cache.
+    EpochInstalled {
+        /// The new epoch number.
+        epoch: u64,
+        /// Directed edge tuples the update touched.
+        updated_edges: u64,
+        /// Cache entries dropped by the invalidation rule.
+        invalidated: u64,
+        /// Cache entries proven unaffected and carried into the new epoch.
+        promoted: u64,
+    },
+}
+
 /// Any event the observability layer can record.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {
@@ -149,6 +213,8 @@ pub enum TraceEvent {
     },
     /// A resilient-planner span.
     Plan(PlanEvent),
+    /// A serving-layer span (admission, execution, cache, epochs).
+    Serve(ServeEvent),
     /// A run finished (found a path, proved unreachability, or failed).
     RunFinished {
         /// Algorithm label.
@@ -209,6 +275,7 @@ impl TraceEvent {
                 .bool("torn", fault.torn)
                 .finish(),
             TraceEvent::Plan(p) => p.to_json(),
+            TraceEvent::Serve(s) => s.to_json(),
             TraceEvent::RunFinished { algorithm, iterations, found, io_total, cost_units } => {
                 JsonObject::new()
                     .string("type", "run_finished")
@@ -255,6 +322,51 @@ impl PlanEvent {
                     .bool("degraded", *degraded)
                     .u64("failed_attempts", u64::from(*failed_attempts))
                     .bool("found", *found)
+                    .finish()
+            }
+        }
+    }
+}
+
+impl ServeEvent {
+    fn to_json(&self) -> String {
+        match self {
+            ServeEvent::Submitted { request, queue_depth } => JsonObject::new()
+                .string("type", "serve_submitted")
+                .u64("request", *request)
+                .u64("queue_depth", *queue_depth)
+                .finish(),
+            ServeEvent::Rejected { request, queue_depth } => JsonObject::new()
+                .string("type", "serve_rejected")
+                .u64("request", *request)
+                .u64("queue_depth", *queue_depth)
+                .finish(),
+            ServeEvent::Started { request, worker, epoch } => JsonObject::new()
+                .string("type", "serve_started")
+                .u64("request", *request)
+                .u64("worker", *worker)
+                .u64("epoch", *epoch)
+                .finish(),
+            ServeEvent::CacheHit { request, epoch } => JsonObject::new()
+                .string("type", "serve_cache_hit")
+                .u64("request", *request)
+                .u64("epoch", *epoch)
+                .finish(),
+            ServeEvent::Completed { request, worker, epoch, cached, found } => JsonObject::new()
+                .string("type", "serve_completed")
+                .u64("request", *request)
+                .u64("worker", *worker)
+                .u64("epoch", *epoch)
+                .bool("cached", *cached)
+                .bool("found", *found)
+                .finish(),
+            ServeEvent::EpochInstalled { epoch, updated_edges, invalidated, promoted } => {
+                JsonObject::new()
+                    .string("type", "serve_epoch_installed")
+                    .u64("epoch", *epoch)
+                    .u64("updated_edges", *updated_edges)
+                    .u64("invalidated", *invalidated)
+                    .u64("promoted", *promoted)
                     .finish()
             }
         }
@@ -346,6 +458,38 @@ mod tests {
         assert!(json.contains(r#""op":"read""#));
         assert!(json.contains(r#""block":9"#));
         assert!(json.contains(r#""op_index":41"#));
+    }
+
+    #[test]
+    fn serve_events_render_every_span() {
+        let submitted = TraceEvent::Serve(ServeEvent::Submitted { request: 7, queue_depth: 3 });
+        assert_eq!(
+            submitted.to_json(),
+            r#"{"type":"serve_submitted","request":7,"queue_depth":3}"#
+        );
+        let rejected = TraceEvent::Serve(ServeEvent::Rejected { request: 8, queue_depth: 64 });
+        assert!(rejected.to_json().contains(r#""type":"serve_rejected""#));
+        let started = TraceEvent::Serve(ServeEvent::Started { request: 7, worker: 2, epoch: 4 });
+        assert!(started.to_json().contains(r#""worker":2"#));
+        let hit = TraceEvent::Serve(ServeEvent::CacheHit { request: 7, epoch: 4 });
+        assert!(hit.to_json().contains(r#""type":"serve_cache_hit""#));
+        let done = TraceEvent::Serve(ServeEvent::Completed {
+            request: 7,
+            worker: 2,
+            epoch: 4,
+            cached: true,
+            found: true,
+        });
+        let json = done.to_json();
+        assert!(json.contains(r#""cached":true"#) && json.contains(r#""found":true"#), "{json}");
+        let installed = TraceEvent::Serve(ServeEvent::EpochInstalled {
+            epoch: 5,
+            updated_edges: 2,
+            invalidated: 3,
+            promoted: 9,
+        });
+        let json = installed.to_json();
+        assert!(json.contains(r#""invalidated":3"#) && json.contains(r#""promoted":9"#), "{json}");
     }
 
     #[test]

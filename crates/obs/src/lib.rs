@@ -58,7 +58,7 @@ pub mod metrics;
 pub mod report;
 mod sink;
 
-pub use event::{IterationEvent, IterationPhase, PlanEvent, TraceEvent};
+pub use event::{IterationEvent, IterationPhase, PlanEvent, ServeEvent, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry, SharedRegistry, DEFAULT_BUCKETS};
 pub use report::{best_first_report, iterative_report, ModelReport, ReportRow, StepIo};
 pub use sink::{JsonlSink, RingSink, SharedSink, TraceSink};

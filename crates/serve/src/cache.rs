@@ -1,0 +1,366 @@
+//! The invalidation-aware route cache.
+//!
+//! Keyed by `(from, to, epoch)`: a lookup only hits when the cached entry
+//! was computed at — or proven unaffected up to — the querying epoch, so
+//! a cache hit is *bit-identical* to rerunning the algorithm against the
+//! same snapshot.
+//!
+//! ## Invalidation rule
+//!
+//! A traffic update changes directed edge `(u, v)` to `new_cost` and
+//! installs epoch `n + 1`. Each cached entry is then either **dropped**
+//! or **promoted** to the new epoch:
+//!
+//! * dropped if its path uses the hop `(u, v)` — the answer's cost is
+//!   definitely stale; or
+//! * dropped if `new_cost < path.cost` — with non-negative edge costs any
+//!   route through `(u, v)` costs at least `new_cost`, so only then could
+//!   the update have created a better route than the cached one; or
+//! * promoted otherwise: the update provably cannot change this answer,
+//!   and the entry is re-keyed to epoch `n + 1` without recomputation.
+//!
+//! Entries whose epoch is *older* than the epoch the sweep expects (a
+//! racing insert that landed after the sweep for its epoch already ran)
+//! are dropped as stale — promotion is only sound for entries that have
+//! seen every update so far.
+//!
+//! Unreachable results are not cached: cost updates cannot change
+//! reachability, but a `None` path has no edges for the rule to inspect,
+//! and misses on unreachable pairs are cheap to recompute.
+//!
+//! ## Eviction
+//!
+//! The cache is LRU-bounded: when full, an insert evicts the
+//! least-recently-used entry (ties broken by smaller key, so eviction is
+//! deterministic). Capacity 0 disables the cache entirely.
+
+use atis_graph::{NodeId, Path};
+use atis_obs::SharedRegistry;
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+/// A cached answer: the route plus the run statistics it was computed
+/// with (reported back to clients on a hit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CachedRoute {
+    /// The computed route.
+    pub path: Path,
+    /// Epoch the answer is valid at (advanced by promotions).
+    pub epoch: u64,
+    /// Iterations of the original run.
+    pub iterations: u64,
+    /// Simulated I/O cost of the original run (Table 4A units).
+    pub cost_units: f64,
+}
+
+/// Monotonic cache statistics (also mirrored into the metrics registry
+/// as `cache_hits_total` / `cache_misses_total` /
+/// `cache_invalidations_total` when one is attached).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (absent key or epoch mismatch).
+    pub misses: u64,
+    /// Entries dropped by update sweeps (rule-invalidated or stale).
+    pub invalidations: u64,
+    /// Entries accepted by `insert`.
+    pub insertions: u64,
+    /// Entries evicted by the LRU bound.
+    pub evictions: u64,
+    /// Entries carried across an epoch bump without recomputation.
+    pub promotions: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    route: CachedRoute,
+    last_used: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    map: HashMap<(u32, u32), Entry>,
+    tick: u64,
+    /// Highest epoch an update sweep has installed; inserts below it are
+    /// stale and refused.
+    latest_epoch: u64,
+    stats: CacheStats,
+}
+
+/// A bounded, invalidation-aware LRU cache of computed routes.
+#[derive(Debug)]
+pub struct RouteCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    metrics: Option<SharedRegistry>,
+}
+
+impl RouteCache {
+    /// A cache holding at most `capacity` routes (0 disables caching).
+    pub fn new(capacity: usize) -> Self {
+        RouteCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+                latest_epoch: 0,
+                stats: CacheStats::default(),
+            }),
+            metrics: None,
+        }
+    }
+
+    /// Mirrors the hit/miss/invalidation counters into `metrics`
+    /// (`cache_hits_total`, `cache_misses_total`,
+    /// `cache_invalidations_total`).
+    pub fn with_metrics(mut self, metrics: SharedRegistry) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn bump(&self, name: &str, n: u64) {
+        if n > 0 {
+            if let Some(m) = &self.metrics {
+                m.add(name, n);
+            }
+        }
+    }
+
+    /// Maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the monotonic statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.lock().stats
+    }
+
+    /// Looks up `(from, to)` at `epoch`. An entry at a different epoch is
+    /// a miss (it has not been proven valid for this snapshot).
+    pub fn lookup(&self, from: NodeId, to: NodeId, epoch: u64) -> Option<CachedRoute> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(from.0, to.0)) {
+            Some(entry) if entry.route.epoch == epoch => {
+                entry.last_used = tick;
+                let route = entry.route.clone();
+                inner.stats.hits += 1;
+                drop(inner);
+                self.bump("cache_hits_total", 1);
+                Some(route)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                drop(inner);
+                self.bump("cache_misses_total", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed route, evicting the LRU entry when full. The
+    /// insert is refused (silently) when the cache is disabled, when the
+    /// route's epoch predates the latest update sweep (a racing worker
+    /// finishing against an old snapshot), or when a newer entry for the
+    /// same key is already present.
+    pub fn insert(&self, from: NodeId, to: NodeId, route: CachedRoute) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        if route.epoch < inner.latest_epoch {
+            return;
+        }
+        if let Some(existing) = inner.map.get(&(from.0, to.0)) {
+            if existing.route.epoch > route.epoch {
+                return;
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&(from.0, to.0)) {
+            // Deterministic LRU eviction: oldest tick, then smallest key.
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(key, entry)| (entry.last_used, **key))
+                .map(|(key, _)| *key);
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert((from.0, to.0), Entry { route, last_used: tick });
+        inner.stats.insertions += 1;
+    }
+
+    /// Sweeps the cache for a traffic update that changed directed edge
+    /// `(u, v)` to `new_cost` and installed `new_epoch`. Returns
+    /// `(invalidated, promoted)` entry counts.
+    pub fn apply_update(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        new_cost: f64,
+        new_epoch: u64,
+    ) -> (u64, u64) {
+        if self.capacity == 0 {
+            return (0, 0);
+        }
+        let mut inner = self.lock();
+        let swept_from = new_epoch.saturating_sub(1);
+        let mut invalidated = 0u64;
+        let mut promoted = 0u64;
+        inner.map.retain(|_, entry| {
+            if entry.route.epoch >= new_epoch {
+                return true; // already computed against the new costs
+            }
+            let stale = entry.route.epoch < swept_from;
+            let on_path = entry.route.path.hops().any(|(a, b)| a == u && b == v);
+            let could_beat = new_cost < entry.route.path.cost;
+            if stale || on_path || could_beat {
+                invalidated += 1;
+                false
+            } else {
+                entry.route.epoch = new_epoch;
+                promoted += 1;
+                true
+            }
+        });
+        inner.latest_epoch = inner.latest_epoch.max(new_epoch);
+        inner.stats.invalidations += invalidated;
+        inner.stats.promotions += promoted;
+        drop(inner);
+        self.bump("cache_invalidations_total", invalidated);
+        (invalidated, promoted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn route(nodes: &[u32], cost: f64, epoch: u64) -> CachedRoute {
+        CachedRoute {
+            path: Path { nodes: nodes.iter().map(|&n| NodeId(n)).collect(), cost },
+            epoch,
+            iterations: 3,
+            cost_units: 10.0,
+        }
+    }
+
+    #[test]
+    fn hit_then_epoch_mismatch_is_a_miss() {
+        let cache = RouteCache::new(8);
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        assert!(cache.lookup(NodeId(0), NodeId(3), 0).is_some());
+        assert!(cache.lookup(NodeId(0), NodeId(3), 1).is_none());
+        assert!(cache.lookup(NodeId(3), NodeId(0), 0).is_none());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+    }
+
+    #[test]
+    fn update_on_path_invalidates_and_off_path_promotes() {
+        let cache = RouteCache::new(8);
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        cache.insert(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 0));
+        // Edge (0,1) is on the first path; the new cost (9.0) is not
+        // cheaper than the second path (7.0), so the second survives.
+        let (invalidated, promoted) = cache.apply_update(NodeId(0), NodeId(1), 9.0, 1);
+        assert_eq!((invalidated, promoted), (1, 1));
+        assert!(cache.lookup(NodeId(0), NodeId(3), 1).is_none());
+        assert_eq!(cache.lookup(NodeId(4), NodeId(5), 1).unwrap().path.cost, 7.0);
+    }
+
+    #[test]
+    fn cheaper_than_cached_cost_invalidates_off_path_entries() {
+        let cache = RouteCache::new(8);
+        cache.insert(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 0));
+        // Edge (8,9) is not on the path, but at cost 1.0 a route through
+        // it could now beat the cached 7.0 — drop.
+        let (invalidated, promoted) = cache.apply_update(NodeId(8), NodeId(9), 1.0, 1);
+        assert_eq!((invalidated, promoted), (1, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn direction_matters_for_the_on_path_test() {
+        let cache = RouteCache::new(8);
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        // (1,0) is the reverse hop — not on the directed path; cost 50 is
+        // above the cached total, so the entry survives.
+        let (invalidated, promoted) = cache.apply_update(NodeId(1), NodeId(0), 50.0, 1);
+        assert_eq!((invalidated, promoted), (0, 1));
+        assert!(cache.lookup(NodeId(0), NodeId(3), 1).is_some());
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let cache = RouteCache::new(2);
+        cache.insert(NodeId(0), NodeId(1), route(&[0, 1], 1.0, 0));
+        cache.insert(NodeId(0), NodeId(2), route(&[0, 2], 1.0, 0));
+        // Touch (0,1) so (0,2) is the LRU victim.
+        assert!(cache.lookup(NodeId(0), NodeId(1), 0).is_some());
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 3], 1.0, 0));
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(NodeId(0), NodeId(2), 0).is_none());
+        assert!(cache.lookup(NodeId(0), NodeId(1), 0).is_some());
+        assert!(cache.lookup(NodeId(0), NodeId(3), 0).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn stale_inserts_and_stale_entries_are_refused() {
+        let cache = RouteCache::new(8);
+        cache.apply_update(NodeId(0), NodeId(1), 1.0, 3);
+        // A worker that computed against epoch 1 finishes late: refused.
+        cache.insert(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 1));
+        assert!(cache.is_empty());
+        // An entry at the swept-from epoch is fine.
+        cache.insert(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 3));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_everything() {
+        let cache = RouteCache::new(0);
+        cache.insert(NodeId(0), NodeId(1), route(&[0, 1], 1.0, 0));
+        assert!(cache.lookup(NodeId(0), NodeId(1), 0).is_none());
+        assert_eq!(cache.apply_update(NodeId(0), NodeId(1), 2.0, 1), (0, 0));
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn metrics_mirror_the_counters() {
+        let registry = atis_obs::MetricsRegistry::shared();
+        let cache = RouteCache::new(8).with_metrics(registry.clone());
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        cache.lookup(NodeId(0), NodeId(3), 0);
+        cache.lookup(NodeId(9), NodeId(9), 0);
+        cache.apply_update(NodeId(0), NodeId(1), 9.0, 1);
+        assert_eq!(registry.counter("cache_hits_total"), 1);
+        assert_eq!(registry.counter("cache_misses_total"), 1);
+        assert_eq!(registry.counter("cache_invalidations_total"), 1);
+    }
+}

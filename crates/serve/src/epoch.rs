@@ -1,0 +1,167 @@
+//! Epoch snapshots: concurrent reads, serialized copy-on-write updates.
+//!
+//! The paper's serving scenario has many in-vehicle clients reading one
+//! central map while live traffic updates trickle in. The seed route
+//! server funnelled both through a single `Mutex<Database>`, so one slow
+//! A\* run blocked the fleet *and* an `UPDATE` could land between two
+//! storage reads of a running query, mixing pre- and post-update edge
+//! costs in a single answer.
+//!
+//! [`EpochDb`] fixes both with the classic snapshot scheme:
+//!
+//! * The current database lives behind an `Arc`. Readers grab
+//!   `(epoch, Arc<Database>)` in one cheap lock acquisition and then run
+//!   entirely against that immutable snapshot — queries at the same epoch
+//!   run in parallel, and no later write can reach them.
+//! * A writer clones the current snapshot, applies the cost update to the
+//!   clone, and installs it as epoch `n + 1`. Writers are serialized by
+//!   the same lock; readers never wait on a running query, only on the
+//!   (small) clone-and-swap window.
+//!
+//! Every answer therefore has a well-defined epoch, which is what makes
+//! the route cache's `(from, to, epoch)` key and the stress tests'
+//! "bit-identical to the single-threaded oracle at the same epoch"
+//! criterion meaningful.
+
+use atis_algorithms::{AlgorithmError, Database};
+use atis_graph::NodeId;
+use std::sync::{Arc, Mutex};
+
+/// An immutable view of the database at one epoch. Cloning is cheap
+/// (`Arc` bump); the underlying [`Database`] is shared, never mutated.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The epoch this snapshot belongs to (0 = the initial load).
+    pub epoch: u64,
+    /// The database frozen at that epoch.
+    pub db: Arc<Database>,
+}
+
+/// The result of installing one traffic update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochUpdate {
+    /// The newly installed epoch.
+    pub epoch: u64,
+    /// Directed edge tuples the update touched.
+    pub updated: usize,
+    /// The edge's cost before the update (minimum over parallel edges).
+    pub old_cost: f64,
+    /// The edge's cost after the update.
+    pub new_cost: f64,
+}
+
+/// A database versioned by epochs: lock-briefly reads, copy-on-write
+/// updates.
+#[derive(Debug)]
+pub struct EpochDb {
+    current: Mutex<Snapshot>,
+}
+
+impl EpochDb {
+    /// Wraps a freshly loaded database as epoch 0.
+    pub fn new(db: Database) -> Self {
+        EpochDb { current: Mutex::new(Snapshot { epoch: 0, db: Arc::new(db) }) }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Snapshot> {
+        self.current.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// The current `(epoch, database)` pair. Queries must use the returned
+    /// snapshot for *all* their reads — re-fetching mid-query is exactly
+    /// the torn-answer bug epochs exist to prevent.
+    pub fn snapshot(&self) -> Snapshot {
+        self.lock().clone()
+    }
+
+    /// The current epoch number.
+    pub fn epoch(&self) -> u64 {
+        self.lock().epoch
+    }
+
+    /// Applies a traffic update copy-on-write: clones the current
+    /// database, updates edge `(u, v)` on the clone, and installs the
+    /// clone as the next epoch. Running queries keep their old snapshots;
+    /// queries admitted after this call see the new costs.
+    ///
+    /// # Errors
+    /// Fails for unknown endpoints or invalid costs; the current epoch is
+    /// left untouched.
+    pub fn update_edge_cost(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cost: f64,
+    ) -> Result<EpochUpdate, AlgorithmError> {
+        let mut current = self.lock();
+        if !current.db.graph().contains(u) {
+            return Err(AlgorithmError::UnknownSource(u));
+        }
+        if !current.db.graph().contains(v) {
+            return Err(AlgorithmError::UnknownDestination(v));
+        }
+        let old_cost = current.db.graph().edge_cost(u, v).unwrap_or(f64::INFINITY);
+        let mut next = (*current.db).clone();
+        let updated = next.update_edge_cost(u, v, cost)?;
+        let epoch = current.epoch + 1;
+        *current = Snapshot { epoch, db: Arc::new(next) };
+        Ok(EpochUpdate { epoch, updated, old_cost, new_cost: cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_algorithms::Algorithm;
+    use atis_graph::graph::graph_from_arcs;
+
+    fn two_route_graph() -> EpochDb {
+        // 0 -> 1 -> 3 (cost 2) versus 0 -> 2 -> 3 (cost 4).
+        let g = graph_from_arcs(
+            4,
+            &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)],
+        )
+        .unwrap();
+        EpochDb::new(Database::open(&g).unwrap())
+    }
+
+    #[test]
+    fn snapshots_are_immutable_across_updates() {
+        let epochs = two_route_graph();
+        let before = epochs.snapshot();
+        assert_eq!(before.epoch, 0);
+
+        let upd = epochs.update_edge_cost(NodeId(0), NodeId(1), 50.0).unwrap();
+        assert_eq!(upd.epoch, 1);
+        assert_eq!(upd.updated, 1);
+        assert_eq!(upd.old_cost, 1.0);
+
+        // The old snapshot still answers with the pre-update costs …
+        let old = before.db.run(Algorithm::Dijkstra, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(old.path.as_ref().unwrap().cost, 2.0);
+        // … while the new epoch routes around the jam.
+        let new = epochs.snapshot();
+        assert_eq!(new.epoch, 1);
+        let fresh = new.db.run(Algorithm::Dijkstra, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(fresh.path.as_ref().unwrap().cost, 4.0);
+    }
+
+    #[test]
+    fn failed_updates_do_not_advance_the_epoch() {
+        let epochs = two_route_graph();
+        assert!(epochs.update_edge_cost(NodeId(0), NodeId(1), f64::NAN).is_err());
+        assert!(epochs.update_edge_cost(NodeId(99), NodeId(1), 1.0).is_err());
+        assert_eq!(epochs.epoch(), 0);
+    }
+
+    #[test]
+    fn updates_serialize_into_consecutive_epochs() {
+        let epochs = two_route_graph();
+        for i in 1..=5u64 {
+            let upd = epochs.update_edge_cost(NodeId(0), NodeId(1), i as f64).unwrap();
+            assert_eq!(upd.epoch, i);
+        }
+        assert_eq!(epochs.epoch(), 5);
+        assert_eq!(epochs.snapshot().db.graph().edge_cost(NodeId(0), NodeId(1)), Some(5.0));
+    }
+}

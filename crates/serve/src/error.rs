@@ -1,0 +1,61 @@
+//! Typed serving-layer failures.
+
+use atis_algorithms::AlgorithmError;
+use std::fmt;
+
+/// Why the serving layer could not answer a request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// Admission control rejected the request: the bounded submission
+    /// queue was full. The client should back off and retry — this is the
+    /// `BUSY` wire reply, not a failure of the request itself.
+    Busy {
+        /// Queue depth at the moment of rejection (== the capacity).
+        queue_depth: usize,
+    },
+    /// The service is shutting down and no longer accepts requests.
+    ShuttingDown,
+    /// The planner run itself failed (unknown endpoints, storage fault,
+    /// exhausted budget).
+    Algorithm(AlgorithmError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Busy { queue_depth } => {
+                write!(f, "busy: submission queue full ({queue_depth} waiting)")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Algorithm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Algorithm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgorithmError> for ServeError {
+    fn from(e: AlgorithmError) -> Self {
+        ServeError::Algorithm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_covers_every_variant() {
+        assert!(ServeError::Busy { queue_depth: 8 }.to_string().contains("8 waiting"));
+        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        let e = ServeError::from(AlgorithmError::UnknownSource(atis_graph::NodeId(9)));
+        assert!(e.to_string().contains("unknown source"));
+    }
+}

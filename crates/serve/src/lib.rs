@@ -1,0 +1,73 @@
+//! # atis-serve — the concurrent query-serving layer
+//!
+//! The paper's IVHS setting is a *serving* problem: many in-vehicle
+//! clients querying one central map database (Section 1.1). This crate
+//! turns the workspace's single-query planner into a first-class
+//! concurrent service:
+//!
+//! * **Worker pool + admission control** ([`RouteService`]) — a fixed
+//!   pool of worker threads executes planner runs drawn from a bounded
+//!   submission queue. A full queue rejects new requests with
+//!   [`ServeError::Busy`] (the `BUSY` wire reply) instead of queueing
+//!   unboundedly, so admitted-request latency stays bounded and overload
+//!   is pushed back to clients, not absorbed as memory growth.
+//! * **Epoch snapshots** ([`EpochDb`]) — `ROUTE` queries run in parallel
+//!   against an immutable `Arc<Database>` snapshot while `UPDATE`
+//!   traffic installs a new epoch copy-on-write. Every answer carries the
+//!   epoch it was computed at; no answer can mix pre- and post-update
+//!   edge costs.
+//! * **Invalidation-aware route cache** ([`RouteCache`]) — LRU-bounded,
+//!   keyed by `(from, to, epoch)`. An update drops exactly the entries
+//!   it could have changed (path uses the updated edge, or the new cost
+//!   undercuts the cached total) and promotes the rest to the new epoch
+//!   without recomputation; cache hits are bit-identical to fresh runs.
+//!
+//! The whole subsystem is threaded through `atis-obs`: request-level
+//! trace spans ([`atis_obs::ServeEvent`]), per-worker counters, queue
+//! depth/wait and service-time histograms, and the cache counters
+//! (`cache_hits_total`, `cache_misses_total`,
+//! `cache_invalidations_total`) that the route server's `STATS` command
+//! serves.
+//!
+//! See `SERVING.md` at the repository root for the architecture diagram,
+//! the admission-control policy, the cache-invalidation rules, and the
+//! wire-protocol additions; `examples/route_server.rs` is the thin TCP
+//! front-end over this crate.
+//!
+//! ## Example
+//!
+//! ```
+//! use atis_algorithms::Database;
+//! use atis_graph::{CostModel, Grid, QueryKind};
+//! use atis_serve::{RouteService, ServeConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 1)?;
+//! let service = RouteService::new(Database::open(grid.graph())?, ServeConfig::default());
+//! let (s, d) = grid.query_pair(QueryKind::Diagonal);
+//!
+//! let fresh = service.route(s, d)?;
+//! let cached = service.route(s, d)?;
+//! assert!(!fresh.cached && cached.cached);
+//! assert_eq!(fresh.path, cached.path); // hits are bit-identical
+//!
+//! // Live traffic: a new epoch; the jammed entry is invalidated.
+//! let hop = fresh.path.as_ref().unwrap().hops().next().unwrap();
+//! let update = service.update_edge_cost(hop.0, hop.1, 99.0)?;
+//! assert_eq!(update.epoch, 1);
+//! assert_eq!(service.route(s, d)?.epoch, 1);
+//! # Ok(()) }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod epoch;
+pub mod error;
+pub mod service;
+
+pub use cache::{CacheStats, CachedRoute, RouteCache};
+pub use epoch::{EpochDb, EpochUpdate, Snapshot};
+pub use error::ServeError;
+pub use service::{RouteAnswer, RouteService, ServeConfig, Ticket};

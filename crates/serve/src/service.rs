@@ -1,0 +1,607 @@
+//! The concurrent route service: bounded admission queue, fixed worker
+//! pool, epoch snapshots, route cache.
+//!
+//! ## Request life cycle
+//!
+//! ```text
+//! submit() ──admission──▶ bounded queue ──▶ worker i
+//!    │ full? BUSY                             │ pin snapshot (epoch e)
+//!    ▼                                        │ cache lookup (from,to,e)
+//! Ticket::wait() ◀──────── answer ◀───────────┤ hit: serve cached
+//!                                             └ miss: run algorithm,
+//!                                               insert into cache
+//! ```
+//!
+//! Admission control is reject-not-queue: when the submission queue holds
+//! `queue_capacity` requests, [`RouteService::submit`] fails immediately
+//! with [`ServeError::Busy`] instead of queueing unboundedly — the client
+//! is told to back off *before* the server drowns, and latency for
+//! admitted requests stays bounded by `queue_capacity / throughput`.
+//!
+//! Updates bypass the queue: [`RouteService::update_edge_cost`] installs
+//! a new epoch copy-on-write (running queries keep their snapshots) and
+//! sweeps the cache under the invalidation rule. Readers never block on
+//! writers beyond the clone-and-swap window.
+
+use crate::cache::{CachedRoute, RouteCache};
+use crate::epoch::{EpochDb, EpochUpdate, Snapshot};
+use crate::error::ServeError;
+use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, Database};
+use atis_graph::{NodeId, Path};
+use atis_obs::{ServeEvent, SharedRegistry, SharedSink, TraceEvent};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for a [`RouteService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing planner runs (≥ 1).
+    pub workers: usize,
+    /// Bounded submission-queue capacity; a full queue rejects with
+    /// [`ServeError::Busy`] (≥ 1).
+    pub queue_capacity: usize,
+    /// Route-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Algorithm every `ROUTE` request runs.
+    pub algorithm: Algorithm,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            queue_capacity: 64,
+            cache_capacity: 1024,
+            algorithm: Algorithm::AStar(AStarVersion::V3),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Overrides the worker count.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Overrides the submission-queue capacity.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Overrides the route-cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Overrides the algorithm.
+    pub fn with_algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+}
+
+/// One answered route request.
+#[derive(Debug, Clone)]
+pub struct RouteAnswer {
+    /// The route, or `None` when the destination is unreachable.
+    pub path: Option<Path>,
+    /// Epoch the answer is valid at: every edge cost the answer reflects
+    /// comes from exactly this snapshot.
+    pub epoch: u64,
+    /// Whether the answer came from the route cache.
+    pub cached: bool,
+    /// Iterations of the (original) run.
+    pub iterations: u64,
+    /// Simulated I/O cost of the (original) run, Table 4A units.
+    pub cost_units: f64,
+    /// Time spent queued before a worker picked the request up.
+    pub queue_wait: Duration,
+    /// Worker time (cache lookup + algorithm run).
+    pub service_time: Duration,
+    /// Pool index of the worker that served the request.
+    pub worker: usize,
+}
+
+/// The pending-answer slot a submitted request blocks on.
+#[derive(Debug, Default)]
+struct TicketInner {
+    slot: Mutex<Option<Result<RouteAnswer, ServeError>>>,
+    ready: Condvar,
+}
+
+/// A claim on a submitted request's future answer.
+#[derive(Debug)]
+pub struct Ticket {
+    id: u64,
+    inner: Arc<TicketInner>,
+}
+
+impl Ticket {
+    /// The request id (monotonic per service, matches trace events).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Blocks until the worker pool answers this request.
+    pub fn wait(self) -> Result<RouteAnswer, ServeError> {
+        let mut slot = self.inner.slot.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if let Some(answer) = slot.take() {
+                return answer;
+            }
+            slot = self.inner.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+}
+
+struct Job {
+    id: u64,
+    from: NodeId,
+    to: NodeId,
+    submitted: Instant,
+    ticket: Arc<TicketInner>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+struct Shared {
+    epochs: EpochDb,
+    cache: RouteCache,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    queue_capacity: usize,
+    algorithm: Algorithm,
+    next_request: AtomicU64,
+    metrics: Option<SharedRegistry>,
+    sink: Option<SharedSink>,
+}
+
+impl Shared {
+    fn emit(&self, event: ServeEvent) {
+        if let Some(sink) = &self.sink {
+            sink.record(&TraceEvent::Serve(event));
+        }
+    }
+
+    fn observe(&self, name: &str, value: f64) {
+        if let Some(m) = &self.metrics {
+            m.observe(name, value);
+        }
+    }
+
+    fn inc(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.inc(name);
+        }
+    }
+}
+
+/// A pooled, cached, epoch-snapshotted route-serving engine.
+///
+/// Dropping the service closes admission, lets the workers drain every
+/// already-admitted request (so no [`Ticket::wait`] deadlocks), and joins
+/// the pool.
+pub struct RouteService {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RouteService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteService")
+            .field("workers", &self.workers.len())
+            .field("queue_capacity", &self.shared.queue_capacity)
+            .field("cache_capacity", &self.shared.cache.capacity())
+            .field("algorithm", &self.shared.algorithm)
+            .finish()
+    }
+}
+
+impl RouteService {
+    /// Starts a service over `db` with `config`. The database becomes
+    /// epoch 0; `config.workers` threads start immediately.
+    pub fn new(db: Database, config: ServeConfig) -> Self {
+        Self::build(db, config, None, None)
+    }
+
+    /// Starts a service with observability attached: `metrics` receives
+    /// the serving counters/histograms (and the cache counters), `sink`
+    /// receives one [`ServeEvent`] span per request stage.
+    pub fn with_observability(
+        db: Database,
+        config: ServeConfig,
+        metrics: Option<SharedRegistry>,
+        sink: Option<SharedSink>,
+    ) -> Self {
+        Self::build(db, config, metrics, sink)
+    }
+
+    fn build(
+        db: Database,
+        config: ServeConfig,
+        metrics: Option<SharedRegistry>,
+        sink: Option<SharedSink>,
+    ) -> Self {
+        let workers = config.workers.max(1);
+        let mut cache = RouteCache::new(config.cache_capacity);
+        if let Some(m) = &metrics {
+            cache = cache.with_metrics(m.clone());
+        }
+        let shared = Arc::new(Shared {
+            epochs: EpochDb::new(db),
+            cache,
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            queue_capacity: config.queue_capacity.max(1),
+            algorithm: config.algorithm,
+            next_request: AtomicU64::new(0),
+            metrics,
+            sink,
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("atis-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, i))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        RouteService { shared, workers: handles }
+    }
+
+    /// The worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// The algorithm every request runs.
+    pub fn algorithm(&self) -> Algorithm {
+        self.shared.algorithm
+    }
+
+    /// The current epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epochs.epoch()
+    }
+
+    /// The current `(epoch, database)` snapshot — for read-only side
+    /// queries (`EVAL`) that must see one consistent epoch.
+    pub fn snapshot(&self) -> Snapshot {
+        self.shared.epochs.snapshot()
+    }
+
+    /// The route cache (counters, capacity).
+    pub fn cache(&self) -> &RouteCache {
+        &self.shared.cache
+    }
+
+    /// Submits a route request through admission control, returning a
+    /// [`Ticket`] to wait on.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] when the bounded queue is full;
+    /// [`ServeError::ShuttingDown`] after the service started closing.
+    pub fn submit(&self, from: NodeId, to: NodeId) -> Result<Ticket, ServeError> {
+        let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
+        let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        if queue.closed {
+            return Err(ServeError::ShuttingDown);
+        }
+        if queue.jobs.len() >= self.shared.queue_capacity {
+            let depth = queue.jobs.len();
+            drop(queue);
+            self.shared.inc("serve_rejected_total");
+            self.shared.emit(ServeEvent::Rejected { request: id, queue_depth: depth as u64 });
+            return Err(ServeError::Busy { queue_depth: depth });
+        }
+        let ticket = Ticket { id, inner: Arc::new(TicketInner::default()) };
+        queue.jobs.push_back(Job {
+            id,
+            from,
+            to,
+            submitted: Instant::now(),
+            ticket: ticket.inner.clone(),
+        });
+        let depth = queue.jobs.len();
+        drop(queue);
+        self.shared.available.notify_one();
+        self.shared.observe("serve_queue_depth", depth as f64);
+        self.shared.emit(ServeEvent::Submitted { request: id, queue_depth: depth as u64 });
+        Ok(ticket)
+    }
+
+    /// Submits a request and blocks for the answer.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] / [`ServeError::ShuttingDown`] at admission,
+    /// or the run's own [`ServeError::Algorithm`] failure.
+    pub fn route(&self, from: NodeId, to: NodeId) -> Result<RouteAnswer, ServeError> {
+        self.submit(from, to)?.wait()
+    }
+
+    /// Applies a traffic update: installs a new epoch copy-on-write and
+    /// sweeps the route cache (see `cache.rs` for the invalidation rule).
+    /// Queries already running keep their snapshots; queries admitted
+    /// after this call see the new costs.
+    ///
+    /// # Errors
+    /// Fails for unknown endpoints or invalid costs (no epoch change).
+    pub fn update_edge_cost(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cost: f64,
+    ) -> Result<EpochUpdate, AlgorithmError> {
+        let update = self.shared.epochs.update_edge_cost(u, v, cost)?;
+        let (invalidated, promoted) =
+            self.shared.cache.apply_update(u, v, update.new_cost, update.epoch);
+        self.shared.inc("serve_epoch_installs_total");
+        self.shared.emit(ServeEvent::EpochInstalled {
+            epoch: update.epoch,
+            updated_edges: update.updated as u64,
+            invalidated,
+            promoted,
+        });
+        Ok(update)
+    }
+}
+
+impl Drop for RouteService {
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            queue.closed = true;
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, worker: usize) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.available.wait(queue).unwrap_or_else(|p| p.into_inner());
+            }
+        };
+        let queue_wait = job.submitted.elapsed();
+        shared.observe("serve_queue_wait_seconds", queue_wait.as_secs_f64());
+        let snapshot = shared.epochs.snapshot();
+        shared.emit(ServeEvent::Started {
+            request: job.id,
+            worker: worker as u64,
+            epoch: snapshot.epoch,
+        });
+
+        let started = Instant::now();
+        let outcome = execute(shared, &snapshot, &job);
+        let service_time = started.elapsed();
+        shared.observe("serve_service_seconds", service_time.as_secs_f64());
+        shared.inc("serve_requests_total");
+        shared.inc(&format!("serve_worker_{worker}_requests_total"));
+
+        let answer = outcome.map(|(path, cached, iterations, cost_units)| {
+            shared.emit(ServeEvent::Completed {
+                request: job.id,
+                worker: worker as u64,
+                epoch: snapshot.epoch,
+                cached,
+                found: path.is_some(),
+            });
+            RouteAnswer {
+                path,
+                epoch: snapshot.epoch,
+                cached,
+                iterations,
+                cost_units,
+                queue_wait,
+                service_time,
+                worker,
+            }
+        });
+        if answer.is_err() {
+            shared.inc("serve_failed_total");
+        }
+
+        let mut slot = job.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
+        *slot = Some(answer);
+        drop(slot);
+        job.ticket.ready.notify_all();
+    }
+}
+
+/// Answers one job against its pinned snapshot: cache first, then a full
+/// algorithm run whose found path is inserted back.
+#[allow(clippy::type_complexity)]
+fn execute(
+    shared: &Shared,
+    snapshot: &Snapshot,
+    job: &Job,
+) -> Result<(Option<Path>, bool, u64, f64), ServeError> {
+    if let Some(hit) = shared.cache.lookup(job.from, job.to, snapshot.epoch) {
+        shared.emit(ServeEvent::CacheHit { request: job.id, epoch: snapshot.epoch });
+        return Ok((Some(hit.path), true, hit.iterations, hit.cost_units));
+    }
+    let trace = snapshot.db.run(shared.algorithm, job.from, job.to).map_err(ServeError::from)?;
+    let cost_units = trace.cost_units(snapshot.db.params());
+    if let Some(path) = &trace.path {
+        shared.cache.insert(
+            job.from,
+            job.to,
+            CachedRoute {
+                path: path.clone(),
+                epoch: snapshot.epoch,
+                iterations: trace.iterations,
+                cost_units,
+            },
+        );
+    }
+    Ok((trace.path, false, trace.iterations, cost_units))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::{CostModel, Grid, QueryKind};
+    use atis_obs::{MetricsRegistry, RingSink};
+
+    fn grid_service(config: ServeConfig) -> (RouteService, Grid) {
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        (RouteService::new(db, config), grid)
+    }
+
+    #[test]
+    fn answers_match_a_direct_run() {
+        let (service, grid) = grid_service(ServeConfig::default().with_workers(2));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let answer = service.route(s, d).unwrap();
+        assert_eq!(answer.epoch, 0);
+        assert!(!answer.cached);
+
+        let oracle = Database::open(grid.graph()).unwrap();
+        let expected = oracle.run(service.algorithm(), s, d).unwrap();
+        assert_eq!(answer.path, expected.path);
+        assert_eq!(answer.iterations, expected.iterations);
+    }
+
+    #[test]
+    fn second_identical_request_is_served_from_cache_bit_identically() {
+        let (service, grid) = grid_service(ServeConfig::default().with_workers(1));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let fresh = service.route(s, d).unwrap();
+        let cached = service.route(s, d).unwrap();
+        assert!(!fresh.cached && cached.cached);
+        assert_eq!(fresh.path, cached.path);
+        assert_eq!(fresh.iterations, cached.iterations);
+        assert_eq!(fresh.cost_units.to_bits(), cached.cost_units.to_bits());
+        let stats = service.cache().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn updates_bump_the_epoch_and_change_answers() {
+        let (service, grid) = grid_service(ServeConfig::default().with_workers(2));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let before = service.route(s, d).unwrap();
+        let path = before.path.clone().unwrap();
+        let (u, v) = path.hops().next().unwrap();
+        let update = service.update_edge_cost(u, v, 500.0).unwrap();
+        assert_eq!(update.epoch, 1);
+        let after = service.route(s, d).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert!(!after.cached, "the jammed entry must have been invalidated");
+        assert_ne!(before.path, after.path);
+    }
+
+    #[test]
+    fn full_queue_rejects_with_busy() {
+        // One worker, capacity 1: park the worker on a long request by
+        // flooding; at least one submission must be rejected.
+        let (service, grid) = grid_service(
+            ServeConfig::default().with_workers(1).with_queue_capacity(1).with_cache_capacity(0),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let mut tickets = Vec::new();
+        let mut busy = 0;
+        for _ in 0..50 {
+            match service.submit(s, d) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Busy { queue_depth }) => {
+                    assert_eq!(queue_depth, 1);
+                    busy += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(busy > 0, "a capacity-1 queue must reject under a 50-request burst");
+        for t in tickets {
+            assert!(t.wait().unwrap().path.is_some());
+        }
+    }
+
+    #[test]
+    fn drop_drains_admitted_requests() {
+        let (service, grid) = grid_service(ServeConfig::default().with_workers(1));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let tickets: Vec<Ticket> =
+            (0..8).map(|_| service.submit(s, d).unwrap()).collect();
+        drop(service);
+        for t in tickets {
+            assert!(t.wait().unwrap().path.is_some(), "admitted requests must be answered");
+        }
+    }
+
+    #[test]
+    fn unknown_endpoints_fail_per_request_not_per_service() {
+        let (service, grid) = grid_service(ServeConfig::default().with_workers(2));
+        let err = service.route(NodeId(9999), NodeId(0)).unwrap_err();
+        assert!(matches!(err, ServeError::Algorithm(AlgorithmError::UnknownSource(_))));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        assert!(service.route(s, d).is_ok(), "the pool must survive failed requests");
+    }
+
+    #[test]
+    fn metrics_and_spans_cover_the_request_life_cycle() {
+        let registry = MetricsRegistry::shared();
+        let ring = RingSink::shared(256);
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let service = RouteService::with_observability(
+            db,
+            ServeConfig::default().with_workers(1),
+            Some(registry.clone()),
+            Some(ring.clone() as SharedSink),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        service.route(s, d).unwrap();
+        service.route(s, d).unwrap();
+        let path = service.route(s, d).unwrap().path.unwrap();
+        let (u, v) = path.hops().next().unwrap();
+        service.update_edge_cost(u, v, 400.0).unwrap();
+
+        assert_eq!(registry.counter("serve_requests_total"), 3);
+        assert_eq!(registry.counter("serve_worker_0_requests_total"), 3);
+        assert_eq!(registry.counter("serve_epoch_installs_total"), 1);
+        assert_eq!(registry.counter("cache_hits_total"), 2);
+        assert_eq!(registry.counter("cache_misses_total"), 1);
+        assert!(registry.counter("cache_invalidations_total") >= 1);
+        assert!(registry.histogram("serve_queue_wait_seconds").unwrap().count >= 3);
+        assert!(registry.histogram("serve_service_seconds").unwrap().count >= 3);
+
+        let events = ring.events();
+        let json: Vec<String> = events.iter().map(|e| e.to_json()).collect();
+        for kind in [
+            "serve_submitted",
+            "serve_started",
+            "serve_cache_hit",
+            "serve_completed",
+            "serve_epoch_installed",
+        ] {
+            assert!(
+                json.iter().any(|j| j.contains(&format!(r#""type":"{kind}""#))),
+                "missing {kind} span in {json:#?}"
+            );
+        }
+    }
+}

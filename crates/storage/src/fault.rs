@@ -17,6 +17,15 @@
 //!   detected as [`StorageError::CorruptBlock`]
 //!   on the next read of the block — persistent until the block is
 //!   rewritten.
+//! * **Read latency** — every physical block read stalls the calling
+//!   thread for a fixed duration, modelling the seek/transfer time of the
+//!   disk-resident map database the paper assumes. Unlike the failure
+//!   flavours this never changes a result, only wall-clock time; the
+//!   serving benchmark uses it to measure worker-pool scaling on an
+//!   I/O-bound workload. Per-read charges accumulate as debt and are
+//!   served in [`STALL_QUANTUM`] sleeps *outside* the shared fault lock,
+//!   so concurrent readers overlap their waits exactly as they would on
+//!   real hardware with independent requests in flight.
 //!
 //! Every decision is a pure function of `(seed, op kind, op index)`, so a
 //! run under a given plan is exactly reproducible: same plan, same query,
@@ -27,6 +36,7 @@
 
 use crate::error::StorageError;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 /// Pseudo-block number base for ISAM index levels, so fault events on
 /// index probes are distinguishable from heap-block events in a
@@ -75,6 +85,11 @@ pub struct FaultPlan {
     /// Probability that a write is torn (stored corrupted, detected on the
     /// next read of the block).
     pub torn_write_rate: f64,
+    /// Simulated device latency charged per physical block read,
+    /// accumulated as debt and slept in [`STALL_QUANTUM`] chunks *after*
+    /// releasing the shared fault lock, so concurrent readers overlap
+    /// their stalls.
+    pub read_latency: Duration,
 }
 
 impl FaultPlan {
@@ -89,6 +104,7 @@ impl FaultPlan {
             write_failure_rate: 0.0,
             fail_block_reads: None,
             torn_write_rate: 0.0,
+            read_latency: Duration::ZERO,
         }
     }
 
@@ -107,6 +123,7 @@ impl FaultPlan {
             write_failure_rate: 0.002 * ((h >> 10) % 3) as f64,
             fail_block_reads: None,
             torn_write_rate: 0.001 * ((h >> 12) % 3) as f64,
+            read_latency: Duration::ZERO,
         }
     }
 
@@ -146,6 +163,23 @@ impl FaultPlan {
         self
     }
 
+    /// Stalls every physical block read by `latency` (a slow-disk model;
+    /// results are unaffected, only wall-clock time). Per-read charges are
+    /// accumulated and served in [`STALL_QUANTUM`] sleeps, so latencies far
+    /// below the OS timer resolution still add up accurately.
+    pub fn with_read_latency(mut self, latency: Duration) -> FaultPlan {
+        self.read_latency = latency;
+        self
+    }
+
+    /// Whether this plan can silently corrupt stored bytes. Heap files
+    /// maintain (and verify) per-block checksums only when it can — the
+    /// checksum work is pure overhead under plans that merely fail or
+    /// stall reads.
+    pub fn can_tear(&self) -> bool {
+        self.torn_write_rate > 0.0
+    }
+
     /// Wraps the plan in a fresh shared fault state.
     pub fn into_shared(self) -> SharedFaults {
         Arc::new(Mutex::new(FaultState::new(self)))
@@ -177,13 +211,22 @@ pub struct FaultEvent {
     pub torn: bool,
 }
 
-/// Mutable fault-injection state: the plan plus op counters and a log of
-/// every fault that fired.
+/// How much read-latency debt accumulates before a thread actually
+/// sleeps. Real per-block latencies (hundreds of nanoseconds to a few
+/// microseconds for the simulated device) are far below what
+/// `thread::sleep` can deliver per call, so the stall is served in
+/// millisecond quanta: aggregate stall time is exact to within one
+/// quantum, and concurrent readers still overlap their waits.
+pub const STALL_QUANTUM: Duration = Duration::from_millis(1);
+
+/// Mutable fault-injection state: the plan plus op counters, accumulated
+/// read-latency debt, and a log of every fault that fired.
 #[derive(Debug)]
 pub struct FaultState {
     plan: FaultPlan,
     reads: u64,
     writes: u64,
+    stall_debt: Duration,
     /// Every fault that fired, in order.
     pub log: Vec<FaultEvent>,
 }
@@ -195,7 +238,7 @@ pub type SharedFaults = Arc<Mutex<FaultState>>;
 impl FaultState {
     /// Fresh state for a plan: counters at zero, empty log.
     pub fn new(plan: FaultPlan) -> FaultState {
-        FaultState { plan, reads: 0, writes: 0, log: Vec::new() }
+        FaultState { plan, reads: 0, writes: 0, stall_debt: Duration::ZERO, log: Vec::new() }
     }
 
     /// The plan being executed.
@@ -219,6 +262,7 @@ impl FaultState {
     /// [`StorageError::IoFailed`] when the plan says this read fails.
     pub fn on_read(&mut self, block: usize) -> Result<(), StorageError> {
         self.reads += 1;
+        self.stall_debt += self.plan.read_latency;
         let idx = self.reads;
         let planned = self.plan.fail_nth_read == Some(idx);
         let flaky_block = matches!(
@@ -253,6 +297,27 @@ impl FaultState {
             return Ok(WriteMode::Torn(offset));
         }
         Ok(WriteMode::Clean)
+    }
+
+    /// Drains the accumulated read-latency debt once it reaches
+    /// [`STALL_QUANTUM`]. The caller sleeps the returned duration *after*
+    /// releasing the lock; `Duration::ZERO` means the debt is still below
+    /// the quantum and is carried forward.
+    pub fn take_stall(&mut self) -> Duration {
+        if self.stall_debt >= STALL_QUANTUM {
+            std::mem::take(&mut self.stall_debt)
+        } else {
+            Duration::ZERO
+        }
+    }
+}
+
+/// Serves a stall drained by [`FaultState::take_stall`]. The storage
+/// layer calls this *after* releasing the shared fault lock, so
+/// concurrent readers sleep in parallel rather than queueing.
+pub(crate) fn stall(debt: Duration) {
+    if debt > Duration::ZERO {
+        std::thread::sleep(debt);
     }
 }
 
@@ -337,6 +402,41 @@ mod tests {
             WriteMode::Clean => panic!("torn rate 1.0 must tear"),
         }
         assert!(st.log[0].torn);
+    }
+
+    #[test]
+    fn read_latency_defaults_to_zero_and_never_affects_decisions() {
+        assert_eq!(FaultPlan::inert(1).read_latency, Duration::ZERO);
+        assert_eq!(FaultPlan::chaos(1).read_latency, Duration::ZERO);
+        let slow = FaultPlan::inert(1).with_read_latency(Duration::from_micros(250));
+        assert_eq!(slow.read_latency, Duration::from_micros(250));
+        // Latency is pure wall-clock: the decision stream is unchanged.
+        let mut fast = FaultState::new(FaultPlan::inert(9).with_read_failure_rate(0.25));
+        let mut slow = FaultState::new(
+            FaultPlan::inert(9).with_read_failure_rate(0.25).with_read_latency(Duration::ZERO),
+        );
+        for b in 0..500 {
+            assert_eq!(fast.on_read(b).is_err(), slow.on_read(b).is_err());
+        }
+    }
+
+    #[test]
+    fn stall_debt_accumulates_to_the_quantum_then_drains() {
+        let latency = STALL_QUANTUM / 4;
+        let mut st = FaultState::new(FaultPlan::inert(1).with_read_latency(latency));
+        for _ in 0..3 {
+            st.on_read(0).unwrap();
+            assert_eq!(st.take_stall(), Duration::ZERO, "debt below the quantum is carried");
+        }
+        st.on_read(0).unwrap();
+        assert_eq!(st.take_stall(), STALL_QUANTUM, "the fourth charge reaches the quantum");
+        assert_eq!(st.take_stall(), Duration::ZERO, "draining resets the debt");
+        // Zero-latency plans never accumulate anything.
+        let mut inert = FaultState::new(FaultPlan::inert(1));
+        for b in 0..100 {
+            inert.on_read(b).unwrap();
+        }
+        assert_eq!(inert.take_stall(), Duration::ZERO);
     }
 
     #[test]

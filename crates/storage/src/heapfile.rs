@@ -43,8 +43,13 @@ pub struct HeapFile<T: FixedTuple> {
     /// [`crate::fault`].
     faults: Option<SharedFaults>,
     /// Per-block checksums of the durably written content, maintained only
-    /// while `faults` is attached (so the fault-free path is untouched).
+    /// while a fault plan that can tear writes is attached (so plans that
+    /// merely fail or stall reads pay no checksum overhead, and the
+    /// fault-free path is untouched).
     sums: Vec<u32>,
+    /// Whether the attached plan can corrupt bytes (`FaultPlan::can_tear`),
+    /// i.e. whether `sums` is maintained and verified.
+    checksums: bool,
     _tuple: PhantomData<T>,
 }
 
@@ -62,6 +67,7 @@ impl<T: FixedTuple> HeapFile<T> {
             buffer: None,
             faults: None,
             sums: Vec::new(),
+            checksums: false,
             _tuple: PhantomData,
         }
     }
@@ -73,18 +79,32 @@ impl<T: FixedTuple> HeapFile<T> {
     }
 
     /// Attaches shared fault-injection state. From now on every physical
-    /// block op consults the plan, and checksums of the current content
-    /// are recorded so later corruption is detectable.
+    /// block op consults the plan; when the plan can tear writes,
+    /// checksums of the current content are also recorded so later
+    /// corruption is detectable.
     pub fn attach_faults(&mut self, faults: &SharedFaults) {
+        self.checksums =
+            faults.lock().unwrap_or_else(|p| p.into_inner()).plan().can_tear();
         self.faults = Some(faults.clone());
-        self.sums = self.blocks.iter().map(|b| fault::checksum(b.bytes(0, BLOCK_SIZE))).collect();
+        self.sums = if self.checksums {
+            self.blocks.iter().map(|b| fault::checksum(b.bytes(0, BLOCK_SIZE))).collect()
+        } else {
+            Vec::new()
+        };
     }
 
-    /// Consults the fault plan for a physical read of `block`.
+    /// Consults the fault plan for a physical read of `block`. Any
+    /// planned device latency is slept *after* the lock is released, so
+    /// concurrent readers overlap their stalls.
     #[inline]
     fn consult_read(&self, block: usize) -> Result<(), StorageError> {
         if let Some(f) = &self.faults {
-            f.lock().expect("fault state lock").on_read(block)?;
+            let stall = {
+                let mut state = f.lock().expect("fault state lock");
+                state.on_read(block)?;
+                state.take_stall()
+            };
+            fault::stall(stall);
         }
         Ok(())
     }
@@ -99,10 +119,11 @@ impl<T: FixedTuple> HeapFile<T> {
     }
 
     /// Verifies `block` against its recorded checksum. Dirty (staged, not
-    /// yet flushed) blocks and files without faults are exempt.
+    /// yet flushed) blocks and files whose fault plan cannot tear are
+    /// exempt.
     #[inline]
     fn verify(&self, block: usize) -> Result<(), StorageError> {
-        if self.faults.is_some()
+        if self.checksums
             && block < self.sums.len()
             && !self.dirty.contains(&block)
             && fault::checksum(self.blocks[block].bytes(0, BLOCK_SIZE)) != self.sums[block]
@@ -116,7 +137,7 @@ impl<T: FixedTuple> HeapFile<T> {
     /// applies a torn write's byte flip (so the checksum reflects the
     /// *intended* content and the next [`verify`](Self::verify) fails).
     fn commit_block(&mut self, block: usize, mode: WriteMode) {
-        if self.faults.is_some() {
+        if self.checksums {
             if self.sums.len() <= block {
                 self.sums.resize(block + 1, 0);
             }

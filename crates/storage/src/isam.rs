@@ -94,10 +94,14 @@ impl IsamIndex {
     pub fn probe(&self, key: u32, io: &mut IoStats) -> Result<usize, StorageError> {
         io.read_blocks(self.levels);
         if let Some(f) = &self.faults {
-            let mut f = f.lock().expect("fault state lock");
-            for level in 0..self.levels {
-                f.on_read(INDEX_BLOCK_BASE + level as usize)?;
-            }
+            let stall = {
+                let mut f = f.lock().expect("fault state lock");
+                for level in 0..self.levels {
+                    f.on_read(INDEX_BLOCK_BASE + level as usize)?;
+                }
+                f.take_stall()
+            };
+            crate::fault::stall(stall);
         }
         self.leaf
             .get(key as usize)

@@ -56,7 +56,7 @@ pub mod tuple;
 
 pub use buffer::{BufferPool, SharedBuffer};
 pub use error::StorageError;
-pub use fault::{FaultEvent, FaultPlan, FaultState, SharedFaults};
+pub use fault::{FaultEvent, FaultPlan, FaultState, SharedFaults, STALL_QUANTUM};
 pub use heapfile::HeapFile;
 pub use io::{CostParams, IoStats};
 pub use isam::IsamIndex;

@@ -21,13 +21,18 @@ use crate::io::IoStats;
 use crate::tuple::FixedTuple;
 use std::collections::HashMap;
 
-/// Consults fault state for an index probe of `levels` pseudo-blocks.
+/// Consults fault state for an index probe of `levels` pseudo-blocks,
+/// serving any planned device latency outside the lock.
 fn consult_index_probe(faults: &Option<SharedFaults>, levels: u64) -> Result<(), StorageError> {
     if let Some(f) = faults {
-        let mut f = f.lock().expect("fault state lock");
-        for level in 0..levels {
-            f.on_read(INDEX_BLOCK_BASE + level as usize)?;
-        }
+        let stall = {
+            let mut f = f.lock().expect("fault state lock");
+            for level in 0..levels {
+                f.on_read(INDEX_BLOCK_BASE + level as usize)?;
+            }
+            f.take_stall()
+        };
+        crate::fault::stall(stall);
     }
     Ok(())
 }

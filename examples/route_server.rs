@@ -2,12 +2,20 @@
 //! context implies: in-vehicle clients query a central map database over
 //! the network for routes ("travel in unfamiliar areas", Section 1.1).
 //!
+//! The example is deliberately thin: all serving logic — the worker
+//! pool, the bounded admission queue, epoch snapshots, and the
+//! invalidation-aware route cache — lives in the `atis-serve` crate
+//! (`RouteService`); this file only parses lines and formats replies.
+//! See `SERVING.md` for the architecture and the full wire protocol.
+//!
 //! Line protocol over TCP, one request per line:
 //!
 //! ```text
-//! ROUTE <from> <to>        -> COST <c> SEGMENTS <n> VIA <id> <id> ...
+//! ROUTE <from> <to>        -> COST <c> SEGMENTS <n> EPOCH <e> VIA <id> <id> ...
+//!                           | BUSY <depth>           (admission rejected; retry later)
 //! EVAL <id> <id> ...       -> DIST <d> TIME <t>
-//! UPDATE <from> <to> <c>   -> UPDATED <count>   (live traffic)
+//! UPDATE <from> <to> <c>   -> UPDATED <count> EPOCH <e>   (live traffic)
+//! EPOCH                    -> EPOCH <e>
 //! STATS                    -> STATS <json>      (metrics snapshot)
 //! QUIT
 //! ```
@@ -15,37 +23,30 @@
 //! `STATS` serves the server's `atis-obs` metrics registry verbatim as a
 //! single-line JSON document, `{"counters":{...},"histograms":{...}}` —
 //! deterministic key order, so two identical servers produce identical
-//! snapshots. Every `ROUTE` request feeds the registry (`runs_total`,
-//! `iterations_per_run`, `io_block_reads_total`, …); see
-//! `OBSERVABILITY.md` for the full metric list and wire format.
+//! snapshots. Alongside the per-run metrics (`runs_total`,
+//! `iterations_per_run`, …) the snapshot now carries the serving layer:
+//! `serve_requests_total`, per-worker counters, queue histograms, and the
+//! route-cache counters `cache_hits_total` / `cache_misses_total` /
+//! `cache_invalidations_total`.
 //!
 //! Run `--serve [port]` for a real server, or with no arguments for a
 //! self-test that spins the server up on an ephemeral port and exercises
 //! it with a client, including a live traffic update between two
-//! identical queries.
+//! identical queries and a cache-hit check.
 //!
 //! ```sh
 //! cargo run --release --example route_server            # self-test
 //! cargo run --release --example route_server -- --serve # listen on 4750
 //! ```
 
-use atis::algorithms::{Algorithm, Database};
-use atis::core::evaluate_route;
 use atis::obs::MetricsRegistry;
-use atis::{CostModel, Grid, NodeId, Path};
+use atis::serve::{RouteService, ServeConfig, ServeError};
+use atis::{CostModel, Grid, NodeId, Path, RoutePlanner};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
-/// Locks the shared database, recovering from poisoning: a panicked
-/// handler thread must not wedge the server for every later client (the
-/// map itself stays consistent — each query rebuilds its working
-/// relations from scratch).
-fn lock(db: &Mutex<Database>) -> std::sync::MutexGuard<'_, Database> {
-    db.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
-}
-
-fn respond(db: &Mutex<Database>, line: &str) -> String {
+fn respond(service: &RouteService, line: &str) -> String {
     let mut parts = line.split_whitespace();
     let parse_node = |t: Option<&str>| -> Result<NodeId, String> {
         let t = t.ok_or("missing node id")?;
@@ -56,17 +57,19 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
         Some("ROUTE") => (|| -> Result<String, String> {
             let s = parse_node(parts.next())?;
             let d = parse_node(parts.next())?;
-            let db = lock(db);
-            let trace = db.run(Algorithm::AStar(atis::algorithms::AStarVersion::V3), s, d)
-                .map_err(|e| e.to_string())?;
-            match trace.path {
-                Some(p) => Ok(format!(
-                    "COST {:.4} SEGMENTS {} VIA {}",
-                    p.cost,
-                    p.len(),
-                    p.nodes.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(" ")
-                )),
-                None => Err("unreachable".into()),
+            match service.route(s, d) {
+                Ok(answer) => match answer.path {
+                    Some(p) => Ok(format!(
+                        "COST {:.4} SEGMENTS {} EPOCH {} VIA {}",
+                        p.cost,
+                        p.len(),
+                        answer.epoch,
+                        p.nodes.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(" ")
+                    )),
+                    None => Err("unreachable".into()),
+                },
+                Err(ServeError::Busy { queue_depth }) => Ok(format!("BUSY {queue_depth}")),
+                Err(e) => Err(e.to_string()),
             }
         })()
         .unwrap_or_else(|e| format!("ERR {e}")),
@@ -77,17 +80,20 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
             if nodes.len() < 2 {
                 return Err("need at least two nodes".into());
             }
-            let db = lock(db);
-            if let Some(bad) = nodes.iter().find(|n| !db.graph().contains(**n)) {
+            // One consistent snapshot for the whole evaluation — a
+            // concurrent UPDATE cannot change costs mid-walk.
+            let snapshot = service.snapshot();
+            if let Some(bad) = nodes.iter().find(|n| !snapshot.db.graph().contains(**n)) {
                 return Err(format!("unknown node {bad}"));
             }
             let cost = nodes
                 .windows(2)
-                .map(|w| db.graph().edge_cost(w[0], w[1]).ok_or("not a road"))
+                .map(|w| snapshot.db.graph().edge_cost(w[0], w[1]).ok_or("not a road"))
                 .sum::<Result<f64, _>>()?;
             let path = Path { nodes, cost };
-            let attrs = evaluate_route(db.graph(), &path).map_err(|e| e.to_string())?;
-            Ok(format!("DIST {:.4} TIME {:.4}", attrs.distance, attrs.travel_time))
+            let (distance, travel_time, _io) =
+                snapshot.db.evaluate_route(&path).map_err(|e| e.to_string())?;
+            Ok(format!("DIST {distance:.4} TIME {travel_time:.4}"))
         })()
         .unwrap_or_else(|e| format!("ERR {e}")),
         Some("UPDATE") => (|| -> Result<String, String> {
@@ -98,37 +104,34 @@ fn respond(db: &Mutex<Database>, line: &str) -> String {
                 .ok_or("missing cost")?
                 .parse()
                 .map_err(|_| "bad cost".to_string())?;
-            let mut db = lock(db);
-            let n = db.update_edge_cost(u, v, c).map_err(|e| e.to_string())?;
-            Ok(format!("UPDATED {n}"))
+            let update = service.update_edge_cost(u, v, c).map_err(|e| e.to_string())?;
+            Ok(format!("UPDATED {} EPOCH {}", update.updated, update.epoch))
         })()
         .unwrap_or_else(|e| format!("ERR {e}")),
-        Some("STATS") => {
-            let db = lock(db);
-            match db.metrics() {
-                Some(m) => format!("STATS {}", m.snapshot_json()),
-                None => "ERR no metrics registry attached".to_string(),
-            }
-        }
+        Some("EPOCH") => format!("EPOCH {}", service.epoch()),
+        Some("STATS") => match service.snapshot().db.metrics() {
+            Some(m) => format!("STATS {}", m.snapshot_json()),
+            None => "ERR no metrics registry attached".to_string(),
+        },
         Some("QUIT") => "BYE".to_string(),
         _ => "ERR unknown command".to_string(),
     }
 }
 
-fn serve(listener: TcpListener, db: Arc<Mutex<Database>>) {
+fn serve(listener: TcpListener, service: Arc<RouteService>) {
     for stream in listener.incoming() {
         let Ok(stream) = stream else { continue };
-        let db = db.clone();
-        std::thread::spawn(move || handle(stream, &db));
+        let service = service.clone();
+        std::thread::spawn(move || handle(stream, &service));
     }
 }
 
-fn handle(stream: TcpStream, db: &Mutex<Database>) {
+fn handle(stream: TcpStream, service: &RouteService) {
     let Ok(mut writer) = stream.try_clone() else { return };
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
-        let reply = respond(db, &line);
+        let reply = respond(service, &line);
         let done = reply == "BYE";
         if writeln!(writer, "{reply}").is_err() {
             break;
@@ -141,16 +144,23 @@ fn handle(stream: TcpStream, db: &Mutex<Database>) {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = Grid::new(12, CostModel::TWENTY_PERCENT, 3)?;
-    let db = Arc::new(Mutex::new(
-        Database::open(grid.graph())?.with_metrics(MetricsRegistry::shared()),
+    let registry = MetricsRegistry::shared();
+    // The planner configures the database (metrics here; budgets, join
+    // policy, … in general) and hands it to the serving layer.
+    let db = RoutePlanner::new(grid.graph())?.with_metrics(registry.clone()).into_database();
+    let service = Arc::new(RouteService::with_observability(
+        db,
+        ServeConfig::default().with_workers(4).with_queue_capacity(64).with_cache_capacity(256),
+        Some(registry),
+        None,
     ));
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("--serve") {
         let port: u16 = args.get(1).map(|p| p.parse()).transpose()?.unwrap_or(4750);
         let listener = TcpListener::bind(("127.0.0.1", port))?;
-        println!("ATIS route server on 127.0.0.1:{port} (12x12 grid map)");
-        serve(listener, db);
+        println!("ATIS route server on 127.0.0.1:{port} (12x12 grid map, 4 workers)");
+        serve(listener, service);
         return Ok(());
     }
 
@@ -158,8 +168,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let addr = listener.local_addr()?;
     {
-        let db = db.clone();
-        std::thread::spawn(move || serve(listener, db));
+        let service = service.clone();
+        std::thread::spawn(move || serve(listener, service));
     }
 
     let mut client = TcpStream::connect(addr)?;
@@ -172,8 +182,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(line.trim_end().to_string())
     };
 
+    assert_eq!(ask("EPOCH")?, "EPOCH 0");
+
     let first = ask("ROUTE 0 143")?;
     assert!(first.starts_with("COST "), "{first}");
+    assert!(first.contains(" EPOCH 0 "), "{first}");
     let via: Vec<u32> = first
         .split(" VIA ")
         .nth(1)
@@ -182,24 +195,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|t| t.parse().unwrap())
         .collect();
 
+    // The identical query again: answered from the route cache, and the
+    // reply must be byte-identical to the fresh computation.
+    let again = ask("ROUTE 0 143")?;
+    assert_eq!(first, again, "a cache hit must serve the identical answer");
+
     let eval = ask(&format!(
         "EVAL {}",
         via.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
     ))?;
     assert!(eval.starts_with("DIST "), "{eval}");
 
-    // Jam the first hop of the returned route and watch the route change.
+    // Jam the first hop of the returned route: a new epoch is installed
+    // and the jammed cache entry is invalidated, so the re-query computes
+    // fresh — and the route changes.
     let update = ask(&format!("UPDATE {} {} 50.0", via[0], via[1]))?;
     assert!(update.starts_with("UPDATED "), "{update}");
+    assert!(update.ends_with("EPOCH 1"), "{update}");
     let second = ask("ROUTE 0 143")?;
     assert!(second.starts_with("COST "), "{second}");
+    assert!(second.contains(" EPOCH 1 "), "{second}");
     assert_ne!(first, second, "the jammed route must change");
 
-    // The metrics registry has seen both ROUTE runs; the snapshot is one
-    // JSON line and is stable between requests that do no work.
+    // The metrics registry has seen both computed ROUTE runs (the cache
+    // hit ran no algorithm) plus the serving-layer and cache counters;
+    // the snapshot is one JSON line and is stable between requests that
+    // do no work.
     let stats = ask("STATS")?;
     assert!(stats.starts_with(r#"STATS {"counters":{"#), "{stats}");
     assert!(stats.contains(r#""runs_total":2"#), "{stats}");
+    assert!(stats.contains(r#""cache_hits_total":1"#), "{stats}");
+    assert!(stats.contains(r#""cache_misses_total":2"#), "{stats}");
+    assert!(stats.contains(r#""cache_invalidations_total":1"#), "{stats}");
+    assert!(stats.contains(r#""serve_requests_total":3"#), "{stats}");
     assert!(stats.contains(r#""iterations_per_run""#), "{stats}");
     let again = ask("STATS")?;
     assert_eq!(stats, again, "STATS must be deterministic when idle");
@@ -228,8 +256,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let after = ask("ROUTE 0 143")?;
     assert!(after.starts_with("COST "), "server must survive malformed input: {after}");
+    assert_eq!(after, second, "this is the cached epoch-1 answer");
 
     assert_eq!(ask("QUIT")?, "BYE");
-    println!("\nself-test passed: live update changed the planned route");
+    println!("\nself-test passed: pooled serving, cache hits, and live updates agree");
     Ok(())
 }

@@ -19,6 +19,9 @@
 //!   `OBSERVABILITY.md`).
 //! * [`core`] — the ATIS route-planning service: route computation,
 //!   evaluation and display.
+//! * [`serve`] — the concurrent query-serving layer: worker pool with
+//!   admission control, epoch snapshots for parallel reads under live
+//!   updates, and an invalidation-aware route cache (see `SERVING.md`).
 //!
 //! See `README.md` for a quickstart and `EXPERIMENTS.md` for the
 //! reproduction of every table and figure in the paper.
@@ -51,6 +54,7 @@ pub use atis_core as core;
 pub use atis_costmodel as costmodel;
 pub use atis_graph as graph;
 pub use atis_obs as obs;
+pub use atis_serve as serve;
 pub use atis_storage as storage;
 
 pub use atis_algorithms::{Algorithm, RunTrace};
@@ -70,5 +74,6 @@ pub mod prelude {
         RadialCity,
     };
     pub use atis_obs::{JsonlSink, MetricsRegistry, RingSink, TraceEvent, TraceSink};
+    pub use atis_serve::{RouteAnswer, RouteService, ServeConfig, ServeError};
     pub use atis_storage::{CostParams, IoStats, JoinPolicy};
 }

@@ -1,0 +1,134 @@
+//! The invalidation-aware route cache, observed end to end through the
+//! serving layer and the metrics registry (the counters the route
+//! server's `STATS` command exposes).
+
+use atis::algorithms::Database;
+use atis::obs::MetricsRegistry;
+use atis::serve::{RouteService, ServeConfig};
+use atis::{CostModel, Grid, QueryKind};
+
+fn observed_service(cache_capacity: usize) -> (RouteService, Grid, atis::obs::SharedRegistry) {
+    let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 21).unwrap();
+    let registry = MetricsRegistry::shared();
+    let db = Database::open(grid.graph()).unwrap().with_metrics(registry.clone());
+    let service = RouteService::with_observability(
+        db,
+        ServeConfig::default().with_workers(1).with_cache_capacity(cache_capacity),
+        Some(registry.clone()),
+        None,
+    );
+    (service, grid, registry)
+}
+
+#[test]
+fn hits_are_bit_identical_and_counted() {
+    let (service, grid, registry) = observed_service(64);
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+    let fresh = service.route(s, d).unwrap();
+    let hit = service.route(s, d).unwrap();
+    assert!(!fresh.cached && hit.cached);
+
+    let fresh_path = fresh.path.unwrap();
+    let hit_path = hit.path.unwrap();
+    assert_eq!(fresh_path.nodes, hit_path.nodes);
+    assert_eq!(fresh_path.cost.to_bits(), hit_path.cost.to_bits());
+    assert_eq!(fresh.iterations, hit.iterations);
+    assert_eq!(fresh.cost_units.to_bits(), hit.cost_units.to_bits());
+
+    assert_eq!(registry.counter("cache_hits_total"), 1);
+    assert_eq!(registry.counter("cache_misses_total"), 1);
+    assert_eq!(registry.counter("cache_invalidations_total"), 0);
+    // The cache hit ran no algorithm: exactly one database run happened.
+    assert_eq!(registry.counter("runs_total"), 1);
+}
+
+#[test]
+fn an_update_invalidates_exactly_the_affected_entries() {
+    let (service, grid, registry) = observed_service(64);
+    // Three disjoint-ish queries: one whose path will be jammed, two
+    // whose paths avoid the jammed corner entirely.
+    let jammed = (grid.node_at(0, 0), grid.node_at(0, 7));
+    let far_a = (grid.node_at(6, 0), grid.node_at(7, 7));
+    let far_b = (grid.node_at(7, 0), grid.node_at(5, 7));
+
+    let jammed_path = service.route(jammed.0, jammed.1).unwrap().path.unwrap();
+    service.route(far_a.0, far_a.1).unwrap();
+    service.route(far_b.0, far_b.1).unwrap();
+    assert_eq!(registry.counter("cache_misses_total"), 3);
+
+    // Jam the first hop of the first route at a cost far above any cached
+    // total: the on-path entry must drop, the far entries must survive
+    // into the new epoch without recomputation.
+    let (u, v) = jammed_path.hops().next().unwrap();
+    let update = service.update_edge_cost(u, v, 1000.0).unwrap();
+    assert_eq!(update.epoch, 1);
+    assert_eq!(registry.counter("cache_invalidations_total"), 1);
+    let stats = service.cache().stats();
+    assert_eq!(stats.promotions, 2);
+
+    // Survivors hit at the new epoch; the jammed query recomputes.
+    assert!(service.route(far_a.0, far_a.1).unwrap().cached);
+    assert!(service.route(far_b.0, far_b.1).unwrap().cached);
+    let recomputed = service.route(jammed.0, jammed.1).unwrap();
+    assert!(!recomputed.cached);
+    assert_ne!(recomputed.path.unwrap().nodes, jammed_path.nodes);
+
+    // A cheap update (below every cached total) sweeps everything.
+    let far_edge = (grid.node_at(3, 3), grid.node_at(3, 4));
+    service.update_edge_cost(far_edge.0, far_edge.1, 0.01).unwrap();
+    assert_eq!(service.cache().len(), 0);
+    assert_eq!(registry.counter("cache_invalidations_total"), 1 + 3);
+}
+
+#[test]
+fn promoted_entries_still_match_fresh_computation() {
+    let (service, grid, _registry) = observed_service(64);
+    let (s, d) = (grid.node_at(7, 0), grid.node_at(7, 7));
+    let cached = service.route(s, d).unwrap();
+    let cached_path = cached.path.unwrap();
+
+    // An irrelevant, expensive jam far from the bottom-row route.
+    let update = service
+        .update_edge_cost(grid.node_at(0, 0), grid.node_at(0, 1), 900.0)
+        .unwrap();
+    let hit = service.route(s, d).unwrap();
+    assert!(hit.cached, "the promoted entry must hit at epoch {}", update.epoch);
+    assert_eq!(hit.epoch, update.epoch);
+
+    // Oracle: recompute from scratch against the post-update graph.
+    let mut graph = grid.graph().clone();
+    graph.set_edge_cost(grid.node_at(0, 0), grid.node_at(0, 1), 900.0).unwrap();
+    let oracle = Database::open(&graph).unwrap();
+    let expected = oracle.run(service.algorithm(), s, d).unwrap().path.unwrap();
+    let hit_path = hit.path.unwrap();
+    assert_eq!(hit_path.nodes, expected.nodes);
+    assert_eq!(hit_path.cost.to_bits(), expected.cost.to_bits());
+    assert_eq!(hit_path.nodes, cached_path.nodes);
+}
+
+#[test]
+fn stats_snapshot_orders_cache_counters_deterministically() {
+    let (service, grid, registry) = observed_service(64);
+    let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+    service.route(s, d).unwrap();
+    service.route(s, d).unwrap();
+    let path = service.route(s, d).unwrap().path.unwrap();
+    let (u, v) = path.hops().next().unwrap();
+    service.update_edge_cost(u, v, 750.0).unwrap();
+
+    let snapshot = registry.snapshot_json();
+    // BTreeMap ordering: the three cache counters appear sorted, ahead of
+    // the i/o and serve counters.
+    let hits = snapshot.find(r#""cache_hits_total":"#).unwrap();
+    let invalidations = snapshot.find(r#""cache_invalidations_total":"#).unwrap();
+    let misses = snapshot.find(r#""cache_misses_total":"#).unwrap();
+    let serve = snapshot.find(r#""serve_requests_total":"#).unwrap();
+    assert!(hits < invalidations && invalidations < misses && misses < serve, "{snapshot}");
+    assert!(snapshot.contains(r#""cache_hits_total":2"#), "{snapshot}");
+    assert!(snapshot.contains(r#""cache_misses_total":1"#), "{snapshot}");
+    assert!(snapshot.contains(r#""cache_invalidations_total":1"#), "{snapshot}");
+
+    // Identical registry contents render identically, touch order aside.
+    assert_eq!(snapshot, registry.snapshot_json());
+}
