@@ -29,10 +29,13 @@ for doc in $docs; do
         fi
     done
 
-    # 2. Repo-style path mentions like `tests/observability.rs` in
-    #    backticks must resolve from the repo root (bare module names
-    #    such as `astar.rs` are prose shorthand and are not checked).
-    mentions=$(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_.-]*\.\(md\|rs\|sh\|toml\)`' "$doc" 2>/dev/null \
+    # 2. Repo-style path mentions like `tests/observability.rs` or
+    #    `.github/workflows/ci.yml` in backticks must resolve from the
+    #    repo root (bare module names such as `astar.rs` are prose
+    #    shorthand and are not checked). The extension list must cover
+    #    everything the docs reference — when it lags the docs (as it
+    #    once did for .yml and .json), stale references pass silently.
+    mentions=$(grep -o '`[A-Za-z0-9_./-]*/[A-Za-z0-9_.-]*\.\(md\|rs\|sh\|toml\|yml\|yaml\|json\)`' "$doc" 2>/dev/null \
         | tr -d '`' | sort -u) || true
     for m in $mentions; do
         if [ ! -e "$m" ] && [ ! -e "$dir/$m" ]; then
@@ -40,6 +43,30 @@ for doc in $docs; do
             fail=1
         fi
     done
+done
+
+# 3. Orphan check: every tracked top-level document must be reachable
+#    from the rest of the documentation set. A doc nothing links to or
+#    mentions is drift — either wire it in or delete it. (README.md is
+#    the root; CHANGES.md is the append-only session log.)
+for doc in $(git ls-files '*.md' | grep -v '/' ); do
+    case "$doc" in
+        # README is the root; CHANGES/ISSUE are the growth driver's
+        # session log and task file, not part of the documentation set.
+        README.md|CHANGES.md|ISSUE.md) continue ;;
+    esac
+    referenced=0
+    for other in $docs; do
+        [ "$other" = "$doc" ] && continue
+        if grep -q "$doc" "$other" 2>/dev/null; then
+            referenced=1
+            break
+        fi
+    done
+    if [ "$referenced" -eq 0 ]; then
+        echo "ORPHAN DOC: $doc is referenced by no other document"
+        fail=1
+    fi
 done
 
 if [ "$fail" -ne 0 ]; then

@@ -1,0 +1,231 @@
+#!/usr/bin/env sh
+# Benchmark-regression gate: diff freshly produced bench artifacts
+# against the baselines committed at HEAD and fail on regressions beyond
+# a per-metric tolerance. POSIX sh + awk only (no jq on the runners).
+#
+# Baselines come from `git show HEAD:<file>` — the bench runs overwrite
+# the working-tree files, so the committed copy *is* the baseline. A PR
+# that regresses performance can only go green by committing the worse
+# numbers as the new baseline, which puts the regression in the diff
+# where reviewers see it.
+#
+# Gated metrics:
+#   BENCH_serve.json       req_per_s per worker count — higher is
+#                          better; loose tolerance (default 15%) because
+#                          throughput on shared runners is noisy.
+#   BENCH_estimators.json  nodes_expanded and block_reads per
+#                          (network, algorithm) — lower is better; tight
+#                          tolerance (default 2%) because both counters
+#                          are deterministic. wall_ms and preprocess_ms
+#                          are recorded but never gated (wall clock is
+#                          machine-dependent).
+# A (network, algorithm) or workers key present in the baseline but
+# missing from the fresh artifact fails the gate: silently dropping a
+# bench configuration must not read as a pass.
+#
+# Usage:
+#   ci/compare-bench.sh                  # gate working-tree artifacts vs HEAD
+#   ci/compare-bench.sh --self-test      # prove the gate trips on an
+#                                        # injected >15% regression
+#   ci/compare-bench.sh --serve BASE FRESH        # gate one pair directly
+#   ci/compare-bench.sh --estimators BASE FRESH   # gate one pair directly
+set -eu
+
+SERVE_TOL=${SERVE_TOL:-0.15}
+EST_TOL=${EST_TOL:-0.02}
+
+# --- serve: req_per_s per workers config, higher is better -----------------
+compare_serve() {
+    base=$1 fresh=$2
+    awk -v tol="$SERVE_TOL" '
+        function num(key,    s) {
+            if (match($0, "\"" key "\":[0-9.]+")) {
+                s = substr($0, RSTART, RLENGTH)
+                sub("\"" key "\":", "", s)
+                return s + 0
+            }
+            return -1
+        }
+        # Split the configs array into one record per {...} chunk.
+        {
+            n = split($0, chunk, "{")
+            for (i = 1; i <= n; i++) {
+                if (chunk[i] !~ /"workers"/) continue
+                $0 = chunk[i]
+                w = num("workers"); r = num("req_per_s")
+                if (w < 0 || r < 0) continue
+                if (NR == FNR) base_rps[w] = r
+                else { fresh_rps[w] = r; seen[w] = 1 }
+            }
+        }
+        END {
+            fail = 0
+            for (w in base_rps) {
+                if (!(w in seen)) {
+                    printf "FAIL serve: workers=%s missing from fresh artifact\n", w
+                    fail = 1
+                    continue
+                }
+                floor = base_rps[w] * (1 - tol)
+                if (fresh_rps[w] < floor) {
+                    printf "FAIL serve: workers=%s req_per_s %.1f < %.1f (baseline %.1f, tol %.0f%%)\n", \
+                        w, fresh_rps[w], floor, base_rps[w], tol * 100
+                    fail = 1
+                } else {
+                    printf "ok   serve: workers=%s req_per_s %.1f (baseline %.1f)\n", \
+                        w, fresh_rps[w], base_rps[w]
+                }
+            }
+            exit fail
+        }
+    ' "$base" "$fresh"
+}
+
+# --- estimators: nodes_expanded / block_reads per record, lower is better --
+compare_estimators() {
+    base=$1 fresh=$2
+    awk -v tol="$EST_TOL" '
+        function str(key,    s) {
+            if (match($0, "\"" key "\":\"[^\"]*\"")) {
+                s = substr($0, RSTART, RLENGTH)
+                sub("\"" key "\":\"", "", s)
+                sub("\"$", "", s)
+                return s
+            }
+            return ""
+        }
+        function num(key,    s) {
+            if (match($0, "\"" key "\":[0-9.]+")) {
+                s = substr($0, RSTART, RLENGTH)
+                sub("\"" key "\":", "", s)
+                return s + 0
+            }
+            return -1
+        }
+        /"benchmark":"estimator_quality"/ {
+            key = str("network") "|" str("algorithm")
+            ne = num("nodes_expanded"); br = num("block_reads")
+            if (NR == FNR) { base_ne[key] = ne; base_br[key] = br }
+            else { fresh_ne[key] = ne; fresh_br[key] = br; seen[key] = 1 }
+        }
+        END {
+            fail = 0
+            for (k in base_ne) {
+                if (!(k in seen)) {
+                    printf "FAIL estimators: %s missing from fresh artifact\n", k
+                    fail = 1
+                    continue
+                }
+                bad = 0
+                if (fresh_ne[k] > base_ne[k] * (1 + tol)) {
+                    printf "FAIL estimators: %s nodes_expanded %d > baseline %d (tol %.0f%%)\n", \
+                        k, fresh_ne[k], base_ne[k], tol * 100
+                    bad = 1
+                }
+                if (fresh_br[k] > base_br[k] * (1 + tol)) {
+                    printf "FAIL estimators: %s block_reads %d > baseline %d (tol %.0f%%)\n", \
+                        k, fresh_br[k], base_br[k], tol * 100
+                    bad = 1
+                }
+                if (bad) fail = 1
+                else printf "ok   estimators: %s expanded %d (baseline %d), reads %d (baseline %d)\n", \
+                    k, fresh_ne[k], base_ne[k], fresh_br[k], base_br[k]
+            }
+            exit fail
+        }
+    ' "$base" "$fresh"
+}
+
+self_test() {
+    tmp=$(mktemp -d)
+    trap 'rm -rf "$tmp"' EXIT
+    status=0
+
+    cat > "$tmp/serve_base.json" <<'EOF'
+{"benchmark":"serve_throughput","configs":[{"workers":1,"req_per_s":200.00,"p50_ms":80.0},{"workers":4,"req_per_s":750.00,"p50_ms":18.0}]}
+EOF
+    cat > "$tmp/est_base.json" <<'EOF'
+{"benchmark":"estimator_quality","network":"grid30","algorithm":"A* (version 3)","nodes_expanded":1399,"block_reads":66678,"wall_ms":5.0}
+{"benchmark":"estimator_quality","network":"grid30","algorithm":"A* (version 4)","nodes_expanded":131,"block_reads":6294,"wall_ms":1.0}
+EOF
+
+    echo "self-test 1: identical artifacts must pass"
+    compare_serve "$tmp/serve_base.json" "$tmp/serve_base.json" || status=1
+    compare_estimators "$tmp/est_base.json" "$tmp/est_base.json" || status=1
+
+    echo "self-test 2: a 30% throughput regression must fail"
+    sed 's/"req_per_s":750.00/"req_per_s":525.00/' "$tmp/serve_base.json" \
+        > "$tmp/serve_bad.json"
+    if compare_serve "$tmp/serve_base.json" "$tmp/serve_bad.json"; then
+        echo "self-test FAILED: regressed serve artifact passed the gate"
+        status=1
+    fi
+
+    echo "self-test 3: a 30% nodes_expanded regression must fail"
+    sed 's/"nodes_expanded":131/"nodes_expanded":171/' "$tmp/est_base.json" \
+        > "$tmp/est_bad.json"
+    if compare_estimators "$tmp/est_base.json" "$tmp/est_bad.json"; then
+        echo "self-test FAILED: regressed estimator artifact passed the gate"
+        status=1
+    fi
+
+    echo "self-test 4: a dropped bench configuration must fail"
+    sed 's/,{"workers":4[^}]*}//' "$tmp/serve_base.json" > "$tmp/serve_missing.json"
+    if compare_serve "$tmp/serve_base.json" "$tmp/serve_missing.json"; then
+        echo "self-test FAILED: missing workers config passed the gate"
+        status=1
+    fi
+    grep -v '"A\* (version 4)"' "$tmp/est_base.json" > "$tmp/est_missing.json" || true
+    if compare_estimators "$tmp/est_base.json" "$tmp/est_missing.json"; then
+        echo "self-test FAILED: missing estimator record passed the gate"
+        status=1
+    fi
+
+    if [ "$status" -eq 0 ]; then
+        echo "compare-bench self-test OK"
+    else
+        echo "compare-bench self-test FAILED"
+    fi
+    return "$status"
+}
+
+case "${1:-}" in
+    --self-test)
+        self_test
+        ;;
+    --serve)
+        compare_serve "$2" "$3"
+        ;;
+    --estimators)
+        compare_estimators "$2" "$3"
+        ;;
+    "")
+        tmp=$(mktemp -d)
+        trap 'rm -rf "$tmp"' EXIT
+        status=0
+        for f in BENCH_serve.json BENCH_estimators.json; do
+            if ! git show "HEAD:$f" > "$tmp/$(basename "$f")" 2>/dev/null; then
+                echo "no committed baseline for $f — skipping (first run)"
+                continue
+            fi
+            if [ ! -f "$f" ]; then
+                echo "FAIL: $f was not produced by the bench run"
+                status=1
+                continue
+            fi
+            case "$f" in
+                BENCH_serve.json) compare_serve "$tmp/$f" "$f" || status=1 ;;
+                *) compare_estimators "$tmp/$f" "$f" || status=1 ;;
+            esac
+        done
+        if [ "$status" -ne 0 ]; then
+            echo "benchmark-regression gate FAILED"
+            exit 1
+        fi
+        echo "benchmark-regression gate OK"
+        ;;
+    *)
+        echo "usage: $0 [--self-test | --serve BASE FRESH | --estimators BASE FRESH]" >&2
+        exit 2
+        ;;
+esac

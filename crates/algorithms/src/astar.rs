@@ -30,10 +30,13 @@ use crate::observe::RunObserver;
 use crate::trace::RunTrace;
 use atis_graph::{NodeId, Path, Point};
 use atis_obs::IterationPhase;
-use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeStatus, NodeTuple, TempRelation, NO_PRED};
+use atis_storage::{
+    join_adjacency, IoStats, JoinStrategy, NodeStatus, NodeTuple, TempRelation, NO_PRED,
+};
 use std::time::Instant;
 
-/// The paper's three A\* implementation versions.
+/// The paper's three A\* implementation versions, plus this
+/// reproduction's landmark-based extension (version 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AStarVersion {
     /// Separate frontier relation + Euclidean estimator.
@@ -42,22 +45,32 @@ pub enum AStarVersion {
     V2,
     /// Status-attribute frontier + Manhattan estimator.
     V3,
+    /// Status-attribute frontier + landmark (ALT) estimator with a
+    /// Euclidean floor: `max(alt_bound(u), euclidean(u, d))`. Requires
+    /// landmark tables attached to the database
+    /// (`Database::with_landmarks`); a run without current tables fails
+    /// with `AlgorithmError::LandmarksUnavailable` rather than silently
+    /// degrading.
+    V4,
 }
 
 impl AStarVersion {
-    /// Row label used by the paper.
+    /// Row label used by the paper (v4 extends the numbering).
     pub fn label(&self) -> &'static str {
         match self {
             AStarVersion::V1 => "A* (version 1)",
             AStarVersion::V2 => "A* (version 2)",
             AStarVersion::V3 => "A* (version 3)",
+            AStarVersion::V4 => "A* (version 4)",
         }
     }
 
-    /// The estimator this version uses.
+    /// The geometric estimator this version uses. For version 4 this is
+    /// the Euclidean *floor*; the landmark bound is supplied per run by
+    /// the database's tables and maxed with it.
     pub fn estimator(&self) -> Estimator {
         match self {
-            AStarVersion::V1 | AStarVersion::V2 => Estimator::Euclidean,
+            AStarVersion::V1 | AStarVersion::V2 | AStarVersion::V4 => Estimator::Euclidean,
             AStarVersion::V3 => Estimator::Manhattan,
         }
     }
@@ -66,16 +79,48 @@ impl AStarVersion {
     pub fn frontier(&self) -> FrontierKind {
         match self {
             AStarVersion::V1 => FrontierKind::SeparateRelation,
-            AStarVersion::V2 | AStarVersion::V3 => FrontierKind::StatusAttribute,
+            AStarVersion::V2 | AStarVersion::V3 | AStarVersion::V4 => FrontierKind::StatusAttribute,
         }
     }
 
-    /// All three versions in paper order.
+    /// Whether this version needs landmark tables on the database.
+    pub fn needs_landmarks(&self) -> bool {
+        matches!(self, AStarVersion::V4)
+    }
+
+    /// The paper's three versions in paper order. Version 4 is excluded
+    /// on purpose: these are the versions every database can run without
+    /// preprocessing, and the figure-reproduction experiments iterate
+    /// this set against plain databases.
     pub const ALL: [AStarVersion; 3] = [AStarVersion::V1, AStarVersion::V2, AStarVersion::V3];
+
+    /// All versions including the landmark-based v4 (databases iterating
+    /// this set must have tables attached).
+    pub const ALL_WITH_LANDMARKS: [AStarVersion; 4] = [
+        AStarVersion::V1,
+        AStarVersion::V2,
+        AStarVersion::V3,
+        AStarVersion::V4,
+    ];
 }
 
-/// Runs one of the paper's A\* versions.
-pub fn run(db: &Database, s: NodeId, d: NodeId, version: AStarVersion) -> Result<RunTrace, AlgorithmError> {
+/// Runs one of the A\* versions.
+///
+/// # Errors
+/// Version 4 additionally fails with
+/// [`AlgorithmError::LandmarksUnavailable`] when the database has no
+/// landmark tables or the tables are stale for the current edge costs.
+pub fn run(
+    db: &Database,
+    s: NodeId,
+    d: NodeId,
+    version: AStarVersion,
+) -> Result<RunTrace, AlgorithmError> {
+    let alt = if version.needs_landmarks() {
+        Some(db.alt_bounds_for(d)?)
+    } else {
+        None
+    };
     match version.frontier() {
         FrontierKind::StatusAttribute => run_status_frontier(
             db,
@@ -85,6 +130,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId, version: AStarVersion) -> Result
                 label: version.label().to_string(),
                 estimator: version.estimator(),
                 reopen_closed: true,
+                alt,
             },
         ),
         FrontierKind::SeparateRelation => {
@@ -115,7 +161,12 @@ pub fn run_custom(
             db,
             s,
             d,
-            StatusFrontierConfig { label, estimator, reopen_closed: true },
+            StatusFrontierConfig {
+                label,
+                estimator,
+                reopen_closed: true,
+                alt: None,
+            },
         ),
         FrontierKind::SeparateRelation => run_relation_frontier(db, s, d, estimator, label),
     }
@@ -165,6 +216,7 @@ fn run_relation_frontier(
     frontier.append(s_id, &start_tuple, &mut io)?;
     // In-memory mirror of the frontier relation's live-tuple count.
     let mut frontier_size = 1u64;
+    let mut frontier_peak = frontier_size;
     observer.span(IterationPhase::Init, 0, None, frontier_size, None, &io);
 
     let mut iterations = 0u64;
@@ -195,8 +247,13 @@ fn run_relation_frontier(
         iterations += 1;
         order.push(NodeId(u));
 
-        let (adjacency, strategy) =
-            join_adjacency(&[(u as u16, ut)], db.edges(), db.join_policy(), db.params(), &mut io)?;
+        let (adjacency, strategy) = join_adjacency(
+            &[(u as u16, ut)],
+            db.edges(),
+            db.join_policy(),
+            db.params(),
+            &mut io,
+        )?;
         join_strategy = Some(strategy);
 
         for (_, e) in adjacency {
@@ -245,6 +302,7 @@ fn run_relation_frontier(
                 frontier_size += 1;
             }
         }
+        frontier_peak = frontier_peak.max(frontier_size);
         observer.span(
             IterationPhase::Search,
             iterations,
@@ -265,12 +323,21 @@ fn run_relation_frontier(
                 }
             }
         }
-        let cost = result.peek(d_id as u32)?.map(|t| t.path_cost as f64).unwrap_or(f64::INFINITY);
+        let cost = result
+            .peek(d_id as u32)?
+            .map(|t| t.path_cost as f64)
+            .unwrap_or(f64::INFINITY);
         Path::from_predecessors(s, d, cost, &pred)
     } else {
         None
     };
-    observer.finished(iterations, path.is_some(), frontier_size, &io, io.cost(db.params()));
+    observer.finished(
+        iterations,
+        path.is_some(),
+        frontier_size,
+        &io,
+        io.cost(db.params()),
+    );
 
     Ok(RunTrace {
         algorithm: label,
@@ -285,7 +352,11 @@ fn run_relation_frontier(
         // Coarse attribution: the relation-frontier variants report their
         // whole metered run as one bucket; the fine-grained breakdown
         // experiment uses the status-frontier engines.
-        steps: crate::trace::StepBreakdown { bookkeeping: io, ..Default::default() },
+        steps: crate::trace::StepBreakdown {
+            bookkeeping: io,
+            ..Default::default()
+        },
+        frontier_peak,
     })
 }
 
@@ -317,7 +388,11 @@ mod tests {
         // (edge costs >= 1 >= coordinate distance), so every version must
         // return the optimal cost.
         let (grid, db) = grid_db(8, CostModel::TWENTY_PERCENT, 21);
-        for kind in [QueryKind::Horizontal, QueryKind::SemiDiagonal, QueryKind::Diagonal] {
+        for kind in [
+            QueryKind::Horizontal,
+            QueryKind::SemiDiagonal,
+            QueryKind::Diagonal,
+        ] {
             let (s, d) = grid.query_pair(kind);
             let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
             for v in AStarVersion::ALL {
@@ -361,11 +436,19 @@ mod tests {
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
         let t = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
         // The corridor has 2(k-1) = 18 edges; expansions stay right there.
-        assert!(t.iterations <= 20, "{} iterations on the skewed corridor", t.iterations);
+        assert!(
+            t.iterations <= 20,
+            "{} iterations on the skewed corridor",
+            t.iterations
+        );
         // And the path it finds is the corridor itself.
         let p = t.path.unwrap();
         let corridor = 18.0 * atis_graph::cost_model::SKEWED_LOW_COST;
-        assert!((p.cost - corridor).abs() < 1e-3, "corridor cost {corridor}, got {}", p.cost);
+        assert!(
+            (p.cost - corridor).abs() < 1e-3,
+            "corridor cost {corridor}, got {}",
+            p.cost
+        );
     }
 
     #[test]
@@ -418,6 +501,78 @@ mod tests {
             let t = db.run(Algorithm::AStar(v), NodeId(0), NodeId(2)).unwrap();
             assert!(t.path.is_none(), "{} should not find a path", v.label());
         }
+    }
+
+    #[test]
+    fn v4_finds_optimal_paths_and_never_expands_more_than_v3() {
+        use atis_preprocess::{LandmarkTables, PreprocessConfig};
+        let (grid, db) = grid_db(10, CostModel::TWENTY_PERCENT, 7);
+        let tables = LandmarkTables::build(grid.graph(), PreprocessConfig::grid_default()).unwrap();
+        let db = db.with_landmarks(tables);
+        for kind in [
+            QueryKind::Horizontal,
+            QueryKind::SemiDiagonal,
+            QueryKind::Diagonal,
+        ] {
+            let (s, d) = grid.query_pair(kind);
+            let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
+            let t4 = db.run(Algorithm::AStar(AStarVersion::V4), s, d).unwrap();
+            assert!(
+                (t4.path_cost() - oracle.cost).abs() < 1e-3,
+                "v4 got {} vs optimal {} on {kind:?}",
+                t4.path_cost(),
+                oracle.cost
+            );
+            t4.path.unwrap().validate(grid.graph()).unwrap();
+            let t3 = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
+            assert!(
+                t4.iterations <= t3.iterations,
+                "v4 expanded {} > v3 {} on {kind:?}",
+                t4.iterations,
+                t3.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn v4_without_tables_fails_with_a_typed_error() {
+        use crate::error::LandmarkIssue;
+        let (grid, db) = grid_db(5, CostModel::Uniform, 0);
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        assert!(matches!(
+            db.run(Algorithm::AStar(AStarVersion::V4), s, d),
+            Err(AlgorithmError::LandmarksUnavailable(LandmarkIssue::Missing))
+        ));
+    }
+
+    #[test]
+    fn cost_update_makes_v4_tables_stale() {
+        use crate::error::LandmarkIssue;
+        use atis_preprocess::{LandmarkTables, PreprocessConfig};
+        let (grid, db) = grid_db(6, CostModel::TWENTY_PERCENT, 2);
+        let tables = LandmarkTables::build(grid.graph(), PreprocessConfig::grid_default()).unwrap();
+        let mut db = db.with_landmarks(tables);
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        assert!(db.run(Algorithm::AStar(AStarVersion::V4), s, d).is_ok());
+        // Live traffic update: v4 must refuse its now-stale tables; v3
+        // (no preprocessing dependency) keeps answering.
+        db.update_edge_cost(grid.node_at(1, 1), grid.node_at(1, 2), 0.5)
+            .unwrap();
+        assert!(matches!(
+            db.run(Algorithm::AStar(AStarVersion::V4), s, d),
+            Err(AlgorithmError::LandmarksUnavailable(LandmarkIssue::Stale))
+        ));
+        assert!(db.run(Algorithm::AStar(AStarVersion::V3), s, d).is_ok());
+        // Rebuilding for the new costs restores v4.
+        let fresh = db.landmarks().unwrap().rebuild_for(db.graph()).unwrap();
+        let db = db.with_landmarks(fresh);
+        let t = db.run(Algorithm::AStar(AStarVersion::V4), s, d).unwrap();
+        let oracle = memory::dijkstra_pair(grid.graph(), s, d);
+        // Note: oracle runs on the *original* grid; recompute on db's graph.
+        let oracle = oracle
+            .map(|_| ())
+            .and(memory::dijkstra_pair(db.graph(), s, d));
+        assert!((t.path_cost() - oracle.unwrap().cost).abs() < 1e-3);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::observe::RunObserver;
 use crate::trace::{RunTrace, StepBreakdown};
 use atis_graph::{NodeId, Path, Point};
 use atis_obs::IterationPhase;
+use atis_preprocess::DestBounds;
 use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus};
 use std::time::Instant;
 
@@ -26,6 +27,12 @@ pub(crate) struct StatusFrontierConfig {
     /// Whether an improved closed node re-enters the frontier (Figure 3
     /// semantics; `false` reproduces Figure 2's Dijkstra).
     pub reopen_closed: bool,
+    /// Landmark (ALT) lower bounds resolved against the destination. When
+    /// present, the selection score uses
+    /// `max(estimator(u, d), alt.bound(u))` — both are admissible lower
+    /// bounds, so their max is too, and it is never looser than either
+    /// alone (A\* version 4).
+    pub alt: Option<DestBounds>,
 }
 
 /// Runs best-first search with the frontier encoded in `R.status`.
@@ -44,7 +51,12 @@ pub(crate) fn run_status_frontier(
     let d_id = d.0 as u16;
 
     // C1 + C2 + C3: create R, bulk-load all nodes, build the ISAM index.
-    let mut r = NodeRelation::load(db.graph(), db.edges().block_count(), db.params().isam_levels, &mut io)?;
+    let mut r = NodeRelation::load(
+        db.graph(),
+        db.edges().block_count(),
+        db.params().isam_levels,
+        &mut io,
+    )?;
     if let Some(pool) = db.buffer() {
         r.attach_buffer(pool);
     }
@@ -66,6 +78,7 @@ pub(crate) fn run_status_frontier(
     // In-memory frontier cardinality: kept incrementally so emitting it
     // costs no storage work (IoStats stays bit-identical under tracing).
     let mut frontier_size = 1u64;
+    let mut frontier_peak = frontier_size;
     observer.span(IterationPhase::Init, 0, None, frontier_size, None, &io);
 
     let mut iterations = 0u64;
@@ -79,8 +92,12 @@ pub(crate) fn run_status_frontier(
         // Select u from frontierSet with minimum C(s,u) [+ f(u,d)] — a
         // scan of R.
         let mark = io;
-        let selected = r.select_min_open(&mut io, |_, t| {
-            t.path_cost as f64 + cfg.estimator.evaluate_f32(t.x, t.y, dest)
+        let selected = r.select_min_open(&mut io, |key, t| {
+            let mut h = cfg.estimator.evaluate_f32(t.x, t.y, dest);
+            if let Some(alt) = &cfg.alt {
+                h = h.max(alt.bound(NodeId(u32::from(key))));
+            }
+            t.path_cost as f64 + h
         })?;
         steps.select += io.since(&mark);
         let Some((u, ut)) = selected else {
@@ -101,8 +118,13 @@ pub(crate) fn run_status_frontier(
 
         // Fetch u.adjacencyList via the join against S.
         let mark = io;
-        let (adjacency, strategy) =
-            join_adjacency(&[(u, ut)], db.edges(), db.join_policy(), db.params(), &mut io)?;
+        let (adjacency, strategy) = join_adjacency(
+            &[(u, ut)],
+            db.edges(),
+            db.join_policy(),
+            db.params(),
+            &mut io,
+        )?;
         steps.join += io.since(&mark);
         join_strategy = Some(strategy);
 
@@ -137,6 +159,7 @@ pub(crate) fn run_status_frontier(
                 frontier_size += 1;
             }
         }
+        frontier_peak = frontier_peak.max(frontier_size);
         steps.update += io.since(&mark);
         observer.span(
             IterationPhase::Search,
@@ -156,7 +179,13 @@ pub(crate) fn run_status_frontier(
     } else {
         None
     };
-    observer.finished(iterations, path.is_some(), frontier_size, &io, io.cost(db.params()));
+    observer.finished(
+        iterations,
+        path.is_some(),
+        frontier_size,
+        &io,
+        io.cost(db.params()),
+    );
 
     Ok(RunTrace {
         algorithm: cfg.label,
@@ -169,5 +198,6 @@ pub(crate) fn run_status_frontier(
         wall: wall_start.elapsed(),
         expansion_order: order,
         steps,
+        frontier_peak,
     })
 }

@@ -80,8 +80,14 @@ pub fn bidirectional_dijkstra(graph: &Graph, s: NodeId, d: NodeId) -> Bidirectio
     let mut heap_b = BinaryHeap::new();
     dist_f[s.index()] = 0.0;
     dist_b[d.index()] = 0.0;
-    heap_f.push(Entry { score: 0.0, node: s });
-    heap_b.push(Entry { score: 0.0, node: d });
+    heap_f.push(Entry {
+        score: 0.0,
+        node: s,
+    });
+    heap_b.push(Entry {
+        score: 0.0,
+        node: d,
+    });
 
     let mut best = f64::INFINITY;
     let mut meet: Option<NodeId> = None;
@@ -107,7 +113,10 @@ pub fn bidirectional_dijkstra(graph: &Graph, s: NodeId, d: NodeId) -> Bidirectio
                 if nd < dist_f[e.to.index()] {
                     dist_f[e.to.index()] = nd;
                     pred_f[e.to.index()] = Some(node);
-                    heap_f.push(Entry { score: nd, node: e.to });
+                    heap_f.push(Entry {
+                        score: nd,
+                        node: e.to,
+                    });
                 }
                 let through = dist_f[node.index()] + e.cost + dist_b[e.to.index()];
                 if through < best {
@@ -133,7 +142,10 @@ pub fn bidirectional_dijkstra(graph: &Graph, s: NodeId, d: NodeId) -> Bidirectio
                 if nd < dist_b[e.to.index()] {
                     dist_b[e.to.index()] = nd;
                     succ_b[e.to.index()] = Some(node);
-                    heap_b.push(Entry { score: nd, node: e.to });
+                    heap_b.push(Entry {
+                        score: nd,
+                        node: e.to,
+                    });
                 }
                 let through = dist_b[node.index()] + e.cost + dist_f[e.to.index()];
                 if through < best {
@@ -163,10 +175,17 @@ pub fn bidirectional_dijkstra(graph: &Graph, s: NodeId, d: NodeId) -> Bidirectio
             cur = succ_b[cur.index()].expect("meeting point is backward-reachable");
             forward.push(cur);
         }
-        Path { nodes: forward, cost: best }
+        Path {
+            nodes: forward,
+            cost: best,
+        }
     });
 
-    BidirectionalResult { path, forward_expansions: exp_f, backward_expansions: exp_b }
+    BidirectionalResult {
+        path,
+        forward_expansions: exp_f,
+        backward_expansions: exp_b,
+    }
 }
 
 #[cfg(test)]
@@ -180,7 +199,11 @@ mod tests {
     fn matches_dijkstra_on_grids() {
         for seed in [1u64, 7, 1993] {
             let grid = Grid::new(10, CostModel::TWENTY_PERCENT, seed).unwrap();
-            for kind in [QueryKind::Horizontal, QueryKind::Diagonal, QueryKind::Random] {
+            for kind in [
+                QueryKind::Horizontal,
+                QueryKind::Diagonal,
+                QueryKind::Random,
+            ] {
                 let (s, d) = grid.query_pair(kind);
                 let uni = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
                 let bi = bidirectional_dijkstra(grid.graph(), s, d);

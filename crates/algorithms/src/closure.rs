@@ -32,7 +32,11 @@ impl BitMatrix {
     /// An `n × n` matrix of zeros.
     pub fn new(n: usize) -> BitMatrix {
         let words_per_row = n.div_ceil(64);
-        BitMatrix { n, words_per_row, bits: vec![0; words_per_row * n] }
+        BitMatrix {
+            n,
+            words_per_row,
+            bits: vec![0; words_per_row * n],
+        }
     }
 
     /// Builds the adjacency matrix of a graph (no self-loops added).
@@ -126,7 +130,10 @@ pub fn logarithmic_closure(graph: &Graph) -> BitMatrix {
     // entries from the off-diagonal structure.
     let mut out = m.clone();
     for i in 0..n {
-        let self_loop = graph.neighbors(NodeId(i as u32)).iter().any(|e| e.to.index() == i)
+        let self_loop = graph
+            .neighbors(NodeId(i as u32))
+            .iter()
+            .any(|e| e.to.index() == i)
             || (0..n).any(|k| k != i && m.get(i, k) && m.get(k, i));
         if !self_loop {
             out.bits[i * out.words_per_row + i / 64] &= !(1u64 << (i % 64));
@@ -250,7 +257,12 @@ impl IntervalClosure {
             intervals[c] = merged;
         }
 
-        IntervalClosure { comp, postorder, intervals, cyclic }
+        IntervalClosure {
+            comp,
+            postorder,
+            intervals,
+            cyclic,
+        }
     }
 
     /// Whether a path of at least one edge leads from `u` to `v`.
@@ -318,7 +330,10 @@ fn strongly_connected_components(graph: &Graph) -> (Vec<u32>, usize) {
         if index[start as usize] != u32::MAX {
             continue;
         }
-        let mut call: Vec<Frame> = vec![Frame { node: start, edge: 0 }];
+        let mut call: Vec<Frame> = vec![Frame {
+            node: start,
+            edge: 0,
+        }];
         index[start as usize] = next_index;
         lowlink[start as usize] = next_index;
         next_index += 1;
@@ -472,7 +487,13 @@ mod tests {
     fn warren_agrees_with_dfs_row_by_row() {
         let g = graph_from_arcs(
             6,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 0, 1.0), (3, 4, 1.0), (1, 3, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (1, 2, 1.0),
+                (2, 0, 1.0),
+                (3, 4, 1.0),
+                (1, 3, 1.0),
+            ],
         )
         .unwrap();
         let c = warren_closure(&g);
@@ -497,10 +518,20 @@ mod tests {
         // A DAG with cross edges between spanning subtrees.
         let dag = graph_from_arcs(
             6,
-            &[(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0), (4, 2, 1.0), (3, 5, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 3, 1.0),
+                (2, 3, 1.0),
+                (4, 2, 1.0),
+                (3, 5, 1.0),
+            ],
         )
         .unwrap();
-        assert_eq!(warren_closure(&dag), IntervalClosure::build(&dag).to_matrix(6));
+        assert_eq!(
+            warren_closure(&dag),
+            IntervalClosure::build(&dag).to_matrix(6)
+        );
     }
 
     #[test]
@@ -533,7 +564,11 @@ mod tests {
             (0..n - 1).map(|i| (i as u32, i as u32 + 1, 1.0)).collect();
         let g = graph_from_arcs(n, &arcs).unwrap();
         let ic = IntervalClosure::build(&g);
-        assert_eq!(ic.stored_intervals(), n, "chain compresses to one interval per node");
+        assert_eq!(
+            ic.stored_intervals(),
+            n,
+            "chain compresses to one interval per node"
+        );
         assert_eq!(warren_closure(&g), ic.to_matrix(n));
     }
 

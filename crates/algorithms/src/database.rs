@@ -3,12 +3,13 @@
 
 use crate::astar::{self, AStarVersion};
 use crate::dijkstra;
-use crate::error::{AlgorithmError, BudgetKind};
+use crate::error::{AlgorithmError, BudgetKind, LandmarkIssue};
 use crate::estimator::Estimator;
 use crate::iterative;
 use crate::trace::RunTrace;
 use atis_graph::{Graph, NodeId};
 use atis_obs::{SharedRegistry, SharedSink, TraceEvent};
+use atis_preprocess::{DestBounds, LandmarkTables};
 use atis_storage::{
     BufferPool, CostParams, EdgeRelation, FaultPlan, IoStats, JoinPolicy, SharedBuffer,
     SharedFaults,
@@ -35,7 +36,11 @@ pub struct Budgets {
 impl Budgets {
     /// No limits (the default).
     pub const fn unlimited() -> Self {
-        Budgets { max_iterations: None, max_cost_units: None, deadline: None }
+        Budgets {
+            max_iterations: None,
+            max_cost_units: None,
+            deadline: None,
+        }
     }
 
     /// Caps main-loop iterations.
@@ -131,8 +136,11 @@ pub enum Algorithm {
 impl Algorithm {
     /// The three algorithms as the paper's tables list them
     /// (Iterative / A\* (version 3) / Dijkstra).
-    pub const TABLE: [Algorithm; 3] =
-        [Algorithm::Iterative, Algorithm::AStar(AStarVersion::V3), Algorithm::Dijkstra];
+    pub const TABLE: [Algorithm; 3] = [
+        Algorithm::Iterative,
+        Algorithm::AStar(AStarVersion::V3),
+        Algorithm::Dijkstra,
+    ];
 
     /// Row label used by the paper's tables.
     pub fn label(&self) -> String {
@@ -140,7 +148,10 @@ impl Algorithm {
             Algorithm::Iterative => "Iterative".to_string(),
             Algorithm::Dijkstra => "Dijkstra".to_string(),
             Algorithm::AStar(v) => v.label().to_string(),
-            Algorithm::Custom { frontier, estimator } => {
+            Algorithm::Custom {
+                frontier,
+                estimator,
+            } => {
                 let f = match frontier {
                     FrontierKind::StatusAttribute => "status",
                     FrontierKind::SeparateRelation => "relation",
@@ -166,6 +177,7 @@ pub struct Database {
     faults: Option<SharedFaults>,
     sink: Option<SharedSink>,
     metrics: Option<SharedRegistry>,
+    landmarks: Option<LandmarkTables>,
 }
 
 impl std::fmt::Debug for Database {
@@ -181,6 +193,7 @@ impl std::fmt::Debug for Database {
             .field("faults", &self.faults)
             .field("sink", &self.sink.as_ref().map(|_| "TraceSink"))
             .field("metrics", &self.metrics)
+            .field("landmarks", &self.landmarks)
             .finish()
     }
 }
@@ -205,7 +218,41 @@ impl Database {
             faults: None,
             sink: None,
             metrics: None,
+            landmarks: None,
         })
+    }
+
+    /// Attaches landmark (ALT) distance tables, enabling A\* version 4.
+    /// Tables are an epoch artifact: they are valid for the edge costs
+    /// they were built from, and every v4 run re-checks their fingerprint
+    /// against the resident graph, so a cost update through
+    /// [`Database::update_edge_cost`] makes subsequent v4 runs fail with
+    /// [`AlgorithmError::LandmarksUnavailable`] until fresh (or patched)
+    /// tables are attached.
+    pub fn with_landmarks(mut self, tables: LandmarkTables) -> Self {
+        self.landmarks = Some(tables);
+        self
+    }
+
+    /// The attached landmark tables, if any.
+    pub fn landmarks(&self) -> Option<&LandmarkTables> {
+        self.landmarks.as_ref()
+    }
+
+    /// Resolves the landmark tables against destination `d` for one v4
+    /// run.
+    ///
+    /// # Errors
+    /// [`AlgorithmError::LandmarksUnavailable`] when tables are missing
+    /// or their fingerprint does not match the current edge costs.
+    pub(crate) fn alt_bounds_for(&self, d: NodeId) -> Result<DestBounds, AlgorithmError> {
+        let Some(tables) = &self.landmarks else {
+            return Err(AlgorithmError::LandmarksUnavailable(LandmarkIssue::Missing));
+        };
+        if !tables.is_current_for(&self.graph) {
+            return Err(AlgorithmError::LandmarksUnavailable(LandmarkIssue::Stale));
+        }
+        Ok(tables.bounds_to(d))
     }
 
     /// Attaches a trace sink: every subsequent run emits `RunStarted`,
@@ -281,7 +328,11 @@ impl Database {
     /// Starts budget enforcement for one run; algorithms call
     /// [`BudgetMeter::check`] once per main-loop iteration.
     pub(crate) fn budget_meter(&self) -> BudgetMeter {
-        BudgetMeter { budgets: self.budgets, params: self.params, started: Instant::now() }
+        BudgetMeter {
+            budgets: self.budgets,
+            params: self.params,
+            started: Instant::now(),
+        }
     }
 
     /// Arms deterministic fault injection: every physical storage
@@ -340,7 +391,9 @@ impl Database {
         }
         let n = self.graph.set_edge_cost(u, v, cost)?;
         let mut io = IoStats::new();
-        let m = self.edges.update_cost(u.0 as u16, v.0 as u16, cost, &mut io)?;
+        let m = self
+            .edges
+            .update_cost(u.0 as u16, v.0 as u16, cost, &mut io)?;
         debug_assert_eq!(n, m, "graph and S must stay in sync");
         Ok(n)
     }
@@ -378,8 +431,8 @@ impl Database {
                 2 => atis_graph::RoadClass::Freeway,
                 _ => atis_graph::RoadClass::Street,
             };
-            let speed = class.free_flow_speed()
-                * (1.0 - 0.8 * f64::from(tuple.occupancy).clamp(0.0, 1.0));
+            let speed =
+                class.free_flow_speed() * (1.0 - 0.8 * f64::from(tuple.occupancy).clamp(0.0, 1.0));
             travel_time += tuple.cost / speed;
         }
         Ok((distance, travel_time, io))
@@ -415,9 +468,10 @@ impl Database {
             Algorithm::Iterative => iterative::run(self, s, d),
             Algorithm::Dijkstra => dijkstra::run(self, s, d),
             Algorithm::AStar(v) => astar::run(self, s, d, v),
-            Algorithm::Custom { frontier, estimator } => {
-                astar::run_custom(self, s, d, frontier, estimator)
-            }
+            Algorithm::Custom {
+                frontier,
+                estimator,
+            } => astar::run_custom(self, s, d, frontier, estimator),
         };
         let faults_fired = self.drain_faults(&algorithm.label(), fault_mark);
         self.update_metrics(&result, buffer_mark, faults_fired);
@@ -433,7 +487,10 @@ impl Database {
         let fired = &state.log[mark.min(state.log.len())..];
         if let Some(sink) = &self.sink {
             for fault in fired {
-                sink.record(&TraceEvent::Fault { algorithm: label.to_string(), fault: *fault });
+                sink.record(&TraceEvent::Fault {
+                    algorithm: label.to_string(),
+                    fault: *fault,
+                });
             }
         }
         fired.len() as u64
@@ -530,7 +587,10 @@ mod tests {
         use atis_graph::Path;
         let g = graph_from_arcs(3, &[(0, 1, 1.0)]).unwrap();
         let db = Database::open(&g).unwrap();
-        let bogus = Path { nodes: vec![NodeId(0), NodeId(2)], cost: 1.0 };
+        let bogus = Path {
+            nodes: vec![NodeId(0), NodeId(2)],
+            cost: 1.0,
+        };
         assert!(db.evaluate_route(&bogus).is_err());
     }
 

@@ -29,6 +29,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
             label: "Dijkstra".to_string(),
             estimator: Estimator::Zero,
             reopen_closed: false,
+            alt: None,
         },
     )
 }
@@ -55,7 +56,11 @@ mod tests {
     fn matches_oracle_on_variance_grid() {
         let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 11).unwrap();
         let db = Database::open(grid.graph()).unwrap();
-        for kind in [QueryKind::Horizontal, QueryKind::Diagonal, QueryKind::Random] {
+        for kind in [
+            QueryKind::Horizontal,
+            QueryKind::Diagonal,
+            QueryKind::Random,
+        ] {
             let (s, d) = grid.query_pair(kind);
             let t = db.run(Algorithm::Dijkstra, s, d).unwrap();
             let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();

@@ -55,8 +55,11 @@ impl DuplicatePolicy {
     }
 
     /// All three policies in the paper's order.
-    pub const ALL: [DuplicatePolicy; 3] =
-        [DuplicatePolicy::Avoid, DuplicatePolicy::Eliminate, DuplicatePolicy::Allow];
+    pub const ALL: [DuplicatePolicy; 3] = [
+        DuplicatePolicy::Avoid,
+        DuplicatePolicy::Eliminate,
+        DuplicatePolicy::Allow,
+    ];
 }
 
 /// Runs relation-frontier A\* under the given duplicate policy.
@@ -114,9 +117,9 @@ pub fn run_with_duplicate_policy(
     };
     result.append(s_id, &start_tuple, &mut io)?;
     frontier.append(s_id, &start_tuple, &mut io)?;
+    let mut frontier_peak = frontier.len() as u64;
 
-    let score =
-        |t: &NodeTuple| t.path_cost as f64 + estimator.evaluate_f32(t.x, t.y, dest);
+    let score = |t: &NodeTuple| t.path_cost as f64 + estimator.evaluate_f32(t.x, t.y, dest);
 
     let mut iterations = 0u64;
     let mut redundant = 0u64;
@@ -149,9 +152,17 @@ pub fn run_with_duplicate_policy(
 
         // Expand with the node's *best* known cost (the result relation's,
         // which a fresher duplicate may have improved past this entry).
-        let ut = NodeTuple { status: NodeStatus::Current, ..current };
-        let (adjacency, strategy) =
-            join_adjacency(&[(u as u16, ut)], db.edges(), db.join_policy(), db.params(), &mut io)?;
+        let ut = NodeTuple {
+            status: NodeStatus::Current,
+            ..current
+        };
+        let (adjacency, strategy) = join_adjacency(
+            &[(u as u16, ut)],
+            db.edges(),
+            db.join_policy(),
+            db.params(),
+            &mut io,
+        )?;
         join_strategy = Some(strategy);
 
         for (_, e) in adjacency {
@@ -188,6 +199,9 @@ pub fn run_with_duplicate_policy(
             }
         }
 
+        // Peak is read before elimination: the scan that just happened saw
+        // the duplicated frontier at this size.
+        frontier_peak = frontier_peak.max(frontier.len() as u64);
         if policy == DuplicatePolicy::Eliminate {
             frontier.eliminate_duplicates(&mut io, |_, t| score(t))?;
         }
@@ -203,7 +217,10 @@ pub fn run_with_duplicate_policy(
                 }
             }
         }
-        let cost = result.peek(d_id as u32)?.map(|t| t.path_cost as f64).unwrap_or(f64::INFINITY);
+        let cost = result
+            .peek(d_id as u32)?
+            .map(|t| t.path_cost as f64)
+            .unwrap_or(f64::INFINITY);
         Path::from_predecessors(s, d, cost, &pred)
     } else {
         None
@@ -222,7 +239,11 @@ pub fn run_with_duplicate_policy(
         // Coarse attribution: the relation-frontier variants report their
         // whole metered run as one bucket; the fine-grained breakdown
         // experiment uses the status-frontier engines.
-        steps: crate::trace::StepBreakdown { bookkeeping: io, ..Default::default() },
+        steps: crate::trace::StepBreakdown {
+            bookkeeping: io,
+            ..Default::default()
+        },
+        frontier_peak,
     })
 }
 
@@ -284,14 +305,9 @@ mod tests {
         let avoid =
             run_with_duplicate_policy(&db, s, d, Estimator::Manhattan, DuplicatePolicy::Avoid)
                 .unwrap();
-        let elim = run_with_duplicate_policy(
-            &db,
-            s,
-            d,
-            Estimator::Manhattan,
-            DuplicatePolicy::Eliminate,
-        )
-        .unwrap();
+        let elim =
+            run_with_duplicate_policy(&db, s, d, Estimator::Manhattan, DuplicatePolicy::Eliminate)
+                .unwrap();
         // Sweeping duplicates keeps selections near the avoidance count.
         assert!(elim.iterations <= avoid.iterations + avoid.iterations / 4 + 2);
     }

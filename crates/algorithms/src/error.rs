@@ -25,6 +25,27 @@ impl fmt::Display for BudgetKind {
     }
 }
 
+/// Why the landmark (ALT) tables cannot serve a run (see
+/// `Database::with_landmarks`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkIssue {
+    /// No landmark tables are attached to the database.
+    Missing,
+    /// The attached tables were built for different edge costs (their
+    /// fingerprint no longer matches the graph), so their bounds may
+    /// overestimate and break admissibility.
+    Stale,
+}
+
+impl fmt::Display for LandmarkIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LandmarkIssue::Missing => write!(f, "no landmark tables attached"),
+            LandmarkIssue::Stale => write!(f, "landmark tables are stale for the current costs"),
+        }
+    }
+}
+
 /// Errors raised while running a path-computation algorithm.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AlgorithmError {
@@ -38,6 +59,10 @@ pub enum AlgorithmError {
     UnknownDestination(NodeId),
     /// A search budget was exhausted before the run completed.
     BudgetExceeded(BudgetKind),
+    /// A\* version 4 was requested but the landmark tables are missing or
+    /// stale. Not transient — the tables must be (re)built; the resilient
+    /// planner reacts by degrading to version 3.
+    LandmarksUnavailable(LandmarkIssue),
 }
 
 impl AlgorithmError {
@@ -57,6 +82,9 @@ impl fmt::Display for AlgorithmError {
             AlgorithmError::UnknownSource(n) => write!(f, "unknown source node {n}"),
             AlgorithmError::UnknownDestination(n) => write!(f, "unknown destination node {n}"),
             AlgorithmError::BudgetExceeded(k) => write!(f, "{k} budget exceeded"),
+            AlgorithmError::LandmarksUnavailable(issue) => {
+                write!(f, "landmark estimator unavailable: {issue}")
+            }
         }
     }
 }

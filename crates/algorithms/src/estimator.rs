@@ -71,7 +71,10 @@ mod tests {
 
     #[test]
     fn zero_is_zero() {
-        assert_eq!(Estimator::Zero.evaluate(Point::new(0.0, 0.0), Point::new(5.0, 5.0)), 0.0);
+        assert_eq!(
+            Estimator::Zero.evaluate(Point::new(0.0, 0.0), Point::new(5.0, 5.0)),
+            0.0
+        );
     }
 
     #[test]
@@ -85,9 +88,7 @@ mod tests {
     fn manhattan_dominates_euclidean() {
         let a = Point::new(0.0, 0.0);
         let b = Point::new(3.0, 4.0);
-        assert!(
-            Estimator::Manhattan.evaluate(a, b) >= Estimator::Euclidean.evaluate(a, b)
-        );
+        assert!(Estimator::Manhattan.evaluate(a, b) >= Estimator::Euclidean.evaluate(a, b));
     }
 
     #[test]

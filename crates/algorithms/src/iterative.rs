@@ -36,8 +36,12 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     let d_id = d.0 as u16;
 
     // C1 + C2 + C3.
-    let mut r =
-        NodeRelation::load(db.graph(), db.edges().block_count(), db.params().isam_levels, &mut io)?;
+    let mut r = NodeRelation::load(
+        db.graph(),
+        db.edges().block_count(),
+        db.params().isam_levels,
+        &mut io,
+    )?;
     if let Some(pool) = db.buffer() {
         r.attach_buffer(pool);
     }
@@ -53,7 +57,15 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     })?;
     let mut current_count = r.count_status(NodeStatus::Current, &mut io)?;
     steps.init = io;
-    observer.span(IterationPhase::Init, 0, None, current_count as u64, None, &io);
+    let mut frontier_peak = current_count as u64;
+    observer.span(
+        IterationPhase::Init,
+        0,
+        None,
+        current_count as u64,
+        None,
+        &io,
+    );
 
     let mut iterations = 0u64;
     let mut expanded = 0u64;
@@ -80,8 +92,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
         join_strategy = Some(strategy);
 
         // Best candidate per neighbour across all current nodes.
-        let cost_of: HashMap<u16, f32> =
-            current.iter().map(|(id, t)| (*id, t.path_cost)).collect();
+        let cost_of: HashMap<u16, f32> = current.iter().map(|(id, t)| (*id, t.path_cost)).collect();
         let mut candidates: HashMap<u16, (f32, u16)> = HashMap::new();
         for (from, e) in &joined {
             let nc = cost_of[from] + e.cost as f32;
@@ -126,6 +137,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
         let mark = io;
         current_count = r.count_status(NodeStatus::Current, &mut io)?;
         steps.bookkeeping += io.since(&mark);
+        frontier_peak = frontier_peak.max(current_count as u64);
         // The iterative algorithm expands whole levels, so no single node
         // is "selected"; the frontier is the next round's current set.
         observer.span(
@@ -157,6 +169,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
         wall: wall_start.elapsed(),
         expansion_order: order,
         steps,
+        frontier_peak,
     })
 }
 
@@ -172,7 +185,11 @@ mod tests {
     fn finds_shortest_paths_like_the_oracle() {
         let grid = Grid::new(7, CostModel::TWENTY_PERCENT, 17).unwrap();
         let db = Database::open(grid.graph()).unwrap();
-        for kind in [QueryKind::Horizontal, QueryKind::Diagonal, QueryKind::Random] {
+        for kind in [
+            QueryKind::Horizontal,
+            QueryKind::Diagonal,
+            QueryKind::Random,
+        ] {
             let (s, d) = grid.query_pair(kind);
             let t = db.run(Algorithm::Iterative, s, d).unwrap();
             let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
@@ -229,8 +246,14 @@ mod tests {
         let uniform = Grid::new(10, CostModel::Uniform, 0).unwrap();
         let skewed = Grid::new(10, CostModel::Skewed, 0).unwrap();
         let (s, d) = uniform.query_pair(QueryKind::Diagonal);
-        let tu = Database::open(uniform.graph()).unwrap().run(Algorithm::Iterative, s, d).unwrap();
-        let ts = Database::open(skewed.graph()).unwrap().run(Algorithm::Iterative, s, d).unwrap();
+        let tu = Database::open(uniform.graph())
+            .unwrap()
+            .run(Algorithm::Iterative, s, d)
+            .unwrap();
+        let ts = Database::open(skewed.graph())
+            .unwrap()
+            .run(Algorithm::Iterative, s, d)
+            .unwrap();
         assert_eq!(tu.reopened, 0);
         assert!(ts.reopened > 0, "skewed corridor must reopen nodes");
         assert!(ts.iterations > tu.iterations);

@@ -51,6 +51,6 @@ pub use astar::AStarVersion;
 pub use bidirectional::{bidirectional_dijkstra, BidirectionalResult};
 pub use database::{Algorithm, Budgets, Database, FrontierKind};
 pub use duplicates::DuplicatePolicy;
-pub use error::{AlgorithmError, BudgetKind};
+pub use error::{AlgorithmError, BudgetKind, LandmarkIssue};
 pub use estimator::Estimator;
 pub use trace::RunTrace;

@@ -47,7 +47,10 @@ pub fn dijkstra_all(graph: &Graph, s: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>)
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[s.index()] = 0.0;
-    heap.push(HeapEntry { score: 0.0, node: s });
+    heap.push(HeapEntry {
+        score: 0.0,
+        node: s,
+    });
     while let Some(HeapEntry { score, node }) = heap.pop() {
         if score > dist[node.index()] {
             continue; // stale entry
@@ -57,7 +60,10 @@ pub fn dijkstra_all(graph: &Graph, s: NodeId) -> (Vec<f64>, Vec<Option<NodeId>>)
             if nd < dist[e.to.index()] {
                 dist[e.to.index()] = nd;
                 pred[e.to.index()] = Some(node);
-                heap.push(HeapEntry { score: nd, node: e.to });
+                heap.push(HeapEntry {
+                    score: nd,
+                    node: e.to,
+                });
             }
         }
     }
@@ -73,7 +79,10 @@ pub fn dijkstra_pair(graph: &Graph, s: NodeId, d: NodeId) -> Option<Path> {
     let mut pred: Vec<Option<NodeId>> = vec![None; n];
     let mut heap = BinaryHeap::new();
     dist[s.index()] = 0.0;
-    heap.push(HeapEntry { score: 0.0, node: s });
+    heap.push(HeapEntry {
+        score: 0.0,
+        node: s,
+    });
     while let Some(HeapEntry { score, node }) = heap.pop() {
         if node == d {
             return Path::from_predecessors(s, d, score, &pred);
@@ -86,7 +95,10 @@ pub fn dijkstra_pair(graph: &Graph, s: NodeId, d: NodeId) -> Option<Path> {
             if nd < dist[e.to.index()] {
                 dist[e.to.index()] = nd;
                 pred[e.to.index()] = Some(node);
-                heap.push(HeapEntry { score: nd, node: e.to });
+                heap.push(HeapEntry {
+                    score: nd,
+                    node: e.to,
+                });
             }
         }
     }
@@ -111,10 +123,16 @@ pub fn astar_pair(
     let mut heap = BinaryHeap::new();
     let mut expansions = 0u64;
     g[s.index()] = 0.0;
-    heap.push(HeapEntry { score: h(s), node: s });
+    heap.push(HeapEntry {
+        score: h(s),
+        node: s,
+    });
     while let Some(HeapEntry { score: _, node }) = heap.pop() {
         if node == d {
-            return (Path::from_predecessors(s, d, g[d.index()], &pred), expansions);
+            return (
+                Path::from_predecessors(s, d, g[d.index()], &pred),
+                expansions,
+            );
         }
         if closed[node.index()] {
             continue;
@@ -127,7 +145,10 @@ pub fn astar_pair(
                 g[e.to.index()] = ng;
                 pred[e.to.index()] = Some(node);
                 closed[e.to.index()] = false; // reopen (Figure 3 semantics)
-                heap.push(HeapEntry { score: ng + h(e.to), node: e.to });
+                heap.push(HeapEntry {
+                    score: ng + h(e.to),
+                    node: e.to,
+                });
             }
         }
     }
@@ -174,7 +195,8 @@ pub fn reverse_graph(graph: &Graph) -> Graph {
     for e in graph.edges() {
         b.add_arc(e.to, e.from, e.cost);
     }
-    b.build().expect("reversing a valid graph preserves validity")
+    b.build()
+        .expect("reversing a valid graph preserves validity")
 }
 
 /// The largest amount by which `estimator` overestimates the true
@@ -228,7 +250,11 @@ mod tests {
     #[test]
     fn astar_matches_dijkstra_on_grid() {
         let grid = Grid::new(12, CostModel::TWENTY_PERCENT, 42).unwrap();
-        for kind in [QueryKind::Horizontal, QueryKind::Diagonal, QueryKind::Random] {
+        for kind in [
+            QueryKind::Horizontal,
+            QueryKind::Diagonal,
+            QueryKind::Random,
+        ] {
             let (s, d) = grid.query_pair(kind);
             let dij = dijkstra_pair(grid.graph(), s, d).unwrap();
             for est in [Estimator::Zero, Estimator::Euclidean, Estimator::Manhattan] {
@@ -253,7 +279,10 @@ mod tests {
         let (_, zero) = astar_pair(grid.graph(), s, d, Estimator::Zero);
         let (_, euc) = astar_pair(grid.graph(), s, d, Estimator::Euclidean);
         let (_, man) = astar_pair(grid.graph(), s, d, Estimator::Manhattan);
-        assert!(man <= euc, "manhattan {man} should not exceed euclidean {euc}");
+        assert!(
+            man <= euc,
+            "manhattan {man} should not exceed euclidean {euc}"
+        );
         assert!(euc <= zero, "euclidean {euc} should not exceed zero {zero}");
     }
 
@@ -309,7 +338,13 @@ mod tests {
         // reopen on improvement.
         let g = graph_from_arcs(
             5,
-            &[(0, 1, 10.0), (0, 2, 1.0), (2, 1, 1.0), (1, 3, 1.0), (3, 4, 1.0)],
+            &[
+                (0, 1, 10.0),
+                (0, 2, 1.0),
+                (2, 1, 1.0),
+                (1, 3, 1.0),
+                (3, 4, 1.0),
+            ],
         )
         .unwrap();
         let (p, _) = astar_pair(&g, NodeId(0), NodeId(4), Estimator::Zero);

@@ -90,7 +90,14 @@ impl RunObserver {
         if self.sink.is_none() {
             return;
         }
-        self.span(IterationPhase::Finish, iterations, None, frontier_size, None, io);
+        self.span(
+            IterationPhase::Finish,
+            iterations,
+            None,
+            frontier_size,
+            None,
+            io,
+        );
         if let Some(sink) = &self.sink {
             sink.record(&TraceEvent::RunFinished {
                 algorithm: self.algorithm.clone(),

@@ -62,6 +62,11 @@ pub struct RunTrace {
     pub expansion_order: Vec<NodeId>,
     /// Per-step I/O attribution (sums to `io`).
     pub steps: StepBreakdown,
+    /// Largest frontierSet cardinality observed during the run. The
+    /// select step scans the frontier every iteration, so this is the
+    /// quantity a tighter estimator shrinks first (the estimator-quality
+    /// experiment reports it next to the cost model's prediction).
+    pub frontier_peak: u64,
 }
 
 impl RunTrace {
@@ -116,10 +121,14 @@ mod tests {
             reopened: 0,
             io,
             join_strategy: None,
-            path: Some(Path { nodes: vec![NodeId(0), NodeId(1)], cost: 2.0 }),
+            path: Some(Path {
+                nodes: vec![NodeId(0), NodeId(1)],
+                cost: 2.0,
+            }),
             wall: Duration::ZERO,
             expansion_order: vec![NodeId(0)],
             steps: StepBreakdown::default(),
+            frontier_peak: 1,
         }
     }
 

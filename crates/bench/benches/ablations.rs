@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablations");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     let grid = Grid::new(15, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
@@ -35,12 +38,20 @@ fn bench(c: &mut Criterion) {
         let db = if capacity == 0 {
             Database::open(grid.graph()).unwrap()
         } else {
-            Database::open(grid.graph()).unwrap().with_buffer_pool(capacity)
+            Database::open(grid.graph())
+                .unwrap()
+                .with_buffer_pool(capacity)
         };
         group.bench_with_input(
             BenchmarkId::new("buffer_pool_blocks", capacity),
             &capacity,
-            |b, _| b.iter(|| db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap().iterations),
+            |b, _| {
+                b.iter(|| {
+                    db.run(Algorithm::AStar(AStarVersion::V3), s, d)
+                        .unwrap()
+                        .iterations
+                })
+            },
         );
     }
 
@@ -50,7 +61,8 @@ fn bench(c: &mut Criterion) {
             e.run("CREATE t (id = int, cost = float) KEY id").unwrap();
             e.run("RANGE OF x IS t").unwrap();
             for i in 0..50 {
-                e.run(&format!("APPEND TO t (id = {i}, cost = {}.5)", i)).unwrap();
+                e.run(&format!("APPEND TO t (id = {i}, cost = {}.5)", i))
+                    .unwrap();
             }
             e.run("RETRIEVE (MIN(x.cost)) WHERE x.id > 10").unwrap()
         })

@@ -11,7 +11,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("closure_baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for k in [8usize, 12, 16] {
         let grid = Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
         let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);

@@ -1,0 +1,190 @@
+//! Estimator quality: A\* versions 1–4 head-to-head on three networks.
+//!
+//! The paper compares its three A\* implementation versions on the grid
+//! workloads (Figures 10–12); this bench extends the comparison to the
+//! landmark-guided version 4 and to the two non-grid networks, measuring
+//! the quantities a better estimator actually buys — node expansions,
+//! physical block reads, and wall time — per version per network:
+//!
+//! * **30×30 grid**, 20% cost variance (the paper's benchmark family),
+//!   over the three canonical query kinds;
+//! * **radial city** (rings + spokes), where Manhattan geometry is
+//!   actively wrong and v3's estimator misguides;
+//! * **synthetic Minneapolis** (Section 5.2's 1089-node map), over the
+//!   four named Table 8 pairs.
+//!
+//! v4 runs against landmark tables built once per network
+//! (farthest-point for the grid, coverage for the irregular networks);
+//! its records carry the preprocessing wall time so the offline cost is
+//! visible next to the online win. Results land in
+//! `BENCH_estimators.json` at the repository root — one JSON record per
+//! line (network × version), awk-friendly for `ci/compare-bench.sh`,
+//! which gates regressions in `nodes_expanded` and `block_reads` against
+//! the committed baseline.
+//!
+//! ```sh
+//! cargo bench -p atis-bench --bench estimator_quality
+//! ```
+
+use atis_algorithms::{AStarVersion, Algorithm, Database};
+use atis_bench::PAPER_SEED;
+use atis_graph::{
+    CostModel, Graph, Grid, Minneapolis, NamedPair, NodeId, QueryKind, RadialCity, RadialQuery,
+};
+use atis_preprocess::{LandmarkTables, PreprocessConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One network × version measurement, summed over the network's queries.
+struct Record {
+    network: &'static str,
+    version: AStarVersion,
+    queries: usize,
+    nodes_expanded: u64,
+    block_reads: u64,
+    frontier_peak: u64,
+    wall_ms: f64,
+    /// Landmark preprocessing wall time (v4 rows only).
+    preprocess_ms: Option<f64>,
+    landmarks: Option<usize>,
+}
+
+fn run_network(
+    network: &'static str,
+    graph: &Graph,
+    queries: &[(NodeId, NodeId)],
+    config: PreprocessConfig,
+) -> Vec<Record> {
+    let preprocess_started = Instant::now();
+    let tables = LandmarkTables::build(graph, config).expect("bench graphs are non-empty");
+    let preprocess_ms = preprocess_started.elapsed().as_secs_f64() * 1e3;
+    let landmark_count = tables.landmark_count();
+    let db = Database::open(graph)
+        .expect("bench graphs fit the engine")
+        .with_landmarks(tables);
+
+    AStarVersion::ALL_WITH_LANDMARKS
+        .iter()
+        .map(|&version| {
+            let mut rec = Record {
+                network,
+                version,
+                queries: queries.len(),
+                nodes_expanded: 0,
+                block_reads: 0,
+                frontier_peak: 0,
+                wall_ms: 0.0,
+                preprocess_ms: version.needs_landmarks().then_some(preprocess_ms),
+                landmarks: version.needs_landmarks().then_some(landmark_count),
+            };
+            for &(s, d) in queries {
+                let started = Instant::now();
+                let trace = db.run(Algorithm::AStar(version), s, d).unwrap_or_else(|e| {
+                    panic!("{network} {}: {s:?}->{d:?} failed: {e}", version.label())
+                });
+                rec.wall_ms += started.elapsed().as_secs_f64() * 1e3;
+                rec.nodes_expanded += trace.iterations;
+                rec.block_reads += trace.io.block_reads;
+                rec.frontier_peak = rec.frontier_peak.max(trace.frontier_peak);
+            }
+            rec
+        })
+        .collect()
+}
+
+fn main() {
+    let grid = Grid::new(30, CostModel::TWENTY_PERCENT, PAPER_SEED).expect("paper grid");
+    let grid_queries: Vec<_> = QueryKind::TABLE
+        .iter()
+        .map(|&k| grid.query_pair(k))
+        .collect();
+
+    let city = RadialCity::new(12, 24, 0.2, PAPER_SEED).expect("radial city");
+    let city_queries: Vec<_> = RadialQuery::ALL
+        .iter()
+        .map(|&q| city.query_pair(q))
+        .collect();
+
+    let mpls = Minneapolis::paper();
+    let mpls_queries: Vec<_> = NamedPair::ALL.iter().map(|&p| mpls.query_pair(p)).collect();
+
+    let mut records = Vec::new();
+    records.extend(run_network(
+        "grid30",
+        grid.graph(),
+        &grid_queries,
+        PreprocessConfig::grid_default(),
+    ));
+    records.extend(run_network(
+        "radial",
+        city.graph(),
+        &city_queries,
+        PreprocessConfig::network_default(),
+    ));
+    records.extend(run_network(
+        "minneapolis",
+        mpls.graph(),
+        &mpls_queries,
+        PreprocessConfig::network_default(),
+    ));
+
+    println!("estimator_quality: v1-v4 over grid30 / radial / minneapolis");
+    let mut json = String::new();
+    for r in &records {
+        println!(
+            "  {:<12} {:<16} expanded={:<6} reads={:<7} peak={:<5} wall={:.2}ms",
+            r.network,
+            r.version.label(),
+            r.nodes_expanded,
+            r.block_reads,
+            r.frontier_peak,
+            r.wall_ms
+        );
+        let _ = write!(
+            json,
+            r#"{{"benchmark":"estimator_quality","network":"{}","algorithm":"{}","queries":{},"nodes_expanded":{},"block_reads":{},"frontier_peak":{},"wall_ms":{:.3}"#,
+            r.network,
+            r.version.label(),
+            r.queries,
+            r.nodes_expanded,
+            r.block_reads,
+            r.frontier_peak,
+            r.wall_ms,
+        );
+        if let (Some(pre), Some(k)) = (r.preprocess_ms, r.landmarks) {
+            let _ = write!(json, r#","landmarks":{k},"preprocess_ms":{pre:.3}"#);
+        }
+        json.push_str("}\n");
+    }
+
+    // The headline claim the CI baseline locks in: v4 strictly beats v3
+    // on expansions and block reads wherever its floor estimator is
+    // admissible. Fail loudly here rather than commit a regressed
+    // baseline.
+    for network in ["grid30", "minneapolis"] {
+        let by = |v: AStarVersion| {
+            records
+                .iter()
+                .find(|r| r.network == network && r.version == v)
+                .expect("record")
+        };
+        let (v3, v4) = (by(AStarVersion::V3), by(AStarVersion::V4));
+        assert!(
+            v4.nodes_expanded < v3.nodes_expanded && v4.block_reads < v3.block_reads,
+            "{network}: v4 ({} expanded / {} reads) must strictly beat v3 ({} / {})",
+            v4.nodes_expanded,
+            v4.block_reads,
+            v3.nodes_expanded,
+            v3.block_reads
+        );
+        println!(
+            "  {network}: v4 beats v3 by {:.1}x expansions, {:.1}x reads",
+            v3.nodes_expanded as f64 / v4.nodes_expanded as f64,
+            v3.block_reads as f64 / v4.block_reads as f64
+        );
+    }
+
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_estimators.json");
+    std::fs::write(&out, json).expect("write BENCH_estimators.json");
+    println!("  wrote {}", out.display());
+}

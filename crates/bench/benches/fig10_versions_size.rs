@@ -9,14 +9,20 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig10_versions_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for k in [10usize, 20, 30] {
         let grid = Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
         let db = Database::open(grid.graph()).unwrap();
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
         for v in AStarVersion::ALL {
             group.bench_with_input(
-                BenchmarkId::new(v.label().replace([' ', '(', ')', '*'], ""), format!("{k}x{k}")),
+                BenchmarkId::new(
+                    v.label().replace([' ', '(', ')', '*'], ""),
+                    format!("{k}x{k}"),
+                ),
                 &k,
                 |b, _| b.iter(|| db.run(Algorithm::AStar(v), s, d).unwrap().iterations),
             );

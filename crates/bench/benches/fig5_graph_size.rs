@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_graph_size");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     for k in [10usize, 20, 30] {
         let grid = Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
         let db = Database::open(grid.graph()).unwrap();

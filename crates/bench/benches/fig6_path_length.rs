@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig6_path_length");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let grid = Grid::new(30, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();
     let db = Database::open(grid.graph()).unwrap();
     for kind in QueryKind::TABLE {

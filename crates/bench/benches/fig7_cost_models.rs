@@ -9,8 +9,15 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig7_cost_models");
-    group.sample_size(10).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
-    for model in [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed] {
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
+    for model in [
+        CostModel::Uniform,
+        CostModel::TWENTY_PERCENT,
+        CostModel::Skewed,
+    ] {
         let grid = Grid::new(20, model, PAPER_SEED).unwrap();
         let db = Database::open(grid.graph()).unwrap();
         let (s, d) = grid.query_pair(QueryKind::Diagonal);

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("memory_algorithms");
-    group.sample_size(50).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(50)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     for k in [10usize, 30, 100] {
         let grid = Grid::new(k, CostModel::TWENTY_PERCENT, PAPER_SEED).unwrap();

@@ -21,7 +21,10 @@ fn setup() -> (EdgeRelation, NodeRelation) {
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro_storage");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
     let (edges, nodes) = setup();
     let params = CostParams::default();
 
@@ -57,15 +60,25 @@ fn bench(c: &mut Criterion) {
 
     let current: Vec<(u16, NodeTuple)> = vec![(
         450,
-        NodeTuple { x: 0.0, y: 0.0, status: NodeStatus::Current, path: NO_PRED, path_cost: 0.0 },
+        NodeTuple {
+            x: 0.0,
+            y: 0.0,
+            status: NodeStatus::Current,
+            path: NO_PRED,
+            path_cost: 0.0,
+        },
     )];
     for strat in JoinStrategy::ALL {
-        group.bench_with_input(BenchmarkId::new("join_one_current", strat.label()), &strat, |b, &s| {
-            b.iter(|| {
-                let mut io = IoStats::new();
-                join_adjacency(&current, &edges, JoinPolicy::Force(s), &params, &mut io)
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("join_one_current", strat.label()),
+            &strat,
+            |b, &s| {
+                b.iter(|| {
+                    let mut io = IoStats::new();
+                    join_adjacency(&current, &edges, JoinPolicy::Force(s), &params, &mut io)
+                })
+            },
+        );
     }
 
     group.bench_function("temp_relation_append_delete_100", |b| {

@@ -121,8 +121,10 @@ fn drive(grid: &Grid, pairs: &[(NodeId, NodeId)], workers: usize) -> ConfigResul
             })
         })
         .collect();
-    let mut latencies: Vec<Duration> =
-        clients.into_iter().flat_map(|c| c.join().expect("client thread")).collect();
+    let mut latencies: Vec<Duration> = clients
+        .into_iter()
+        .flat_map(|c| c.join().expect("client thread"))
+        .collect();
     let elapsed = started.elapsed();
     latencies.sort();
     let total = latencies.len();
@@ -156,7 +158,10 @@ fn main() {
     }
 
     let base = results[0].req_per_s;
-    let four = results.iter().find(|r| r.workers == 4).expect("4-worker config");
+    let four = results
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker config");
     let speedup = four.req_per_s / base;
     println!("  4-worker speedup over 1 worker: {speedup:.2}x");
 

@@ -10,7 +10,10 @@ use std::time::Duration;
 
 fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("workloads");
-    group.sample_size(20).measurement_time(Duration::from_secs(1)).warm_up_time(Duration::from_millis(200));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1))
+        .warm_up_time(Duration::from_millis(200));
 
     for k in [10usize, 30] {
         group.bench_with_input(BenchmarkId::new("grid_generation", k), &k, |b, &k| {

@@ -20,12 +20,14 @@ pub struct BarChart {
 impl BarChart {
     /// Creates a chart titled `title` with values in `unit`, one bar per
     /// entry of `series` within each group.
-    pub fn new(
-        title: impl Into<String>,
-        unit: impl Into<String>,
-        series: Vec<String>,
-    ) -> BarChart {
-        BarChart { title: title.into(), unit: unit.into(), series, groups: Vec::new(), width: 46 }
+    pub fn new(title: impl Into<String>, unit: impl Into<String>, series: Vec<String>) -> BarChart {
+        BarChart {
+            title: title.into(),
+            unit: unit.into(),
+            series,
+            groups: Vec::new(),
+            width: 46,
+        }
     }
 
     /// Appends one x-axis group with one value per series.
@@ -70,8 +72,9 @@ impl fmt::Display for BarChart {
                 let filled = filled.min(self.width);
                 // Always show at least one mark for a positive value.
                 let filled = if v > 0.0 { filled.max(1) } else { 0 };
-                let bar: String =
-                    std::iter::repeat_n('#', filled).chain(std::iter::repeat_n(' ', self.width - filled)).collect();
+                let bar: String = std::iter::repeat_n('#', filled)
+                    .chain(std::iter::repeat_n(' ', self.width - filled))
+                    .collect();
                 writeln!(f, "    {name:<label_w$} |{bar}| {v:.1}")?;
             }
         }
@@ -114,7 +117,10 @@ mod tests {
         c.push_group("h", vec![1000.0]);
         let s = c.to_string();
         // The tiny bar still renders one '#'.
-        assert!(s.lines().any(|l| l.contains("|#") && l.contains("0.0")), "{s}");
+        assert!(
+            s.lines().any(|l| l.contains("|#") && l.contains("0.0")),
+            "{s}"
+        );
     }
 
     #[test]

@@ -12,8 +12,8 @@
 
 use crate::table::Table;
 use atis_algorithms::{memory, AStarVersion, Algorithm, Database, Estimator, FrontierKind};
-use atis_costmodel::predict;
 use atis_core::render_map;
+use atis_costmodel::predict;
 use atis_graph::{CostModel, Grid, Minneapolis, NamedPair, NodeId, QueryKind};
 use atis_storage::{CostParams, JoinPolicy, JoinStrategy};
 use std::fmt;
@@ -71,8 +71,11 @@ fn grid_db(k: usize, model: CostModel) -> (Grid, Database) {
     (grid, db)
 }
 
-const GRID_ALGOS: [Algorithm; 3] =
-    [Algorithm::Dijkstra, Algorithm::AStar(AStarVersion::V3), Algorithm::Iterative];
+const GRID_ALGOS: [Algorithm; 3] = [
+    Algorithm::Dijkstra,
+    Algorithm::AStar(AStarVersion::V3),
+    Algorithm::Iterative,
+];
 
 fn fmt_cost(c: f64) -> String {
     format!("{c:.1}")
@@ -84,7 +87,12 @@ fn fmt_cost(c: f64) -> String {
 pub fn table_4b_comparison() -> ExperimentOutput {
     // Algebraic predictions from the paper's own iteration counts.
     let ours = predict::table_4b();
-    let mut model = Table::new(vec!["Algorithm / Path", "Horizontal", "Semi-Diagonal", "Diagonal"]);
+    let mut model = Table::new(vec![
+        "Algorithm / Path",
+        "Horizontal",
+        "Semi-Diagonal",
+        "Diagonal",
+    ]);
     for (label, cells) in &ours {
         model.push_row(vec![
             label.to_string(),
@@ -93,7 +101,12 @@ pub fn table_4b_comparison() -> ExperimentOutput {
             fmt_cost(cells[2].cost),
         ]);
     }
-    let mut paper = Table::new(vec!["Algorithm / Path", "Horizontal", "Semi-Diagonal", "Diagonal"]);
+    let mut paper = Table::new(vec![
+        "Algorithm / Path",
+        "Horizontal",
+        "Semi-Diagonal",
+        "Diagonal",
+    ]);
     for (label, cells) in predict::PAPER_TABLE_4B {
         paper.push_row(vec![
             label.to_string(),
@@ -104,8 +117,12 @@ pub fn table_4b_comparison() -> ExperimentOutput {
     }
     // Physically metered runs of the same workload.
     let (grid, db) = grid_db(30, CostModel::TWENTY_PERCENT);
-    let mut physical =
-        Table::new(vec!["Algorithm / Path", "Horizontal", "Semi-Diagonal", "Diagonal"]);
+    let mut physical = Table::new(vec![
+        "Algorithm / Path",
+        "Horizontal",
+        "Semi-Diagonal",
+        "Diagonal",
+    ]);
     for alg in GRID_ALGOS {
         let cells: Vec<String> = QueryKind::TABLE
             .iter()
@@ -122,9 +139,15 @@ pub fn table_4b_comparison() -> ExperimentOutput {
         id: "Table 4B".into(),
         description: "estimated costs, 30x30 grid, 20% variance on edge cost".into(),
         sections: vec![
-            ("Algebraic model (our reproduction, paper's iteration counts)".into(), model.to_string()),
+            (
+                "Algebraic model (our reproduction, paper's iteration counts)".into(),
+                model.to_string(),
+            ),
             ("Paper's printed estimates".into(), paper.to_string()),
-            ("Physically metered engine, same workload (our iteration counts)".into(), physical.to_string()),
+            (
+                "Physically metered engine, same workload (our iteration counts)".into(),
+                physical.to_string(),
+            ),
         ],
     }
 }
@@ -200,7 +223,10 @@ pub fn fig5_table5() -> ExperimentOutput {
         id: "Figure 5 / Table 5".into(),
         description: "effect of graph size (diagonal path, 20% edge cost variance)".into(),
         sections: vec![
-            ("Figure 5 (regenerated)".into(), format!("```text\n{chart}```\n")),
+            (
+                "Figure 5 (regenerated)".into(),
+                format!("```text\n{chart}```\n"),
+            ),
             ("Execution time (cost units)".into(), time.to_string()),
             ("Iterations (measured)".into(), iters.to_string()),
             ("Iterations (paper, Table 5)".into(), paper.to_string()),
@@ -221,7 +247,12 @@ pub fn fig6_table6() -> ExperimentOutput {
         .collect();
     let (time, iters, chart) = grid_sweep("Figure 6: execution time vs path length", &columns);
     let paper = paper_table(
-        vec!["Algorithm / Path", "Horizontal", "Semi-Diagonal", "Diagonal"],
+        vec![
+            "Algorithm / Path",
+            "Horizontal",
+            "Semi-Diagonal",
+            "Diagonal",
+        ],
         &[
             ("Dijkstra", &[488, 767, 899]),
             ("A* (version 3)", &[29, 407, 838]),
@@ -232,7 +263,10 @@ pub fn fig6_table6() -> ExperimentOutput {
         id: "Figure 6 / Table 6".into(),
         description: "effect of path length (30x30 grid, 20% edge cost variance)".into(),
         sections: vec![
-            ("Figure 6 (regenerated)".into(), format!("```text\n{chart}```\n")),
+            (
+                "Figure 6 (regenerated)".into(),
+                format!("```text\n{chart}```\n"),
+            ),
             ("Execution time (cost units)".into(), time.to_string()),
             ("Iterations (measured)".into(), iters.to_string()),
             ("Iterations (paper, Table 6)".into(), paper.to_string()),
@@ -243,7 +277,11 @@ pub fn fig6_table6() -> ExperimentOutput {
 /// Figure 7 + Table 7 — effect of the edge-cost model (20×20 grid,
 /// diagonal path).
 pub fn fig7_table7() -> ExperimentOutput {
-    let models = [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed];
+    let models = [
+        CostModel::Uniform,
+        CostModel::TWENTY_PERCENT,
+        CostModel::Skewed,
+    ];
     let columns: Vec<SweepColumn> = models
         .iter()
         .map(|&m| {
@@ -268,7 +306,10 @@ pub fn fig7_table7() -> ExperimentOutput {
         id: "Figure 7 / Table 7".into(),
         description: "effect of edge cost models (20x20 grid, diagonal path)".into(),
         sections: vec![
-            ("Figure 7 (regenerated)".into(), format!("```text\n{chart}```\n")),
+            (
+                "Figure 7 (regenerated)".into(),
+                format!("```text\n{chart}```\n"),
+            ),
             ("Execution time (cost units)".into(), time.to_string()),
             ("Iterations (measured)".into(), iters.to_string()),
             ("Iterations (paper, Table 7)".into(), paper.to_string()),
@@ -300,7 +341,11 @@ pub fn fig8_map() -> ExperimentOutput {
 pub fn fig9_table8() -> ExperimentOutput {
     let m = Minneapolis::paper();
     let db = Database::open(m.graph()).expect("Minneapolis fits the engine");
-    let algos = [Algorithm::Iterative, Algorithm::AStar(AStarVersion::V3), Algorithm::Dijkstra];
+    let algos = [
+        Algorithm::Iterative,
+        Algorithm::AStar(AStarVersion::V3),
+        Algorithm::Dijkstra,
+    ];
     let mut cols = vec!["Algorithm / Path".to_string()];
     cols.extend(NamedPair::ALL.iter().map(|p| p.label().to_string()));
     let mut time = Table::new(cols.clone());
@@ -322,7 +367,10 @@ pub fn fig9_table8() -> ExperimentOutput {
             let optimal = memory::dijkstra_pair(m.graph(), s, d).map_or(f64::INFINITY, |p| p.cost);
             trow.push(fmt_cost(r.cost));
             irow.push(r.iterations.to_string());
-            qrow.push(format!("{:+.1}%", 100.0 * (r.path_cost - optimal) / optimal));
+            qrow.push(format!(
+                "{:+.1}%",
+                100.0 * (r.path_cost - optimal) / optimal
+            ));
             per_group[i].push(r.cost);
         }
         time.push_row(trow);
@@ -344,7 +392,10 @@ pub fn fig9_table8() -> ExperimentOutput {
         id: "Figure 9 / Table 8".into(),
         description: "Minneapolis road map queries (synthetic map, distance costs)".into(),
         sections: vec![
-            ("Figure 9 (regenerated)".into(), format!("```text\n{chart}```\n")),
+            (
+                "Figure 9 (regenerated)".into(),
+                format!("```text\n{chart}```\n"),
+            ),
             ("Execution time (cost units)".into(), time.to_string()),
             ("Iterations (measured)".into(), iters.to_string()),
             ("Iterations (paper, Table 8)".into(), paper.to_string()),
@@ -361,7 +412,10 @@ fn versions_sweep(columns: Vec<SweepColumn>, id: &str, description: &str) -> Exp
     cols.extend(columns.iter().map(|c| c.label.clone()));
     let mut time = Table::new(cols.clone());
     let mut iters = Table::new(cols);
-    let series: Vec<String> = AStarVersion::ALL.iter().map(|v| v.label().to_string()).collect();
+    let series: Vec<String> = AStarVersion::ALL
+        .iter()
+        .map(|v| v.label().to_string())
+        .collect();
     let mut chart =
         crate::chart::BarChart::new(format!("{id}: execution time"), "cost units", series);
     let mut per_group: Vec<Vec<f64>> = vec![Vec::new(); columns.len()];
@@ -384,7 +438,10 @@ fn versions_sweep(columns: Vec<SweepColumn>, id: &str, description: &str) -> Exp
         id: id.into(),
         description: description.into(),
         sections: vec![
-            (format!("{id} (regenerated)"), format!("```text\n{chart}```\n")),
+            (
+                format!("{id} (regenerated)"),
+                format!("```text\n{chart}```\n"),
+            ),
             ("Execution time (cost units)".into(), time.to_string()),
             ("Iterations (measured)".into(), iters.to_string()),
         ],
@@ -413,17 +470,21 @@ pub fn fig10_versions_size() -> ExperimentOutput {
 
 /// Figure 11 — effect of the edge-cost model on the three A\* versions.
 pub fn fig11_versions_cost() -> ExperimentOutput {
-    let columns = [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed]
-        .iter()
-        .map(|&m| {
-            let (g, db) = grid_db(20, m);
-            SweepColumn {
-                label: m.label().to_string(),
-                pair: g.query_pair(QueryKind::Diagonal),
-                db,
-            }
-        })
-        .collect();
+    let columns = [
+        CostModel::Uniform,
+        CostModel::TWENTY_PERCENT,
+        CostModel::Skewed,
+    ]
+    .iter()
+    .map(|&m| {
+        let (g, db) = grid_db(20, m);
+        SweepColumn {
+            label: m.label().to_string(),
+            pair: g.query_pair(QueryKind::Diagonal),
+            db,
+        }
+    })
+    .collect();
     versions_sweep(
         columns,
         "Figure 11",
@@ -455,14 +516,22 @@ pub fn fig12_versions_path() -> ExperimentOutput {
 pub fn ablation_join_strategies() -> ExperimentOutput {
     let (grid, _) = grid_db(20, CostModel::TWENTY_PERCENT);
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
-    let mut t = Table::new(vec!["Join strategy", "Dijkstra (cost units)", "Iterative (cost units)"]);
+    let mut t = Table::new(vec![
+        "Join strategy",
+        "Dijkstra (cost units)",
+        "Iterative (cost units)",
+    ]);
     for strat in JoinStrategy::ALL {
         let db = Database::open(grid.graph())
             .expect("grid fits")
             .with_join_policy(JoinPolicy::Force(strat));
         let dj = run(&db, Algorithm::Dijkstra, s, d);
         let it = run(&db, Algorithm::Iterative, s, d);
-        t.push_row(vec![strat.label().to_string(), fmt_cost(dj.cost), fmt_cost(it.cost)]);
+        t.push_row(vec![
+            strat.label().to_string(),
+            fmt_cost(dj.cost),
+            fmt_cost(it.cost),
+        ]);
     }
     ExperimentOutput {
         id: "Ablation: join strategies".into(),
@@ -478,9 +547,15 @@ pub fn ablation_optimizer() -> ExperimentOutput {
     let (grid, _) = grid_db(20, CostModel::TWENTY_PERCENT);
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     let forced = Database::open(grid.graph()).expect("fits");
-    let optimized =
-        Database::open(grid.graph()).expect("fits").with_join_policy(JoinPolicy::CostBased);
-    let mut t = Table::new(vec!["Algorithm", "Forced nested-loop", "Cost-based optimizer", "Speedup"]);
+    let optimized = Database::open(grid.graph())
+        .expect("fits")
+        .with_join_policy(JoinPolicy::CostBased);
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "Forced nested-loop",
+        "Cost-based optimizer",
+        "Speedup",
+    ]);
     for alg in GRID_ALGOS {
         let f = run(&forced, alg, s, d);
         let o = run(&optimized, alg, s, d);
@@ -504,7 +579,9 @@ pub fn ablation_optimizer() -> ExperimentOutput {
 pub fn ablation_estimators() -> ExperimentOutput {
     let (grid, db) = grid_db(20, CostModel::TWENTY_PERCENT);
     let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
-    let optimal = memory::dijkstra_pair(grid.graph(), s, d).expect("connected").cost;
+    let optimal = memory::dijkstra_pair(grid.graph(), s, d)
+        .expect("connected")
+        .cost;
     let estimators = [
         Estimator::Zero,
         Estimator::Euclidean,
@@ -512,9 +589,17 @@ pub fn ablation_estimators() -> ExperimentOutput {
         Estimator::WeightedManhattan { weight: 2.0 },
         Estimator::WeightedManhattan { weight: 5.0 },
     ];
-    let mut t = Table::new(vec!["Estimator", "Iterations", "Cost units", "Path vs optimal"]);
+    let mut t = Table::new(vec![
+        "Estimator",
+        "Iterations",
+        "Cost units",
+        "Path vs optimal",
+    ]);
     for est in estimators {
-        let alg = Algorithm::Custom { frontier: FrontierKind::StatusAttribute, estimator: est };
+        let alg = Algorithm::Custom {
+            frontier: FrontierKind::StatusAttribute,
+            estimator: est,
+        };
         let r = run(&db, alg, s, d);
         let label = match est {
             Estimator::WeightedManhattan { weight } => format!("manhattan x {weight}"),
@@ -550,11 +635,24 @@ pub fn ablation_buffer_pool() -> ExperimentOutput {
     ]);
     for alg in GRID_ALGOS {
         let cold = run(&Database::open(grid.graph()).expect("fits"), alg, s, d);
-        let warm8 =
-            run(&Database::open(grid.graph()).expect("fits").with_buffer_pool(8), alg, s, d);
-        let db64 = Database::open(grid.graph()).expect("fits").with_buffer_pool(64);
+        let warm8 = run(
+            &Database::open(grid.graph())
+                .expect("fits")
+                .with_buffer_pool(8),
+            alg,
+            s,
+            d,
+        );
+        let db64 = Database::open(grid.graph())
+            .expect("fits")
+            .with_buffer_pool(64);
         let warm64 = run(&db64, alg, s, d);
-        let hit_rate = db64.buffer().expect("pool attached").lock().expect("pool lock").hit_rate();
+        let hit_rate = db64
+            .buffer()
+            .expect("pool attached")
+            .lock()
+            .expect("pool lock")
+            .hit_rate();
         t.push_row(vec![
             alg.label(),
             fmt_cost(cold.cost),
@@ -566,8 +664,7 @@ pub fn ablation_buffer_pool() -> ExperimentOutput {
     ExperimentOutput {
         id: "Ablation: buffer pool".into(),
         description:
-            "LRU block cache vs the paper's cold-cache model (20x20, diagonal, 20% variance)"
-                .into(),
+            "LRU block cache vs the paper's cold-cache model (20x20, diagonal, 20% variance)".into(),
         sections: vec![(
             "Total run cost with and without a buffer pool".into(),
             t.to_string(),
@@ -744,7 +841,13 @@ pub fn step_breakdown() -> ExperimentOutput {
         ),
     ];
     for (label, dm, da, im, ia) in rows {
-        t.push_row(vec![label.to_string(), fmt_cost(dm), fmt_cost(da), fmt_cost(im), fmt_cost(ia)]);
+        t.push_row(vec![
+            label.to_string(),
+            fmt_cost(dm),
+            fmt_cost(da),
+            fmt_cost(im),
+            fmt_cost(ia),
+        ]);
     }
     t.push_row(vec![
         "TOTAL".to_string(),
@@ -756,8 +859,7 @@ pub fn step_breakdown() -> ExperimentOutput {
     ExperimentOutput {
         id: "Validation: per-step cost breakdown".into(),
         description:
-            "measured vs algebraic I/O per cost-model step (30x30, diagonal, 20% variance)"
-                .into(),
+            "measured vs algebraic I/O per cost-model step (30x30, diagonal, 20% variance)".into(),
         sections: vec![("Tables 2-3, step by step".into(), t.to_string())],
     }
 }
@@ -785,21 +887,29 @@ pub fn model_vs_measured() -> ExperimentOutput {
         bookkeeping: t.steps.bookkeeping,
     };
     let mut sections = Vec::new();
-    for alg in
-        [Algorithm::Dijkstra, Algorithm::AStar(AStarVersion::V2), Algorithm::AStar(AStarVersion::V3)]
-    {
+    for alg in [
+        Algorithm::Dijkstra,
+        Algorithm::AStar(AStarVersion::V2),
+        Algorithm::AStar(AStarVersion::V3),
+    ] {
         let t = db.run(alg, s, d).expect("valid endpoints");
         let report = best_first_report(&t.algorithm, t.iterations, &steps_of(&t), mp, tolerance);
-        sections.push((t.algorithm.clone(), format!("```text\n{}```", report.render())));
+        sections.push((
+            t.algorithm.clone(),
+            format!("```text\n{}```", report.render()),
+        ));
     }
     let t = db.run(Algorithm::Iterative, s, d).expect("valid endpoints");
     let report = iterative_report(&t.algorithm, t.iterations, &steps_of(&t), mp, tolerance);
-    sections.push((t.algorithm.clone(), format!("```text\n{}```", report.render())));
+    sections.push((
+        t.algorithm.clone(),
+        format!("```text\n{}```", report.render()),
+    ));
 
     ExperimentOutput {
         id: "Validation: obs model-vs-measured reports".into(),
-        description:
-            "atis-obs report module: per-step verdicts at 10% tolerance (30x30, diagonal)".into(),
+        description: "atis-obs report module: per-step verdicts at 10% tolerance (30x30, diagonal)"
+            .into(),
         sections,
     }
 }
@@ -841,8 +951,7 @@ pub fn validation_version_models() -> ExperimentOutput {
     ExperimentOutput {
         id: "Validation: version models".into(),
         description:
-            "each A* implementation version vs its algebraic model (diagonal, 20% variance)"
-                .into(),
+            "each A* implementation version vs its algebraic model (diagonal, 20% variance)".into(),
         sections: vec![("Measured vs modelled totals".into(), t.to_string())],
     }
 }
@@ -856,7 +965,9 @@ pub fn tradeoff_curve() -> ExperimentOutput {
     use atis_algorithms::Estimator;
     let (grid, db) = grid_db(30, CostModel::TWENTY_PERCENT);
     let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
-    let optimal = memory::dijkstra_pair(grid.graph(), s, d).expect("connected").cost;
+    let optimal = memory::dijkstra_pair(grid.graph(), s, d)
+        .expect("connected")
+        .cost;
     let mut t = Table::new(vec![
         "Estimator weight",
         "Iterations",
@@ -888,7 +999,10 @@ pub fn tradeoff_curve() -> ExperimentOutput {
         };
         let r = run(
             &db,
-            Algorithm::Custom { frontier: FrontierKind::StatusAttribute, estimator: est },
+            Algorithm::Custom {
+                frontier: FrontierKind::StatusAttribute,
+                estimator: est,
+            },
             s,
             d,
         );
@@ -904,11 +1018,13 @@ pub fn tradeoff_curve() -> ExperimentOutput {
     ExperimentOutput {
         id: "Extension: optimality/speed trade-off".into(),
         description:
-            "the paper's future work: weighted estimators on the 30x30 semi-diagonal query"
-                .into(),
+            "the paper's future work: weighted estimators on the 30x30 semi-diagonal query".into(),
         sections: vec![
             ("Trade-off frontier".into(), t.to_string()),
-            ("Expansions by weight".into(), format!("```text\n{chart}```\n")),
+            (
+                "Expansions by weight".into(),
+                format!("```text\n{chart}```\n"),
+            ),
         ],
     }
 }
@@ -918,12 +1034,23 @@ pub fn tradeoff_curve() -> ExperimentOutput {
 pub fn ablation_isam_depth() -> ExperimentOutput {
     let grid = Grid::new(20, CostModel::TWENTY_PERCENT, PAPER_SEED).expect("k >= 2");
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
-    let mut t = Table::new(vec!["Algorithm", "I_l = 1", "I_l = 2", "I_l = 3 (paper)", "I_l = 5"]);
+    let mut t = Table::new(vec![
+        "Algorithm",
+        "I_l = 1",
+        "I_l = 2",
+        "I_l = 3 (paper)",
+        "I_l = 5",
+    ]);
     for alg in GRID_ALGOS {
         let mut row = vec![alg.label()];
         for levels in [1u64, 2, 3, 5] {
-            let params = CostParams { isam_levels: levels, ..CostParams::table_4a() };
-            let db = Database::open(grid.graph()).expect("fits").with_params(params);
+            let params = CostParams {
+                isam_levels: levels,
+                ..CostParams::table_4a()
+            };
+            let db = Database::open(grid.graph())
+                .expect("fits")
+                .with_params(params);
             let trace = db.run(alg, s, d).expect("valid endpoints");
             row.push(fmt_cost(trace.cost_units(&params)));
         }
@@ -984,10 +1111,26 @@ pub fn extension_devices() -> ExperimentOutput {
 /// Extension — the paper stops at 30×30; how do the trends extrapolate?
 pub fn extension_scaling() -> ExperimentOutput {
     let sizes = [10usize, 20, 30, 40, 50];
-    let mut diag = Table::new(vec!["Algorithm", "10x10", "20x20", "30x30", "40x40", "50x50"]);
-    let mut horiz = Table::new(vec!["Algorithm", "10x10", "20x20", "30x30", "40x40", "50x50"]);
-    let dbs: Vec<(Grid, Database)> =
-        sizes.iter().map(|&k| grid_db(k, CostModel::TWENTY_PERCENT)).collect();
+    let mut diag = Table::new(vec![
+        "Algorithm",
+        "10x10",
+        "20x20",
+        "30x30",
+        "40x40",
+        "50x50",
+    ]);
+    let mut horiz = Table::new(vec![
+        "Algorithm",
+        "10x10",
+        "20x20",
+        "30x30",
+        "40x40",
+        "50x50",
+    ]);
+    let dbs: Vec<(Grid, Database)> = sizes
+        .iter()
+        .map(|&k| grid_db(k, CostModel::TWENTY_PERCENT))
+        .collect();
     for alg in GRID_ALGOS {
         let mut drow = vec![alg.label()];
         let mut hrow = vec![alg.label()];
@@ -1004,9 +1147,14 @@ pub fn extension_scaling() -> ExperimentOutput {
         id: "Extension: scaling beyond the paper".into(),
         description: "grid sizes up to 50x50 (2500 nodes), 20% variance".into(),
         sections: vec![
-            ("Diagonal query (cost units) — the iterative algorithm's win widens".into(),
-             diag.to_string()),
-            ("Horizontal query (cost units) — A* v3's win widens".into(), horiz.to_string()),
+            (
+                "Diagonal query (cost units) — the iterative algorithm's win widens".into(),
+                diag.to_string(),
+            ),
+            (
+                "Horizontal query (cost units) — A* v3's win widens".into(),
+                horiz.to_string(),
+            ),
         ],
     }
 }
@@ -1031,7 +1179,9 @@ pub fn extension_radial() -> ExperimentOutput {
     let params = CostParams::default();
     for q in RadialQuery::ALL {
         let (s, d) = city.query_pair(q);
-        let optimal = memory::dijkstra_pair(city.graph(), s, d).expect("connected").cost;
+        let optimal = memory::dijkstra_pair(city.graph(), s, d)
+            .expect("connected")
+            .cost;
         for v in [AStarVersion::V2, AStarVersion::V3] {
             let trace = db.run(Algorithm::AStar(v), s, d).expect("valid endpoints");
             t.push_row(vec![
@@ -1057,7 +1207,10 @@ pub fn extension_radial() -> ExperimentOutput {
             "ring-and-spoke network (8 rings x 24 spokes): the grid's Manhattan advantage reverses"
                 .into(),
         sections: vec![
-            ("Euclidean (v2) vs Manhattan (v3) off the grid".into(), t.to_string()),
+            (
+                "Euclidean (v2) vs Manhattan (v3) off the grid".into(),
+                t.to_string(),
+            ),
             ("Admissibility check".into(), note),
         ],
     }
@@ -1075,9 +1228,17 @@ pub fn extension_seeds() -> ExperimentOutput {
         let grid = Grid::new(30, CostModel::TWENTY_PERCENT, seed).expect("k >= 2");
         let db = Database::open(grid.graph()).expect("fits");
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
-        a_diag.push(db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap().iterations);
+        a_diag.push(
+            db.run(Algorithm::AStar(AStarVersion::V3), s, d)
+                .unwrap()
+                .iterations,
+        );
         let (s, d) = grid.query_pair(QueryKind::Horizontal);
-        a_horiz.push(db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap().iterations);
+        a_horiz.push(
+            db.run(Algorithm::AStar(AStarVersion::V3), s, d)
+                .unwrap()
+                .iterations,
+        );
         d_horiz.push(db.run(Algorithm::Dijkstra, s, d).unwrap().iterations);
     }
     let row = |label: &str, vals: &[u64], paper: &str| {
@@ -1090,7 +1251,11 @@ pub fn extension_seeds() -> ExperimentOutput {
     };
     t.push_row(row("A* v3 iterations, 30x30 diagonal", &a_diag, "838"));
     t.push_row(row("A* v3 iterations, 30x30 horizontal", &a_horiz, "29"));
-    t.push_row(row("Dijkstra iterations, 30x30 horizontal", &d_horiz, "488"));
+    t.push_row(row(
+        "Dijkstra iterations, 30x30 horizontal",
+        &d_horiz,
+        "488",
+    ));
     ExperimentOutput {
         id: "Extension: seed robustness".into(),
         description: format!(
@@ -1105,16 +1270,28 @@ pub fn extension_seeds() -> ExperimentOutput {
 pub fn ablation_memory_vs_db() -> ExperimentOutput {
     let (grid, db) = grid_db(30, CostModel::TWENTY_PERCENT);
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
-    let mut t = Table::new(vec!["Implementation", "Wall time (ms)", "Cost units (simulated I/O)"]);
+    let mut t = Table::new(vec![
+        "Implementation",
+        "Wall time (ms)",
+        "Cost units (simulated I/O)",
+    ]);
     let start = Instant::now();
     let mem = memory::dijkstra_pair(grid.graph(), s, d).expect("connected");
     let mem_ms = start.elapsed().as_secs_f64() * 1e3;
-    t.push_row(vec!["in-memory Dijkstra (binary heap)".to_string(), format!("{mem_ms:.3}"), "-".into()]);
+    t.push_row(vec![
+        "in-memory Dijkstra (binary heap)".to_string(),
+        format!("{mem_ms:.3}"),
+        "-".into(),
+    ]);
     let start = Instant::now();
     let (mem_astar, _) = memory::astar_pair(grid.graph(), s, d, Estimator::Manhattan);
     let astar_ms = start.elapsed().as_secs_f64() * 1e3;
     assert!((mem_astar.expect("connected").cost - mem.cost).abs() < 1e-6);
-    t.push_row(vec!["in-memory A* (Manhattan)".to_string(), format!("{astar_ms:.3}"), "-".into()]);
+    t.push_row(vec![
+        "in-memory A* (Manhattan)".to_string(),
+        format!("{astar_ms:.3}"),
+        "-".into(),
+    ]);
     let start = Instant::now();
     let bi = atis_algorithms::bidirectional_dijkstra(grid.graph(), s, d);
     let bi_ms = start.elapsed().as_secs_f64() * 1e3;
@@ -1208,8 +1385,14 @@ mod tests {
         // reproduce byte-identical output (wall-clock columns excluded by
         // choosing drivers without them).
         assert_eq!(fig7_table7().to_string(), fig7_table7().to_string());
-        assert_eq!(table_4b_comparison().to_string(), table_4b_comparison().to_string());
-        assert_eq!(extension_radial().to_string(), extension_radial().to_string());
+        assert_eq!(
+            table_4b_comparison().to_string(),
+            table_4b_comparison().to_string()
+        );
+        assert_eq!(
+            extension_radial().to_string(),
+            extension_radial().to_string()
+        );
     }
 
     #[test]
@@ -1222,7 +1405,10 @@ mod tests {
             .find(|l| l.contains("Offset") && l.contains("version 3"))
             .expect("offset row");
         assert!(offset_v3.contains('+'), "{offset_v3}");
-        assert!(text.contains("manhattan +"), "admissibility note must flag manhattan");
+        assert!(
+            text.contains("manhattan +"),
+            "admissibility note must flag manhattan"
+        );
     }
 
     #[test]

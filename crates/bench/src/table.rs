@@ -15,7 +15,10 @@ pub struct Table {
 impl Table {
     /// Creates a table with the given headers.
     pub fn new<S: Into<String>>(columns: Vec<S>) -> Self {
-        Table { columns: columns.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            columns: columns.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.

@@ -122,7 +122,10 @@ impl MapCanvas {
     /// Creates a canvas sized `width × height` characters covering the
     /// graph's bounding box.
     pub fn new(graph: &Graph, width: usize, height: usize) -> MapCanvas {
-        let (mut min, mut max) = (Point::new(f64::MAX, f64::MAX), Point::new(f64::MIN, f64::MIN));
+        let (mut min, mut max) = (
+            Point::new(f64::MAX, f64::MAX),
+            Point::new(f64::MIN, f64::MIN),
+        );
         for u in graph.node_ids() {
             let p = graph.point(u);
             min.x = min.x.min(p.x);
@@ -134,12 +137,26 @@ impl MapCanvas {
             min = Point::new(0.0, 0.0);
             max = Point::new(1.0, 1.0);
         }
-        MapCanvas { width, height, cells: vec![' '; width * height], min, max }
+        MapCanvas {
+            width,
+            height,
+            cells: vec![' '; width * height],
+            min,
+            max,
+        }
     }
 
     fn locate(&self, p: Point) -> (usize, usize) {
-        let fx = if self.max.x > self.min.x { (p.x - self.min.x) / (self.max.x - self.min.x) } else { 0.5 };
-        let fy = if self.max.y > self.min.y { (p.y - self.min.y) / (self.max.y - self.min.y) } else { 0.5 };
+        let fx = if self.max.x > self.min.x {
+            (p.x - self.min.x) / (self.max.x - self.min.x)
+        } else {
+            0.5
+        };
+        let fy = if self.max.y > self.min.y {
+            (p.y - self.min.y) / (self.max.y - self.min.y)
+        } else {
+            0.5
+        };
         let col = (fx * (self.width - 1) as f64).round() as usize;
         // y grows upward; rows grow downward.
         let row = ((1.0 - fy) * (self.height - 1) as f64).round() as usize;
@@ -214,7 +231,10 @@ mod tests {
     #[test]
     fn straight_route_merges_into_one_leg() {
         let g = graph_from_arcs(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)]).unwrap();
-        let p = Path { nodes: (0..4).map(NodeId).collect(), cost: 3.0 };
+        let p = Path {
+            nodes: (0..4).map(NodeId).collect(),
+            cost: 3.0,
+        };
         let msgs = turn_instructions(&g, &p);
         assert_eq!(msgs.len(), 2, "{msgs:?}");
         assert!(msgs[0].starts_with("Head east for 3.0"));
@@ -272,7 +292,10 @@ mod tests {
         }
         let g = b.build().unwrap();
         for (i, &(_, _, name)) in dirs.iter().enumerate() {
-            let p = Path { nodes: vec![NodeId(0), spokes[i]], cost: 1.0 };
+            let p = Path {
+                nodes: vec![NodeId(0), spokes[i]],
+                cost: 1.0,
+            };
             let first = &turn_instructions(&g, &p)[0];
             assert!(
                 first.contains(name),
@@ -289,7 +312,10 @@ mod tests {
         let c = b.add_node(Point::new(1.0, 0.0));
         b.add_undirected(a, c, 1.0);
         let g = b.build().unwrap();
-        let p = Path { nodes: vec![NodeId(0), NodeId(1), NodeId(0)], cost: 2.0 };
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(0)],
+            cost: 2.0,
+        };
         let msgs = turn_instructions(&g, &p);
         assert!(msgs.iter().any(|m| m.contains("U-turn")), "{msgs:?}");
     }

@@ -47,7 +47,9 @@ pub fn evaluate_route(graph: &Graph, path: &Path) -> Result<RouteAttributes, Gra
     let mut class_distance = (0.0, 0.0, 0.0);
     let mut segments = 0usize;
     for (u, v) in path.hops() {
-        let e = graph.edge(u, v).ok_or(GraphError::MissingEdge { from: u, to: v })?;
+        let e = graph
+            .edge(u, v)
+            .ok_or(GraphError::MissingEdge { from: u, to: v })?;
         distance += e.cost;
         travel_time += e.travel_time();
         weighted_occ += e.occupancy * e.cost;
@@ -59,7 +61,11 @@ pub fn evaluate_route(graph: &Graph, path: &Path) -> Result<RouteAttributes, Gra
         }
         segments += 1;
     }
-    let mean_occupancy = if distance > 0.0 { weighted_occ / distance } else { 0.0 };
+    let mean_occupancy = if distance > 0.0 {
+        weighted_occ / distance
+    } else {
+        0.0
+    };
     Ok(RouteAttributes {
         distance,
         travel_time,
@@ -81,12 +87,19 @@ mod tests {
         let n1 = b.add_node(Point::new(1.0, 0.0));
         let n2 = b.add_node(Point::new(2.0, 0.0));
         b.add_edge(Edge::new(n0, n1, 1.0).with_occupancy(0.5));
-        b.add_edge(Edge::new(n1, n2, 3.0).with_class(RoadClass::Freeway).with_occupancy(0.1));
+        b.add_edge(
+            Edge::new(n1, n2, 3.0)
+                .with_class(RoadClass::Freeway)
+                .with_occupancy(0.1),
+        );
         b.build().unwrap()
     }
 
     fn route() -> Path {
-        Path { nodes: vec![NodeId(0), NodeId(1), NodeId(2)], cost: 4.0 }
+        Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 4.0,
+        }
     }
 
     #[test]
@@ -124,7 +137,10 @@ mod tests {
     #[test]
     fn invalid_route_is_rejected() {
         let g = network();
-        let bad = Path { nodes: vec![NodeId(2), NodeId(0)], cost: 1.0 };
+        let bad = Path {
+            nodes: vec![NodeId(2), NodeId(0)],
+            cost: 1.0,
+        };
         assert!(evaluate_route(&g, &bad).is_err());
     }
 

@@ -31,8 +31,10 @@ pub fn match_trace(graph: &Graph, observations: &[Point]) -> Option<MatchedTrace
     if observations.is_empty() {
         return None;
     }
-    let snapped: Vec<NodeId> =
-        observations.iter().map(|&p| graph.nearest_node(p)).collect::<Option<_>>()?;
+    let snapped: Vec<NodeId> = observations
+        .iter()
+        .map(|&p| graph.nearest_node(p))
+        .collect::<Option<_>>()?;
     let mean_snap_distance = observations
         .iter()
         .zip(&snapped)
@@ -52,7 +54,11 @@ pub fn match_trace(graph: &Graph, observations: &[Point]) -> Option<MatchedTrace
         nodes.extend(leg.nodes.iter().skip(1));
         cost += leg.cost;
     }
-    Some(MatchedTrace { snapped, route: Path { nodes, cost }, mean_snap_distance })
+    Some(MatchedTrace {
+        snapped,
+        route: Path { nodes, cost },
+        mean_snap_distance,
+    })
 }
 
 #[cfg(test)]
@@ -77,8 +83,9 @@ mod tests {
     #[test]
     fn noisy_trace_snaps_to_the_road() {
         let grid = Grid::new(8, CostModel::Uniform, 0).unwrap();
-        let obs: Vec<Point> =
-            (0..5).map(|c| Point::new(c as f64 + 0.2, 2.0 - 0.3)).collect();
+        let obs: Vec<Point> = (0..5)
+            .map(|c| Point::new(c as f64 + 0.2, 2.0 - 0.3))
+            .collect();
         let m = match_trace(grid.graph(), &obs).unwrap();
         assert!(m.mean_snap_distance > 0.0 && m.mean_snap_distance < 0.5);
         m.route.validate(grid.graph()).unwrap();
@@ -116,7 +123,11 @@ mod tests {
         // Observations over the lake snap to shoreline roads, never to
         // isolated island nodes.
         let m = Minneapolis::paper();
-        let obs = vec![Point::new(6.0, 6.5), Point::new(10.0, 6.0), Point::new(14.0, 8.0)];
+        let obs = vec![
+            Point::new(6.0, 6.5),
+            Point::new(10.0, 6.0),
+            Point::new(14.0, 8.0),
+        ];
         let matched = match_trace(m.graph(), &obs).unwrap();
         for &n in &matched.snapped {
             assert!(m.graph().degree(n) > 0, "snapped to an isolated node {n}");

@@ -6,6 +6,7 @@ use atis_algorithms::{
 };
 use atis_graph::{Graph, NodeId, Path};
 use atis_obs::{PlanEvent, SharedRegistry, SharedSink, TraceEvent};
+use atis_preprocess::{LandmarkTables, PreprocessConfig, PreprocessError};
 use atis_storage::{CostParams, FaultPlan, IoStats, JoinPolicy};
 use std::time::{Duration, Instant};
 
@@ -28,14 +29,20 @@ pub struct ResiliencePolicy {
 
 impl Default for ResiliencePolicy {
     fn default() -> Self {
-        ResiliencePolicy { max_retries: 2, backoff: Duration::from_millis(1) }
+        ResiliencePolicy {
+            max_retries: 2,
+            backoff: Duration::from_millis(1),
+        }
     }
 }
 
 impl ResiliencePolicy {
     /// No retries, no sleeps: every failure degrades immediately.
     pub fn fail_fast() -> Self {
-        ResiliencePolicy { max_retries: 0, backoff: Duration::ZERO }
+        ResiliencePolicy {
+            max_retries: 0,
+            backoff: Duration::ZERO,
+        }
     }
 
     /// Overrides the per-rung retry count.
@@ -152,6 +159,30 @@ impl RoutePlanner {
         self
     }
 
+    /// Builds landmark (ALT) tables for the resident network and makes
+    /// A\* version 4 the default algorithm. The resilience ladder then
+    /// runs v4 → v3 → Dijkstra → in-memory oracle: if the tables go
+    /// stale (a cost update without re-preprocessing), v4 fails with
+    /// `LandmarksUnavailable` and the planner degrades to v3, which needs
+    /// no tables.
+    ///
+    /// # Errors
+    /// Propagates preprocessing errors (empty graph, landmark count
+    /// exceeding the node count).
+    pub fn with_alt_estimator(mut self, config: PreprocessConfig) -> Result<Self, PreprocessError> {
+        let tables = LandmarkTables::build(self.db.graph(), config)?;
+        self.db = self.db.with_landmarks(tables);
+        self.default_algorithm = Algorithm::AStar(AStarVersion::V4);
+        Ok(self)
+    }
+
+    /// Attaches already-built landmark tables (e.g. an epoch artifact
+    /// shared by a serving fleet) without changing the default algorithm.
+    pub fn with_landmarks(mut self, tables: LandmarkTables) -> Self {
+        self.db = self.db.with_landmarks(tables);
+        self
+    }
+
     /// Overrides the join policy (e.g. `JoinPolicy::CostBased` to let the
     /// optimizer replace the paper's forced nested-loop joins).
     pub fn with_join_policy(mut self, policy: JoinPolicy) -> Self {
@@ -265,7 +296,10 @@ impl RoutePlanner {
         s: NodeId,
         d: NodeId,
     ) -> Result<Vec<PlanReport>, AlgorithmError> {
-        algorithms.iter().map(|&a| self.plan_with(a, s, d)).collect()
+        algorithms
+            .iter()
+            .map(|&a| self.plan_with(a, s, d))
+            .collect()
     }
 
     /// Plans a route, riding out storage faults and exhausted budgets.
@@ -288,6 +322,13 @@ impl RoutePlanner {
         }
 
         let mut ladder = vec![self.default_algorithm];
+        if self.default_algorithm == Algorithm::AStar(AStarVersion::V4) {
+            // v4 is the only rung with a preprocessing dependency: when
+            // its landmark tables are missing or stale it fails without
+            // searching, and v3 — same engine, geometric estimator, no
+            // tables — is the natural next rung.
+            ladder.push(Algorithm::AStar(AStarVersion::V3));
+        }
         if self.default_algorithm != Algorithm::Dijkstra {
             ladder.push(Algorithm::Dijkstra);
         }
@@ -374,6 +415,7 @@ impl RoutePlanner {
             wall: started.elapsed(),
             expansion_order: Vec::new(),
             steps: Default::default(),
+            frontier_peak: 0,
         };
         let mut report = PlanReport::from_trace(trace, self.db.params());
         report.degraded = true;
@@ -435,12 +477,18 @@ mod tests {
         assert_eq!(reports.len(), 3);
         // All algorithms find a route of the same (optimal) cost on an
         // admissible configuration.
-        let costs: Vec<f64> = reports.iter().map(|r| r.route.as_ref().unwrap().cost).collect();
+        let costs: Vec<f64> = reports
+            .iter()
+            .map(|r| r.route.as_ref().unwrap().cost)
+            .collect();
         for c in &costs[1..] {
             assert!((c - costs[0]).abs() < 1e-3);
         }
         // A* beats Dijkstra on the short query, in simulated cost.
-        let astar = reports.iter().find(|r| r.algorithm.contains("version 3")).unwrap();
+        let astar = reports
+            .iter()
+            .find(|r| r.algorithm.contains("version 3"))
+            .unwrap();
         let dijkstra = reports.iter().find(|r| r.algorithm == "Dijkstra").unwrap();
         assert!(astar.cost_units < dijkstra.cost_units);
     }
@@ -516,6 +564,48 @@ mod tests {
         // Budget errors are not transient: exactly one attempt per rung.
         assert_eq!(report.attempts.len(), 2);
         assert!(report.attempts.iter().all(|a| !a.transient));
+        assert!(report.found());
+    }
+
+    #[test]
+    fn alt_estimator_makes_v4_the_default_and_plans_optimally() {
+        let (grid, p) = planner();
+        let p = p
+            .with_alt_estimator(atis_preprocess::PreprocessConfig::grid_default())
+            .unwrap();
+        assert_eq!(p.default_algorithm(), Algorithm::AStar(AStarVersion::V4));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let report = p.plan(s, d).unwrap();
+        assert_eq!(report.algorithm, "A* (version 4)");
+        let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
+        assert!((report.route.unwrap().cost - oracle.cost).abs() < 1e-3);
+    }
+
+    #[test]
+    fn stale_landmarks_degrade_to_v3_not_dijkstra() {
+        let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 3).unwrap();
+        // Build tables on the pristine grid, then plan against a mutated
+        // copy: the fingerprints disagree, so v4 fails fast and the
+        // ladder's next rung (v3) answers.
+        let tables = atis_preprocess::LandmarkTables::build(
+            grid.graph(),
+            atis_preprocess::PreprocessConfig::grid_default(),
+        )
+        .unwrap();
+        let mut changed = grid.graph().clone();
+        changed
+            .set_edge_cost(grid.node_at(3, 3), grid.node_at(3, 4), 5.0)
+            .unwrap();
+        let p = RoutePlanner::new(&changed)
+            .unwrap()
+            .with_landmarks(tables)
+            .with_algorithm(Algorithm::AStar(AStarVersion::V4));
+        let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+        let report = p.plan_resilient(s, d).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.algorithm, "A* (version 3)");
+        assert_eq!(report.attempts.len(), 1);
+        assert!(report.attempts[0].error.contains("stale"));
         assert!(report.found());
     }
 

@@ -19,7 +19,12 @@ pub struct SvgOptions {
 
 impl Default for SvgOptions {
     fn default() -> Self {
-        SvgOptions { width: 800, height: 800, margin: 24.0, draw_edges: true }
+        SvgOptions {
+            width: 800,
+            height: 800,
+            margin: 24.0,
+            draw_edges: true,
+        }
     }
 }
 
@@ -88,7 +93,10 @@ pub fn render_svg(
         for u in graph.node_ids() {
             if graph.degree(u) > 0 {
                 let (x, y) = place(u);
-                let _ = writeln!(svg, r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.2" fill="#9aa0a6"/>"##);
+                let _ = writeln!(
+                    svg,
+                    r##"<circle cx="{x:.1}" cy="{y:.1}" r="1.2" fill="#9aa0a6"/>"##
+                );
             }
         }
     }
@@ -111,7 +119,10 @@ pub fn render_svg(
 
     for &(label, n) in landmarks {
         let (x, y) = place(n);
-        let _ = writeln!(svg, r##"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="#188038"/>"##);
+        let _ = writeln!(
+            svg,
+            r##"<circle cx="{x:.1}" cy="{y:.1}" r="6" fill="#188038"/>"##
+        );
         let _ = writeln!(
             svg,
             r##"<text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="14" font-weight="bold" fill="#188038">{label}</text>"##,
@@ -149,7 +160,12 @@ mod tests {
             nodes: (0..5).map(|c| grid.node_at(0, c)).collect(),
             cost: 4.0,
         };
-        let svg = render_svg(grid.graph(), Some(&path), &[('S', s), ('D', d)], &SvgOptions::default());
+        let svg = render_svg(
+            grid.graph(),
+            Some(&path),
+            &[('S', s), ('D', d)],
+            &SvgOptions::default(),
+        );
         assert!(svg.contains("<polyline"));
         assert_eq!(svg.matches("<text").count(), 2);
         assert!(svg.contains(">S</text>"));
@@ -176,7 +192,10 @@ mod tests {
     #[test]
     fn nodes_mode_draws_circles() {
         let grid = Grid::new(4, CostModel::Uniform, 0).unwrap();
-        let opts = SvgOptions { draw_edges: false, ..SvgOptions::default() };
+        let opts = SvgOptions {
+            draw_edges: false,
+            ..SvgOptions::default()
+        };
         let svg = render_svg(grid.graph(), None, &[], &opts);
         assert!(!svg.contains("<line"));
         assert_eq!(svg.matches("<circle").count(), 16);

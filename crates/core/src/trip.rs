@@ -36,7 +36,10 @@ pub fn itinerary(graph: &Graph, plan: &TripPlan) -> Vec<String> {
     let mut out = Vec::new();
     let legs = plan.legs.len();
     for (i, leg) in plan.legs.iter().enumerate() {
-        let route = leg.route.as_ref().expect("plan_trip rejects unreachable legs");
+        let route = leg
+            .route
+            .as_ref()
+            .expect("plan_trip rejects unreachable legs");
         out.push(format!(
             "Leg {} of {legs}: {} -> {} ({:.1} units)",
             i + 1,
@@ -78,14 +81,18 @@ pub fn itinerary(graph: &Graph, plan: &TripPlan) -> Vec<String> {
 /// any leg is unreachable.
 pub fn plan_trip(planner: &RoutePlanner, waypoints: &[NodeId]) -> Result<TripPlan, AlgorithmError> {
     let [first, rest @ ..] = waypoints else {
-        return Err(AlgorithmError::Graph(atis_graph::GraphError::MalformedPath(
-            "a trip needs at least origin and destination".into(),
-        )));
+        return Err(AlgorithmError::Graph(
+            atis_graph::GraphError::MalformedPath(
+                "a trip needs at least origin and destination".into(),
+            ),
+        ));
     };
     if rest.is_empty() {
-        return Err(AlgorithmError::Graph(atis_graph::GraphError::MalformedPath(
-            "a trip needs at least origin and destination".into(),
-        )));
+        return Err(AlgorithmError::Graph(
+            atis_graph::GraphError::MalformedPath(
+                "a trip needs at least origin and destination".into(),
+            ),
+        ));
     }
     let mut legs = Vec::with_capacity(rest.len());
     let mut nodes = vec![*first];
@@ -94,16 +101,19 @@ pub fn plan_trip(planner: &RoutePlanner, waypoints: &[NodeId]) -> Result<TripPla
     for &to in rest {
         let report = planner.plan(from, to)?;
         let Some(route) = report.route.clone() else {
-            return Err(AlgorithmError::Graph(atis_graph::GraphError::MalformedPath(format!(
-                "no route from {from} to {to}"
-            ))));
+            return Err(AlgorithmError::Graph(
+                atis_graph::GraphError::MalformedPath(format!("no route from {from} to {to}")),
+            ));
         };
         nodes.extend(route.nodes.iter().skip(1));
         cost += route.cost;
         legs.push(report);
         from = to;
     }
-    Ok(TripPlan { legs, route: Path { nodes, cost } })
+    Ok(TripPlan {
+        legs,
+        route: Path { nodes, cost },
+    })
 }
 
 /// Generates up to `k` distinct routes from `s` to `d` by the penalty
@@ -136,9 +146,16 @@ pub fn plan_alternatives(
         // Re-cost against the *original* network for honest ranking.
         let original_cost: f64 = found
             .hops()
-            .map(|(u, v)| graph.edge_cost(u, v).expect("route edges exist in the original"))
+            .map(|(u, v)| {
+                graph
+                    .edge_cost(u, v)
+                    .expect("route edges exist in the original")
+            })
             .sum();
-        let candidate = Path { nodes: found.nodes.clone(), cost: original_cost };
+        let candidate = Path {
+            nodes: found.nodes.clone(),
+            cost: original_cost,
+        };
         let duplicate = out.iter().any(|p| p.nodes == candidate.nodes);
         if !duplicate {
             out.push(candidate);
@@ -157,9 +174,9 @@ pub fn plan_alternatives(
             .expect("scaling positive costs stays valid");
     }
     if out.is_empty() {
-        return Err(AlgorithmError::Graph(atis_graph::GraphError::MalformedPath(format!(
-            "no route from {s} to {d}"
-        ))));
+        return Err(AlgorithmError::Graph(
+            atis_graph::GraphError::MalformedPath(format!("no route from {s} to {d}")),
+        ));
     }
     out.sort_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"));
     Ok(out)
@@ -202,7 +219,13 @@ mod tests {
         let plan = plan_trip(&planner, &[a, b, c]).unwrap();
         let lines = itinerary(grid.graph(), &plan);
         assert!(lines[0].starts_with("Leg 1 of 2"));
-        assert_eq!(lines.iter().filter(|l| l.contains("Waypoint reached")).count(), 1);
+        assert_eq!(
+            lines
+                .iter()
+                .filter(|l| l.contains("Waypoint reached"))
+                .count(),
+            1
+        );
         assert_eq!(lines.iter().filter(|l| l.contains("arrived")).count(), 1);
         assert!(lines.last().unwrap().contains("arrived"));
         // Every leg header names its endpoints.
@@ -223,8 +246,11 @@ mod tests {
         let b = grid.node_at(3, 3);
         let c = grid.node_at(0, 7);
         let trip = plan_trip(&planner, &[a, b, c]).unwrap();
-        let leg_sum: f64 =
-            trip.legs.iter().map(|l| l.route.as_ref().unwrap().cost).sum();
+        let leg_sum: f64 = trip
+            .legs
+            .iter()
+            .map(|l| l.route.as_ref().unwrap().cost)
+            .sum();
         assert!((trip.route.cost - leg_sum).abs() < 1e-9);
     }
 
@@ -240,7 +266,10 @@ mod tests {
             assert_eq!(p.destination(), d);
         }
         for pair in alts.windows(2) {
-            assert!(pair[0].cost <= pair[1].cost + 1e-9, "alternatives must be ranked");
+            assert!(
+                pair[0].cost <= pair[1].cost + 1e-9,
+                "alternatives must be ranked"
+            );
             assert_ne!(pair[0].nodes, pair[1].nodes, "alternatives must differ");
         }
         // The best alternative is the true shortest path.
@@ -251,11 +280,8 @@ mod tests {
     #[test]
     fn alternatives_on_a_single_corridor_collapse() {
         // A path graph has exactly one route no matter the penalty.
-        let g = atis_graph::graph::graph_from_arcs(
-            4,
-            &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)],
-        )
-        .unwrap();
+        let g = atis_graph::graph::graph_from_arcs(4, &[(0, 1, 1.0), (1, 2, 1.0), (2, 3, 1.0)])
+            .unwrap();
         let alts = plan_alternatives(&g, NodeId(0), NodeId(3), 5, 1.0).unwrap();
         assert_eq!(alts.len(), 1);
     }

@@ -37,7 +37,11 @@ pub struct ModelStep {
 
 impl ModelStep {
     fn new(label: &str, cost: f64, per_iteration: bool) -> ModelStep {
-        ModelStep { label: label.to_string(), cost, per_iteration }
+        ModelStep {
+            label: label.to_string(),
+            cost,
+            per_iteration,
+        }
     }
 }
 
@@ -53,7 +57,10 @@ pub struct BestFirstModel {
 impl BestFirstModel {
     /// Builds the model with the paper's forced nested-loop join.
     pub fn new(p: ModelParams) -> Self {
-        BestFirstModel { p, forced_join: Some(JoinStrategy::NestedLoop) }
+        BestFirstModel {
+            p,
+            forced_join: Some(JoinStrategy::NestedLoop),
+        }
     }
 
     /// Lets the optimizer pick the join strategy.
@@ -121,13 +128,21 @@ impl BestFirstModel {
                     + b_r * p.io.t_read,
                 false,
             ),
-            ModelStep::new("C5: select min from frontier (scan R)", self.select_cost(), true),
+            ModelStep::new(
+                "C5: select min from frontier (scan R)",
+                self.select_cost(),
+                true,
+            ),
             ModelStep::new(
                 "C6: move u to exploredSet",
                 (p.io.isam_levels as f64 + 1.0) * p.io.t_update,
                 true,
             ),
-            ModelStep::new("C7: fetch u.adjacencyList (join)", self.join_step_cost(), true),
+            ModelStep::new(
+                "C7: fetch u.adjacencyList (join)",
+                self.join_step_cost(),
+                true,
+            ),
             ModelStep::new(
                 "C8: relax |A| neighbours (REPLACE)",
                 (p.io.isam_levels as f64 + p.avg_degree) * p.io.t_update,
@@ -141,7 +156,13 @@ impl BestFirstModel {
     pub fn total_from_steps(&self, iterations: u64) -> f64 {
         self.steps()
             .iter()
-            .map(|s| if s.per_iteration { s.cost * iterations as f64 } else { s.cost })
+            .map(|s| {
+                if s.per_iteration {
+                    s.cost * iterations as f64
+                } else {
+                    s.cost
+                }
+            })
             .sum()
     }
 
@@ -160,7 +181,11 @@ mod tests {
     fn iteration_cost_matches_hand_computation() {
         // select .14 + mark .34 + join 1.065 + relax 7*.085 = 2.14.
         let m = BestFirstModel::new(ModelParams::table_4a());
-        assert!((m.iteration_cost() - 2.14).abs() < 1e-9, "{}", m.iteration_cost());
+        assert!(
+            (m.iteration_cost() - 2.14).abs() < 1e-9,
+            "{}",
+            m.iteration_cost()
+        );
     }
 
     #[test]
@@ -170,7 +195,10 @@ mod tests {
         for (iters, expect) in [(488u64, 1055.6), (767, 1656.8), (899, 1941.2)] {
             let t = m.total(iters);
             let err = (t - expect).abs() / expect;
-            assert!(err < 0.02, "{iters} iterations: predicted {t}, paper {expect}");
+            assert!(
+                err < 0.02,
+                "{iters} iterations: predicted {t}, paper {expect}"
+            );
         }
     }
 
@@ -181,7 +209,10 @@ mod tests {
         for (iters, expect) in [(29u64, 66.7), (407, 881.2), (838, 1809.8)] {
             let t = m.total(iters);
             let err = (t - expect).abs() / expect;
-            assert!(err < 0.02, "{iters} iterations: predicted {t}, paper {expect}");
+            assert!(
+                err < 0.02,
+                "{iters} iterations: predicted {t}, paper {expect}"
+            );
         }
     }
 

@@ -32,7 +32,10 @@ pub struct IterativeModel {
 impl IterativeModel {
     /// Builds the model with the paper's forced nested-loop join.
     pub fn new(p: ModelParams) -> Self {
-        IterativeModel { p, forced_join: Some(JoinStrategy::NestedLoop) }
+        IterativeModel {
+            p,
+            forced_join: Some(JoinStrategy::NestedLoop),
+        }
     }
 
     /// Lets the optimizer pick the join strategy per iteration.
@@ -66,9 +69,7 @@ impl IterativeModel {
         let b_c = p.b_c(current_nodes);
         let b_join = p.b_join(current_nodes * p.avg_degree);
         match self.forced_join {
-            Some(s) => {
-                join_cost::algebraic_join_cost(s, b_c, p.b_s(), b_join, current_nodes, p)
-            }
+            Some(s) => join_cost::algebraic_join_cost(s, b_c, p.b_s(), b_join, current_nodes, p),
             None => join_cost::cheapest_join(b_c, p.b_s(), b_join, current_nodes, p).1,
         }
     }
@@ -99,7 +100,11 @@ impl IterativeModel {
         let b_r = p.b_r() as f64;
         let b_s = p.b_s() as f64;
         vec![
-            ModelStep { label: "C1: create R".into(), cost: p.io.t_create, per_iteration: false },
+            ModelStep {
+                label: "C1: create R".into(),
+                cost: p.io.t_create,
+                per_iteration: false,
+            },
             ModelStep {
                 label: "C2: initialise R from S".into(),
                 cost: b_s * p.io.t_read + b_r * p.io.t_write,
@@ -203,10 +208,19 @@ mod tests {
             let from_steps: f64 = m
                 .steps(avg)
                 .iter()
-                .map(|s| if s.per_iteration { s.cost * iters as f64 } else { s.cost })
+                .map(|s| {
+                    if s.per_iteration {
+                        s.cost * iters as f64
+                    } else {
+                        s.cost
+                    }
+                })
                 .sum();
             let closed = m.total_with_current(iters, avg);
-            assert!((from_steps - closed).abs() < 1e-9, "{iters}: {from_steps} vs {closed}");
+            assert!(
+                (from_steps - closed).abs() < 1e-9,
+                "{iters}: {from_steps} vs {closed}"
+            );
         }
     }
 

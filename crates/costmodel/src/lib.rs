@@ -17,6 +17,9 @@
 //! * [`iterative_model`] — Table 2's steps `C1..C8`.
 //! * [`dijkstra_astar_model`] — Table 3's per-iteration steps for Dijkstra
 //!   and A\* (version 3).
+//! * [`estimator_model`] — predicted expansion counts, frontier-size and
+//!   I/O curves as a function of estimator *tightness* (the v1–v4
+//!   comparison, including the landmark estimator of A\* version 4).
 //! * [`predict`] — end-to-end prediction from an iteration count, the
 //!   Table 4B reproduction, and validation helpers comparing predictions
 //!   against the physically metered runs of `atis-algorithms`.
@@ -37,6 +40,7 @@
 
 pub mod device;
 pub mod dijkstra_astar_model;
+pub mod estimator_model;
 pub mod iterative_model;
 pub mod join_cost;
 pub mod params;
@@ -45,8 +49,12 @@ pub mod relation_frontier_model;
 
 pub use device::DiskModel;
 pub use dijkstra_astar_model::{BestFirstModel, ModelStep};
+pub use estimator_model::{
+    alt_tightness, estimator_curve, CurvePoint, EstimatorModel, FRONTIER_SPREAD,
+    TIGHTNESS_EUCLIDEAN, TIGHTNESS_MANHATTAN, TIGHTNESS_ZERO,
+};
 pub use iterative_model::IterativeModel;
 pub use join_cost::{algebraic_join_cost, cheapest_join};
 pub use params::ModelParams;
-pub use relation_frontier_model::RelationFrontierModel;
 pub use predict::{predict_cost, table_4b, AlgorithmKind, Prediction};
+pub use relation_frontier_model::RelationFrontierModel;

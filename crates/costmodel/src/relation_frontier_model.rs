@@ -61,7 +61,9 @@ impl RelationFrontierModel {
 
     /// Frontier blocks at iteration `i` (tombstones included).
     fn frontier_blocks(&self, i: f64) -> f64 {
-        ((1.0 + self.new_per_expansion * i) / self.p.bf_r() as f64).ceil().max(1.0)
+        ((1.0 + self.new_per_expansion * i) / self.p.bf_r() as f64)
+            .ceil()
+            .max(1.0)
     }
 
     /// Cost of iteration `i` (1-based).
@@ -86,7 +88,10 @@ impl RelationFrontierModel {
 
     /// Total predicted cost over a trace's iteration count.
     pub fn total(&self, iterations: u64) -> f64 {
-        self.init_cost() + (1..=iterations).map(|i| self.iteration_cost(i)).sum::<f64>()
+        self.init_cost()
+            + (1..=iterations)
+                .map(|i| self.iteration_cost(i))
+                .sum::<f64>()
     }
 
     /// The iteration count at which version 1's cumulative cost overtakes
@@ -94,11 +99,7 @@ impl RelationFrontierModel {
     /// paper's Figure 12 narrative implies ("version 1 starts out much
     /// better ... for longer paths it falls behind"). Returns `None` if v1
     /// never overtakes within `limit`.
-    pub fn crossover_vs(
-        &self,
-        status_total: impl Fn(u64) -> f64,
-        limit: u64,
-    ) -> Option<u64> {
+    pub fn crossover_vs(&self, status_total: impl Fn(u64) -> f64, limit: u64) -> Option<u64> {
         (1..=limit).find(|&t| self.total(t) > status_total(t))
     }
 }
@@ -140,7 +141,9 @@ mod tests {
         let p = ModelParams::table_4a();
         let v1 = RelationFrontierModel::new(p);
         let v2 = BestFirstModel::new(p);
-        let crossover = v1.crossover_vs(|t| v2.total(t), 1000).expect("v1 must fall behind");
+        let crossover = v1
+            .crossover_vs(|t| v2.total(t), 1000)
+            .expect("v1 must fall behind");
         assert!(crossover <= 10, "crossover at iteration {crossover}");
     }
 

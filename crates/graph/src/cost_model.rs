@@ -53,7 +53,10 @@ impl CostModel {
         (r2, c2): (usize, usize),
         rng: &mut SplitMix64,
     ) -> f64 {
-        debug_assert!(r1.abs_diff(r2) + c1.abs_diff(c2) == 1, "cells must be adjacent");
+        debug_assert!(
+            r1.abs_diff(r2) + c1.abs_diff(c2) == 1,
+            "cells must be adjacent"
+        );
         match *self {
             CostModel::Uniform => 1.0,
             CostModel::UniformVariance { variance } => 1.0 + variance * rng.next_f64(),

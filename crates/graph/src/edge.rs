@@ -52,7 +52,13 @@ pub struct Edge {
 impl Edge {
     /// Creates a plain street edge with the given cost.
     pub fn new(from: NodeId, to: NodeId, cost: f64) -> Self {
-        Edge { from, to, cost, class: RoadClass::default(), occupancy: 0.0 }
+        Edge {
+            from,
+            to,
+            cost,
+            class: RoadClass::default(),
+            occupancy: 0.0,
+        }
     }
 
     /// Sets the road class.

@@ -52,14 +52,20 @@ impl fmt::Display for GraphError {
                 write!(f, "edge ({from} -> {to}) has a non-finite cost")
             }
             GraphError::MissingEdge { from, to } => {
-                write!(f, "path uses edge ({from} -> {to}) which is not in the graph")
+                write!(
+                    f,
+                    "path uses edge ({from} -> {to}) which is not in the graph"
+                )
             }
             GraphError::MalformedPath(msg) => write!(f, "malformed path: {msg}"),
             GraphError::DegenerateGrid(k) => {
                 write!(f, "grid dimension {k} is too small (need k >= 2)")
             }
             GraphError::TooManyNodes(n) => {
-                write!(f, "graph has {n} nodes; the storage layer supports at most 65535")
+                write!(
+                    f,
+                    "graph has {n} nodes; the storage layer supports at most 65535"
+                )
             }
         }
     }

@@ -46,7 +46,9 @@ pub enum FormatError {
 impl fmt::Display for FormatError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            FormatError::BadHeader(h) => write!(f, "bad header {h:?} (expected 'atis-road-network v1')"),
+            FormatError::BadHeader(h) => {
+                write!(f, "bad header {h:?} (expected 'atis-road-network v1')")
+            }
             FormatError::BadSection(s) => write!(f, "bad section header {s:?}"),
             FormatError::BadLine { line, message } => write!(f, "line {line}: {message}"),
             FormatError::Graph(e) => write!(f, "invalid graph: {e}"),
@@ -120,8 +122,9 @@ pub fn read_graph(input: &str) -> Result<Graph, FormatError> {
         return Err(FormatError::BadHeader(header.to_string()));
     }
 
-    let (line_no, nodes_header) =
-        lines.next().ok_or_else(|| FormatError::BadSection("<missing nodes>".to_string()))?;
+    let (line_no, nodes_header) = lines
+        .next()
+        .ok_or_else(|| FormatError::BadSection("<missing nodes>".to_string()))?;
     let n: usize = match nodes_header.strip_prefix("nodes ") {
         Some(rest) => rest.parse().map_err(|_| FormatError::BadLine {
             line: line_no,
@@ -137,13 +140,18 @@ pub fn read_graph(input: &str) -> Result<Graph, FormatError> {
             message: format!("expected {n} node lines, input ended at node {expected}"),
         })?;
         let mut parts = l.split_whitespace();
-        let bad = |message: String| FormatError::BadLine { line: line_no, message };
+        let bad = |message: String| FormatError::BadLine {
+            line: line_no,
+            message,
+        };
         let id: u32 = parts
             .next()
             .and_then(|t| t.parse().ok())
             .ok_or_else(|| bad("missing/invalid node id".into()))?;
         if id as usize != expected {
-            return Err(bad(format!("node ids must be dense and in order (got {id}, expected {expected})")));
+            return Err(bad(format!(
+                "node ids must be dense and in order (got {id}, expected {expected})"
+            )));
         }
         let x: f64 = parts
             .next()
@@ -159,8 +167,9 @@ pub fn read_graph(input: &str) -> Result<Graph, FormatError> {
         b.add_node(Point::new(x, y));
     }
 
-    let (line_no, edges_header) =
-        lines.next().ok_or_else(|| FormatError::BadSection("<missing edges>".to_string()))?;
+    let (line_no, edges_header) = lines
+        .next()
+        .ok_or_else(|| FormatError::BadSection("<missing edges>".to_string()))?;
     let m: usize = match edges_header.strip_prefix("edges ") {
         Some(rest) => rest.parse().map_err(|_| FormatError::BadLine {
             line: line_no,
@@ -174,7 +183,10 @@ pub fn read_graph(input: &str) -> Result<Graph, FormatError> {
             line: usize::MAX,
             message: format!("expected {m} edge lines, input ended at edge {expected}"),
         })?;
-        let bad = |message: String| FormatError::BadLine { line: line_no, message };
+        let bad = |message: String| FormatError::BadLine {
+            line: line_no,
+            message,
+        };
         let mut parts = l.split_whitespace();
         let from: u32 = parts
             .next()
@@ -200,7 +212,9 @@ pub fn read_graph(input: &str) -> Result<Graph, FormatError> {
             return Err(bad("trailing fields on edge line".into()));
         }
         b.add_edge(
-            Edge::new(NodeId(from), NodeId(to), cost).with_class(class).with_occupancy(occupancy),
+            Edge::new(NodeId(from), NodeId(to), cost)
+                .with_class(class)
+                .with_occupancy(occupancy),
         );
     }
 
@@ -241,9 +255,7 @@ mod tests {
         let m = Minneapolis::paper();
         let back = read_graph(&write_graph(m.graph())).unwrap();
         assert_eq!(back.edge_count(), m.graph().edge_count());
-        let freeway_count = |g: &Graph| {
-            g.edges().filter(|e| e.class == RoadClass::Freeway).count()
-        };
+        let freeway_count = |g: &Graph| g.edges().filter(|e| e.class == RoadClass::Freeway).count();
         assert_eq!(freeway_count(&back), freeway_count(m.graph()));
         // Occupancy survives (f64 textual roundtrip).
         for (a, b) in m.graph().edges().zip(back.edges()).take(100) {
@@ -261,7 +273,10 @@ mod tests {
 
     #[test]
     fn bad_header_is_rejected() {
-        assert!(matches!(read_graph("not a map\n"), Err(FormatError::BadHeader(_))));
+        assert!(matches!(
+            read_graph("not a map\n"),
+            Err(FormatError::BadHeader(_))
+        ));
         assert!(matches!(read_graph(""), Err(FormatError::BadHeader(_))));
     }
 

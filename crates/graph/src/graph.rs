@@ -125,7 +125,10 @@ impl Graph {
     /// The smallest edge cost in the graph (`∞` if there are no edges).
     /// Useful for scaling estimators to keep them admissible.
     pub fn min_edge_cost(&self) -> f64 {
-        self.edges.iter().map(|e| e.cost).fold(f64::INFINITY, f64::min)
+        self.edges
+            .iter()
+            .map(|e| e.cost)
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Returns a copy of the graph with every edge cost replaced by the
@@ -145,17 +148,16 @@ impl Graph {
     ///
     /// # Errors
     /// Rejects negative or non-finite costs.
-    pub fn set_edge_cost(
-        &mut self,
-        u: NodeId,
-        v: NodeId,
-        cost: f64,
-    ) -> Result<usize, GraphError> {
+    pub fn set_edge_cost(&mut self, u: NodeId, v: NodeId, cost: f64) -> Result<usize, GraphError> {
         if !cost.is_finite() {
             return Err(GraphError::NonFiniteCost { from: u, to: v });
         }
         if cost < 0.0 {
-            return Err(GraphError::NegativeCost { from: u, to: v, cost });
+            return Err(GraphError::NegativeCost {
+                from: u,
+                to: v,
+                cost,
+            });
         }
         if u.index() + 1 >= self.offsets.len() {
             return Err(GraphError::UnknownNode(u));
@@ -172,6 +174,34 @@ impl Graph {
         Ok(updated)
     }
 
+    /// A fingerprint of the graph's topology and edge costs (FNV-1a over
+    /// node count, edge endpoints, and cost bit patterns).
+    ///
+    /// Derived artifacts built from a snapshot of the costs — landmark
+    /// distance tables in particular — stamp themselves with this value
+    /// and compare it at query time to detect that a traffic update has
+    /// made them stale. Equal fingerprints mean equal costs for all
+    /// practical purposes; a collision would need adversarial inputs,
+    /// which traffic updates are not.
+    pub fn cost_fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(FNV_PRIME);
+            }
+        };
+        mix(self.points.len() as u64);
+        mix(self.edges.len() as u64);
+        for e in &self.edges {
+            mix(u64::from(e.from.0) << 32 | u64::from(e.to.0));
+            mix(e.cost.to_bits());
+        }
+        h
+    }
+
     /// Applies `f` to every edge, producing a re-costed copy of the graph.
     ///
     /// # Errors
@@ -181,10 +211,17 @@ impl Graph {
         for e in &mut g.edges {
             let c = f(e);
             if !c.is_finite() {
-                return Err(GraphError::NonFiniteCost { from: e.from, to: e.to });
+                return Err(GraphError::NonFiniteCost {
+                    from: e.from,
+                    to: e.to,
+                });
             }
             if c < 0.0 {
-                return Err(GraphError::NegativeCost { from: e.from, to: e.to, cost: c });
+                return Err(GraphError::NegativeCost {
+                    from: e.from,
+                    to: e.to,
+                    cost: c,
+                });
             }
             e.cost = c;
         }
@@ -210,7 +247,10 @@ impl GraphBuilder {
 
     /// Creates a builder pre-sized for `nodes` nodes and `edges` edges.
     pub fn with_capacity(nodes: usize, edges: usize) -> Self {
-        GraphBuilder { points: Vec::with_capacity(nodes), edges: Vec::with_capacity(edges) }
+        GraphBuilder {
+            points: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+        }
     }
 
     /// Adds a node at `point`, returning its id.
@@ -245,7 +285,11 @@ impl GraphBuilder {
 
     /// Adds both directions with full edge attributes.
     pub fn add_undirected_edge(&mut self, edge: Edge) {
-        let back = Edge { from: edge.to, to: edge.from, ..edge };
+        let back = Edge {
+            from: edge.to,
+            to: edge.from,
+            ..edge
+        };
         self.edges.push(edge);
         self.edges.push(back);
     }
@@ -268,10 +312,17 @@ impl GraphBuilder {
                 return Err(GraphError::UnknownNode(e.to));
             }
             if !e.cost.is_finite() {
-                return Err(GraphError::NonFiniteCost { from: e.from, to: e.to });
+                return Err(GraphError::NonFiniteCost {
+                    from: e.from,
+                    to: e.to,
+                });
             }
             if e.cost < 0.0 {
-                return Err(GraphError::NegativeCost { from: e.from, to: e.to, cost: e.cost });
+                return Err(GraphError::NegativeCost {
+                    from: e.from,
+                    to: e.to,
+                    cost: e.cost,
+                });
             }
         }
 
@@ -293,7 +344,11 @@ impl GraphBuilder {
             cursor[e.from.index()] += 1;
         }
 
-        Ok(Graph { points: self.points, offsets, edges: sorted })
+        Ok(Graph {
+            points: self.points,
+            offsets,
+            edges: sorted,
+        })
     }
 }
 
@@ -436,6 +491,26 @@ mod tests {
     fn nearest_node_on_empty_graph_is_none() {
         let g = GraphBuilder::new().build().unwrap();
         assert_eq!(g.nearest_node(Point::new(0.0, 0.0)), None);
+    }
+
+    #[test]
+    fn cost_fingerprint_tracks_cost_changes() {
+        let g = diamond();
+        let before = g.cost_fingerprint();
+        assert_eq!(
+            before,
+            diamond().cost_fingerprint(),
+            "fingerprint is deterministic"
+        );
+        let mut changed = g.clone();
+        changed.set_edge_cost(NodeId(0), NodeId(1), 7.0).unwrap();
+        assert_ne!(before, changed.cost_fingerprint());
+        changed.set_edge_cost(NodeId(0), NodeId(1), 1.0).unwrap();
+        assert_eq!(
+            before,
+            changed.cost_fingerprint(),
+            "restoring the cost restores the print"
+        );
     }
 
     #[test]

@@ -46,8 +46,11 @@ impl QueryKind {
     }
 
     /// The three deterministic kinds reported in the paper's tables.
-    pub const TABLE: [QueryKind; 3] =
-        [QueryKind::Horizontal, QueryKind::SemiDiagonal, QueryKind::Diagonal];
+    pub const TABLE: [QueryKind; 3] = [
+        QueryKind::Horizontal,
+        QueryKind::SemiDiagonal,
+        QueryKind::Diagonal,
+    ];
 }
 
 /// A `k × k` four-neighbour grid graph with one of the paper's cost models
@@ -102,7 +105,12 @@ impl Grid {
                 }
             }
         }
-        Ok(Grid { graph: b.build()?, k, cost_model, seed })
+        Ok(Grid {
+            graph: b.build()?,
+            k,
+            cost_model,
+            seed,
+        })
     }
 
     /// The underlying graph.
@@ -125,7 +133,11 @@ impl Grid {
     /// # Panics
     /// Panics if the cell is out of range.
     pub fn node_at(&self, row: usize, col: usize) -> NodeId {
-        assert!(row < self.k && col < self.k, "cell ({row},{col}) outside {0}x{0} grid", self.k);
+        assert!(
+            row < self.k && col < self.k,
+            "cell ({row},{col}) outside {0}x{0} grid",
+            self.k
+        );
         NodeId((row * self.k + col) as u32)
     }
 
@@ -243,8 +255,12 @@ mod tests {
     fn different_seed_different_costs() {
         let a = Grid::new(12, CostModel::TWENTY_PERCENT, 5).unwrap();
         let b = Grid::new(12, CostModel::TWENTY_PERCENT, 6).unwrap();
-        let differing =
-            a.graph().edges().zip(b.graph().edges()).filter(|(x, y)| x.cost != y.cost).count();
+        let differing = a
+            .graph()
+            .edges()
+            .zip(b.graph().edges())
+            .filter(|(x, y)| x.cost != y.cost)
+            .count();
         assert!(differing > 0);
     }
 
@@ -275,7 +291,10 @@ mod tests {
             );
         }
         // An interior segment is full price.
-        assert_eq!(g.graph().edge_cost(g.node_at(5, 5), g.node_at(5, 6)), Some(1.0));
+        assert_eq!(
+            g.graph().edge_cost(g.node_at(5, 5), g.node_at(5, 6)),
+            Some(1.0)
+        );
     }
 
     #[test]

@@ -83,8 +83,12 @@ impl NamedPair {
     }
 
     /// All four pairs in Table 8 column order.
-    pub const ALL: [NamedPair; 4] =
-        [NamedPair::AtoB, NamedPair::CtoD, NamedPair::GtoD, NamedPair::EtoF];
+    pub const ALL: [NamedPair; 4] = [
+        NamedPair::AtoB,
+        NamedPair::CtoD,
+        NamedPair::GtoD,
+        NamedPair::EtoF,
+    ];
 }
 
 /// The synthetic Minneapolis road map.
@@ -157,7 +161,10 @@ struct Generator {
 
 impl Generator {
     fn new(seed: u64) -> Self {
-        Generator { rng: SplitMix64::new(seed), seed }
+        Generator {
+            rng: SplitMix64::new(seed),
+            seed,
+        }
     }
 
     fn build(mut self) -> Result<Minneapolis, GraphError> {
@@ -241,10 +248,10 @@ impl Generator {
         const FWY_SOUTH_COL: usize = 15;
 
         let add_segment = |b: &mut GraphBuilder,
-                               (r1, c1): (usize, usize),
-                               (r2, c2): (usize, usize),
-                               thin_rng: &mut SplitMix64,
-                               occ_rng: &mut SplitMix64| {
+                           (r1, c1): (usize, usize),
+                           (r2, c2): (usize, usize),
+                           thin_rng: &mut SplitMix64,
+                           occ_rng: &mut SplitMix64| {
             let (a_id, b_id) = (id(r1, c1), id(r2, c2));
             let (pa, pb) = (points[a_id.index()], points[b_id.index()]);
             // Lakes swallow segments.
@@ -287,11 +294,20 @@ impl Generator {
                     let (f, t) = if r1 > r2 { (a_id, b_id) } else { (b_id, a_id) };
                     Edge::new(f, t, cost)
                 };
-                b.add_edge(edge.with_class(RoadClass::Freeway).with_occupancy(occupancy * 0.5));
+                b.add_edge(
+                    edge.with_class(RoadClass::Freeway)
+                        .with_occupancy(occupancy * 0.5),
+                );
             } else {
-                let class = if dt { RoadClass::Street } else { RoadClass::Highway };
+                let class = if dt {
+                    RoadClass::Street
+                } else {
+                    RoadClass::Highway
+                };
                 b.add_undirected_edge(
-                    Edge::new(a_id, b_id, cost).with_class(class).with_occupancy(occupancy),
+                    Edge::new(a_id, b_id, cost)
+                        .with_class(class)
+                        .with_occupancy(occupancy),
                 );
             }
         };
@@ -351,7 +367,11 @@ fn mutually_reachable_core(graph: &Graph, root: NodeId) -> Vec<bool> {
         rev[e.to.index()].push(e.from);
     }
     let backward = bfs_reach(n, root, |u| rev[u.index()].iter().copied());
-    forward.iter().zip(backward.iter()).map(|(&f, &b)| f && b).collect()
+    forward
+        .iter()
+        .zip(backward.iter())
+        .map(|(&f, &b)| f && b)
+        .collect()
 }
 
 fn bfs_reach<I>(n: usize, root: NodeId, mut succ: impl FnMut(NodeId) -> I) -> Vec<bool>
@@ -419,7 +439,11 @@ mod tests {
     #[test]
     fn freeway_edges_exist_and_are_classified() {
         let m = Minneapolis::paper();
-        let freeways = m.graph().edges().filter(|e| e.class == RoadClass::Freeway).count();
+        let freeways = m
+            .graph()
+            .edges()
+            .filter(|e| e.class == RoadClass::Freeway)
+            .count();
         assert!(freeways >= 50, "only {freeways} freeway edges");
     }
 

@@ -17,7 +17,10 @@ pub struct Path {
 impl Path {
     /// A trivial path consisting of a single node with zero cost.
     pub fn trivial(node: NodeId) -> Self {
-        Path { nodes: vec![node], cost: 0.0 }
+        Path {
+            nodes: vec![node],
+            cost: 0.0,
+        }
     }
 
     /// The source node.
@@ -121,21 +124,33 @@ mod tests {
     #[test]
     fn validate_accepts_correct_path() {
         let g = graph_from_arcs(3, &[(0, 1, 1.5), (1, 2, 2.5)]).unwrap();
-        let p = Path { nodes: vec![NodeId(0), NodeId(1), NodeId(2)], cost: 4.0 };
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 4.0,
+        };
         assert!((p.validate(&g).unwrap() - 4.0).abs() < 1e-12);
     }
 
     #[test]
     fn validate_rejects_missing_edge() {
         let g = graph_from_arcs(3, &[(0, 1, 1.0)]).unwrap();
-        let p = Path { nodes: vec![NodeId(0), NodeId(2)], cost: 1.0 };
-        assert!(matches!(p.validate(&g), Err(GraphError::MissingEdge { .. })));
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(2)],
+            cost: 1.0,
+        };
+        assert!(matches!(
+            p.validate(&g),
+            Err(GraphError::MissingEdge { .. })
+        ));
     }
 
     #[test]
     fn validate_rejects_wrong_cost() {
         let g = graph_from_arcs(2, &[(0, 1, 1.0)]).unwrap();
-        let p = Path { nodes: vec![NodeId(0), NodeId(1)], cost: 9.0 };
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1)],
+            cost: 9.0,
+        };
         assert!(matches!(p.validate(&g), Err(GraphError::MalformedPath(_))));
     }
 
@@ -161,7 +176,10 @@ mod tests {
 
     #[test]
     fn hops_iterates_pairs() {
-        let p = Path { nodes: vec![NodeId(0), NodeId(1), NodeId(2)], cost: 0.0 };
+        let p = Path {
+            nodes: vec![NodeId(0), NodeId(1), NodeId(2)],
+            cost: 0.0,
+        };
         let hops: Vec<_> = p.hops().collect();
         assert_eq!(hops, vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(2))]);
     }

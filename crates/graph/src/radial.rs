@@ -114,7 +114,11 @@ impl RadialCity {
                 }
             }
         }
-        Ok(RadialCity { graph: b.build()?, rings, spokes })
+        Ok(RadialCity {
+            graph: b.build()?,
+            rings,
+            spokes,
+        })
     }
 
     /// The road network.
@@ -142,7 +146,11 @@ impl RadialCity {
     /// # Panics
     /// Panics if `r` is outside `1..=rings`.
     pub fn node_at(&self, r: usize, k: usize) -> NodeId {
-        assert!((1..=self.rings).contains(&r), "ring {r} outside 1..={}", self.rings);
+        assert!(
+            (1..=self.rings).contains(&r),
+            "ring {r} outside 1..={}",
+            self.rings
+        );
         NodeId((1 + (r - 1) * self.spokes + k % self.spokes) as u32)
     }
 
@@ -155,9 +163,10 @@ impl RadialCity {
             RadialQuery::Tangential => {
                 (self.node_at(outer, 0), self.node_at(outer, self.spokes / 4))
             }
-            RadialQuery::Offset => {
-                (self.node_at(outer, 0), self.node_at(outer, 3 * self.spokes / 8))
-            }
+            RadialQuery::Offset => (
+                self.node_at(outer, 0),
+                self.node_at(outer, 3 * self.spokes / 8),
+            ),
         }
     }
 }
@@ -197,12 +206,18 @@ mod tests {
     fn costs_are_geometric_without_jitter() {
         let c = city();
         // Spoke edges cost exactly 1.
-        let spoke = c.graph().edge_cost(c.node_at(2, 0), c.node_at(1, 0)).unwrap();
+        let spoke = c
+            .graph()
+            .edge_cost(c.node_at(2, 0), c.node_at(1, 0))
+            .unwrap();
         assert!((spoke - 1.0).abs() < 1e-9);
         // Ring edges cost the chord length.
         let a = 2.0 * std::f64::consts::PI / 12.0;
         let chord3 = 2.0 * 3.0 * (a / 2.0).sin();
-        let ring = c.graph().edge_cost(c.node_at(3, 0), c.node_at(3, 1)).unwrap();
+        let ring = c
+            .graph()
+            .edge_cost(c.node_at(3, 0), c.node_at(3, 1))
+            .unwrap();
         assert!((ring - chord3).abs() < 1e-9);
     }
 
@@ -221,7 +236,10 @@ mod tests {
         let c = city();
         let (s, d) = c.query_pair(RadialQuery::Across);
         let (ps, pd) = (c.graph().point(s), c.graph().point(d));
-        assert!((ps.euclidean(&pd) - 10.0).abs() < 1e-9, "diametrically opposite");
+        assert!(
+            (ps.euclidean(&pd) - 10.0).abs() < 1e-9,
+            "diametrically opposite"
+        );
         let (s, d) = c.query_pair(RadialQuery::Inward);
         assert_eq!(d, c.centre());
         let _ = s;

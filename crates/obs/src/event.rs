@@ -246,7 +246,11 @@ impl TraceEvent {
     /// Renders the event as one line of JSON (no trailing newline).
     pub fn to_json(&self) -> String {
         match self {
-            TraceEvent::RunStarted { algorithm, source, destination } => JsonObject::new()
+            TraceEvent::RunStarted {
+                algorithm,
+                source,
+                destination,
+            } => JsonObject::new()
                 .string("type", "run_started")
                 .string("algorithm", algorithm)
                 .u64("source", u64::from(*source))
@@ -276,16 +280,20 @@ impl TraceEvent {
                 .finish(),
             TraceEvent::Plan(p) => p.to_json(),
             TraceEvent::Serve(s) => s.to_json(),
-            TraceEvent::RunFinished { algorithm, iterations, found, io_total, cost_units } => {
-                JsonObject::new()
-                    .string("type", "run_finished")
-                    .string("algorithm", algorithm)
-                    .u64("iterations", *iterations)
-                    .bool("found", *found)
-                    .raw("io_total", &io_json(io_total))
-                    .f64("cost_units", *cost_units)
-                    .finish()
-            }
+            TraceEvent::RunFinished {
+                algorithm,
+                iterations,
+                found,
+                io_total,
+                cost_units,
+            } => JsonObject::new()
+                .string("type", "run_finished")
+                .string("algorithm", algorithm)
+                .u64("iterations", *iterations)
+                .bool("found", *found)
+                .raw("io_total", &io_json(io_total))
+                .f64("cost_units", *cost_units)
+                .finish(),
         }
     }
 }
@@ -293,37 +301,48 @@ impl TraceEvent {
 impl PlanEvent {
     fn to_json(&self) -> String {
         match self {
-            PlanEvent::AttemptStarted { algorithm, rung, retry } => JsonObject::new()
+            PlanEvent::AttemptStarted {
+                algorithm,
+                rung,
+                retry,
+            } => JsonObject::new()
                 .string("type", "plan_attempt_started")
                 .string("algorithm", algorithm)
                 .u64("rung", u64::from(*rung))
                 .u64("retry", u64::from(*retry))
                 .finish(),
-            PlanEvent::AttemptFailed { algorithm, rung, retry, error, transient } => {
-                JsonObject::new()
-                    .string("type", "plan_attempt_failed")
-                    .string("algorithm", algorithm)
-                    .u64("rung", u64::from(*rung))
-                    .u64("retry", u64::from(*retry))
-                    .string("error", error)
-                    .bool("transient", *transient)
-                    .finish()
-            }
+            PlanEvent::AttemptFailed {
+                algorithm,
+                rung,
+                retry,
+                error,
+                transient,
+            } => JsonObject::new()
+                .string("type", "plan_attempt_failed")
+                .string("algorithm", algorithm)
+                .u64("rung", u64::from(*rung))
+                .u64("retry", u64::from(*retry))
+                .string("error", error)
+                .bool("transient", *transient)
+                .finish(),
             PlanEvent::Degraded { from, to, rung } => JsonObject::new()
                 .string("type", "plan_degraded")
                 .string("from", from)
                 .string("to", to)
                 .u64("rung", u64::from(*rung))
                 .finish(),
-            PlanEvent::Completed { algorithm, degraded, failed_attempts, found } => {
-                JsonObject::new()
-                    .string("type", "plan_completed")
-                    .string("algorithm", algorithm)
-                    .bool("degraded", *degraded)
-                    .u64("failed_attempts", u64::from(*failed_attempts))
-                    .bool("found", *found)
-                    .finish()
-            }
+            PlanEvent::Completed {
+                algorithm,
+                degraded,
+                failed_attempts,
+                found,
+            } => JsonObject::new()
+                .string("type", "plan_completed")
+                .string("algorithm", algorithm)
+                .bool("degraded", *degraded)
+                .u64("failed_attempts", u64::from(*failed_attempts))
+                .bool("found", *found)
+                .finish(),
         }
     }
 }
@@ -331,17 +350,27 @@ impl PlanEvent {
 impl ServeEvent {
     fn to_json(&self) -> String {
         match self {
-            ServeEvent::Submitted { request, queue_depth } => JsonObject::new()
+            ServeEvent::Submitted {
+                request,
+                queue_depth,
+            } => JsonObject::new()
                 .string("type", "serve_submitted")
                 .u64("request", *request)
                 .u64("queue_depth", *queue_depth)
                 .finish(),
-            ServeEvent::Rejected { request, queue_depth } => JsonObject::new()
+            ServeEvent::Rejected {
+                request,
+                queue_depth,
+            } => JsonObject::new()
                 .string("type", "serve_rejected")
                 .u64("request", *request)
                 .u64("queue_depth", *queue_depth)
                 .finish(),
-            ServeEvent::Started { request, worker, epoch } => JsonObject::new()
+            ServeEvent::Started {
+                request,
+                worker,
+                epoch,
+            } => JsonObject::new()
                 .string("type", "serve_started")
                 .u64("request", *request)
                 .u64("worker", *worker)
@@ -352,7 +381,13 @@ impl ServeEvent {
                 .u64("request", *request)
                 .u64("epoch", *epoch)
                 .finish(),
-            ServeEvent::Completed { request, worker, epoch, cached, found } => JsonObject::new()
+            ServeEvent::Completed {
+                request,
+                worker,
+                epoch,
+                cached,
+                found,
+            } => JsonObject::new()
                 .string("type", "serve_completed")
                 .u64("request", *request)
                 .u64("worker", *worker)
@@ -360,15 +395,18 @@ impl ServeEvent {
                 .bool("cached", *cached)
                 .bool("found", *found)
                 .finish(),
-            ServeEvent::EpochInstalled { epoch, updated_edges, invalidated, promoted } => {
-                JsonObject::new()
-                    .string("type", "serve_epoch_installed")
-                    .u64("epoch", *epoch)
-                    .u64("updated_edges", *updated_edges)
-                    .u64("invalidated", *invalidated)
-                    .u64("promoted", *promoted)
-                    .finish()
-            }
+            ServeEvent::EpochInstalled {
+                epoch,
+                updated_edges,
+                invalidated,
+                promoted,
+            } => JsonObject::new()
+                .string("type", "serve_epoch_installed")
+                .u64("epoch", *epoch)
+                .u64("updated_edges", *updated_edges)
+                .u64("invalidated", *invalidated)
+                .u64("promoted", *promoted)
+                .finish(),
         }
     }
 }
@@ -398,7 +436,10 @@ mod tests {
     fn iteration_json_has_fixed_shape() {
         let ev = TraceEvent::Iteration(sample_iteration());
         let json = ev.to_json();
-        assert!(json.starts_with(r#"{"type":"iteration","algorithm":"Dijkstra""#), "{json}");
+        assert!(
+            json.starts_with(r#"{"type":"iteration","algorithm":"Dijkstra""#),
+            "{json}"
+        );
         assert!(json.contains(r#""phase":"search""#));
         assert!(json.contains(r#""selected":17"#));
         assert!(json.contains(r#""join":"nested-loop""#));
@@ -452,7 +493,12 @@ mod tests {
     fn fault_events_mirror_the_storage_record() {
         let ev = TraceEvent::Fault {
             algorithm: "Dijkstra".into(),
-            fault: FaultEvent { op: "read", block: 9, op_index: 41, torn: false },
+            fault: FaultEvent {
+                op: "read",
+                block: 9,
+                op_index: 41,
+                torn: false,
+            },
         };
         let json = ev.to_json();
         assert!(json.contains(r#""op":"read""#));
@@ -462,16 +508,29 @@ mod tests {
 
     #[test]
     fn serve_events_render_every_span() {
-        let submitted = TraceEvent::Serve(ServeEvent::Submitted { request: 7, queue_depth: 3 });
+        let submitted = TraceEvent::Serve(ServeEvent::Submitted {
+            request: 7,
+            queue_depth: 3,
+        });
         assert_eq!(
             submitted.to_json(),
             r#"{"type":"serve_submitted","request":7,"queue_depth":3}"#
         );
-        let rejected = TraceEvent::Serve(ServeEvent::Rejected { request: 8, queue_depth: 64 });
+        let rejected = TraceEvent::Serve(ServeEvent::Rejected {
+            request: 8,
+            queue_depth: 64,
+        });
         assert!(rejected.to_json().contains(r#""type":"serve_rejected""#));
-        let started = TraceEvent::Serve(ServeEvent::Started { request: 7, worker: 2, epoch: 4 });
+        let started = TraceEvent::Serve(ServeEvent::Started {
+            request: 7,
+            worker: 2,
+            epoch: 4,
+        });
         assert!(started.to_json().contains(r#""worker":2"#));
-        let hit = TraceEvent::Serve(ServeEvent::CacheHit { request: 7, epoch: 4 });
+        let hit = TraceEvent::Serve(ServeEvent::CacheHit {
+            request: 7,
+            epoch: 4,
+        });
         assert!(hit.to_json().contains(r#""type":"serve_cache_hit""#));
         let done = TraceEvent::Serve(ServeEvent::Completed {
             request: 7,
@@ -481,7 +540,10 @@ mod tests {
             found: true,
         });
         let json = done.to_json();
-        assert!(json.contains(r#""cached":true"#) && json.contains(r#""found":true"#), "{json}");
+        assert!(
+            json.contains(r#""cached":true"#) && json.contains(r#""found":true"#),
+            "{json}"
+        );
         let installed = TraceEvent::Serve(ServeEvent::EpochInstalled {
             epoch: 5,
             updated_edges: 2,
@@ -489,7 +551,10 @@ mod tests {
             promoted: 9,
         });
         let json = installed.to_json();
-        assert!(json.contains(r#""invalidated":3"#) && json.contains(r#""promoted":9"#), "{json}");
+        assert!(
+            json.contains(r#""invalidated":3"#) && json.contains(r#""promoted":9"#),
+            "{json}"
+        );
     }
 
     #[test]

@@ -17,7 +17,10 @@ pub(crate) struct JsonObject {
 
 impl JsonObject {
     pub(crate) fn new() -> JsonObject {
-        JsonObject { buf: String::from("{"), first: true }
+        JsonObject {
+            buf: String::from("{"),
+            first: true,
+        }
     }
 
     fn key(&mut self, key: &str) {
@@ -142,7 +145,9 @@ mod tests {
     #[test]
     fn options_render_as_null_or_value() {
         let mut o = JsonObject::new();
-        o.opt_u64("x", None).opt_u64("y", Some(3)).opt_string("z", None);
+        o.opt_u64("x", None)
+            .opt_u64("y", Some(3))
+            .opt_string("z", None);
         assert_eq!(o.finish(), r#"{"x":null,"y":3,"z":null}"#);
     }
 

@@ -20,8 +20,9 @@ use std::sync::{Arc, Mutex};
 
 /// Default histogram bucket upper bounds: a 1–2–5 ladder wide enough for
 /// iteration counts, block counts, and sub-second latencies alike.
-pub const DEFAULT_BUCKETS: [f64; 13] =
-    [0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 10_000.0];
+pub const DEFAULT_BUCKETS: [f64; 13] = [
+    0.001, 0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 10_000.0,
+];
 
 /// A histogram: counts per bucket plus running aggregates.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +56,11 @@ impl Histogram {
     }
 
     fn observe(&mut self, value: f64) {
-        let slot = self.bounds.iter().position(|&b| value <= b).unwrap_or(self.bounds.len());
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| value <= b)
+            .unwrap_or(self.bounds.len());
         self.counts[slot] += 1;
         self.count += 1;
         self.sum += value;
@@ -157,7 +162,9 @@ impl MetricsRegistry {
             return;
         }
         let mut map = self.lock();
-        match map.entry(name.to_string()).or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
         {
             Metric::Histogram(h) => h.observe(value),
             Metric::Counter(_) => {}
@@ -250,7 +257,10 @@ mod tests {
         let a = build(&["b_total", "a_total", "c_total"]);
         let b = build(&["c_total", "b_total", "a_total"]);
         assert_eq!(a, b, "snapshots must not depend on touch order");
-        assert!(a.starts_with(r#"{"counters":{"a_total":2,"b_total":2,"c_total":2}"#), "{a}");
+        assert!(
+            a.starts_with(r#"{"counters":{"a_total":2,"b_total":2,"c_total":2}"#),
+            "{a}"
+        );
     }
 
     #[test]

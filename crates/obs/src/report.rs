@@ -15,7 +15,7 @@
 //! [`IterativeModel`] (Table 2). Each row is flagged when it diverges
 //! beyond the caller's tolerance.
 
-use atis_costmodel::{BestFirstModel, IterativeModel, ModelParams};
+use atis_costmodel::{BestFirstModel, EstimatorModel, IterativeModel, ModelParams};
 use atis_storage::IoStats;
 use std::fmt::Write;
 
@@ -125,7 +125,11 @@ pub fn best_first_report(
             ("init (C1-C4)", model.init_cost(), steps.init),
             ("select (C5)", iters * model.select_cost(), steps.select),
             ("join (C7)", iters * model.join_step_cost(), steps.join),
-            ("update (C6+C8)", iters * model.update_step_cost(), steps.update),
+            (
+                "update (C6+C8)",
+                iters * model.update_step_cost(),
+                steps.update,
+            ),
             ("bookkeeping", 0.0, steps.bookkeeping),
         ],
         &params,
@@ -159,10 +163,26 @@ pub fn iterative_report(
     let rows = make_rows(
         [
             ("init (C1-C4)", model.init_cost(), steps.init),
-            ("fetch current (C5)", iters * model.select_cost(), steps.select),
-            ("join (C6)", iters * model.join_step_cost(avg_current), steps.join),
-            ("relax+flip (C7)", iters * model.update_step_cost(), steps.update),
-            ("count current (C8)", iters * model.count_cost(), steps.bookkeeping),
+            (
+                "fetch current (C5)",
+                iters * model.select_cost(),
+                steps.select,
+            ),
+            (
+                "join (C6)",
+                iters * model.join_step_cost(avg_current),
+                steps.join,
+            ),
+            (
+                "relax+flip (C7)",
+                iters * model.update_step_cost(),
+                steps.update,
+            ),
+            (
+                "count current (C8)",
+                iters * model.count_cost(),
+                steps.bookkeeping,
+            ),
         ],
         &params,
         predicted_total,
@@ -200,7 +220,10 @@ impl ModelReport {
 
     /// The largest per-step relative error.
     pub fn max_relative_error(&self) -> f64 {
-        self.rows.iter().map(|r| r.relative_error).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(|r| r.relative_error)
+            .fold(0.0, f64::max)
     }
 
     /// Renders the report as an aligned text table with a verdict column.
@@ -237,7 +260,185 @@ impl ModelReport {
             self.predicted_total,
             self.measured_total,
             total_err * 100.0,
-            if total_err <= self.tolerance { "ok" } else { "DIVERGES" }
+            if total_err <= self.tolerance {
+                "ok"
+            } else {
+                "DIVERGES"
+            }
+        );
+        out
+    }
+}
+
+/// One metered A\* run, labelled with the tightness the estimator model
+/// assigns its estimator — the measured side of an [`EstimatorReport`]
+/// row. Take `iterations` and `frontier_peak` straight from the
+/// `RunTrace` and `block_reads` from its `IoStats`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorObservation {
+    /// Algorithm label (e.g. `"A* (version 4)"`).
+    pub label: String,
+    /// Model tightness τ for this estimator (see
+    /// [`atis_costmodel::estimator_model`]).
+    pub tightness: f64,
+    /// Metered main-loop iterations (node expansions).
+    pub iterations: u64,
+    /// Metered peak frontier cardinality.
+    pub frontier_peak: u64,
+    /// Metered physical block reads.
+    pub block_reads: u64,
+}
+
+/// One estimator's predicted-vs-measured line in an [`EstimatorReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorRow {
+    /// Algorithm label.
+    pub label: String,
+    /// Tightness the prediction used.
+    pub tightness: f64,
+    /// Predicted expansions from the τ-model.
+    pub predicted_iterations: f64,
+    /// Metered expansions.
+    pub measured_iterations: u64,
+    /// Predicted peak frontier cardinality.
+    pub predicted_frontier_peak: f64,
+    /// Metered peak frontier cardinality.
+    pub measured_frontier_peak: u64,
+    /// Predicted physical block reads.
+    pub predicted_block_reads: f64,
+    /// Metered physical block reads.
+    pub measured_block_reads: u64,
+    /// `|measured − predicted| / predicted` on the iteration count (the
+    /// quantity the τ-model is calibrated on).
+    pub relative_error: f64,
+    /// Whether the iteration error stays inside the report's tolerance.
+    pub within: bool,
+}
+
+/// The estimator-quality companion to [`ModelReport`]: one row per A\*
+/// version, each comparing the tightness model's predicted expansions /
+/// frontier peak / block reads against a metered run of the same query.
+///
+/// The τ-model is an envelope model (it predicts curve *shape* and
+/// version *ordering*, not 2% accuracy), so callers should pass a
+/// correspondingly generous tolerance; [`EstimatorReport::ranked_like_model`]
+/// checks the ordering claim separately from the per-row envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorReport {
+    /// Shortest-path hop count of the query all rows ran.
+    pub hops: f64,
+    /// Relative-error tolerance each row's iteration count was checked
+    /// against.
+    pub tolerance: f64,
+    /// One row per observed estimator, in the caller's order.
+    pub rows: Vec<EstimatorRow>,
+}
+
+/// Builds the estimator-quality comparison: for each observed run,
+/// predicts expansions, frontier peak, and block reads from the
+/// estimator's tightness and the query's hop count, and scores the
+/// iteration prediction against the metered value.
+pub fn estimator_report(
+    hops: f64,
+    observations: &[EstimatorObservation],
+    mp: ModelParams,
+    tolerance: f64,
+) -> EstimatorReport {
+    let rows = observations
+        .iter()
+        .map(|o| {
+            let model = EstimatorModel::new(mp, o.tightness);
+            let predicted_iterations = model.predicted_iterations(hops);
+            let relative_error =
+                (o.iterations as f64 - predicted_iterations).abs() / predicted_iterations;
+            EstimatorRow {
+                label: o.label.clone(),
+                tightness: model.tightness,
+                predicted_iterations,
+                measured_iterations: o.iterations,
+                predicted_frontier_peak: model.predicted_frontier_peak(hops),
+                measured_frontier_peak: o.frontier_peak,
+                predicted_block_reads: model.predicted_block_reads(hops),
+                measured_block_reads: o.block_reads,
+                relative_error,
+                within: relative_error <= tolerance,
+            }
+        })
+        .collect();
+    EstimatorReport {
+        hops,
+        tolerance,
+        rows,
+    }
+}
+
+impl EstimatorReport {
+    /// Whether every row's iteration prediction stays inside the
+    /// tolerance.
+    pub fn within_tolerance(&self) -> bool {
+        self.rows.iter().all(|r| r.within)
+    }
+
+    /// The model's headline claim: sorting the versions by *predicted*
+    /// expansions gives the same order as sorting by *measured*
+    /// expansions (ties in either ranking are allowed to flip).
+    pub fn ranked_like_model(&self) -> bool {
+        self.rows.windows(2).all(|w| {
+            match w[0]
+                .predicted_iterations
+                .partial_cmp(&w[1].predicted_iterations)
+            {
+                Some(std::cmp::Ordering::Less) => {
+                    w[0].measured_iterations <= w[1].measured_iterations
+                }
+                Some(std::cmp::Ordering::Greater) => {
+                    w[0].measured_iterations >= w[1].measured_iterations
+                }
+                _ => true,
+            }
+        })
+    }
+
+    /// Renders the report as an aligned text table (one row per
+    /// estimator) with a verdict column, in the same style as
+    /// [`ModelReport::render`].
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "estimator quality — model vs measured over {} hops (tolerance {:.0}%)",
+            self.hops,
+            self.tolerance * 100.0
+        );
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>16} {:>14} {:>16} {:>8}  verdict",
+            "algorithm", "τ", "iters pred/meas", "peak pred/meas", "reads pred/meas", "err"
+        );
+        for r in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:<18} {:>5.2} {:>9.0}/{:<6} {:>8.0}/{:<5} {:>10.0}/{:<5} {:>7.0}%  {}",
+                r.label,
+                r.tightness,
+                r.predicted_iterations,
+                r.measured_iterations,
+                r.predicted_frontier_peak,
+                r.measured_frontier_peak,
+                r.predicted_block_reads,
+                r.measured_block_reads,
+                r.relative_error * 100.0,
+                if r.within { "ok" } else { "DIVERGES" }
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ranking: {}",
+            if self.ranked_like_model() {
+                "measured order matches the model"
+            } else {
+                "ORDER FLIPPED"
+            }
         );
         out
     }
@@ -298,7 +499,11 @@ mod tests {
         let mp = ModelParams::table_4a();
         // Nothing measured, nothing predicted for bookkeeping: fine.
         let report = best_first_report("Dijkstra", 10, &StepIo::default(), mp, 0.5);
-        let bk = report.rows.iter().find(|r| r.step == "bookkeeping").unwrap();
+        let bk = report
+            .rows
+            .iter()
+            .find(|r| r.step == "bookkeeping")
+            .unwrap();
         assert!(bk.within);
         // A bookkeeping bucket the size of the whole predicted run: not.
         let mut steps = StepIo::default();
@@ -306,7 +511,11 @@ mod tests {
         io.read_blocks((report.predicted_total / mp.io.t_read) as u64);
         steps.bookkeeping = io;
         let report = best_first_report("Dijkstra", 10, &steps, mp, 0.5);
-        let bk = report.rows.iter().find(|r| r.step == "bookkeeping").unwrap();
+        let bk = report
+            .rows
+            .iter()
+            .find(|r| r.step == "bookkeeping")
+            .unwrap();
         assert!(!bk.within);
     }
 
@@ -328,13 +537,70 @@ mod tests {
         assert!(report.predicted_total > 0.0);
     }
 
+    fn observed(label: &str, tightness: f64, iterations: u64) -> EstimatorObservation {
+        EstimatorObservation {
+            label: label.to_string(),
+            tightness,
+            iterations,
+            frontier_peak: 0,
+            block_reads: 0,
+        }
+    }
+
+    #[test]
+    fn estimator_report_scores_each_version_against_its_tau() {
+        use atis_costmodel::{alt_tightness, TIGHTNESS_MANHATTAN, TIGHTNESS_ZERO};
+        let mp = ModelParams::table_4a();
+        // Feed each row its own prediction back: zero error everywhere.
+        let obs: Vec<EstimatorObservation> = [
+            ("Dijkstra", TIGHTNESS_ZERO),
+            ("A* (version 3)", TIGHTNESS_MANHATTAN),
+            ("A* (version 4)", alt_tightness(8)),
+        ]
+        .into_iter()
+        .map(|(label, tau)| {
+            let n = EstimatorModel::new(mp, tau).predicted_iterations(58.0);
+            observed(label, tau, n.round() as u64)
+        })
+        .collect();
+        let report = estimator_report(58.0, &obs, mp, 0.05);
+        assert!(report.within_tolerance(), "{}", report.render());
+        assert!(report.ranked_like_model());
+        assert!(report.render().contains("A* (version 4)"));
+    }
+
+    #[test]
+    fn estimator_report_flags_divergence_and_order_flips() {
+        let mp = ModelParams::table_4a();
+        // v4 (tight) measured *worse* than v3 (loose): both the envelope
+        // and the ranking must complain.
+        let obs = vec![observed("v3", 0.2, 430), observed("v4", 0.9, 800)];
+        let report = estimator_report(58.0, &obs, mp, 0.5);
+        assert!(!report.within_tolerance());
+        assert!(!report.ranked_like_model());
+        assert!(report.render().contains("DIVERGES"));
+        assert!(report.render().contains("ORDER FLIPPED"));
+    }
+
+    #[test]
+    fn estimator_report_allows_ties_in_the_ranking() {
+        let mp = ModelParams::table_4a();
+        let obs = vec![observed("a", 0.5, 300), observed("b", 0.5, 290)];
+        let report = estimator_report(58.0, &obs, mp, 2.0);
+        assert!(report.ranked_like_model());
+    }
+
     #[test]
     fn step_io_totals_sum_the_parts() {
         let mut a = IoStats::new();
         a.read_blocks(2);
         let mut b = IoStats::new();
         b.write_blocks(3);
-        let s = StepIo { init: a, select: b, ..Default::default() };
+        let s = StepIo {
+            init: a,
+            select: b,
+            ..Default::default()
+        };
         assert_eq!(s.total().block_reads, 2);
         assert_eq!(s.total().block_writes, 3);
     }

@@ -56,7 +56,10 @@ impl RingSink {
     pub fn new(capacity: usize) -> RingSink {
         RingSink {
             capacity: capacity.max(1),
-            inner: Mutex::new(RingInner { events: VecDeque::new(), dropped: 0 }),
+            inner: Mutex::new(RingInner {
+                events: VecDeque::new(),
+                dropped: 0,
+            }),
         }
     }
 
@@ -126,7 +129,10 @@ impl JsonlSink {
 
     /// Streams events into any writer (a `Vec<u8>` in tests, a socket, …).
     pub fn from_writer<W: Write + Send + 'static>(writer: W) -> JsonlSink {
-        JsonlSink { writer: Mutex::new(Box::new(writer)), write_errors: AtomicU64::new(0) }
+        JsonlSink {
+            writer: Mutex::new(Box::new(writer)),
+            write_errors: AtomicU64::new(0),
+        }
     }
 
     /// Flushes the underlying writer.
@@ -134,7 +140,10 @@ impl JsonlSink {
     /// # Errors
     /// Propagates the flush error.
     pub fn flush(&self) -> std::io::Result<()> {
-        self.writer.lock().unwrap_or_else(|p| p.into_inner()).flush()
+        self.writer
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .flush()
     }
 
     /// Write/flush failures swallowed so far — `record` cannot return
@@ -167,7 +176,11 @@ mod tests {
     use std::sync::mpsc;
 
     fn ev(n: u32) -> TraceEvent {
-        TraceEvent::RunStarted { algorithm: format!("a{n}"), source: n, destination: n + 1 }
+        TraceEvent::RunStarted {
+            algorithm: format!("a{n}"),
+            source: n,
+            destination: n + 1,
+        }
     }
 
     #[test]

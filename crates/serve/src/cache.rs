@@ -210,20 +210,20 @@ impl RouteCache {
                 inner.stats.evictions += 1;
             }
         }
-        inner.map.insert((from.0, to.0), Entry { route, last_used: tick });
+        inner.map.insert(
+            (from.0, to.0),
+            Entry {
+                route,
+                last_used: tick,
+            },
+        );
         inner.stats.insertions += 1;
     }
 
     /// Sweeps the cache for a traffic update that changed directed edge
     /// `(u, v)` to `new_cost` and installed `new_epoch`. Returns
     /// `(invalidated, promoted)` entry counts.
-    pub fn apply_update(
-        &self,
-        u: NodeId,
-        v: NodeId,
-        new_cost: f64,
-        new_epoch: u64,
-    ) -> (u64, u64) {
+    pub fn apply_update(&self, u: NodeId, v: NodeId, new_cost: f64, new_epoch: u64) -> (u64, u64) {
         if self.capacity == 0 {
             return (0, 0);
         }
@@ -262,7 +262,10 @@ mod tests {
 
     fn route(nodes: &[u32], cost: f64, epoch: u64) -> CachedRoute {
         CachedRoute {
-            path: Path { nodes: nodes.iter().map(|&n| NodeId(n)).collect(), cost },
+            path: Path {
+                nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+                cost,
+            },
             epoch,
             iterations: 3,
             cost_units: 10.0,
@@ -290,7 +293,10 @@ mod tests {
         let (invalidated, promoted) = cache.apply_update(NodeId(0), NodeId(1), 9.0, 1);
         assert_eq!((invalidated, promoted), (1, 1));
         assert!(cache.lookup(NodeId(0), NodeId(3), 1).is_none());
-        assert_eq!(cache.lookup(NodeId(4), NodeId(5), 1).unwrap().path.cost, 7.0);
+        assert_eq!(
+            cache.lookup(NodeId(4), NodeId(5), 1).unwrap().path.cost,
+            7.0
+        );
     }
 
     #[test]

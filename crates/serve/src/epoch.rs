@@ -37,6 +37,21 @@ pub struct Snapshot {
     pub db: Arc<Database>,
 }
 
+/// How an update maintained the snapshot's landmark (ALT) tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LandmarkRefresh {
+    /// The database carries no landmark tables (or the update touched no
+    /// edge), so there was nothing to maintain.
+    None,
+    /// Cost increase: the old tables stay admissible (old bounds
+    /// under-estimate distances that only grew), so they were re-stamped
+    /// for the new epoch without recomputation — degraded but sound.
+    Patched,
+    /// Cost decrease: stale bounds could overestimate, so the tables were
+    /// rebuilt from scratch (2·k SSSP sweeps) before the epoch installed.
+    Rebuilt,
+}
+
 /// The result of installing one traffic update.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochUpdate {
@@ -48,6 +63,8 @@ pub struct EpochUpdate {
     pub old_cost: f64,
     /// The edge's cost after the update.
     pub new_cost: f64,
+    /// How the epoch's landmark tables were kept current.
+    pub landmarks: LandmarkRefresh,
 }
 
 /// A database versioned by epochs: lock-briefly reads, copy-on-write
@@ -60,7 +77,12 @@ pub struct EpochDb {
 impl EpochDb {
     /// Wraps a freshly loaded database as epoch 0.
     pub fn new(db: Database) -> Self {
-        EpochDb { current: Mutex::new(Snapshot { epoch: 0, db: Arc::new(db) }) }
+        EpochDb {
+            current: Mutex::new(Snapshot {
+                epoch: 0,
+                db: Arc::new(db),
+            }),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Snapshot> {
@@ -84,6 +106,13 @@ impl EpochDb {
     /// clone as the next epoch. Running queries keep their old snapshots;
     /// queries admitted after this call see the new costs.
     ///
+    /// When the database carries landmark (ALT) tables they are part of
+    /// the epoch artifact: a cost *increase* (congestion, the common
+    /// case) keeps the old tables admissible, so they are cheaply
+    /// re-stamped for the new fingerprint; a cost *decrease* rebuilds
+    /// them before the epoch installs, so A\* version 4 never sees a
+    /// snapshot whose tables could overestimate.
+    ///
     /// # Errors
     /// Fails for unknown endpoints or invalid costs; the current epoch is
     /// left untouched.
@@ -103,9 +132,41 @@ impl EpochDb {
         let old_cost = current.db.graph().edge_cost(u, v).unwrap_or(f64::INFINITY);
         let mut next = (*current.db).clone();
         let updated = next.update_edge_cost(u, v, cost)?;
+        let mut landmarks = LandmarkRefresh::None;
+        if updated > 0 {
+            if let Some(tables) = next.landmarks().cloned() {
+                if cost >= old_cost {
+                    let patched = tables.patched_for(next.graph());
+                    next = next.with_landmarks(patched);
+                    landmarks = LandmarkRefresh::Patched;
+                } else {
+                    match tables.rebuild_for(next.graph()) {
+                        Ok(fresh) => {
+                            next = next.with_landmarks(fresh);
+                            landmarks = LandmarkRefresh::Rebuilt;
+                        }
+                        // Unreachable with a fixed node set; if it ever
+                        // happens, leave the stale tables in place — v4
+                        // then fails typed and the planner ladder serves
+                        // v3, which is degraded service, not wrong
+                        // answers.
+                        Err(_) => landmarks = LandmarkRefresh::None,
+                    }
+                }
+            }
+        }
         let epoch = current.epoch + 1;
-        *current = Snapshot { epoch, db: Arc::new(next) };
-        Ok(EpochUpdate { epoch, updated, old_cost, new_cost: cost })
+        *current = Snapshot {
+            epoch,
+            db: Arc::new(next),
+        };
+        Ok(EpochUpdate {
+            epoch,
+            updated,
+            old_cost,
+            new_cost: cost,
+            landmarks,
+        })
     }
 }
 
@@ -117,11 +178,7 @@ mod tests {
 
     fn two_route_graph() -> EpochDb {
         // 0 -> 1 -> 3 (cost 2) versus 0 -> 2 -> 3 (cost 4).
-        let g = graph_from_arcs(
-            4,
-            &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)],
-        )
-        .unwrap();
+        let g = graph_from_arcs(4, &[(0, 1, 1.0), (1, 3, 1.0), (0, 2, 2.0), (2, 3, 2.0)]).unwrap();
         EpochDb::new(Database::open(&g).unwrap())
     }
 
@@ -137,31 +194,90 @@ mod tests {
         assert_eq!(upd.old_cost, 1.0);
 
         // The old snapshot still answers with the pre-update costs …
-        let old = before.db.run(Algorithm::Dijkstra, NodeId(0), NodeId(3)).unwrap();
+        let old = before
+            .db
+            .run(Algorithm::Dijkstra, NodeId(0), NodeId(3))
+            .unwrap();
         assert_eq!(old.path.as_ref().unwrap().cost, 2.0);
         // … while the new epoch routes around the jam.
         let new = epochs.snapshot();
         assert_eq!(new.epoch, 1);
-        let fresh = new.db.run(Algorithm::Dijkstra, NodeId(0), NodeId(3)).unwrap();
+        let fresh = new
+            .db
+            .run(Algorithm::Dijkstra, NodeId(0), NodeId(3))
+            .unwrap();
         assert_eq!(fresh.path.as_ref().unwrap().cost, 4.0);
     }
 
     #[test]
     fn failed_updates_do_not_advance_the_epoch() {
         let epochs = two_route_graph();
-        assert!(epochs.update_edge_cost(NodeId(0), NodeId(1), f64::NAN).is_err());
+        assert!(epochs
+            .update_edge_cost(NodeId(0), NodeId(1), f64::NAN)
+            .is_err());
         assert!(epochs.update_edge_cost(NodeId(99), NodeId(1), 1.0).is_err());
         assert_eq!(epochs.epoch(), 0);
+    }
+
+    #[test]
+    fn cost_increase_patches_tables_cost_decrease_rebuilds() {
+        use atis_algorithms::AStarVersion;
+        use atis_graph::{CostModel, Grid, QueryKind};
+        use atis_preprocess::{LandmarkTables, PreprocessConfig};
+
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 8).unwrap();
+        let tables = LandmarkTables::build(grid.graph(), PreprocessConfig::grid_default()).unwrap();
+        let epochs = EpochDb::new(Database::open(grid.graph()).unwrap().with_landmarks(tables));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let (a, b) = (grid.node_at(2, 2), grid.node_at(2, 3));
+
+        // Congestion: patched, degraded, and v4 still answers optimally
+        // at the new epoch.
+        let up = epochs.update_edge_cost(a, b, 9.0).unwrap();
+        assert_eq!(up.landmarks, LandmarkRefresh::Patched);
+        let snap = epochs.snapshot();
+        let lm = snap.db.landmarks().unwrap();
+        assert!(lm.is_current_for(snap.db.graph()) && lm.is_degraded());
+        let t = snap
+            .db
+            .run(Algorithm::AStar(AStarVersion::V4), s, d)
+            .unwrap();
+        let oracle = atis_algorithms::memory::dijkstra_pair(snap.db.graph(), s, d).unwrap();
+        assert!((t.path_cost() - oracle.cost).abs() < 1e-3);
+
+        // The jam clears: a cost decrease forces a rebuild, clearing the
+        // degraded flag.
+        let down = epochs.update_edge_cost(a, b, 1.0).unwrap();
+        assert_eq!(down.landmarks, LandmarkRefresh::Rebuilt);
+        let snap = epochs.snapshot();
+        let lm = snap.db.landmarks().unwrap();
+        assert!(lm.is_current_for(snap.db.graph()) && !lm.is_degraded());
+        assert!(snap
+            .db
+            .run(Algorithm::AStar(AStarVersion::V4), s, d)
+            .is_ok());
+    }
+
+    #[test]
+    fn updates_without_tables_report_no_refresh() {
+        let epochs = two_route_graph();
+        let up = epochs.update_edge_cost(NodeId(0), NodeId(1), 3.0).unwrap();
+        assert_eq!(up.landmarks, LandmarkRefresh::None);
     }
 
     #[test]
     fn updates_serialize_into_consecutive_epochs() {
         let epochs = two_route_graph();
         for i in 1..=5u64 {
-            let upd = epochs.update_edge_cost(NodeId(0), NodeId(1), i as f64).unwrap();
+            let upd = epochs
+                .update_edge_cost(NodeId(0), NodeId(1), i as f64)
+                .unwrap();
             assert_eq!(upd.epoch, i);
         }
         assert_eq!(epochs.epoch(), 5);
-        assert_eq!(epochs.snapshot().db.graph().edge_cost(NodeId(0), NodeId(1)), Some(5.0));
+        assert_eq!(
+            epochs.snapshot().db.graph().edge_cost(NodeId(0), NodeId(1)),
+            Some(5.0)
+        );
     }
 }

@@ -53,8 +53,12 @@ mod tests {
 
     #[test]
     fn display_covers_every_variant() {
-        assert!(ServeError::Busy { queue_depth: 8 }.to_string().contains("8 waiting"));
-        assert!(ServeError::ShuttingDown.to_string().contains("shutting down"));
+        assert!(ServeError::Busy { queue_depth: 8 }
+            .to_string()
+            .contains("8 waiting"));
+        assert!(ServeError::ShuttingDown
+            .to_string()
+            .contains("shutting down"));
         let e = ServeError::from(AlgorithmError::UnknownSource(atis_graph::NodeId(9)));
         assert!(e.to_string().contains("unknown source"));
     }

@@ -68,6 +68,6 @@ pub mod error;
 pub mod service;
 
 pub use cache::{CacheStats, CachedRoute, RouteCache};
-pub use epoch::{EpochDb, EpochUpdate, Snapshot};
+pub use epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};
 pub use error::ServeError;
 pub use service::{RouteAnswer, RouteService, ServeConfig, Ticket};

@@ -135,7 +135,11 @@ impl Ticket {
             if let Some(answer) = slot.take() {
                 return answer;
             }
-            slot = self.inner.ready.wait(slot).unwrap_or_else(|p| p.into_inner());
+            slot = self
+                .inner
+                .ready
+                .wait(slot)
+                .unwrap_or_else(|p| p.into_inner());
         }
     }
 }
@@ -257,7 +261,10 @@ impl RouteService {
                     .expect("spawn worker thread")
             })
             .collect();
-        RouteService { shared, workers: handles }
+        RouteService {
+            shared,
+            workers: handles,
+        }
     }
 
     /// The worker-pool size.
@@ -302,10 +309,16 @@ impl RouteService {
             let depth = queue.jobs.len();
             drop(queue);
             self.shared.inc("serve_rejected_total");
-            self.shared.emit(ServeEvent::Rejected { request: id, queue_depth: depth as u64 });
+            self.shared.emit(ServeEvent::Rejected {
+                request: id,
+                queue_depth: depth as u64,
+            });
             return Err(ServeError::Busy { queue_depth: depth });
         }
-        let ticket = Ticket { id, inner: Arc::new(TicketInner::default()) };
+        let ticket = Ticket {
+            id,
+            inner: Arc::new(TicketInner::default()),
+        };
         queue.jobs.push_back(Job {
             id,
             from,
@@ -317,7 +330,10 @@ impl RouteService {
         drop(queue);
         self.shared.available.notify_one();
         self.shared.observe("serve_queue_depth", depth as f64);
-        self.shared.emit(ServeEvent::Submitted { request: id, queue_depth: depth as u64 });
+        self.shared.emit(ServeEvent::Submitted {
+            request: id,
+            queue_depth: depth as u64,
+        });
         Ok(ticket)
     }
 
@@ -345,7 +361,9 @@ impl RouteService {
     ) -> Result<EpochUpdate, AlgorithmError> {
         let update = self.shared.epochs.update_edge_cost(u, v, cost)?;
         let (invalidated, promoted) =
-            self.shared.cache.apply_update(u, v, update.new_cost, update.epoch);
+            self.shared
+                .cache
+                .apply_update(u, v, update.new_cost, update.epoch);
         self.shared.inc("serve_epoch_installs_total");
         self.shared.emit(ServeEvent::EpochInstalled {
             epoch: update.epoch,
@@ -381,7 +399,10 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 if queue.closed {
                     return;
                 }
-                queue = shared.available.wait(queue).unwrap_or_else(|p| p.into_inner());
+                queue = shared
+                    .available
+                    .wait(queue)
+                    .unwrap_or_else(|p| p.into_inner());
             }
         };
         let queue_wait = job.submitted.elapsed();
@@ -439,10 +460,16 @@ fn execute(
     job: &Job,
 ) -> Result<(Option<Path>, bool, u64, f64), ServeError> {
     if let Some(hit) = shared.cache.lookup(job.from, job.to, snapshot.epoch) {
-        shared.emit(ServeEvent::CacheHit { request: job.id, epoch: snapshot.epoch });
+        shared.emit(ServeEvent::CacheHit {
+            request: job.id,
+            epoch: snapshot.epoch,
+        });
         return Ok((Some(hit.path), true, hit.iterations, hit.cost_units));
     }
-    let trace = snapshot.db.run(shared.algorithm, job.from, job.to).map_err(ServeError::from)?;
+    let trace = snapshot
+        .db
+        .run(shared.algorithm, job.from, job.to)
+        .map_err(ServeError::from)?;
     let cost_units = trace.cost_units(snapshot.db.params());
     if let Some(path) = &trace.path {
         shared.cache.insert(
@@ -519,7 +546,10 @@ mod tests {
         // One worker, capacity 1: park the worker on a long request by
         // flooding; at least one submission must be rejected.
         let (service, grid) = grid_service(
-            ServeConfig::default().with_workers(1).with_queue_capacity(1).with_cache_capacity(0),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_cache_capacity(0),
         );
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
         let mut tickets = Vec::new();
@@ -534,7 +564,10 @@ mod tests {
                 Err(e) => panic!("unexpected {e}"),
             }
         }
-        assert!(busy > 0, "a capacity-1 queue must reject under a 50-request burst");
+        assert!(
+            busy > 0,
+            "a capacity-1 queue must reject under a 50-request burst"
+        );
         for t in tickets {
             assert!(t.wait().unwrap().path.is_some());
         }
@@ -544,11 +577,13 @@ mod tests {
     fn drop_drains_admitted_requests() {
         let (service, grid) = grid_service(ServeConfig::default().with_workers(1));
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
-        let tickets: Vec<Ticket> =
-            (0..8).map(|_| service.submit(s, d).unwrap()).collect();
+        let tickets: Vec<Ticket> = (0..8).map(|_| service.submit(s, d).unwrap()).collect();
         drop(service);
         for t in tickets {
-            assert!(t.wait().unwrap().path.is_some(), "admitted requests must be answered");
+            assert!(
+                t.wait().unwrap().path.is_some(),
+                "admitted requests must be answered"
+            );
         }
     }
 
@@ -556,9 +591,15 @@ mod tests {
     fn unknown_endpoints_fail_per_request_not_per_service() {
         let (service, grid) = grid_service(ServeConfig::default().with_workers(2));
         let err = service.route(NodeId(9999), NodeId(0)).unwrap_err();
-        assert!(matches!(err, ServeError::Algorithm(AlgorithmError::UnknownSource(_))));
+        assert!(matches!(
+            err,
+            ServeError::Algorithm(AlgorithmError::UnknownSource(_))
+        ));
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
-        assert!(service.route(s, d).is_ok(), "the pool must survive failed requests");
+        assert!(
+            service.route(s, d).is_ok(),
+            "the pool must survive failed requests"
+        );
     }
 
     #[test]
@@ -586,7 +627,13 @@ mod tests {
         assert_eq!(registry.counter("cache_hits_total"), 2);
         assert_eq!(registry.counter("cache_misses_total"), 1);
         assert!(registry.counter("cache_invalidations_total") >= 1);
-        assert!(registry.histogram("serve_queue_wait_seconds").unwrap().count >= 3);
+        assert!(
+            registry
+                .histogram("serve_queue_wait_seconds")
+                .unwrap()
+                .count
+                >= 3
+        );
         assert!(registry.histogram("serve_service_seconds").unwrap().count >= 3);
 
         let events = ring.events();
@@ -599,7 +646,8 @@ mod tests {
             "serve_epoch_installed",
         ] {
             assert!(
-                json.iter().any(|j| j.contains(&format!(r#""type":"{kind}""#))),
+                json.iter()
+                    .any(|j| j.contains(&format!(r#""type":"{kind}""#))),
                 "missing {kind} span in {json:#?}"
             );
         }

@@ -13,7 +13,9 @@ pub struct Block {
 impl Block {
     /// A zeroed block.
     pub fn new() -> Self {
-        Block { data: Box::new([0u8; BLOCK_SIZE]) }
+        Block {
+            data: Box::new([0u8; BLOCK_SIZE]),
+        }
     }
 
     /// Immutable view of a byte range.

@@ -49,8 +49,17 @@ impl BufferPool {
     /// # Panics
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> BufferPool {
-        assert!(capacity > 0, "a zero-block pool is the no-pool configuration");
-        BufferPool { capacity, resident: HashMap::new(), tick: 0, hits: 0, misses: 0 }
+        assert!(
+            capacity > 0,
+            "a zero-block pool is the no-pool configuration"
+        );
+        BufferPool {
+            capacity,
+            resident: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Shared handle constructor.

@@ -64,7 +64,11 @@ impl fmt::Display for StorageError {
             StorageError::CapacityExceeded { what, value, max } => {
                 write!(f, "{what} {value} exceeds encoding maximum {max}")
             }
-            StorageError::IoFailed { op, block, op_index } => {
+            StorageError::IoFailed {
+                op,
+                block,
+                op_index,
+            } => {
                 write!(f, "block {op} of block {block} failed (op #{op_index})")
             }
             StorageError::CorruptBlock { block } => {

@@ -238,7 +238,13 @@ pub type SharedFaults = Arc<Mutex<FaultState>>;
 impl FaultState {
     /// Fresh state for a plan: counters at zero, empty log.
     pub fn new(plan: FaultPlan) -> FaultState {
-        FaultState { plan, reads: 0, writes: 0, stall_debt: Duration::ZERO, log: Vec::new() }
+        FaultState {
+            plan,
+            reads: 0,
+            writes: 0,
+            stall_debt: Duration::ZERO,
+            log: Vec::new(),
+        }
     }
 
     /// The plan being executed.
@@ -271,8 +277,17 @@ impl FaultState {
         );
         let transient = decide(self.plan.seed, 2, idx, self.plan.read_failure_rate);
         if planned || flaky_block || transient {
-            self.log.push(FaultEvent { op: "read", block, op_index: idx, torn: false });
-            return Err(StorageError::IoFailed { op: "read", block, op_index: idx });
+            self.log.push(FaultEvent {
+                op: "read",
+                block,
+                op_index: idx,
+                torn: false,
+            });
+            return Err(StorageError::IoFailed {
+                op: "read",
+                block,
+                op_index: idx,
+            });
         }
         Ok(())
     }
@@ -288,12 +303,27 @@ impl FaultState {
         if self.plan.fail_nth_write == Some(idx)
             || decide(self.plan.seed, 3, idx, self.plan.write_failure_rate)
         {
-            self.log.push(FaultEvent { op: "write", block, op_index: idx, torn: false });
-            return Err(StorageError::IoFailed { op: "write", block, op_index: idx });
+            self.log.push(FaultEvent {
+                op: "write",
+                block,
+                op_index: idx,
+                torn: false,
+            });
+            return Err(StorageError::IoFailed {
+                op: "write",
+                block,
+                op_index: idx,
+            });
         }
         if decide(self.plan.seed, 4, idx, self.plan.torn_write_rate) {
-            self.log.push(FaultEvent { op: "write", block, op_index: idx, torn: true });
-            let offset = (splitmix64(self.plan.seed ^ idx) % crate::block::BLOCK_SIZE as u64) as usize;
+            self.log.push(FaultEvent {
+                op: "write",
+                block,
+                op_index: idx,
+                torn: true,
+            });
+            let offset =
+                (splitmix64(self.plan.seed ^ idx) % crate::block::BLOCK_SIZE as u64) as usize;
             return Ok(WriteMode::Torn(offset));
         }
         Ok(WriteMode::Clean)
@@ -354,7 +384,14 @@ mod tests {
         st.on_read(0).unwrap();
         st.on_read(0).unwrap();
         let err = st.on_read(9).unwrap_err();
-        assert_eq!(err, StorageError::IoFailed { op: "read", block: 9, op_index: 3 });
+        assert_eq!(
+            err,
+            StorageError::IoFailed {
+                op: "read",
+                block: 9,
+                op_index: 3
+            }
+        );
         st.on_read(9).unwrap();
         assert_eq!(st.log.len(), 1);
     }
@@ -363,7 +400,10 @@ mod tests {
     fn nth_write_fails_exactly_once() {
         let mut st = FaultState::new(FaultPlan::inert(1).with_fail_nth_write(2));
         st.on_write(0).unwrap();
-        assert!(matches!(st.on_write(5), Err(StorageError::IoFailed { op: "write", .. })));
+        assert!(matches!(
+            st.on_write(5),
+            Err(StorageError::IoFailed { op: "write", .. })
+        ));
         st.on_write(5).unwrap();
     }
 
@@ -381,7 +421,10 @@ mod tests {
     fn failure_rate_is_roughly_honoured() {
         let mut st = FaultState::new(FaultPlan::inert(9).with_read_failure_rate(0.25));
         let failures = (0..4000).filter(|&b| st.on_read(b).is_err()).count();
-        assert!((800..1200).contains(&failures), "{failures} failures out of 4000");
+        assert!(
+            (800..1200).contains(&failures),
+            "{failures} failures out of 4000"
+        );
     }
 
     #[test]
@@ -413,7 +456,9 @@ mod tests {
         // Latency is pure wall-clock: the decision stream is unchanged.
         let mut fast = FaultState::new(FaultPlan::inert(9).with_read_failure_rate(0.25));
         let mut slow = FaultState::new(
-            FaultPlan::inert(9).with_read_failure_rate(0.25).with_read_latency(Duration::ZERO),
+            FaultPlan::inert(9)
+                .with_read_failure_rate(0.25)
+                .with_read_latency(Duration::ZERO),
         );
         for b in 0..500 {
             assert_eq!(fast.on_read(b).is_err(), slow.on_read(b).is_err());
@@ -426,10 +471,18 @@ mod tests {
         let mut st = FaultState::new(FaultPlan::inert(1).with_read_latency(latency));
         for _ in 0..3 {
             st.on_read(0).unwrap();
-            assert_eq!(st.take_stall(), Duration::ZERO, "debt below the quantum is carried");
+            assert_eq!(
+                st.take_stall(),
+                Duration::ZERO,
+                "debt below the quantum is carried"
+            );
         }
         st.on_read(0).unwrap();
-        assert_eq!(st.take_stall(), STALL_QUANTUM, "the fourth charge reaches the quantum");
+        assert_eq!(
+            st.take_stall(),
+            STALL_QUANTUM,
+            "the fourth charge reaches the quantum"
+        );
         assert_eq!(st.take_stall(), Duration::ZERO, "draining resets the debt");
         // Zero-latency plans never accumulate anything.
         let mut inert = FaultState::new(FaultPlan::inert(1));
@@ -442,7 +495,10 @@ mod tests {
     #[test]
     fn chaos_plans_differ_by_seed_but_are_stable() {
         assert_eq!(FaultPlan::chaos(11), FaultPlan::chaos(11));
-        assert_ne!(FaultPlan::chaos(11).fail_nth_read, FaultPlan::chaos(12).fail_nth_read);
+        assert_ne!(
+            FaultPlan::chaos(11).fail_nth_read,
+            FaultPlan::chaos(12).fail_nth_read
+        );
     }
 
     #[test]

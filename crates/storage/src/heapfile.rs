@@ -83,11 +83,17 @@ impl<T: FixedTuple> HeapFile<T> {
     /// checksums of the current content are also recorded so later
     /// corruption is detectable.
     pub fn attach_faults(&mut self, faults: &SharedFaults) {
-        self.checksums =
-            faults.lock().unwrap_or_else(|p| p.into_inner()).plan().can_tear();
+        self.checksums = faults
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .plan()
+            .can_tear();
         self.faults = Some(faults.clone());
         self.sums = if self.checksums {
-            self.blocks.iter().map(|b| fault::checksum(b.bytes(0, BLOCK_SIZE))).collect()
+            self.blocks
+                .iter()
+                .map(|b| fault::checksum(b.bytes(0, BLOCK_SIZE)))
+                .collect()
         } else {
             Vec::new()
         };
@@ -210,7 +216,10 @@ impl<T: FixedTuple> HeapFile<T> {
 
     #[inline]
     fn locate(slot: usize) -> (usize, usize) {
-        (slot / Self::TUPLES_PER_BLOCK, (slot % Self::TUPLES_PER_BLOCK) * T::SIZE)
+        (
+            slot / Self::TUPLES_PER_BLOCK,
+            (slot % Self::TUPLES_PER_BLOCK) * T::SIZE,
+        )
     }
 
     /// Appends a tuple, staging the tail block as dirty. The block write is
@@ -252,7 +261,10 @@ impl<T: FixedTuple> HeapFile<T> {
     /// a corrupt block.
     pub fn read_slot(&self, slot: usize, io: &mut IoStats) -> Result<T, StorageError> {
         if slot >= self.len {
-            return Err(StorageError::SlotOutOfRange { slot, len: self.len });
+            return Err(StorageError::SlotOutOfRange {
+                slot,
+                len: self.len,
+            });
         }
         let (b, off) = Self::locate(slot);
         self.charge_read(b, io)?;
@@ -267,7 +279,10 @@ impl<T: FixedTuple> HeapFile<T> {
     /// Fails if `slot` is out of range or the block is corrupt.
     pub fn peek_slot(&self, slot: usize) -> Result<T, StorageError> {
         if slot >= self.len {
-            return Err(StorageError::SlotOutOfRange { slot, len: self.len });
+            return Err(StorageError::SlotOutOfRange {
+                slot,
+                len: self.len,
+            });
         }
         let (b, off) = Self::locate(slot);
         self.verify(b)?;
@@ -287,7 +302,10 @@ impl<T: FixedTuple> HeapFile<T> {
         f: impl FnOnce(&mut T),
     ) -> Result<(), StorageError> {
         if slot >= self.len {
-            return Err(StorageError::SlotOutOfRange { slot, len: self.len });
+            return Err(StorageError::SlotOutOfRange {
+                slot,
+                len: self.len,
+            });
         }
         let (b, off) = Self::locate(slot);
         self.verify(b)?;
@@ -308,7 +326,11 @@ impl<T: FixedTuple> HeapFile<T> {
     /// # Errors
     /// Fails on an injected read failure or a corrupt block (before any
     /// tuple is visited).
-    pub fn scan(&self, io: &mut IoStats, mut visit: impl FnMut(usize, T)) -> Result<(), StorageError> {
+    pub fn scan(
+        &self,
+        io: &mut IoStats,
+        mut visit: impl FnMut(usize, T),
+    ) -> Result<(), StorageError> {
         for b in 0..self.blocks.len() {
             self.charge_read(b, io)?;
         }
@@ -397,7 +419,9 @@ impl<T: FixedTuple> HeapFile<T> {
     pub fn clear(&mut self, io: &mut IoStats) {
         io.delete_relation();
         if let Some((pool, file)) = &self.buffer {
-            pool.lock().expect("buffer pool lock").invalidate_file(*file);
+            pool.lock()
+                .expect("buffer pool lock")
+                .invalidate_file(*file);
         }
         self.blocks.clear();
         self.dirty.clear();
@@ -413,7 +437,15 @@ mod tests {
     use crate::tuple::EdgeTuple;
 
     fn edge(b: u16, e: u16, c: f64) -> EdgeTuple {
-        EdgeTuple { begin: b, end: e, cost: c, class: 0, occupancy: 0.0, end_x: 0.0, end_y: 0.0 }
+        EdgeTuple {
+            begin: b,
+            end: e,
+            cost: c,
+            class: 0,
+            occupancy: 0.0,
+            end_x: 0.0,
+            end_y: 0.0,
+        }
     }
 
     #[test]
@@ -465,7 +497,10 @@ mod tests {
     fn read_out_of_range_fails() {
         let mut io = IoStats::new();
         let f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
-        assert!(matches!(f.read_slot(0, &mut io), Err(StorageError::SlotOutOfRange { .. })));
+        assert!(matches!(
+            f.read_slot(0, &mut io),
+            Err(StorageError::SlotOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -505,7 +540,8 @@ mod tests {
         f.flush(&mut io).unwrap();
         let before = io;
         let mut seen = vec![];
-        f.scan_range(100, 104, &mut io, |s, _| seen.push(s)).unwrap();
+        f.scan_range(100, 104, &mut io, |s, _| seen.push(s))
+            .unwrap();
         assert_eq!(seen, vec![100, 101, 102, 103]);
         assert_eq!(io.since(&before).block_reads, 1);
         // A range spanning a block boundary charges 2 reads.
@@ -617,7 +653,10 @@ mod tests {
         let mut f: HeapFile<EdgeTuple> = HeapFile::create(&mut io);
         f.attach_faults(&FaultPlan::inert(1).with_fail_nth_write(1).into_shared());
         f.append(&edge(3, 4, 1.0));
-        assert!(matches!(f.flush(&mut io), Err(StorageError::IoFailed { op: "write", .. })));
+        assert!(matches!(
+            f.flush(&mut io),
+            Err(StorageError::IoFailed { op: "write", .. })
+        ));
         // Retry succeeds and the content is durable and verifiable.
         f.flush(&mut io).unwrap();
         assert_eq!(f.read_slot(0, &mut io).unwrap(), edge(3, 4, 1.0));
@@ -630,7 +669,10 @@ mod tests {
         f.attach_faults(&FaultPlan::inert(2).with_torn_write_rate(1.0).into_shared());
         f.append(&edge(0, 1, 1.0));
         f.flush(&mut io).unwrap();
-        assert_eq!(f.read_slot(0, &mut io), Err(StorageError::CorruptBlock { block: 0 }));
+        assert_eq!(
+            f.read_slot(0, &mut io),
+            Err(StorageError::CorruptBlock { block: 0 })
+        );
         assert_eq!(f.peek_slot(0), Err(StorageError::CorruptBlock { block: 0 }));
     }
 

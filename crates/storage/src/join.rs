@@ -53,8 +53,12 @@ pub enum JoinStrategy {
 
 impl JoinStrategy {
     /// All four strategies, in the paper's listing order.
-    pub const ALL: [JoinStrategy; 4] =
-        [JoinStrategy::Hash, JoinStrategy::NestedLoop, JoinStrategy::SortMerge, JoinStrategy::PrimaryKey];
+    pub const ALL: [JoinStrategy; 4] = [
+        JoinStrategy::Hash,
+        JoinStrategy::NestedLoop,
+        JoinStrategy::SortMerge,
+        JoinStrategy::PrimaryKey,
+    ];
 
     /// Human-readable name.
     pub fn label(&self) -> &'static str {
@@ -214,7 +218,14 @@ mod tests {
     fn graph() -> Graph {
         graph_from_arcs(
             5,
-            &[(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (1, 3, 1.0), (3, 4, 1.0), (4, 0, 1.0)],
+            &[
+                (0, 1, 1.0),
+                (0, 2, 1.0),
+                (1, 2, 1.0),
+                (1, 3, 1.0),
+                (3, 4, 1.0),
+                (4, 0, 1.0),
+            ],
         )
         .unwrap()
     }
@@ -271,8 +282,14 @@ mod tests {
         let cur = current(&[0]);
         let p = CostParams::default();
         let mut io2 = IoStats::new();
-        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::NestedLoop), &p, &mut io2)
-            .unwrap();
+        let _ = join_adjacency(
+            &cur,
+            &s,
+            JoinPolicy::Force(JoinStrategy::NestedLoop),
+            &p,
+            &mut io2,
+        )
+        .unwrap();
         // B1 = 1, B2 = 1: 1 + 1*1 = 2 reads, 1 result write.
         assert_eq!(io2.block_reads, 2);
         assert_eq!(io2.block_writes, 1);
@@ -286,8 +303,14 @@ mod tests {
         let cur = current(&[0, 1, 2]);
         let p = CostParams::default();
         let mut io2 = IoStats::new();
-        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::PrimaryKey), &p, &mut io2)
-            .unwrap();
+        let _ = join_adjacency(
+            &cur,
+            &s,
+            JoinPolicy::Force(JoinStrategy::PrimaryKey),
+            &p,
+            &mut io2,
+        )
+        .unwrap();
         // One bucket block per current node (adjacencies fit one block).
         assert_eq!(io2.block_reads, 3);
         assert_eq!(io2.block_writes, 1);
@@ -342,8 +365,14 @@ mod tests {
         let cur = current(&[0]);
         let p = CostParams::default();
         let mut io2 = IoStats::new();
-        let _ = join_adjacency(&cur, &s, JoinPolicy::Force(JoinStrategy::SortMerge), &p, &mut io2)
-            .unwrap();
+        let _ = join_adjacency(
+            &cur,
+            &s,
+            JoinPolicy::Force(JoinStrategy::SortMerge),
+            &p,
+            &mut io2,
+        )
+        .unwrap();
         // log2(1) = 0 for both single-block sides: no sort updates, just
         // the merge reads and result write.
         assert_eq!(io2.tuple_updates, 0);

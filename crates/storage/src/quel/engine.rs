@@ -70,7 +70,10 @@ pub struct QuelEngine {
 impl QuelEngine {
     /// A fresh session with the Table 4A ISAM depth.
     pub fn new() -> QuelEngine {
-        QuelEngine { index_levels: 3, ..QuelEngine::default() }
+        QuelEngine {
+            index_levels: 3,
+            ..QuelEngine::default()
+        }
     }
 
     /// Parses and executes one statement.
@@ -116,7 +119,8 @@ impl QuelEngine {
                     return Err(QuelError::DuplicateRelation(name.clone()));
                 }
                 let schema = Schema::new(columns.clone())?;
-                let rel = DynRelation::create(schema, key.as_deref(), self.index_levels, &mut self.io)?;
+                let rel =
+                    DynRelation::create(schema, key.as_deref(), self.index_levels, &mut self.io)?;
                 self.relations.insert(name.clone(), rel);
                 Ok(QuelOutput::None)
             }
@@ -136,16 +140,26 @@ impl QuelEngine {
                 self.ranges.insert(var.clone(), relation.clone());
                 Ok(QuelOutput::None)
             }
-            Statement::Append { relation, assignments } => self.exec_append(relation, assignments),
-            Statement::Retrieve { targets, predicate, unique, sort } => {
-                self.exec_retrieve(targets, predicate.as_ref(), *unique, sort.as_ref())
-            }
-            Statement::RetrieveInto { name, assignments, predicate } => {
-                self.exec_retrieve_into(name, assignments, predicate.as_ref())
-            }
-            Statement::Replace { var, assignments, predicate } => {
-                self.exec_replace(var, assignments, predicate.as_ref())
-            }
+            Statement::Append {
+                relation,
+                assignments,
+            } => self.exec_append(relation, assignments),
+            Statement::Retrieve {
+                targets,
+                predicate,
+                unique,
+                sort,
+            } => self.exec_retrieve(targets, predicate.as_ref(), *unique, sort.as_ref()),
+            Statement::RetrieveInto {
+                name,
+                assignments,
+                predicate,
+            } => self.exec_retrieve_into(name, assignments, predicate.as_ref()),
+            Statement::Replace {
+                var,
+                assignments,
+                predicate,
+            } => self.exec_replace(var, assignments, predicate.as_ref()),
             Statement::Delete { var, predicate } => self.exec_delete(var, predicate.as_ref()),
         }
     }
@@ -168,7 +182,9 @@ impl QuelEngine {
             }
             Statement::Drop { name } => lines.push(format!("DROP {name}: charge D_t")),
             Statement::Range { var, relation } => {
-                lines.push(format!("RANGE: bind '{var}' over '{relation}' (catalog only)"));
+                lines.push(format!(
+                    "RANGE: bind '{var}' over '{relation}' (catalog only)"
+                ));
             }
             Statement::Append { relation, .. } => {
                 let keyed = self
@@ -178,11 +194,14 @@ impl QuelEngine {
                     .is_keyed();
                 lines.push(format!(
                     "APPEND {relation}: 1 block write{}",
-                    if keyed { " + I_l index adjustments" } else { "" }
+                    if keyed {
+                        " + I_l index adjustments"
+                    } else {
+                        ""
+                    }
                 ));
             }
-            Statement::Retrieve { predicate, .. }
-            | Statement::RetrieveInto { predicate, .. } => {
+            Statement::Retrieve { predicate, .. } | Statement::RetrieveInto { predicate, .. } => {
                 // Which range variables participate.
                 let mut vars: Vec<String> = Vec::new();
                 let mut note = |v: &str| {
@@ -239,10 +258,21 @@ impl QuelEngine {
             Statement::Replace { var, predicate, .. } | Statement::Delete { var, predicate } => {
                 let rel_name = self.relation_of_var(var)?;
                 let rel = &self.relations[rel_name];
-                let op = if matches!(stmt, Statement::Replace { .. }) { "REPLACE" } else { "DELETE" };
+                let op = if matches!(stmt, Statement::Replace { .. }) {
+                    "REPLACE"
+                } else {
+                    "DELETE"
+                };
                 // Mirror the executor's keyed-point detection.
                 let keyed_point = match (rel.key_column(), predicate) {
-                    (Some(kc), Some(Expr::Binary { op: BinOp::Eq, lhs, rhs })) => {
+                    (
+                        Some(kc),
+                        Some(Expr::Binary {
+                            op: BinOp::Eq,
+                            lhs,
+                            rhs,
+                        }),
+                    ) => {
                         let key_name = rel
                             .schema()
                             .column_names()
@@ -299,7 +329,12 @@ impl QuelEngine {
             .get_mut(relation)
             .ok_or_else(|| QuelError::UnknownRelation(relation.to_string()))?;
         let mut row = Vec::with_capacity(rel.schema().arity());
-        for name in rel.schema().column_names().map(str::to_owned).collect::<Vec<_>>() {
+        for name in rel
+            .schema()
+            .column_names()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+        {
             let v = values
                 .remove(name.as_str())
                 .ok_or_else(|| QuelError::Type(format!("missing value for column '{name}'")))?;
@@ -360,7 +395,10 @@ impl QuelEngine {
                     _ => return Err(QuelError::Type("column target without range".into())),
                 }
             }
-            return Ok(QuelOutput::Rows { columns, rows: vec![row] });
+            return Ok(QuelOutput::Rows {
+                columns,
+                rows: vec![row],
+            });
         }
 
         // Materialise each participating relation with one charged scan,
@@ -385,7 +423,8 @@ impl QuelEngine {
                 let rel = &self.relations[self.relation_of_var(v)?];
                 let b = rel.block_count().max(1) as u64;
                 if i > 0 {
-                    self.io.read_blocks(outer_blocks.saturating_mul(b).saturating_sub(b));
+                    self.io
+                        .read_blocks(outer_blocks.saturating_mul(b).saturating_sub(b));
                 }
                 outer_blocks = outer_blocks.saturating_mul(b);
             }
@@ -401,7 +440,9 @@ impl QuelEngine {
             .iter()
             .any(|t| matches!(t, Target::Column(_) | Target::All(_)));
         if aggregates && plain {
-            return Err(QuelError::Type("cannot mix aggregate and plain targets".into()));
+            return Err(QuelError::Type(
+                "cannot mix aggregate and plain targets".into(),
+            ));
         }
 
         let mut columns = Vec::new();
@@ -441,9 +482,7 @@ impl QuelEngine {
                         .zip(&scans)
                         .zip(&idx)
                         .zip(schemas.iter())
-                        .map(|(((v, (_, rows)), &i), rel)| {
-                            (v.as_str(), &rows[i], rel.schema())
-                        })
+                        .map(|(((v, (_, rows)), &i), rel)| (v.as_str(), &rows[i], rel.schema()))
                         .collect(),
                 };
                 let keep = match predicate {
@@ -532,16 +571,22 @@ impl QuelEngine {
             for (i, t) in targets.iter().enumerate() {
                 match t {
                     Target::Count(_) => row.push(Value::Int(count as i64)),
-                    Target::Sum(_) => {
-                        row.push(agg_state[i].clone().unwrap_or(Value::Float(0.0)))
-                    }
+                    Target::Sum(_) => row.push(agg_state[i].clone().unwrap_or(Value::Float(0.0))),
                     _ => match agg_state[i].clone() {
                         Some(v) => row.push(v),
-                        None => return Ok(QuelOutput::Rows { columns, rows: vec![] }),
+                        None => {
+                            return Ok(QuelOutput::Rows {
+                                columns,
+                                rows: vec![],
+                            })
+                        }
                     },
                 }
             }
-            Ok(QuelOutput::Rows { columns, rows: vec![row] })
+            Ok(QuelOutput::Rows {
+                columns,
+                rows: vec![row],
+            })
         } else {
             let mut rows = out_rows;
             if let Some((_, desc)) = sort {
@@ -803,14 +848,24 @@ impl QuelEngine {
         var: &str,
         predicate: Option<&Expr>,
     ) -> Result<Option<(usize, Vec<Value>)>, QuelError> {
-        let Some(Expr::Binary { op: BinOp::Eq, lhs, rhs }) = predicate else {
+        let Some(Expr::Binary {
+            op: BinOp::Eq,
+            lhs,
+            rhs,
+        }) = predicate
+        else {
             return Ok(None);
         };
         let rel = self.relations.get(rel_name).expect("caller checked");
         let Some(key_col) = rel.key_column() else {
             return Ok(None);
         };
-        let key_name = rel.schema().column_names().nth(key_col).expect("key exists").to_string();
+        let key_name = rel
+            .schema()
+            .column_names()
+            .nth(key_col)
+            .expect("key exists")
+            .to_string();
         let (col, lit) = match (&**lhs, &**rhs) {
             (Expr::Column(c), Expr::Literal(v)) => (c, v),
             (Expr::Literal(v), Expr::Column(c)) => (c, v),
@@ -831,11 +886,15 @@ struct Environment<'a> {
 
 impl<'a> Environment<'a> {
     fn empty() -> Environment<'static> {
-        Environment { bindings: Vec::new() }
+        Environment {
+            bindings: Vec::new(),
+        }
     }
 
     fn single(var: &'a str, row: &'a Vec<Value>, schema: &'a Schema) -> Environment<'a> {
-        Environment { bindings: vec![(var, row, schema)] }
+        Environment {
+            bindings: vec![(var, row, schema)],
+        }
     }
 
     fn column(&self, c: &ColumnRef) -> Result<Value, QuelError> {
@@ -863,10 +922,7 @@ fn collect_vars(e: &Expr, note: &mut impl FnMut(&str)) {
 
 /// Static type inference for `RETRIEVE INTO` schemas, consistent with
 /// `eval`'s dynamic behaviour.
-fn infer_type(
-    e: &Expr,
-    schemas: &[(&str, &Schema)],
-) -> Result<super::value::ValueType, QuelError> {
+fn infer_type(e: &Expr, schemas: &[(&str, &Schema)]) -> Result<super::value::ValueType, QuelError> {
     use super::value::ValueType;
     Ok(match e {
         Expr::Literal(v) => v.value_type(),
@@ -896,7 +952,9 @@ fn infer_type(
 fn truthy(v: &Value) -> Result<bool, QuelError> {
     match v {
         Value::Int(i) => Ok(*i != 0),
-        other => Err(QuelError::Type(format!("predicate evaluated to non-boolean {other}"))),
+        other => Err(QuelError::Type(format!(
+            "predicate evaluated to non-boolean {other}"
+        ))),
     }
 }
 
@@ -914,12 +972,12 @@ fn eval(e: &Expr, env: &Environment<'_>) -> Result<Value, QuelError> {
         Expr::Binary { op, lhs, rhs } => {
             use std::cmp::Ordering::*;
             match op {
-                BinOp::And => {
-                    Ok(bool_val(truthy(&eval(lhs, env)?)? && truthy(&eval(rhs, env)?)?))
-                }
-                BinOp::Or => {
-                    Ok(bool_val(truthy(&eval(lhs, env)?)? || truthy(&eval(rhs, env)?)?))
-                }
+                BinOp::And => Ok(bool_val(
+                    truthy(&eval(lhs, env)?)? && truthy(&eval(rhs, env)?)?,
+                )),
+                BinOp::Or => Ok(bool_val(
+                    truthy(&eval(lhs, env)?)? || truthy(&eval(rhs, env)?)?,
+                )),
                 BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
                     let l = eval(lhs, env)?;
                     let r = eval(rhs, env)?;
@@ -992,11 +1050,14 @@ mod tests {
 
     fn engine_with_nodes() -> QuelEngine {
         let mut e = QuelEngine::new();
-        e.run("CREATE nodes (id = int, cost = float, status = string) KEY id").unwrap();
+        e.run("CREATE nodes (id = int, cost = float, status = string) KEY id")
+            .unwrap();
         e.run("RANGE OF n IS nodes").unwrap();
         for (id, cost, status) in [(0, 0.0, "open"), (1, 2.5, "open"), (2, 1.5, "closed")] {
-            e.run(&format!("APPEND TO nodes (id = {id}, cost = {cost:?}, status = \"{status}\")"))
-                .unwrap();
+            e.run(&format!(
+                "APPEND TO nodes (id = {id}, cost = {cost:?}, status = \"{status}\")"
+            ))
+            .unwrap();
         }
         e
     }
@@ -1004,7 +1065,9 @@ mod tests {
     #[test]
     fn create_append_retrieve() {
         let mut e = engine_with_nodes();
-        let out = e.run("RETRIEVE (n.id, n.cost) WHERE n.status = \"open\"").unwrap();
+        let out = e
+            .run("RETRIEVE (n.id, n.cost) WHERE n.status = \"open\"")
+            .unwrap();
         assert_eq!(out.rows().len(), 2);
         assert_eq!(out.rows()[1], vec![Value::Int(1), Value::Float(2.5)]);
     }
@@ -1013,7 +1076,9 @@ mod tests {
     fn retrieve_all_expands_columns() {
         let mut e = engine_with_nodes();
         let out = e.run("RETRIEVE (n.all) WHERE n.id = 2").unwrap();
-        let QuelOutput::Rows { columns, rows } = out else { panic!() };
+        let QuelOutput::Rows { columns, rows } = out else {
+            panic!()
+        };
         assert_eq!(columns, vec!["n.id", "n.cost", "n.status"]);
         assert_eq!(rows[0][2], Value::Str("closed".into()));
     }
@@ -1021,7 +1086,9 @@ mod tests {
     #[test]
     fn aggregates() {
         let mut e = engine_with_nodes();
-        let min = e.run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"").unwrap();
+        let min = e
+            .run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"")
+            .unwrap();
         assert_eq!(min.scalar(), Some(&Value::Float(0.0)));
         let count = e.run("RETRIEVE (COUNT(n.id))").unwrap();
         assert_eq!(count.scalar(), Some(&Value::Int(3)));
@@ -1042,7 +1109,9 @@ mod tests {
     fn replace_by_key_uses_probe() {
         let mut e = engine_with_nodes();
         let before = e.io;
-        let out = e.run("REPLACE n (status = \"closed\") WHERE n.id = 1").unwrap();
+        let out = e
+            .run("REPLACE n (status = \"closed\") WHERE n.id = 1")
+            .unwrap();
         assert_eq!(out, QuelOutput::Affected(1));
         let d = e.io.since(&before);
         // Probe (3 index + 1 data reads) + 1 update — no full scan.
@@ -1055,16 +1124,23 @@ mod tests {
     #[test]
     fn replace_with_general_predicate_scans() {
         let mut e = engine_with_nodes();
-        let out = e.run("REPLACE n (cost = n.cost + 1.0) WHERE n.status = \"open\"").unwrap();
+        let out = e
+            .run("REPLACE n (cost = n.cost + 1.0) WHERE n.status = \"open\"")
+            .unwrap();
         assert_eq!(out, QuelOutput::Affected(2));
-        let check = e.run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"").unwrap();
+        let check = e
+            .run("RETRIEVE (MIN(n.cost)) WHERE n.status = \"open\"")
+            .unwrap();
         assert_eq!(check.scalar(), Some(&Value::Float(1.0)));
     }
 
     #[test]
     fn delete_by_key_and_by_predicate() {
         let mut e = engine_with_nodes();
-        assert_eq!(e.run("DELETE n WHERE n.id = 0").unwrap(), QuelOutput::Affected(1));
+        assert_eq!(
+            e.run("DELETE n WHERE n.id = 0").unwrap(),
+            QuelOutput::Affected(1)
+        );
         assert_eq!(
             e.run("DELETE n WHERE n.status = \"open\"").unwrap(),
             QuelOutput::Affected(1)
@@ -1076,15 +1152,21 @@ mod tests {
     #[test]
     fn two_variable_join() {
         let mut e = QuelEngine::new();
-        e.run("CREATE edges (src = int, dst = int, w = float)").unwrap();
+        e.run("CREATE edges (src = int, dst = int, w = float)")
+            .unwrap();
         e.run("CREATE current (id = int) KEY id").unwrap();
         e.run("RANGE OF ed IS edges").unwrap();
         e.run("RANGE OF c IS current").unwrap();
-        e.run("APPEND TO edges (src = 0, dst = 1, w = 1.0)").unwrap();
-        e.run("APPEND TO edges (src = 1, dst = 2, w = 2.0)").unwrap();
-        e.run("APPEND TO edges (src = 2, dst = 0, w = 3.0)").unwrap();
+        e.run("APPEND TO edges (src = 0, dst = 1, w = 1.0)")
+            .unwrap();
+        e.run("APPEND TO edges (src = 1, dst = 2, w = 2.0)")
+            .unwrap();
+        e.run("APPEND TO edges (src = 2, dst = 0, w = 3.0)")
+            .unwrap();
         e.run("APPEND TO current (id = 1)").unwrap();
-        let out = e.run("RETRIEVE (ed.dst, ed.w) WHERE ed.src = c.id").unwrap();
+        let out = e
+            .run("RETRIEVE (ed.dst, ed.w) WHERE ed.src = c.id")
+            .unwrap();
         assert_eq!(out.rows(), &[vec![Value::Int(2), Value::Float(2.0)]]);
     }
 
@@ -1145,11 +1227,15 @@ mod tests {
         let mut e = engine_with_nodes();
         let before = e.io;
         // Keyed point REPLACE -> index path.
-        let plan = e.run("EXPLAIN REPLACE n (status = \"x\") WHERE n.id = 1").unwrap();
+        let plan = e
+            .run("EXPLAIN REPLACE n (status = \"x\") WHERE n.id = 1")
+            .unwrap();
         let text = format!("{:?}", plan.rows());
         assert!(text.contains("keyed point access"), "{text}");
         // Predicate REPLACE -> scan path.
-        let plan = e.run("EXPLAIN REPLACE n (cost = 0.0) WHERE n.cost > 1").unwrap();
+        let plan = e
+            .run("EXPLAIN REPLACE n (cost = 0.0) WHERE n.cost > 1")
+            .unwrap();
         assert!(format!("{:?}", plan.rows()).contains("full scan"));
         // Join retrieve -> nested loop line.
         e.run("CREATE other (id = int)").unwrap();
@@ -1169,11 +1255,20 @@ mod tests {
         let mut e = engine_with_nodes();
         let plan = e.run("EXPLAIN RETRIEVE INTO w (id = n.id)").unwrap();
         assert!(format!("{:?}", plan.rows()).contains("materialise into 'w'"));
-        assert!(e.relation("w").is_none(), "EXPLAIN must not create the relation");
-        let plan = e.run("EXPLAIN APPEND TO nodes (id = 9, cost = 0.0, status = \"x\")").unwrap();
+        assert!(
+            e.relation("w").is_none(),
+            "EXPLAIN must not create the relation"
+        );
+        let plan = e
+            .run("EXPLAIN APPEND TO nodes (id = 9, cost = 0.0, status = \"x\")")
+            .unwrap();
         assert!(format!("{:?}", plan.rows()).contains("index adjustments"));
         let count = e.run("RETRIEVE (COUNT(n.id))").unwrap();
-        assert_eq!(count.scalar(), Some(&Value::Int(3)), "EXPLAIN must not append");
+        assert_eq!(
+            count.scalar(),
+            Some(&Value::Int(3)),
+            "EXPLAIN must not append"
+        );
     }
 
     #[test]
@@ -1197,12 +1292,15 @@ mod tests {
     #[test]
     fn retrieve_into_joins_two_relations() {
         let mut e = QuelEngine::new();
-        e.run("CREATE edges (src = int, dst = int, w = float)").unwrap();
+        e.run("CREATE edges (src = int, dst = int, w = float)")
+            .unwrap();
         e.run("CREATE cur (id = int) KEY id").unwrap();
         e.run("RANGE OF ed IS edges").unwrap();
         e.run("RANGE OF c IS cur").unwrap();
-        e.run("APPEND TO edges (src = 0, dst = 1, w = 1.0)").unwrap();
-        e.run("APPEND TO edges (src = 1, dst = 2, w = 2.0)").unwrap();
+        e.run("APPEND TO edges (src = 0, dst = 1, w = 1.0)")
+            .unwrap();
+        e.run("APPEND TO edges (src = 1, dst = 2, w = 2.0)")
+            .unwrap();
         e.run("APPEND TO cur (id = 1)").unwrap();
         let out = e
             .run("RETRIEVE INTO hop (node = ed.dst, cost = ed.w) WHERE ed.src = c.id")
@@ -1237,12 +1335,17 @@ mod tests {
     #[test]
     fn retrieve_into_type_inference() {
         let mut e = engine_with_nodes();
-        e.run("RETRIEVE INTO typed (i = n.id + 1, f = n.cost + 1, s = n.status)").unwrap();
+        e.run("RETRIEVE INTO typed (i = n.id + 1, f = n.cost + 1, s = n.status)")
+            .unwrap();
         e.run("RANGE OF t2 IS typed").unwrap();
         let rows = e.run("RETRIEVE (t2.i, t2.f, t2.s) WHERE t2.i = 1").unwrap();
         assert_eq!(
             rows.rows(),
-            &[vec![Value::Int(1), Value::Float(1.0), Value::Str("open".into())]]
+            &[vec![
+                Value::Int(1),
+                Value::Float(1.0),
+                Value::Str("open".into())
+            ]]
         );
     }
 
@@ -1269,9 +1372,14 @@ mod tests {
     #[test]
     fn unique_sorted_retrieve_combines() {
         let mut e = engine_with_nodes();
-        let out = e.run("RETRIEVE UNIQUE (n.status) SORT BY n.status").unwrap();
+        let out = e
+            .run("RETRIEVE UNIQUE (n.status) SORT BY n.status")
+            .unwrap();
         let vals: Vec<_> = out.rows().iter().map(|r| r[0].clone()).collect();
-        assert_eq!(vals, vec![Value::Str("closed".into()), Value::Str("open".into())]);
+        assert_eq!(
+            vals,
+            vec![Value::Str("closed".into()), Value::Str("open".into())]
+        );
     }
 
     #[test]
@@ -1287,7 +1395,9 @@ mod tests {
     #[test]
     fn arithmetic_in_predicates() {
         let mut e = engine_with_nodes();
-        let out = e.run("RETRIEVE (n.id) WHERE n.cost * 2 >= 3.0 AND NOT (n.id = 1)").unwrap();
+        let out = e
+            .run("RETRIEVE (n.id) WHERE n.cost * 2 >= 3.0 AND NOT (n.id = 1)")
+            .unwrap();
         assert_eq!(out.rows(), &[vec![Value::Int(2)]]);
         let div = e.run("RETRIEVE (n.id) WHERE n.cost / 0.0 > 1");
         assert!(matches!(div, Err(QuelError::Type(_))));

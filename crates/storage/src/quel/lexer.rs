@@ -135,9 +135,7 @@ pub fn lex(input: &str) -> Result<Vec<Token>, QuelError> {
                 while j < bytes.len() {
                     match bytes[j] as char {
                         '0'..='9' => j += 1,
-                        '.' if !is_float
-                            && matches!(bytes.get(j + 1), Some(b'0'..=b'9')) =>
-                        {
+                        '.' if !is_float && matches!(bytes.get(j + 1), Some(b'0'..=b'9')) => {
                             is_float = true;
                             j += 1;
                         }

@@ -79,7 +79,9 @@ impl Parser {
     fn ident(&mut self) -> Result<String, QuelError> {
         match self.next()? {
             Token::Ident(s) => Ok(s),
-            other => Err(QuelError::Parse(format!("expected identifier, found {other:?}"))),
+            other => Err(QuelError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
         }
     }
 
@@ -88,7 +90,9 @@ impl Parser {
         if id == kw {
             Ok(())
         } else {
-            Err(QuelError::Parse(format!("expected keyword '{kw}', found '{id}'")))
+            Err(QuelError::Parse(format!(
+                "expected keyword '{kw}', found '{id}'"
+            )))
         }
     }
 
@@ -101,7 +105,9 @@ impl Parser {
         match head.as_str() {
             "explain" => Ok(Statement::Explain(Box::new(self.statement()?))),
             "create" => self.create(),
-            "drop" => Ok(Statement::Drop { name: self.ident()? }),
+            "drop" => Ok(Statement::Drop {
+                name: self.ident()?,
+            }),
             "range" => self.range(),
             "append" => self.append(),
             "retrieve" => self.retrieve(),
@@ -122,15 +128,17 @@ impl Parser {
                 "int" => ValueType::Int,
                 "float" => ValueType::Float,
                 "string" => ValueType::Str,
-                other => {
-                    return Err(QuelError::Parse(format!("unknown column type '{other}'")))
-                }
+                other => return Err(QuelError::Parse(format!("unknown column type '{other}'"))),
             };
             columns.push((col, ty));
             match self.next()? {
                 Token::Comma => continue,
                 Token::RParen => break,
-                other => return Err(QuelError::Parse(format!("expected ',' or ')', found {other:?}"))),
+                other => {
+                    return Err(QuelError::Parse(format!(
+                        "expected ',' or ')', found {other:?}"
+                    )))
+                }
             }
         }
         let key = if self.peek_keyword("key") {
@@ -154,7 +162,10 @@ impl Parser {
         self.keyword("to")?;
         let relation = self.ident()?;
         let assignments = self.assignments()?;
-        Ok(Statement::Append { relation, assignments })
+        Ok(Statement::Append {
+            relation,
+            assignments,
+        })
     }
 
     fn assignments(&mut self) -> Result<Vec<Assignment>, QuelError> {
@@ -168,7 +179,11 @@ impl Parser {
             match self.next()? {
                 Token::Comma => continue,
                 Token::RParen => break,
-                other => return Err(QuelError::Parse(format!("expected ',' or ')', found {other:?}"))),
+                other => {
+                    return Err(QuelError::Parse(format!(
+                        "expected ',' or ')', found {other:?}"
+                    )))
+                }
             }
         }
         Ok(out)
@@ -180,7 +195,11 @@ impl Parser {
             let name = self.ident()?;
             let assignments = self.assignments()?;
             let predicate = self.optional_where()?;
-            return Ok(Statement::RetrieveInto { name, assignments, predicate });
+            return Ok(Statement::RetrieveInto {
+                name,
+                assignments,
+                predicate,
+            });
         }
         let unique = if self.peek_keyword("unique") {
             self.pos += 1;
@@ -195,7 +214,11 @@ impl Parser {
             match self.next()? {
                 Token::Comma => continue,
                 Token::RParen => break,
-                other => return Err(QuelError::Parse(format!("expected ',' or ')', found {other:?}"))),
+                other => {
+                    return Err(QuelError::Parse(format!(
+                        "expected ',' or ')', found {other:?}"
+                    )))
+                }
             }
         }
         let predicate = self.optional_where()?;
@@ -216,7 +239,12 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Retrieve { targets, predicate, unique, sort })
+        Ok(Statement::Retrieve {
+            targets,
+            predicate,
+            unique,
+            sort,
+        })
     }
 
     fn target(&mut self) -> Result<Target, QuelError> {
@@ -244,7 +272,10 @@ impl Parser {
                 if col == "all" {
                     Ok(Target::All(var.to_string()))
                 } else {
-                    Ok(Target::Column(ColumnRef { range_var: var.to_string(), column: col }))
+                    Ok(Target::Column(ColumnRef {
+                        range_var: var.to_string(),
+                        column: col,
+                    }))
                 }
             }
         }
@@ -254,7 +285,11 @@ impl Parser {
         let var = self.ident()?;
         let assignments = self.assignments()?;
         let predicate = self.optional_where()?;
-        Ok(Statement::Replace { var, assignments, predicate })
+        Ok(Statement::Replace {
+            var,
+            assignments,
+            predicate,
+        })
     }
 
     fn delete(&mut self) -> Result<Statement, QuelError> {
@@ -377,9 +412,14 @@ impl Parser {
             Token::Ident(var) => {
                 self.expect(&Token::Dot)?;
                 let column = self.ident()?;
-                Ok(Expr::Column(ColumnRef { range_var: var, column }))
+                Ok(Expr::Column(ColumnRef {
+                    range_var: var,
+                    column,
+                }))
             }
-            other => Err(QuelError::Parse(format!("unexpected token {other:?} in expression"))),
+            other => Err(QuelError::Parse(format!(
+                "unexpected token {other:?} in expression"
+            ))),
         }
     }
 }
@@ -405,14 +445,23 @@ mod tests {
     #[test]
     fn parses_range() {
         let s = parse("RANGE OF n IS nodes").unwrap();
-        assert_eq!(s, Statement::Range { var: "n".into(), relation: "nodes".into() });
+        assert_eq!(
+            s,
+            Statement::Range {
+                var: "n".into(),
+                relation: "nodes".into()
+            }
+        );
     }
 
     #[test]
     fn parses_append() {
         let s = parse("APPEND TO nodes (id = 3, cost = 1.5 + 2.0, status = \"open\")").unwrap();
         match s {
-            Statement::Append { relation, assignments } => {
+            Statement::Append {
+                relation,
+                assignments,
+            } => {
                 assert_eq!(relation, "nodes");
                 assert_eq!(assignments.len(), 3);
                 assert_eq!(assignments[0].column, "id");
@@ -425,7 +474,9 @@ mod tests {
     fn parses_retrieve_with_where() {
         let s = parse("RETRIEVE (n.id, n.cost) WHERE n.status = \"open\" AND n.cost < 5").unwrap();
         match s {
-            Statement::Retrieve { targets, predicate, .. } => {
+            Statement::Retrieve {
+                targets, predicate, ..
+            } => {
                 assert_eq!(targets.len(), 2);
                 assert!(predicate.is_some());
             }
@@ -450,7 +501,11 @@ mod tests {
     fn parses_replace() {
         let s = parse("REPLACE n (status = \"closed\", cost = n.cost * 2) WHERE n.id = 7").unwrap();
         match s {
-            Statement::Replace { var, assignments, predicate } => {
+            Statement::Replace {
+                var,
+                assignments,
+                predicate,
+            } => {
                 assert_eq!(var, "n");
                 assert_eq!(assignments.len(), 2);
                 assert!(predicate.is_some());
@@ -462,15 +517,28 @@ mod tests {
     #[test]
     fn parses_delete_without_where() {
         let s = parse("DELETE f").unwrap();
-        assert_eq!(s, Statement::Delete { var: "f".into(), predicate: None });
+        assert_eq!(
+            s,
+            Statement::Delete {
+                var: "f".into(),
+                predicate: None
+            }
+        );
     }
 
     #[test]
     fn operator_precedence() {
         // 1 + 2 * 3 parses as 1 + (2 * 3).
         let s = parse("RETRIEVE (MIN(1 + 2 * 3))").unwrap();
-        let Statement::Retrieve { targets, .. } = s else { panic!() };
-        let Target::Min(Expr::Binary { op: BinOp::Add, rhs, .. }) = &targets[0] else {
+        let Statement::Retrieve { targets, .. } = s else {
+            panic!()
+        };
+        let Target::Min(Expr::Binary {
+            op: BinOp::Add,
+            rhs,
+            ..
+        }) = &targets[0]
+        else {
             panic!("{targets:?}")
         };
         assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -479,7 +547,11 @@ mod tests {
     #[test]
     fn and_binds_tighter_than_or() {
         let s = parse("DELETE f WHERE f.a = 1 OR f.b = 2 AND f.c = 3").unwrap();
-        let Statement::Delete { predicate: Some(Expr::Binary { op, .. }), .. } = s else {
+        let Statement::Delete {
+            predicate: Some(Expr::Binary { op, .. }),
+            ..
+        } = s
+        else {
             panic!()
         };
         assert_eq!(op, BinOp::Or);
@@ -498,7 +570,9 @@ mod tests {
     #[test]
     fn parses_negation_and_abs() {
         let s = parse("RETRIEVE (MIN(ABS(-n.cost)))").unwrap();
-        let Statement::Retrieve { targets, .. } = s else { panic!() };
+        let Statement::Retrieve { targets, .. } = s else {
+            panic!()
+        };
         assert!(matches!(&targets[0], Target::Min(Expr::Abs(_))));
     }
 }

@@ -94,11 +94,19 @@ impl fmt::Display for Statement {
             }
             Statement::Drop { name } => write!(f, "DROP {name}"),
             Statement::Range { var, relation } => write!(f, "RANGE OF {var} IS {relation}"),
-            Statement::Append { relation, assignments } => {
+            Statement::Append {
+                relation,
+                assignments,
+            } => {
                 write!(f, "APPEND TO {relation} ")?;
                 write_assignments(f, assignments)
             }
-            Statement::Retrieve { targets, predicate, unique, sort } => {
+            Statement::Retrieve {
+                targets,
+                predicate,
+                unique,
+                sort,
+            } => {
                 write!(f, "RETRIEVE ")?;
                 if *unique {
                     write!(f, "UNIQUE ")?;
@@ -122,7 +130,11 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::RetrieveInto { name, assignments, predicate } => {
+            Statement::RetrieveInto {
+                name,
+                assignments,
+                predicate,
+            } => {
                 write!(f, "RETRIEVE INTO {name} ")?;
                 write_assignments(f, assignments)?;
                 if let Some(p) = predicate {
@@ -130,7 +142,11 @@ impl fmt::Display for Statement {
                 }
                 Ok(())
             }
-            Statement::Replace { var, assignments, predicate } => {
+            Statement::Replace {
+                var,
+                assignments,
+                predicate,
+            } => {
                 write!(f, "REPLACE {var} ")?;
                 write_assignments(f, assignments)?;
                 if let Some(p) = predicate {
@@ -158,7 +174,10 @@ mod tests {
         let printed = ast.to_string();
         let reparsed =
             parse(&printed).unwrap_or_else(|e| panic!("printed {printed:?} failed: {e}"));
-        assert_eq!(ast, reparsed, "roundtrip changed the AST for {src:?} -> {printed:?}");
+        assert_eq!(
+            ast, reparsed,
+            "roundtrip changed the AST for {src:?} -> {printed:?}"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl Schema {
         if off == 0 || off > BLOCK_SIZE {
             return Err(QuelError::Type(format!("row size {off} invalid")));
         }
-        Ok(Schema { columns, offsets, row_size: off })
+        Ok(Schema {
+            columns,
+            offsets,
+            row_size: off,
+        })
     }
 
     /// Number of columns.
@@ -229,7 +233,8 @@ impl DynRelation {
             self.blocks.push(Block::new());
         }
         let size = self.schema.row_size();
-        self.schema.encode_row(&row, self.blocks[b].bytes_mut(off, size));
+        self.schema
+            .encode_row(&row, self.blocks[b].bytes_mut(off, size));
         self.live.push(true);
         self.len += 1;
         self.live_count += 1;
@@ -246,14 +251,22 @@ impl DynRelation {
         for slot in 0..self.len {
             if self.live[slot] {
                 let (b, off) = self.locate(slot);
-                visit(slot, self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size())));
+                visit(
+                    slot,
+                    self.schema
+                        .decode_row(self.blocks[b].bytes(off, self.schema.row_size())),
+                );
             }
         }
     }
 
     /// Keyed probe (charges `I_l` index reads plus one data read).
     /// Returns `None` for absent keys.
-    pub fn probe(&self, key: &Value, io: &mut IoStats) -> Result<Option<(usize, Vec<Value>)>, QuelError> {
+    pub fn probe(
+        &self,
+        key: &Value,
+        io: &mut IoStats,
+    ) -> Result<Option<(usize, Vec<Value>)>, QuelError> {
         io.read_blocks(self.index_levels);
         let Some(kc) = self.key_column else {
             return Err(QuelError::Type("relation has no key".into()));
@@ -267,7 +280,8 @@ impl DynRelation {
                 let (b, off) = self.locate(slot);
                 Ok(Some((
                     slot,
-                    self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size())),
+                    self.schema
+                        .decode_row(self.blocks[b].bytes(off, self.schema.row_size())),
                 )))
             }
         }
@@ -292,7 +306,9 @@ impl DynRelation {
             .collect::<Result<_, _>>()?;
         if let Some(kc) = self.key_column {
             let (b, off) = self.locate(slot);
-            let old = self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size()));
+            let old = self
+                .schema
+                .decode_row(self.blocks[b].bytes(off, self.schema.row_size()));
             let old_key = KeyVal::from_value(&old[kc])?;
             let new_key = KeyVal::from_value(&row[kc])?;
             if old_key != new_key {
@@ -306,7 +322,8 @@ impl DynRelation {
         }
         let size = self.schema.row_size();
         let (b, off) = self.locate(slot);
-        self.schema.encode_row(&row, self.blocks[b].bytes_mut(off, size));
+        self.schema
+            .encode_row(&row, self.blocks[b].bytes_mut(off, size));
         io.update_tuples(1);
         Ok(())
     }
@@ -317,7 +334,9 @@ impl DynRelation {
         debug_assert!(slot < self.len && self.live[slot]);
         if let Some(kc) = self.key_column {
             let (b, off) = self.locate(slot);
-            let row = self.schema.decode_row(self.blocks[b].bytes(off, self.schema.row_size()));
+            let row = self
+                .schema
+                .decode_row(self.blocks[b].bytes(off, self.schema.row_size()));
             self.directory.remove(&KeyVal::from_value(&row[kc])?);
             io.adjust_index(self.index_levels);
         }
@@ -352,7 +371,11 @@ mod tests {
     }
 
     fn row(id: i64, cost: f64, status: &str) -> Vec<Value> {
-        vec![Value::Int(id), Value::Float(cost), Value::Str(status.into())]
+        vec![
+            Value::Int(id),
+            Value::Float(cost),
+            Value::Str(status.into()),
+        ]
     }
 
     #[test]
@@ -448,13 +471,24 @@ mod tests {
         let mut io = IoStats::new();
         let mut r = DynRelation::create(schema(), None, 3, &mut io).unwrap();
         // Int literal into the float column widens.
-        r.append(vec![Value::Int(1), Value::Int(2), Value::Str("x".into())], &mut io).unwrap();
+        r.append(
+            vec![Value::Int(1), Value::Int(2), Value::Str("x".into())],
+            &mut io,
+        )
+        .unwrap();
         let mut seen = Vec::new();
         r.scan(&mut io, |_, row| seen.push(row));
         assert_eq!(seen[0][1], Value::Float(2.0));
         // String into int fails.
         assert!(r
-            .append(vec![Value::Str("no".into()), Value::Float(0.0), Value::Str("x".into())], &mut io)
+            .append(
+                vec![
+                    Value::Str("no".into()),
+                    Value::Float(0.0),
+                    Value::Str("x".into())
+                ],
+                &mut io
+            )
             .is_err());
     }
 }

@@ -130,8 +130,15 @@ impl Value {
             }
             _ => {
                 let (a, b) = (self.as_f64()?, other.as_f64()?);
-                a.partial_cmp(&b).ok_or_else(|| QuelError::Type("NaN comparison".into()))
-                    .map(|o| if o == Ordering::Equal { Ordering::Equal } else { o })
+                a.partial_cmp(&b)
+                    .ok_or_else(|| QuelError::Type("NaN comparison".into()))
+                    .map(|o| {
+                        if o == Ordering::Equal {
+                            Ordering::Equal
+                        } else {
+                            o
+                        }
+                    })
             }
         }
     }
@@ -176,7 +183,10 @@ mod tests {
     fn string_roundtrip() {
         let mut buf = [0u8; 16];
         Value::Str("open".into()).encode(&mut buf);
-        assert_eq!(Value::decode(ValueType::Str, &buf), Value::Str("open".into()));
+        assert_eq!(
+            Value::decode(ValueType::Str, &buf),
+            Value::Str("open".into())
+        );
     }
 
     #[test]
@@ -187,20 +197,31 @@ mod tests {
 
     #[test]
     fn int_widens_to_float() {
-        assert_eq!(Value::Int(3).coerce(ValueType::Float).unwrap(), Value::Float(3.0));
+        assert_eq!(
+            Value::Int(3).coerce(ValueType::Float).unwrap(),
+            Value::Float(3.0)
+        );
     }
 
     #[test]
     fn fractional_float_does_not_narrow() {
         assert!(Value::Float(3.5).coerce(ValueType::Int).is_err());
-        assert_eq!(Value::Float(3.0).coerce(ValueType::Int).unwrap(), Value::Int(3));
+        assert_eq!(
+            Value::Float(3.0).coerce(ValueType::Int).unwrap(),
+            Value::Int(3)
+        );
     }
 
     #[test]
     fn comparisons() {
         use std::cmp::Ordering::*;
         assert_eq!(Value::Int(2).compare(&Value::Float(2.5)).unwrap(), Less);
-        assert_eq!(Value::Str("a".into()).compare(&Value::Str("b".into())).unwrap(), Less);
+        assert_eq!(
+            Value::Str("a".into())
+                .compare(&Value::Str("b".into()))
+                .unwrap(),
+            Less
+        );
         assert!(Value::Str("a".into()).compare(&Value::Int(1)).is_err());
     }
 

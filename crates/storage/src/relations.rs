@@ -101,7 +101,11 @@ impl EdgeRelation {
             buckets.push((start, graph.degree(u) as u32));
         }
         heap.flush(io)?;
-        Ok(EdgeRelation { heap, buckets, avg_degree: graph.average_degree() })
+        Ok(EdgeRelation {
+            heap,
+            buckets,
+            avg_degree: graph.average_degree(),
+        })
     }
 
     /// Attaches a buffer pool to `S` (an extension; see [`crate::buffer`]).
@@ -135,7 +139,11 @@ impl EdgeRelation {
     ///
     /// # Errors
     /// Surfaces injected read failures and checksum mismatches.
-    pub fn fetch_adjacency(&self, u: u16, io: &mut IoStats) -> Result<Vec<EdgeTuple>, StorageError> {
+    pub fn fetch_adjacency(
+        &self,
+        u: u16,
+        io: &mut IoStats,
+    ) -> Result<Vec<EdgeTuple>, StorageError> {
         let Some(&(start, len)) = self.buckets.get(u as usize) else {
             io.read_blocks(1);
             return Ok(Vec::new());
@@ -145,7 +153,10 @@ impl EdgeRelation {
             return Ok(Vec::new());
         }
         let mut out = Vec::with_capacity(len as usize);
-        self.heap.scan_range(start as usize, (start + len) as usize, io, |_, t| out.push(t))?;
+        self.heap
+            .scan_range(start as usize, (start + len) as usize, io, |_, t| {
+                out.push(t)
+            })?;
         Ok(out)
     }
 
@@ -196,7 +207,9 @@ impl EdgeRelation {
         io: &mut IoStats,
     ) -> Result<usize, StorageError> {
         if !cost.is_finite() || cost < 0.0 {
-            return Err(StorageError::InvalidValue("edge cost must be finite and non-negative"));
+            return Err(StorageError::InvalidValue(
+                "edge cost must be finite and non-negative",
+            ));
         }
         let Some(&(start, len)) = self.buckets.get(u as usize) else {
             io.read_blocks(1);
@@ -207,7 +220,8 @@ impl EdgeRelation {
         for slot in start..start + len {
             let t = self.heap.peek_slot(slot as usize)?;
             if t.end == v {
-                self.heap.update_slot(slot as usize, io, |t| t.cost = cost)?;
+                self.heap
+                    .update_slot(slot as usize, io, |t| t.cost = cost)?;
                 updated += 1;
             }
         }
@@ -418,7 +432,11 @@ impl NodeRelation {
     ///
     /// # Errors
     /// Surfaces injected read failures and checksum mismatches.
-    pub fn count_status(&self, status: NodeStatus, io: &mut IoStats) -> Result<usize, StorageError> {
+    pub fn count_status(
+        &self,
+        status: NodeStatus,
+        io: &mut IoStats,
+    ) -> Result<usize, StorageError> {
         let mut n = 0;
         self.scan(io, |_, t| {
             if t.status == status {
@@ -483,8 +501,17 @@ mod tests {
     use atis_graph::graph::graph_from_arcs;
 
     fn small_graph() -> Graph {
-        graph_from_arcs(4, &[(0, 1, 1.0), (0, 2, 2.0), (1, 3, 1.5), (2, 3, 0.5), (3, 0, 4.0)])
-            .unwrap()
+        graph_from_arcs(
+            4,
+            &[
+                (0, 1, 1.0),
+                (0, 2, 2.0),
+                (1, 3, 1.5),
+                (2, 3, 0.5),
+                (3, 0, 4.0),
+            ],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -592,7 +619,10 @@ mod tests {
             t.path_cost = 2.0;
         })
         .unwrap();
-        let (id, t) = r.select_min_open(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
+        let (id, t) = r
+            .select_min_open(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .unwrap();
         assert_eq!(id, 3);
         assert_eq!(t.path_cost, 2.0);
     }
@@ -603,7 +633,10 @@ mod tests {
         let mut io = IoStats::new();
         let s = EdgeRelation::load(&g, &mut io).unwrap();
         let r = NodeRelation::load(&g, s.block_count(), 3, &mut io).unwrap();
-        assert!(r.select_min_open(&mut io, |_, t| t.path_cost as f64).unwrap().is_none());
+        assert!(r
+            .select_min_open(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -623,11 +656,16 @@ mod tests {
         let mut io = IoStats::new();
         let s = EdgeRelation::load(&g, &mut io).unwrap();
         let mut r = NodeRelation::load(&g, s.block_count(), 3, &mut io).unwrap();
-        r.replace(0, &mut io, |t| t.status = NodeStatus::Current).unwrap();
-        r.replace(2, &mut io, |t| t.status = NodeStatus::Current).unwrap();
+        r.replace(0, &mut io, |t| t.status = NodeStatus::Current)
+            .unwrap();
+        r.replace(2, &mut io, |t| t.status = NodeStatus::Current)
+            .unwrap();
         assert_eq!(r.count_status(NodeStatus::Current, &mut io).unwrap(), 2);
         let fetched = r.fetch_status(NodeStatus::Current, &mut io).unwrap();
-        assert_eq!(fetched.iter().map(|(id, _)| *id).collect::<Vec<_>>(), vec![0, 2]);
+        assert_eq!(
+            fetched.iter().map(|(id, _)| *id).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
     }
 
     #[test]
@@ -644,7 +682,12 @@ mod tests {
 
     #[test]
     fn status_byte_roundtrip() {
-        for s in [NodeStatus::Null, NodeStatus::Open, NodeStatus::Closed, NodeStatus::Current] {
+        for s in [
+            NodeStatus::Null,
+            NodeStatus::Open,
+            NodeStatus::Closed,
+            NodeStatus::Current,
+        ] {
             assert_eq!(NodeStatus::from_u8(s as u8), s);
         }
         assert_eq!(NodeStatus::from_u8(200), NodeStatus::Null);

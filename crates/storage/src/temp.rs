@@ -131,7 +131,10 @@ impl<T: FixedTuple> TempRelation<T> {
     pub fn delete(&mut self, key: u32, io: &mut IoStats) -> Result<(), StorageError> {
         io.read_blocks(self.index_levels);
         consult_index_probe(&self.faults, self.index_levels)?;
-        let slot = *self.directory.get(&key).ok_or(StorageError::KeyNotFound(key))?;
+        let slot = *self
+            .directory
+            .get(&key)
+            .ok_or(StorageError::KeyNotFound(key))?;
         self.heap.update_slot(slot, io, |_| {})?; // tombstone write
         self.directory.remove(&key);
         self.keys[slot] = None;
@@ -153,7 +156,10 @@ impl<T: FixedTuple> TempRelation<T> {
     ) -> Result<(), StorageError> {
         io.read_blocks(self.index_levels);
         consult_index_probe(&self.faults, self.index_levels)?;
-        let slot = *self.directory.get(&key).ok_or(StorageError::KeyNotFound(key))?;
+        let slot = *self
+            .directory
+            .get(&key)
+            .ok_or(StorageError::KeyNotFound(key))?;
         self.heap.update_slot(slot, io, f)
     }
 
@@ -164,7 +170,10 @@ impl<T: FixedTuple> TempRelation<T> {
     pub fn get(&self, key: u32, io: &mut IoStats) -> Result<T, StorageError> {
         io.read_blocks(self.index_levels);
         consult_index_probe(&self.faults, self.index_levels)?;
-        let slot = *self.directory.get(&key).ok_or(StorageError::KeyNotFound(key))?;
+        let slot = *self
+            .directory
+            .get(&key)
+            .ok_or(StorageError::KeyNotFound(key))?;
         self.heap.read_slot(slot, io)
     }
 
@@ -264,7 +273,12 @@ pub struct MultiRelation<T: FixedTuple> {
 impl<T: FixedTuple> MultiRelation<T> {
     /// Creates an empty relation (charges `I`).
     pub fn create(index_levels: u64, io: &mut IoStats) -> Self {
-        MultiRelation { heap: HeapFile::create(io), keys: Vec::new(), index_levels, live: 0 }
+        MultiRelation {
+            heap: HeapFile::create(io),
+            keys: Vec::new(),
+            index_levels,
+            live: 0,
+        }
     }
 
     /// Attaches fault-injection state (see [`crate::fault`]).
@@ -400,7 +414,13 @@ mod tests {
     use crate::tuple::{NodeTuple, NO_PRED};
 
     fn tup(cost: f32) -> NodeTuple {
-        NodeTuple { x: 0.0, y: 0.0, status: NodeStatus::Open, path: NO_PRED, path_cost: cost }
+        NodeTuple {
+            x: 0.0,
+            y: 0.0,
+            status: NodeStatus::Open,
+            path: NO_PRED,
+            path_cost: cost,
+        }
     }
 
     #[test]
@@ -470,7 +490,10 @@ mod tests {
         f.append(11, &tup(1.0), &mut io).unwrap();
         f.append(12, &tup(3.0), &mut io).unwrap();
         f.delete(11, &mut io).unwrap();
-        let (k, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
+        let (k, t) = f
+            .select_min(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .unwrap();
         assert_eq!(k, 12);
         assert_eq!(t.path_cost, 3.0);
     }
@@ -479,7 +502,10 @@ mod tests {
     fn select_min_on_empty_is_none() {
         let mut io = IoStats::new();
         let f: TempRelation<NodeTuple> = TempRelation::create(3, &mut io);
-        assert!(f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().is_none());
+        assert!(f
+            .select_min(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -542,11 +568,17 @@ mod tests {
         f.append(5, &tup(2.0), &mut io).unwrap();
         f.append(5, &tup(1.0), &mut io).unwrap();
         f.append(6, &tup(3.0), &mut io).unwrap();
-        let (slot, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
+        let (slot, key, t) = f
+            .select_min(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .unwrap();
         assert_eq!((key, t.path_cost), (5, 1.0));
         f.delete_slot(slot, &mut io).unwrap();
         // The stale duplicate is still there.
-        let (_, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
+        let (_, key, t) = f
+            .select_min(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .unwrap();
         assert_eq!((key, t.path_cost), (5, 2.0));
     }
 
@@ -558,10 +590,15 @@ mod tests {
         f.append(1, &tup(3.0), &mut io).unwrap();
         f.append(1, &tup(4.0), &mut io).unwrap();
         f.append(2, &tup(9.0), &mut io).unwrap();
-        let removed = f.eliminate_duplicates(&mut io, |_, t| t.path_cost as f64).unwrap();
+        let removed = f
+            .eliminate_duplicates(&mut io, |_, t| t.path_cost as f64)
+            .unwrap();
         assert_eq!(removed, 2);
         assert_eq!(f.len(), 2);
-        let (_, key, t) = f.select_min(&mut io, |_, t| t.path_cost as f64).unwrap().unwrap();
+        let (_, key, t) = f
+            .select_min(&mut io, |_, t| t.path_cost as f64)
+            .unwrap()
+            .unwrap();
         assert_eq!((key, t.path_cost), (1, 3.0));
     }
 

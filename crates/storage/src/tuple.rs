@@ -111,7 +111,13 @@ pub struct NodeTuple {
 impl NodeTuple {
     /// A fresh, unreached node at `(x, y)`.
     pub fn unreached(x: f32, y: f32) -> Self {
-        NodeTuple { x, y, status: NodeStatus::Null, path: NO_PRED, path_cost: f32::INFINITY }
+        NodeTuple {
+            x,
+            y,
+            status: NodeStatus::Null,
+            path: NO_PRED,
+            path_cost: f32::INFINITY,
+        }
     }
 }
 
@@ -199,8 +205,19 @@ mod tests {
 
     #[test]
     fn all_statuses_roundtrip() {
-        for s in [NodeStatus::Null, NodeStatus::Open, NodeStatus::Closed, NodeStatus::Current] {
-            let t = NodeTuple { x: 0.0, y: 0.0, status: s, path: 0, path_cost: 0.0 };
+        for s in [
+            NodeStatus::Null,
+            NodeStatus::Open,
+            NodeStatus::Closed,
+            NodeStatus::Current,
+        ] {
+            let t = NodeTuple {
+                x: 0.0,
+                y: 0.0,
+                status: s,
+                path: 0,
+                path_cost: 0.0,
+            };
             let mut buf = [0u8; 16];
             t.encode(&mut buf);
             assert_eq!(NodeTuple::decode(&buf).status, s);

@@ -18,11 +18,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = CostParams::default();
 
     println!("Grid benchmark: {k}x{k} nodes, seed {seed}\n");
-    for model in [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed] {
+    for model in [
+        CostModel::Uniform,
+        CostModel::TWENTY_PERCENT,
+        CostModel::Skewed,
+    ] {
         let grid = Grid::new(k, model, seed)?;
         let db = Database::open(grid.graph())?;
         println!("--- {} ---", model.label());
-        println!("{:16} {:>14} {:>12} {:>12}", "query", "algorithm", "iterations", "cost units");
+        println!(
+            "{:16} {:>14} {:>12} {:>12}",
+            "query", "algorithm", "iterations", "cost units"
+        );
         for kind in QueryKind::TABLE {
             let (s, d) = grid.query_pair(kind);
             for alg in Algorithm::TABLE {

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Morning: plan the commute.
     let before = db.run(Algorithm::Dijkstra, s, d)?;
     let route = before.path.clone().expect("grid is connected");
-    println!("planned route: {} segments, cost {:.3}", route.len(), route.cost);
+    println!(
+        "planned route: {} segments, cost {:.3}",
+        route.len(),
+        route.cost
+    );
 
     // An incident closes the middle of that route: every segment of its
     // central third becomes 10x slower. The updates hit the stored edge
@@ -40,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Re-plan: the route detours and the old route is now far worse.
     let after = db.run(Algorithm::Dijkstra, s, d)?;
     let detour = after.path.clone().expect("still connected");
-    println!("re-planned route: {} segments, cost {:.3}", detour.len(), detour.cost);
+    println!(
+        "re-planned route: {} segments, cost {:.3}",
+        detour.len(),
+        detour.cost
+    );
 
     let old_route_cost_now: f64 = route
         .hops()

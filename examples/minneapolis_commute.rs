@@ -48,10 +48,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         attrs.travel_time,
         attrs.mean_occupancy * 100.0
     );
-    println!("{}", render_map(mpls.graph(), Some(&route), mpls.landmarks(), 78, 36));
+    println!(
+        "{}",
+        render_map(mpls.graph(), Some(&route), mpls.landmarks(), 78, 36)
+    );
 
     // Also emit the map as a vector image (Figure 8, regenerated).
-    let svg = render_svg(mpls.graph(), Some(&route), mpls.landmarks(), &SvgOptions::default());
+    let svg = render_svg(
+        mpls.graph(),
+        Some(&route),
+        mpls.landmarks(),
+        &SvgOptions::default(),
+    );
     let out = std::env::temp_dir().join("atis_minneapolis.svg");
     std::fs::write(&out, svg)?;
     println!("SVG map written to {}", out.display());

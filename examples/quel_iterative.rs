@@ -33,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
     }
     for u in grid.graph().node_ids() {
-        let (status, cost) = if u == s { ("current", 0.0) } else { ("null", 1.0e18) };
+        let (status, cost) = if u == s {
+            ("current", 0.0)
+        } else {
+            ("null", 1.0e18)
+        };
         quel.run(&format!(
             "APPEND TO nodes (id = {}, cost = {cost:?}, status = \"{status}\", pred = -1)",
             u.0
@@ -43,7 +47,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rounds = 0u64;
     loop {
         let current = quel.run("RETRIEVE (COUNT(n.id)) WHERE n.status = \"current\"")?;
-        let Some(&Value::Int(count)) = current.scalar() else { unreachable!() };
+        let Some(&Value::Int(count)) = current.scalar() else {
+            unreachable!()
+        };
         if count == 0 {
             break;
         }
@@ -83,7 +89,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let cost_row = quel.run(&format!("RETRIEVE (n.cost) WHERE n.id = {}", d.0))?;
-    let Value::Float(quel_cost) = cost_row.rows()[0][0] else { unreachable!() };
+    let Value::Float(quel_cost) = cost_row.rows()[0][0] else {
+        unreachable!()
+    };
     println!("QUEL iterative: {rounds} rounds, destination cost {quel_cost:.4}");
     println!(
         "session I/O: {} block reads, {} block writes, {} tuple updates",
@@ -99,8 +107,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         native.iterations,
         native.path_cost()
     );
-    assert!((quel_cost - oracle.cost).abs() < 1e-9, "QUEL result must be optimal");
-    assert_eq!(rounds, native.iterations, "same round count as the native engine");
+    assert!(
+        (quel_cost - oracle.cost).abs() < 1e-9,
+        "QUEL result must be optimal"
+    );
+    assert_eq!(
+        rounds, native.iterations,
+        "same round count as the native engine"
+    );
     println!("\nQUEL set-oriented, native, and in-memory implementations all agree.");
     Ok(())
 }

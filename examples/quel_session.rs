@@ -46,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ))?;
     }
     for u in grid.graph().node_ids() {
-        let (status, cost) = if u == s { ("open", 0.0) } else { ("null", 1.0e18) };
+        let (status, cost) = if u == s {
+            ("open", 0.0)
+        } else {
+            ("null", 1.0e18)
+        };
         quel.run(&format!(
             "APPEND TO nodes (id = {}, cost = {:?}, status = \"{status}\", pred = -1)",
             u.0, cost
@@ -109,18 +113,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut cursor = d.0 as i64;
     while cursor as u32 != s.0 {
         let row = quel.run(&format!("RETRIEVE (n.pred) WHERE n.id = {cursor}"))?;
-        let Value::Int(p) = row.rows()[0][0] else { unreachable!() };
+        let Value::Int(p) = row.rows()[0][0] else {
+            unreachable!()
+        };
         cursor = p;
         route.push(NodeId(cursor as u32));
     }
     route.reverse();
 
-    println!("QUEL Dijkstra: {} iterations, path cost {:.4}", iterations, quel_cost);
+    println!(
+        "QUEL Dijkstra: {} iterations, path cost {:.4}",
+        iterations, quel_cost
+    );
     println!(
         "QUEL session I/O: {} block reads, {} block writes, {} tuple updates",
         quel.io.block_reads, quel.io.block_writes, quel.io.tuple_updates
     );
-    println!("route: {}", route.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" -> "));
+    println!(
+        "route: {}",
+        route
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
 
     // --- cross-checks ------------------------------------------------------
     let oracle = memory::dijkstra_pair(grid.graph(), s, d).expect("connected");
@@ -130,8 +146,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         oracle.cost,
         native.path_cost()
     );
-    assert!((quel_cost - oracle.cost).abs() < 1e-9, "QUEL result must be optimal");
-    assert_eq!(iterations, native.iterations, "same expansion count as the native engine");
+    assert!(
+        (quel_cost - oracle.cost).abs() < 1e-9,
+        "QUEL result must be optimal"
+    );
+    assert_eq!(
+        iterations, native.iterations,
+        "same expansion count as the native engine"
+    );
     println!("\nQUEL, native, and in-memory implementations all agree.");
     Ok(())
 }

@@ -25,8 +25,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let route = report.route.clone().expect("grid is connected");
 
     println!("Planned with {}:", report.algorithm);
-    println!("  {} road segments, total cost {:.2}", route.len(), route.cost);
-    println!("  {} iterations, {:.1} simulated I/O cost units", report.iterations, report.cost_units);
+    println!(
+        "  {} road segments, total cost {:.2}",
+        route.len(),
+        route.cost
+    );
+    println!(
+        "  {} iterations, {:.1} simulated I/O cost units",
+        report.iterations, report.cost_units
+    );
 
     println!("\nDirections:");
     for line in turn_instructions(grid.graph(), &route) {
@@ -34,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let attrs = evaluate_route(grid.graph(), &route)?;
-    println!("\nRoute evaluation: distance {:.2}, est. travel time {:.2}", attrs.distance, attrs.travel_time);
+    println!(
+        "\nRoute evaluation: distance {:.2}, est. travel time {:.2}",
+        attrs.distance, attrs.travel_time
+    );
 
     // The paper's comparison: how do the three algorithm classes do on
     // this same query?

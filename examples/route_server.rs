@@ -64,7 +64,11 @@ fn respond(service: &RouteService, line: &str) -> String {
                         p.cost,
                         p.len(),
                         answer.epoch,
-                        p.nodes.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(" ")
+                        p.nodes
+                            .iter()
+                            .map(|n| n.0.to_string())
+                            .collect::<Vec<_>>()
+                            .join(" ")
                     )),
                     None => Err("unreachable".into()),
                 },
@@ -75,7 +79,11 @@ fn respond(service: &RouteService, line: &str) -> String {
         .unwrap_or_else(|e| format!("ERR {e}")),
         Some("EVAL") => (|| -> Result<String, String> {
             let nodes: Vec<NodeId> = parts
-                .map(|t| t.parse::<u32>().map(NodeId).map_err(|_| format!("bad id {t:?}")))
+                .map(|t| {
+                    t.parse::<u32>()
+                        .map(NodeId)
+                        .map_err(|_| format!("bad id {t:?}"))
+                })
                 .collect::<Result<_, _>>()?;
             if nodes.len() < 2 {
                 return Err("need at least two nodes".into());
@@ -88,11 +96,19 @@ fn respond(service: &RouteService, line: &str) -> String {
             }
             let cost = nodes
                 .windows(2)
-                .map(|w| snapshot.db.graph().edge_cost(w[0], w[1]).ok_or("not a road"))
+                .map(|w| {
+                    snapshot
+                        .db
+                        .graph()
+                        .edge_cost(w[0], w[1])
+                        .ok_or("not a road")
+                })
                 .sum::<Result<f64, _>>()?;
             let path = Path { nodes, cost };
-            let (distance, travel_time, _io) =
-                snapshot.db.evaluate_route(&path).map_err(|e| e.to_string())?;
+            let (distance, travel_time, _io) = snapshot
+                .db
+                .evaluate_route(&path)
+                .map_err(|e| e.to_string())?;
             Ok(format!("DIST {distance:.4} TIME {travel_time:.4}"))
         })()
         .unwrap_or_else(|e| format!("ERR {e}")),
@@ -104,7 +120,9 @@ fn respond(service: &RouteService, line: &str) -> String {
                 .ok_or("missing cost")?
                 .parse()
                 .map_err(|_| "bad cost".to_string())?;
-            let update = service.update_edge_cost(u, v, c).map_err(|e| e.to_string())?;
+            let update = service
+                .update_edge_cost(u, v, c)
+                .map_err(|e| e.to_string())?;
             Ok(format!("UPDATED {} EPOCH {}", update.updated, update.epoch))
         })()
         .unwrap_or_else(|e| format!("ERR {e}")),
@@ -127,7 +145,9 @@ fn serve(listener: TcpListener, service: Arc<RouteService>) {
 }
 
 fn handle(stream: TcpStream, service: &RouteService) {
-    let Ok(mut writer) = stream.try_clone() else { return };
+    let Ok(mut writer) = stream.try_clone() else {
+        return;
+    };
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -147,10 +167,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let registry = MetricsRegistry::shared();
     // The planner configures the database (metrics here; budgets, join
     // policy, … in general) and hands it to the serving layer.
-    let db = RoutePlanner::new(grid.graph())?.with_metrics(registry.clone()).into_database();
+    let db = RoutePlanner::new(grid.graph())?
+        .with_metrics(registry.clone())
+        .into_database();
     let service = Arc::new(RouteService::with_observability(
         db,
-        ServeConfig::default().with_workers(4).with_queue_capacity(64).with_cache_capacity(256),
+        ServeConfig::default()
+            .with_workers(4)
+            .with_queue_capacity(64)
+            .with_cache_capacity(256),
         Some(registry),
         None,
     ));
@@ -202,7 +227,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let eval = ask(&format!(
         "EVAL {}",
-        via.iter().map(|n| n.to_string()).collect::<Vec<_>>().join(" ")
+        via.iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     ))?;
     assert!(eval.starts_with("DIST "), "{eval}");
 
@@ -226,7 +254,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert!(stats.contains(r#""runs_total":2"#), "{stats}");
     assert!(stats.contains(r#""cache_hits_total":1"#), "{stats}");
     assert!(stats.contains(r#""cache_misses_total":2"#), "{stats}");
-    assert!(stats.contains(r#""cache_invalidations_total":1"#), "{stats}");
+    assert!(
+        stats.contains(r#""cache_invalidations_total":1"#),
+        "{stats}"
+    );
     assert!(stats.contains(r#""serve_requests_total":3"#), "{stats}");
     assert!(stats.contains(r#""iterations_per_run""#), "{stats}");
     let again = ask("STATS")?;
@@ -238,24 +269,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // protocol-level ERR line — the connection stays up, the server never
     // panics, and the next request still works.
     for bad in [
-        "",                  // empty line
-        "ROUTE",             // missing both ids
-        "ROUTE 0",           // missing destination
-        "ROUTE zero one",    // unparsable ids
-        "ROUTE 0 99999",     // unknown destination
-        "ROUTE 99999 0",     // unknown source
-        "EVAL 5",            // fewer than two nodes
-        "EVAL 0 99999",      // out-of-range node
-        "EVAL 0 7",          // known nodes, but not a road
-        "UPDATE 0 1",        // missing cost
-        "UPDATE 0 1 fast",   // unparsable cost
-        "UPDATE 99999 0 2.0" // unknown endpoint
+        "",                   // empty line
+        "ROUTE",              // missing both ids
+        "ROUTE 0",            // missing destination
+        "ROUTE zero one",     // unparsable ids
+        "ROUTE 0 99999",      // unknown destination
+        "ROUTE 99999 0",      // unknown source
+        "EVAL 5",             // fewer than two nodes
+        "EVAL 0 99999",       // out-of-range node
+        "EVAL 0 7",           // known nodes, but not a road
+        "UPDATE 0 1",         // missing cost
+        "UPDATE 0 1 fast",    // unparsable cost
+        "UPDATE 99999 0 2.0", // unknown endpoint
     ] {
         let reply = ask(bad)?;
         assert!(reply.starts_with("ERR "), "{bad:?} -> {reply:?}");
     }
     let after = ask("ROUTE 0 143")?;
-    assert!(after.starts_with("COST "), "server must survive malformed input: {after}");
+    assert!(
+        after.starts_with("COST "),
+        "server must survive malformed input: {after}"
+    );
     assert_eq!(after, second, "this is the cached epoch-1 answer");
 
     assert_eq!(ask("QUIT")?, "BYE");

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Off-peak: costs are distances (the paper's Section 5.2 setting).
     let distance_planner = RoutePlanner::new(mpls.graph())?;
-    let off_peak = distance_planner.plan(s, d)?.route.expect("A and B are connected");
+    let off_peak = distance_planner
+        .plan(s, d)?
+        .route
+        .expect("A and B are connected");
     let off_attrs = evaluate_route(mpls.graph(), &off_peak)?;
 
     // Rush hour: re-cost every segment by congestion-aware travel time
@@ -47,13 +50,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Trip A -> B across downtown Minneapolis\n");
     println!("Shortest-distance route ({} segments):", off_peak.len());
     println!("  distance    {:>7.2}", off_attrs.distance);
-    println!("  travel time {:>7.2} (in rush-hour traffic)", off_peak_at_rush.travel_time);
-    println!("  mean occupancy {:>4.0}%", off_peak_at_rush.mean_occupancy * 100.0);
+    println!(
+        "  travel time {:>7.2} (in rush-hour traffic)",
+        off_peak_at_rush.travel_time
+    );
+    println!(
+        "  mean occupancy {:>4.0}%",
+        off_peak_at_rush.mean_occupancy * 100.0
+    );
 
     println!("\nFastest rush-hour route ({} segments):", rush.len());
     println!("  distance    {:>7.2}", rush_attrs_dist.distance);
     println!("  travel time {:>7.2}", rush_attrs_dist.travel_time);
-    println!("  mean occupancy {:>4.0}%", rush_attrs_dist.mean_occupancy * 100.0);
+    println!(
+        "  mean occupancy {:>4.0}%",
+        rush_attrs_dist.mean_occupancy * 100.0
+    );
 
     let saved = off_peak_at_rush.travel_time - rush_attrs_dist.travel_time;
     let detour = rush_attrs_dist.distance - off_attrs.distance;

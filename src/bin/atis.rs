@@ -48,18 +48,29 @@ fn load(path: &str) -> Result<Graph, String> {
 /// snap to the nearest connected node.
 fn parse_node(graph: &Graph, token: &str) -> Result<NodeId, String> {
     if let Some((xs, ys)) = token.split_once(',') {
-        let x: f64 = xs.trim().parse().map_err(|_| format!("invalid x in {token:?}"))?;
-        let y: f64 = ys.trim().parse().map_err(|_| format!("invalid y in {token:?}"))?;
+        let x: f64 = xs
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid x in {token:?}"))?;
+        let y: f64 = ys
+            .trim()
+            .parse()
+            .map_err(|_| format!("invalid y in {token:?}"))?;
         return graph
             .nearest_node(atis::graph::Point::new(x, y))
             .ok_or_else(|| "the map has no nodes".to_string());
     }
-    let id: u32 = token.parse().map_err(|_| format!("invalid node id {token:?}"))?;
+    let id: u32 = token
+        .parse()
+        .map_err(|_| format!("invalid node id {token:?}"))?;
     let node = NodeId(id);
     if graph.contains(node) {
         Ok(node)
     } else {
-        Err(format!("node {id} is outside the map (0..{})", graph.node_count()))
+        Err(format!(
+            "node {id} is outside the map (0..{})",
+            graph.node_count()
+        ))
     }
 }
 
@@ -78,9 +89,12 @@ fn export_map(args: &[String]) -> Result<(), String> {
     let (graph, file) = match args {
         [kind, file] if kind == "minneapolis" => (Minneapolis::paper().graph().clone(), file),
         [kind, rings, spokes, seed, file] if kind == "radial" => {
-            let rings: usize = rings.parse().map_err(|_| format!("invalid rings {rings:?}"))?;
-            let spokes: usize =
-                spokes.parse().map_err(|_| format!("invalid spokes {spokes:?}"))?;
+            let rings: usize = rings
+                .parse()
+                .map_err(|_| format!("invalid rings {rings:?}"))?;
+            let spokes: usize = spokes
+                .parse()
+                .map_err(|_| format!("invalid spokes {spokes:?}"))?;
             let seed: u64 = seed.parse().map_err(|_| format!("invalid seed {seed:?}"))?;
             let city = atis::graph::RadialCity::new(rings, spokes, 0.1, seed)
                 .map_err(|e| e.to_string())?;
@@ -111,7 +125,9 @@ fn export_map(args: &[String]) -> Result<(), String> {
 }
 
 fn info(args: &[String]) -> Result<(), String> {
-    let [file] = args else { return Err("info: expected one map file".into()) };
+    let [file] = args else {
+        return Err("info: expected one map file".into());
+    };
     let graph = load(file)?;
     println!("map: {file}");
     println!("  nodes:          {}", graph.node_count());
@@ -147,13 +163,19 @@ fn route(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let planner =
-        RoutePlanner::new(&graph).map_err(|e| e.to_string())?.with_algorithm(algorithm);
+    let planner = RoutePlanner::new(&graph)
+        .map_err(|e| e.to_string())?
+        .with_algorithm(algorithm);
     let report = planner.plan(s, d).map_err(|e| e.to_string())?;
     let Some(routed) = report.route.clone() else {
         return Err(format!("no route from {s} to {d}"));
     };
-    println!("{}: {} segments, cost {:.3}", report.algorithm, routed.len(), routed.cost);
+    println!(
+        "{}: {} segments, cost {:.3}",
+        report.algorithm,
+        routed.len(),
+        routed.cost
+    );
     println!(
         "{} iterations, {:.1} simulated I/O units, {:.2} ms wall",
         report.iterations,
@@ -172,7 +194,12 @@ fn route(args: &[String]) -> Result<(), String> {
         println!("  - {line}");
     }
     if let Some(out) = svg_out {
-        let svg = render_svg(&graph, Some(&routed), &[('S', s), ('D', d)], &SvgOptions::default());
+        let svg = render_svg(
+            &graph,
+            Some(&routed),
+            &[('S', s), ('D', d)],
+            &SvgOptions::default(),
+        );
         std::fs::write(out, svg).map_err(|e| e.to_string())?;
         println!("\nSVG written to {out}");
     }
@@ -180,13 +207,21 @@ fn route(args: &[String]) -> Result<(), String> {
 }
 
 fn compare(args: &[String]) -> Result<(), String> {
-    let [file, from, to] = args else { return Err("compare: expected <file> <from> <to>".into()) };
+    let [file, from, to] = args else {
+        return Err("compare: expected <file> <from> <to>".into());
+    };
     let graph = load(file)?;
     let s = parse_node(&graph, from)?;
     let d = parse_node(&graph, to)?;
     let planner = RoutePlanner::new(&graph).map_err(|e| e.to_string())?;
-    println!("{:16} {:>10} {:>12} {:>10}", "algorithm", "iterations", "cost units", "path cost");
-    for report in planner.compare(&Algorithm::TABLE, s, d).map_err(|e| e.to_string())? {
+    println!(
+        "{:16} {:>10} {:>12} {:>10}",
+        "algorithm", "iterations", "cost units", "path cost"
+    );
+    for report in planner
+        .compare(&Algorithm::TABLE, s, d)
+        .map_err(|e| e.to_string())?
+    {
         println!(
             "{:16} {:>10} {:>12.1} {:>10.3}",
             report.algorithm,
@@ -216,7 +251,10 @@ fn trip(args: &[String]) -> Result<(), String> {
         plan.route.cost
     );
     for (i, leg) in plan.legs.iter().enumerate() {
-        let route = leg.route.as_ref().expect("plan_trip rejects unreachable legs");
+        let route = leg
+            .route
+            .as_ref()
+            .expect("plan_trip rejects unreachable legs");
         println!(
             "  leg {}: {} -> {}  cost {:.3}  ({} iterations, {:.1} I/O units)",
             i + 1,

@@ -11,7 +11,10 @@
 //!   node relation `R`, hash/ISAM indexes, four join strategies) with
 //!   block-level I/O cost accounting.
 //! * [`algorithms`] — database-resident Iterative BFS, Dijkstra and A\*
-//!   (versions 1–3), plus in-memory reference implementations.
+//!   (versions 1–4), plus in-memory reference implementations.
+//! * [`preprocess`] — offline landmark (ALT) preprocessing: landmark
+//!   selection and per-epoch forward/backward distance tables, the fuel
+//!   for A\* version 4's triangle-inequality bounds.
 //! * [`costmodel`] — the paper's algebraic cost models (Tables 1–3) and the
 //!   query-optimizer simulation.
 //! * [`obs`] — structured observability: iteration-level tracing, a
@@ -54,6 +57,7 @@ pub use atis_core as core;
 pub use atis_costmodel as costmodel;
 pub use atis_graph as graph;
 pub use atis_obs as obs;
+pub use atis_preprocess as preprocess;
 pub use atis_serve as serve;
 pub use atis_storage as storage;
 
@@ -66,14 +70,15 @@ pub use atis_graph::{CostModel, Graph, Grid, Minneapolis, NodeId, Path, QueryKin
 pub mod prelude {
     pub use atis_algorithms::{AStarVersion, Algorithm, Database, Estimator, RunTrace};
     pub use atis_core::{
-        evaluate_route, plan_alternatives, plan_trip, render_map, render_svg,
-        turn_instructions, PlanReport, RoutePlanner,
+        evaluate_route, plan_alternatives, plan_trip, render_map, render_svg, turn_instructions,
+        PlanReport, RoutePlanner,
     };
     pub use atis_graph::{
         CostModel, Graph, GraphBuilder, Grid, Minneapolis, NodeId, Path, Point, QueryKind,
         RadialCity,
     };
     pub use atis_obs::{JsonlSink, MetricsRegistry, RingSink, TraceEvent, TraceSink};
+    pub use atis_preprocess::{LandmarkSelection, LandmarkTables, PreprocessConfig};
     pub use atis_serve::{RouteAnswer, RouteService, ServeConfig, ServeError};
     pub use atis_storage::{CostParams, IoStats, JoinPolicy};
 }

@@ -1,0 +1,182 @@
+//! Property-based tests for the landmark (ALT) estimator: the triangle
+//! bounds behind A\* version 4 must be *admissible* (never exceed the
+//! true remaining distance) and *consistent* (never drop faster than an
+//! edge costs) on random grids and random radial cities — the two
+//! soundness properties that make v4's paths optimal — and v4 must
+//! never expand more nodes than v3 on the paper's 30×30 workload.
+
+use atis::algorithms::{memory, AStarVersion, Algorithm, Database};
+use atis::graph::{CostModel, Graph, Grid, NodeId, QueryKind, RadialCity};
+use atis::preprocess::sssp;
+use atis::preprocess::{LandmarkSelection, LandmarkTables, PreprocessConfig};
+use proptest::prelude::*;
+
+/// True distances *to* `t` for every node: SSSP from `t` on the
+/// transposed graph (grids and radial cities may be cost-asymmetric,
+/// so `d(u, t) != d(t, u)` in general).
+fn distances_to(graph: &Graph, t: NodeId) -> Vec<f64> {
+    sssp::distances_from(&sssp::reversed(graph), t)
+}
+
+/// Asserts the two ALT soundness properties for one destination.
+fn check_admissible_and_consistent(
+    graph: &Graph,
+    tables: &LandmarkTables,
+    t: NodeId,
+) -> Result<(), TestCaseError> {
+    let bounds = tables.bounds_to(t);
+    let truth = distances_to(graph, t);
+
+    // Admissibility: h(u) <= d(u, t) wherever t is reachable; where it
+    // is not, any finite bound is vacuously fine but must not be NaN.
+    for u in graph.node_ids() {
+        let h = bounds.bound(u);
+        prop_assert!(h.is_finite(), "bound({u:?}) is not finite: {h}");
+        let d = truth[u.index()];
+        if d.is_finite() {
+            prop_assert!(
+                h <= d + 1e-9,
+                "inadmissible: h({u:?}) = {h} > d({u:?}, {t:?}) = {d}"
+            );
+        }
+    }
+
+    // Consistency: h(u) <= c(u, v) + h(v) along every edge — the
+    // triangle-inequality shape that lets v4 skip reopening.
+    for e in graph.edges() {
+        let hu = bounds.bound(e.from);
+        let hv = bounds.bound(e.to);
+        prop_assert!(
+            hu <= e.cost + hv + 1e-9,
+            "inconsistent: h({:?}) = {hu} > {} + h({:?}) = {hv}",
+            e.from,
+            e.cost,
+            e.to
+        );
+    }
+    Ok(())
+}
+
+/// Strategy: a random grid (size, cost model, seed), a landmark config,
+/// and a random destination. Skewed grids are included on purpose: the
+/// ALT bounds are graph-derived, so they stay admissible even where the
+/// geometric estimators do not.
+fn arb_grid_case() -> impl Strategy<Value = (Grid, PreprocessConfig, NodeId)> {
+    (3usize..9, 0u64..500, 0usize..3, 1usize..6, 0usize..2).prop_flat_map(
+        |(k, seed, model_ix, count, farthest)| {
+            let farthest = farthest == 0;
+            let model = [
+                CostModel::Uniform,
+                CostModel::TWENTY_PERCENT,
+                CostModel::Skewed,
+            ][model_ix];
+            let strategy = if farthest {
+                LandmarkSelection::FarthestPoint
+            } else {
+                LandmarkSelection::Coverage { sample_pairs: 16 }
+            };
+            let n = (k * k) as u32;
+            (Just((k, seed, model, strategy, count)), 0..n).prop_map(
+                |((k, seed, model, strategy, count), t)| {
+                    (
+                        Grid::new(k, model, seed).expect("k >= 3"),
+                        PreprocessConfig::new(strategy, count),
+                        NodeId(t),
+                    )
+                },
+            )
+        },
+    )
+}
+
+/// Strategy: a random radial city, landmark count, and destination.
+fn arb_radial_case() -> impl Strategy<Value = (RadialCity, PreprocessConfig, NodeId)> {
+    (2usize..5, 3usize..9, 0.0f64..0.5, 0u64..500, 1usize..5).prop_flat_map(
+        |(rings, spokes, jitter, seed, count)| {
+            let n = (rings * spokes + 1) as u32;
+            (Just((rings, spokes, jitter, seed, count)), 0..n).prop_map(
+                |((rings, spokes, jitter, seed, count), t)| {
+                    (
+                        RadialCity::new(rings, spokes, jitter, seed).expect("valid city"),
+                        PreprocessConfig::new(LandmarkSelection::FarthestPoint, count),
+                        NodeId(t),
+                    )
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    #[test]
+    fn alt_bounds_admissible_and_consistent_on_random_grids(
+        (grid, config, t) in arb_grid_case()
+    ) {
+        let tables = LandmarkTables::build(grid.graph(), config).unwrap();
+        check_admissible_and_consistent(grid.graph(), &tables, t)?;
+    }
+
+    #[test]
+    fn alt_bounds_admissible_and_consistent_on_random_radial_cities(
+        (city, config, t) in arb_radial_case()
+    ) {
+        let tables = LandmarkTables::build(city.graph(), config).unwrap();
+        check_admissible_and_consistent(city.graph(), &tables, t)?;
+    }
+
+    #[test]
+    fn v4_matches_the_oracle_on_random_variance_grids(
+        (k, seed, s, d) in (3usize..8, 0u64..500).prop_flat_map(|(k, seed)| {
+            let n = (k * k) as u32;
+            (Just(k), Just(seed), 0..n, 0..n)
+        })
+    ) {
+        let grid = Grid::new(k, CostModel::TWENTY_PERCENT, seed).unwrap();
+        let tables =
+            LandmarkTables::build(grid.graph(), PreprocessConfig::grid_default()).unwrap();
+        let db = Database::open(grid.graph()).unwrap().with_landmarks(tables);
+        let t = db.run(Algorithm::AStar(AStarVersion::V4), NodeId(s), NodeId(d)).unwrap();
+        let oracle = memory::dijkstra_pair(grid.graph(), NodeId(s), NodeId(d));
+        match (t.path, oracle) {
+            (None, None) => {}
+            (Some(p), Some(o)) => {
+                prop_assert!((p.cost - o.cost).abs() <= 1e-6 * o.cost.max(1.0),
+                    "v4 cost {} vs oracle {}", p.cost, o.cost);
+            }
+            (ours, oracle) => prop_assert!(false,
+                "reachability disagrees: ours {:?} oracle {:?}", ours.is_some(), oracle.is_some()),
+        }
+    }
+}
+
+/// The workload claim the bench baseline locks in, as a deterministic
+/// test: with the default grid landmarks, v4 never expands more nodes
+/// than v3 on any of the paper's 30×30 query kinds, across seeds.
+#[test]
+fn v4_never_expands_more_than_v3_on_the_30x30_workload() {
+    for seed in [1u64, 7, 1993] {
+        let grid = Grid::new(30, CostModel::TWENTY_PERCENT, seed).unwrap();
+        let tables = LandmarkTables::build(grid.graph(), PreprocessConfig::grid_default()).unwrap();
+        let db = Database::open(grid.graph()).unwrap().with_landmarks(tables);
+        for kind in QueryKind::TABLE {
+            let (s, d) = grid.query_pair(kind);
+            let t3 = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
+            let t4 = db.run(Algorithm::AStar(AStarVersion::V4), s, d).unwrap();
+            assert!(
+                t4.iterations <= t3.iterations,
+                "seed {seed} {}: v4 expanded {} > v3 {}",
+                kind.label(),
+                t4.iterations,
+                t3.iterations
+            );
+            assert_eq!(
+                t4.path.map(|p| (p.cost * 1e9).round()),
+                t3.path.map(|p| (p.cost * 1e9).round()),
+                "seed {seed} {}: v3/v4 disagree on the optimal cost",
+                kind.label()
+            );
+        }
+    }
+}

@@ -25,7 +25,14 @@ fn temp_map() -> PathBuf {
     let dir = std::env::temp_dir().join(format!("atis_cli_test_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let map = dir.join("map.txt");
-    let out = atis(&["export-map", "grid", "10", "7", "variance", map.to_str().unwrap()]);
+    let out = atis(&[
+        "export-map",
+        "grid",
+        "10",
+        "7",
+        "variance",
+        map.to_str().unwrap(),
+    ]);
     assert!(out.status.success(), "{}", stderr(&out));
     map
 }
@@ -50,7 +57,11 @@ fn route_by_id_and_by_coordinate_agree() {
     assert!(by_coord.status.success(), "{}", stderr(&by_coord));
     let (a, b) = (stdout(&by_id), stdout(&by_coord));
     let cost_line = |s: &str| s.lines().next().unwrap_or_default().to_string();
-    assert_eq!(cost_line(&a), cost_line(&b), "id and coordinate addressing must agree");
+    assert_eq!(
+        cost_line(&a),
+        cost_line(&b),
+        "id and coordinate addressing must agree"
+    );
     assert!(a.contains("Directions:"));
     assert!(a.contains("arrived"));
 }
@@ -77,7 +88,10 @@ fn trip_and_alternatives() {
     assert!(out.status.success(), "{}", stderr(&out));
     let text = stdout(&out);
     assert!(text.contains("option 1"));
-    assert!(text.lines().count() >= 2, "expected several options: {text}");
+    assert!(
+        text.lines().count() >= 2,
+        "expected several options: {text}"
+    );
 }
 
 #[test]
@@ -113,7 +127,14 @@ fn errors_are_reported_with_nonzero_exit() {
     assert!(!out.status.success());
     assert!(stderr(&out).contains("cannot read"));
     // Bad algorithm name.
-    let out = atis(&["route", map.to_str().unwrap(), "0", "9", "--algorithm", "bfs"]);
+    let out = atis(&[
+        "route",
+        map.to_str().unwrap(),
+        "0",
+        "9",
+        "--algorithm",
+        "bfs",
+    ]);
     assert!(!out.status.success());
     assert!(stderr(&out).contains("unknown algorithm"));
 }

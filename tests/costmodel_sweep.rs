@@ -4,7 +4,9 @@
 //! across grid sizes, query kinds and algorithms.
 
 use atis::algorithms::{AStarVersion, Algorithm, Database};
-use atis::costmodel::{predict, BestFirstModel, IterativeModel, ModelParams, RelationFrontierModel};
+use atis::costmodel::{
+    predict, BestFirstModel, IterativeModel, ModelParams, RelationFrontierModel,
+};
 use atis::storage::CostParams;
 use atis::{CostModel, Grid, QueryKind};
 
@@ -93,7 +95,9 @@ fn optimizer_policy_is_predicted_too() {
     use atis::storage::JoinPolicy;
     let cost_params = CostParams::default();
     let grid = Grid::new(20, CostModel::TWENTY_PERCENT, 1993).unwrap();
-    let db = Database::open(grid.graph()).unwrap().with_join_policy(JoinPolicy::CostBased);
+    let db = Database::open(grid.graph())
+        .unwrap()
+        .with_join_policy(JoinPolicy::CostBased);
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     let t = db.run(Algorithm::Dijkstra, s, d).unwrap();
     let measured = t.cost_units(&cost_params);

@@ -18,13 +18,19 @@ fn all_algorithms_agree_on_variance_grids() {
     for seed in [1u64, 7, 1993] {
         let grid = Grid::new(9, CostModel::TWENTY_PERCENT, seed).unwrap();
         let db = Database::open(grid.graph()).unwrap();
-        for kind in [QueryKind::Horizontal, QueryKind::SemiDiagonal, QueryKind::Diagonal, QueryKind::Random]
-        {
+        for kind in [
+            QueryKind::Horizontal,
+            QueryKind::SemiDiagonal,
+            QueryKind::Diagonal,
+            QueryKind::Random,
+        ] {
             let (s, d) = grid.query_pair(kind);
             let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
             for alg in ALL_ALGOS {
                 let t = db.run(alg, s, d).unwrap();
-                let p = t.path.unwrap_or_else(|| panic!("{} found no path", alg.label()));
+                let p = t
+                    .path
+                    .unwrap_or_else(|| panic!("{} found no path", alg.label()));
                 p.validate(grid.graph()).unwrap();
                 assert!(
                     (p.cost - oracle.cost).abs() < 1e-3,
@@ -45,7 +51,12 @@ fn all_algorithms_agree_on_uniform_grids() {
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     for alg in ALL_ALGOS {
         let t = db.run(alg, s, d).unwrap();
-        assert!((t.path_cost() - 18.0).abs() < 1e-4, "{}: {}", alg.label(), t.path_cost());
+        assert!(
+            (t.path_cost() - 18.0).abs() < 1e-4,
+            "{}: {}",
+            alg.label(),
+            t.path_cost()
+        );
     }
 }
 
@@ -59,7 +70,11 @@ fn skewed_grids_preserve_optimality_for_exact_algorithms() {
     let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
     for alg in [Algorithm::Dijkstra, Algorithm::Iterative] {
         let t = db.run(alg, s, d).unwrap();
-        assert!((t.path_cost() - oracle.cost).abs() < 1e-3, "{}", alg.label());
+        assert!(
+            (t.path_cost() - oracle.cost).abs() < 1e-3,
+            "{}",
+            alg.label()
+        );
     }
     // A* v3 happens to find the corridor here too (it is the paper's best
     // case); what we must NOT assert is optimality in general — only that
@@ -67,7 +82,12 @@ fn skewed_grids_preserve_optimality_for_exact_algorithms() {
     let t = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
     let p = t.path.unwrap();
     p.validate(grid.graph()).unwrap();
-    assert!(p.cost <= oracle.cost * 1.5, "A* v3 wildly suboptimal: {} vs {}", p.cost, oracle.cost);
+    assert!(
+        p.cost <= oracle.cost * 1.5,
+        "A* v3 wildly suboptimal: {} vs {}",
+        p.cost,
+        oracle.cost
+    );
 }
 
 #[test]
@@ -134,11 +154,17 @@ fn manhattan_is_inadmissible_on_minneapolis() {
     let m = Minneapolis::paper();
     let d = m.landmark('D');
     let over = memory::max_overestimate(m.graph(), d, Estimator::Manhattan);
-    assert!(over > 0.0, "Manhattan should overestimate somewhere (got {over})");
+    assert!(
+        over > 0.0,
+        "Manhattan should overestimate somewhere (got {over})"
+    );
     // Euclidean is exact on straight segments and admissible everywhere:
     // costs are euclidean distances, so no estimate can overshoot.
     let over_e = memory::max_overestimate(m.graph(), d, Estimator::Euclidean);
-    assert!(over_e <= 1e-9, "Euclidean must stay admissible (got {over_e})");
+    assert!(
+        over_e <= 1e-9,
+        "Euclidean must stay admissible (got {over_e})"
+    );
 }
 
 #[test]
@@ -172,10 +198,24 @@ fn frontier_kinds_agree_with_each_other() {
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     for est in [Estimator::Zero, Estimator::Euclidean, Estimator::Manhattan] {
         let status = db
-            .run(Algorithm::Custom { frontier: FrontierKind::StatusAttribute, estimator: est }, s, d)
+            .run(
+                Algorithm::Custom {
+                    frontier: FrontierKind::StatusAttribute,
+                    estimator: est,
+                },
+                s,
+                d,
+            )
             .unwrap();
         let relation = db
-            .run(Algorithm::Custom { frontier: FrontierKind::SeparateRelation, estimator: est }, s, d)
+            .run(
+                Algorithm::Custom {
+                    frontier: FrontierKind::SeparateRelation,
+                    estimator: est,
+                },
+                s,
+                d,
+            )
             .unwrap();
         assert_eq!(
             status.iterations,

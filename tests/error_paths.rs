@@ -14,11 +14,17 @@ fn unknown_endpoints_through_database_run() {
     for algorithm in Algorithm::TABLE {
         match db.run(algorithm, bad, NodeId(0)) {
             Err(AlgorithmError::UnknownSource(n)) => assert_eq!(n, bad),
-            other => panic!("{}: expected UnknownSource, got {other:?}", algorithm.label()),
+            other => panic!(
+                "{}: expected UnknownSource, got {other:?}",
+                algorithm.label()
+            ),
         }
         match db.run(algorithm, NodeId(0), bad) {
             Err(AlgorithmError::UnknownDestination(n)) => assert_eq!(n, bad),
-            other => panic!("{}: expected UnknownDestination, got {other:?}", algorithm.label()),
+            other => panic!(
+                "{}: expected UnknownDestination, got {other:?}",
+                algorithm.label()
+            ),
         }
     }
 }
@@ -28,8 +34,14 @@ fn unknown_endpoints_through_the_planner() {
     let grid = Grid::new(5, CostModel::Uniform, 0).unwrap();
     let planner = RoutePlanner::new(grid.graph()).unwrap();
     let bad = NodeId(9_999);
-    assert!(matches!(planner.plan(bad, NodeId(0)), Err(AlgorithmError::UnknownSource(_))));
-    assert!(matches!(planner.plan(NodeId(0), bad), Err(AlgorithmError::UnknownDestination(_))));
+    assert!(matches!(
+        planner.plan(bad, NodeId(0)),
+        Err(AlgorithmError::UnknownSource(_))
+    ));
+    assert!(matches!(
+        planner.plan(NodeId(0), bad),
+        Err(AlgorithmError::UnknownDestination(_))
+    ));
     // The resilient path refuses too: a wrong query is not a fault to
     // ride out.
     assert!(matches!(
@@ -72,8 +84,14 @@ fn every_budget_kind_fires_and_displays() {
     let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 2).unwrap();
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     let cases: [(Budgets, &str); 3] = [
-        (Budgets::unlimited().with_max_iterations(1), "iteration budget exceeded"),
-        (Budgets::unlimited().with_max_cost_units(0.5), "cost-unit budget exceeded"),
+        (
+            Budgets::unlimited().with_max_iterations(1),
+            "iteration budget exceeded",
+        ),
+        (
+            Budgets::unlimited().with_max_cost_units(0.5),
+            "cost-unit budget exceeded",
+        ),
         (
             Budgets::unlimited().with_deadline(std::time::Duration::ZERO),
             "wall-clock budget exceeded",
@@ -82,7 +100,10 @@ fn every_budget_kind_fires_and_displays() {
     for (budgets, display) in cases {
         let db = Database::open(grid.graph()).unwrap().with_budgets(budgets);
         let err = db.run(Algorithm::Dijkstra, s, d).unwrap_err();
-        assert!(matches!(err, AlgorithmError::BudgetExceeded(_)), "{display}: {err:?}");
+        assert!(
+            matches!(err, AlgorithmError::BudgetExceeded(_)),
+            "{display}: {err:?}"
+        );
         assert_eq!(err.to_string(), display);
     }
 }
@@ -91,7 +112,10 @@ fn every_budget_kind_fires_and_displays() {
 fn generous_budgets_change_nothing() {
     let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 2).unwrap();
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
-    let plain = Database::open(grid.graph()).unwrap().run(Algorithm::Dijkstra, s, d).unwrap();
+    let plain = Database::open(grid.graph())
+        .unwrap()
+        .run(Algorithm::Dijkstra, s, d)
+        .unwrap();
     let budgeted = Database::open(grid.graph())
         .unwrap()
         .with_budgets(

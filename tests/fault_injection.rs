@@ -39,7 +39,11 @@ fn chaos_sweep_never_panics_and_never_returns_a_wrong_path() {
     let reference: Vec<Option<(Vec<NodeId>, f64)>> = ALGORITHMS
         .iter()
         .map(|&a| {
-            clean.run(a, s, d).unwrap().path.map(|p| (p.nodes.clone(), p.cost))
+            clean
+                .run(a, s, d)
+                .unwrap()
+                .path
+                .map(|p| (p.nodes.clone(), p.cost))
         })
         .collect();
 
@@ -47,18 +51,23 @@ fn chaos_sweep_never_panics_and_never_returns_a_wrong_path() {
     let mut successes = 0u32;
     for seed in 0..50u64 {
         for (i, &algorithm) in ALGORITHMS.iter().enumerate() {
-            let db =
-                Database::open(grid.graph()).unwrap().with_fault_plan(FaultPlan::chaos(seed));
+            let db = Database::open(grid.graph())
+                .unwrap()
+                .with_fault_plan(FaultPlan::chaos(seed));
             let outcome = catch_unwind(AssertUnwindSafe(|| db.run(algorithm, s, d)));
             let result = outcome.unwrap_or_else(|_| {
-                panic!("seed {seed}, {}: panicked under chaos plan", algorithm.label())
+                panic!(
+                    "seed {seed}, {}: panicked under chaos plan",
+                    algorithm.label()
+                )
             });
             match result {
                 Ok(trace) => {
                     successes += 1;
                     let got = trace.path.map(|p| (p.nodes.clone(), p.cost));
                     assert_eq!(
-                        got, reference[i],
+                        got,
+                        reference[i],
                         "seed {seed}, {}: survived faults but changed the answer",
                         algorithm.label()
                     );
@@ -114,7 +123,10 @@ fn inert_plan_leaves_iostats_bit_identical() {
     let grid = grid();
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     for &algorithm in &ALGORITHMS {
-        let clean = Database::open(grid.graph()).unwrap().run(algorithm, s, d).unwrap();
+        let clean = Database::open(grid.graph())
+            .unwrap()
+            .run(algorithm, s, d)
+            .unwrap();
         let inert = Database::open(grid.graph())
             .unwrap()
             .with_fault_plan(FaultPlan::inert(99))
@@ -179,8 +191,15 @@ fn resilient_planner_always_answers_under_chaos() {
     let clean = RoutePlanner::new(grid.graph()).unwrap();
     let expected_costs: Vec<f64> = vec![
         clean.plan(s, d).unwrap().route.unwrap().cost,
-        clean.plan_with(Algorithm::Dijkstra, s, d).unwrap().route.unwrap().cost,
-        atis::algorithms::memory::dijkstra_pair(grid.graph(), s, d).unwrap().cost,
+        clean
+            .plan_with(Algorithm::Dijkstra, s, d)
+            .unwrap()
+            .route
+            .unwrap()
+            .cost,
+        atis::algorithms::memory::dijkstra_pair(grid.graph(), s, d)
+            .unwrap()
+            .cost,
     ];
 
     let mut degraded_runs = 0u32;
@@ -201,7 +220,10 @@ fn resilient_planner_always_answers_under_chaos() {
             degraded_runs += 1;
         }
     }
-    assert!(degraded_runs < 50, "every seed degraded — retries never helped");
+    assert!(
+        degraded_runs < 50,
+        "every seed degraded — retries never helped"
+    );
 }
 
 /// Budget exhaustion is typed, deterministic, and not retried as if it

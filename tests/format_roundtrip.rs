@@ -22,9 +22,13 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
                 b.add_node(Point::new(x, y));
             }
             for (u, v, cost, class, occ) in edges {
-                let class = [RoadClass::Street, RoadClass::Highway, RoadClass::Freeway]
-                    [class as usize];
-                b.add_edge(Edge::new(NodeId(u), NodeId(v), cost).with_class(class).with_occupancy(occ));
+                let class =
+                    [RoadClass::Street, RoadClass::Highway, RoadClass::Freeway][class as usize];
+                b.add_edge(
+                    Edge::new(NodeId(u), NodeId(v), cost)
+                        .with_class(class)
+                        .with_occupancy(occ),
+                );
             }
             b.build().expect("generated graphs are valid")
         })
@@ -71,10 +75,7 @@ fn planner_behaves_identically_on_roundtripped_maps() {
         assert_eq!(ta.iterations, tb.iterations, "{}", alg.label());
         assert_eq!(ta.expansion_order, tb.expansion_order);
         assert_eq!(ta.io, tb.io);
-        assert_eq!(
-            ta.path.map(|p| p.nodes),
-            tb.path.map(|p| p.nodes)
-        );
+        assert_eq!(ta.path.map(|p| p.nodes), tb.path.map(|p| p.nodes));
     }
 }
 

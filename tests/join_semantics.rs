@@ -17,8 +17,11 @@ fn forced_strategies_agree_on_answers_everywhere() {
         let db = Database::open(grid.graph())
             .unwrap()
             .with_join_policy(JoinPolicy::Force(strat));
-        for alg in [Algorithm::Dijkstra, Algorithm::AStar(AStarVersion::V3), Algorithm::Iterative]
-        {
+        for alg in [
+            Algorithm::Dijkstra,
+            Algorithm::AStar(AStarVersion::V3),
+            Algorithm::Iterative,
+        ] {
             let t = db.run(alg, s, d).unwrap();
             assert!(t.found(), "{} under {}", alg.label(), strat.label());
         }

@@ -120,9 +120,15 @@ fn lakes_create_unreachable_pockets() {
     // Some nodes are swallowed by lakes (degree 0). They must exist and
     // be cleanly unreachable rather than corrupting queries.
     let m = mpls();
-    let isolated: Vec<NodeId> =
-        m.graph().node_ids().filter(|&u| m.graph().degree(u) == 0).collect();
-    assert!(!isolated.is_empty(), "the lakes should swallow some lattice nodes");
+    let isolated: Vec<NodeId> = m
+        .graph()
+        .node_ids()
+        .filter(|&u| m.graph().degree(u) == 0)
+        .collect();
+    assert!(
+        !isolated.is_empty(),
+        "the lakes should swallow some lattice nodes"
+    );
     // The bulk of the isolation is in the lower-left lake region (random
     // thinning and the river corner can isolate the odd node elsewhere).
     let in_lakes = isolated
@@ -167,6 +173,9 @@ fn seeds_change_details_but_not_structure() {
         assert!((3000..=3700).contains(&e), "seed {seed}: {e} edges");
         // Landmarks stay mutually reachable.
         let (s, d) = m.query_pair(atis::graph::minneapolis::NamedPair::AtoB);
-        assert!(memory::dijkstra_pair(m.graph(), s, d).is_some(), "seed {seed}");
+        assert!(
+            memory::dijkstra_pair(m.graph(), s, d).is_some(),
+            "seed {seed}"
+        );
     }
 }

@@ -36,7 +36,9 @@ fn iteration_deltas_partition_the_run_io_for_all_five_algorithms() {
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
     for alg in ALL_FIVE {
         let ring = RingSink::shared(100_000);
-        let db = Database::open(grid.graph()).unwrap().with_trace_sink(ring.clone());
+        let db = Database::open(grid.graph())
+            .unwrap()
+            .with_trace_sink(ring.clone());
         let trace = db.run(alg, s, d).unwrap();
 
         let mut summed = IoStats::new();
@@ -55,14 +57,22 @@ fn iteration_deltas_partition_the_run_io_for_all_five_algorithms() {
         }
         let label = trace.algorithm.as_str();
         assert_eq!(summed, trace.io, "{label}: summed deltas != run IoStats");
-        assert_eq!(summed, trace.steps.total(), "{label}: deltas != step breakdown");
+        assert_eq!(
+            summed,
+            trace.steps.total(),
+            "{label}: deltas != step breakdown"
+        );
         assert_eq!(init_events, 1, "{label}: exactly one init event");
         assert_eq!(finish_events, 1, "{label}: exactly one finish event");
         assert_eq!(
             search_events, trace.iterations,
             "{label}: one search event per main-loop iteration"
         );
-        assert_eq!(ring.dropped(), 0, "{label}: ring must not overflow in this test");
+        assert_eq!(
+            ring.dropped(),
+            0,
+            "{label}: ring must not overflow in this test"
+        );
     }
 }
 
@@ -71,7 +81,11 @@ fn iteration_deltas_partition_the_run_io_for_all_five_algorithms() {
 #[test]
 fn tracing_leaves_iostats_and_paths_bit_identical() {
     let grid = grid8();
-    for kind in [QueryKind::Horizontal, QueryKind::Diagonal, QueryKind::Random] {
+    for kind in [
+        QueryKind::Horizontal,
+        QueryKind::Diagonal,
+        QueryKind::Random,
+    ] {
         let (s, d) = grid.query_pair(kind);
         for alg in ALL_FIVE {
             let bare = Database::open(grid.graph()).unwrap();
@@ -101,12 +115,20 @@ fn event_stream_is_ordered_and_telescopes() {
     let grid = grid8();
     let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
     let ring = RingSink::shared(1 << 16);
-    let db = Database::open(grid.graph()).unwrap().with_trace_sink(ring.clone());
+    let db = Database::open(grid.graph())
+        .unwrap()
+        .with_trace_sink(ring.clone());
     db.run(Algorithm::Dijkstra, s, d).unwrap();
 
     let events = ring.events();
-    assert!(matches!(events.first(), Some(TraceEvent::RunStarted { .. })));
-    assert!(matches!(events.last(), Some(TraceEvent::RunFinished { .. })));
+    assert!(matches!(
+        events.first(),
+        Some(TraceEvent::RunStarted { .. })
+    ));
+    assert!(matches!(
+        events.last(),
+        Some(TraceEvent::RunFinished { .. })
+    ));
 
     let mut running = IoStats::new();
     let mut last_iteration = None;
@@ -118,7 +140,10 @@ fn event_stream_is_ordered_and_telescopes() {
                 let expected = last_iteration.map_or(1, |n: u64| n + 1);
                 assert_eq!(ev.iteration, expected, "iterations must be consecutive");
                 last_iteration = Some(ev.iteration);
-                assert!(ev.selected.is_some(), "best-first search events name a node");
+                assert!(
+                    ev.selected.is_some(),
+                    "best-first search events name a node"
+                );
             }
         }
     }
@@ -143,7 +168,9 @@ fn jsonl_transcripts_are_deterministic() {
             }
         }
         let sink = Arc::new(JsonlSink::from_writer(Shared(buf.clone())));
-        let db = Database::open(grid.graph()).unwrap().with_trace_sink(sink.clone());
+        let db = Database::open(grid.graph())
+            .unwrap()
+            .with_trace_sink(sink.clone());
         db.run(Algorithm::AStar(AStarVersion::V2), s, d).unwrap();
         sink.flush().unwrap();
         assert_eq!(sink.write_errors(), 0);
@@ -155,11 +182,25 @@ fn jsonl_transcripts_are_deterministic() {
     assert_eq!(a, b, "identical runs must produce identical JSONL");
     assert!(a.lines().count() > 3);
     for line in a.lines() {
-        assert!(line.starts_with('{') && line.ends_with('}'), "not a JSON object: {line}");
-        assert!(line.contains(r#""type":""#), "missing discriminator: {line}");
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "not a JSON object: {line}"
+        );
+        assert!(
+            line.contains(r#""type":""#),
+            "missing discriminator: {line}"
+        );
     }
-    assert!(a.lines().next().unwrap().contains(r#""type":"run_started""#));
-    assert!(a.lines().last().unwrap().contains(r#""type":"run_finished""#));
+    assert!(a
+        .lines()
+        .next()
+        .unwrap()
+        .contains(r#""type":"run_started""#));
+    assert!(a
+        .lines()
+        .last()
+        .unwrap()
+        .contains(r#""type":"run_finished""#));
 }
 
 /// The metrics registry aggregates across runs: totals equal the sums of
@@ -168,7 +209,9 @@ fn jsonl_transcripts_are_deterministic() {
 fn metrics_aggregate_across_runs() {
     let grid = grid8();
     let metrics = MetricsRegistry::shared();
-    let db = Database::open(grid.graph()).unwrap().with_metrics(metrics.clone());
+    let db = Database::open(grid.graph())
+        .unwrap()
+        .with_metrics(metrics.clone());
     let mut iterations = 0;
     let mut reads = 0;
     for kind in [QueryKind::Horizontal, QueryKind::Diagonal] {
@@ -210,11 +253,21 @@ fn plan_events_narrate_the_degradation_ladder() {
     let events = ring.events();
     let started = events
         .iter()
-        .filter(|e| matches!(e, TraceEvent::Plan(atis::obs::PlanEvent::AttemptStarted { .. })))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Plan(atis::obs::PlanEvent::AttemptStarted { .. })
+            )
+        })
         .count();
     let failed = events
         .iter()
-        .filter(|e| matches!(e, TraceEvent::Plan(atis::obs::PlanEvent::AttemptFailed { .. })))
+        .filter(|e| {
+            matches!(
+                e,
+                TraceEvent::Plan(atis::obs::PlanEvent::AttemptFailed { .. })
+            )
+        })
         .count();
     let degraded = events
         .iter()
@@ -225,9 +278,16 @@ fn plan_events_narrate_the_degradation_ladder() {
     assert_eq!(started, 2);
     assert_eq!(failed, 2);
     assert_eq!(degraded, 2);
-    assert!(events.iter().any(|e| matches!(e, TraceEvent::Fault { .. })), "faults in stream");
+    assert!(
+        events.iter().any(|e| matches!(e, TraceEvent::Fault { .. })),
+        "faults in stream"
+    );
     match events.last() {
-        Some(TraceEvent::Plan(atis::obs::PlanEvent::Completed { algorithm, degraded, .. })) => {
+        Some(TraceEvent::Plan(atis::obs::PlanEvent::Completed {
+            algorithm,
+            degraded,
+            ..
+        })) => {
             assert!(degraded);
             assert_eq!(algorithm, "Dijkstra (in-memory fallback)");
         }

@@ -27,7 +27,10 @@ fn table5_dijkstra_column_is_exact() {
     // n-1 iterations, structural, independent of the draws.
     for (k, expect) in [(10usize, 99u64), (20, 399), (30, 899)] {
         let (grid, db) = grid_db(k, CostModel::TWENTY_PERCENT);
-        assert_eq!(iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Diagonal), expect);
+        assert_eq!(
+            iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Diagonal),
+            expect
+        );
     }
 }
 
@@ -36,7 +39,10 @@ fn table5_iterative_column_is_exact() {
     // Rounds = hop eccentricity + 1 = 2(k-1)+1: 19 / 39 / 59.
     for (k, expect) in [(10usize, 19u64), (20, 39), (30, 59)] {
         let (grid, db) = grid_db(k, CostModel::TWENTY_PERCENT);
-        assert_eq!(iterations(&db, Algorithm::Iterative, &grid, QueryKind::Diagonal), expect);
+        assert_eq!(
+            iterations(&db, Algorithm::Iterative, &grid, QueryKind::Diagonal),
+            expect
+        );
     }
 }
 
@@ -46,9 +52,17 @@ fn table5_astar_column_is_in_band() {
     // draws; structurally A* v3 <= Dijkstra's n-1 on the diagonal.
     for (k, dijkstra) in [(10usize, 99u64), (20, 399), (30, 899)] {
         let (grid, db) = grid_db(k, CostModel::TWENTY_PERCENT);
-        let a = iterations(&db, Algorithm::AStar(AStarVersion::V3), &grid, QueryKind::Diagonal);
+        let a = iterations(
+            &db,
+            Algorithm::AStar(AStarVersion::V3),
+            &grid,
+            QueryKind::Diagonal,
+        );
         assert!(a <= dijkstra, "k={k}: A* {a} > Dijkstra bound {dijkstra}");
-        assert!(a >= (2 * (k as u64 - 1)), "k={k}: A* {a} below the path length");
+        assert!(
+            a >= (2 * (k as u64 - 1)),
+            "k={k}: A* {a} below the path length"
+        );
     }
 }
 
@@ -58,19 +72,43 @@ fn table6_path_length_orderings() {
     let d_h = iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Horizontal);
     let d_s = iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::SemiDiagonal);
     let d_d = iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Diagonal);
-    assert!(d_h < d_s && d_s < d_d, "Dijkstra ordering {d_h} {d_s} {d_d}");
+    assert!(
+        d_h < d_s && d_s < d_d,
+        "Dijkstra ordering {d_h} {d_s} {d_d}"
+    );
     // Paper: 488 / 767 / 899; ours must land within 10%.
     for (ours, paper) in [(d_h, 488.0), (d_s, 767.0), (d_d, 899.0)] {
-        assert!((ours as f64 - paper).abs() / paper < 0.10, "{ours} vs paper {paper}");
+        assert!(
+            (ours as f64 - paper).abs() / paper < 0.10,
+            "{ours} vs paper {paper}"
+        );
     }
 
-    let a_h = iterations(&db, Algorithm::AStar(AStarVersion::V3), &grid, QueryKind::Horizontal);
-    let a_s = iterations(&db, Algorithm::AStar(AStarVersion::V3), &grid, QueryKind::SemiDiagonal);
-    let a_d = iterations(&db, Algorithm::AStar(AStarVersion::V3), &grid, QueryKind::Diagonal);
+    let a_h = iterations(
+        &db,
+        Algorithm::AStar(AStarVersion::V3),
+        &grid,
+        QueryKind::Horizontal,
+    );
+    let a_s = iterations(
+        &db,
+        Algorithm::AStar(AStarVersion::V3),
+        &grid,
+        QueryKind::SemiDiagonal,
+    );
+    let a_d = iterations(
+        &db,
+        Algorithm::AStar(AStarVersion::V3),
+        &grid,
+        QueryKind::Diagonal,
+    );
     assert!(a_h < a_s && a_s <= a_d, "A* ordering {a_h} {a_s} {a_d}");
     // The headline: A* collapses on the horizontal path (paper 29; the
     // 29-edge path plus bounded variance wandering).
-    assert!(a_h <= 60, "horizontal A* should be near the path length, got {a_h}");
+    assert!(
+        a_h <= 60,
+        "horizontal A* should be near the path length, got {a_h}"
+    );
 
     // Iterative is path-length-insensitive (59 everywhere).
     for kind in QueryKind::TABLE {
@@ -91,11 +129,17 @@ fn table6_crossover_in_cost_units() {
     let a_h = cost(Algorithm::AStar(AStarVersion::V3), QueryKind::Horizontal);
     let i_h = cost(Algorithm::Iterative, QueryKind::Horizontal);
     let d_h = cost(Algorithm::Dijkstra, QueryKind::Horizontal);
-    assert!(a_h < i_h && i_h < d_h, "horizontal: A* {a_h} < Iterative {i_h} < Dijkstra {d_h}");
+    assert!(
+        a_h < i_h && i_h < d_h,
+        "horizontal: A* {a_h} < Iterative {i_h} < Dijkstra {d_h}"
+    );
     let a_d = cost(Algorithm::AStar(AStarVersion::V3), QueryKind::Diagonal);
     let i_d = cost(Algorithm::Iterative, QueryKind::Diagonal);
     let d_d = cost(Algorithm::Dijkstra, QueryKind::Diagonal);
-    assert!(i_d < a_d && i_d < d_d, "diagonal: Iterative {i_d} wins over A* {a_d}, Dijkstra {d_d}");
+    assert!(
+        i_d < a_d && i_d < d_d,
+        "diagonal: Iterative {i_d} wins over A* {a_d}, Dijkstra {d_d}"
+    );
 }
 
 #[test]
@@ -103,15 +147,34 @@ fn table7_cost_model_effects() {
     // Uniform: Dijkstra 399 (exact), Iterative 39 (exact), A* well below
     // Dijkstra (paper 189; the all-ties plateau with hash tie-breaking).
     let (grid, db) = grid_db(20, CostModel::Uniform);
-    assert_eq!(iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Diagonal), 399);
-    assert_eq!(iterations(&db, Algorithm::Iterative, &grid, QueryKind::Diagonal), 39);
-    let a_u = iterations(&db, Algorithm::AStar(AStarVersion::V3), &grid, QueryKind::Diagonal);
-    assert!((100..350).contains(&a_u), "uniform A* plateau: {a_u} (paper 189)");
+    assert_eq!(
+        iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Diagonal),
+        399
+    );
+    assert_eq!(
+        iterations(&db, Algorithm::Iterative, &grid, QueryKind::Diagonal),
+        39
+    );
+    let a_u = iterations(
+        &db,
+        Algorithm::AStar(AStarVersion::V3),
+        &grid,
+        QueryKind::Diagonal,
+    );
+    assert!(
+        (100..350).contains(&a_u),
+        "uniform A* plateau: {a_u} (paper 189)"
+    );
 
     // Skewed: the corridor collapse. A* v3 = 2(k-1) exactly (paper 38);
     // Dijkstra and Iterative land near the paper's 48 / 56.
     let (grid, db) = grid_db(20, CostModel::Skewed);
-    let a_s = iterations(&db, Algorithm::AStar(AStarVersion::V3), &grid, QueryKind::Diagonal);
+    let a_s = iterations(
+        &db,
+        Algorithm::AStar(AStarVersion::V3),
+        &grid,
+        QueryKind::Diagonal,
+    );
     assert_eq!(a_s, 38);
     let d_s = iterations(&db, Algorithm::Dijkstra, &grid, QueryKind::Diagonal);
     assert!((38..100).contains(&d_s), "skewed Dijkstra {d_s} (paper 48)");
@@ -138,8 +201,18 @@ fn table8_minneapolis_shape() {
         let dij = run(Algorithm::Dijkstra, pair);
         let it = run(Algorithm::Iterative, pair);
         let astar = run(Algorithm::AStar(AStarVersion::V3), pair);
-        assert!(dij.iterations > 900, "{}: Dijkstra {}", pair.label(), dij.iterations);
-        assert!(it.iterations < 80, "{}: Iterative {}", pair.label(), it.iterations);
+        assert!(
+            dij.iterations > 900,
+            "{}: Dijkstra {}",
+            pair.label(),
+            dij.iterations
+        );
+        assert!(
+            it.iterations < 80,
+            "{}: Iterative {}",
+            pair.label(),
+            it.iterations
+        );
         assert!(
             astar.iterations > it.iterations && astar.iterations < dij.iterations,
             "{}: A* {} between Iterative {} and Dijkstra {}",
@@ -149,7 +222,11 @@ fn table8_minneapolis_shape() {
             dij.iterations
         );
         let (ic, dc) = (it.cost_units(&params), dij.cost_units(&params));
-        assert!(ic < dc / 5.0, "{}: Iterative {ic} ≪ Dijkstra {dc}", pair.label());
+        assert!(
+            ic < dc / 5.0,
+            "{}: Iterative {ic} ≪ Dijkstra {dc}",
+            pair.label()
+        );
     }
 
     // A->B backtracks more than C->D (against the downtown slope).
@@ -168,11 +245,27 @@ fn table8_minneapolis_shape() {
         let astar = run(Algorithm::AStar(AStarVersion::V3), pair);
         let it = run(Algorithm::Iterative, pair);
         let dij = run(Algorithm::Dijkstra, pair);
-        assert!(astar.iterations < 30, "{}: A* {}", pair.label(), astar.iterations);
-        let (ac, ic, dc) =
-            (astar.cost_units(&params), it.cost_units(&params), dij.cost_units(&params));
-        assert!(ac < ic * 0.5, "{}: A* {ac} far below Iterative {ic}", pair.label());
-        assert!(ac < dc * 0.2, "{}: A* {ac} far below Dijkstra {dc}", pair.label());
+        assert!(
+            astar.iterations < 30,
+            "{}: A* {}",
+            pair.label(),
+            astar.iterations
+        );
+        let (ac, ic, dc) = (
+            astar.cost_units(&params),
+            it.cost_units(&params),
+            dij.cost_units(&params),
+        );
+        assert!(
+            ac < ic * 0.5,
+            "{}: A* {ac} far below Iterative {ic}",
+            pair.label()
+        );
+        assert!(
+            ac < dc * 0.2,
+            "{}: A* {ac} far below Dijkstra {dc}",
+            pair.label()
+        );
     }
 }
 
@@ -189,7 +282,10 @@ fn table_4b_algebra_matches_physical_engine_within_15_percent() {
         let (s, d) = grid.query_pair(kind);
         for (alg, model_kind) in [
             (Algorithm::Dijkstra, predict::AlgorithmKind::BestFirst),
-            (Algorithm::AStar(AStarVersion::V3), predict::AlgorithmKind::BestFirst),
+            (
+                Algorithm::AStar(AStarVersion::V3),
+                predict::AlgorithmKind::BestFirst,
+            ),
             (Algorithm::Iterative, predict::AlgorithmKind::Iterative),
         ] {
             let t = db.run(alg, s, d).unwrap();
@@ -219,16 +315,24 @@ fn step_breakdown_sums_to_total_and_matches_algebra() {
     let mp = ModelParams::for_grid(30);
 
     let dij = db.run(Algorithm::Dijkstra, s, d).unwrap();
-    assert_eq!(dij.steps.total(), dij.io, "Dijkstra step attribution must sum to the total");
+    assert_eq!(
+        dij.steps.total(),
+        dij.io,
+        "Dijkstra step attribution must sum to the total"
+    );
     let it = db.run(Algorithm::Iterative, s, d).unwrap();
-    assert_eq!(it.steps.total(), it.io, "Iterative step attribution must sum to the total");
+    assert_eq!(
+        it.steps.total(),
+        it.io,
+        "Iterative step attribution must sum to the total"
+    );
 
     // Per-step agreement with Tables 2-3 (select and join are exact up to
     // boundary-degree effects; assert within 2%).
     let bf = BestFirstModel::new(mp);
     let di = dij.iterations as f64;
-    let sel_err = (dij.steps.select.cost(&params) - di * bf.select_cost()).abs()
-        / (di * bf.select_cost());
+    let sel_err =
+        (dij.steps.select.cost(&params) - di * bf.select_cost()).abs() / (di * bf.select_cost());
     assert!(sel_err < 0.02, "select step off by {:.1}%", sel_err * 100.0);
     let join_err = (dij.steps.join.cost(&params) - di * bf.join_step_cost()).abs()
         / (di * bf.join_step_cost());
@@ -275,11 +379,20 @@ fn figure10_version1_degrades_with_graph_size() {
     for k in [10usize, 20, 30] {
         let (grid, db) = grid_db(k, CostModel::TWENTY_PERCENT);
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
-        let v1 = db.run(Algorithm::AStar(AStarVersion::V1), s, d).unwrap().cost_units(&params);
-        let v2 = db.run(Algorithm::AStar(AStarVersion::V2), s, d).unwrap().cost_units(&params);
+        let v1 = db
+            .run(Algorithm::AStar(AStarVersion::V1), s, d)
+            .unwrap()
+            .cost_units(&params);
+        let v2 = db
+            .run(Algorithm::AStar(AStarVersion::V2), s, d)
+            .unwrap()
+            .cost_units(&params);
         gaps.push(v1 - v2);
     }
-    assert!(gaps[0] < gaps[1] && gaps[1] < gaps[2], "v1-v2 gap must grow: {gaps:?}");
+    assert!(
+        gaps[0] < gaps[1] && gaps[1] < gaps[2],
+        "v1-v2 gap must grow: {gaps:?}"
+    );
     assert!(gaps[2] > 0.0, "v1 must be worse than v2 at 30x30");
 }
 
@@ -293,15 +406,30 @@ fn figure10_version3_beats_version2_at_scale() {
     let (grid, db) = grid_db(30, CostModel::Uniform);
     let params = CostParams::default();
     let (s, d) = grid.query_pair(QueryKind::Diagonal);
-    let v2 = db.run(Algorithm::AStar(AStarVersion::V2), s, d).unwrap().cost_units(&params);
-    let v3 = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap().cost_units(&params);
-    assert!(v3 * 3.0 < v2, "v3 {v3} should be several times cheaper than v2 {v2}");
+    let v2 = db
+        .run(Algorithm::AStar(AStarVersion::V2), s, d)
+        .unwrap()
+        .cost_units(&params);
+    let v3 = db
+        .run(Algorithm::AStar(AStarVersion::V3), s, d)
+        .unwrap()
+        .cost_units(&params);
+    assert!(
+        v3 * 3.0 < v2,
+        "v3 {v3} should be several times cheaper than v2 {v2}"
+    );
     // Manhattan never loses to Euclidean on grids ("Manhattan distance
     // also outperforms euclidean distance for grid graphs").
     for kind in QueryKind::TABLE {
         let (s, d) = grid.query_pair(kind);
-        let v2 = db.run(Algorithm::AStar(AStarVersion::V2), s, d).unwrap().iterations;
-        let v3 = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap().iterations;
+        let v2 = db
+            .run(Algorithm::AStar(AStarVersion::V2), s, d)
+            .unwrap()
+            .iterations;
+        let v3 = db
+            .run(Algorithm::AStar(AStarVersion::V3), s, d)
+            .unwrap()
+            .iterations;
         assert!(v3 <= v2, "{kind:?}: v3 {v3} vs v2 {v2}");
     }
 }

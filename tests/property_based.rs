@@ -14,10 +14,8 @@ use proptest::prelude::*;
 /// only the Zero estimator is admissible).
 fn arb_graph() -> impl Strategy<Value = (Graph, NodeId, NodeId)> {
     (2usize..24).prop_flat_map(|n| {
-        let edges = prop::collection::vec(
-            (0..n as u32, 0..n as u32, 0.0f64..10.0),
-            1..(n * 3).max(2),
-        );
+        let edges =
+            prop::collection::vec((0..n as u32, 0..n as u32, 0.0f64..10.0), 1..(n * 3).max(2));
         (Just(n), edges, 0..n as u32, 0..n as u32).prop_map(|(n, edges, s, d)| {
             let mut b = GraphBuilder::with_capacity(n, edges.len());
             for i in 0..n {
@@ -28,7 +26,11 @@ fn arb_graph() -> impl Strategy<Value = (Graph, NodeId, NodeId)> {
                     b.add_arc(NodeId(u), NodeId(v), c);
                 }
             }
-            (b.build().expect("valid arbitrary graph"), NodeId(s), NodeId(d))
+            (
+                b.build().expect("valid arbitrary graph"),
+                NodeId(s),
+                NodeId(d),
+            )
         })
     })
 }
@@ -37,10 +39,18 @@ fn arb_graph() -> impl Strategy<Value = (Graph, NodeId, NodeId)> {
 /// pair.
 fn arb_grid() -> impl Strategy<Value = (Grid, NodeId, NodeId)> {
     (2usize..10, 0u64..1000, 0usize..3).prop_flat_map(|(k, seed, model_ix)| {
-        let model = [CostModel::Uniform, CostModel::TWENTY_PERCENT, CostModel::Skewed][model_ix];
+        let model = [
+            CostModel::Uniform,
+            CostModel::TWENTY_PERCENT,
+            CostModel::Skewed,
+        ][model_ix];
         let n = (k * k) as u32;
         (Just((k, seed, model)), 0..n, 0..n).prop_map(|((k, seed, model), s, d)| {
-            (Grid::new(k, model, seed).expect("k >= 2"), NodeId(s), NodeId(d))
+            (
+                Grid::new(k, model, seed).expect("k >= 2"),
+                NodeId(s),
+                NodeId(d),
+            )
         })
     })
 }

@@ -7,7 +7,8 @@ use std::collections::HashMap;
 
 fn fresh() -> QuelEngine {
     let mut e = QuelEngine::new();
-    e.run("CREATE t (id = int, cost = float, tag = string) KEY id").unwrap();
+    e.run("CREATE t (id = int, cost = float, tag = string) KEY id")
+        .unwrap();
     e.run("RANGE OF x IS t").unwrap();
     e
 }
@@ -33,17 +34,23 @@ fn scripted_session_end_to_end() {
 #[test]
 fn join_retrieve_matches_manual_expansion() {
     let mut e = QuelEngine::new();
-    e.run("CREATE edges (src = int, dst = int, w = float)").unwrap();
+    e.run("CREATE edges (src = int, dst = int, w = float)")
+        .unwrap();
     e.run("CREATE open (id = int) KEY id").unwrap();
     e.run("RANGE OF ed IS edges").unwrap();
     e.run("RANGE OF o IS open").unwrap();
     let arcs = [(0, 1, 1.0), (0, 2, 2.0), (1, 2, 0.5), (2, 0, 4.0)];
     for (s, d, w) in arcs {
-        e.run(&format!("APPEND TO edges (src = {s}, dst = {d}, w = {w:?})")).unwrap();
+        e.run(&format!(
+            "APPEND TO edges (src = {s}, dst = {d}, w = {w:?})"
+        ))
+        .unwrap();
     }
     e.run("APPEND TO open (id = 0)").unwrap();
     e.run("APPEND TO open (id = 2)").unwrap();
-    let out = e.run("RETRIEVE (ed.src, ed.dst) WHERE ed.src = o.id").unwrap();
+    let out = e
+        .run("RETRIEVE (ed.src, ed.dst) WHERE ed.src = o.id")
+        .unwrap();
     let got: Vec<(i64, i64)> = out
         .rows()
         .iter()
@@ -52,8 +59,11 @@ fn join_retrieve_matches_manual_expansion() {
             _ => panic!("ints expected"),
         })
         .collect();
-    let mut expect: Vec<(i64, i64)> =
-        arcs.iter().filter(|(s, _, _)| *s == 0 || *s == 2).map(|(s, d, _)| (*s, *d)).collect();
+    let mut expect: Vec<(i64, i64)> = arcs
+        .iter()
+        .filter(|(s, _, _)| *s == 0 || *s == 2)
+        .map(|(s, d, _)| (*s, *d))
+        .collect();
     let mut got_sorted = got.clone();
     got_sorted.sort_unstable();
     expect.sort_unstable();
@@ -64,7 +74,8 @@ fn join_retrieve_matches_manual_expansion() {
 fn io_metering_accumulates_across_statements() {
     let mut e = fresh();
     let before = e.io;
-    e.run("APPEND TO t (id = 1, cost = 1.0, tag = \"a\")").unwrap();
+    e.run("APPEND TO t (id = 1, cost = 1.0, tag = \"a\")")
+        .unwrap();
     let after_append = e.io;
     assert!(after_append.block_writes > before.block_writes);
     e.run("RETRIEVE (x.cost)").unwrap();

@@ -53,7 +53,10 @@ fn manhattan_version_is_observably_suboptimal() {
         got > optimal + 1e-6,
         "expected a suboptimal Manhattan route (got {got} vs optimal {optimal})"
     );
-    assert!(got < optimal * 1.25, "but not unboundedly bad: {got} vs {optimal}");
+    assert!(
+        got < optimal * 1.25,
+        "but not unboundedly bad: {got} vs {optimal}"
+    );
 }
 
 #[test]
@@ -69,7 +72,10 @@ fn reversal_holds_across_seeds() {
             let optimal = memory::dijkstra_pair(city.graph(), s, d).unwrap().cost;
             let v2 = db.run(Algorithm::AStar(AStarVersion::V2), s, d).unwrap();
             let v2_cost = v2.path.unwrap().validate(city.graph()).unwrap();
-            assert!((v2_cost - optimal).abs() < 1e-6, "v2 must stay optimal (seed {seed}, k {k})");
+            assert!(
+                (v2_cost - optimal).abs() < 1e-6,
+                "v2 must stay optimal (seed {seed}, k {k})"
+            );
             let v3 = db.run(Algorithm::AStar(AStarVersion::V3), s, d).unwrap();
             let v3_cost = v3.path.unwrap().validate(city.graph()).unwrap();
             assert!(v3_cost >= optimal - 1e-9);
@@ -78,5 +84,8 @@ fn reversal_holds_across_seeds() {
             }
         }
     }
-    assert!(v3_suboptimal > 0, "v3 should be suboptimal somewhere across 10 seeds");
+    assert!(
+        v3_suboptimal > 0,
+        "v3 should be suboptimal somewhere across 10 seeds"
+    );
 }

@@ -10,10 +10,14 @@ use atis::{CostModel, Grid, QueryKind};
 fn observed_service(cache_capacity: usize) -> (RouteService, Grid, atis::obs::SharedRegistry) {
     let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 21).unwrap();
     let registry = MetricsRegistry::shared();
-    let db = Database::open(grid.graph()).unwrap().with_metrics(registry.clone());
+    let db = Database::open(grid.graph())
+        .unwrap()
+        .with_metrics(registry.clone());
     let service = RouteService::with_observability(
         db,
-        ServeConfig::default().with_workers(1).with_cache_capacity(cache_capacity),
+        ServeConfig::default()
+            .with_workers(1)
+            .with_cache_capacity(cache_capacity),
         Some(registry.clone()),
         None,
     );
@@ -76,7 +80,9 @@ fn an_update_invalidates_exactly_the_affected_entries() {
 
     // A cheap update (below every cached total) sweeps everything.
     let far_edge = (grid.node_at(3, 3), grid.node_at(3, 4));
-    service.update_edge_cost(far_edge.0, far_edge.1, 0.01).unwrap();
+    service
+        .update_edge_cost(far_edge.0, far_edge.1, 0.01)
+        .unwrap();
     assert_eq!(service.cache().len(), 0);
     assert_eq!(registry.counter("cache_invalidations_total"), 1 + 3);
 }
@@ -93,12 +99,18 @@ fn promoted_entries_still_match_fresh_computation() {
         .update_edge_cost(grid.node_at(0, 0), grid.node_at(0, 1), 900.0)
         .unwrap();
     let hit = service.route(s, d).unwrap();
-    assert!(hit.cached, "the promoted entry must hit at epoch {}", update.epoch);
+    assert!(
+        hit.cached,
+        "the promoted entry must hit at epoch {}",
+        update.epoch
+    );
     assert_eq!(hit.epoch, update.epoch);
 
     // Oracle: recompute from scratch against the post-update graph.
     let mut graph = grid.graph().clone();
-    graph.set_edge_cost(grid.node_at(0, 0), grid.node_at(0, 1), 900.0).unwrap();
+    graph
+        .set_edge_cost(grid.node_at(0, 0), grid.node_at(0, 1), 900.0)
+        .unwrap();
     let oracle = Database::open(&graph).unwrap();
     let expected = oracle.run(service.algorithm(), s, d).unwrap().path.unwrap();
     let hit_path = hit.path.unwrap();
@@ -124,10 +136,16 @@ fn stats_snapshot_orders_cache_counters_deterministically() {
     let invalidations = snapshot.find(r#""cache_invalidations_total":"#).unwrap();
     let misses = snapshot.find(r#""cache_misses_total":"#).unwrap();
     let serve = snapshot.find(r#""serve_requests_total":"#).unwrap();
-    assert!(hits < invalidations && invalidations < misses && misses < serve, "{snapshot}");
+    assert!(
+        hits < invalidations && invalidations < misses && misses < serve,
+        "{snapshot}"
+    );
     assert!(snapshot.contains(r#""cache_hits_total":2"#), "{snapshot}");
     assert!(snapshot.contains(r#""cache_misses_total":1"#), "{snapshot}");
-    assert!(snapshot.contains(r#""cache_invalidations_total":1"#), "{snapshot}");
+    assert!(
+        snapshot.contains(r#""cache_invalidations_total":1"#),
+        "{snapshot}"
+    );
 
     // Identical registry contents render identically, touch order aside.
     assert_eq!(snapshot, registry.snapshot_json());

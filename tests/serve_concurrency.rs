@@ -60,7 +60,10 @@ fn concurrent_answers_are_bit_identical_to_the_single_threaded_oracle() {
     let initial = grid.graph().clone();
     let service = Arc::new(RouteService::new(
         Database::open(grid.graph()).unwrap(),
-        ServeConfig::default().with_workers(4).with_queue_capacity(64).with_cache_capacity(128),
+        ServeConfig::default()
+            .with_workers(4)
+            .with_queue_capacity(64)
+            .with_cache_capacity(128),
     ));
 
     // A fixed set of query pairs, so the cache sees repeats.
@@ -114,8 +117,10 @@ fn concurrent_answers_are_bit_identical_to_the_single_threaded_oracle() {
         .collect();
 
     let updates = writer.join().unwrap();
-    let answers: Vec<_> =
-        clients.into_iter().flat_map(|c| c.join().unwrap()).collect();
+    let answers: Vec<_> = clients
+        .into_iter()
+        .flat_map(|c| c.join().unwrap())
+        .collect();
     assert_eq!(answers.len(), CLIENTS * REQUESTS_PER_CLIENT);
 
     // Single-threaded oracle, one database per observed epoch.
@@ -129,7 +134,11 @@ fn concurrent_answers_are_bit_identical_to_the_single_threaded_oracle() {
         let expected = oracle.run(algorithm, *from, *to).unwrap();
         let got = answer.path.as_ref().expect("grid queries are connected");
         let want = expected.path.as_ref().expect("oracle finds the same route");
-        assert_eq!(got.nodes, want.nodes, "path mismatch at epoch {}", answer.epoch);
+        assert_eq!(
+            got.nodes, want.nodes,
+            "path mismatch at epoch {}",
+            answer.epoch
+        );
         assert_eq!(
             got.cost.to_bits(),
             want.cost.to_bits(),
@@ -144,7 +153,10 @@ fn concurrent_answers_are_bit_identical_to_the_single_threaded_oracle() {
     }
     // The fixed query pairs repeat across clients, so the cache must have
     // served a real share of the load.
-    assert!(cached_answers > 0, "expected at least one cache-served answer");
+    assert!(
+        cached_answers > 0,
+        "expected at least one cache-served answer"
+    );
 }
 
 #[test]
@@ -163,7 +175,9 @@ fn no_answer_ever_mixes_pre_and_post_update_costs() {
         Database::open(grid.graph()).unwrap(),
         // No cache: every answer is a fresh run, maximising the window
         // for the historic bug to reproduce.
-        ServeConfig::default().with_workers(4).with_cache_capacity(0),
+        ServeConfig::default()
+            .with_workers(4)
+            .with_cache_capacity(0),
     ));
 
     let writer = {
@@ -184,7 +198,9 @@ fn no_answer_ever_mixes_pre_and_post_update_costs() {
         .map(|_| {
             let service = service.clone();
             std::thread::spawn(move || {
-                (0..20).map(|_| route_with_backoff(&service, s, d)).collect::<Vec<_>>()
+                (0..20)
+                    .map(|_| route_with_backoff(&service, s, d))
+                    .collect::<Vec<_>>()
             })
         })
         .collect();
@@ -212,8 +228,9 @@ fn pooled_throughput_is_not_serialized() {
     // parallel: with the cache off, 4 workers must clear a fixed batch
     // no slower than 1 worker does (generously margined for CI noise).
     let grid = Grid::new(10, CostModel::TWENTY_PERCENT, 3).unwrap();
-    let pairs: Vec<(NodeId, NodeId)> =
-        (0..4).map(|i| (grid.node_at(0, i), grid.node_at(9, 9 - i))).collect();
+    let pairs: Vec<(NodeId, NodeId)> = (0..4)
+        .map(|i| (grid.node_at(0, i), grid.node_at(9, 9 - i)))
+        .collect();
 
     let elapsed_with = |workers: usize| {
         let service = Arc::new(RouteService::new(

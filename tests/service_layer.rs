@@ -47,8 +47,14 @@ fn comparison_reproduces_the_papers_recommendation() {
     let planner = RoutePlanner::new(m.graph()).unwrap();
     let (s, d) = m.query_pair(NamedPair::EtoF);
     let reports = planner.compare(&Algorithm::TABLE, s, d).unwrap();
-    let astar = reports.iter().find(|r| r.algorithm.contains("version 3")).unwrap();
-    for other in reports.iter().filter(|r| !r.algorithm.contains("version 3")) {
+    let astar = reports
+        .iter()
+        .find(|r| r.algorithm.contains("version 3"))
+        .unwrap();
+    for other in reports
+        .iter()
+        .filter(|r| !r.algorithm.contains("version 3"))
+    {
         assert!(
             astar.cost_units < other.cost_units,
             "A* {} vs {} {}",
@@ -84,14 +90,18 @@ fn rush_hour_replanning_improves_travel_time() {
         .route
         .expect("connected");
 
-    let base_time = evaluate_route(m.graph(), &distance_route).unwrap().travel_time;
+    let base_time = evaluate_route(m.graph(), &distance_route)
+        .unwrap()
+        .travel_time;
     // Re-cost the rush route against the distance graph for evaluation.
     let mut rush_on_base = rush_route.clone();
     rush_on_base.cost = rush_on_base
         .hops()
         .map(|(u, v)| m.graph().edge_cost(u, v).expect("edge exists"))
         .sum();
-    let rush_time = evaluate_route(m.graph(), &rush_on_base).unwrap().travel_time;
+    let rush_time = evaluate_route(m.graph(), &rush_on_base)
+        .unwrap()
+        .travel_time;
     assert!(
         rush_time <= base_time + 1e-9,
         "replanned time {rush_time} must not exceed static-route time {base_time}"
@@ -103,8 +113,11 @@ fn join_policy_changes_cost_not_answers() {
     let m = Minneapolis::paper();
     let (s, d) = m.query_pair(NamedPair::GtoD);
     let forced = RoutePlanner::new(m.graph()).unwrap().plan(s, d).unwrap();
-    let optimized =
-        RoutePlanner::new(m.graph()).unwrap().with_join_policy(JoinPolicy::CostBased).plan(s, d).unwrap();
+    let optimized = RoutePlanner::new(m.graph())
+        .unwrap()
+        .with_join_policy(JoinPolicy::CostBased)
+        .plan(s, d)
+        .unwrap();
     assert_eq!(forced.iterations, optimized.iterations);
     assert_eq!(
         forced.route.as_ref().map(|p| &p.nodes),
@@ -123,8 +136,9 @@ fn gps_trace_to_onward_route_pipeline() {
     let planner = RoutePlanner::new(m.graph()).unwrap();
 
     // A noisy trace drifting through the south-west quadrant.
-    let obs: Vec<Point> =
-        (0..5).map(|i| Point::new(3.0 + 2.0 * i as f64 + 0.2, 3.1 + i as f64)).collect();
+    let obs: Vec<Point> = (0..5)
+        .map(|i| Point::new(3.0 + 2.0 * i as f64 + 0.2, 3.1 + i as f64))
+        .collect();
     let matched = match_trace(m.graph(), &obs).expect("trace matches");
     matched.route.validate(m.graph()).unwrap();
     assert!(matched.mean_snap_distance < 1.0);
@@ -146,9 +160,7 @@ fn unreachable_trip_reports_no_route() {
     let core_node = m.landmark('A');
     // Find a node with no outgoing edges (swallowed by a lake) if one
     // exists; otherwise skip (generator may leave none isolated).
-    let isolated = m.graph().node_ids().find(|&u| {
-        m.graph().degree(u) == 0
-    });
+    let isolated = m.graph().node_ids().find(|&u| m.graph().degree(u) == 0);
     if let Some(island) = isolated {
         let report = planner.plan(core_node, island).unwrap();
         assert!(report.route.is_none());

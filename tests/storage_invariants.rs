@@ -10,7 +10,13 @@ use proptest::prelude::*;
 use std::collections::HashMap;
 
 fn node_tuple(cost: f32) -> NodeTuple {
-    NodeTuple { x: 0.0, y: 0.0, status: NodeStatus::Open, path: NO_PRED, path_cost: cost }
+    NodeTuple {
+        x: 0.0,
+        y: 0.0,
+        status: NodeStatus::Open,
+        path: NO_PRED,
+        path_cost: cost,
+    }
 }
 
 /// Abstract operations on a keyed temp relation.
@@ -143,7 +149,9 @@ fn buffer_pool_never_increases_cost_and_never_changes_answers() {
     let (s, d) = grid.query_pair(atis::QueryKind::Diagonal);
     let cold = Database::open(grid.graph()).unwrap();
     for capacity in [1usize, 4, 16, 256] {
-        let warm = Database::open(grid.graph()).unwrap().with_buffer_pool(capacity);
+        let warm = Database::open(grid.graph())
+            .unwrap()
+            .with_buffer_pool(capacity);
         for alg in Algorithm::TABLE {
             let c = cold.run(alg, s, d).unwrap();
             let w = warm.run(alg, s, d).unwrap();
@@ -171,7 +179,9 @@ fn bigger_buffer_pools_absorb_more_reads() {
     let (s, d) = grid.query_pair(atis::QueryKind::Diagonal);
     let mut previous = u64::MAX;
     for capacity in [1usize, 8, 64] {
-        let db = Database::open(grid.graph()).unwrap().with_buffer_pool(capacity);
+        let db = Database::open(grid.graph())
+            .unwrap()
+            .with_buffer_pool(capacity);
         let t = db.run(Algorithm::Dijkstra, s, d).unwrap();
         assert!(
             t.io.block_reads <= previous,

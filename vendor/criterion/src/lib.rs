@@ -21,11 +21,15 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function_id.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
     }
 
     pub fn from_parameter(parameter: impl Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -158,7 +162,8 @@ impl Criterion {
     }
 
     pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
-        self.benchmark_group(id.to_string()).bench_function("bench", routine);
+        self.benchmark_group(id.to_string())
+            .bench_function("bench", routine);
         self
     }
 }

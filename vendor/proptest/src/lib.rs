@@ -30,7 +30,10 @@ pub mod test_runner {
 
     impl Default for Config {
         fn default() -> Self {
-            Config { cases: 256, max_shrink_iters: 0 }
+            Config {
+                cases: 256,
+                max_shrink_iters: 0,
+            }
         }
     }
 
@@ -342,13 +345,19 @@ pub mod collection {
 
     impl From<Range<usize>> for SizeRange {
         fn from(r: Range<usize>) -> Self {
-            SizeRange { min: r.start, max: r.end.saturating_sub(1) }
+            SizeRange {
+                min: r.start,
+                max: r.end.saturating_sub(1),
+            }
         }
     }
 
     impl From<RangeInclusive<usize>> for SizeRange {
         fn from(r: RangeInclusive<usize>) -> Self {
-            SizeRange { min: *r.start(), max: *r.end() }
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
         }
     }
 
@@ -361,7 +370,10 @@ pub mod collection {
     /// Generates `Vec`s whose elements come from `element` and whose length
     /// is uniform within `size`.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 
     #[derive(Debug, Clone)]
