@@ -69,6 +69,19 @@ for doc in $(git ls-files '*.md' | grep -v '/' ); do
     fi
 done
 
+# 4. Rule-doc drift: every linter rule id declared in the atis-analyze
+#    rule table must be documented in ANALYSIS.md, so adding a rule
+#    without writing it up (or renaming one without updating the doc)
+#    fails the docs gate, not a reviewer's memory.
+if [ -f crates/analyze/src/rules.rs ]; then
+    for id in $(grep -o 'id: "[a-z-]*"' crates/analyze/src/rules.rs | sed 's/id: "\(.*\)"/\1/'); do
+        if ! grep -q "\`$id\`" ANALYSIS.md; then
+            echo "UNDOCUMENTED RULE: $id is not documented in ANALYSIS.md"
+            fail=1
+        fi
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "doc-link check FAILED"
     exit 1

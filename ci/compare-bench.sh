@@ -136,6 +136,25 @@ compare_estimators() {
     ' "$base" "$fresh"
 }
 
+# --- first run: no committed baseline --------------------------------------
+# When HEAD carries no baseline for a metric file there is nothing to
+# gate against — but failing would keep the very first bench run red
+# forever. Instead the fresh artifact is *recorded* as the would-be
+# baseline: copied into the baseline location (a no-op in the main flow,
+# where the fresh file already sits at that path) and reported, so
+# committing it is all it takes to arm the gate for the next run.
+record_baseline() {
+    fresh=$1 target=$2
+    if [ ! -f "$fresh" ]; then
+        echo "FAIL: no committed baseline AND no fresh artifact for $target"
+        return 1
+    fi
+    if [ "$fresh" != "$target" ]; then
+        cp "$fresh" "$target"
+    fi
+    echo "RECORDED $target: no committed baseline — fresh artifact recorded; commit it to arm the gate"
+}
+
 self_test() {
     tmp=$(mktemp -d)
     trap 'rm -rf "$tmp"' EXIT
@@ -181,6 +200,20 @@ EOF
         status=1
     fi
 
+    echo "self-test 5: a missing committed baseline must record, not fail"
+    rm -f "$tmp/recorded.json"
+    if record_baseline "$tmp/serve_base.json" "$tmp/recorded.json" \
+        && cmp -s "$tmp/serve_base.json" "$tmp/recorded.json"; then
+        :
+    else
+        echo "self-test FAILED: first run did not record the baseline"
+        status=1
+    fi
+    if record_baseline "$tmp/absent.json" "$tmp/absent_target.json"; then
+        echo "self-test FAILED: no baseline and no artifact still passed"
+        status=1
+    fi
+
     if [ "$status" -eq 0 ]; then
         echo "compare-bench self-test OK"
     else
@@ -205,7 +238,7 @@ case "${1:-}" in
         status=0
         for f in BENCH_serve.json BENCH_estimators.json; do
             if ! git show "HEAD:$f" > "$tmp/$(basename "$f")" 2>/dev/null; then
-                echo "no committed baseline for $f — skipping (first run)"
+                record_baseline "$f" "$f" || status=1
                 continue
             fi
             if [ ! -f "$f" ]; then

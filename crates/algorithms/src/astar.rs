@@ -33,6 +33,7 @@ use atis_obs::IterationPhase;
 use atis_storage::{
     join_adjacency, IoStats, JoinStrategy, NodeStatus, NodeTuple, TempRelation, NO_PRED,
 };
+// analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
 
 /// The paper's three A\* implementation versions, plus this
@@ -180,6 +181,7 @@ fn run_relation_frontier(
     estimator: Estimator,
     label: String,
 ) -> Result<RunTrace, AlgorithmError> {
+    // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let mut observer = RunObserver::new(db, &label);

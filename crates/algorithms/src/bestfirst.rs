@@ -16,6 +16,7 @@ use atis_graph::{NodeId, Path, Point};
 use atis_obs::IterationPhase;
 use atis_preprocess::DestBounds;
 use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus};
+// analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
 
 /// Configuration for a status-frontier best-first run.
@@ -42,6 +43,7 @@ pub(crate) fn run_status_frontier(
     d: NodeId,
     cfg: StatusFrontierConfig,
 ) -> Result<RunTrace, AlgorithmError> {
+    // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let mut steps = StepBreakdown::default();

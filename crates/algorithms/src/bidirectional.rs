@@ -30,10 +30,11 @@ impl PartialOrd for Entry {
 
 impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp: a total order even on NaN, so the heap can never
+        // panic or silently misorder.
         other
             .score
-            .partial_cmp(&self.score)
-            .expect("scores are finite")
+            .total_cmp(&self.score)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

@@ -14,6 +14,7 @@ use atis_storage::{
     BufferPool, CostParams, EdgeRelation, FaultPlan, IoStats, JoinPolicy, SharedBuffer,
     SharedFaults,
 };
+// analyze::allow(determinism-wall-clock): the wall-clock budget deadline aborts runs, it never shapes a returned path
 use std::time::{Duration, Instant};
 
 /// Resource limits for a single algorithm run. `None` means unlimited —
@@ -73,6 +74,7 @@ impl Budgets {
 pub struct BudgetMeter {
     budgets: Budgets,
     params: CostParams,
+    // analyze::allow(determinism-wall-clock): the wall-clock budget deadline aborts runs, it never shapes a returned path
     started: Instant,
 }
 
@@ -331,6 +333,7 @@ impl Database {
         BudgetMeter {
             budgets: self.budgets,
             params: self.params,
+            // analyze::allow(determinism-wall-clock): the wall-clock budget deadline aborts runs, it never shapes a returned path
             started: Instant::now(),
         }
     }
@@ -418,7 +421,7 @@ impl Database {
             let tuple = adjacency
                 .iter()
                 .filter(|t| t.end == v.0 as u16)
-                .min_by(|a, b| a.cost.partial_cmp(&b.cost).expect("finite costs"))
+                .min_by(|a, b| a.cost.total_cmp(&b.cost))
                 .ok_or(AlgorithmError::Graph(atis_graph::GraphError::MissingEdge {
                     from: u,
                     to: v,

@@ -31,6 +31,7 @@ use atis_storage::{
     join_adjacency, IoStats, JoinStrategy, MultiRelation, NodeStatus, NodeTuple, TempRelation,
     NO_PRED,
 };
+// analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
 
 /// The three duplicate-management options of Section 4.
@@ -92,6 +93,7 @@ pub fn run_with_duplicate_policy(
         return Ok(trace);
     }
 
+    // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let s_id = s.0;

@@ -48,6 +48,7 @@ impl fmt::Display for LandmarkIssue {
 
 /// Errors raised while running a path-computation algorithm.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum AlgorithmError {
     /// A storage operation failed.
     Storage(StorageError),

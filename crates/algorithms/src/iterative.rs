@@ -23,10 +23,12 @@ use atis_graph::{NodeId, Path};
 use atis_obs::IterationPhase;
 use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus, NO_PRED};
 use std::collections::HashMap;
+// analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
 
 /// Runs the iterative algorithm from `s` to `d`.
 pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmError> {
+    // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let mut steps = StepBreakdown::default();

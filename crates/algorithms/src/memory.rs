@@ -31,10 +31,11 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: smallest score first; ties by node id for determinism.
+        // total_cmp: a total order even on NaN, so the heap can never
+        // panic or silently misorder.
         other
             .score
-            .partial_cmp(&self.score)
-            .expect("scores are finite")
+            .total_cmp(&self.score)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

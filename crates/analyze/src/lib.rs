@@ -1,0 +1,61 @@
+//! # atis-analyze — the workspace invariant linter
+//!
+//! Repo-specific conventions — bit-determinism of the algorithm crates,
+//! the `IoStats` metering choke point, panic hygiene on the serving
+//! path, and the serve crate's lock discipline — were enforced only by
+//! review until this crate existed. `atis-analyze` turns them into
+//! machine-checked rules that run at `cargo` time:
+//!
+//! ```sh
+//! cargo run -p atis-analyze -- check    # exit 1 + findings on stderr
+//! cargo run -p atis-analyze -- rules    # the rule table
+//! ```
+//!
+//! Architecture: a hand-rolled Rust tokenizer ([`lexer`], standing in
+//! for `syn`, which the offline build cannot fetch) feeds per-rule
+//! lexical checks ([`rules`]) over every first-party source file
+//! ([`workspace`]). Escape hatches are comment directives
+//! (`analyze::allow(rule): reason` / `analyze::allow-file(...)`);
+//! `#[cfg(test)]` items and `#[test]` functions are stripped before the
+//! rules run.
+//!
+//! `ANALYSIS.md` at the repository root documents every rule, its
+//! rationale, and the directive syntax; `tests/linter.rs` pins both
+//! directions (each rule trips on its fixture; the workspace at HEAD is
+//! clean).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use rules::{Finding, LOCK_ORDER, RULES};
+
+use std::io;
+use std::path::Path;
+
+/// Lints one file's source as if it lived at repo-relative `path`
+/// (which determines rule scoping). Returns unsuppressed findings.
+pub fn check_source(path: &str, source: &str) -> Vec<Finding> {
+    let (tokens, allows) = lexer::lex(source);
+    let tokens = rules::strip_test_regions(&tokens);
+    rules::run_all(path, &tokens)
+        .into_iter()
+        .filter(|f| !allows.covers(f.rule, f.line) && !allows.covers("all", f.line))
+        .collect()
+}
+
+/// Lints every first-party source file under `root`.
+///
+/// # Errors
+/// Propagates filesystem errors from the workspace walk or file reads.
+pub fn check_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in workspace::source_files(root)? {
+        let source = std::fs::read_to_string(root.join(&rel))?;
+        findings.extend(check_source(&rel, &source));
+    }
+    Ok(findings)
+}

@@ -1,0 +1,73 @@
+//! CLI for the workspace invariant linter.
+//!
+//! ```sh
+//! atis-analyze check [--root DIR]   # lint the workspace; exit 1 on findings
+//! atis-analyze rules                # print the rule table and lock order
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => {
+            let root = match parse_root(&args[1..]) {
+                Ok(root) => root,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return usage();
+                }
+            };
+            match atis_analyze::check_workspace(&root) {
+                Ok(findings) if findings.is_empty() => {
+                    println!(
+                        "atis-analyze: workspace clean ({} rules)",
+                        atis_analyze::RULES.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Ok(findings) => {
+                    for f in &findings {
+                        eprintln!("{f}");
+                    }
+                    eprintln!(
+                        "atis-analyze: {} finding(s); see ANALYSIS.md for rules and \
+                         `analyze::allow(rule): reason` escape hatches",
+                        findings.len()
+                    );
+                    ExitCode::FAILURE
+                }
+                Err(e) => {
+                    eprintln!("atis-analyze: workspace scan failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some("rules") => {
+            println!("{:<28} {:<44} scope", "rule", "summary");
+            for r in atis_analyze::RULES {
+                println!("{:<28} {:<44} {}", r.id, r.summary, r.scope);
+            }
+            println!("\nlock acquisition order (lock-order rule):");
+            for (name, rank, what) in atis_analyze::LOCK_ORDER {
+                println!("  {rank}. {name:<14} {what}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn parse_root(args: &[String]) -> Result<PathBuf, String> {
+    match args {
+        [] => Ok(PathBuf::from(".")),
+        [flag, dir] if flag == "--root" => Ok(PathBuf::from(dir)),
+        other => Err(format!("unrecognized arguments: {other:?}")),
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: atis-analyze <check [--root DIR] | rules>");
+    ExitCode::from(2)
+}

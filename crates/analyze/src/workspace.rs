@@ -1,0 +1,56 @@
+//! Workspace file discovery.
+//!
+//! The linter scans first-party sources only: `src/`, `examples/`, and
+//! every `crates/*/src/`. `vendor/` (offline registry stand-ins),
+//! `target/`, `tests/`, and benches are deliberately out of scope —
+//! the invariants protect library and serving code, and test code is
+//! additionally stripped token-wise (see [`crate::rules::strip_test_regions`]).
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Returns the repo-relative paths (forward slashes) of every `.rs`
+/// file the linter scans, in deterministic sorted order.
+pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    for top in ["src", "examples"] {
+        collect(root, &root.join(top), &mut files)?;
+    }
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        members.sort();
+        for member in members {
+            collect(root, &member.join("src"), &mut files)?;
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect(root: &Path, dir: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        if entry.is_dir() {
+            collect(root, &entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            let rel = entry
+                .strip_prefix(root)
+                .unwrap_or(&entry)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,11 @@
+// analyze::allow-file(determinism-rng)
+// Fixture: two determinism-rng violations suppressed by one file-level
+// directive — the linter must report nothing. Never compiled.
+pub fn jitter() -> f64 {
+    rand::thread_rng().gen()
+}
+
+pub fn seed() -> u64 {
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}

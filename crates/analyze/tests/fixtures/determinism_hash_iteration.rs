@@ -1,0 +1,15 @@
+// Fixture: trips `determinism-hash-iteration` twice (`.iter()` call and
+// a `for … in` loop over a HashMap-typed binding). Never compiled.
+use std::collections::HashMap;
+
+pub fn total_cost(costs: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for v in costs.values() {
+        total += v;
+    }
+    total
+}
+
+pub fn first_key(costs: &HashMap<u32, f64>) -> Option<u32> {
+    costs.iter().next().map(|(k, _)| *k)
+}

@@ -1,0 +1,13 @@
+// Fixture: trips `determinism-nan-compare` (partial_cmp + unwrap and
+// partial_cmp + expect). Never compiled.
+pub fn sorted(xs: &[f64]) -> Vec<f64> {
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    v
+}
+
+pub fn best(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .min_by(|a, b| a.partial_cmp(b).expect("comparable"))
+}

@@ -1,0 +1,5 @@
+// Fixture: trips `determinism-rng`. Never compiled.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

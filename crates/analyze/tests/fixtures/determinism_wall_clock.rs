@@ -1,0 +1,8 @@
+// Fixture: trips `determinism-wall-clock` (checked as if it lived in a
+// determinism-scoped crate). Never compiled — parsed by the linter only.
+use std::time::Instant;
+
+pub fn timed_run() -> u64 {
+    let t0 = Instant::now();
+    t0.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,13 @@
+// Fixture: trips `lock-discipline` (raw Mutex::lock and an
+// argument-taking Condvar::wait outside sync.rs) when checked under a
+// crates/serve/src/ file name. Never compiled.
+use std::sync::{Condvar, Mutex};
+
+pub fn peek(m: &Mutex<u32>) -> u32 {
+    *m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+pub fn block(m: &Mutex<u32>, cv: &Condvar) {
+    let guard = m.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = cv.wait(guard);
+}

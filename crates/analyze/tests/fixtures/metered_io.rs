@@ -1,0 +1,9 @@
+// Fixture: trips `metered-io` (std::fs and OpenOptions bypassing the
+// IoStats choke point). Never compiled.
+pub fn load(path: &str) -> std::io::Result<String> {
+    std::fs::read_to_string(path)
+}
+
+pub fn append(path: &str) -> std::io::Result<std::fs::File> {
+    std::fs::OpenOptions::new().append(true).open(path)
+}

@@ -1,0 +1,15 @@
+// Fixture: trips `non-exhaustive-errors` (public error enum without the
+// attribute); the second enum carries it and must NOT be flagged. Never
+// compiled.
+
+/// Wire-protocol failure surface.
+pub enum ProtocolError {
+    Timeout,
+    Malformed(String),
+}
+
+/// Already future-proofed: no finding.
+#[non_exhaustive]
+pub enum TransportError {
+    Closed,
+}

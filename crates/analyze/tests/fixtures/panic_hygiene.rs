@@ -1,0 +1,13 @@
+// Fixture: trips `panic-hygiene` four ways (unwrap, expect, panic!,
+// slice indexing) when checked under a serving-path file name. Never
+// compiled.
+pub fn parse_node(arg: Option<&str>) -> u32 {
+    arg.unwrap().parse().expect("numeric node id")
+}
+
+pub fn first_hop(nodes: &[u32]) -> (u32, u32) {
+    if nodes.len() < 2 {
+        panic!("route too short");
+    }
+    (nodes[0], nodes[1])
+}

@@ -48,7 +48,7 @@ pub fn cheapest_join(
     JoinStrategy::ALL
         .into_iter()
         .map(|s| (s, algebraic_join_cost(s, b1, b2, b3, outer_tuples, p)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+        .min_by(|a, b| a.1.total_cmp(&b.1))
         .expect("four strategies")
 }
 

@@ -33,7 +33,7 @@
 //! Dijkstra runs for `k` landmarks, entirely in memory. `atis-serve`
 //! amortizes it across every query answered at that epoch, and its
 //! copy-on-write `UPDATE` path decides between patching (cost increases
-//! keep the tables admissible — see [`LandmarkTables::patched`]) and a
+//! keep the tables admissible — see [`LandmarkTables::patched_for`]) and a
 //! full rebuild (cost decreases can make stale tables overestimate).
 //!
 //! Entry points: [`LandmarkSelection`] (farthest-point and coverage-based

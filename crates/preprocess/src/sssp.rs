@@ -31,10 +31,11 @@ impl PartialOrd for HeapEntry {
 
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
+        // total_cmp: a total order even on NaN, so the heap can never
+        // panic or silently misorder.
         other
             .dist
-            .partial_cmp(&self.dist)
-            .expect("edge costs are finite")
+            .total_cmp(&self.dist)
             .then_with(|| other.node.cmp(&self.node))
     }
 }

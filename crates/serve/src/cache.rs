@@ -34,10 +34,10 @@
 //! least-recently-used entry (ties broken by smaller key, so eviction is
 //! deterministic). Capacity 0 disables the cache entirely.
 
+use crate::sync::{self, Mutex, MutexGuard};
 use atis_graph::{NodeId, Path};
 use atis_obs::SharedRegistry;
 use std::collections::HashMap;
-use std::sync::Mutex;
 
 /// A cached answer: the route plus the run statistics it was computed
 /// with (reported back to clients on a hit).
@@ -119,8 +119,10 @@ impl RouteCache {
         self
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    /// Designated acquirer for the cache table (rank 3 in the declared
+    /// lock order — see `sync.rs` and `atis-analyze rules`).
+    fn lock_entries(&self) -> MutexGuard<'_, Inner> {
+        sync::lock(&self.inner)
     }
 
     fn bump(&self, name: &str, n: u64) {
@@ -138,7 +140,7 @@ impl RouteCache {
 
     /// Current number of entries.
     pub fn len(&self) -> usize {
-        self.lock().map.len()
+        self.lock_entries().map.len()
     }
 
     /// Whether the cache holds no entries.
@@ -148,7 +150,7 @@ impl RouteCache {
 
     /// A copy of the monotonic statistics.
     pub fn stats(&self) -> CacheStats {
-        self.lock().stats
+        self.lock_entries().stats
     }
 
     /// Looks up `(from, to)` at `epoch`. An entry at a different epoch is
@@ -157,7 +159,7 @@ impl RouteCache {
         if self.capacity == 0 {
             return None;
         }
-        let mut inner = self.lock();
+        let mut inner = self.lock_entries();
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&(from.0, to.0)) {
@@ -187,7 +189,7 @@ impl RouteCache {
         if self.capacity == 0 {
             return;
         }
-        let mut inner = self.lock();
+        let mut inner = self.lock_entries();
         if route.epoch < inner.latest_epoch {
             return;
         }
@@ -227,7 +229,7 @@ impl RouteCache {
         if self.capacity == 0 {
             return (0, 0);
         }
-        let mut inner = self.lock();
+        let mut inner = self.lock_entries();
         let swept_from = new_epoch.saturating_sub(1);
         let mut invalidated = 0u64;
         let mut promoted = 0u64;

@@ -23,9 +23,9 @@
 //! "bit-identical to the single-threaded oracle at the same epoch"
 //! criterion meaningful.
 
+use crate::sync::{self, Arc, Mutex, MutexGuard};
 use atis_algorithms::{AlgorithmError, Database};
 use atis_graph::NodeId;
-use std::sync::{Arc, Mutex};
 
 /// An immutable view of the database at one epoch. Cloning is cheap
 /// (`Arc` bump); the underlying [`Database`] is shared, never mutated.
@@ -85,20 +85,22 @@ impl EpochDb {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Snapshot> {
-        self.current.lock().unwrap_or_else(|p| p.into_inner())
+    /// Designated acquirer for the epoch slot (rank 2 in the declared
+    /// lock order — see `sync.rs` and `atis-analyze rules`).
+    fn lock_current(&self) -> MutexGuard<'_, Snapshot> {
+        sync::lock(&self.current)
     }
 
     /// The current `(epoch, database)` pair. Queries must use the returned
     /// snapshot for *all* their reads — re-fetching mid-query is exactly
     /// the torn-answer bug epochs exist to prevent.
     pub fn snapshot(&self) -> Snapshot {
-        self.lock().clone()
+        self.lock_current().clone()
     }
 
     /// The current epoch number.
     pub fn epoch(&self) -> u64 {
-        self.lock().epoch
+        self.lock_current().epoch
     }
 
     /// Applies a traffic update copy-on-write: clones the current
@@ -122,7 +124,7 @@ impl EpochDb {
         v: NodeId,
         cost: f64,
     ) -> Result<EpochUpdate, AlgorithmError> {
-        let mut current = self.lock();
+        let mut current = self.lock_current();
         if !current.db.graph().contains(u) {
             return Err(AlgorithmError::UnknownSource(u));
         }

@@ -5,6 +5,7 @@ use std::fmt;
 
 /// Why the serving layer could not answer a request.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum ServeError {
     /// Admission control rejected the request: the bounded submission
     /// queue was full. The client should back off and retry — this is the

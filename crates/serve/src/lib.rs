@@ -66,6 +66,7 @@ pub mod cache;
 pub mod epoch;
 pub mod error;
 pub mod service;
+pub(crate) mod sync;
 
 pub use cache::{CacheStats, CachedRoute, RouteCache};
 pub use epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};

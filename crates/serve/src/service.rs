@@ -26,14 +26,15 @@
 use crate::cache::{CachedRoute, RouteCache};
 use crate::epoch::{EpochDb, EpochUpdate, Snapshot};
 use crate::error::ServeError;
+use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard};
 use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, Database};
 use atis_graph::{NodeId, Path};
 use atis_obs::{ServeEvent, SharedRegistry, SharedSink, TraceEvent};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+type JoinHandle = sync::thread::JoinHandle<()>;
 
 /// Tuning knobs for a [`RouteService`].
 #[derive(Debug, Clone)]
@@ -115,6 +116,14 @@ struct TicketInner {
     ready: Condvar,
 }
 
+impl TicketInner {
+    /// Designated acquirer for the answer slot (rank 4, the innermost
+    /// lock in the declared order — see `sync.rs`).
+    fn lock_slot(&self) -> MutexGuard<'_, Option<Result<RouteAnswer, ServeError>>> {
+        sync::lock(&self.slot)
+    }
+}
+
 /// A claim on a submitted request's future answer.
 #[derive(Debug)]
 pub struct Ticket {
@@ -130,16 +139,12 @@ impl Ticket {
 
     /// Blocks until the worker pool answers this request.
     pub fn wait(self) -> Result<RouteAnswer, ServeError> {
-        let mut slot = self.inner.slot.lock().unwrap_or_else(|p| p.into_inner());
+        let mut slot = self.inner.lock_slot();
         loop {
             if let Some(answer) = slot.take() {
                 return answer;
             }
-            slot = self
-                .inner
-                .ready
-                .wait(slot)
-                .unwrap_or_else(|p| p.into_inner());
+            slot = sync::wait(&self.inner.ready, slot);
         }
     }
 }
@@ -171,6 +176,12 @@ struct Shared {
 }
 
 impl Shared {
+    /// Designated acquirer for the admission queue (rank 1, the
+    /// outermost lock in the declared order — see `sync.rs`).
+    fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
+        sync::lock(&self.queue)
+    }
+
     fn emit(&self, event: ServeEvent) {
         if let Some(sink) = &self.sink {
             sink.record(&TraceEvent::Serve(event));
@@ -197,7 +208,7 @@ impl Shared {
 /// the pool.
 pub struct RouteService {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    workers: Vec<JoinHandle>,
 }
 
 impl std::fmt::Debug for RouteService {
@@ -255,9 +266,13 @@ impl RouteService {
         let handles = (0..workers)
             .map(|i| {
                 let shared = shared.clone();
-                std::thread::Builder::new()
+                sync::thread::Builder::new()
                     .name(format!("atis-serve-{i}"))
                     .spawn(move || worker_loop(&shared, i))
+                    // Startup-only: no request is admitted before the pool
+                    // exists, so a spawn failure aborts construction here,
+                    // never a client request.
+                    // analyze::allow(panic-hygiene): startup-time spawn failure is fatal by design
                     .expect("spawn worker thread")
             })
             .collect();
@@ -301,7 +316,7 @@ impl RouteService {
     /// [`ServeError::ShuttingDown`] after the service started closing.
     pub fn submit(&self, from: NodeId, to: NodeId) -> Result<Ticket, ServeError> {
         let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
-        let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+        let mut queue = self.shared.lock_queue();
         if queue.closed {
             return Err(ServeError::ShuttingDown);
         }
@@ -378,7 +393,7 @@ impl RouteService {
 impl Drop for RouteService {
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = self.shared.lock_queue();
             queue.closed = true;
         }
         self.shared.available.notify_all();
@@ -391,7 +406,7 @@ impl Drop for RouteService {
 fn worker_loop(shared: &Shared, worker: usize) {
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap_or_else(|p| p.into_inner());
+            let mut queue = shared.lock_queue();
             loop {
                 if let Some(job) = queue.jobs.pop_front() {
                     break job;
@@ -399,10 +414,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 if queue.closed {
                     return;
                 }
-                queue = shared
-                    .available
-                    .wait(queue)
-                    .unwrap_or_else(|p| p.into_inner());
+                queue = sync::wait(&shared.available, queue);
             }
         };
         let queue_wait = job.submitted.elapsed();
@@ -444,7 +456,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
             shared.inc("serve_failed_total");
         }
 
-        let mut slot = job.ticket.slot.lock().unwrap_or_else(|p| p.into_inner());
+        let mut slot = job.ticket.lock_slot();
         *slot = Some(answer);
         drop(slot);
         job.ticket.ready.notify_all();

@@ -1,0 +1,172 @@
+//! Loom model tests for the serving layer's three load-bearing races.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"` (the `loom` CI job);
+//! the whole serving crate then builds against `loom::sync` through the
+//! `crate::sync` shim, so these tests exercise the *real* `EpochDb` /
+//! `RouteCache` / `RouteService` code under perturbed schedules — not
+//! test doubles. The vendored loom stand-in explores bounded randomized
+//! interleavings (see `vendor/loom`); upstream loom would explore
+//! exhaustively with the same test source.
+#![cfg(loom)]
+
+use atis_algorithms::Database;
+use atis_graph::{CostModel, Grid, NodeId, Path, QueryKind};
+use atis_serve::{CachedRoute, EpochDb, RouteCache, RouteService, ServeConfig, ServeError};
+use std::sync::Arc;
+
+fn small_db() -> (Database, NodeId, NodeId) {
+    let grid = Grid::new(4, CostModel::TWENTY_PERCENT, 7).expect("grid");
+    let (s, d) = grid.query_pair(QueryKind::Diagonal);
+    (Database::open(grid.graph()).expect("open"), s, d)
+}
+
+/// Race: `update_edge_cost` installing epoch 1 while readers snapshot.
+///
+/// Invariants checked under every interleaving:
+/// * a snapshot is never torn — epoch 0 always carries the pre-update
+///   cost, epoch 1 always carries the post-update cost;
+/// * epochs observed by one reader never go backwards.
+#[test]
+fn epoch_install_vs_snapshot_race() {
+    let (base, _, _) = small_db();
+    // Any real edge works; take the first arc out of node 0.
+    let u = NodeId(0);
+    let v = base.graph().neighbors(u)[0].to;
+    let old_cost = base.graph().edge_cost(u, v).expect("edge");
+    let new_cost = old_cost + 50.0;
+
+    loom::model(move || {
+        let db = Arc::new(EpochDb::new(base.clone()));
+
+        let writer = {
+            let db = db.clone();
+            loom::thread::spawn(move || {
+                db.update_edge_cost(u, v, new_cost).expect("update");
+            })
+        };
+        let reader = {
+            let db = db.clone();
+            loom::thread::spawn(move || {
+                let mut last_epoch = 0;
+                for _ in 0..4 {
+                    let snap = db.snapshot();
+                    let seen = snap.db.graph().edge_cost(u, v).expect("edge");
+                    let expect = if snap.epoch == 0 { old_cost } else { new_cost };
+                    assert_eq!(
+                        seen.to_bits(),
+                        expect.to_bits(),
+                        "torn snapshot: epoch {} with cost {seen}",
+                        snap.epoch
+                    );
+                    assert!(snap.epoch >= last_epoch, "epoch went backwards");
+                    last_epoch = snap.epoch;
+                }
+            })
+        };
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+        assert_eq!(db.epoch(), 1);
+    });
+}
+
+/// Race: concurrent submitters against a 1-worker, capacity-1 queue.
+///
+/// Invariants: every admitted ticket resolves (no lost wakeup, no
+/// deadlocked `Ticket::wait`), every rejection is `Busy`, and the
+/// admitted + rejected counts add up — no request vanishes.
+#[test]
+fn admission_queue_reject_path() {
+    let (base, s, d) = small_db();
+
+    loom::model(move || {
+        let service = Arc::new(RouteService::new(
+            base.clone(),
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_cache_capacity(0),
+        ));
+
+        let submitters: Vec<_> = (0..3)
+            .map(|_| {
+                let service = service.clone();
+                loom::thread::spawn(move || match service.submit(s, d) {
+                    Ok(ticket) => {
+                        let answer = ticket.wait().expect("admitted request must resolve");
+                        assert!(answer.path.is_some(), "grid pair is reachable");
+                        assert_eq!(answer.epoch, 0);
+                        1u32
+                    }
+                    Err(e) => {
+                        assert!(matches!(e, ServeError::Busy { .. }), "unexpected: {e}");
+                        0u32
+                    }
+                })
+            })
+            .collect();
+
+        let admitted: u32 = submitters
+            .into_iter()
+            .map(|h| h.join().expect("join"))
+            .sum();
+        // At least one request always fits an empty queue; the rest is
+        // schedule-dependent, but nothing may be lost.
+        assert!((1..=3).contains(&admitted));
+    });
+}
+
+fn route(nodes: &[u32], cost: f64, epoch: u64) -> CachedRoute {
+    CachedRoute {
+        path: Path {
+            nodes: nodes.iter().map(|&n| NodeId(n)).collect(),
+            cost,
+        },
+        epoch,
+        iterations: 3,
+        cost_units: 10.0,
+    }
+}
+
+/// Race: an update sweep promoting/dropping entries while readers look
+/// up at both the old and the new epoch.
+///
+/// Invariants: a hit at epoch `e` always carries `route.epoch == e`; the
+/// entry whose path uses the updated edge is never served at the new
+/// epoch; the off-path entry survives the sweep (promoted, same bits).
+#[test]
+fn cache_promote_or_drop_sweep() {
+    loom::model(|| {
+        let cache = Arc::new(RouteCache::new(8));
+        cache.insert(NodeId(1), NodeId(3), route(&[1, 2, 3], 4.0, 0));
+        cache.insert(NodeId(4), NodeId(5), route(&[4, 5], 2.0, 0));
+
+        let sweeper = {
+            let cache = cache.clone();
+            loom::thread::spawn(move || {
+                // Congestion on (1,2): drops the through route, promotes
+                // the off-path one (99.0 cannot undercut 2.0).
+                cache.apply_update(NodeId(1), NodeId(2), 99.0, 1)
+            })
+        };
+        let reader = {
+            let cache = cache.clone();
+            loom::thread::spawn(move || {
+                for _ in 0..4 {
+                    if let Some(hit) = cache.lookup(NodeId(1), NodeId(3), 1) {
+                        panic!("stale through-route served at epoch 1: {hit:?}");
+                    }
+                    if let Some(hit) = cache.lookup(NodeId(4), NodeId(5), 1) {
+                        assert_eq!(hit.epoch, 1);
+                        assert_eq!(hit.path.cost.to_bits(), 2.0f64.to_bits());
+                    }
+                }
+            })
+        };
+
+        let (invalidated, promoted) = sweeper.join().expect("sweeper");
+        reader.join().expect("reader");
+        assert_eq!((invalidated, promoted), (1, 1));
+        assert!(cache.lookup(NodeId(1), NodeId(3), 1).is_none());
+        assert!(cache.lookup(NodeId(4), NodeId(5), 1).is_some());
+    });
+}

@@ -44,6 +44,7 @@ use std::fmt;
 
 /// Errors from parsing or executing QUEL.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum QuelError {
     /// Lexical error at a byte offset.
     Lex(usize, String),

@@ -95,14 +95,9 @@ fn respond(service: &RouteService, line: &str) -> String {
                 return Err(format!("unknown node {bad}"));
             }
             let cost = nodes
-                .windows(2)
-                .map(|w| {
-                    snapshot
-                        .db
-                        .graph()
-                        .edge_cost(w[0], w[1])
-                        .ok_or("not a road")
-                })
+                .iter()
+                .zip(nodes.iter().skip(1))
+                .map(|(&a, &b)| snapshot.db.graph().edge_cost(a, b).ok_or("not a road"))
                 .sum::<Result<f64, _>>()?;
             let path = Path { nodes, cost };
             let (distance, travel_time, _io) = snapshot
@@ -215,10 +210,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let via: Vec<u32> = first
         .split(" VIA ")
         .nth(1)
-        .expect("VIA clause")
+        .ok_or("ROUTE reply missing its VIA clause")?
         .split_whitespace()
-        .map(|t| t.parse().unwrap())
-        .collect();
+        .map(str::parse)
+        .collect::<Result<_, _>>()?;
 
     // The identical query again: answered from the route cache, and the
     // reply must be byte-identical to the fresh computation.
@@ -237,7 +232,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Jam the first hop of the returned route: a new epoch is installed
     // and the jammed cache entry is invalidated, so the re-query computes
     // fresh — and the route changes.
-    let update = ask(&format!("UPDATE {} {} 50.0", via[0], via[1]))?;
+    let (hop_a, hop_b) = match *via.as_slice() {
+        [a, b, ..] => (a, b),
+        _ => return Err("returned route has no first hop to jam".into()),
+    };
+    let update = ask(&format!("UPDATE {hop_a} {hop_b} 50.0"))?;
     assert!(update.starts_with("UPDATED "), "{update}");
     assert!(update.ends_with("EPOCH 1"), "{update}");
     let second = ask("ROUTE 0 143")?;

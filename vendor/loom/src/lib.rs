@@ -1,0 +1,155 @@
+//! Minimal offline stand-in for the `loom` model checker.
+//!
+//! The container image has no crates.io access, so — like the vendored
+//! `rand`/`proptest`/`criterion` stand-ins — this crate exposes exactly
+//! the loom API surface the workspace uses, with honest semantics:
+//!
+//! * [`model`] runs the closure `LOOM_ITERS` times (default 64), each
+//!   iteration under a fresh deterministic seed.
+//! * [`sync::Mutex`] / [`sync::Condvar`] wrap their `std` counterparts
+//!   but inject scheduler yields (and occasional micro-sleeps) at
+//!   acquisition and wait points, driven by a splitmix64 stream over
+//!   the iteration seed.
+//!
+//! This is **bounded randomized interleaving exploration, not
+//! exhaustive model checking**: it widens the schedule space a stress
+//! test covers and keeps every `loom::` test compiling against the real
+//! API, so swapping in upstream loom (which explores exhaustively with
+//! `LOOM_MAX_PREEMPTIONS`-bounded preemption) is a Cargo.toml change,
+//! not a test rewrite. `LOOM_MAX_PREEMPTIONS` is accepted and ignored.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static SEED: AtomicU64 = AtomicU64::new(0);
+static CLOCK: AtomicU64 = AtomicU64::new(0);
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// One scheduling decision: possibly yield or micro-sleep, pattern
+/// determined by the current model iteration's seed.
+fn preempt_point() {
+    let seed = SEED.load(Ordering::Relaxed);
+    let tick = CLOCK.fetch_add(1, Ordering::Relaxed);
+    let r = splitmix64(seed ^ tick);
+    match r % 8 {
+        0 | 1 | 2 => std::thread::yield_now(),
+        3 => std::thread::sleep(std::time::Duration::from_micros(r % 5)),
+        _ => {}
+    }
+}
+
+/// Runs `f` repeatedly under varying schedules. Panics (test failure)
+/// propagate from the first failing iteration. Iteration count comes
+/// from `LOOM_ITERS` (default 64).
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters: u64 = std::env::var("LOOM_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    for i in 0..iters {
+        SEED.store(splitmix64(i.wrapping_add(1)), Ordering::Relaxed);
+        f();
+    }
+}
+
+/// Thread spawning/yielding — re-exported from `std`, with loom's
+/// module layout.
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, Builder, JoinHandle};
+}
+
+/// Instrumented synchronization primitives (std-backed).
+pub mod sync {
+    use super::preempt_point;
+    pub use std::sync::atomic;
+    pub use std::sync::{Arc, LockResult, MutexGuard, PoisonError};
+
+    /// A `std::sync::Mutex` that yields around acquisition so racing
+    /// threads interleave differently across model iterations.
+    #[derive(Debug, Default)]
+    pub struct Mutex<T>(std::sync::Mutex<T>);
+
+    impl<T> Mutex<T> {
+        /// Creates the mutex.
+        pub fn new(value: T) -> Self {
+            Mutex(std::sync::Mutex::new(value))
+        }
+
+        /// Acquires the lock (yield-injected).
+        pub fn lock(&self) -> LockResult<MutexGuard<'_, T>> {
+            preempt_point();
+            let guard = self.0.lock();
+            preempt_point();
+            guard
+        }
+
+        /// Consumes the mutex, returning the inner value.
+        pub fn into_inner(self) -> LockResult<T> {
+            self.0.into_inner()
+        }
+    }
+
+    /// A `std::sync::Condvar` with yield injection around wait/notify.
+    #[derive(Debug, Default)]
+    pub struct Condvar(std::sync::Condvar);
+
+    impl Condvar {
+        /// Creates the condvar.
+        pub fn new() -> Self {
+            Condvar(std::sync::Condvar::new())
+        }
+
+        /// Waits on the condvar (yield-injected).
+        pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> LockResult<MutexGuard<'a, T>> {
+            preempt_point();
+            self.0.wait(guard)
+        }
+
+        /// Wakes one waiter.
+        pub fn notify_one(&self) {
+            preempt_point();
+            self.0.notify_one();
+        }
+
+        /// Wakes all waiters.
+        pub fn notify_all(&self) {
+            preempt_point();
+            self.0.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::{Arc, Mutex};
+
+    #[test]
+    fn model_explores_and_mutex_still_excludes() {
+        std::env::set_var("LOOM_ITERS", "8");
+        super::model(|| {
+            let counter = Arc::new(Mutex::new(0u32));
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let counter = counter.clone();
+                    super::thread::spawn(move || {
+                        for _ in 0..25 {
+                            *counter.lock().unwrap() += 1;
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*counter.lock().unwrap(), 100);
+        });
+    }
+}
