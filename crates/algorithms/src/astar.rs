@@ -23,7 +23,7 @@
 //! Manhattan estimator on the Minneapolis map still find good paths.
 
 use crate::bestfirst::{run_status_frontier, StatusFrontierConfig};
-use crate::database::{Database, FrontierKind};
+use crate::database::{Budgets, Database, FrontierKind};
 use crate::error::AlgorithmError;
 use crate::estimator::Estimator;
 use crate::observe::RunObserver;
@@ -116,6 +116,7 @@ pub fn run(
     s: NodeId,
     d: NodeId,
     version: AStarVersion,
+    budgets: Budgets,
 ) -> Result<RunTrace, AlgorithmError> {
     let alt = if version.needs_landmarks() {
         Some(db.alt_bounds_for(d)?)
@@ -133,10 +134,16 @@ pub fn run(
                 reopen_closed: true,
                 alt,
             },
+            budgets,
         ),
-        FrontierKind::SeparateRelation => {
-            run_relation_frontier(db, s, d, version.estimator(), version.label().to_string())
-        }
+        FrontierKind::SeparateRelation => run_relation_frontier(
+            db,
+            s,
+            d,
+            version.estimator(),
+            version.label().to_string(),
+            budgets,
+        ),
     }
 }
 
@@ -148,6 +155,7 @@ pub fn run_custom(
     d: NodeId,
     frontier: FrontierKind,
     estimator: Estimator,
+    budgets: Budgets,
 ) -> Result<RunTrace, AlgorithmError> {
     let label = format!(
         "A* ({} frontier, {} estimator)",
@@ -168,8 +176,11 @@ pub fn run_custom(
                 reopen_closed: true,
                 alt: None,
             },
+            budgets,
         ),
-        FrontierKind::SeparateRelation => run_relation_frontier(db, s, d, estimator, label),
+        FrontierKind::SeparateRelation => {
+            run_relation_frontier(db, s, d, estimator, label, budgets)
+        }
     }
 }
 
@@ -180,6 +191,7 @@ fn run_relation_frontier(
     d: NodeId,
     estimator: Estimator,
     label: String,
+    budgets: Budgets,
 ) -> Result<RunTrace, AlgorithmError> {
     // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
@@ -203,7 +215,7 @@ fn run_relation_frontier(
         result.attach_faults(faults);
         frontier.attach_faults(faults);
     }
-    let meter = db.budget_meter();
+    let meter = db.budget_meter_with(budgets);
 
     let sp = db.graph().point(s);
     let dest: Point = db.graph().point(d);

@@ -7,7 +7,7 @@
 //! the adjacency join, the keyed REPLACE relaxations — is identical, and
 //! identically priced by Table 3's ten cost steps.
 
-use crate::database::Database;
+use crate::database::{Budgets, Database};
 use crate::error::AlgorithmError;
 use crate::estimator::Estimator;
 use crate::observe::RunObserver;
@@ -42,6 +42,7 @@ pub(crate) fn run_status_frontier(
     s: NodeId,
     d: NodeId,
     cfg: StatusFrontierConfig,
+    budgets: Budgets,
 ) -> Result<RunTrace, AlgorithmError> {
     // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
@@ -65,7 +66,7 @@ pub(crate) fn run_status_frontier(
     if let Some(faults) = db.faults() {
         r.attach_faults(faults);
     }
-    let meter = db.budget_meter();
+    let meter = db.budget_meter_with(budgets);
 
     // Fetch the destination's coordinates for the estimator (keyed read).
     let dt = r.get(d_id, &mut io)?;

@@ -66,6 +66,24 @@ impl Budgets {
     pub fn is_limited(&self) -> bool {
         self.max_iterations.is_some() || self.max_cost_units.is_some() || self.deadline.is_some()
     }
+
+    /// Combines two budget sets by taking the tighter limit for each
+    /// dimension. The serving layer uses this to intersect a database's
+    /// standing budgets with a per-request deadline allowance.
+    pub fn min_with(self, other: Budgets) -> Budgets {
+        fn tighter<T: PartialOrd>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(x), Some(y)) => Some(if x < y { x } else { y }),
+                (x, None) => x,
+                (None, y) => y,
+            }
+        }
+        Budgets {
+            max_iterations: tighter(self.max_iterations, other.max_iterations),
+            max_cost_units: tighter(self.max_cost_units, other.max_cost_units),
+            deadline: tighter(self.deadline, other.deadline),
+        }
+    }
 }
 
 /// Per-run budget enforcement: algorithms call [`BudgetMeter::check`] once
@@ -330,8 +348,14 @@ impl Database {
     /// Starts budget enforcement for one run; algorithms call
     /// [`BudgetMeter::check`] once per main-loop iteration.
     pub(crate) fn budget_meter(&self) -> BudgetMeter {
+        self.budget_meter_with(self.budgets)
+    }
+
+    /// Starts budget enforcement with an explicit budget set — the
+    /// per-run override [`Database::run_with_budgets`] threads through.
+    pub(crate) fn budget_meter_with(&self, budgets: Budgets) -> BudgetMeter {
         BudgetMeter {
-            budgets: self.budgets,
+            budgets,
             params: self.params,
             // analyze::allow(determinism-wall-clock): the wall-clock budget deadline aborts runs, it never shapes a returned path
             started: Instant::now(),
@@ -452,6 +476,24 @@ impl Database {
         s: NodeId,
         d: NodeId,
     ) -> Result<RunTrace, AlgorithmError> {
+        self.run_with_budgets(algorithm, s, d, self.budgets)
+    }
+
+    /// Runs `algorithm` with an explicit per-run budget set, overriding
+    /// the database's standing budgets for this one run. The serving
+    /// layer uses this to enforce per-request deadlines without cloning
+    /// the database.
+    ///
+    /// # Errors
+    /// As [`Database::run`], plus [`AlgorithmError::BudgetExceeded`] when
+    /// a budget dimension is exhausted mid-run.
+    pub fn run_with_budgets(
+        &self,
+        algorithm: Algorithm,
+        s: NodeId,
+        d: NodeId,
+        budgets: Budgets,
+    ) -> Result<RunTrace, AlgorithmError> {
         if !self.graph.contains(s) {
             return Err(AlgorithmError::UnknownSource(s));
         }
@@ -468,13 +510,13 @@ impl Database {
             (pool.hits, pool.misses)
         });
         let result = match algorithm {
-            Algorithm::Iterative => iterative::run(self, s, d),
-            Algorithm::Dijkstra => dijkstra::run(self, s, d),
-            Algorithm::AStar(v) => astar::run(self, s, d, v),
+            Algorithm::Iterative => iterative::run(self, s, d, budgets),
+            Algorithm::Dijkstra => dijkstra::run(self, s, d, budgets),
+            Algorithm::AStar(v) => astar::run(self, s, d, v, budgets),
             Algorithm::Custom {
                 frontier,
                 estimator,
-            } => astar::run_custom(self, s, d, frontier, estimator),
+            } => astar::run_custom(self, s, d, frontier, estimator, budgets),
         };
         let faults_fired = self.drain_faults(&algorithm.label(), fault_mark);
         self.update_metrics(&result, buffer_mark, faults_fired);
@@ -595,6 +637,46 @@ mod tests {
             cost: 1.0,
         };
         assert!(db.evaluate_route(&bogus).is_err());
+    }
+
+    #[test]
+    fn min_with_takes_the_tighter_limit_per_dimension() {
+        let standing = Budgets::unlimited()
+            .with_max_iterations(500)
+            .with_max_cost_units(90.0);
+        let request = Budgets::unlimited()
+            .with_max_iterations(1000)
+            .with_max_cost_units(40.0)
+            .with_deadline(Duration::from_millis(25));
+        let combined = standing.min_with(request);
+        assert_eq!(combined.max_iterations, Some(500));
+        assert_eq!(combined.max_cost_units, Some(40.0));
+        assert_eq!(combined.deadline, Some(Duration::from_millis(25)));
+        // Unlimited is the identity.
+        assert_eq!(standing.min_with(Budgets::unlimited()), standing);
+        assert_eq!(Budgets::unlimited().min_with(standing), standing);
+    }
+
+    #[test]
+    fn per_run_budget_override_does_not_disturb_standing_budgets() {
+        use atis_graph::{CostModel, Grid, QueryKind};
+        let grid = Grid::new(8, CostModel::Uniform, 2).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let err = db
+            .run_with_budgets(
+                Algorithm::Dijkstra,
+                s,
+                d,
+                Budgets::unlimited().with_max_iterations(1),
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AlgorithmError::BudgetExceeded(BudgetKind::Iterations)
+        ));
+        // The standing (unlimited) budgets still govern plain `run`.
+        assert!(db.run(Algorithm::Dijkstra, s, d).is_ok());
     }
 
     #[test]

@@ -13,14 +13,19 @@
 //! nodes never re-enter the frontier).
 
 use crate::bestfirst::{run_status_frontier, StatusFrontierConfig};
-use crate::database::Database;
+use crate::database::{Budgets, Database};
 use crate::error::AlgorithmError;
 use crate::estimator::Estimator;
 use crate::trace::RunTrace;
 use atis_graph::NodeId;
 
-/// Runs Dijkstra's algorithm from `s` to `d`.
-pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmError> {
+/// Runs Dijkstra's algorithm from `s` to `d` under `budgets`.
+pub fn run(
+    db: &Database,
+    s: NodeId,
+    d: NodeId,
+    budgets: Budgets,
+) -> Result<RunTrace, AlgorithmError> {
     run_status_frontier(
         db,
         s,
@@ -31,6 +36,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
             reopen_closed: false,
             alt: None,
         },
+        budgets,
     )
 }
 

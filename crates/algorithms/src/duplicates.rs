@@ -88,6 +88,7 @@ pub fn run_with_duplicate_policy(
             d,
             crate::database::FrontierKind::SeparateRelation,
             estimator,
+            db.budgets(),
         )?;
         trace.algorithm = format!("A* (relation frontier, {} duplicates)", policy.label());
         return Ok(trace);

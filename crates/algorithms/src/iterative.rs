@@ -15,7 +15,7 @@
 //! model more expensive for BFS despite BFS ignoring edge costs during
 //! scheduling.
 
-use crate::database::Database;
+use crate::database::{Budgets, Database};
 use crate::error::AlgorithmError;
 use crate::observe::RunObserver;
 use crate::trace::{RunTrace, StepBreakdown};
@@ -26,8 +26,13 @@ use std::collections::HashMap;
 // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
 
-/// Runs the iterative algorithm from `s` to `d`.
-pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmError> {
+/// Runs the iterative algorithm from `s` to `d` under `budgets`.
+pub fn run(
+    db: &Database,
+    s: NodeId,
+    d: NodeId,
+    budgets: Budgets,
+) -> Result<RunTrace, AlgorithmError> {
     // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
     let wall_start = Instant::now();
     let mut io = IoStats::new();
@@ -50,7 +55,7 @@ pub fn run(db: &Database, s: NodeId, d: NodeId) -> Result<RunTrace, AlgorithmErr
     if let Some(faults) = db.faults() {
         r.attach_faults(faults);
     }
-    let meter = db.budget_meter();
+    let meter = db.budget_meter_with(budgets);
 
     // C4: mark the start node current and count current nodes.
     r.replace(s_id, &mut io, |t| {

@@ -65,6 +65,11 @@ pub const LOCK_ORDER: &[(&str, u32, &str)] = &[
         "RouteCache.inner — the route-cache table",
     ),
     ("lock_slot", 4, "TicketInner.slot — a ticket's answer slot"),
+    (
+        "lock_breaker",
+        5,
+        "CircuitBreaker.inner — a breaker's state machine",
+    ),
 ];
 
 /// Static description of one rule for `atis-analyze rules` and the
@@ -111,6 +116,11 @@ pub const RULES: &[RuleInfo] = &[
         scope: "atis-serve, examples/route_server.rs",
     },
     RuleInfo {
+        id: "serve-outcome",
+        summary: "every RouteAnswer is built with its outcome and deadline classification",
+        scope: "atis-serve, examples/route_server.rs",
+    },
+    RuleInfo {
         id: "non-exhaustive-errors",
         summary: "public *Error enums must be #[non_exhaustive]",
         scope: "all workspace crates",
@@ -144,6 +154,7 @@ pub fn run_all(path: &str, tokens: &[Token]) -> Vec<Finding> {
     }
     if in_scope(path, SERVE_SCOPE) {
         panic_hygiene(path, tokens, &mut findings);
+        serve_outcome(path, tokens, &mut findings);
     }
     non_exhaustive_errors(path, tokens, &mut findings);
     if path.starts_with("crates/serve/src/") && !path.ends_with("/sync.rs") {
@@ -540,6 +551,79 @@ fn panic_hygiene(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
                         .to_string(),
                 );
             }
+        }
+    }
+}
+
+// --- serve outcome ----------------------------------------------------------
+
+/// Every `RouteAnswer { ... }` struct literal in the serving path must
+/// name both `outcome` and `deadline` (or functionally forward them via
+/// `..`): a response constructed without its overload classification is
+/// exactly the bug the degrade ladder exists to prevent — an answer that
+/// silently drops whether it was fresh, stale, degraded, or on deadline.
+///
+/// Lexical approximation: `RouteAnswer` followed by `{` that is not a
+/// type definition (`struct`/`impl`/`enum` before it), not a return-type
+/// position (`->` before it), and not a pattern with `..`. Destructuring
+/// patterns that already name both fields or use `..` pass unflagged.
+fn serve_outcome(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
+    for (i, t) in tokens.iter().enumerate() {
+        if !t.is_ident("RouteAnswer") {
+            continue;
+        }
+        if !matches!(tokens.get(i + 1), Some(b) if b.is_punct('{')) {
+            continue;
+        }
+        if i >= 1 {
+            let prev = &tokens[i - 1];
+            // `struct RouteAnswer {` / `impl RouteAnswer {` define or
+            // extend the type; `-> ... RouteAnswer {` opens a function
+            // body, not a literal.
+            if prev.is_ident("struct") || prev.is_ident("impl") || prev.is_punct('>') {
+                continue;
+            }
+        }
+        // Walk the balanced literal body collecting depth-1 field names
+        // and any rest pattern (`..`).
+        let mut depth = 0i32;
+        let mut has_outcome = false;
+        let mut has_deadline = false;
+        let mut has_rest = false;
+        let mut j = i + 1;
+        while j < tokens.len() {
+            let tok = &tokens[j];
+            if tok.is_punct('{') {
+                depth += 1;
+            } else if tok.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            } else if depth == 1 {
+                if tok.is_ident("outcome") {
+                    has_outcome = true;
+                } else if tok.is_ident("deadline") {
+                    has_deadline = true;
+                } else if tok.is_punct('.')
+                    && matches!(tokens.get(j + 1), Some(d) if d.is_punct('.'))
+                {
+                    has_rest = true;
+                }
+            }
+            j += 1;
+        }
+        if !(has_rest || (has_outcome && has_deadline)) {
+            push(
+                findings,
+                "serve-outcome",
+                path,
+                t.line,
+                "`RouteAnswer { .. }` built without `outcome`/`deadline`: every serving-path \
+                 response must carry its overload classification (fresh/stale/degraded + \
+                 deadline), or the shed/degrade policy becomes unauditable"
+                    .to_string(),
+            );
         }
     }
 }

@@ -1,0 +1,25 @@
+// Fixture: trips `serve-outcome` — the first literal builds a
+// RouteAnswer without its `outcome`/`deadline` classification. The
+// second names both and must pass; the destructuring pattern forwards
+// with `..` and must also pass. Never compiled.
+pub fn bare_answer(exec: Exec) -> RouteAnswer {
+    RouteAnswer {
+        path: exec.path,
+        epoch: exec.epoch,
+        cached: false,
+    }
+}
+
+pub fn classified_answer(exec: Exec, job: Job) -> RouteAnswer {
+    RouteAnswer {
+        path: exec.path,
+        epoch: exec.epoch,
+        outcome: exec.outcome,
+        deadline: job.deadline,
+    }
+}
+
+pub fn destructure(answer: RouteAnswer) -> u64 {
+    let RouteAnswer { epoch, .. } = answer;
+    epoch
+}

@@ -72,6 +72,15 @@ fn fixture_trips_panic_hygiene() {
 }
 
 #[test]
+fn fixture_trips_serve_outcome() {
+    assert_eq!(rules_hit("serve_outcome", SERVE_PATH), ["serve-outcome"]);
+    // Exactly one finding: the classified literal and the `..`
+    // destructuring pattern must both pass.
+    let findings = check_source(SERVE_PATH, &fixture("serve_outcome"));
+    assert_eq!(findings.len(), 1, "{findings:?}");
+}
+
+#[test]
 fn fixture_trips_non_exhaustive_errors() {
     let findings = check_source(ALGO_PATH, &fixture("non_exhaustive_errors"));
     assert_eq!(findings.len(), 1, "{findings:?}");
@@ -100,6 +109,7 @@ fn scope_gates_the_rules() {
     assert!(check_source(outside, &fixture("determinism_wall_clock")).is_empty());
     assert!(check_source(outside, &fixture("panic_hygiene")).is_empty());
     assert!(check_source(outside, &fixture("lock_discipline")).is_empty());
+    assert!(check_source(outside, &fixture("serve_outcome")).is_empty());
 }
 
 #[test]

@@ -17,8 +17,9 @@
 //! * `Plan` ([`PlanEvent`]) — the planner's resilience spans: attempts,
 //!   retries, degradation rungs, completion.
 //! * `Serve` ([`ServeEvent`]) — the serving layer's request spans:
-//!   admission (accepted/rejected), execution start on a worker at a
-//!   pinned epoch, cache hits, completion, and epoch installation.
+//!   admission (accepted/shed), execution start on a worker at a pinned
+//!   epoch, cache hits, stale-tier serves, circuit-breaker transitions,
+//!   completion, and epoch installation.
 //!
 //! Events render to single-line JSON via [`TraceEvent::to_json`] with a
 //! `type` discriminator, suitable for JSONL files (`jq`-able, one event
@@ -141,11 +142,18 @@ pub enum ServeEvent {
         /// Queue depth *after* this request was enqueued.
         queue_depth: u64,
     },
-    /// A request was rejected at admission (bounded queue full).
-    Rejected {
+    /// The overload policy shed a request: admission refused it, it was
+    /// displaced from the queue, its deadline expired, or an open
+    /// circuit breaker had nothing to serve it with.
+    Shed {
         /// Monotonic request id.
         request: u64,
-        /// Queue depth at the moment of rejection (== the queue capacity).
+        /// Stable shed-reason label (`queue-full`, `deadline-expired`,
+        /// `displaced`, `breaker-open`).
+        reason: String,
+        /// Suggested client back-off, in virtual-time ticks.
+        retry_after: u64,
+        /// Queue depth at the moment of shedding.
         queue_depth: u64,
     },
     /// A worker dequeued the request and pinned an epoch snapshot.
@@ -176,6 +184,27 @@ pub enum ServeEvent {
         cached: bool,
         /// Whether a route was found.
         found: bool,
+    },
+    /// The degrade ladder answered from the stale cache tier: a route
+    /// from an older epoch, explicitly tagged with its age.
+    StaleServed {
+        /// Monotonic request id.
+        request: u64,
+        /// Epoch the stale route was computed at.
+        epoch: u64,
+        /// Age of the answer in epochs (current − answer epoch).
+        age: u64,
+    },
+    /// A circuit breaker changed state.
+    BreakerTransition {
+        /// Resource the breaker guards (`storage`, `landmarks`).
+        resource: String,
+        /// State label before (`closed`, `open`, `half-open`).
+        from: String,
+        /// State label after.
+        to: String,
+        /// Virtual-time tick of the transition.
+        at_tick: u64,
     },
     /// An `UPDATE` installed a new database epoch and swept the cache.
     EpochInstalled {
@@ -358,12 +387,16 @@ impl ServeEvent {
                 .u64("request", *request)
                 .u64("queue_depth", *queue_depth)
                 .finish(),
-            ServeEvent::Rejected {
+            ServeEvent::Shed {
                 request,
+                reason,
+                retry_after,
                 queue_depth,
             } => JsonObject::new()
-                .string("type", "serve_rejected")
+                .string("type", "serve_shed")
                 .u64("request", *request)
+                .string("reason", reason)
+                .u64("retry_after", *retry_after)
                 .u64("queue_depth", *queue_depth)
                 .finish(),
             ServeEvent::Started {
@@ -394,6 +427,28 @@ impl ServeEvent {
                 .u64("epoch", *epoch)
                 .bool("cached", *cached)
                 .bool("found", *found)
+                .finish(),
+            ServeEvent::StaleServed {
+                request,
+                epoch,
+                age,
+            } => JsonObject::new()
+                .string("type", "serve_stale_served")
+                .u64("request", *request)
+                .u64("epoch", *epoch)
+                .u64("age", *age)
+                .finish(),
+            ServeEvent::BreakerTransition {
+                resource,
+                from,
+                to,
+                at_tick,
+            } => JsonObject::new()
+                .string("type", "serve_breaker_transition")
+                .string("resource", resource)
+                .string("from", from)
+                .string("to", to)
+                .u64("at_tick", *at_tick)
                 .finish(),
             ServeEvent::EpochInstalled {
                 epoch,
@@ -516,11 +571,33 @@ mod tests {
             submitted.to_json(),
             r#"{"type":"serve_submitted","request":7,"queue_depth":3}"#
         );
-        let rejected = TraceEvent::Serve(ServeEvent::Rejected {
+        let shed = TraceEvent::Serve(ServeEvent::Shed {
             request: 8,
+            reason: "queue-full".into(),
+            retry_after: 12,
             queue_depth: 64,
         });
-        assert!(rejected.to_json().contains(r#""type":"serve_rejected""#));
+        assert_eq!(
+            shed.to_json(),
+            r#"{"type":"serve_shed","request":8,"reason":"queue-full","retry_after":12,"queue_depth":64}"#
+        );
+        let stale = TraceEvent::Serve(ServeEvent::StaleServed {
+            request: 9,
+            epoch: 3,
+            age: 2,
+        });
+        assert!(stale.to_json().contains(r#""type":"serve_stale_served""#));
+        assert!(stale.to_json().contains(r#""age":2"#));
+        let breaker = TraceEvent::Serve(ServeEvent::BreakerTransition {
+            resource: "storage".into(),
+            from: "closed".into(),
+            to: "open".into(),
+            at_tick: 41,
+        });
+        assert_eq!(
+            breaker.to_json(),
+            r#"{"type":"serve_breaker_transition","resource":"storage","from":"closed","to":"open","at_tick":41}"#
+        );
         let started = TraceEvent::Serve(ServeEvent::Started {
             request: 7,
             worker: 2,

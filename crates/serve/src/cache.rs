@@ -33,6 +33,20 @@
 //! The cache is LRU-bounded: when full, an insert evicts the
 //! least-recently-used entry (ties broken by smaller key, so eviction is
 //! deterministic). Capacity 0 disables the cache entirely.
+//!
+//! ## The stale tier
+//!
+//! Entries an update sweep invalidates are not discarded: they retire
+//! into a separate, equally bounded *stale* map, keyed `(from, to)` and
+//! still carrying the epoch they were computed at. The live cache never
+//! serves them — [`RouteCache::lookup`] is exact-epoch only — but when
+//! the degrade ladder has nothing better (storage breaker open, every
+//! rung failed), [`RouteCache::lookup_stale`] can serve one as an
+//! explicitly tagged `STALE k` answer: a road that existed `k` epochs
+//! ago beats no road at all for a traveller already driving. The stale
+//! tier is invisible to [`RouteCache::len`] / [`RouteCache::is_empty`]
+//! and to the hit/miss counters; it has its own `stale_hits` /
+//! `retirements` statistics.
 
 use crate::sync::{self, Mutex, MutexGuard};
 use atis_graph::{NodeId, Path};
@@ -70,6 +84,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries carried across an epoch bump without recomputation.
     pub promotions: u64,
+    /// Invalidated entries retired into the stale tier.
+    pub retirements: u64,
+    /// Degraded lookups answered from the stale tier.
+    pub stale_hits: u64,
 }
 
 #[derive(Debug)]
@@ -81,6 +99,10 @@ struct Entry {
 #[derive(Debug)]
 struct Inner {
     map: HashMap<(u32, u32), Entry>,
+    /// Retired (invalidated) routes, still at the epoch they were
+    /// computed at — the stale-serve tier. Bounded by the same capacity
+    /// as the live map; never counted by `len` / `is_empty`.
+    stale: HashMap<(u32, u32), CachedRoute>,
     tick: u64,
     /// Highest epoch an update sweep has installed; inserts below it are
     /// stale and refused.
@@ -103,6 +125,7 @@ impl RouteCache {
             capacity,
             inner: Mutex::new(Inner {
                 map: HashMap::new(),
+                stale: HashMap::new(),
                 tick: 0,
                 latest_epoch: 0,
                 stats: CacheStats::default(),
@@ -233,28 +256,87 @@ impl RouteCache {
         let swept_from = new_epoch.saturating_sub(1);
         let mut invalidated = 0u64;
         let mut promoted = 0u64;
-        inner.map.retain(|_, entry| {
+        let swept = std::mem::take(&mut inner.map);
+        let mut retired: Vec<((u32, u32), CachedRoute)> = Vec::new();
+        for (key, mut entry) in swept {
             if entry.route.epoch >= new_epoch {
-                return true; // already computed against the new costs
+                inner.map.insert(key, entry); // computed against the new costs
+                continue;
             }
             let stale = entry.route.epoch < swept_from;
             let on_path = entry.route.path.hops().any(|(a, b)| a == u && b == v);
             let could_beat = new_cost < entry.route.path.cost;
             if stale || on_path || could_beat {
                 invalidated += 1;
-                false
+                retired.push((key, entry.route));
             } else {
                 entry.route.epoch = new_epoch;
                 promoted += 1;
-                true
+                inner.map.insert(key, entry);
             }
-        });
+        }
+        for (key, route) in retired {
+            self.retire(&mut inner, key, route);
+        }
         inner.latest_epoch = inner.latest_epoch.max(new_epoch);
         inner.stats.invalidations += invalidated;
         inner.stats.promotions += promoted;
         drop(inner);
         self.bump("cache_invalidations_total", invalidated);
         (invalidated, promoted)
+    }
+
+    /// Moves an invalidated route into the stale tier, keeping the
+    /// newest retiree per key and evicting the oldest-epoch entry (ties
+    /// broken by smaller key) when the tier is full.
+    fn retire(&self, inner: &mut Inner, key: (u32, u32), route: CachedRoute) {
+        if let Some(existing) = inner.stale.get(&key) {
+            if existing.epoch > route.epoch {
+                return;
+            }
+        }
+        if inner.stale.len() >= self.capacity && !inner.stale.contains_key(&key) {
+            let victim = inner
+                .stale
+                .iter()
+                .min_by_key(|(k, r)| (r.epoch, **k))
+                .map(|(k, _)| *k);
+            if let Some(victim) = victim {
+                inner.stale.remove(&victim);
+            }
+        }
+        inner.stale.insert(key, route);
+        inner.stats.retirements += 1;
+    }
+
+    /// Degraded lookup against the stale tier: returns a retired route
+    /// for `(from, to)` together with its age in epochs, provided the
+    /// age does not exceed `max_age`. The live hit/miss counters are
+    /// untouched; a returned route is counted as a `stale_hit`.
+    ///
+    /// The caller must surface the age to the client (the `STALE k` wire
+    /// tag) — a stale answer is explicitly degraded service, never
+    /// passed off as current.
+    pub fn lookup_stale(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        current_epoch: u64,
+        max_age: u64,
+    ) -> Option<(CachedRoute, u64)> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock_entries();
+        let route = inner.stale.get(&(from.0, to.0))?.clone();
+        let age = current_epoch.saturating_sub(route.epoch).max(1);
+        if age > max_age {
+            return None;
+        }
+        inner.stats.stale_hits += 1;
+        drop(inner);
+        self.bump("cache_stale_hits_total", 1);
+        Some((route, age))
     }
 }
 
@@ -357,6 +439,64 @@ mod tests {
         assert!(cache.lookup(NodeId(0), NodeId(1), 0).is_none());
         assert_eq!(cache.apply_update(NodeId(0), NodeId(1), 2.0, 1), (0, 0));
         assert_eq!(cache.stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn invalidated_entries_retire_into_the_stale_tier() {
+        let cache = RouteCache::new(8);
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        let (invalidated, _) = cache.apply_update(NodeId(0), NodeId(1), 9.0, 1);
+        assert_eq!(invalidated, 1);
+        assert!(cache.is_empty(), "the stale tier is not the live cache");
+        assert!(cache.lookup(NodeId(0), NodeId(3), 1).is_none());
+        let (stale, age) = cache
+            .lookup_stale(NodeId(0), NodeId(3), 1, 8)
+            .expect("the retired route is servable");
+        assert_eq!(stale.epoch, 0);
+        assert_eq!(age, 1);
+        assert_eq!(stale.path.cost, 2.0);
+        let stats = cache.stats();
+        assert_eq!((stats.retirements, stats.stale_hits), (1, 1));
+    }
+
+    #[test]
+    fn stale_lookups_respect_the_age_bound() {
+        let cache = RouteCache::new(8);
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        cache.apply_update(NodeId(0), NodeId(1), 9.0, 1);
+        assert!(cache.lookup_stale(NodeId(0), NodeId(3), 10, 8).is_none());
+        assert!(cache.lookup_stale(NodeId(0), NodeId(3), 8, 8).is_some());
+        assert!(cache.lookup_stale(NodeId(9), NodeId(9), 1, 8).is_none());
+    }
+
+    #[test]
+    fn stale_tier_keeps_the_newest_retiree_per_key_and_is_bounded() {
+        let cache = RouteCache::new(2);
+        // Retire (0,3) at epoch 0, then a fresher (0,3) at epoch 1.
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 1, 3], 2.0, 0));
+        cache.apply_update(NodeId(0), NodeId(1), 9.0, 1);
+        cache.insert(NodeId(0), NodeId(3), route(&[0, 2, 3], 3.0, 1));
+        cache.apply_update(NodeId(0), NodeId(2), 9.0, 2);
+        let (stale, age) = cache.lookup_stale(NodeId(0), NodeId(3), 2, 8).unwrap();
+        assert_eq!((stale.epoch, age), (1, 1), "newest retiree wins");
+        // Fill the tier past capacity: the oldest epoch is evicted.
+        cache.insert(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 2));
+        cache.insert(NodeId(6), NodeId(7), route(&[6, 7], 8.0, 2));
+        cache.apply_update(NodeId(0), NodeId(1), 0.5, 3); // undercuts both
+        assert!(
+            cache.lookup_stale(NodeId(0), NodeId(3), 3, 8).is_none(),
+            "the epoch-1 retiree was the eviction victim"
+        );
+        assert!(cache.lookup_stale(NodeId(4), NodeId(5), 3, 8).is_some());
+        assert!(cache.lookup_stale(NodeId(6), NodeId(7), 3, 8).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_stale_tier_too() {
+        let cache = RouteCache::new(0);
+        cache.insert(NodeId(0), NodeId(1), route(&[0, 1], 1.0, 0));
+        cache.apply_update(NodeId(0), NodeId(1), 2.0, 1);
+        assert!(cache.lookup_stale(NodeId(0), NodeId(1), 1, 8).is_none());
     }
 
     #[test]

@@ -50,6 +50,11 @@ pub enum LandmarkRefresh {
     /// Cost decrease: stale bounds could overestimate, so the tables were
     /// rebuilt from scratch (2·k SSSP sweeps) before the epoch installed.
     Rebuilt,
+    /// A required rebuild failed: the stale tables were left in place
+    /// (marked not-current, so v4 fails typed and the degrade ladder
+    /// serves v3 instead of wrong answers). The serving layer counts
+    /// this against the landmark circuit breaker.
+    RebuildFailed,
 }
 
 /// The result of installing one traffic update.
@@ -147,12 +152,13 @@ impl EpochDb {
                             next = next.with_landmarks(fresh);
                             landmarks = LandmarkRefresh::Rebuilt;
                         }
-                        // Unreachable with a fixed node set; if it ever
-                        // happens, leave the stale tables in place — v4
-                        // then fails typed and the planner ladder serves
-                        // v3, which is degraded service, not wrong
-                        // answers.
-                        Err(_) => landmarks = LandmarkRefresh::None,
+                        // Leave the stale tables in place — v4 then
+                        // fails typed and the degrade ladder serves v3:
+                        // degraded service, not wrong answers. Reported
+                        // so the serving layer can trip its landmark
+                        // breaker instead of re-attempting the rebuild
+                        // on every subsequent update.
+                        Err(_) => landmarks = LandmarkRefresh::RebuildFailed,
                     }
                 }
             }

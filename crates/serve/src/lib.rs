@@ -1,36 +1,57 @@
-//! # atis-serve — the concurrent query-serving layer
+//! # atis-serve — the concurrent, overload-resilient query-serving layer
 //!
 //! The paper's IVHS setting is a *serving* problem: many in-vehicle
 //! clients querying one central map database (Section 1.1). This crate
 //! turns the workspace's single-query planner into a first-class
-//! concurrent service:
+//! concurrent service that stays predictable under overload and
+//! storage faults:
 //!
-//! * **Worker pool + admission control** ([`RouteService`]) — a fixed
-//!   pool of worker threads executes planner runs drawn from a bounded
-//!   submission queue. A full queue rejects new requests with
-//!   [`ServeError::Busy`] (the `BUSY` wire reply) instead of queueing
-//!   unboundedly, so admitted-request latency stays bounded and overload
-//!   is pushed back to clients, not absorbed as memory growth.
+//! * **Worker pool + two-class admission control** ([`RouteService`]) —
+//!   a fixed pool of worker threads executes planner runs drawn from a
+//!   bounded, two-class (interactive / bulk) submission queue. Under
+//!   pressure the service sheds the least valuable work first —
+//!   expired-deadline requests, then queued bulk work displaced for
+//!   interactive traffic — and refuses the rest with a typed
+//!   [`ServeError::Shed`] (the `SHED` wire reply) carrying a
+//!   `retry_after` hint, so overload is pushed back to clients, not
+//!   absorbed as memory growth.
+//! * **Deadline propagation** ([`Deadline`]) — every admitted request
+//!   carries an expiry on a deterministic virtual clock; the remaining
+//!   ticks flow into the planner's cost-unit budget, so a request that
+//!   would blow its deadline stops consuming block reads mid-expansion
+//!   instead of completing uselessly.
 //! * **Epoch snapshots** ([`EpochDb`]) — `ROUTE` queries run in parallel
 //!   against an immutable `Arc<Database>` snapshot while `UPDATE`
 //!   traffic installs a new epoch copy-on-write. Every answer carries the
 //!   epoch it was computed at; no answer can mix pre- and post-update
 //!   edge costs.
+//! * **Circuit breakers + stale-serve degradation** ([`CircuitBreaker`])
+//!   — per-resource breakers (storage, landmark rebuilds) open after a
+//!   threshold of typed errors and route requests down a degrade ladder
+//!   whose final rung serves the last good cached answer tagged
+//!   [`RouteOutcome::Stale`] (the `STALE k` wire reply); half-open
+//!   probing re-closes a breaker once the fault clears.
 //! * **Invalidation-aware route cache** ([`RouteCache`]) — LRU-bounded,
 //!   keyed by `(from, to, epoch)`. An update drops exactly the entries
 //!   it could have changed (path uses the updated edge, or the new cost
 //!   undercuts the cached total) and promotes the rest to the new epoch
-//!   without recomputation; cache hits are bit-identical to fresh runs.
+//!   without recomputation; invalidated entries retire into the stale
+//!   tier that backs the degrade ladder's last rung.
+//! * **Deterministic chaos harness** ([`chaos`]) — seeded overload
+//!   waves (arrival bursts, `UPDATE` storms, injected I/O brownouts)
+//!   driven against a real service, asserting the resilience
+//!   invariants: no torn answers, every request ends in a typed
+//!   outcome, breakers re-close after faults clear.
 //!
 //! The whole subsystem is threaded through `atis-obs`: request-level
 //! trace spans ([`atis_obs::ServeEvent`]), per-worker counters, queue
-//! depth/wait and service-time histograms, and the cache counters
-//! (`cache_hits_total`, `cache_misses_total`,
+//! depth/wait and service-time histograms, shed/stale/breaker counters,
+//! and the cache counters (`cache_hits_total`, `cache_misses_total`,
 //! `cache_invalidations_total`) that the route server's `STATS` command
 //! serves.
 //!
 //! See `SERVING.md` at the repository root for the architecture diagram,
-//! the admission-control policy, the cache-invalidation rules, and the
+//! the overload policy, the cache-invalidation rules, and the
 //! wire-protocol additions; `examples/route_server.rs` is the thin TCP
 //! front-end over this crate.
 //!
@@ -62,13 +83,21 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod breaker;
 pub mod cache;
+#[cfg(not(loom))]
+pub mod chaos;
 pub mod epoch;
 pub mod error;
 pub mod service;
 pub(crate) mod sync;
 
+pub use breaker::{Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 pub use cache::{CacheStats, CachedRoute, RouteCache};
+#[cfg(not(loom))]
+pub use chaos::{ChaosReport, ChaosScenario, OutcomeCounts};
 pub use epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};
-pub use error::ServeError;
-pub use service::{RouteAnswer, RouteService, ServeConfig, Ticket};
+pub use error::{ServeError, ShedReason};
+pub use service::{
+    Deadline, RequestClass, RouteAnswer, RouteOutcome, RouteService, ServeConfig, Ticket,
+};

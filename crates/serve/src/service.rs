@@ -1,33 +1,58 @@
-//! The concurrent route service: bounded admission queue, fixed worker
-//! pool, epoch snapshots, route cache.
+//! The concurrent route service: two-class admission control with
+//! load-shedding, deadline propagation over a virtual clock, a fixed
+//! worker pool, epoch snapshots, circuit breakers with stale-serve
+//! degradation, and the route cache.
 //!
 //! ## Request life cycle
 //!
 //! ```text
-//! submit() ──admission──▶ bounded queue ──▶ worker i
-//!    │ full? BUSY                             │ pin snapshot (epoch e)
-//!    ▼                                        │ cache lookup (from,to,e)
-//! Ticket::wait() ◀──────── answer ◀───────────┤ hit: serve cached
-//!                                             └ miss: run algorithm,
-//!                                               insert into cache
+//! submit() ──admission──▶ class queues ──▶ worker i
+//!    │ shed? SHED            (interactive     │ deadline check (virtual ticks)
+//!    ▼       (typed reason)   before bulk)    │ pin snapshot (epoch e)
+//! Ticket::wait() ◀── answer ◀────────────────┤ cache lookup (from,to,e)
+//!                                            │ hit: serve cached
+//!                                            └ miss: degrade ladder
+//!                                               primary → v3 → Dijkstra
+//!                                               → stale tier (STALE k)
 //! ```
 //!
-//! Admission control is reject-not-queue: when the submission queue holds
-//! `queue_capacity` requests, [`RouteService::submit`] fails immediately
-//! with [`ServeError::Busy`] instead of queueing unboundedly — the client
-//! is told to back off *before* the server drowns, and latency for
-//! admitted requests stays bounded by `queue_capacity / throughput`.
+//! ## Overload policy
+//!
+//! Admission is **shed-not-queue**: the submission queue is bounded, and
+//! when it is full the service sheds the *least valuable* work first —
+//! requests whose deadline already expired (either class), then the
+//! oldest-deadline bulk request (displaced to admit interactive work) —
+//! before finally refusing the newcomer with a typed
+//! [`ServeError::Shed`] carrying a `retry_after` hint. `BUSY` never
+//! appears; every refusal says why and when to come back.
+//!
+//! **Deadlines** are measured on a deterministic virtual clock
+//! ([`RouteService::now_ticks`]): one tick per dequeue plus one tick per
+//! Table 4A cost unit of completed work, so virtual time advances with
+//! admitted load, never with wall time (consistent with the analyze
+//! determinism rules). An admitted request whose deadline passes while
+//! queued is shed at dequeue without running; one that is still running
+//! when its deadline-derived cost budget (80% of the remaining ticks by
+//! default) runs out is aborted mid-expansion by the planner's budget
+//! meter — it stops consuming block reads instead of completing
+//! uselessly.
+//!
+//! **Circuit breakers** guard the storage engine and the landmark
+//! rebuild path (see `breaker.rs`). An open storage breaker skips the
+//! database rungs entirely and serves from the stale cache tier; an open
+//! landmark breaker skips A\* v4 and starts the ladder at v3.
 //!
 //! Updates bypass the queue: [`RouteService::update_edge_cost`] installs
 //! a new epoch copy-on-write (running queries keep their snapshots) and
-//! sweeps the cache under the invalidation rule. Readers never block on
-//! writers beyond the clone-and-swap window.
+//! sweeps the cache under the invalidation rule, retiring invalidated
+//! entries into the stale tier.
 
+use crate::breaker::{Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
 use crate::cache::{CachedRoute, RouteCache};
-use crate::epoch::{EpochDb, EpochUpdate, Snapshot};
-use crate::error::ServeError;
+use crate::epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};
+use crate::error::{ServeError, ShedReason};
 use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard};
-use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, Database};
+use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, BudgetKind, Budgets, Database};
 use atis_graph::{NodeId, Path};
 use atis_obs::{ServeEvent, SharedRegistry, SharedSink, TraceEvent};
 use std::collections::VecDeque;
@@ -36,18 +61,118 @@ use std::time::{Duration, Instant};
 
 type JoinHandle = sync::thread::JoinHandle<()>;
 
+/// Admission class of a request. Interactive work is served first; bulk
+/// work is displaced first under pressure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestClass {
+    /// A traveller waiting on an answer (the `ROUTE` wire command).
+    Interactive,
+    /// Deferrable background work (incident-driven refresh, prefetch).
+    Bulk,
+}
+
+impl RequestClass {
+    /// Stable lowercase label (trace events, docs).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RequestClass::Interactive => "interactive",
+            RequestClass::Bulk => "bulk",
+        }
+    }
+}
+
+/// An absolute expiry on the service's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Deadline {
+    /// Virtual tick at which the request is no longer worth answering.
+    pub expires_at: u64,
+}
+
+impl Deadline {
+    /// Ticks left at virtual time `now` (0 = expired).
+    pub fn remaining(&self, now: u64) -> u64 {
+        self.expires_at.saturating_sub(now)
+    }
+
+    /// Whether the deadline has passed at virtual time `now`.
+    pub fn expired(&self, now: u64) -> bool {
+        now >= self.expires_at
+    }
+}
+
+/// How an answer was produced — every response is classified, so a
+/// client (and the chaos harness) can always tell full-fidelity service
+/// from degraded service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteOutcome {
+    /// A fresh run of the configured algorithm at the current epoch.
+    Computed,
+    /// Served from the route cache, bit-identical to a fresh run.
+    CacheHit,
+    /// A fallback rung of the degrade ladder answered (still exact, and
+    /// still at the current epoch — just a cheaper/estimator-free
+    /// algorithm).
+    Degraded {
+        /// Ladder rung that produced the answer (`"astar-v3"`,
+        /// `"dijkstra"`).
+        rung: &'static str,
+    },
+    /// Served from the stale cache tier: a route valid `age` epochs ago
+    /// (the `STALE k` wire tag).
+    Stale {
+        /// Age of the answer in epochs.
+        age: u64,
+    },
+}
+
+impl RouteOutcome {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RouteOutcome::Computed => "computed",
+            RouteOutcome::CacheHit => "cache-hit",
+            RouteOutcome::Degraded { .. } => "degraded",
+            RouteOutcome::Stale { .. } => "stale",
+        }
+    }
+
+    /// Whether the answer is anything other than full-fidelity service
+    /// at the current epoch.
+    pub fn is_degraded(&self) -> bool {
+        matches!(
+            self,
+            RouteOutcome::Degraded { .. } | RouteOutcome::Stale { .. }
+        )
+    }
+}
+
 /// Tuning knobs for a [`RouteService`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads executing planner runs (≥ 1).
     pub workers: usize,
-    /// Bounded submission-queue capacity; a full queue rejects with
-    /// [`ServeError::Busy`] (≥ 1).
+    /// Bounded submission-queue capacity (both classes combined); a full
+    /// queue sheds (see [`ServeError::Shed`]) (≥ 1).
     pub queue_capacity: usize,
-    /// Route-cache capacity in entries (0 disables caching).
+    /// Route-cache capacity in entries (0 disables caching, including
+    /// the stale tier).
     pub cache_capacity: usize,
     /// Algorithm every `ROUTE` request runs.
     pub algorithm: Algorithm,
+    /// Default per-request deadline, in virtual-time ticks.
+    pub default_deadline_ticks: u64,
+    /// Fraction of the remaining deadline a run may spend as cost units
+    /// before being aborted mid-expansion (the "shed at 80%" rule).
+    pub deadline_spend_fraction: f64,
+    /// `retry_after = queue_depth × retry_unit_ticks` on queue-full
+    /// sheds.
+    pub retry_unit_ticks: u64,
+    /// Circuit-breaker tuning (shared by the storage and landmark
+    /// breakers).
+    pub breaker: BreakerConfig,
+    /// Oldest answer (in epochs) the stale-serve rung may return.
+    pub stale_max_age: u64,
 }
 
 impl Default for ServeConfig {
@@ -57,6 +182,11 @@ impl Default for ServeConfig {
             queue_capacity: 64,
             cache_capacity: 1024,
             algorithm: Algorithm::AStar(AStarVersion::V3),
+            default_deadline_ticks: 100_000,
+            deadline_spend_fraction: 0.8,
+            retry_unit_ticks: 16,
+            breaker: BreakerConfig::default(),
+            stale_max_age: 8,
         }
     }
 }
@@ -85,6 +215,30 @@ impl ServeConfig {
         self.algorithm = algorithm;
         self
     }
+
+    /// Overrides the default per-request deadline (virtual ticks).
+    pub fn with_default_deadline_ticks(mut self, ticks: u64) -> Self {
+        self.default_deadline_ticks = ticks;
+        self
+    }
+
+    /// Overrides the deadline spend fraction (clamped to `(0, 1]`).
+    pub fn with_deadline_spend_fraction(mut self, fraction: f64) -> Self {
+        self.deadline_spend_fraction = fraction.clamp(0.05, 1.0);
+        self
+    }
+
+    /// Overrides the circuit-breaker tuning.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Overrides the maximum stale-serve age (epochs).
+    pub fn with_stale_max_age(mut self, age: u64) -> Self {
+        self.stale_max_age = age;
+        self
+    }
 }
 
 /// One answered route request.
@@ -93,9 +247,18 @@ pub struct RouteAnswer {
     /// The route, or `None` when the destination is unreachable.
     pub path: Option<Path>,
     /// Epoch the answer is valid at: every edge cost the answer reflects
-    /// comes from exactly this snapshot.
+    /// comes from exactly this snapshot. For a [`RouteOutcome::Stale`]
+    /// answer this is the *older* epoch the route was computed at.
     pub epoch: u64,
-    /// Whether the answer came from the route cache.
+    /// How the answer was produced (fresh run, cache hit, degraded rung,
+    /// stale tier).
+    pub outcome: RouteOutcome,
+    /// The deadline the request ran under (virtual ticks).
+    pub deadline: Deadline,
+    /// Admission class the request was served as.
+    pub class: RequestClass,
+    /// Whether the answer came from the route cache (kept alongside
+    /// [`RouteAnswer::outcome`] for call-site convenience).
     pub cached: bool,
     /// Iterations of the (original) run.
     pub iterations: u64,
@@ -117,10 +280,18 @@ struct TicketInner {
 }
 
 impl TicketInner {
-    /// Designated acquirer for the answer slot (rank 4, the innermost
-    /// lock in the declared order — see `sync.rs`).
+    /// Designated acquirer for the answer slot (rank 4 in the declared
+    /// order — see `sync.rs`).
     fn lock_slot(&self) -> MutexGuard<'_, Option<Result<RouteAnswer, ServeError>>> {
         sync::lock(&self.slot)
+    }
+
+    /// Fills the slot and wakes the waiter.
+    fn resolve(&self, answer: Result<RouteAnswer, ServeError>) {
+        let mut slot = self.lock_slot();
+        *slot = Some(answer);
+        drop(slot);
+        self.ready.notify_all();
     }
 }
 
@@ -153,14 +324,63 @@ struct Job {
     id: u64,
     from: NodeId,
     to: NodeId,
+    class: RequestClass,
+    deadline: Deadline,
     submitted: Instant,
     ticket: Arc<TicketInner>,
 }
 
 #[derive(Default)]
 struct QueueState {
-    jobs: VecDeque<Job>,
+    interactive: VecDeque<Job>,
+    bulk: VecDeque<Job>,
     closed: bool,
+}
+
+impl QueueState {
+    fn len(&self) -> usize {
+        self.interactive.len() + self.bulk.len()
+    }
+
+    fn pop(&mut self) -> Option<Job> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.bulk.pop_front())
+    }
+
+    /// Removes every queued job whose deadline has passed at `now`.
+    fn drain_expired(&mut self, now: u64) -> Vec<Job> {
+        let mut expired = Vec::new();
+        for queue in [&mut self.interactive, &mut self.bulk] {
+            let mut keep = VecDeque::with_capacity(queue.len());
+            while let Some(job) = queue.pop_front() {
+                if job.deadline.expired(now) {
+                    expired.push(job);
+                } else {
+                    keep.push_back(job);
+                }
+            }
+            *queue = keep;
+        }
+        expired
+    }
+
+    /// Removes the bulk job with the earliest deadline (the one that
+    /// would be shed soonest anyway), if any.
+    fn displace_bulk(&mut self) -> Option<Job> {
+        let victim = self
+            .bulk
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, job)| (job.deadline, *i))
+            .map(|(i, _)| i);
+        victim.and_then(|i| self.bulk.remove(i))
+    }
+}
+
+struct Breakers {
+    storage: CircuitBreaker,
+    landmarks: CircuitBreaker,
 }
 
 struct Shared {
@@ -170,6 +390,14 @@ struct Shared {
     available: Condvar,
     queue_capacity: usize,
     algorithm: Algorithm,
+    default_deadline_ticks: u64,
+    deadline_spend_fraction: f64,
+    retry_unit_ticks: u64,
+    stale_max_age: u64,
+    breakers: Breakers,
+    /// The virtual clock: +1 per dequeue, +⌈cost units⌉ per completed
+    /// run. A deterministic measure of admitted load, never wall time.
+    clock: AtomicU64,
     next_request: AtomicU64,
     metrics: Option<SharedRegistry>,
     sink: Option<SharedSink>,
@@ -180,6 +408,14 @@ impl Shared {
     /// outermost lock in the declared order — see `sync.rs`).
     fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
         sync::lock(&self.queue)
+    }
+
+    fn now(&self) -> u64 {
+        self.clock.load(Ordering::Relaxed)
+    }
+
+    fn advance(&self, ticks: u64) -> u64 {
+        self.clock.fetch_add(ticks, Ordering::Relaxed) + ticks
     }
 
     fn emit(&self, event: ServeEvent) {
@@ -199,9 +435,50 @@ impl Shared {
             m.inc(name);
         }
     }
+
+    fn emit_transition(&self, resource: &'static str, transition: Option<BreakerTransition>) {
+        let Some(t) = transition else { return };
+        if matches!(t.to, BreakerState::Open { .. }) {
+            self.inc("serve_breaker_open_total");
+        }
+        if matches!(t.to, BreakerState::Closed) {
+            self.inc("serve_breaker_close_total");
+        }
+        self.emit(ServeEvent::BreakerTransition {
+            resource: resource.to_string(),
+            from: t.from.label().to_string(),
+            to: t.to.label().to_string(),
+            at_tick: self.now(),
+        });
+    }
+
+    /// Sheds `job` with a typed reason: resolves its ticket, counts it,
+    /// and emits the trace span. Never called with a lock held.
+    fn shed_job(&self, job: &Job, reason: ShedReason, queue_depth: usize) {
+        let retry_after = match reason {
+            ShedReason::DeadlineExpired => self.default_deadline_ticks,
+            _ => (queue_depth as u64).max(1) * self.retry_unit_ticks,
+        };
+        self.inc("serve_shed_total");
+        if reason == ShedReason::DeadlineExpired {
+            self.inc("serve_deadline_expired_total");
+        }
+        self.emit(ServeEvent::Shed {
+            request: job.id,
+            reason: reason.label().to_string(),
+            retry_after,
+            queue_depth: queue_depth as u64,
+        });
+        job.ticket.resolve(Err(ServeError::Shed {
+            reason,
+            retry_after,
+            queue_depth,
+        }));
+    }
 }
 
-/// A pooled, cached, epoch-snapshotted route-serving engine.
+/// A pooled, cached, epoch-snapshotted, overload-resilient route-serving
+/// engine.
 ///
 /// Dropping the service closes admission, lets the workers drain every
 /// already-admitted request (so no [`Ticket::wait`] deadlocks), and joins
@@ -259,6 +536,15 @@ impl RouteService {
             available: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
             algorithm: config.algorithm,
+            default_deadline_ticks: config.default_deadline_ticks.max(1),
+            deadline_spend_fraction: config.deadline_spend_fraction.clamp(0.05, 1.0),
+            retry_unit_ticks: config.retry_unit_ticks.max(1),
+            stale_max_age: config.stale_max_age,
+            breakers: Breakers {
+                storage: CircuitBreaker::new(config.breaker),
+                landmarks: CircuitBreaker::new(config.breaker),
+            },
+            clock: AtomicU64::new(0),
             next_request: AtomicU64::new(0),
             metrics,
             sink,
@@ -297,6 +583,13 @@ impl RouteService {
         self.shared.epochs.epoch()
     }
 
+    /// The current virtual time, in ticks. Advances with admitted work
+    /// (one tick per dequeue plus one per Table 4A cost unit completed),
+    /// never with wall time.
+    pub fn now_ticks(&self) -> u64 {
+        self.shared.now()
+    }
+
     /// The current `(epoch, database)` snapshot — for read-only side
     /// queries (`EVAL`) that must see one consistent epoch.
     pub fn snapshot(&self) -> Snapshot {
@@ -308,41 +601,108 @@ impl RouteService {
         &self.shared.cache
     }
 
-    /// Submits a route request through admission control, returning a
-    /// [`Ticket`] to wait on.
+    /// The state of a named circuit breaker (`"storage"`,
+    /// `"landmarks"`); `None` for unknown names.
+    pub fn breaker_state(&self, resource: &str) -> Option<BreakerState> {
+        match resource {
+            "storage" => Some(self.shared.breakers.storage.state()),
+            "landmarks" => Some(self.shared.breakers.landmarks.state()),
+            _ => None,
+        }
+    }
+
+    /// Submits an interactive request with the default deadline.
     ///
     /// # Errors
-    /// [`ServeError::Busy`] when the bounded queue is full;
+    /// [`ServeError::Shed`] when admission sheds the request;
     /// [`ServeError::ShuttingDown`] after the service started closing.
     pub fn submit(&self, from: NodeId, to: NodeId) -> Result<Ticket, ServeError> {
+        self.submit_with(from, to, RequestClass::Interactive, None)
+    }
+
+    /// Submits a request with an explicit class and (optionally) an
+    /// explicit deadline in virtual ticks from now.
+    ///
+    /// Under pressure the admission controller sheds in value order:
+    /// already-expired queued work first (either class), then the
+    /// oldest-deadline bulk request if the newcomer is interactive, and
+    /// only then the newcomer itself.
+    ///
+    /// # Errors
+    /// [`ServeError::Shed`] when the request itself is shed;
+    /// [`ServeError::ShuttingDown`] after the service started closing.
+    pub fn submit_with(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: RequestClass,
+        deadline_ticks: Option<u64>,
+    ) -> Result<Ticket, ServeError> {
         let id = self.shared.next_request.fetch_add(1, Ordering::Relaxed);
+        let now = self.shared.now();
+        let deadline = Deadline {
+            expires_at: now
+                + deadline_ticks
+                    .unwrap_or(self.shared.default_deadline_ticks)
+                    .max(1),
+        };
+        let mut victims: Vec<(Job, ShedReason)> = Vec::new();
         let mut queue = self.shared.lock_queue();
         if queue.closed {
             return Err(ServeError::ShuttingDown);
         }
-        if queue.jobs.len() >= self.shared.queue_capacity {
-            let depth = queue.jobs.len();
+        if queue.len() >= self.shared.queue_capacity {
+            for job in queue.drain_expired(now) {
+                victims.push((job, ShedReason::DeadlineExpired));
+            }
+        }
+        if queue.len() >= self.shared.queue_capacity && class == RequestClass::Interactive {
+            if let Some(job) = queue.displace_bulk() {
+                victims.push((job, ShedReason::Displaced));
+            }
+        }
+        if queue.len() >= self.shared.queue_capacity {
+            let depth = queue.len();
             drop(queue);
-            self.shared.inc("serve_rejected_total");
-            self.shared.emit(ServeEvent::Rejected {
+            for (job, reason) in victims {
+                self.shared.shed_job(&job, reason, depth);
+            }
+            let retry_after = (depth as u64).max(1) * self.shared.retry_unit_ticks;
+            self.shared.inc("serve_shed_total");
+            self.shared.emit(ServeEvent::Shed {
                 request: id,
+                reason: ShedReason::QueueFull.label().to_string(),
+                retry_after,
                 queue_depth: depth as u64,
             });
-            return Err(ServeError::Busy { queue_depth: depth });
+            return Err(ServeError::Shed {
+                reason: ShedReason::QueueFull,
+                retry_after,
+                queue_depth: depth,
+            });
         }
         let ticket = Ticket {
             id,
             inner: Arc::new(TicketInner::default()),
         };
-        queue.jobs.push_back(Job {
+        let job = Job {
             id,
             from,
             to,
+            class,
+            deadline,
             submitted: Instant::now(),
             ticket: ticket.inner.clone(),
-        });
-        let depth = queue.jobs.len();
+        };
+        match class {
+            RequestClass::Interactive => queue.interactive.push_back(job),
+            RequestClass::Bulk => queue.bulk.push_back(job),
+        }
+        let depth = queue.len();
         drop(queue);
+        for (job, reason) in victims {
+            self.shared.shed_job(&job, reason, depth);
+        }
         self.shared.available.notify_one();
         self.shared.observe("serve_queue_depth", depth as f64);
         self.shared.emit(ServeEvent::Submitted {
@@ -352,19 +712,37 @@ impl RouteService {
         Ok(ticket)
     }
 
-    /// Submits a request and blocks for the answer.
+    /// Submits an interactive request and blocks for the answer.
     ///
     /// # Errors
-    /// [`ServeError::Busy`] / [`ServeError::ShuttingDown`] at admission,
-    /// or the run's own [`ServeError::Algorithm`] failure.
+    /// [`ServeError::Shed`] / [`ServeError::ShuttingDown`] at admission,
+    /// a deadline shed while queued or mid-run, or the run's own
+    /// [`ServeError::Algorithm`] failure.
     pub fn route(&self, from: NodeId, to: NodeId) -> Result<RouteAnswer, ServeError> {
         self.submit(from, to)?.wait()
     }
 
+    /// Submits with an explicit class/deadline and blocks for the
+    /// answer.
+    ///
+    /// # Errors
+    /// As [`RouteService::route`].
+    pub fn route_with(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        class: RequestClass,
+        deadline_ticks: Option<u64>,
+    ) -> Result<RouteAnswer, ServeError> {
+        self.submit_with(from, to, class, deadline_ticks)?.wait()
+    }
+
     /// Applies a traffic update: installs a new epoch copy-on-write and
-    /// sweeps the route cache (see `cache.rs` for the invalidation rule).
-    /// Queries already running keep their snapshots; queries admitted
-    /// after this call see the new costs.
+    /// sweeps the route cache (see `cache.rs` for the invalidation rule;
+    /// invalidated entries retire into the stale tier). Queries already
+    /// running keep their snapshots; queries admitted after this call
+    /// see the new costs. A failed landmark rebuild counts against the
+    /// landmark circuit breaker.
     ///
     /// # Errors
     /// Fails for unknown endpoints or invalid costs (no epoch change).
@@ -375,6 +753,17 @@ impl RouteService {
         cost: f64,
     ) -> Result<EpochUpdate, AlgorithmError> {
         let update = self.shared.epochs.update_edge_cost(u, v, cost)?;
+        match update.landmarks {
+            LandmarkRefresh::RebuildFailed => {
+                let t = self.shared.breakers.landmarks.on_failure(self.shared.now());
+                self.shared.emit_transition("landmarks", t);
+            }
+            LandmarkRefresh::Rebuilt | LandmarkRefresh::Patched => {
+                let t = self.shared.breakers.landmarks.on_success();
+                self.shared.emit_transition("landmarks", t);
+            }
+            _ => {}
+        }
         let (invalidated, promoted) =
             self.shared
                 .cache
@@ -408,7 +797,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
         let job = {
             let mut queue = shared.lock_queue();
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 if queue.closed {
@@ -419,6 +808,15 @@ fn worker_loop(shared: &Shared, worker: usize) {
         };
         let queue_wait = job.submitted.elapsed();
         shared.observe("serve_queue_wait_seconds", queue_wait.as_secs_f64());
+        let now = shared.advance(1);
+
+        // A deadline that passed while the request was queued: shed it
+        // without spending a single block read on it.
+        if job.deadline.expired(now) {
+            shared.shed_job(&job, ShedReason::DeadlineExpired, 0);
+            continue;
+        }
+
         let snapshot = shared.epochs.snapshot();
         shared.emit(ServeEvent::Started {
             request: job.id,
@@ -427,75 +825,244 @@ fn worker_loop(shared: &Shared, worker: usize) {
         });
 
         let started = Instant::now();
-        let outcome = execute(shared, &snapshot, &job);
+        let outcome = execute(shared, &snapshot, &job, now);
         let service_time = started.elapsed();
         shared.observe("serve_service_seconds", service_time.as_secs_f64());
         shared.inc("serve_requests_total");
         shared.inc(&format!("serve_worker_{worker}_requests_total"));
 
-        let answer = outcome.map(|(path, cached, iterations, cost_units)| {
+        let answer = outcome.map(|exec| {
+            shared.advance(exec.cost_units.max(0.0).ceil() as u64);
+            if let RouteOutcome::Stale { age } = exec.outcome {
+                shared.inc("serve_stale_served_total");
+                shared.emit(ServeEvent::StaleServed {
+                    request: job.id,
+                    epoch: exec.epoch,
+                    age,
+                });
+            }
+            if let RouteOutcome::Degraded { .. } = exec.outcome {
+                shared.inc("serve_degraded_total");
+            }
             shared.emit(ServeEvent::Completed {
                 request: job.id,
                 worker: worker as u64,
-                epoch: snapshot.epoch,
-                cached,
-                found: path.is_some(),
+                epoch: exec.epoch,
+                cached: exec.outcome == RouteOutcome::CacheHit,
+                found: exec.path.is_some(),
             });
             RouteAnswer {
-                path,
-                epoch: snapshot.epoch,
-                cached,
-                iterations,
-                cost_units,
+                path: exec.path,
+                epoch: exec.epoch,
+                outcome: exec.outcome,
+                deadline: job.deadline,
+                class: job.class,
+                cached: exec.outcome == RouteOutcome::CacheHit,
+                iterations: exec.iterations,
+                cost_units: exec.cost_units,
                 queue_wait,
                 service_time,
                 worker,
             }
         });
-        if answer.is_err() {
-            shared.inc("serve_failed_total");
+        match answer {
+            Err(ServeError::Shed { reason, .. }) => {
+                // A mid-run deadline abort: already metered as the work
+                // it consumed; surface it exactly like a queue shed.
+                shared.shed_job(&job, reason, 0);
+            }
+            other => {
+                if other.is_err() {
+                    shared.inc("serve_failed_total");
+                }
+                job.ticket.resolve(other);
+            }
         }
-
-        let mut slot = job.ticket.lock_slot();
-        *slot = Some(answer);
-        drop(slot);
-        job.ticket.ready.notify_all();
     }
 }
 
-/// Answers one job against its pinned snapshot: cache first, then a full
-/// algorithm run whose found path is inserted back.
-#[allow(clippy::type_complexity)]
-fn execute(
-    shared: &Shared,
-    snapshot: &Snapshot,
-    job: &Job,
-) -> Result<(Option<Path>, bool, u64, f64), ServeError> {
+/// What one executed request produced.
+struct Exec {
+    path: Option<Path>,
+    outcome: RouteOutcome,
+    epoch: u64,
+    iterations: u64,
+    cost_units: f64,
+}
+
+/// Answers one job against its pinned snapshot: cache, then the degrade
+/// ladder (primary → v3 on landmark trouble → Dijkstra on storage
+/// trouble → the stale tier), under the deadline-derived cost budget.
+fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<Exec, ServeError> {
     if let Some(hit) = shared.cache.lookup(job.from, job.to, snapshot.epoch) {
         shared.emit(ServeEvent::CacheHit {
             request: job.id,
             epoch: snapshot.epoch,
         });
-        return Ok((Some(hit.path), true, hit.iterations, hit.cost_units));
+        return Ok(Exec {
+            path: Some(hit.path),
+            outcome: RouteOutcome::CacheHit,
+            epoch: snapshot.epoch,
+            iterations: hit.iterations,
+            cost_units: hit.cost_units,
+        });
     }
-    let trace = snapshot
+
+    // The deadline-derived budget: the run may spend at most
+    // `deadline_spend_fraction` of the remaining ticks as cost units,
+    // intersected with the database's own standing budgets.
+    let remaining = job.deadline.remaining(now);
+    let allowance = (remaining as f64) * shared.deadline_spend_fraction;
+    let budgets = snapshot
         .db
-        .run(shared.algorithm, job.from, job.to)
-        .map_err(ServeError::from)?;
-    let cost_units = trace.cost_units(snapshot.db.params());
-    if let Some(path) = &trace.path {
-        shared.cache.insert(
+        .budgets()
+        .min_with(Budgets::unlimited().with_max_cost_units(allowance.max(1.0)));
+    let deadline_binding = budgets.max_cost_units == Some(allowance.max(1.0));
+
+    // Storage breaker open: skip every database rung, serve stale or
+    // refuse with the breaker's countdown.
+    let (storage_admission, t) = shared.breakers.storage.admit(now);
+    shared.emit_transition("storage", t);
+    if let Admission::Deny { retry_after } = storage_admission {
+        return stale_or_shed(shared, snapshot, job, retry_after);
+    }
+
+    // Rung 0/1: the configured algorithm, unless the landmark breaker
+    // says its v4 estimator is broken — then start at v3 directly.
+    let needs_landmarks = shared.algorithm == Algorithm::AStar(AStarVersion::V4);
+    let landmarks_open =
+        needs_landmarks && matches!(shared.breakers.landmarks.state(), BreakerState::Open { .. });
+    let (mut rung, mut result) = if landmarks_open {
+        (
+            "astar-v3",
+            snapshot.db.run_with_budgets(
+                Algorithm::AStar(AStarVersion::V3),
+                job.from,
+                job.to,
+                budgets,
+            ),
+        )
+    } else {
+        (
+            "primary",
+            snapshot
+                .db
+                .run_with_budgets(shared.algorithm, job.from, job.to, budgets),
+        )
+    };
+
+    // Landmark trouble: count it against the landmark breaker and fall
+    // to v3 (exact, estimator degraded to Manhattan-family bounds).
+    if let Err(AlgorithmError::LandmarksUnavailable(_)) = &result {
+        let t = shared.breakers.landmarks.on_failure(now);
+        shared.emit_transition("landmarks", t);
+        rung = "astar-v3";
+        result = snapshot.db.run_with_budgets(
+            Algorithm::AStar(AStarVersion::V3),
             job.from,
             job.to,
-            CachedRoute {
-                path: path.clone(),
+            budgets,
+        );
+    } else if needs_landmarks && result.is_ok() {
+        let t = shared.breakers.landmarks.on_success();
+        shared.emit_transition("landmarks", t);
+    }
+
+    // Storage trouble: count it, then retry once on Dijkstra (transient
+    // fault counters advance, and the plain algorithm reads fewer
+    // blocks than an estimator-guided one under partial information).
+    if let Err(AlgorithmError::Storage(_)) = &result {
+        let t = shared.breakers.storage.on_failure(now);
+        shared.emit_transition("storage", t);
+        if matches!(
+            shared.breakers.storage.state(),
+            BreakerState::Closed | BreakerState::HalfOpen
+        ) {
+            rung = "dijkstra";
+            result = snapshot
+                .db
+                .run_with_budgets(Algorithm::Dijkstra, job.from, job.to, budgets);
+        }
+    }
+
+    match result {
+        Ok(trace) => {
+            let t = shared.breakers.storage.on_success();
+            shared.emit_transition("storage", t);
+            let cost_units = trace.cost_units(snapshot.db.params());
+            if let Some(path) = &trace.path {
+                shared.cache.insert(
+                    job.from,
+                    job.to,
+                    CachedRoute {
+                        path: path.clone(),
+                        epoch: snapshot.epoch,
+                        iterations: trace.iterations,
+                        cost_units,
+                    },
+                );
+            }
+            let outcome = if rung == "primary" {
+                RouteOutcome::Computed
+            } else {
+                RouteOutcome::Degraded { rung }
+            };
+            Ok(Exec {
+                path: trace.path,
+                outcome,
                 epoch: snapshot.epoch,
                 iterations: trace.iterations,
                 cost_units,
-            },
-        );
+            })
+        }
+        Err(AlgorithmError::BudgetExceeded(BudgetKind::CostUnits)) if deadline_binding => {
+            // The deadline, not the database's own budget, stopped the
+            // run: this is a shed, not an algorithm failure.
+            Err(ServeError::Shed {
+                reason: ShedReason::DeadlineExpired,
+                retry_after: shared.default_deadline_ticks,
+                queue_depth: 0,
+            })
+        }
+        Err(e @ AlgorithmError::Storage(_)) => {
+            let t = shared.breakers.storage.on_failure(now);
+            shared.emit_transition("storage", t);
+            match stale_or_shed(shared, snapshot, job, shared.retry_unit_ticks) {
+                Ok(exec) => Ok(exec),
+                Err(ServeError::Shed { .. }) => Err(ServeError::from(e)),
+                Err(other) => Err(other),
+            }
+        }
+        Err(e) => Err(ServeError::from(e)),
     }
-    Ok((trace.path, false, trace.iterations, cost_units))
+}
+
+/// The ladder's last rung: a stale-tier answer tagged with its age, or a
+/// typed breaker-open shed when even that is empty.
+fn stale_or_shed(
+    shared: &Shared,
+    snapshot: &Snapshot,
+    job: &Job,
+    retry_after: u64,
+) -> Result<Exec, ServeError> {
+    if let Some((route, age)) =
+        shared
+            .cache
+            .lookup_stale(job.from, job.to, snapshot.epoch, shared.stale_max_age)
+    {
+        return Ok(Exec {
+            path: Some(route.path),
+            outcome: RouteOutcome::Stale { age },
+            epoch: route.epoch,
+            iterations: route.iterations,
+            cost_units: route.cost_units,
+        });
+    }
+    Err(ServeError::Shed {
+        reason: ShedReason::BreakerOpen,
+        retry_after: retry_after.max(1),
+        queue_depth: 0,
+    })
 }
 
 #[cfg(test)]
@@ -517,6 +1084,8 @@ mod tests {
         let answer = service.route(s, d).unwrap();
         assert_eq!(answer.epoch, 0);
         assert!(!answer.cached);
+        assert_eq!(answer.outcome, RouteOutcome::Computed);
+        assert_eq!(answer.class, RequestClass::Interactive);
 
         let oracle = Database::open(grid.graph()).unwrap();
         let expected = oracle.run(service.algorithm(), s, d).unwrap();
@@ -531,6 +1100,7 @@ mod tests {
         let fresh = service.route(s, d).unwrap();
         let cached = service.route(s, d).unwrap();
         assert!(!fresh.cached && cached.cached);
+        assert_eq!(cached.outcome, RouteOutcome::CacheHit);
         assert_eq!(fresh.path, cached.path);
         assert_eq!(fresh.iterations, cached.iterations);
         assert_eq!(fresh.cost_units.to_bits(), cached.cost_units.to_bits());
@@ -554,9 +1124,9 @@ mod tests {
     }
 
     #[test]
-    fn full_queue_rejects_with_busy() {
+    fn full_queue_sheds_with_a_typed_reason() {
         // One worker, capacity 1: park the worker on a long request by
-        // flooding; at least one submission must be rejected.
+        // flooding; at least one submission must be shed.
         let (service, grid) = grid_service(
             ServeConfig::default()
                 .with_workers(1)
@@ -565,24 +1135,110 @@ mod tests {
         );
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
         let mut tickets = Vec::new();
-        let mut busy = 0;
+        let mut shed = 0;
         for _ in 0..50 {
             match service.submit(s, d) {
                 Ok(t) => tickets.push(t),
-                Err(ServeError::Busy { queue_depth }) => {
+                Err(ServeError::Shed {
+                    reason,
+                    retry_after,
+                    queue_depth,
+                }) => {
+                    assert_eq!(reason, ShedReason::QueueFull);
                     assert_eq!(queue_depth, 1);
-                    busy += 1;
+                    assert!(retry_after >= 1);
+                    shed += 1;
                 }
                 Err(e) => panic!("unexpected {e}"),
             }
         }
         assert!(
-            busy > 0,
-            "a capacity-1 queue must reject under a 50-request burst"
+            shed > 0,
+            "a capacity-1 queue must shed under a 50-request burst"
         );
         for t in tickets {
             assert!(t.wait().unwrap().path.is_some());
         }
+    }
+
+    #[test]
+    fn interactive_requests_displace_queued_bulk_work() {
+        let (service, grid) = grid_service(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2)
+                .with_cache_capacity(0),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        // Fill the queue with bulk work (plus whatever the worker takes).
+        let bulk: Vec<Ticket> = (0..12)
+            .filter_map(|_| service.submit_with(s, d, RequestClass::Bulk, None).ok())
+            .collect();
+        // Interactive submissions displace queued bulk jobs until the
+        // queue holds no more bulk to displace.
+        let mut displaced_observed = 0;
+        let mut interactive = Vec::new();
+        for _ in 0..12 {
+            if let Ok(t) = service.submit(s, d) {
+                interactive.push(t);
+            }
+        }
+        for t in bulk {
+            match t.wait() {
+                Ok(answer) => assert!(answer.path.is_some()),
+                Err(ServeError::Shed { reason, .. }) => {
+                    assert!(
+                        reason == ShedReason::Displaced || reason == ShedReason::DeadlineExpired,
+                        "bulk sheds must be displacement/deadline, got {reason:?}"
+                    );
+                    displaced_observed += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(
+            displaced_observed > 0,
+            "interactive pressure must displace queued bulk work"
+        );
+        for t in interactive {
+            assert!(t.wait().is_ok(), "admitted interactive work completes");
+        }
+    }
+
+    #[test]
+    fn expired_deadlines_shed_at_dequeue_without_running() {
+        let (service, grid) = grid_service(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(64)
+                .with_cache_capacity(0),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        // Burst enough work that the virtual clock (advanced by each
+        // completed run's cost units) passes the tiny deadline of the
+        // later requests while they queue.
+        let tickets: Vec<Ticket> = (0..24)
+            .filter_map(|_| {
+                service
+                    .submit_with(s, d, RequestClass::Interactive, Some(2))
+                    .ok()
+            })
+            .collect();
+        let mut expired = 0;
+        for t in tickets {
+            match t.wait() {
+                Ok(answer) => assert!(answer.path.is_some()),
+                Err(ServeError::Shed { reason, .. }) => {
+                    assert_eq!(reason, ShedReason::DeadlineExpired);
+                    expired += 1;
+                }
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(
+            expired > 0,
+            "2-tick deadlines must expire while queued behind real runs"
+        );
     }
 
     #[test]
@@ -611,6 +1267,90 @@ mod tests {
         assert!(
             service.route(s, d).is_ok(),
             "the pool must survive failed requests"
+        );
+    }
+
+    #[test]
+    fn storage_breaker_opens_and_serves_stale_then_recovers() {
+        use atis_storage::FaultPlan;
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+        // Replay the warm-up against an inert-fault oracle to learn
+        // exactly how many physical reads it consumes, so the brownout
+        // window can be placed deterministically *after* it.
+        let oracle = Database::open(grid.graph())
+            .unwrap()
+            .with_fault_plan(FaultPlan::inert(3));
+        let trace = oracle.run(ServeConfig::default().algorithm, s, d).unwrap();
+        let path = trace.path.clone().unwrap();
+        let (u, v) = path.hops().next().unwrap();
+        let mut updated = oracle.clone();
+        updated.update_edge_cost(u, v, path.cost + 100.0).unwrap();
+        let warm_reads = oracle.faults().unwrap().lock().unwrap().reads();
+
+        // The brownout: every read after the warm-up fails, for a
+        // 40-operation window, then storage recovers.
+        let window = (warm_reads + 1, warm_reads + 40);
+        let db = Database::open(grid.graph())
+            .unwrap()
+            .with_fault_plan(FaultPlan::inert(3).with_read_failure_window(window.0, window.1, 1.0));
+        let service = RouteService::new(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_breaker(BreakerConfig {
+                    failure_threshold: 2,
+                    open_ticks: 50,
+                    probes: 1,
+                }),
+        );
+
+        // Warm the cache, then retire the entry so the stale tier has it.
+        let fresh = service.route(s, d).unwrap();
+        assert_eq!(fresh.outcome, RouteOutcome::Computed);
+        service.update_edge_cost(u, v, path.cost + 100.0).unwrap();
+
+        // Drive the storm: typed failures trip the breaker, the open
+        // breaker stale-serves, probes burn through the fault window one
+        // read at a time, and the first probe past the window re-closes
+        // the breaker.
+        let mut stale_seen = 0;
+        let mut opened = false;
+        for _ in 0..400 {
+            match service.route(s, d) {
+                Ok(answer) => {
+                    if let RouteOutcome::Stale { age } = answer.outcome {
+                        assert!(age >= 1);
+                        assert!(answer.epoch < service.epoch());
+                        stale_seen += 1;
+                    }
+                }
+                Err(ServeError::Shed { reason, .. }) => {
+                    assert_eq!(reason, ShedReason::BreakerOpen);
+                }
+                Err(ServeError::Algorithm(AlgorithmError::Storage(_))) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+            if matches!(
+                service.breaker_state("storage"),
+                Some(BreakerState::Open { .. })
+            ) {
+                opened = true;
+            }
+            if opened && service.breaker_state("storage") == Some(BreakerState::Closed) {
+                break;
+            }
+        }
+        assert!(opened, "repeated storage faults must open the breaker");
+        assert!(
+            stale_seen > 0,
+            "an open breaker with a retired route must stale-serve"
+        );
+        assert_eq!(
+            service.breaker_state("storage"),
+            Some(BreakerState::Closed),
+            "the breaker must re-close once the brownout ends"
         );
     }
 
@@ -663,5 +1403,63 @@ mod tests {
                 "missing {kind} span in {json:#?}"
             );
         }
+    }
+
+    #[test]
+    fn shed_events_and_counters_fire_on_queue_full() {
+        let registry = MetricsRegistry::shared();
+        let ring = RingSink::shared(256);
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let service = RouteService::with_observability(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(1)
+                .with_cache_capacity(0),
+            Some(registry.clone()),
+            Some(ring.clone() as SharedSink),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let mut tickets = Vec::new();
+        let mut shed = 0;
+        for _ in 0..40 {
+            match service.submit(s, d) {
+                Ok(t) => tickets.push(t),
+                Err(ServeError::Shed { .. }) => shed += 1,
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        for t in tickets {
+            let _ = t.wait();
+        }
+        if shed > 0 {
+            assert!(registry.counter("serve_shed_total") >= shed);
+            let json: Vec<String> = ring.events().iter().map(|e| e.to_json()).collect();
+            assert!(
+                json.iter().any(|j| j.contains(r#""type":"serve_shed""#)),
+                "shed spans must be emitted"
+            );
+        }
+    }
+
+    #[test]
+    fn virtual_clock_advances_with_completed_work() {
+        let (service, grid) = grid_service(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0),
+        );
+        assert_eq!(service.now_ticks(), 0);
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let answer = service.route(s, d).unwrap();
+        let after_one = service.now_ticks();
+        assert!(
+            after_one > answer.cost_units as u64,
+            "clock {after_one} must cover the dequeue tick plus {} cost units",
+            answer.cost_units
+        );
+        service.route(s, d).unwrap();
+        assert!(service.now_ticks() > after_one);
     }
 }

@@ -18,7 +18,7 @@
 //!    slots) stays structurally valid mid-update.
 //!
 //! Call-site discipline: per-lock named helpers (`lock_queue`,
-//! `lock_current`, `lock_entries`, `lock_slot`) wrap [`lock`] so the
+//! `lock_current`, `lock_entries`, `lock_slot`, `lock_breaker`) wrap [`lock`] so the
 //! `lock-order` rule can check the declared acquisition order
 //! (`atis-analyze rules` prints it) at every call site.
 

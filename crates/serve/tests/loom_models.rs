@@ -11,7 +11,10 @@
 
 use atis_algorithms::Database;
 use atis_graph::{CostModel, Grid, NodeId, Path, QueryKind};
-use atis_serve::{CachedRoute, EpochDb, RouteCache, RouteService, ServeConfig, ServeError};
+use atis_serve::{
+    Admission, BreakerConfig, BreakerState, CachedRoute, CircuitBreaker, EpochDb, RouteCache,
+    RouteService, ServeConfig, ServeError,
+};
 use std::sync::Arc;
 
 fn small_db() -> (Database, NodeId, NodeId) {
@@ -72,8 +75,8 @@ fn epoch_install_vs_snapshot_race() {
 /// Race: concurrent submitters against a 1-worker, capacity-1 queue.
 ///
 /// Invariants: every admitted ticket resolves (no lost wakeup, no
-/// deadlocked `Ticket::wait`), every rejection is `Busy`, and the
-/// admitted + rejected counts add up — no request vanishes.
+/// deadlocked `Ticket::wait`), every rejection is a typed `Shed`, and
+/// the admitted + rejected counts add up — no request vanishes.
 #[test]
 fn admission_queue_reject_path() {
     let (base, s, d) = small_db();
@@ -98,7 +101,7 @@ fn admission_queue_reject_path() {
                         1u32
                     }
                     Err(e) => {
-                        assert!(matches!(e, ServeError::Busy { .. }), "unexpected: {e}");
+                        assert!(matches!(e, ServeError::Shed { .. }), "unexpected: {e}");
                         0u32
                     }
                 })
@@ -168,5 +171,81 @@ fn cache_promote_or_drop_sweep() {
         assert_eq!((invalidated, promoted), (1, 1));
         assert!(cache.lookup(NodeId(1), NodeId(3), 1).is_none());
         assert!(cache.lookup(NodeId(4), NodeId(5), 1).is_some());
+    });
+}
+
+/// Race: concurrent typed failures and a success racing an epoch
+/// install against one circuit breaker.
+///
+/// Invariants under every interleaving:
+/// * at most one of the racing failures reports the `closed → open`
+///   transition (the trip fires exactly once, never twice);
+/// * the machine is never corrupted — after the race it can always be
+///   driven deterministically through trip → probe → re-close;
+/// * the epoch install is independent of breaker state (the update
+///   lands regardless of how the race resolved).
+#[test]
+fn breaker_trip_probe_reclose_vs_epoch_install() {
+    let (base, _, _) = small_db();
+    let u = NodeId(0);
+    let v = base.graph().neighbors(u)[0].to;
+
+    loom::model(move || {
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 2,
+            open_ticks: 10,
+            probes: 1,
+        }));
+        let epochs = Arc::new(EpochDb::new(base.clone()));
+
+        let failers: Vec<_> = (0..2)
+            .map(|_| {
+                let breaker = breaker.clone();
+                loom::thread::spawn(move || breaker.on_failure(5).is_some())
+            })
+            .collect();
+        let closer = {
+            let breaker = breaker.clone();
+            loom::thread::spawn(move || breaker.on_success())
+        };
+        let installer = {
+            let epochs = epochs.clone();
+            loom::thread::spawn(move || {
+                epochs.update_edge_cost(u, v, 123.0).expect("update");
+            })
+        };
+
+        let trips: usize = failers
+            .into_iter()
+            .map(|h| usize::from(h.join().expect("failer")))
+            .sum();
+        closer.join().expect("closer");
+        installer.join().expect("installer");
+        assert!(trips <= 1, "the trip transition fired {trips} times");
+        assert_eq!(epochs.epoch(), 1, "the update must land regardless");
+
+        // Deterministic tail: whatever the race left behind, the machine
+        // must still trip, probe, and re-close cleanly.
+        let mut tripped = matches!(breaker.state(), BreakerState::Open { .. });
+        for now in 0..4 {
+            if tripped {
+                break;
+            }
+            tripped = breaker.on_failure(now).is_some();
+        }
+        assert!(tripped, "bounded failures must trip the breaker");
+        let until = match breaker.state() {
+            BreakerState::Open { until } => until,
+            other => panic!("expected open, got {other:?}"),
+        };
+        let (admission, transition) = breaker.admit(until);
+        assert_eq!(admission, Admission::Probe);
+        assert_eq!(
+            transition.expect("open -> half-open").to,
+            BreakerState::HalfOpen
+        );
+        let reclose = breaker.on_success().expect("half-open -> closed");
+        assert_eq!(reclose.to, BreakerState::Closed);
+        assert_eq!(breaker.state(), BreakerState::Closed);
     });
 }

@@ -82,6 +82,12 @@ pub struct FaultPlan {
     pub write_failure_rate: f64,
     /// `(block, p)`: every read of `block` fails with probability `p`.
     pub fail_block_reads: Option<(usize, f64)>,
+    /// `(first, last, p)`: reads whose 1-based op index falls inside
+    /// `first..=last` fail with probability `p` — an I/O *brownout* that
+    /// begins and, crucially, **ends** at deterministic points in the op
+    /// stream. Circuit-breaker tests rely on the ending: after `last` the
+    /// device is healthy again and a breaker can observe recovery.
+    pub read_failure_window: Option<(u64, u64, f64)>,
     /// Probability that a write is torn (stored corrupted, detected on the
     /// next read of the block).
     pub torn_write_rate: f64,
@@ -103,6 +109,7 @@ impl FaultPlan {
             read_failure_rate: 0.0,
             write_failure_rate: 0.0,
             fail_block_reads: None,
+            read_failure_window: None,
             torn_write_rate: 0.0,
             read_latency: Duration::ZERO,
         }
@@ -122,6 +129,7 @@ impl FaultPlan {
             read_failure_rate: 0.002 * ((h >> 8) % 4) as f64,
             write_failure_rate: 0.002 * ((h >> 10) % 3) as f64,
             fail_block_reads: None,
+            read_failure_window: None,
             torn_write_rate: 0.001 * ((h >> 12) % 3) as f64,
             read_latency: Duration::ZERO,
         }
@@ -154,6 +162,14 @@ impl FaultPlan {
     /// Every read of `block` fails with probability `p`.
     pub fn with_fail_block_reads(mut self, block: usize, p: f64) -> FaultPlan {
         self.fail_block_reads = Some((block, p));
+        self
+    }
+
+    /// Reads with 1-based op index in `first..=last` fail with
+    /// probability `p` — a brownout with a deterministic end, after which
+    /// the device behaves normally again.
+    pub fn with_read_failure_window(mut self, first: u64, last: u64, p: f64) -> FaultPlan {
+        self.read_failure_window = Some((first, last, p));
         self
     }
 
@@ -276,7 +292,11 @@ impl FaultState {
             Some((b, p)) if b == block && decide(self.plan.seed, 1, idx, p)
         );
         let transient = decide(self.plan.seed, 2, idx, self.plan.read_failure_rate);
-        if planned || flaky_block || transient {
+        let brownout = matches!(
+            self.plan.read_failure_window,
+            Some((first, last, p)) if (first..=last).contains(&idx) && decide(self.plan.seed, 5, idx, p)
+        );
+        if planned || flaky_block || transient || brownout {
             self.log.push(FaultEvent {
                 op: "read",
                 block,
@@ -435,6 +455,43 @@ mod tests {
         assert!(st.on_read(7).is_err());
         st.on_read(8).unwrap();
         assert!(st.on_read(7).is_err());
+    }
+
+    #[test]
+    fn read_failure_window_starts_and_ends_deterministically() {
+        let plan = FaultPlan::inert(17).with_read_failure_window(4, 6, 1.0);
+        let mut st = FaultState::new(plan);
+        for b in 0..3 {
+            st.on_read(b).unwrap();
+        }
+        for b in 3..6 {
+            assert!(
+                st.on_read(b).is_err(),
+                "read {} is inside the brownout",
+                b + 1
+            );
+        }
+        for b in 6..50 {
+            st.on_read(b).unwrap();
+        }
+        assert_eq!(st.log.len(), 3, "only the windowed reads failed");
+    }
+
+    #[test]
+    fn partial_rate_brownout_is_deterministic_and_bounded() {
+        let run = |seed| {
+            let mut st =
+                FaultState::new(FaultPlan::inert(seed).with_read_failure_window(1, 400, 0.5));
+            (0..600).map(|b| st.on_read(b).is_err()).collect::<Vec<_>>()
+        };
+        let a = run(23);
+        assert_eq!(a, run(23));
+        let failures = a.iter().filter(|&&f| f).count();
+        assert!((120..280).contains(&failures), "{failures} of 400 at p=0.5");
+        assert!(
+            a.iter().skip(400).all(|&f| !f),
+            "no failures after the window closes"
+        );
     }
 
     #[test]

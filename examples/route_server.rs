@@ -12,13 +12,22 @@
 //!
 //! ```text
 //! ROUTE <from> <to>        -> COST <c> SEGMENTS <n> EPOCH <e> VIA <id> <id> ...
-//!                           | BUSY <depth>           (admission rejected; retry later)
+//!                           | STALE <age> COST <c> SEGMENTS <n> EPOCH <e> VIA ...
+//!                           |     (degraded: last good answer, <age> epochs old)
+//!                           | SHED <retry_after> <reason>
+//!                           |     (overload push-back; back off <retry_after> ticks)
 //! EVAL <id> <id> ...       -> DIST <d> TIME <t>
 //! UPDATE <from> <to> <c>   -> UPDATED <count> EPOCH <e>   (live traffic)
 //! EPOCH                    -> EPOCH <e>
 //! STATS                    -> STATS <json>      (metrics snapshot)
 //! QUIT
 //! ```
+//!
+//! `SHED` replaces the seed's bare `BUSY`: every refusal is typed
+//! (`queue-full`, `displaced`, `deadline-expired`, `breaker-open`) and
+//! carries a retry hint, so clients implement one backoff loop instead
+//! of guessing. `STALE` is the degrade ladder's last rung — the route
+//! served is a real route from an earlier epoch, never an invented one.
 //!
 //! `STATS` serves the server's `atis-obs` metrics registry verbatim as a
 //! single-line JSON document, `{"counters":{...},"histograms":{...}}` —
@@ -40,11 +49,12 @@
 //! ```
 
 use atis::obs::MetricsRegistry;
-use atis::serve::{RouteService, ServeConfig, ServeError};
+use atis::serve::{RouteOutcome, RouteService, ServeConfig, ServeError};
 use atis::{CostModel, Grid, NodeId, Path, RoutePlanner};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::Arc;
+use std::time::Duration;
 
 fn respond(service: &RouteService, line: &str) -> String {
     let mut parts = line.split_whitespace();
@@ -59,20 +69,30 @@ fn respond(service: &RouteService, line: &str) -> String {
             let d = parse_node(parts.next())?;
             match service.route(s, d) {
                 Ok(answer) => match answer.path {
-                    Some(p) => Ok(format!(
-                        "COST {:.4} SEGMENTS {} EPOCH {} VIA {}",
-                        p.cost,
-                        p.len(),
-                        answer.epoch,
-                        p.nodes
-                            .iter()
-                            .map(|n| n.0.to_string())
-                            .collect::<Vec<_>>()
-                            .join(" ")
-                    )),
+                    Some(p) => {
+                        let body = format!(
+                            "COST {:.4} SEGMENTS {} EPOCH {} VIA {}",
+                            p.cost,
+                            p.len(),
+                            answer.epoch,
+                            p.nodes
+                                .iter()
+                                .map(|n| n.0.to_string())
+                                .collect::<Vec<_>>()
+                                .join(" ")
+                        );
+                        Ok(match answer.outcome {
+                            RouteOutcome::Stale { age } => format!("STALE {age} {body}"),
+                            _ => body,
+                        })
+                    }
                     None => Err("unreachable".into()),
                 },
-                Err(ServeError::Busy { queue_depth }) => Ok(format!("BUSY {queue_depth}")),
+                Err(ServeError::Shed {
+                    reason,
+                    retry_after,
+                    ..
+                }) => Ok(format!("SHED {retry_after} {}", reason.label())),
                 Err(e) => Err(e.to_string()),
             }
         })()
@@ -143,6 +163,10 @@ fn handle(stream: TcpStream, service: &RouteService) {
     let Ok(mut writer) = stream.try_clone() else {
         return;
     };
+    // A client that stops draining its socket (or vanishes mid-response)
+    // must not park this connection thread on a blocking write forever:
+    // the write fails after the timeout and the connection is dropped.
+    let _ = writer.set_write_timeout(Some(Duration::from_secs(5)));
     let reader = BufReader::new(stream);
     for line in reader.lines() {
         let Ok(line) = line else { break };
@@ -274,12 +298,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "ROUTE zero one",     // unparsable ids
         "ROUTE 0 99999",      // unknown destination
         "ROUTE 99999 0",      // unknown source
+        "ROUTE 4294967296 0", // id overflows u32
+        "ROUTE -1 143",       // negative id
         "EVAL 5",             // fewer than two nodes
         "EVAL 0 99999",       // out-of-range node
         "EVAL 0 7",           // known nodes, but not a road
         "UPDATE 0 1",         // missing cost
         "UPDATE 0 1 fast",    // unparsable cost
+        "UPDATE 0 1 NaN",     // parses, but rejected by the planner
+        "UPDATE 0 1 -3.0",    // negative cost
         "UPDATE 99999 0 2.0", // unknown endpoint
+        "route 0 143",        // commands are case-sensitive
+        "ROUTE\u{0} 0 143",   // control bytes in the verb
     ] {
         let reply = ask(bad)?;
         assert!(reply.starts_with("ERR "), "{bad:?} -> {reply:?}");
@@ -290,6 +320,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "server must survive malformed input: {after}"
     );
     assert_eq!(after, second, "this is the cached epoch-1 answer");
+
+    // A client that disconnects mid-response: submit work, then vanish
+    // without reading the reply. The connection thread's write fails (or
+    // times out) and is reaped; the server must keep serving everyone
+    // else — no worker may stay parked on the dead socket.
+    for _ in 0..3 {
+        let mut rude = TcpStream::connect(addr)?;
+        writeln!(rude, "ROUTE 0 143")?;
+        rude.shutdown(std::net::Shutdown::Both)?;
+        drop(rude);
+    }
+    let alive = ask("EPOCH")?;
+    assert!(
+        alive.starts_with("EPOCH "),
+        "server must survive mid-response disconnects: {alive}"
+    );
+    let again = ask("ROUTE 0 143")?;
+    assert_eq!(again, second, "routing still works after rude clients");
 
     assert_eq!(ask("QUIT")?, "BYE");
     println!("\nself-test passed: pooled serving, cache hits, and live updates agree");

@@ -22,7 +22,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Routes with bounded retry on `BUSY` — the client-side half of the
+/// Routes with bounded retry on `SHED` — the client-side half of the
 /// admission-control contract.
 fn route_with_backoff(
     service: &RouteService,
@@ -32,7 +32,7 @@ fn route_with_backoff(
     loop {
         match service.route(from, to) {
             Ok(answer) => return answer,
-            Err(ServeError::Busy { .. }) => std::thread::sleep(Duration::from_micros(200)),
+            Err(ServeError::Shed { .. }) => std::thread::sleep(Duration::from_micros(200)),
             Err(e) => panic!("unexpected serve error: {e}"),
         }
     }
