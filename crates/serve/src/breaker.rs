@@ -205,6 +205,18 @@ impl CircuitBreaker {
         }
     }
 
+    /// Returns a half-open probe slot without judging the resource: the
+    /// probe run was aborted for an unrelated reason (a deadline shed, a
+    /// caller-side error), so its outcome says nothing about health. A
+    /// no-op in any other state — a concurrent success/failure already
+    /// resolved the machine, and the slot accounting went with it.
+    pub fn release_probe(&self) {
+        let mut inner = self.lock_breaker();
+        if inner.state == BreakerState::HalfOpen {
+            inner.probes_in_flight = inner.probes_in_flight.saturating_sub(1);
+        }
+    }
+
     /// Records a typed failure against the resource at virtual time
     /// `now`. Trips a closed breaker at the threshold; re-opens a
     /// half-open one immediately.
@@ -238,6 +250,57 @@ impl CircuitBreaker {
                 })
             }
             BreakerState::Open { .. } => None,
+        }
+    }
+}
+
+/// Resolves one admitted request against its breaker exactly once.
+///
+/// Wraps the [`Admission`] that [`CircuitBreaker::admit`] returned for a
+/// request: [`ProbeGuard::success`] / [`ProbeGuard::failure`] report the
+/// verdict, and dropping a guard that never reached a verdict (the run
+/// was shed on its deadline, or failed for a reason unrelated to the
+/// resource) releases the probe slot via
+/// [`CircuitBreaker::release_probe`]. Without the release, an aborted
+/// probe would leave `probes_in_flight` saturated and wedge the breaker
+/// half-open, denying every future admit — the resource would stay
+/// bypassed forever even after it recovered.
+#[derive(Debug)]
+pub struct ProbeGuard<'a> {
+    breaker: &'a CircuitBreaker,
+    pending: bool,
+}
+
+impl<'a> ProbeGuard<'a> {
+    /// Guards `breaker` for the request that `admit` answered with
+    /// `admission`. Only [`Admission::Probe`] holds a slot to release;
+    /// the other admissions make the guard a plain success/failure
+    /// forwarder.
+    pub fn new(breaker: &'a CircuitBreaker, admission: Admission) -> Self {
+        ProbeGuard {
+            breaker,
+            pending: matches!(admission, Admission::Probe),
+        }
+    }
+
+    /// Reports the run as a success and defuses the guard.
+    pub fn success(&mut self) -> Option<BreakerTransition> {
+        self.pending = false;
+        self.breaker.on_success()
+    }
+
+    /// Reports the run as a typed failure at virtual time `now` and
+    /// defuses the guard.
+    pub fn failure(&mut self, now: u64) -> Option<BreakerTransition> {
+        self.pending = false;
+        self.breaker.on_failure(now)
+    }
+}
+
+impl Drop for ProbeGuard<'_> {
+    fn drop(&mut self) {
+        if self.pending {
+            self.breaker.release_probe();
         }
     }
 }
@@ -312,6 +375,50 @@ mod tests {
         b.on_failure(0);
         assert_eq!(b.on_failure(1), None);
         assert_eq!(b.state(), BreakerState::Open { until: 50 });
+    }
+
+    #[test]
+    fn an_aborted_probe_releases_its_slot_instead_of_wedging_half_open() {
+        let b = breaker(1, 50);
+        b.on_failure(0);
+        let (admission, _) = b.admit(50);
+        assert_eq!(admission, Admission::Probe);
+        // The probe run is aborted (deadline shed) with no verdict: the
+        // guard's drop must hand the slot back so the next admit probes
+        // again instead of being denied forever.
+        drop(ProbeGuard::new(&b, admission));
+        let (next, _) = b.admit(51);
+        assert_eq!(next, Admission::Probe);
+    }
+
+    #[test]
+    fn a_defused_guard_does_not_release_on_drop() {
+        let b = breaker(1, 50);
+        b.on_failure(0);
+        let (admission, _) = b.admit(50);
+        let mut guard = ProbeGuard::new(&b, admission);
+        let t = guard.success().expect("half-open -> closed");
+        assert_eq!(t.to, BreakerState::Closed);
+        drop(guard);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.admit(51).0, Admission::Allow);
+    }
+
+    #[test]
+    fn release_probe_is_a_no_op_outside_half_open() {
+        let b = breaker(1, 50);
+        b.release_probe();
+        assert_eq!(b.state(), BreakerState::Closed);
+        b.on_failure(0);
+        b.release_probe();
+        assert_eq!(b.state(), BreakerState::Open { until: 50 });
+        // A probe whose failure already re-opened the breaker: the late
+        // release must not disturb the open state.
+        let (admission, _) = b.admit(50);
+        let mut guard = ProbeGuard::new(&b, admission);
+        guard.failure(50);
+        drop(guard);
+        assert_eq!(b.state(), BreakerState::Open { until: 100 });
     }
 
     #[test]

@@ -92,7 +92,9 @@ pub mod error;
 pub mod service;
 pub(crate) mod sync;
 
-pub use breaker::{Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+pub use breaker::{
+    Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ProbeGuard,
+};
 pub use cache::{CacheStats, CachedRoute, RouteCache};
 #[cfg(not(loom))]
 pub use chaos::{ChaosReport, ChaosScenario, OutcomeCounts};

@@ -47,7 +47,9 @@
 //! sweeps the cache under the invalidation rule, retiring invalidated
 //! entries into the stale tier.
 
-use crate::breaker::{Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker};
+use crate::breaker::{
+    Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ProbeGuard,
+};
 use crate::cache::{CachedRoute, RouteCache};
 use crate::epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};
 use crate::error::{ServeError, ShedReason};
@@ -395,8 +397,10 @@ struct Shared {
     retry_unit_ticks: u64,
     stale_max_age: u64,
     breakers: Breakers,
-    /// The virtual clock: +1 per dequeue, +⌈cost units⌉ per completed
-    /// run. A deterministic measure of admitted load, never wall time.
+    /// The virtual clock: +1 per dequeue, +⌈cost units⌉ per run —
+    /// completed *or* failed (a cost-budget abort is charged its full
+    /// allowance, other failures a one-unit floor). A deterministic
+    /// measure of admitted load, never wall time.
     clock: AtomicU64,
     next_request: AtomicU64,
     metrics: Option<SharedRegistry>,
@@ -459,6 +463,13 @@ impl Shared {
             ShedReason::DeadlineExpired => self.default_deadline_ticks,
             _ => (queue_depth as u64).max(1) * self.retry_unit_ticks,
         };
+        self.resolve_shed(job, reason, retry_after, queue_depth);
+    }
+
+    /// Sheds `job` with a back-off hint that is already known — a
+    /// breaker's actual countdown, a deadline renewal — instead of the
+    /// queue-depth formula. Never called with a lock held.
+    fn resolve_shed(&self, job: &Job, reason: ShedReason, retry_after: u64, queue_depth: usize) {
         self.inc("serve_shed_total");
         if reason == ShedReason::DeadlineExpired {
             self.inc("serve_deadline_expired_total");
@@ -825,14 +836,20 @@ fn worker_loop(shared: &Shared, worker: usize) {
         });
 
         let started = Instant::now();
-        let outcome = execute(shared, &snapshot, &job, now);
+        let (outcome, consumed) = execute(shared, &snapshot, &job, now);
         let service_time = started.elapsed();
         shared.observe("serve_service_seconds", service_time.as_secs_f64());
         shared.inc("serve_requests_total");
         shared.inc(&format!("serve_worker_{worker}_requests_total"));
+        // The run ticks the virtual clock by what it consumed whether it
+        // completed or died: a cost-budget abort burned its whole
+        // allowance before the meter fired, and any other failed run is
+        // charged a one-unit floor — so breaker open-windows and queued
+        // deadlines keep progressing under fault storms instead of
+        // freezing while every run fails.
+        shared.advance(consumed);
 
         let answer = outcome.map(|exec| {
-            shared.advance(exec.cost_units.max(0.0).ceil() as u64);
             if let RouteOutcome::Stale { age } = exec.outcome {
                 shared.inc("serve_stale_served_total");
                 shared.emit(ServeEvent::StaleServed {
@@ -866,10 +883,17 @@ fn worker_loop(shared: &Shared, worker: usize) {
             }
         });
         match answer {
-            Err(ServeError::Shed { reason, .. }) => {
-                // A mid-run deadline abort: already metered as the work
-                // it consumed; surface it exactly like a queue shed.
-                shared.shed_job(&job, reason, 0);
+            Err(ServeError::Shed {
+                reason,
+                retry_after,
+                queue_depth,
+            }) => {
+                // A mid-run shed already carries its true back-off hint
+                // (the breaker's remaining countdown, a deadline
+                // renewal) and its consumed cost was metered above:
+                // resolve it as-is instead of recomputing the hint from
+                // queue depth.
+                shared.resolve_shed(&job, reason, retry_after, queue_depth);
             }
             other => {
                 if other.is_err() {
@@ -890,22 +914,42 @@ struct Exec {
     cost_units: f64,
 }
 
+/// Cost units rounded up to whole virtual-clock ticks.
+fn ticks(cost_units: f64) -> u64 {
+    cost_units.max(0.0).ceil() as u64
+}
+
 /// Answers one job against its pinned snapshot: cache, then the degrade
 /// ladder (primary → v3 on landmark trouble → Dijkstra on storage
 /// trouble → the stale tier), under the deadline-derived cost budget.
-fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<Exec, ServeError> {
+///
+/// Also returns the cost-unit ticks the attempt consumed — exact for
+/// completed runs and cost-budget aborts (which burned their whole
+/// allowance before the meter fired), a one-unit floor for failures
+/// whose partial spend is unknowable — so the worker can meter the
+/// virtual clock for aborted work too, not just completed work.
+fn execute(
+    shared: &Shared,
+    snapshot: &Snapshot,
+    job: &Job,
+    now: u64,
+) -> (Result<Exec, ServeError>, u64) {
     if let Some(hit) = shared.cache.lookup(job.from, job.to, snapshot.epoch) {
         shared.emit(ServeEvent::CacheHit {
             request: job.id,
             epoch: snapshot.epoch,
         });
-        return Ok(Exec {
-            path: Some(hit.path),
-            outcome: RouteOutcome::CacheHit,
-            epoch: snapshot.epoch,
-            iterations: hit.iterations,
-            cost_units: hit.cost_units,
-        });
+        let consumed = ticks(hit.cost_units);
+        return (
+            Ok(Exec {
+                path: Some(hit.path),
+                outcome: RouteOutcome::CacheHit,
+                epoch: snapshot.epoch,
+                iterations: hit.iterations,
+                cost_units: hit.cost_units,
+            }),
+            consumed,
+        );
     }
 
     // The deadline-derived budget: the run may spend at most
@@ -924,15 +968,32 @@ fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<
     let (storage_admission, t) = shared.breakers.storage.admit(now);
     shared.emit_transition("storage", t);
     if let Admission::Deny { retry_after } = storage_admission {
-        return stale_or_shed(shared, snapshot, job, retry_after);
+        let result = stale_or_shed(shared, snapshot, job, retry_after);
+        let consumed = result.as_ref().map_or(0, |exec| ticks(exec.cost_units));
+        return (result, consumed);
     }
+    // From here this request may hold the storage breaker's half-open
+    // probe slot. The guard resolves it exactly once: a verdict below
+    // defuses it, and every other exit path (deadline shed, an error
+    // that says nothing about storage) releases the slot on drop, so an
+    // aborted probe can never wedge the breaker half-open.
+    let mut storage_probe = ProbeGuard::new(&shared.breakers.storage, storage_admission);
 
     // Rung 0/1: the configured algorithm, unless the landmark breaker
-    // says its v4 estimator is broken — then start at v3 directly.
+    // denies its v4 estimator — then start at v3 directly. Admission
+    // (not a bare state read) drives the machine, so an open breaker
+    // whose window has elapsed half-opens here and this request runs v4
+    // as the probe that can re-close it.
     let needs_landmarks = shared.algorithm == Algorithm::AStar(AStarVersion::V4);
-    let landmarks_open =
-        needs_landmarks && matches!(shared.breakers.landmarks.state(), BreakerState::Open { .. });
-    let (mut rung, mut result) = if landmarks_open {
+    let (landmark_admission, t) = if needs_landmarks {
+        shared.breakers.landmarks.admit(now)
+    } else {
+        (Admission::Allow, None)
+    };
+    shared.emit_transition("landmarks", t);
+    let mut landmark_probe = ProbeGuard::new(&shared.breakers.landmarks, landmark_admission);
+    let landmarks_denied = matches!(landmark_admission, Admission::Deny { .. });
+    let (mut rung, mut result) = if landmarks_denied {
         (
             "astar-v3",
             snapshot.db.run_with_budgets(
@@ -951,11 +1012,17 @@ fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<
         )
     };
 
+    // Ticks consumed by failed rungs whose traces were discarded before
+    // a later rung replaced them (exact spend is unknowable without
+    // threading IoStats through errors, so each is a one-unit floor).
+    let mut consumed: u64 = 0;
+
     // Landmark trouble: count it against the landmark breaker and fall
     // to v3 (exact, estimator degraded to Manhattan-family bounds).
     if let Err(AlgorithmError::LandmarksUnavailable(_)) = &result {
-        let t = shared.breakers.landmarks.on_failure(now);
+        let t = landmark_probe.failure(now);
         shared.emit_transition("landmarks", t);
+        consumed += 1;
         rung = "astar-v3";
         result = snapshot.db.run_with_budgets(
             Algorithm::AStar(AStarVersion::V3),
@@ -963,8 +1030,8 @@ fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<
             job.to,
             budgets,
         );
-    } else if needs_landmarks && result.is_ok() {
-        let t = shared.breakers.landmarks.on_success();
+    } else if needs_landmarks && !landmarks_denied && result.is_ok() {
+        let t = landmark_probe.success();
         shared.emit_transition("landmarks", t);
     }
 
@@ -972,12 +1039,13 @@ fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<
     // fault counters advance, and the plain algorithm reads fewer
     // blocks than an estimator-guided one under partial information).
     if let Err(AlgorithmError::Storage(_)) = &result {
-        let t = shared.breakers.storage.on_failure(now);
+        let t = storage_probe.failure(now);
         shared.emit_transition("storage", t);
         if matches!(
             shared.breakers.storage.state(),
             BreakerState::Closed | BreakerState::HalfOpen
         ) {
+            consumed += 1;
             rung = "dijkstra";
             result = snapshot
                 .db
@@ -987,9 +1055,10 @@ fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<
 
     match result {
         Ok(trace) => {
-            let t = shared.breakers.storage.on_success();
+            let t = storage_probe.success();
             shared.emit_transition("storage", t);
             let cost_units = trace.cost_units(snapshot.db.params());
+            consumed += ticks(cost_units);
             if let Some(path) = &trace.path {
                 shared.cache.insert(
                     job.from,
@@ -1007,33 +1076,59 @@ fn execute(shared: &Shared, snapshot: &Snapshot, job: &Job, now: u64) -> Result<
             } else {
                 RouteOutcome::Degraded { rung }
             };
-            Ok(Exec {
-                path: trace.path,
-                outcome,
-                epoch: snapshot.epoch,
-                iterations: trace.iterations,
-                cost_units,
-            })
+            (
+                Ok(Exec {
+                    path: trace.path,
+                    outcome,
+                    epoch: snapshot.epoch,
+                    iterations: trace.iterations,
+                    cost_units,
+                }),
+                consumed,
+            )
         }
-        Err(AlgorithmError::BudgetExceeded(BudgetKind::CostUnits)) if deadline_binding => {
-            // The deadline, not the database's own budget, stopped the
-            // run: this is a shed, not an algorithm failure.
-            Err(ServeError::Shed {
-                reason: ShedReason::DeadlineExpired,
-                retry_after: shared.default_deadline_ticks,
-                queue_depth: 0,
-            })
-        }
-        Err(e @ AlgorithmError::Storage(_)) => {
-            let t = shared.breakers.storage.on_failure(now);
-            shared.emit_transition("storage", t);
-            match stale_or_shed(shared, snapshot, job, shared.retry_unit_ticks) {
-                Ok(exec) => Ok(exec),
-                Err(ServeError::Shed { .. }) => Err(ServeError::from(e)),
-                Err(other) => Err(other),
+        Err(e) => {
+            // A cost-budget abort read blocks until it crossed its
+            // allowance, so it is charged in full; any other failure's
+            // partial spend is the floor.
+            consumed += match &e {
+                AlgorithmError::BudgetExceeded(BudgetKind::CostUnits) => {
+                    budgets.max_cost_units.map_or(1, ticks).max(1)
+                }
+                _ => 1,
+            };
+            match e {
+                AlgorithmError::BudgetExceeded(BudgetKind::CostUnits) if deadline_binding => {
+                    // The deadline, not the database's own budget,
+                    // stopped the run: this is a shed, not an algorithm
+                    // failure — and no verdict on storage health, so a
+                    // held probe slot is released by the guard.
+                    (
+                        Err(ServeError::Shed {
+                            reason: ShedReason::DeadlineExpired,
+                            retry_after: shared.default_deadline_ticks,
+                            queue_depth: 0,
+                        }),
+                        consumed,
+                    )
+                }
+                e @ AlgorithmError::Storage(_) => {
+                    let t = storage_probe.failure(now);
+                    shared.emit_transition("storage", t);
+                    let result = match stale_or_shed(shared, snapshot, job, shared.retry_unit_ticks)
+                    {
+                        Ok(exec) => Ok(exec),
+                        Err(ServeError::Shed { .. }) => Err(ServeError::from(e)),
+                        Err(other) => Err(other),
+                    };
+                    if let Ok(exec) = &result {
+                        consumed += ticks(exec.cost_units);
+                    }
+                    (result, consumed)
+                }
+                e => (Err(ServeError::from(e)), consumed),
             }
         }
-        Err(e) => Err(ServeError::from(e)),
     }
 }
 
@@ -1461,5 +1556,130 @@ mod tests {
         );
         service.route(s, d).unwrap();
         assert!(service.now_ticks() > after_one);
+    }
+
+    #[test]
+    fn a_tripped_landmark_breaker_recovers_through_query_probing() {
+        use atis_preprocess::{LandmarkTables, PreprocessConfig};
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let tables = LandmarkTables::build(grid.graph(), PreprocessConfig::grid_default()).unwrap();
+        let db = Database::open(grid.graph()).unwrap().with_landmarks(tables);
+        let service = RouteService::new(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_algorithm(Algorithm::AStar(AStarVersion::V4))
+                .with_breaker(BreakerConfig {
+                    failure_threshold: 1,
+                    open_ticks: 8,
+                    probes: 1,
+                }),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+        // Trip the landmark breaker, exactly as a failed rebuild would.
+        let tripped = service
+            .shared
+            .breakers
+            .landmarks
+            .on_failure(service.now_ticks());
+        assert!(tripped.is_some(), "threshold 1 must trip on one failure");
+
+        // While open, the ladder starts at v3.
+        let degraded = service.route(s, d).unwrap();
+        assert_eq!(
+            degraded.outcome,
+            RouteOutcome::Degraded { rung: "astar-v3" }
+        );
+
+        // Each served query advances the virtual clock; once the open
+        // window elapses, admission half-opens the breaker, a request
+        // probes v4, and its success re-closes the machine — the
+        // breaker must not stay open forever after landmarks recover.
+        let mut recovered = false;
+        for _ in 0..64 {
+            if service.route(s, d).unwrap().outcome == RouteOutcome::Computed {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "an elapsed open window must let v4 probe back");
+        assert_eq!(
+            service.breaker_state("landmarks"),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn a_deadline_shed_probe_releases_the_storage_breaker_slot() {
+        let (service, grid) = grid_service(
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_breaker(BreakerConfig {
+                    failure_threshold: 1,
+                    open_ticks: 64,
+                    probes: 1,
+                }),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+        // Trip the storage breaker at tick 0: open until tick 64.
+        let tripped = service.shared.breakers.storage.on_failure(0);
+        assert!(tripped.is_some());
+
+        // While open, requests shed with the breaker's *actual*
+        // countdown (not the queue-depth retry formula), and each shed
+        // still ticks the clock by its dequeue.
+        match service.route(s, d) {
+            Err(ServeError::Shed {
+                reason,
+                retry_after,
+                ..
+            }) => {
+                assert_eq!(reason, ShedReason::BreakerOpen);
+                assert!(
+                    retry_after > 16,
+                    "retry_after {retry_after} must be the breaker countdown, \
+                     not the 16-tick retry unit"
+                );
+            }
+            other => panic!("open breaker must shed, got {other:?}"),
+        }
+        while service.now_ticks() < 64 {
+            let _ = service.route(s, d);
+        }
+
+        // The open window has elapsed: the next request is admitted as
+        // the half-open probe, but its 3-tick deadline aborts the run
+        // mid-expansion — a shed, with no verdict on storage health.
+        let before = service.now_ticks();
+        match service.route_with(s, d, RequestClass::Interactive, Some(3)) {
+            Err(ServeError::Shed { reason, .. }) => {
+                assert_eq!(
+                    reason,
+                    ShedReason::DeadlineExpired,
+                    "the probe must be admitted (BreakerOpen would mean denied)"
+                );
+            }
+            other => panic!("a 3-tick deadline must shed mid-run, got {other:?}"),
+        }
+        // The aborted run burned its whole cost allowance; the clock
+        // must be charged for it (dequeue + ⌈allowance⌉), not just the
+        // dequeue tick.
+        assert!(
+            service.now_ticks() >= before + 3,
+            "aborted work must still meter the clock: {} -> {}",
+            before,
+            service.now_ticks()
+        );
+
+        // The aborted probe released its slot: the next request probes,
+        // succeeds, and re-closes the breaker instead of being denied
+        // by a permanently saturated half-open machine.
+        let answer = service.route(s, d).unwrap();
+        assert_eq!(answer.outcome, RouteOutcome::Computed);
+        assert_eq!(service.breaker_state("storage"), Some(BreakerState::Closed));
     }
 }

@@ -12,8 +12,8 @@
 use atis_algorithms::Database;
 use atis_graph::{CostModel, Grid, NodeId, Path, QueryKind};
 use atis_serve::{
-    Admission, BreakerConfig, BreakerState, CachedRoute, CircuitBreaker, EpochDb, RouteCache,
-    RouteService, ServeConfig, ServeError,
+    Admission, BreakerConfig, BreakerState, CachedRoute, CircuitBreaker, EpochDb, ProbeGuard,
+    RouteCache, RouteService, ServeConfig, ServeError,
 };
 use std::sync::Arc;
 
@@ -247,5 +247,60 @@ fn breaker_trip_probe_reclose_vs_epoch_install() {
         let reclose = breaker.on_success().expect("half-open -> closed");
         assert_eq!(reclose.to, BreakerState::Closed);
         assert_eq!(breaker.state(), BreakerState::Closed);
+    });
+}
+
+/// Race: an aborted half-open probe (guard dropped without a verdict)
+/// against an unrelated failure report landing on the same breaker.
+///
+/// Invariants under every interleaving:
+/// * the machine never wedges — after the race a probe slot is always
+///   available again (either the breaker re-opened, whose window then
+///   elapses into a fresh probe, or the released slot is re-admitted);
+/// * the aborted probe never *closes* the breaker — only a success
+///   verdict may do that.
+#[test]
+fn aborted_probe_release_vs_concurrent_failure() {
+    loom::model(|| {
+        let breaker = Arc::new(CircuitBreaker::new(BreakerConfig {
+            failure_threshold: 1,
+            open_ticks: 10,
+            probes: 1,
+        }));
+        // Trip and half-open: tick 0 failure opens until 10; the admit
+        // at 10 takes the probe slot.
+        breaker.on_failure(0);
+        let (admission, _) = breaker.admit(10);
+        assert_eq!(admission, Admission::Probe);
+
+        let aborter = {
+            let breaker = breaker.clone();
+            loom::thread::spawn(move || {
+                // The probe run is shed on its deadline: no verdict.
+                drop(ProbeGuard::new(&*breaker, Admission::Probe));
+            })
+        };
+        let failer = {
+            let breaker = breaker.clone();
+            loom::thread::spawn(move || breaker.on_failure(11))
+        };
+
+        aborter.join().expect("aborter");
+        failer.join().expect("failer");
+
+        match breaker.state() {
+            // The failure won while half-open: re-opened; the window
+            // elapsing must yield a fresh probe.
+            BreakerState::Open { until } => {
+                assert_eq!(breaker.admit(until).0, Admission::Probe);
+            }
+            // The release won and the failure saw half-open too — or
+            // raced to a no-op; either way the freed slot must be
+            // re-admittable, never denied forever.
+            BreakerState::HalfOpen => {
+                assert_eq!(breaker.admit(12).0, Admission::Probe);
+            }
+            BreakerState::Closed => panic!("an aborted probe must never close the breaker"),
+        }
     });
 }
