@@ -19,6 +19,17 @@
 #                          are deterministic. wall_ms and preprocess_ms
 #                          are recorded but never gated (wall clock is
 #                          machine-dependent).
+#   BENCH_scaling.json     nodes_expanded, block_reads and physical_reads
+#                          per (network, layout, algorithm) — lower is
+#                          better, same tight tolerance (all three
+#                          counters are deterministic: seeded generator,
+#                          deterministic pool). CI reruns only the 10k
+#                          smoke scale (BENCH_scaling_smoke.json), so
+#                          baseline records for scales absent from the
+#                          fresh artifact are skipped, not failed — scale
+#                          coverage is a run-mode choice; dropping an
+#                          algorithm or layout *within* a measured scale
+#                          still fails.
 # A (network, algorithm) or workers key present in the baseline but
 # missing from the fresh artifact fails the gate: silently dropping a
 # bench configuration must not read as a pass.
@@ -29,6 +40,7 @@
 #                                        # injected >15% regression
 #   ci/compare-bench.sh --serve BASE FRESH        # gate one pair directly
 #   ci/compare-bench.sh --estimators BASE FRESH   # gate one pair directly
+#   ci/compare-bench.sh --scaling BASE FRESH      # gate one pair directly
 set -eu
 
 SERVE_TOL=${SERVE_TOL:-0.15}
@@ -136,6 +148,74 @@ compare_estimators() {
     ' "$base" "$fresh"
 }
 
+# --- scaling: three deterministic counters per (network, layout, algo) -----
+compare_scaling() {
+    base=$1 fresh=$2
+    awk -v tol="$EST_TOL" '
+        function str(key,    s) {
+            if (match($0, "\"" key "\":\"[^\"]*\"")) {
+                s = substr($0, RSTART, RLENGTH)
+                sub("\"" key "\":\"", "", s)
+                sub("\"$", "", s)
+                return s
+            }
+            return ""
+        }
+        function num(key,    s) {
+            if (match($0, "\"" key "\":[0-9.]+")) {
+                s = substr($0, RSTART, RLENGTH)
+                sub("\"" key "\":", "", s)
+                return s + 0
+            }
+            return -1
+        }
+        /"benchmark":"scaling"/ {
+            net = str("network")
+            key = net "|" str("layout") "|" str("algorithm")
+            ne = num("nodes_expanded"); br = num("block_reads"); pr = num("physical_reads")
+            if (NR == FNR) { base_ne[key] = ne; base_br[key] = br; base_pr[key] = pr; base_net[key] = net }
+            else { fresh_ne[key] = ne; fresh_br[key] = br; fresh_pr[key] = pr; seen[key] = 1; nets[net] = 1 }
+        }
+        END {
+            fail = 0
+            for (k in base_ne) {
+                # A scale the fresh run did not measure at all (smoke
+                # mode) is skipped; a dropped config within a measured
+                # scale is a failure.
+                if (!(base_net[k] in nets)) {
+                    printf "skip scaling: %s (scale not measured by this run)\n", k
+                    continue
+                }
+                if (!(k in seen)) {
+                    printf "FAIL scaling: %s missing from fresh artifact\n", k
+                    fail = 1
+                    continue
+                }
+                bad = 0
+                if (fresh_ne[k] > base_ne[k] * (1 + tol)) {
+                    printf "FAIL scaling: %s nodes_expanded %d > baseline %d (tol %.0f%%)\n", \
+                        k, fresh_ne[k], base_ne[k], tol * 100
+                    bad = 1
+                }
+                if (fresh_br[k] > base_br[k] * (1 + tol)) {
+                    printf "FAIL scaling: %s block_reads %d > baseline %d (tol %.0f%%)\n", \
+                        k, fresh_br[k], base_br[k], tol * 100
+                    bad = 1
+                }
+                if (fresh_pr[k] > base_pr[k] * (1 + tol)) {
+                    printf "FAIL scaling: %s physical_reads %d > baseline %d (tol %.0f%%)\n", \
+                        k, fresh_pr[k], base_pr[k], tol * 100
+                    bad = 1
+                }
+                if (bad) fail = 1
+                else printf "ok   scaling: %s expanded %d, reads %d, physical %d\n", \
+                    k, fresh_ne[k], fresh_br[k], fresh_pr[k]
+            }
+            exit fail
+        }
+    ' "$base" "$fresh"
+}
+
 # --- first run: no committed baseline --------------------------------------
 # When HEAD carries no baseline for a metric file there is nothing to
 # gate against — but failing would keep the very first bench run red
@@ -168,9 +248,16 @@ EOF
 {"benchmark":"estimator_quality","network":"grid30","algorithm":"A* (version 4)","nodes_expanded":131,"block_reads":6294,"wall_ms":1.0}
 EOF
 
+    cat > "$tmp/scaling_base.json" <<'EOF'
+{"benchmark":"scaling","network":"metro-10k","layout":"region","algorithm":"Dijkstra","nodes_expanded":856,"block_reads":13043,"physical_reads":106}
+{"benchmark":"scaling","network":"metro-10k","layout":"shuffled","algorithm":"Dijkstra","nodes_expanded":856,"block_reads":13670,"physical_reads":733}
+{"benchmark":"scaling","network":"metro-100k","layout":"region","algorithm":"Dijkstra","nodes_expanded":856,"block_reads":19181,"physical_reads":822}
+EOF
+
     echo "self-test 1: identical artifacts must pass"
     compare_serve "$tmp/serve_base.json" "$tmp/serve_base.json" || status=1
     compare_estimators "$tmp/est_base.json" "$tmp/est_base.json" || status=1
+    compare_scaling "$tmp/scaling_base.json" "$tmp/scaling_base.json" || status=1
 
     echo "self-test 2: a 30% throughput regression must fail"
     sed 's/"req_per_s":750.00/"req_per_s":525.00/' "$tmp/serve_base.json" \
@@ -200,7 +287,27 @@ EOF
         status=1
     fi
 
-    echo "self-test 5: a missing committed baseline must record, not fail"
+    echo "self-test 5: a scaling physical_reads regression must fail"
+    sed 's/"physical_reads":106/"physical_reads":150/' "$tmp/scaling_base.json" \
+        > "$tmp/scaling_bad.json"
+    if compare_scaling "$tmp/scaling_base.json" "$tmp/scaling_bad.json"; then
+        echo "self-test FAILED: regressed scaling artifact passed the gate"
+        status=1
+    fi
+
+    echo "self-test 6: a smoke run must skip unmeasured scales but gate measured ones"
+    grep -v '"metro-100k"' "$tmp/scaling_base.json" > "$tmp/scaling_smoke.json" || true
+    compare_scaling "$tmp/scaling_base.json" "$tmp/scaling_smoke.json" || {
+        echo "self-test FAILED: smoke artifact with full 10k coverage failed the gate"
+        status=1
+    }
+    grep -v '"layout":"shuffled"' "$tmp/scaling_smoke.json" > "$tmp/scaling_dropped.json" || true
+    if compare_scaling "$tmp/scaling_base.json" "$tmp/scaling_dropped.json"; then
+        echo "self-test FAILED: dropped layout within a measured scale passed the gate"
+        status=1
+    fi
+
+    echo "self-test 7: a missing committed baseline must record, not fail"
     rm -f "$tmp/recorded.json"
     if record_baseline "$tmp/serve_base.json" "$tmp/recorded.json" \
         && cmp -s "$tmp/serve_base.json" "$tmp/recorded.json"; then
@@ -232,23 +339,34 @@ case "${1:-}" in
     --estimators)
         compare_estimators "$2" "$3"
         ;;
+    --scaling)
+        compare_scaling "$2" "$3"
+        ;;
     "")
         tmp=$(mktemp -d)
         trap 'rm -rf "$tmp"' EXIT
         status=0
-        for f in BENCH_serve.json BENCH_estimators.json; do
+        for f in BENCH_serve.json BENCH_estimators.json BENCH_scaling.json; do
             if ! git show "HEAD:$f" > "$tmp/$(basename "$f")" 2>/dev/null; then
                 record_baseline "$f" "$f" || status=1
                 continue
             fi
-            if [ ! -f "$f" ]; then
-                echo "FAIL: $f was not produced by the bench run"
+            # The scaling bench's CI smoke run writes a separate
+            # artifact; gate against it when present (the committed
+            # full artifact stays the baseline).
+            fresh="$f"
+            if [ "$f" = "BENCH_scaling.json" ] && [ -f BENCH_scaling_smoke.json ]; then
+                fresh=BENCH_scaling_smoke.json
+            fi
+            if [ ! -f "$fresh" ]; then
+                echo "FAIL: $fresh was not produced by the bench run"
                 status=1
                 continue
             fi
             case "$f" in
-                BENCH_serve.json) compare_serve "$tmp/$f" "$f" || status=1 ;;
-                *) compare_estimators "$tmp/$f" "$f" || status=1 ;;
+                BENCH_serve.json) compare_serve "$tmp/$f" "$fresh" || status=1 ;;
+                BENCH_scaling.json) compare_scaling "$tmp/$f" "$fresh" || status=1 ;;
+                *) compare_estimators "$tmp/$f" "$fresh" || status=1 ;;
             esac
         done
         if [ "$status" -ne 0 ]; then
@@ -258,7 +376,7 @@ case "${1:-}" in
         echo "benchmark-regression gate OK"
         ;;
     *)
-        echo "usage: $0 [--self-test | --serve BASE FRESH | --estimators BASE FRESH]" >&2
+        echo "usage: $0 [--self-test | --serve BASE FRESH | --estimators BASE FRESH | --scaling BASE FRESH]" >&2
         exit 2
         ;;
 esac

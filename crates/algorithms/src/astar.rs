@@ -199,7 +199,7 @@ fn run_relation_frontier(
     let mut observer = RunObserver::new(db, &label);
     observer.run_started(s, d);
     let s_id = s.0;
-    let d_id = d.0 as u16;
+    let d_id = d.0;
     let levels = db.params().isam_levels;
 
     // C1 twice: the frontier relation and the (lazily grown) resultant
@@ -254,7 +254,7 @@ fn run_relation_frontier(
         // the resultant relation.
         frontier.delete(u, &mut io)?;
         result.replace(u, &mut io, |t| t.status = NodeStatus::Closed)?;
-        if u as u16 == d_id {
+        if u == d_id {
             found = true;
             break;
         }
@@ -262,7 +262,7 @@ fn run_relation_frontier(
         order.push(NodeId(u));
 
         let (adjacency, strategy) = join_adjacency(
-            &[(u as u16, ut)],
+            &[(u, ut)],
             db.edges(),
             db.join_policy(),
             db.params(),
@@ -271,21 +271,21 @@ fn run_relation_frontier(
         join_strategy = Some(strategy);
 
         for (_, e) in adjacency {
-            let v = e.end as u32;
+            let v = e.end;
             let candidate = ut.path_cost + e.cost as f32;
             if result.contains(v, &mut io)? {
                 let current = result.get(v, &mut io)?;
                 if candidate < current.path_cost {
                     result.replace(v, &mut io, |t| {
                         t.path_cost = candidate;
-                        t.path = u as u16;
+                        t.path = u;
                         t.status = NodeStatus::Open;
                     })?;
                     match current.status {
                         NodeStatus::Open => {
                             frontier.replace(v, &mut io, |t| {
                                 t.path_cost = candidate;
-                                t.path = u as u16;
+                                t.path = u;
                             })?;
                         }
                         _ => {
@@ -293,7 +293,7 @@ fn run_relation_frontier(
                             // frontier (Figure 3 has no explored-set check).
                             let mut t = current;
                             t.path_cost = candidate;
-                            t.path = u as u16;
+                            t.path = u;
                             t.status = NodeStatus::Open;
                             frontier.append(v, &t, &mut io)?;
                             reopened += 1;
@@ -308,7 +308,7 @@ fn run_relation_frontier(
                     x: e.end_x,
                     y: e.end_y,
                     status: NodeStatus::Open,
-                    path: u as u16,
+                    path: u,
                     path_cost: candidate,
                 };
                 result.append(v, &t, &mut io)?;
@@ -333,12 +333,12 @@ fn run_relation_frontier(
         for id in 0..n as u32 {
             if let Some(t) = result.peek(id)? {
                 if t.path != NO_PRED {
-                    pred[id as usize] = Some(NodeId(t.path as u32));
+                    pred[id as usize] = Some(NodeId(t.path));
                 }
             }
         }
         let cost = result
-            .peek(d_id as u32)?
+            .peek(d_id)?
             .map(|t| t.path_cost as f64)
             .unwrap_or(f64::INFINITY);
         Path::from_predecessors(s, d, cost, &pred)

@@ -15,7 +15,7 @@ use crate::trace::{RunTrace, StepBreakdown};
 use atis_graph::{NodeId, Path, Point};
 use atis_obs::IterationPhase;
 use atis_preprocess::DestBounds;
-use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus};
+use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeStatus};
 // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
 
@@ -50,16 +50,11 @@ pub(crate) fn run_status_frontier(
     let mut steps = StepBreakdown::default();
     let mut observer = RunObserver::new(db, &cfg.label);
     observer.run_started(s, d);
-    let s_id = s.0 as u16;
-    let d_id = d.0 as u16;
+    let s_id = s.0;
+    let d_id = d.0;
 
     // C1 + C2 + C3: create R, bulk-load all nodes, build the ISAM index.
-    let mut r = NodeRelation::load(
-        db.graph(),
-        db.edges().block_count(),
-        db.params().isam_levels,
-        &mut io,
-    )?;
+    let mut r = db.create_node_relation(&mut io)?;
     if let Some(pool) = db.buffer() {
         r.attach_buffer(pool);
     }
@@ -98,7 +93,7 @@ pub(crate) fn run_status_frontier(
         let selected = r.select_min_open(&mut io, |key, t| {
             let mut h = cfg.estimator.evaluate_f32(t.x, t.y, dest);
             if let Some(alt) = &cfg.alt {
-                h = h.max(alt.bound(NodeId(u32::from(key))));
+                h = h.max(alt.bound(NodeId(key)));
             }
             t.path_cost as f64 + h
         })?;
@@ -117,7 +112,7 @@ pub(crate) fn run_status_frontier(
             break; // Lemma 2 / Lemma 3 termination
         }
         iterations += 1;
-        order.push(NodeId(u as u32));
+        order.push(NodeId(u));
 
         // Fetch u.adjacencyList via the join against S.
         let mark = io;
@@ -167,7 +162,7 @@ pub(crate) fn run_status_frontier(
         observer.span(
             IterationPhase::Search,
             iterations,
-            Some(u as u32),
+            Some(u),
             frontier_size,
             Some(strategy),
             &io,

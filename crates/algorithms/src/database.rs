@@ -11,8 +11,8 @@ use atis_graph::{Graph, NodeId};
 use atis_obs::{SharedRegistry, SharedSink, TraceEvent};
 use atis_preprocess::{DestBounds, LandmarkTables};
 use atis_storage::{
-    BufferPool, CostParams, EdgeRelation, FaultPlan, IoStats, JoinPolicy, SharedBuffer,
-    SharedFaults,
+    BufferPool, CostParams, EdgeRelation, FaultPlan, IoStats, JoinPolicy, NodeRelation,
+    SharedBuffer, SharedFaults, StorageError, StorageProfile,
 };
 // analyze::allow(determinism-wall-clock): the wall-clock budget deadline aborts runs, it never shapes a returned path
 use std::time::{Duration, Instant};
@@ -192,12 +192,15 @@ pub struct Database {
     edges: EdgeRelation,
     params: CostParams,
     join_policy: JoinPolicy,
+    profile: StorageProfile,
     buffer: Option<SharedBuffer>,
     budgets: Budgets,
     faults: Option<SharedFaults>,
     sink: Option<SharedSink>,
     metrics: Option<SharedRegistry>,
     landmarks: Option<LandmarkTables>,
+    /// `(regions, target, cut_edges)` of the layout partition, when known.
+    partition: Option<(u64, u64, u64)>,
 }
 
 impl std::fmt::Debug for Database {
@@ -208,6 +211,8 @@ impl std::fmt::Debug for Database {
             .field("edges", &self.edges)
             .field("params", &self.params)
             .field("join_policy", &self.join_policy)
+            .field("profile", &self.profile)
+            .field("partition", &self.partition)
             .field("buffer", &self.buffer)
             .field("budgets", &self.budgets)
             .field("faults", &self.faults)
@@ -220,26 +225,98 @@ impl std::fmt::Debug for Database {
 
 impl Database {
     /// Loads `graph` into the engine with Table 4A cost parameters and the
-    /// paper's forced nested-loop join policy (Section 4.3).
+    /// paper's forced nested-loop join policy (Section 4.3). Storage runs
+    /// the paper-faithful [`StorageProfile::paper`] configuration.
     ///
     /// # Errors
-    /// Fails if the graph exceeds the tuple encodings (more than 65 535
-    /// nodes).
+    /// Fails if the graph exceeds the tuple encodings (more than ~16.7M
+    /// nodes, the 24-bit id space).
     pub fn open(graph: &Graph) -> Result<Self, AlgorithmError> {
+        Self::open_with_profile(graph, StorageProfile::paper())
+    }
+
+    /// Loads `graph` under an explicit [`StorageProfile`]: `S` (and every
+    /// `R` the algorithms create per run) becomes a segmented heap file
+    /// when the profile says so, and a buffer pool of the profile's
+    /// capacity — with region-aware eviction if requested — is attached.
+    /// Charged I/O is identical to [`Database::open`] by construction;
+    /// what changes is the physical-read pattern (pool misses), which is
+    /// what the scaling study measures.
+    ///
+    /// # Errors
+    /// Fails if the graph exceeds the tuple encodings, or for a
+    /// degenerate profile (zero segment blocks or zero pool capacity).
+    pub fn open_with_profile(
+        graph: &Graph,
+        profile: StorageProfile,
+    ) -> Result<Self, AlgorithmError> {
         let mut io = IoStats::new();
-        let edges = EdgeRelation::load(graph, &mut io)?;
-        Ok(Database {
+        let edges = match profile.segment_blocks_s {
+            Some(sb) => EdgeRelation::load_segmented(graph, sb, &mut io)?,
+            None => EdgeRelation::load(graph, &mut io)?,
+        };
+        let mut db = Database {
             graph: graph.clone(),
             edges,
             params: CostParams::default(),
             join_policy: JoinPolicy::default(),
+            profile,
             buffer: None,
             budgets: Budgets::unlimited(),
             faults: None,
             sink: None,
             metrics: None,
             landmarks: None,
-        })
+            partition: None,
+        };
+        if let Some(capacity) = profile.buffer_blocks {
+            let mut pool = BufferPool::new(capacity)?;
+            if profile.region_aware {
+                pool = pool.with_region_aware();
+            }
+            let pool = std::sync::Arc::new(std::sync::Mutex::new(pool));
+            db.edges.attach_buffer(&pool);
+            db.buffer = Some(pool);
+        }
+        Ok(db)
+    }
+
+    /// The storage profile the database was opened with.
+    pub fn profile(&self) -> &StorageProfile {
+        &self.profile
+    }
+
+    /// Creates the per-run node relation `R` the way the profile dictates
+    /// (segmented or not); algorithms call this instead of
+    /// [`NodeRelation::load`] directly.
+    pub(crate) fn create_node_relation(
+        &self,
+        io: &mut IoStats,
+    ) -> Result<NodeRelation, StorageError> {
+        match self.profile.segment_blocks_r {
+            Some(sb) => NodeRelation::load_segmented(
+                &self.graph,
+                self.edges.block_count(),
+                self.params.isam_levels,
+                sb,
+                io,
+            ),
+            None => NodeRelation::load(
+                &self.graph,
+                self.edges.block_count(),
+                self.params.isam_levels,
+                io,
+            ),
+        }
+    }
+
+    /// Records the layout partition the graph was reordered with, so the
+    /// metrics registry can publish `partition_*` gauges alongside the
+    /// `storage_segment_*` ones.
+    pub fn with_partition_stats(mut self, regions: u64, target: u64, cut_edges: u64) -> Self {
+        self.partition = Some((regions, target, cut_edges));
+        self.publish_layout_gauges();
+        self
     }
 
     /// Attaches landmark (ALT) distance tables, enabling A\* version 4.
@@ -294,10 +371,34 @@ impl Database {
     /// Attaches a metrics registry: every run updates process-wide
     /// counters (`runs_total`, `io_block_reads_total`, …) and histograms
     /// (`iterations_per_run`, `blocks_per_iteration`, `buffer_hit_rate`,
-    /// …). See `OBSERVABILITY.md` for the full metric list.
+    /// …), and the storage layout is published once as gauges
+    /// (`storage_segment_*`, `partition_*`). See `OBSERVABILITY.md` for
+    /// the full metric list.
     pub fn with_metrics(mut self, metrics: SharedRegistry) -> Self {
         self.metrics = Some(metrics);
+        self.publish_layout_gauges();
         self
+    }
+
+    /// Publishes the storage-layout gauges to the attached registry (a
+    /// no-op until both the registry and the facts exist).
+    fn publish_layout_gauges(&self) {
+        let Some(m) = &self.metrics else { return };
+        let dir = self.edges.segment_directory();
+        m.set("storage_segment_count", dir.segments.len() as u64);
+        // An unsegmented file reports one segment spanning every block.
+        let per_segment = dir.segment_blocks.min(dir.total_blocks());
+        m.set("storage_segment_blocks", per_segment as u64);
+        m.set("storage_blocks", dir.total_blocks() as u64);
+        m.set("storage_bytes", dir.total_bytes() as u64);
+        if let Some(cap) = self.profile.buffer_blocks {
+            m.set("storage_buffer_capacity_blocks", cap as u64);
+        }
+        if let Some((regions, target, cut)) = self.partition {
+            m.set("partition_regions", regions);
+            m.set("partition_target_nodes", target);
+            m.set("partition_cut_edges", cut);
+        }
     }
 
     /// The attached metrics registry, if any.
@@ -321,12 +422,16 @@ impl Database {
     /// Attaches an LRU buffer pool of `capacity` blocks — an extension of
     /// the paper's cold-cache model (see `atis_storage::buffer`). The pool
     /// is shared by `S` and every relation the algorithms create, so
-    /// repeated reads of hot blocks stop being charged.
-    pub fn with_buffer_pool(mut self, capacity: usize) -> Self {
-        let pool = BufferPool::shared(capacity);
+    /// repeated reads of hot blocks stop being charged. Capacity presets
+    /// per network scale live in [`atis_storage::CapacityPreset`].
+    ///
+    /// # Errors
+    /// Fails with [`AlgorithmError::Storage`] for a zero capacity.
+    pub fn with_buffer_pool(mut self, capacity: usize) -> Result<Self, AlgorithmError> {
+        let pool = BufferPool::shared(capacity)?;
         self.edges.attach_buffer(&pool);
         self.buffer = Some(pool);
-        self
+        Ok(self)
     }
 
     /// The attached buffer pool, if any.
@@ -418,9 +523,7 @@ impl Database {
         }
         let n = self.graph.set_edge_cost(u, v, cost)?;
         let mut io = IoStats::new();
-        let m = self
-            .edges
-            .update_cost(u.0 as u16, v.0 as u16, cost, &mut io)?;
+        let m = self.edges.update_cost(u.0, v.0, cost, &mut io)?;
         debug_assert_eq!(n, m, "graph and S must stay in sync");
         Ok(n)
     }
@@ -441,10 +544,10 @@ impl Database {
         let mut distance = 0.0;
         let mut travel_time = 0.0;
         for (u, v) in path.hops() {
-            let adjacency = self.edges.fetch_adjacency(u.0 as u16, &mut io)?;
+            let adjacency = self.edges.fetch_adjacency(u.0, &mut io)?;
             let tuple = adjacency
                 .iter()
-                .filter(|t| t.end == v.0 as u16)
+                .filter(|t| t.end == v.0)
                 .min_by(|a, b| a.cost.total_cmp(&b.cost))
                 .ok_or(AlgorithmError::Graph(atis_graph::GraphError::MissingEdge {
                     from: u,

@@ -98,7 +98,7 @@ pub fn run_with_duplicate_policy(
     let wall_start = Instant::now();
     let mut io = IoStats::new();
     let s_id = s.0;
-    let d_id = d.0 as u16;
+    let d_id = d.0;
     let levels = db.params().isam_levels;
 
     let mut result: TempRelation<NodeTuple> = TempRelation::create(levels, &mut io);
@@ -146,7 +146,7 @@ pub fn run_with_duplicate_policy(
         }
 
         result.replace(u, &mut io, |t| t.status = NodeStatus::Closed)?;
-        if u as u16 == d_id {
+        if u == d_id {
             found = true;
             break;
         }
@@ -160,7 +160,7 @@ pub fn run_with_duplicate_policy(
             ..current
         };
         let (adjacency, strategy) = join_adjacency(
-            &[(u as u16, ut)],
+            &[(u, ut)],
             db.edges(),
             db.join_policy(),
             db.params(),
@@ -169,7 +169,7 @@ pub fn run_with_duplicate_policy(
         join_strategy = Some(strategy);
 
         for (_, e) in adjacency {
-            let v = e.end as u32;
+            let v = e.end;
             let candidate = ut.path_cost + e.cost as f32;
             if result.contains(v, &mut io)? {
                 let cur = result.get(v, &mut io)?;
@@ -179,13 +179,13 @@ pub fn run_with_duplicate_policy(
                     }
                     result.replace(v, &mut io, |t| {
                         t.path_cost = candidate;
-                        t.path = u as u16;
+                        t.path = u;
                         t.status = NodeStatus::Open;
                     })?;
                     // Blind duplicate APPEND: no frontier probe.
                     let mut t = cur;
                     t.path_cost = candidate;
-                    t.path = u as u16;
+                    t.path = u;
                     t.status = NodeStatus::Open;
                     frontier.append(v, &t, &mut io)?;
                 }
@@ -194,7 +194,7 @@ pub fn run_with_duplicate_policy(
                     x: e.end_x,
                     y: e.end_y,
                     status: NodeStatus::Open,
-                    path: u as u16,
+                    path: u,
                     path_cost: candidate,
                 };
                 result.append(v, &t, &mut io)?;
@@ -216,12 +216,12 @@ pub fn run_with_duplicate_policy(
         for id in 0..n as u32 {
             if let Some(t) = result.peek(id)? {
                 if t.path != NO_PRED {
-                    pred[id as usize] = Some(NodeId(t.path as u32));
+                    pred[id as usize] = Some(NodeId(t.path));
                 }
             }
         }
         let cost = result
-            .peek(d_id as u32)?
+            .peek(d_id)?
             .map(|t| t.path_cost as f64)
             .unwrap_or(f64::INFINITY);
         Path::from_predecessors(s, d, cost, &pred)

@@ -21,7 +21,7 @@ use crate::observe::RunObserver;
 use crate::trace::{RunTrace, StepBreakdown};
 use atis_graph::{NodeId, Path};
 use atis_obs::IterationPhase;
-use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeRelation, NodeStatus, NO_PRED};
+use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeStatus, NO_PRED};
 use std::collections::HashMap;
 // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
 use std::time::Instant;
@@ -39,16 +39,11 @@ pub fn run(
     let mut steps = StepBreakdown::default();
     let mut observer = RunObserver::new(db, "Iterative");
     observer.run_started(s, d);
-    let s_id = s.0 as u16;
-    let d_id = d.0 as u16;
+    let s_id = s.0;
+    let d_id = d.0;
 
     // C1 + C2 + C3.
-    let mut r = NodeRelation::load(
-        db.graph(),
-        db.edges().block_count(),
-        db.params().isam_levels,
-        &mut io,
-    )?;
+    let mut r = db.create_node_relation(&mut io)?;
     if let Some(pool) = db.buffer() {
         r.attach_buffer(pool);
     }
@@ -89,7 +84,7 @@ pub fn run(
         let current = r.fetch_status(NodeStatus::Current, &mut io)?;
         steps.select += io.since(&mark);
         expanded += current.len() as u64;
-        order.extend(current.iter().map(|(id, _)| NodeId(*id as u32)));
+        order.extend(current.iter().map(|(id, _)| NodeId(*id)));
 
         // Step 6: join to get the neighbours of all current nodes.
         let mark = io;
@@ -99,8 +94,8 @@ pub fn run(
         join_strategy = Some(strategy);
 
         // Best candidate per neighbour across all current nodes.
-        let cost_of: HashMap<u16, f32> = current.iter().map(|(id, t)| (*id, t.path_cost)).collect();
-        let mut candidates: HashMap<u16, (f32, u16)> = HashMap::new();
+        let cost_of: HashMap<u32, f32> = current.iter().map(|(id, t)| (*id, t.path_cost)).collect();
+        let mut candidates: HashMap<u32, (f32, u32)> = HashMap::new();
         for (from, e) in &joined {
             let nc = cost_of[from] + e.cost as f32;
             let entry = candidates.entry(e.end).or_insert((f32::INFINITY, NO_PRED));

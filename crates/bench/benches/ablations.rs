@@ -41,6 +41,7 @@ fn bench(c: &mut Criterion) {
             Database::open(grid.graph())
                 .unwrap()
                 .with_buffer_pool(capacity)
+                .unwrap()
         };
         group.bench_with_input(
             BenchmarkId::new("buffer_pool_blocks", capacity),

@@ -58,7 +58,7 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    let current: Vec<(u16, NodeTuple)> = vec![(
+    let current: Vec<(u32, NodeTuple)> = vec![(
         450,
         NodeTuple {
             x: 0.0,

@@ -1,0 +1,380 @@
+//! Scaling study: metro networks through the partitioned storage engine.
+//!
+//! The paper measures its algorithms on grids of at most ~4000 nodes
+//! (Section 5). This bench asks what happens two to three orders of
+//! magnitude later: deterministic metro networks of 1k / 10k / 100k
+//! nodes ([`Metro`]) are partitioned into 256-node storage regions
+//! ([`PartitionMap`]), loaded through segmented heap files under a
+//! buffer pool *smaller than the graph* ([`StorageProfile::for_nodes`]),
+//! and queried with the regional workload ([`MetroQuery::REGIONAL`] —
+//! a full-diagonal Dijkstra is intractable inside the full-scan
+//! relational engine at these scales, and no traveller asks for one).
+//!
+//! Two layouts run at every scale:
+//!
+//! * **region** — nodes renumbered so each 256-node partition region is
+//!   contiguous on disk, aligned with the heap segments;
+//! * **shuffled** — the same graph under a seeded random renumbering,
+//!   the locality-free control.
+//!
+//! Charged I/O (the paper's cost model) depends only on the algorithm;
+//! what the layout changes is the *physical* read count — buffer-pool
+//! misses — which is exactly what the region layout is supposed to
+//! shrink. Each (scale, layout, algorithm) runs against a freshly
+//! opened database so no measurement inherits another's warm pool.
+//!
+//! Results land in `BENCH_scaling.json` at the repository root — one
+//! JSON record per line (network × layout × algorithm), awk-friendly
+//! for `ci/compare-bench.sh`. `SCALING.md` is the write-up of the
+//! committed numbers. CI reruns only the 10k smoke scale
+//! (`SCALING_SMOKE=1`), which writes `BENCH_scaling_smoke.json` and
+//! leaves the committed full artifact as the gate baseline.
+//!
+//! ```sh
+//! cargo bench -p atis-bench --bench scaling            # full, ~minutes
+//! SCALING_SMOKE=1 cargo bench -p atis-bench --bench scaling
+//! ```
+
+use atis_algorithms::{AStarVersion, Algorithm, Database, RunTrace};
+use atis_bench::PAPER_SEED;
+use atis_graph::{shuffle_layout, Graph, Metro, MetroQuery, MetroSpec, NodeId, PartitionMap};
+use atis_preprocess::{LandmarkSelection, LandmarkTables, PreprocessConfig};
+use atis_storage::{EdgeTuple, FixedTuple, JoinPolicy, NodeTuple, StorageProfile};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The study's scales: node targets and the network labels the records
+/// and `SCALING.md` use.
+const SCALES: [(usize, &str); 3] = [
+    (1_000, "metro-1k"),
+    (10_000, "metro-10k"),
+    (100_000, "metro-100k"),
+];
+/// The scale CI's smoke run measures.
+const SMOKE_TARGET: usize = 10_000;
+/// Storage region size: one `R` block of nodes (`Bf_r`).
+const REGION_TARGET: usize = 256;
+/// Landmarks for A* version 4, spread over partition regions.
+const LANDMARKS: usize = 8;
+/// Block size used to express index/table sizes in blocks.
+const BLOCK: usize = 4096;
+
+/// The algorithms the study compares at every scale.
+const ALGORITHMS: [Algorithm; 3] = [
+    Algorithm::Dijkstra,
+    Algorithm::AStar(AStarVersion::V3),
+    Algorithm::AStar(AStarVersion::V4),
+];
+
+/// One (network, layout, algorithm) measurement, summed over the
+/// regional query kinds.
+struct Record {
+    network: &'static str,
+    nodes: usize,
+    edges: usize,
+    layout: &'static str,
+    algorithm: Algorithm,
+    queries: usize,
+    nodes_expanded: u64,
+    block_reads: u64,
+    physical_reads: u64,
+    wall_ms: f64,
+    /// Storage footprint in blocks: `S` + one run's `R` + landmark tables.
+    index_blocks: usize,
+    /// Blocks written to materialize that footprint (the build cost).
+    preprocess_blocks: usize,
+    regions: usize,
+    cut_edges: usize,
+    /// Landmark preprocessing wall time (v4 rows only).
+    preprocess_ms: Option<f64>,
+    landmarks: Option<usize>,
+}
+
+/// One scale × layout: the renumbered graph, the query endpoints under
+/// that numbering, and its landmark tables.
+struct Layout {
+    label: &'static str,
+    graph: Graph,
+    queries: Vec<(NodeId, NodeId)>,
+    tables: LandmarkTables,
+    preprocess_ms: f64,
+    regions: usize,
+    cut_edges: usize,
+}
+
+fn build_layout(
+    label: &'static str,
+    metro: &Metro,
+    graph: Graph,
+    new_of: &[u32],
+    regions: usize,
+    cut_edges: usize,
+) -> Layout {
+    let queries = MetroQuery::REGIONAL
+        .iter()
+        .map(|&k| {
+            let (s, d) = metro.query_pair(k);
+            (NodeId(new_of[s.index()]), NodeId(new_of[d.index()]))
+        })
+        .collect();
+    let config = PreprocessConfig::new(
+        LandmarkSelection::PartitionSpread {
+            region_target: REGION_TARGET,
+        },
+        LANDMARKS,
+    );
+    let preprocess_started = Instant::now();
+    let tables = LandmarkTables::build(&graph, config).expect("metro graphs are non-empty");
+    let preprocess_ms = preprocess_started.elapsed().as_secs_f64() * 1e3;
+    Layout {
+        label,
+        graph,
+        queries,
+        tables,
+        preprocess_ms,
+        regions,
+        cut_edges,
+    }
+}
+
+/// Buffer-pool misses so far for the database's pool (0 without one).
+fn pool_misses(db: &Database) -> u64 {
+    db.buffer()
+        .map(|p| p.lock().expect("bench pool lock").misses)
+        .unwrap_or(0)
+}
+
+fn run_layout(network: &'static str, layout: &Layout, profile: StorageProfile) -> Vec<Record> {
+    let nodes = layout.graph.node_count();
+    let edges = layout.graph.edge_count();
+    // Sizes in blocks: S as loaded, R as one run materializes it, and
+    // the landmark tables (2 directions × k landmarks × 8-byte entry
+    // per node). `preprocess_blocks` is the one-time write cost of that
+    // footprint — every block is written exactly once at build time.
+    let s_blocks = edges.div_ceil(BLOCK / EdgeTuple::SIZE);
+    let r_blocks = nodes.div_ceil(BLOCK / NodeTuple::SIZE);
+    let landmark_blocks = (2 * LANDMARKS * nodes * 8).div_ceil(BLOCK);
+    let index_blocks = s_blocks + r_blocks + landmark_blocks;
+
+    ALGORITHMS
+        .iter()
+        .map(|&algorithm| {
+            // A fresh database per algorithm: nobody inherits another
+            // measurement's warm pool.
+            // Cost-based joins: at metro scale the optimizer picks the
+            // primary-key probe for each expansion, which is what makes
+            // the access pattern local enough for layout to matter. The
+            // paper's forced nested-loop rescans all of `S` every
+            // iteration — the ablation benches keep that configuration.
+            let db = Database::open_with_profile(&layout.graph, profile)
+                .expect("metro fits the engine")
+                .with_join_policy(JoinPolicy::CostBased)
+                .with_partition_stats(
+                    layout.regions as u64,
+                    REGION_TARGET as u64,
+                    layout.cut_edges as u64,
+                )
+                .with_landmarks(layout.tables.clone());
+            let is_v4 = algorithm == Algorithm::AStar(AStarVersion::V4);
+            let mut rec = Record {
+                network,
+                nodes,
+                edges,
+                layout: layout.label,
+                algorithm,
+                queries: layout.queries.len(),
+                nodes_expanded: 0,
+                block_reads: 0,
+                physical_reads: 0,
+                wall_ms: 0.0,
+                index_blocks,
+                preprocess_blocks: index_blocks,
+                regions: layout.regions,
+                cut_edges: layout.cut_edges,
+                preprocess_ms: is_v4.then_some(layout.preprocess_ms),
+                landmarks: is_v4.then_some(LANDMARKS),
+            };
+            for &(s, d) in &layout.queries {
+                let misses_before = pool_misses(&db);
+                let started = Instant::now();
+                let trace: RunTrace = db.run(algorithm, s, d).unwrap_or_else(|e| {
+                    panic!(
+                        "{network} {} {}: {s:?}->{d:?} failed: {e}",
+                        layout.label,
+                        algorithm.label()
+                    )
+                });
+                rec.wall_ms += started.elapsed().as_secs_f64() * 1e3;
+                rec.nodes_expanded += trace.iterations;
+                rec.block_reads += trace.io.block_reads;
+                rec.physical_reads += pool_misses(&db) - misses_before;
+            }
+            rec
+        })
+        .collect()
+}
+
+fn run_scale(target: usize, network: &'static str) -> Vec<Record> {
+    let spec = MetroSpec::with_nodes(target, PAPER_SEED);
+    let generate_started = Instant::now();
+    let metro = Metro::new(spec).expect("scaling specs are non-degenerate");
+    let generate_ms = generate_started.elapsed().as_secs_f64() * 1e3;
+    let n = metro.graph().node_count();
+
+    let partition_started = Instant::now();
+    let map = PartitionMap::build(metro.graph(), REGION_TARGET);
+    let cut_edges = map.cut_edges(metro.graph());
+    let regions = map.region_count();
+    let (region_graph, region_new_of) = map.apply(metro.graph()).expect("permutation is valid");
+    let partition_ms = partition_started.elapsed().as_secs_f64() * 1e3;
+
+    let (shuffled_graph, shuffled_new_of) =
+        shuffle_layout(metro.graph(), PAPER_SEED).expect("permutation is valid");
+
+    println!(
+        "  {network}: {} nodes, {} edges, {regions} regions ({cut_edges} cut edges), \
+         generate {generate_ms:.0}ms, partition {partition_ms:.0}ms",
+        n,
+        metro.graph().edge_count()
+    );
+
+    let profile = StorageProfile::for_nodes(n);
+    let mut records = Vec::new();
+    for layout in [
+        build_layout(
+            "region",
+            &metro,
+            region_graph,
+            &region_new_of,
+            regions,
+            cut_edges,
+        ),
+        build_layout(
+            "shuffled",
+            &metro,
+            shuffled_graph,
+            &shuffled_new_of,
+            regions,
+            cut_edges,
+        ),
+    ] {
+        let rows = run_layout(network, &layout, profile);
+        for r in &rows {
+            println!(
+                "    {:<8} {:<16} expanded={:<7} charged={:<8} physical={:<7} wall={:.1}ms",
+                r.layout,
+                r.algorithm.label(),
+                r.nodes_expanded,
+                r.block_reads,
+                r.physical_reads,
+                r.wall_ms
+            );
+        }
+        records.extend(rows);
+    }
+    records
+}
+
+fn main() {
+    let smoke = std::env::var("SCALING_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+    let scales: Vec<(usize, &'static str)> = if smoke {
+        SCALES
+            .iter()
+            .copied()
+            .filter(|&(t, _)| t == SMOKE_TARGET)
+            .collect()
+    } else {
+        SCALES.to_vec()
+    };
+    println!(
+        "scaling: Dijkstra / A* v3 / A* v4, regional queries, region vs shuffled layout{}",
+        if smoke { " (smoke scale only)" } else { "" }
+    );
+
+    let mut records = Vec::new();
+    for (target, network) in scales {
+        records.extend(run_scale(target, network));
+    }
+
+    // Acceptance bars, asserted here so a regressed artifact cannot be
+    // committed silently.
+    for (_, network) in SCALES.iter().filter(|(t, _)| !smoke || *t == SMOKE_TARGET) {
+        let by = |v: AStarVersion| {
+            records
+                .iter()
+                .find(|r| {
+                    r.network == *network
+                        && r.layout == "region"
+                        && r.algorithm == Algorithm::AStar(v)
+                })
+                .expect("record")
+        };
+        let (v3, v4) = (by(AStarVersion::V3), by(AStarVersion::V4));
+        assert!(
+            v4.nodes_expanded < v3.nodes_expanded && v4.block_reads < v3.block_reads,
+            "{network}: v4 ({} expanded / {} reads) must beat v3 ({} / {})",
+            v4.nodes_expanded,
+            v4.block_reads,
+            v3.nodes_expanded,
+            v3.block_reads
+        );
+        // The layout claim: at every scale where the pool is smaller
+        // than the hot set (10k up), the region layout takes fewer
+        // physical reads than the shuffled control, summed over the
+        // three algorithms.
+        if *network != "metro-1k" {
+            let sum = |layout: &str| -> u64 {
+                records
+                    .iter()
+                    .filter(|r| r.network == *network && r.layout == layout)
+                    .map(|r| r.physical_reads)
+                    .sum()
+            };
+            let (region, shuffled) = (sum("region"), sum("shuffled"));
+            assert!(
+                region < shuffled,
+                "{network}: region layout must read fewer physical blocks \
+                 ({region} vs shuffled {shuffled})"
+            );
+            println!(
+                "  {network}: region layout reads {:.1}x fewer physical blocks than shuffled",
+                shuffled as f64 / region as f64
+            );
+        }
+    }
+
+    let mut json = String::new();
+    for r in &records {
+        let _ = write!(
+            json,
+            r#"{{"benchmark":"scaling","network":"{}","nodes":{},"edges":{},"layout":"{}","algorithm":"{}","queries":{},"nodes_expanded":{},"block_reads":{},"physical_reads":{},"wall_ms":{:.3},"index_blocks":{},"preprocess_blocks":{},"regions":{},"cut_edges":{}"#,
+            r.network,
+            r.nodes,
+            r.edges,
+            r.layout,
+            r.algorithm.label(),
+            r.queries,
+            r.nodes_expanded,
+            r.block_reads,
+            r.physical_reads,
+            r.wall_ms,
+            r.index_blocks,
+            r.preprocess_blocks,
+            r.regions,
+            r.cut_edges,
+        );
+        if let (Some(pre), Some(k)) = (r.preprocess_ms, r.landmarks) {
+            let _ = write!(json, r#","landmarks":{k},"preprocess_ms":{pre:.3}"#);
+        }
+        json.push_str("}\n");
+    }
+
+    let name = if smoke {
+        "BENCH_scaling_smoke.json"
+    } else {
+        "BENCH_scaling.json"
+    };
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{name}"));
+    std::fs::write(&out, json).expect("write scaling artifact");
+    println!("  wrote {}", out.display());
+}

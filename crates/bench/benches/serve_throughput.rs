@@ -353,7 +353,7 @@ fn main() {
         overload.uncontended_p99.as_secs_f64() * 1e3,
     );
     let json = format!(
-        r#"{{"benchmark":"serve_throughput","grid":"{GRID_K}x{GRID_K}","algorithm":"A* (version 3)","requests":{total},"client_threads":{CLIENT_THREADS},"cache":"disabled","io_model":"simulated disk, {}ns per block read","configs":{configs},"speedup_4_over_1":{speedup:.2},"overload":{overload_json}}}"#,
+        r#"{{"benchmark":"serve_throughput","network":"grid{GRID_K}","grid":"{GRID_K}x{GRID_K}","algorithm":"A* (version 3)","requests":{total},"client_threads":{CLIENT_THREADS},"cache":"disabled","io_model":"simulated disk, {}ns per block read","configs":{configs},"speedup_4_over_1":{speedup:.2},"overload":{overload_json}}}"#,
         READ_LATENCY.as_nanos(),
     );
     let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");

@@ -638,14 +638,16 @@ pub fn ablation_buffer_pool() -> ExperimentOutput {
         let warm8 = run(
             &Database::open(grid.graph())
                 .expect("fits")
-                .with_buffer_pool(8),
+                .with_buffer_pool(8)
+                .expect("nonzero pool"),
             alg,
             s,
             d,
         );
         let db64 = Database::open(grid.graph())
             .expect("fits")
-            .with_buffer_pool(64);
+            .with_buffer_pool(64)
+            .expect("nonzero pool");
         let warm64 = run(&db64, alg, s, d);
         let hit_rate = db64
             .buffer()

@@ -38,8 +38,11 @@ pub enum GraphError {
     /// A grid dimension of zero (or one) was requested.
     DegenerateGrid(usize),
     /// The graph exceeds the capacity of the fixed-width storage tuples
-    /// (node ids must fit in `u16` for the 16-byte node relation layout).
+    /// (node ids must fit in the 24-bit tuple encoding).
     TooManyNodes(usize),
+    /// A streaming CSR build received edges out of origin order, or was
+    /// frozen before every node's adjacency was sealed.
+    OutOfOrder(String),
 }
 
 impl fmt::Display for GraphError {
@@ -65,9 +68,11 @@ impl fmt::Display for GraphError {
             GraphError::TooManyNodes(n) => {
                 write!(
                     f,
-                    "graph has {n} nodes; the storage layer supports at most 65535"
+                    "graph has {n} nodes; the storage layer supports at most {}",
+                    crate::graph::MAX_NODES
                 )
             }
+            GraphError::OutOfOrder(msg) => write!(f, "streaming build out of order: {msg}"),
         }
     }
 }

@@ -5,9 +5,11 @@ use crate::edge::Edge;
 use crate::error::GraphError;
 use crate::node::{NodeId, Point};
 
-/// Maximum node count supported by the fixed-width storage tuples
-/// (`u16` node ids in the 16-byte node-relation layout of `atis-storage`).
-pub const MAX_NODES: usize = u16::MAX as usize;
+/// Maximum node count supported by the fixed-width storage tuples: ids are
+/// stored as 24-bit integers inside the 16/32-byte tuple layouts of
+/// `atis-storage` (the all-ones value is the null-predecessor sentinel).
+/// Comfortably covers the continental-scale generator's 1M-node networks.
+pub const MAX_NODES: usize = (1 << 24) - 1;
 
 /// An immutable directed graph with node coordinates and edge costs.
 ///
@@ -348,6 +350,112 @@ impl GraphBuilder {
             points: self.points,
             offsets,
             edges: sorted,
+        })
+    }
+}
+
+/// Streaming CSR builder: adjacency is sealed one node at a time, in id
+/// order, directly into the final CSR arrays.
+///
+/// [`GraphBuilder`] buffers every edge and counting-sorts at `build` time,
+/// which briefly holds *two* copies of the edge list — fine at the paper's
+/// 1k-node scale, prohibitive for the metro generator's 100k–1M-node
+/// networks. The streaming builder accepts each node's out-edges exactly
+/// once, in nondecreasing origin order (the order generators naturally
+/// produce), so the unsorted intermediate list never exists.
+#[derive(Debug)]
+pub struct StreamingGraphBuilder {
+    points: Vec<Point>,
+    offsets: Vec<u32>,
+    edges: Vec<Edge>,
+}
+
+impl StreamingGraphBuilder {
+    /// Starts a streaming build over a fixed node set (`points[i]` is the
+    /// position of node `i`).
+    ///
+    /// # Errors
+    /// Fails when the node count exceeds [`MAX_NODES`].
+    pub fn new(points: Vec<Point>) -> Result<Self, GraphError> {
+        if points.len() > MAX_NODES {
+            return Err(GraphError::TooManyNodes(points.len()));
+        }
+        Ok(StreamingGraphBuilder {
+            points,
+            offsets: vec![0],
+            edges: Vec::new(),
+        })
+    }
+
+    /// Number of nodes in the build.
+    pub fn node_count(&self) -> usize {
+        self.points.len()
+    }
+
+    /// The next node awaiting its adjacency.
+    pub fn next_node(&self) -> NodeId {
+        NodeId((self.offsets.len() - 1) as u32)
+    }
+
+    /// Seals the next node's out-edges. Must be called once per node, in
+    /// id order; `edges` must all originate at that node.
+    ///
+    /// # Errors
+    /// Fails on origin mismatch, unknown targets, negative or non-finite
+    /// costs, or when every node is already sealed.
+    pub fn seal_node(&mut self, edges: &[Edge]) -> Result<NodeId, GraphError> {
+        let u = self.next_node();
+        if u.index() >= self.points.len() {
+            return Err(GraphError::OutOfOrder(format!(
+                "all {} nodes already sealed",
+                self.points.len()
+            )));
+        }
+        for e in edges {
+            if e.from != u {
+                return Err(GraphError::OutOfOrder(format!(
+                    "edge from {} while sealing {}",
+                    e.from, u
+                )));
+            }
+            if e.to.index() >= self.points.len() {
+                return Err(GraphError::UnknownNode(e.to));
+            }
+            if !e.cost.is_finite() {
+                return Err(GraphError::NonFiniteCost {
+                    from: e.from,
+                    to: e.to,
+                });
+            }
+            if e.cost < 0.0 {
+                return Err(GraphError::NegativeCost {
+                    from: e.from,
+                    to: e.to,
+                    cost: e.cost,
+                });
+            }
+        }
+        self.edges.extend_from_slice(edges);
+        self.offsets.push(self.edges.len() as u32);
+        Ok(u)
+    }
+
+    /// Freezes the graph.
+    ///
+    /// # Errors
+    /// Fails when some nodes were never sealed.
+    pub fn finish(self) -> Result<Graph, GraphError> {
+        if self.offsets.len() != self.points.len() + 1 {
+            return Err(GraphError::OutOfOrder(format!(
+                "{} of {} nodes sealed",
+                self.offsets.len() - 1,
+                self.points.len()
+            )));
+        }
+        Ok(Graph {
+            points: self.points,
+            offsets: self.offsets,
+            edges: self.edges,
         })
     }
 }

@@ -17,6 +17,13 @@
 //!   substitution rationale.
 //! * [`rng`] — a small, dependency-free, seedable PRNG so that every
 //!   experiment in the repository is reproducible bit-for-bit.
+//! * [`metro`] — deterministic metro/continental networks (stitched city
+//!   cores, arterial rings, a one-way freeway hierarchy; 1k–1M nodes)
+//!   built through the streaming CSR builder, for the scaling study of
+//!   `SCALING.md`.
+//! * [`partition`] — BFS region partitioning and node reordering so each
+//!   region occupies a contiguous id range (and hence a contiguous run of
+//!   storage blocks).
 //!
 //! The crate is intentionally free of I/O and of the storage engine; the
 //! database-resident representation of a graph (edge relation `S`, node
@@ -31,8 +38,10 @@ pub mod error;
 pub mod format;
 pub mod graph;
 pub mod grid;
+pub mod metro;
 pub mod minneapolis;
 pub mod node;
+pub mod partition;
 pub mod path;
 pub mod radial;
 pub mod rng;
@@ -41,10 +50,12 @@ pub use cost_model::CostModel;
 pub use edge::{Edge, RoadClass};
 pub use error::GraphError;
 pub use format::{read_graph, write_graph, FormatError};
-pub use graph::{Graph, GraphBuilder};
+pub use graph::{Graph, GraphBuilder, StreamingGraphBuilder};
 pub use grid::{Grid, QueryKind};
+pub use metro::{Metro, MetroQuery, MetroSpec};
 pub use minneapolis::{Minneapolis, NamedPair};
 pub use node::{NodeId, Point};
+pub use partition::{shuffle_layout, PartitionMap};
 pub use path::Path;
 pub use radial::{RadialCity, RadialQuery};
 pub use rng::SplitMix64;

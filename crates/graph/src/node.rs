@@ -5,9 +5,10 @@ use std::fmt;
 /// A node identifier.
 ///
 /// Node ids are dense `0..n` indices. The storage layer encodes them as
-/// `u16` inside the 16-byte node-relation tuple (see `atis-storage`), which
-/// caps graphs at 65 535 nodes — far above the paper's largest instance
-/// (1089 nodes).
+/// 24-bit integers inside the fixed-width tuples (see `atis-storage`),
+/// which caps graphs at ~16.7M nodes — far above the paper's largest
+/// instance (1089 nodes) and above the metro generator's 1M-node
+/// continental preset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct NodeId(pub u32);
 

@@ -1,0 +1,311 @@
+//! Graph partitioning for block-aligned storage layouts.
+//!
+//! The storage engine keys its heap segments and buffer-pool files by block
+//! ranges (`atis-storage::segment`), so *which node ids end up adjacent*
+//! decides how many blocks a regional query touches. A [`PartitionMap`]
+//! groups nodes into connected regions of a target size — 256 nodes fills
+//! exactly one node-relation block (`Bf_r`) and about eight edge-relation
+//! blocks — and [`PartitionMap::apply`] renumbers the graph so each region
+//! occupies one contiguous id range. The scaling study (`SCALING.md`)
+//! measures this layout against a seeded worst-case shuffle
+//! ([`shuffle_layout`]).
+//!
+//! Regions are grown breadth-first from the lowest unassigned node id:
+//! cheap, deterministic, and close to optimal on the lattice-of-cities
+//! networks of [`crate::metro`], where a BFS region is a city
+//! neighbourhood. (Hilbert-curve blocking would do marginally better on
+//! irregular maps; BFS keeps the permutation a pure function of the graph
+//! with no geometry dependence.)
+
+use crate::edge::RoadClass;
+use crate::error::GraphError;
+use crate::graph::{Graph, StreamingGraphBuilder};
+use crate::node::NodeId;
+use crate::rng::SplitMix64;
+use std::collections::VecDeque;
+
+/// A partition of a graph's nodes into connected regions of bounded size,
+/// plus the node renumbering that makes each region contiguous.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    /// Region index per (old) node id.
+    region_of: Vec<u32>,
+    /// Old node ids in their new order: `order[new] = old`.
+    order: Vec<u32>,
+    target: usize,
+    regions: usize,
+}
+
+impl PartitionMap {
+    /// Partitions `graph` into BFS-grown regions of at most `target` nodes.
+    ///
+    /// The growth is *class-aware*: a region expands along streets and
+    /// highways first and crosses a freeway only when no surface street is
+    /// left on its frontier. Freeways are exactly the long inter-city links
+    /// of the metro networks, so this keeps each region a surface-connected
+    /// neighbourhood instead of letting it leak one node into the next
+    /// city.
+    ///
+    /// Deterministic: regions are seeded from the lowest unassigned node id
+    /// and grown in frontier order, so equal graphs yield equal partitions.
+    ///
+    /// # Panics
+    /// Panics if `target` is zero.
+    pub fn build(graph: &Graph, target: usize) -> PartitionMap {
+        assert!(target > 0, "partition target must be positive");
+        let n = graph.node_count();
+        const UNASSIGNED: u32 = u32::MAX;
+        let mut region_of = vec![UNASSIGNED; n];
+        let mut order = Vec::with_capacity(n);
+        let mut regions = 0usize;
+        // Two-tier frontier: surface-street reachable nodes drain before
+        // anything reached over a freeway.
+        let mut surface = VecDeque::new();
+        let mut deferred = VecDeque::new();
+        let mut next_seed = 0usize;
+        while order.len() < n {
+            // Seed a region at the lowest unassigned id.
+            while next_seed < n && region_of[next_seed] != UNASSIGNED {
+                next_seed += 1;
+            }
+            let region = regions as u32;
+            regions += 1;
+            let mut size = 0usize;
+            surface.clear();
+            deferred.clear();
+            surface.push_back(next_seed);
+            region_of[next_seed] = region;
+            while let Some(u) = surface.pop_front().or_else(|| deferred.pop_front()) {
+                order.push(u as u32);
+                size += 1;
+                if size >= target {
+                    // Region full: release the rest of the frontier.
+                    for &v in surface.iter().chain(deferred.iter()) {
+                        region_of[v] = UNASSIGNED;
+                    }
+                    surface.clear();
+                    deferred.clear();
+                    break;
+                }
+                for e in graph.neighbors(NodeId(u as u32)) {
+                    let v = e.to.index();
+                    if region_of[v] == UNASSIGNED {
+                        region_of[v] = region;
+                        if e.class == RoadClass::Freeway {
+                            deferred.push_back(v);
+                        } else {
+                            surface.push_back(v);
+                        }
+                    }
+                }
+            }
+        }
+        PartitionMap {
+            region_of,
+            order,
+            target,
+            regions,
+        }
+    }
+
+    /// The region a node belongs to.
+    pub fn region_of(&self, id: NodeId) -> u32 {
+        self.region_of[id.index()]
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.regions
+    }
+
+    /// The target region size the map was built with.
+    pub fn target(&self) -> usize {
+        self.target
+    }
+
+    /// Old node ids in their new, region-contiguous order:
+    /// `permutation()[new_id] = old_id`.
+    pub fn permutation(&self) -> &[u32] {
+        &self.order
+    }
+
+    /// Number of directed edges whose endpoints lie in different regions —
+    /// the traffic that must cross a segment boundary.
+    pub fn cut_edges(&self, graph: &Graph) -> usize {
+        graph
+            .edges()
+            .filter(|e| self.region_of[e.from.index()] != self.region_of[e.to.index()])
+            .count()
+    }
+
+    /// Renumbers `graph` so each region occupies a contiguous id range.
+    ///
+    /// Returns the reordered graph and the forward map `new_of[old] = new`.
+    /// Edge costs, classes and occupancies are carried over untouched, so
+    /// every route keeps its cost — only ids (and hence the storage block a
+    /// node lands in) change.
+    ///
+    /// # Errors
+    /// Propagates streaming-build failures (impossible for a map built
+    /// from the same graph).
+    pub fn apply(&self, graph: &Graph) -> Result<(Graph, Vec<u32>), GraphError> {
+        apply_order(graph, &self.order)
+    }
+}
+
+/// Renumbers `graph` by `order` (`order[new] = old`); shared by
+/// [`PartitionMap::apply`] and [`shuffle_layout`].
+fn apply_order(graph: &Graph, order: &[u32]) -> Result<(Graph, Vec<u32>), GraphError> {
+    let n = graph.node_count();
+    assert_eq!(order.len(), n, "order must cover every node");
+    let mut new_of = vec![0u32; n];
+    for (new, &old) in order.iter().enumerate() {
+        new_of[old as usize] = new as u32;
+    }
+    let mut points = Vec::with_capacity(n);
+    for &old in order {
+        points.push(graph.point(NodeId(old)));
+    }
+    let mut b = StreamingGraphBuilder::new(points)?;
+    let mut out = Vec::new();
+    for &old in order {
+        out.clear();
+        for e in graph.neighbors(NodeId(old)) {
+            let mut e2 = *e;
+            e2.from = NodeId(new_of[old as usize]);
+            e2.to = NodeId(new_of[e.to.index()]);
+            out.push(e2);
+        }
+        b.seal_node(&out)?;
+    }
+    let g = b.finish()?;
+    Ok((g, new_of))
+}
+
+/// The adversarial layout for the scaling study: a seeded Fisher–Yates
+/// shuffle of all node ids, destroying every trace of locality. Returns
+/// the shuffled graph and the forward map `new_of[old] = new`.
+///
+/// # Errors
+/// Propagates streaming-build failures (impossible for a well-formed
+/// graph).
+pub fn shuffle_layout(graph: &Graph, seed: u64) -> Result<(Graph, Vec<u32>), GraphError> {
+    let n = graph.node_count();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SplitMix64::new(seed);
+    for i in (1..n).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        order.swap(i, j);
+    }
+    apply_order(graph, &order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metro::{Metro, MetroSpec};
+
+    fn metro() -> Metro {
+        Metro::new(MetroSpec::new(3, 2, 1993)).unwrap()
+    }
+
+    #[test]
+    fn every_node_is_assigned_exactly_once() {
+        let m = metro();
+        let p = PartitionMap::build(m.graph(), 256);
+        let mut seen = vec![false; m.graph().node_count()];
+        for &old in p.permutation() {
+            assert!(!seen[old as usize], "node {old} appears twice");
+            seen[old as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "permutation skips nodes");
+    }
+
+    #[test]
+    fn regions_respect_the_target_size() {
+        let m = metro();
+        let p = PartitionMap::build(m.graph(), 256);
+        let mut sizes = vec![0usize; p.region_count()];
+        for id in 0..m.graph().node_count() {
+            sizes[p.region_of(NodeId(id as u32)) as usize] += 1;
+        }
+        assert!(sizes.iter().all(|&s| s <= 256));
+        assert_eq!(sizes.iter().sum::<usize>(), m.graph().node_count());
+        // 1536 nodes at target 256 need at least 6 regions.
+        assert!(p.region_count() >= 6);
+    }
+
+    #[test]
+    fn regions_are_contiguous_after_apply() {
+        let m = metro();
+        let p = PartitionMap::build(m.graph(), 256);
+        // Nodes of one region must map to one contiguous new-id range.
+        let (_, new_of) = p.apply(m.graph()).unwrap();
+        let mut ranges = vec![(u32::MAX, 0u32); p.region_count()];
+        let mut counts = vec![0u32; p.region_count()];
+        for (old, &new) in new_of.iter().enumerate() {
+            let r = p.region_of(NodeId(old as u32)) as usize;
+            ranges[r] = (ranges[r].0.min(new), ranges[r].1.max(new));
+            counts[r] += 1;
+        }
+        for (r, &(lo, hi)) in ranges.iter().enumerate() {
+            assert_eq!(hi - lo + 1, counts[r], "region {r} is not contiguous");
+        }
+    }
+
+    #[test]
+    fn apply_preserves_costs_and_positions() {
+        let m = metro();
+        let p = PartitionMap::build(m.graph(), 100);
+        let (g2, new_of) = p.apply(m.graph()).unwrap();
+        assert_eq!(g2.node_count(), m.graph().node_count());
+        assert_eq!(g2.edge_count(), m.graph().edge_count());
+        for e in m.graph().edges() {
+            let nf = NodeId(new_of[e.from.index()]);
+            let nt = NodeId(new_of[e.to.index()]);
+            assert_eq!(g2.edge_cost(nf, nt), Some(e.cost));
+            assert_eq!(g2.point(nf), m.graph().point(e.from));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_costs_under_new_names() {
+        let m = metro();
+        let (g2, new_of) = shuffle_layout(m.graph(), 7).unwrap();
+        for e in m.graph().edges() {
+            let nf = NodeId(new_of[e.from.index()]);
+            let nt = NodeId(new_of[e.to.index()]);
+            assert_eq!(g2.edge_cost(nf, nt), Some(e.cost));
+        }
+        // And it really did move things: some node got a new id.
+        assert!(new_of
+            .iter()
+            .enumerate()
+            .any(|(old, &new)| old as u32 != new));
+    }
+
+    #[test]
+    fn partition_is_deterministic() {
+        let m = metro();
+        let a = PartitionMap::build(m.graph(), 256);
+        let b = PartitionMap::build(m.graph(), 256);
+        assert_eq!(a.permutation(), b.permutation());
+        assert_eq!(a.region_count(), b.region_count());
+    }
+
+    #[test]
+    fn metro_cities_map_onto_whole_regions() {
+        // With target 256 = city size and ids already city-grouped, BFS
+        // from each city's first node should reclaim exactly that city.
+        let m = metro();
+        let p = PartitionMap::build(m.graph(), 256);
+        let g = m.graph();
+        let cut = p.cut_edges(g);
+        // Only freeway carriageways cross regions.
+        let freeways = g
+            .edges()
+            .filter(|e| e.class == crate::edge::RoadClass::Freeway)
+            .count();
+        assert_eq!(cut, freeways);
+    }
+}

@@ -101,16 +101,19 @@ impl Histogram {
 #[derive(Debug)]
 enum Metric {
     Counter(u64),
+    Gauge(u64),
     Histogram(Histogram),
 }
 
-/// A registry of named counters and histograms, shareable across threads.
+/// A registry of named counters, gauges and histograms, shareable across
+/// threads.
 ///
 /// Names are free-form; the convention (and everything the instrumented
-/// layers register) is `snake_case`, `*_total` for counters. A name is
-/// bound to its kind on first use — later calls of the *other* kind on
-/// the same name are ignored rather than panicking, so a misnamed metric
-/// cannot take down a route server.
+/// layers register) is `snake_case`, `*_total` for counters; gauges (set,
+/// not accumulated — e.g. `storage_segment_count`) carry no suffix. A
+/// name is bound to its kind on first use — later calls of the *other*
+/// kind on the same name are ignored rather than panicking, so a
+/// misnamed metric cannot take down a route server.
 #[derive(Debug, Default)]
 pub struct MetricsRegistry {
     inner: Mutex<BTreeMap<String, Metric>>,
@@ -137,9 +140,8 @@ impl MetricsRegistry {
     /// Adds `n` to the counter `name`, creating it at 0 first if needed.
     pub fn add(&self, name: &str, n: u64) {
         let mut map = self.lock();
-        match map.entry(name.to_string()).or_insert(Metric::Counter(0)) {
-            Metric::Counter(v) => *v += n,
-            Metric::Histogram(_) => {}
+        if let Metric::Counter(v) = map.entry(name.to_string()).or_insert(Metric::Counter(0)) {
+            *v += n;
         }
     }
 
@@ -162,12 +164,20 @@ impl MetricsRegistry {
             return;
         }
         let mut map = self.lock();
-        match map
+        if let Metric::Histogram(h) = map
             .entry(name.to_string())
             .or_insert_with(|| Metric::Histogram(Histogram::new(bounds)))
         {
-            Metric::Histogram(h) => h.observe(value),
-            Metric::Counter(_) => {}
+            h.observe(value);
+        }
+    }
+
+    /// Sets the gauge `name` to `v`, creating it if needed. Unlike a
+    /// counter a gauge holds the *latest* value — re-setting replaces.
+    pub fn set(&self, name: &str, v: u64) {
+        let mut map = self.lock();
+        if let Metric::Gauge(g) = map.entry(name.to_string()).or_insert(Metric::Gauge(0)) {
+            *g = v;
         }
     }
 
@@ -175,6 +185,14 @@ impl MetricsRegistry {
     pub fn counter(&self, name: &str) -> u64 {
         match self.lock().get(name) {
             Some(Metric::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Current value of the gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        match self.lock().get(name) {
+            Some(Metric::Gauge(v)) => *v,
             _ => 0,
         }
     }
@@ -193,17 +211,21 @@ impl MetricsRegistry {
     }
 
     /// The whole registry as one JSON object:
-    /// `{"counters":{...},"histograms":{...}}`, keys sorted — byte-
-    /// identical for identical registry *contents* regardless of the
-    /// order in which metrics were touched.
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`, keys
+    /// sorted — byte-identical for identical registry *contents*
+    /// regardless of the order in which metrics were touched.
     pub fn snapshot_json(&self) -> String {
         let map = self.lock();
         let mut counters = JsonObject::new();
+        let mut gauges = JsonObject::new();
         let mut histograms = JsonObject::new();
         for (name, metric) in map.iter() {
             match metric {
                 Metric::Counter(v) => {
                     counters.u64(name, *v);
+                }
+                Metric::Gauge(v) => {
+                    gauges.u64(name, *v);
                 }
                 Metric::Histogram(h) => {
                     histograms.raw(name, &h.to_json());
@@ -212,6 +234,7 @@ impl MetricsRegistry {
         }
         JsonObject::new()
             .raw("counters", &counters.finish())
+            .raw("gauges", &gauges.finish())
             .raw("histograms", &histograms.finish())
             .finish()
     }
@@ -228,6 +251,22 @@ mod tests {
         m.add("runs_total", 4);
         assert_eq!(m.counter("runs_total"), 5);
         assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn gauges_hold_the_latest_value() {
+        let m = MetricsRegistry::new();
+        m.set("storage_segment_count", 3);
+        m.set("storage_segment_count", 7);
+        assert_eq!(m.gauge("storage_segment_count"), 7);
+        assert_eq!(m.gauge("absent"), 0);
+        // Kind is bound on first use: counter ops on a gauge are ignored.
+        m.inc("storage_segment_count");
+        assert_eq!(m.gauge("storage_segment_count"), 7);
+        assert_eq!(m.counter("storage_segment_count"), 0);
+        assert!(m
+            .snapshot_json()
+            .contains(r#""gauges":{"storage_segment_count":7}"#));
     }
 
     #[test]

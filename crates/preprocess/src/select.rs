@@ -22,7 +22,7 @@
 
 use crate::error::PreprocessError;
 use crate::sssp;
-use atis_graph::{Graph, NodeId, SplitMix64};
+use atis_graph::{Graph, NodeId, PartitionMap, SplitMix64};
 
 /// How landmarks are chosen from the loaded graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,17 +36,36 @@ pub enum LandmarkSelection {
         /// Number of sampled query pairs the greedy step scores against.
         sample_pairs: usize,
     },
+    /// Partition-driven spread for metro-scale networks: partition the
+    /// graph into regions of `region_target` nodes (see
+    /// [`atis_graph::PartitionMap`]), greedily spread landmark *regions*
+    /// by centroid distance, then take each chosen region's most central
+    /// node. Needs no SSSP at all, so selection stays O(n) while the
+    /// SSSP-based strategies grow with `n · count` — the difference
+    /// between seconds and minutes of preprocess at 100k nodes
+    /// (`SCALING.md`).
+    PartitionSpread {
+        /// Region size the partition is built with; 256 aligns regions
+        /// with node-relation blocks.
+        region_target: usize,
+    },
 }
 
 impl LandmarkSelection {
     /// The default coverage configuration (48 sampled pairs).
     pub const COVERAGE: LandmarkSelection = LandmarkSelection::Coverage { sample_pairs: 48 };
 
+    /// The default partition-spread configuration (block-aligned
+    /// 256-node regions).
+    pub const PARTITION_SPREAD: LandmarkSelection =
+        LandmarkSelection::PartitionSpread { region_target: 256 };
+
     /// Short label for benchmark tables and trace output.
     pub fn label(&self) -> &'static str {
         match self {
             LandmarkSelection::FarthestPoint => "farthest-point",
             LandmarkSelection::Coverage { .. } => "coverage",
+            LandmarkSelection::PartitionSpread { .. } => "partition-spread",
         }
     }
 }
@@ -78,6 +97,9 @@ pub fn select(
         LandmarkSelection::FarthestPoint => Ok(farthest_point(graph, count)),
         LandmarkSelection::Coverage { sample_pairs } => {
             Ok(coverage(graph, count, sample_pairs.max(1)))
+        }
+        LandmarkSelection::PartitionSpread { region_target } => {
+            Ok(partition_spread(graph, count, region_target.max(1)))
         }
     }
 }
@@ -225,6 +247,85 @@ fn coverage(graph: &Graph, count: usize, sample_pairs: usize) -> Vec<NodeId> {
     chosen
 }
 
+fn partition_spread(graph: &Graph, count: usize, region_target: usize) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let map = PartitionMap::build(graph, region_target);
+    let k = map.region_count();
+    // Region centroids.
+    let mut cx = vec![0.0f64; k];
+    let mut cy = vec![0.0f64; k];
+    let mut sz = vec![0usize; k];
+    for i in 0..n {
+        let r = map.region_of(NodeId(i as u32)) as usize;
+        let p = graph.point(NodeId(i as u32));
+        cx[r] += p.x;
+        cy[r] += p.y;
+        sz[r] += 1;
+    }
+    for r in 0..k {
+        cx[r] /= sz[r].max(1) as f64;
+        cy[r] /= sz[r].max(1) as f64;
+    }
+    // Greedy farthest-point over centroids (planar, no SSSP). Seed: the
+    // centroid farthest from the network's mean position, which lands on
+    // the periphery like the SSSP spread does.
+    let (mx, my) = (
+        cx.iter().sum::<f64>() / k as f64,
+        cy.iter().sum::<f64>() / k as f64,
+    );
+    let d2 = |ax: f64, ay: f64, bx: f64, by: f64| (ax - bx).powi(2) + (ay - by).powi(2);
+    let picks = count.min(k);
+    let mut chosen_regions = Vec::with_capacity(picks);
+    let mut min_d2 = vec![f64::INFINITY; k];
+    let seed = (0..k)
+        .max_by(|&a, &b| {
+            d2(cx[a], cy[a], mx, my)
+                .total_cmp(&d2(cx[b], cy[b], mx, my))
+                .then(b.cmp(&a))
+        })
+        .unwrap_or(0);
+    let mut next = seed;
+    while chosen_regions.len() < picks {
+        chosen_regions.push(next);
+        for r in 0..k {
+            min_d2[r] = min_d2[r].min(d2(cx[r], cy[r], cx[next], cy[next]));
+        }
+        let Some(far) = (0..k)
+            .filter(|&r| !chosen_regions.contains(&r))
+            .max_by(|&a, &b| min_d2[a].total_cmp(&min_d2[b]).then(b.cmp(&a)))
+        else {
+            break;
+        };
+        next = far;
+    }
+    // Each chosen region contributes its most central node (ties to the
+    // lowest id, so the result is a pure function of the graph).
+    let mut central: Vec<Option<(f64, u32)>> = vec![None; k];
+    for i in 0..n {
+        let r = map.region_of(NodeId(i as u32)) as usize;
+        let p = graph.point(NodeId(i as u32));
+        let dd = d2(p.x, p.y, cx[r], cy[r]);
+        match central[r] {
+            Some((bd, _)) if bd <= dd => {}
+            _ => central[r] = Some((dd, i as u32)),
+        }
+    }
+    let mut chosen: Vec<NodeId> = chosen_regions
+        .iter()
+        .filter_map(|&r| central[r].map(|(_, id)| NodeId(id)))
+        .collect();
+    // More landmarks than regions requested: fill with the lowest
+    // unchosen ids, mirroring the farthest-point fallback.
+    let mut i = 0u32;
+    while chosen.len() < count {
+        if !chosen.contains(&NodeId(i)) {
+            chosen.push(NodeId(i));
+        }
+        i += 1;
+    }
+    chosen
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -276,6 +377,37 @@ mod tests {
         dedup.sort();
         dedup.dedup();
         assert_eq!(dedup.len(), 5, "landmarks must be distinct");
+    }
+
+    #[test]
+    fn partition_spread_uses_distinct_regions() {
+        use atis_graph::{Metro, MetroSpec, PartitionMap};
+        let m = Metro::new(MetroSpec::new(3, 2, 11)).unwrap();
+        let marks = select(m.graph(), 6, LandmarkSelection::PARTITION_SPREAD).unwrap();
+        assert_eq!(marks.len(), 6);
+        // With six 256-node cities and six landmarks, every landmark must
+        // sit in its own region (= its own city).
+        let map = PartitionMap::build(m.graph(), 256);
+        let mut regions: Vec<u32> = marks.iter().map(|&l| map.region_of(l)).collect();
+        regions.sort_unstable();
+        regions.dedup();
+        assert_eq!(regions.len(), 6, "landmarks share a region: {marks:?}");
+    }
+
+    #[test]
+    fn partition_spread_is_deterministic_and_fills_past_region_count() {
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 3).unwrap();
+        let sel = LandmarkSelection::PartitionSpread { region_target: 36 };
+        let a = select(grid.graph(), 4, sel).unwrap();
+        let b = select(grid.graph(), 4, sel).unwrap();
+        assert_eq!(a, b);
+        // One region only (target covers the whole grid): the remaining
+        // landmarks fall back to the lowest unchosen ids.
+        assert_eq!(a.len(), 4);
+        let mut dedup = a.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 4, "landmarks must be distinct");
     }
 
     #[test]

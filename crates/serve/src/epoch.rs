@@ -25,7 +25,8 @@
 
 use crate::sync::{self, Arc, Mutex, MutexGuard};
 use atis_algorithms::{AlgorithmError, Database};
-use atis_graph::NodeId;
+use atis_graph::{Graph, NodeId};
+use atis_storage::StorageProfile;
 
 /// An immutable view of the database at one epoch. Cloning is cheap
 /// (`Arc` bump); the underlying [`Database`] is shared, never mutated.
@@ -88,6 +89,34 @@ impl EpochDb {
                 db: Arc::new(db),
             }),
         }
+    }
+
+    /// Opens `graph` as epoch 0 under an explicit [`StorageProfile`] —
+    /// the serving-layer entry point for segmented stores. The epoch
+    /// clone-and-swap machinery is layout-agnostic: every copy-on-write
+    /// update inherits the profile, so a server opened segmented stays
+    /// segmented across its whole epoch history.
+    ///
+    /// # Errors
+    /// Fails if the graph exceeds the tuple encodings or the profile is
+    /// degenerate (zero segment blocks / zero pool capacity).
+    pub fn open_with_profile(
+        graph: &Graph,
+        profile: StorageProfile,
+    ) -> Result<Self, AlgorithmError> {
+        Ok(EpochDb::new(Database::open_with_profile(graph, profile)?))
+    }
+
+    /// Opens `graph` as epoch 0 under the scaled profile for its node
+    /// count ([`StorageProfile::for_nodes`]): region-aligned heap
+    /// segments plus the matching capacity-preset buffer pool with
+    /// region-aware eviction. This is how a metro-scale route server
+    /// should open its stores — see `SCALING.md`.
+    ///
+    /// # Errors
+    /// Fails if the graph exceeds the tuple encodings.
+    pub fn open_scaled(graph: &Graph) -> Result<Self, AlgorithmError> {
+        Self::open_with_profile(graph, StorageProfile::for_nodes(graph.node_count()))
     }
 
     /// Designated acquirer for the epoch slot (rank 2 in the declared
@@ -264,6 +293,40 @@ mod tests {
             .db
             .run(Algorithm::AStar(AStarVersion::V4), s, d)
             .is_ok());
+    }
+
+    #[test]
+    fn scaled_stores_answer_like_paper_stores_across_epochs() {
+        use atis_graph::{Metro, MetroQuery, MetroSpec};
+
+        let metro = Metro::new(MetroSpec::new(2, 2, 7)).unwrap();
+        let scaled = EpochDb::open_scaled(metro.graph()).unwrap();
+        assert!(scaled.snapshot().db.profile().is_segmented());
+        let paper = EpochDb::new(Database::open(metro.graph()).unwrap());
+        let (s, d) = metro.query_pair(MetroQuery::AdjacentCity);
+
+        for epochs in [&scaled, &paper] {
+            // Congest a street on the intra-city route, then run at the
+            // new epoch.
+            epochs
+                .update_edge_cost(metro.node_at(0, 0, 8, 8), metro.node_at(0, 0, 8, 9), 40.0)
+                .unwrap();
+        }
+        let a = scaled.snapshot();
+        let b = paper.snapshot();
+        assert_eq!(a.epoch, b.epoch);
+        let ra = a.db.run(Algorithm::Dijkstra, s, d).unwrap();
+        let rb = b.db.run(Algorithm::Dijkstra, s, d).unwrap();
+        // Same answer and the same *charged* I/O — the layouts differ
+        // only in physical-read patterns.
+        assert_eq!(
+            ra.path.as_ref().unwrap().cost,
+            rb.path.as_ref().unwrap().cost
+        );
+        assert_eq!(
+            ra.path.as_ref().unwrap().nodes,
+            rb.path.as_ref().unwrap().nodes
+        );
     }
 
     #[test]

@@ -20,12 +20,26 @@
 //! [`StorageError::CorruptBlock`] on the next read. Without faults the
 //! checksum machinery is entirely inert and the charged [`IoStats`] are
 //! bit-identical to the fault-free build.
+//!
+//! # Segmentation
+//!
+//! A heap file created with [`HeapFile::create_segmented`] is split into
+//! fixed-size **segments** of `segment_blocks` blocks each, every segment
+//! carrying its own buffer-pool file id. Logically nothing changes — slot
+//! addressing, scans and charging are identical to the single-file layout
+//! — but the buffer pool now sees one *file* per segment, which is what
+//! the region-aware eviction policy (see [`crate::buffer`]) keys on, and
+//! the [`crate::segment::SegmentDirectory`] describes the resulting
+//! on-disk layout. The default [`HeapFile::create`] is the degenerate
+//! single-segment configuration and behaves bit-identically to the
+//! pre-segmentation engine.
 
 use crate::block::{Block, BLOCK_SIZE};
 use crate::buffer::{next_file_id, SharedBuffer};
 use crate::error::StorageError;
 use crate::fault::{self, SharedFaults, WriteMode};
 use crate::io::IoStats;
+use crate::segment::{SegmentDirectory, SegmentInfo};
 use crate::tuple::FixedTuple;
 use std::collections::BTreeSet;
 use std::marker::PhantomData;
@@ -38,7 +52,12 @@ pub struct HeapFile<T: FixedTuple> {
     dirty: BTreeSet<usize>,
     /// Optional buffer pool (an extension; `None` is the paper-faithful
     /// cold-cache configuration). See [`crate::buffer`].
-    buffer: Option<(SharedBuffer, u64)>,
+    buffer: Option<SharedBuffer>,
+    /// Blocks per segment (`usize::MAX` = unsegmented: one segment holds
+    /// every block).
+    segment_blocks: usize,
+    /// One buffer-pool file id per segment (at least one entry).
+    file_ids: Vec<u64>,
     /// Optional fault injection; `None` disables all checks. See
     /// [`crate::fault`].
     faults: Option<SharedFaults>,
@@ -65,6 +84,8 @@ impl<T: FixedTuple> HeapFile<T> {
             len: 0,
             dirty: BTreeSet::new(),
             buffer: None,
+            segment_blocks: usize::MAX,
+            file_ids: vec![next_file_id()],
             faults: None,
             sums: Vec::new(),
             checksums: false,
@@ -72,10 +93,82 @@ impl<T: FixedTuple> HeapFile<T> {
         }
     }
 
+    /// Creates an empty heap file split into segments of `segment_blocks`
+    /// blocks, each with its own buffer-pool file id (see the
+    /// [module docs](self)). Charges the relation-creation cost `I` once —
+    /// the segment directory is metadata of one relation, not extra
+    /// relations.
+    ///
+    /// # Errors
+    /// Returns [`StorageError::InvalidValue`] when `segment_blocks` is
+    /// zero.
+    pub fn create_segmented(segment_blocks: usize, io: &mut IoStats) -> Result<Self, StorageError> {
+        if segment_blocks == 0 {
+            return Err(StorageError::InvalidValue(
+                "heap segments must hold at least one block",
+            ));
+        }
+        let mut f = Self::create(io);
+        f.segment_blocks = segment_blocks;
+        Ok(f)
+    }
+
+    /// Maps a global block number to its `(buffer file id, local block)`
+    /// address. Unsegmented files map every block to segment 0 unchanged.
+    #[inline]
+    fn block_address(&self, block: usize) -> (u64, usize) {
+        let seg = block / self.segment_blocks;
+        (self.file_ids[seg], block % self.segment_blocks)
+    }
+
+    /// Number of segments backing the current block count (at least one).
+    pub fn segment_count(&self) -> usize {
+        self.blocks.len().div_ceil(self.segment_blocks).max(1)
+    }
+
+    /// Blocks per segment (`usize::MAX` for the unsegmented layout).
+    pub fn segment_blocks(&self) -> usize {
+        self.segment_blocks
+    }
+
+    /// Describes the on-disk layout: one [`SegmentInfo`] per segment.
+    pub fn segment_directory(&self) -> SegmentDirectory {
+        let per_block = Self::TUPLES_PER_BLOCK;
+        let segments = (0..self.segment_count())
+            .map(|i| {
+                let first_block = (i * self.segment_blocks).min(self.blocks.len());
+                let blocks = self
+                    .blocks
+                    .len()
+                    .saturating_sub(first_block)
+                    .min(self.segment_blocks);
+                let first_slot = first_block * per_block;
+                let tuples = self.len.saturating_sub(first_slot).min(blocks * per_block);
+                SegmentInfo {
+                    index: i,
+                    file_id: self.file_ids[i],
+                    first_block,
+                    blocks,
+                    tuples,
+                }
+            })
+            .collect();
+        SegmentDirectory {
+            segment_blocks: self.segment_blocks,
+            block_bytes: BLOCK_SIZE,
+            segments,
+        }
+    }
+
     /// Attaches a shared buffer pool: subsequent block *reads* that hit
-    /// the pool are not charged. Writes stay write-through.
+    /// the pool are not charged. Writes stay write-through. Every segment
+    /// receives a fresh file id, so re-attaching never aliases stale
+    /// residency.
     pub fn attach_buffer(&mut self, pool: &SharedBuffer) {
-        self.buffer = Some((pool.clone(), next_file_id()));
+        self.buffer = Some(pool.clone());
+        for id in &mut self.file_ids {
+            *id = next_file_id();
+        }
     }
 
     /// Attaches shared fault-injection state. From now on every physical
@@ -164,7 +257,10 @@ impl<T: FixedTuple> HeapFile<T> {
     #[inline]
     pub(crate) fn charge_read(&self, block: usize, io: &mut IoStats) -> Result<(), StorageError> {
         let physical = match &self.buffer {
-            Some((pool, file)) => !pool.lock().expect("buffer pool lock").access(*file, block),
+            Some(pool) => {
+                let (file, local) = self.block_address(block);
+                !pool.lock().expect("buffer pool lock").access(file, local)
+            }
             None => true,
         };
         if physical {
@@ -191,8 +287,9 @@ impl<T: FixedTuple> HeapFile<T> {
     /// touching the hit/miss statistics.
     #[inline]
     fn install_block(&self, block: usize) {
-        if let Some((pool, file)) = &self.buffer {
-            pool.lock().expect("buffer pool lock").install(*file, block);
+        if let Some(pool) = &self.buffer {
+            let (file, local) = self.block_address(block);
+            pool.lock().expect("buffer pool lock").install(file, local);
         }
     }
 
@@ -230,6 +327,10 @@ impl<T: FixedTuple> HeapFile<T> {
         let (b, off) = Self::locate(slot);
         if b == self.blocks.len() {
             self.blocks.push(Block::new());
+            // A new block may open a new segment; give it a file id.
+            if b / self.segment_blocks >= self.file_ids.len() {
+                self.file_ids.push(next_file_id());
+            }
         }
         tuple.encode(self.blocks[b].bytes_mut(off, T::SIZE));
         self.dirty.insert(b);
@@ -418,15 +519,17 @@ impl<T: FixedTuple> HeapFile<T> {
     /// Clears all tuples, charging the relation-deletion cost `D_t`.
     pub fn clear(&mut self, io: &mut IoStats) {
         io.delete_relation();
-        if let Some((pool, file)) = &self.buffer {
-            pool.lock()
-                .expect("buffer pool lock")
-                .invalidate_file(*file);
+        if let Some(pool) = &self.buffer {
+            let mut pool = pool.lock().expect("buffer pool lock");
+            for file in &self.file_ids {
+                pool.invalidate_file(*file);
+            }
         }
         self.blocks.clear();
         self.dirty.clear();
         self.sums.clear();
         self.len = 0;
+        self.file_ids.truncate(1);
     }
 }
 
@@ -436,7 +539,7 @@ mod tests {
     use crate::fault::FaultPlan;
     use crate::tuple::EdgeTuple;
 
-    fn edge(b: u16, e: u16, c: f64) -> EdgeTuple {
+    fn edge(b: u32, e: u32, c: f64) -> EdgeTuple {
         EdgeTuple {
             begin: b,
             end: e,
@@ -691,6 +794,86 @@ mod tests {
         f.attach_faults(&clean);
         f.update_slot(0, &mut io, |t| t.cost = 5.0).unwrap();
         assert_eq!(f.read_slot(0, &mut io).unwrap().cost, 5.0);
+    }
+
+    #[test]
+    fn segmented_file_charges_identically_to_single_file() {
+        // Segmentation is a physical-layout concern: the charged IoStats
+        // of every operation must be bit-identical to the single-file
+        // layout.
+        let run = |segment_blocks: Option<usize>| {
+            let mut io = IoStats::new();
+            let mut f: HeapFile<EdgeTuple> = match segment_blocks {
+                Some(sb) => HeapFile::create_segmented(sb, &mut io).unwrap(),
+                None => HeapFile::create(&mut io),
+            };
+            for i in 0..600 {
+                f.append(&edge(i, i, 1.0));
+            }
+            f.flush(&mut io).unwrap();
+            f.scan(&mut io, |_, _| {}).unwrap();
+            f.read_slot(513, &mut io).unwrap();
+            f.update_slot(200, &mut io, |t| t.cost = 2.0).unwrap();
+            f.scan_range(120, 140, &mut io, |_, _| {}).unwrap();
+            io
+        };
+        let single = run(None);
+        assert_eq!(single, run(Some(2)));
+        assert_eq!(single, run(Some(3)));
+    }
+
+    #[test]
+    fn segment_directory_accounts_for_every_block_and_tuple() {
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create_segmented(2, &mut io).unwrap();
+        for i in 0..600 {
+            // 600 tuples at 128/block -> 5 blocks -> 3 segments (2+2+1).
+            f.append(&edge(i, i, 1.0));
+        }
+        f.flush(&mut io).unwrap();
+        let dir = f.segment_directory();
+        assert_eq!(dir.segments.len(), 3);
+        assert_eq!(f.segment_count(), 3);
+        assert_eq!(dir.total_blocks(), 5);
+        assert_eq!(dir.total_tuples(), 600);
+        assert_eq!(dir.segments[2].blocks, 1);
+        assert_eq!(dir.segments[1].first_block, 2);
+        // Distinct buffer file ids per segment.
+        assert_ne!(dir.segments[0].file_id, dir.segments[1].file_id);
+    }
+
+    #[test]
+    fn zero_block_segments_are_rejected() {
+        let mut io = IoStats::new();
+        assert!(matches!(
+            HeapFile::<EdgeTuple>::create_segmented(0, &mut io),
+            Err(StorageError::InvalidValue(_))
+        ));
+    }
+
+    #[test]
+    fn segments_occupy_disjoint_pool_files() {
+        use crate::buffer::BufferPool;
+        let mut io = IoStats::new();
+        let mut f: HeapFile<EdgeTuple> = HeapFile::create_segmented(1, &mut io).unwrap();
+        for i in 0..256 {
+            f.append(&edge(i, i, 1.0)); // 2 blocks -> 2 segments
+        }
+        let pool = BufferPool::shared(8).unwrap();
+        f.attach_buffer(&pool);
+        f.flush(&mut io).unwrap();
+        // Both blocks are local block 0 of their segment's file; if the
+        // address mapping collapsed them the second access would hit.
+        let before = io;
+        f.read_slot(0, &mut io).unwrap();
+        f.read_slot(128, &mut io).unwrap();
+        let locked = pool.lock().unwrap();
+        assert_eq!(locked.resident_blocks(), 2);
+        drop(locked);
+        // Re-reads are absorbed (residency survives across segments).
+        f.read_slot(0, &mut io).unwrap();
+        f.read_slot(128, &mut io).unwrap();
+        assert_eq!(io.since(&before).block_reads, 0, "write-allocate");
     }
 
     #[test]

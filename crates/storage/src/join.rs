@@ -148,12 +148,12 @@ pub fn choose_strategy(
 /// # Errors
 /// Surfaces injected read failures and checksum mismatches from `S`.
 pub fn join_adjacency(
-    current: &[(u16, NodeTuple)],
+    current: &[(u32, NodeTuple)],
     edges: &EdgeRelation,
     policy: JoinPolicy,
     params: &CostParams,
     io: &mut IoStats,
-) -> Result<(Vec<(u16, EdgeTuple)>, JoinStrategy), crate::error::StorageError> {
+) -> Result<(Vec<(u32, EdgeTuple)>, JoinStrategy), crate::error::StorageError> {
     if current.is_empty() {
         return Ok((Vec::new(), JoinStrategy::PrimaryKey));
     }
@@ -230,7 +230,7 @@ mod tests {
         .unwrap()
     }
 
-    fn current(ids: &[u16]) -> Vec<(u16, NodeTuple)> {
+    fn current(ids: &[u32]) -> Vec<(u32, NodeTuple)> {
         ids.iter()
             .map(|&id| {
                 (
@@ -270,7 +270,7 @@ mod tests {
         for r in &results[1..] {
             assert_eq!(r, &results[0]);
         }
-        let pairs: Vec<(u16, u16)> = results[0].iter().map(|(f, e)| (*f, e.end)).collect();
+        let pairs: Vec<(u32, u32)> = results[0].iter().map(|(f, e)| (*f, e.end)).collect();
         assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2), (1, 3)]);
     }
 

@@ -28,6 +28,10 @@
 //!   `F(B1, B2, B3)`.
 //! * [`temp`] — temporary relations with APPEND/DELETE and index-maintenance
 //!   charging, used by the separate-relation frontier of A\* version 1.
+//! * [`segment`] — the segment directory for multi-file heap segments, the
+//!   layout metro-scale relations load through (see `SCALING.md`).
+//! * [`profile`] — [`StorageProfile`]: named knob bundles (segmentation ×
+//!   buffer capacity × eviction policy) per network scale.
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]): seeded
 //!   transient read/write failures, flaky blocks, and torn writes detected
 //!   by per-block checksums, for exercising the resilient planner.
@@ -49,18 +53,22 @@ pub mod heapfile;
 pub mod io;
 pub mod isam;
 pub mod join;
+pub mod profile;
 pub mod quel;
 pub mod relations;
+pub mod segment;
 pub mod temp;
 pub mod tuple;
 
-pub use buffer::{BufferPool, SharedBuffer};
+pub use buffer::{BufferPool, CapacityPreset, SharedBuffer};
 pub use error::StorageError;
 pub use fault::{FaultEvent, FaultPlan, FaultState, SharedFaults, STALL_QUANTUM};
 pub use heapfile::HeapFile;
 pub use io::{CostParams, IoStats};
 pub use isam::IsamIndex;
 pub use join::{choose_strategy, join_adjacency, JoinPolicy, JoinStrategy};
+pub use profile::StorageProfile;
 pub use relations::{EdgeRelation, NodeRelation, NodeStatus};
+pub use segment::{SegmentDirectory, SegmentInfo};
 pub use temp::{MultiRelation, TempRelation};
-pub use tuple::{EdgeTuple, FixedTuple, NodeTuple, NO_PRED};
+pub use tuple::{EdgeTuple, FixedTuple, NodeTuple, MAX_NODE_ID, NO_PRED};

@@ -17,8 +17,21 @@ use crate::error::StorageError;
 use crate::heapfile::HeapFile;
 use crate::io::IoStats;
 use crate::isam::IsamIndex;
-use crate::tuple::{EdgeTuple, NodeTuple};
+use crate::segment::SegmentDirectory;
+use crate::tuple::{EdgeTuple, NodeTuple, MAX_NODE_ID};
 use atis_graph::{Graph, NodeId, RoadClass};
+
+/// Rejects graphs whose node ids exceed the 24-bit tuple encoding.
+fn check_node_capacity(n: usize) -> Result<(), StorageError> {
+    if n > MAX_NODE_ID as usize + 1 {
+        return Err(StorageError::CapacityExceeded {
+            what: "node id",
+            value: n,
+            max: MAX_NODE_ID as usize + 1,
+        });
+    }
+    Ok(())
+}
 
 /// The four-valued `status` attribute of `R` (Section 4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -72,31 +85,64 @@ impl EdgeRelation {
     /// `B_s` block writes of the bulk load.
     ///
     /// # Errors
-    /// Fails if a node id exceeds the `u16` tuple encoding.
+    /// Fails if a node id exceeds the 24-bit tuple encoding.
     pub fn load(graph: &Graph, io: &mut IoStats) -> Result<Self, StorageError> {
+        Self::load_inner(graph, None, io)
+    }
+
+    /// Loads a graph's edges into a **segmented** heap file of
+    /// `segment_blocks` blocks per segment (see [`crate::segment`]),
+    /// flushing incrementally whenever a segment fills — the streaming
+    /// load path for metro-scale graphs, where staging the whole relation
+    /// dirty before one big flush would defeat the layout. Charging is
+    /// identical to [`EdgeRelation::load`]: every block write is metered
+    /// exactly once.
+    ///
+    /// # Errors
+    /// Fails if a node id exceeds the 24-bit tuple encoding or
+    /// `segment_blocks` is zero.
+    pub fn load_segmented(
+        graph: &Graph,
+        segment_blocks: usize,
+        io: &mut IoStats,
+    ) -> Result<Self, StorageError> {
+        Self::load_inner(graph, Some(segment_blocks), io)
+    }
+
+    fn load_inner(
+        graph: &Graph,
+        segment_blocks: Option<usize>,
+        io: &mut IoStats,
+    ) -> Result<Self, StorageError> {
         let n = graph.node_count();
-        if n > u16::MAX as usize {
-            return Err(StorageError::CapacityExceeded {
-                what: "node id",
-                value: n,
-                max: u16::MAX as usize,
-            });
-        }
-        let mut heap = HeapFile::create(io);
+        check_node_capacity(n)?;
+        let mut heap = match segment_blocks {
+            Some(sb) => HeapFile::create_segmented(sb, io)?,
+            None => HeapFile::create(io),
+        };
+        let flush_every = segment_blocks
+            .map(|sb| sb * HeapFile::<EdgeTuple>::TUPLES_PER_BLOCK)
+            .unwrap_or(usize::MAX);
         let mut buckets = Vec::with_capacity(n);
+        let mut staged = 0usize;
         for u in graph.node_ids() {
             let start = heap.len() as u32;
             for e in graph.neighbors(u) {
                 let end_point = graph.point(e.to);
                 heap.append(&EdgeTuple {
-                    begin: e.from.0 as u16,
-                    end: e.to.0 as u16,
+                    begin: e.from.0,
+                    end: e.to.0,
                     cost: e.cost,
                     class: road_class_code(e.class),
                     occupancy: e.occupancy as f32,
                     end_x: end_point.x as f32,
                     end_y: end_point.y as f32,
                 });
+                staged += 1;
+                if staged >= flush_every {
+                    heap.flush(io)?;
+                    staged = 0;
+                }
             }
             buckets.push((start, graph.degree(u) as u32));
         }
@@ -106,6 +152,11 @@ impl EdgeRelation {
             buckets,
             avg_degree: graph.average_degree(),
         })
+    }
+
+    /// The on-disk layout of `S` (one segment for unsegmented loads).
+    pub fn segment_directory(&self) -> SegmentDirectory {
+        self.heap.segment_directory()
     }
 
     /// Attaches a buffer pool to `S` (an extension; see [`crate::buffer`]).
@@ -141,7 +192,7 @@ impl EdgeRelation {
     /// Surfaces injected read failures and checksum mismatches.
     pub fn fetch_adjacency(
         &self,
-        u: u16,
+        u: u32,
         io: &mut IoStats,
     ) -> Result<Vec<EdgeTuple>, StorageError> {
         let Some(&(start, len)) = self.buckets.get(u as usize) else {
@@ -168,7 +219,7 @@ impl EdgeRelation {
     /// Surfaces checksum mismatches on corrupted blocks.
     pub fn peek_adjacency(
         &self,
-        u: u16,
+        u: u32,
         mut visit: impl FnMut(&EdgeTuple),
     ) -> Result<(), StorageError> {
         if let Some(&(start, len)) = self.buckets.get(u as usize) {
@@ -201,8 +252,8 @@ impl EdgeRelation {
     /// Rejects negative or non-finite costs.
     pub fn update_cost(
         &mut self,
-        u: u16,
-        v: u16,
+        u: u32,
+        v: u32,
         cost: f64,
         io: &mut IoStats,
     ) -> Result<usize, StorageError> {
@@ -242,7 +293,7 @@ impl EdgeRelation {
     ///
     /// # Errors
     /// Surfaces injected read failures and checksum mismatches.
-    pub fn charge_probe(&self, u: u16, io: &mut IoStats) -> Result<(), StorageError> {
+    pub fn charge_probe(&self, u: u32, io: &mut IoStats) -> Result<(), StorageError> {
         let per_block = HeapFile::<EdgeTuple>::TUPLES_PER_BLOCK;
         match self.buckets.get(u as usize) {
             Some(&(start, len)) if len > 0 => {
@@ -291,23 +342,62 @@ impl NodeRelation {
         isam_levels: u64,
         io: &mut IoStats,
     ) -> Result<Self, StorageError> {
+        Self::load_inner(graph, source_blocks, isam_levels, None, io)
+    }
+
+    /// [`NodeRelation::load`] into a segmented heap file, flushing
+    /// incrementally per segment (the streaming metro-scale load path;
+    /// see [`crate::segment`]). Charging is identical to the unsegmented
+    /// load.
+    ///
+    /// # Errors
+    /// Fails if a node id exceeds the 24-bit tuple encoding or
+    /// `segment_blocks` is zero.
+    pub fn load_segmented(
+        graph: &Graph,
+        source_blocks: usize,
+        isam_levels: u64,
+        segment_blocks: usize,
+        io: &mut IoStats,
+    ) -> Result<Self, StorageError> {
+        Self::load_inner(graph, source_blocks, isam_levels, Some(segment_blocks), io)
+    }
+
+    fn load_inner(
+        graph: &Graph,
+        source_blocks: usize,
+        isam_levels: u64,
+        segment_blocks: Option<usize>,
+        io: &mut IoStats,
+    ) -> Result<Self, StorageError> {
         let n = graph.node_count();
-        if n > u16::MAX as usize {
-            return Err(StorageError::CapacityExceeded {
-                what: "node id",
-                value: n,
-                max: u16::MAX as usize,
-            });
-        }
-        let mut heap = HeapFile::create(io);
+        check_node_capacity(n)?;
+        let mut heap = match segment_blocks {
+            Some(sb) => HeapFile::create_segmented(sb, io)?,
+            None => HeapFile::create(io),
+        };
+        let flush_every = segment_blocks
+            .map(|sb| sb * HeapFile::<NodeTuple>::TUPLES_PER_BLOCK)
+            .unwrap_or(usize::MAX);
         io.read_blocks(source_blocks as u64); // C2 read side
+        let mut staged = 0usize;
         for u in graph.node_ids() {
             let p = graph.point(u);
             heap.append(&NodeTuple::unreached(p.x as f32, p.y as f32));
+            staged += 1;
+            if staged >= flush_every {
+                heap.flush(io)?;
+                staged = 0;
+            }
         }
-        heap.flush(io)?; // C2 write side: B_r writes
+        heap.flush(io)?; // C2 write side: B_r writes in total
         let isam = IsamIndex::build(n, heap.block_count(), Some(isam_levels), io); // C3
         Ok(NodeRelation { heap, isam })
+    }
+
+    /// The on-disk layout of `R` (one segment for unsegmented loads).
+    pub fn segment_directory(&self) -> SegmentDirectory {
+        self.heap.segment_directory()
     }
 
     /// Attaches a buffer pool to `R` (an extension; see [`crate::buffer`]).
@@ -342,8 +432,8 @@ impl NodeRelation {
     ///
     /// # Errors
     /// Fails for unknown node ids.
-    pub fn get(&self, id: u16, io: &mut IoStats) -> Result<NodeTuple, StorageError> {
-        let slot = self.isam.probe(id as u32, io)?;
+    pub fn get(&self, id: u32, io: &mut IoStats) -> Result<NodeTuple, StorageError> {
+        let slot = self.isam.probe(id, io)?;
         self.heap.read_slot(slot, io)
     }
 
@@ -351,7 +441,7 @@ impl NodeRelation {
     ///
     /// # Errors
     /// Fails for unknown node ids.
-    pub fn peek(&self, id: u16) -> Result<NodeTuple, StorageError> {
+    pub fn peek(&self, id: u32) -> Result<NodeTuple, StorageError> {
         self.heap.peek_slot(id as usize)
     }
 
@@ -364,11 +454,11 @@ impl NodeRelation {
     /// Fails for unknown node ids.
     pub fn replace(
         &mut self,
-        id: u16,
+        id: u32,
         io: &mut IoStats,
         f: impl FnOnce(&mut NodeTuple),
     ) -> Result<(), StorageError> {
-        let slot = self.isam.probe(id as u32, io)?;
+        let slot = self.isam.probe(id, io)?;
         self.heap.update_slot(slot, io, f)
     }
 
@@ -379,9 +469,9 @@ impl NodeRelation {
     pub fn scan(
         &self,
         io: &mut IoStats,
-        mut visit: impl FnMut(u16, &NodeTuple),
+        mut visit: impl FnMut(u32, &NodeTuple),
     ) -> Result<(), StorageError> {
-        self.heap.scan(io, |slot, t| visit(slot as u16, &t))
+        self.heap.scan(io, |slot, t| visit(slot as u32, &t))
     }
 
     /// Set-oriented rewrite pass (`REPLACE ... WHERE` over the whole
@@ -392,9 +482,9 @@ impl NodeRelation {
     pub fn rewrite(
         &mut self,
         io: &mut IoStats,
-        mut visit: impl FnMut(u16, &mut NodeTuple) -> bool,
+        mut visit: impl FnMut(u32, &mut NodeTuple) -> bool,
     ) -> Result<(), StorageError> {
-        self.heap.rewrite(io, |slot, t| visit(slot as u16, t))
+        self.heap.rewrite(io, |slot, t| visit(slot as u32, t))
     }
 
     /// "Select u from frontierSet with minimum score" — a full scan of `R`
@@ -407,9 +497,9 @@ impl NodeRelation {
     pub fn select_min_open(
         &self,
         io: &mut IoStats,
-        mut score: impl FnMut(u16, &NodeTuple) -> f64,
-    ) -> Result<Option<(u16, NodeTuple)>, StorageError> {
-        let mut best: Option<(f64, u64, u16, NodeTuple)> = None;
+        mut score: impl FnMut(u32, &NodeTuple) -> f64,
+    ) -> Result<Option<(u32, NodeTuple)>, StorageError> {
+        let mut best: Option<(f64, u64, u32, NodeTuple)> = None;
         self.scan(io, |id, t| {
             if t.status == NodeStatus::Open {
                 let s = score(id, t);
@@ -456,7 +546,7 @@ impl NodeRelation {
         &self,
         status: NodeStatus,
         io: &mut IoStats,
-    ) -> Result<Vec<(u16, NodeTuple)>, StorageError> {
+    ) -> Result<Vec<(u32, NodeTuple)>, StorageError> {
         let mut out = Vec::new();
         self.scan(io, |id, t| {
             if t.status == status {
@@ -479,7 +569,7 @@ impl NodeRelation {
                 Ok(if t.path == crate::tuple::NO_PRED {
                     None
                 } else {
-                    Some(NodeId(t.path as u32))
+                    Some(NodeId(t.path))
                 })
             })
             .collect()
@@ -488,7 +578,7 @@ impl NodeRelation {
 
 /// Deterministic tie-break hash (splitmix64 finaliser).
 #[inline]
-pub(crate) fn tie_hash(id: u16) -> u64 {
+pub(crate) fn tie_hash(id: u32) -> u64 {
     let mut z = (id as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);

@@ -1,0 +1,120 @@
+//! The segment directory: metadata describing a segmented heap file.
+//!
+//! Metro-scale relations no longer fit the single-heap-file layout the
+//! paper's 1k-node networks used — a 100k-node edge relation `S` spans
+//! ~3.1k blocks, and treating it as one file gives the buffer pool no
+//! locality signal. A segmented heap file (see [`crate::heapfile`])
+//! splits the block array into fixed-size segments, each with its own
+//! buffer-pool file id; the [`SegmentDirectory`] is the small metadata
+//! relation that maps segments to block ranges, exactly like a
+//! conventional engine's extent map:
+//!
+//! ```text
+//! SegmentDirectory ── segment 0 ── blocks [0, k)    ── tuples
+//!                  ── segment 1 ── blocks [k, 2k)   ── tuples
+//!                  ── …
+//! ```
+//!
+//! With region-blocked node ordering (see `atis-graph`'s partition map) a
+//! segment holds the tuples of spatially adjacent nodes, so "segment" and
+//! "map region" coincide and the pool's region-aware eviction can throw
+//! out the regions a search has left. See `DESIGN.md` ("storage layout")
+//! and `SCALING.md`.
+
+/// One segment's entry in the directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentInfo {
+    /// Position in the directory (0-based).
+    pub index: usize,
+    /// The buffer-pool file id this segment's blocks are keyed under.
+    pub file_id: u64,
+    /// First global block number owned by this segment.
+    pub first_block: usize,
+    /// Number of blocks currently in the segment.
+    pub blocks: usize,
+    /// Number of tuples stored in those blocks.
+    pub tuples: usize,
+}
+
+/// The on-disk layout of a segmented heap file: an ordered list of
+/// [`SegmentInfo`] entries plus the layout constants needed to interpret
+/// them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SegmentDirectory {
+    /// Blocks per segment (`usize::MAX` for an unsegmented file, which
+    /// reports exactly one segment).
+    pub segment_blocks: usize,
+    /// Bytes per block (`BLOCK_SIZE`).
+    pub block_bytes: usize,
+    /// The segments in block order.
+    pub segments: Vec<SegmentInfo>,
+}
+
+impl SegmentDirectory {
+    /// Total blocks across all segments (`B_x` of the cost model).
+    pub fn total_blocks(&self) -> usize {
+        self.segments.iter().map(|s| s.blocks).sum()
+    }
+
+    /// Total tuples across all segments.
+    pub fn total_tuples(&self) -> usize {
+        self.segments.iter().map(|s| s.tuples).sum()
+    }
+
+    /// Total bytes occupied by the segments' blocks.
+    pub fn total_bytes(&self) -> usize {
+        self.total_blocks() * self.block_bytes
+    }
+
+    /// The segment owning global block `block`, if any.
+    pub fn segment_of_block(&self, block: usize) -> Option<&SegmentInfo> {
+        self.segments
+            .iter()
+            .find(|s| block >= s.first_block && block < s.first_block + s.blocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn directory() -> SegmentDirectory {
+        SegmentDirectory {
+            segment_blocks: 2,
+            block_bytes: 4096,
+            segments: vec![
+                SegmentInfo {
+                    index: 0,
+                    file_id: 10,
+                    first_block: 0,
+                    blocks: 2,
+                    tuples: 256,
+                },
+                SegmentInfo {
+                    index: 1,
+                    file_id: 11,
+                    first_block: 2,
+                    blocks: 1,
+                    tuples: 70,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_sum_over_segments() {
+        let d = directory();
+        assert_eq!(d.total_blocks(), 3);
+        assert_eq!(d.total_tuples(), 326);
+        assert_eq!(d.total_bytes(), 3 * 4096);
+    }
+
+    #[test]
+    fn block_lookup_finds_the_owning_segment() {
+        let d = directory();
+        assert_eq!(d.segment_of_block(0).unwrap().index, 0);
+        assert_eq!(d.segment_of_block(1).unwrap().index, 0);
+        assert_eq!(d.segment_of_block(2).unwrap().index, 1);
+        assert!(d.segment_of_block(3).is_none());
+    }
+}

@@ -234,7 +234,7 @@ impl<T: FixedTuple> TempRelation<T> {
         let mut best: Option<(f64, u64, u32, T)> = None;
         self.scan(io, |key, t| {
             let s = score(key, &t);
-            let tie = crate::relations::tie_hash(key as u16);
+            let tie = crate::relations::tie_hash(key);
             let better = match &best {
                 None => true,
                 Some((bs, bt, _, _)) => s < *bs || (s == *bs && tie < *bt),
@@ -360,7 +360,7 @@ impl<T: FixedTuple> MultiRelation<T> {
         let mut best: Option<(f64, u64, usize, u32, T)> = None;
         self.scan(io, |slot, key, t| {
             let s = score(key, &t);
-            let tie = crate::relations::tie_hash(key as u16);
+            let tie = crate::relations::tie_hash(key);
             let better = match &best {
                 None => true,
                 Some((bs, bt, _, _, _)) => s < *bs || (s == *bs && tie < *bt),

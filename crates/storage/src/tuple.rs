@@ -13,11 +13,27 @@
 //! full `f32` precision. `path` is the predecessor pointer ("The complete
 //! path to the source node can be constructed by traversing this pointer",
 //! Section 4); [`NO_PRED`] marks null.
+//!
+//! # Node-id width
+//!
+//! The paper's largest network has 1089 nodes, so the original layout kept
+//! 16-bit ids. Metro-scale networks (100k–1M nodes, see `atis-graph`'s
+//! `metro` module and `SCALING.md`) need wider ids *without* changing the
+//! tuple sizes the whole cost model is calibrated on. Ids are therefore
+//! stored as **24-bit** integers: the low 16 bits stay where the original
+//! layout put them and the high 8 bits occupy a previously-zero pad byte,
+//! so pre-widening images decode unchanged. [`MAX_NODE_ID`] is the largest
+//! encodable id; [`NO_PRED`] is the all-ones 24-bit sentinel.
 
 use crate::relations::NodeStatus;
 
-/// Sentinel for a null `path` pointer in a node tuple.
-pub const NO_PRED: u16 = u16::MAX;
+/// Largest node id the 24-bit on-disk encoding can carry (the all-ones
+/// value is reserved for [`NO_PRED`]).
+pub const MAX_NODE_ID: u32 = 0x00FF_FFFE;
+
+/// Sentinel for a null `path` pointer in a node tuple (all ones in the
+/// 24-bit id encoding).
+pub const NO_PRED: u32 = 0x00FF_FFFF;
 
 /// A fixed-width tuple that can be stored in a heap file.
 pub trait FixedTuple: Clone {
@@ -36,14 +52,16 @@ pub trait FixedTuple: Clone {
 /// end-node position lets A\* version 1 discover coordinates for nodes it
 /// has not yet appended to its resultant relation.
 ///
-/// Layout (32 bytes): begin `u16`, end `u16`, cost `f64`, class `u8`,
-/// 3 pad, occupancy `f32`, end_x `f32`, end_y `f32`, 4 reserved.
+/// Layout (32 bytes): begin-lo `u16`, end-lo `u16`, cost `f64`, class
+/// `u8`, begin-hi `u8`, end-hi `u8`, 1 pad, occupancy `f32`, end_x `f32`,
+/// end_y `f32`, 4 reserved. (`begin`/`end` are 24-bit ids; see the module
+/// docs.)
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EdgeTuple {
-    /// `Begin-node` — the hash-clustering key.
-    pub begin: u16,
-    /// `End-node`.
-    pub end: u16,
+    /// `Begin-node` — the hash-clustering key (≤ [`MAX_NODE_ID`]).
+    pub begin: u32,
+    /// `End-node` (≤ [`MAX_NODE_ID`]).
+    pub end: u32,
     /// `Edge-cost`.
     pub cost: f64,
     /// Road class discriminant (0 street, 1 highway, 2 freeway).
@@ -61,11 +79,14 @@ impl FixedTuple for EdgeTuple {
 
     fn encode(&self, buf: &mut [u8]) {
         debug_assert_eq!(buf.len(), Self::SIZE);
-        buf[0..2].copy_from_slice(&self.begin.to_le_bytes());
-        buf[2..4].copy_from_slice(&self.end.to_le_bytes());
+        debug_assert!(self.begin <= NO_PRED && self.end <= NO_PRED);
+        buf[0..2].copy_from_slice(&(self.begin as u16).to_le_bytes());
+        buf[2..4].copy_from_slice(&(self.end as u16).to_le_bytes());
         buf[4..12].copy_from_slice(&self.cost.to_le_bytes());
         buf[12] = self.class;
-        buf[13..16].fill(0);
+        buf[13] = (self.begin >> 16) as u8;
+        buf[14] = (self.end >> 16) as u8;
+        buf[15] = 0;
         buf[16..20].copy_from_slice(&self.occupancy.to_le_bytes());
         buf[20..24].copy_from_slice(&self.end_x.to_le_bytes());
         buf[24..28].copy_from_slice(&self.end_y.to_le_bytes());
@@ -75,8 +96,8 @@ impl FixedTuple for EdgeTuple {
     fn decode(buf: &[u8]) -> Self {
         debug_assert_eq!(buf.len(), Self::SIZE);
         EdgeTuple {
-            begin: u16::from_le_bytes([buf[0], buf[1]]),
-            end: u16::from_le_bytes([buf[2], buf[3]]),
+            begin: u16::from_le_bytes([buf[0], buf[1]]) as u32 | ((buf[13] as u32) << 16),
+            end: u16::from_le_bytes([buf[2], buf[3]]) as u32 | ((buf[14] as u32) << 16),
             cost: f64::from_le_bytes(buf[4..12].try_into().expect("8 bytes")),
             class: buf[12],
             occupancy: f32::from_le_bytes(buf[16..20].try_into().expect("4 bytes")),
@@ -89,8 +110,8 @@ impl FixedTuple for EdgeTuple {
 /// A tuple of the node relation `R` (16 payload bytes; the node-id is the
 /// slot position).
 ///
-/// Layout: x `f32`, y `f32`, status `u8`, 1 pad, path `u16`, path-cost
-/// `f32`.
+/// Layout: x `f32`, y `f32`, status `u8`, path-hi `u8`, path-lo `u16`,
+/// path-cost `f32`. (`path` is a 24-bit id; see the module docs.)
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct NodeTuple {
     /// `x-coordinate` (for estimator functions).
@@ -102,7 +123,7 @@ pub struct NodeTuple {
     pub status: NodeStatus,
     /// Predecessor pointer on the best known path to the source
     /// ([`NO_PRED`] = null).
-    pub path: u16,
+    pub path: u32,
     /// `path-cost` — cost of the best known path from the source.
     /// `f32::INFINITY` until the node is reached.
     pub path_cost: f32,
@@ -126,11 +147,12 @@ impl FixedTuple for NodeTuple {
 
     fn encode(&self, buf: &mut [u8]) {
         debug_assert_eq!(buf.len(), Self::SIZE);
+        debug_assert!(self.path <= NO_PRED);
         buf[0..4].copy_from_slice(&self.x.to_le_bytes());
         buf[4..8].copy_from_slice(&self.y.to_le_bytes());
         buf[8] = self.status as u8;
-        buf[9] = 0;
-        buf[10..12].copy_from_slice(&self.path.to_le_bytes());
+        buf[9] = (self.path >> 16) as u8;
+        buf[10..12].copy_from_slice(&(self.path as u16).to_le_bytes());
         buf[12..16].copy_from_slice(&self.path_cost.to_le_bytes());
     }
 
@@ -140,7 +162,7 @@ impl FixedTuple for NodeTuple {
             x: f32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")),
             y: f32::from_le_bytes(buf[4..8].try_into().expect("4 bytes")),
             status: NodeStatus::from_u8(buf[8]),
-            path: u16::from_le_bytes([buf[10], buf[11]]),
+            path: u16::from_le_bytes([buf[10], buf[11]]) as u32 | ((buf[9] as u32) << 16),
             path_cost: f32::from_le_bytes(buf[12..16].try_into().expect("4 bytes")),
         }
     }
@@ -178,6 +200,25 @@ mod tests {
     }
 
     #[test]
+    fn edge_tuple_roundtrips_metro_scale_ids() {
+        // Ids above u16::MAX exercise the high byte of the 24-bit encoding.
+        let t = EdgeTuple {
+            begin: 734_003,
+            end: MAX_NODE_ID,
+            cost: 0.5,
+            class: 2,
+            occupancy: 0.0,
+            end_x: 1.0,
+            end_y: 2.0,
+        };
+        let mut buf = [0u8; 32];
+        t.encode(&mut buf);
+        let back = EdgeTuple::decode(&buf);
+        assert_eq!(back.begin, 734_003);
+        assert_eq!(back.end, MAX_NODE_ID);
+    }
+
+    #[test]
     fn node_tuple_roundtrip() {
         let t = NodeTuple {
             x: 12.5,
@@ -189,6 +230,39 @@ mod tests {
         let mut buf = [0u8; 16];
         t.encode(&mut buf);
         assert_eq!(NodeTuple::decode(&buf), t);
+    }
+
+    #[test]
+    fn node_tuple_roundtrips_metro_scale_path() {
+        let t = NodeTuple {
+            x: 0.0,
+            y: 0.0,
+            status: NodeStatus::Closed,
+            path: 1_000_000,
+            path_cost: 3.0,
+        };
+        let mut buf = [0u8; 16];
+        t.encode(&mut buf);
+        assert_eq!(NodeTuple::decode(&buf).path, 1_000_000);
+    }
+
+    #[test]
+    fn small_ids_keep_the_legacy_byte_image() {
+        // Ids ≤ u16::MAX must leave the former pad bytes zero, so the
+        // widened codec is byte-identical to the original on the paper's
+        // networks.
+        let t = EdgeTuple {
+            begin: 17,
+            end: 900,
+            cost: 1.0,
+            class: 0,
+            occupancy: 0.0,
+            end_x: 0.0,
+            end_y: 0.0,
+        };
+        let mut buf = [0u8; 32];
+        t.encode(&mut buf);
+        assert_eq!((buf[13], buf[14], buf[15]), (0, 0, 0));
     }
 
     #[test]

@@ -30,7 +30,8 @@
 //! served is a real route from an earlier epoch, never an invented one.
 //!
 //! `STATS` serves the server's `atis-obs` metrics registry verbatim as a
-//! single-line JSON document, `{"counters":{...},"histograms":{...}}` —
+//! single-line JSON document,
+//! `{"counters":{...},"gauges":{...},"histograms":{...}}` —
 //! deterministic key order, so two identical servers produce identical
 //! snapshots. Alongside the per-run metrics (`runs_total`,
 //! `iterations_per_run`, …) the snapshot now carries the serving layer:

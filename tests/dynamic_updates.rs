@@ -16,8 +16,8 @@ fn update_propagates_to_graph_and_relation() {
     assert_eq!(db.graph().edge_cost(u, v), Some(9.5));
     // ...and so did the stored S tuples.
     let mut io = atis::storage::IoStats::new();
-    let adj = db.edges().fetch_adjacency(u.0 as u16, &mut io).unwrap();
-    let tuple = adj.iter().find(|t| t.end == v.0 as u16).unwrap();
+    let adj = db.edges().fetch_adjacency(u.0, &mut io).unwrap();
+    let tuple = adj.iter().find(|t| t.end == v.0).unwrap();
     assert_eq!(tuple.cost, 9.5);
     // The reverse direction is untouched (directed update).
     assert_eq!(db.graph().edge_cost(v, u), Some(1.0));

@@ -52,9 +52,9 @@ fn unknown_endpoints_through_the_planner() {
 
 #[test]
 fn oversized_graph_is_rejected_at_the_capacity_boundary() {
-    // Node ids are stored as u16 in the 32-byte edge tuple, so the graph
-    // layer caps construction at MAX_NODES = 65_535: one more node must be
-    // a typed error at build time (the storage engine's own
+    // Node ids are stored as 24-bit fields in the 32-byte edge tuple, so
+    // the graph layer caps construction at MAX_NODES = 2^24 - 1: one more
+    // node must be a typed error at build time (the storage engine's own
     // `StorageError::CapacityExceeded` is the defensive second line for
     // the same limit).
     let n = atis::graph::graph::MAX_NODES + 1;

@@ -1,0 +1,134 @@
+//! Property tests for the metro generator and the partitioned layout:
+//! generation must be bit-deterministic per seed, every freeway must be
+//! a consistent one-way pair, and renumbering the graph by partition
+//! region (or by a random shuffle) must be a pure layout change — a
+//! permutation of node ids under which every route keeps its cost.
+
+use atis::algorithms::{Algorithm, Database};
+use atis::graph::{
+    shuffle_layout, Graph, Metro, MetroQuery, MetroSpec, NodeId, PartitionMap, RoadClass,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small metro lattice (2–4 cities per axis keeps each case
+/// under ~4100 nodes) with an arbitrary seed.
+fn arb_metro() -> impl Strategy<Value = Metro> {
+    (2usize..=4, 2usize..=4, 0u64..1_000_000).prop_map(|(cx, cy, seed)| {
+        Metro::new(MetroSpec::new(cx, cy, seed)).expect("lattice is non-degenerate")
+    })
+}
+
+/// Two graphs are bit-identical: same nodes, points, and edge lists in
+/// the same order with bitwise-equal costs.
+fn assert_identical(a: &Graph, b: &Graph) {
+    assert_eq!(a.node_count(), b.node_count());
+    assert_eq!(a.edge_count(), b.edge_count());
+    assert_eq!(a.cost_fingerprint(), b.cost_fingerprint());
+    for id in 0..a.node_count() as u32 {
+        let u = NodeId(id);
+        assert_eq!(a.point(u), b.point(u));
+        let (ea, eb) = (a.neighbors(u), b.neighbors(u));
+        assert_eq!(ea.len(), eb.len());
+        for (x, y) in ea.iter().zip(eb) {
+            assert_eq!(x.from, y.from);
+            assert_eq!(x.to, y.to);
+            assert_eq!(x.cost.to_bits(), y.cost.to_bits());
+            assert_eq!(x.class, y.class);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Generating the same spec twice yields bit-identical graphs —
+    /// `SCALING.md`'s "how to regenerate" section depends on this.
+    #[test]
+    fn metro_generation_is_bit_deterministic(
+        (cx, cy, seed) in (2usize..=4, 2usize..=4, 0u64..1_000_000)
+    ) {
+        let spec = MetroSpec::new(cx, cy, seed);
+        let once = Metro::new(spec).unwrap();
+        let twice = Metro::new(spec).unwrap();
+        assert_identical(once.graph(), twice.graph());
+    }
+
+    /// Every freeway link is strictly one-way (no reverse arc anywhere),
+    /// and somewhere between the same two cities runs an opposite-
+    /// direction freeway of the same length — the paired carriageway.
+    #[test]
+    fn freeways_form_consistent_one_way_pairs(metro in arb_metro()) {
+        let g = metro.graph();
+        let freeways: Vec<_> = g
+            .edges()
+            .filter(|e| e.class == RoadClass::Freeway)
+            .collect();
+        prop_assert!(!freeways.is_empty());
+        for e in &freeways {
+            // One-way: the exact reverse arc must not exist in any class.
+            prop_assert!(
+                g.neighbors(e.to).iter().all(|r| r.to != e.from),
+                "freeway {:?}->{:?} has a reverse arc",
+                e.from,
+                e.to
+            );
+            // Paired: an opposite-direction freeway of equal cost links
+            // the same two cities.
+            let (fc, tc) = (metro.city_of(e.from), metro.city_of(e.to));
+            prop_assert!(
+                freeways.iter().any(|m| {
+                    metro.city_of(m.from) == tc
+                        && metro.city_of(m.to) == fc
+                        && m.cost.to_bits() == e.cost.to_bits()
+                }),
+                "freeway {:?}->{:?} has no opposite carriageway",
+                e.from,
+                e.to
+            );
+        }
+    }
+
+    /// Region reordering (and the shuffled control) is a permutation of
+    /// node ids, and routing through the storage engine returns the same
+    /// cost on every layout of the same network.
+    #[test]
+    fn reordered_layouts_are_permutations_preserving_route_costs(metro in arb_metro()) {
+        let g = metro.graph();
+        let n = g.node_count();
+        let map = PartitionMap::build(g, 256);
+        let order = map.permutation();
+        let mut sorted: Vec<u32> = order.to_vec();
+        sorted.sort_unstable();
+        prop_assert!(
+            sorted.iter().enumerate().all(|(i, &v)| i as u32 == v),
+            "region order is not a permutation of 0..{n}"
+        );
+
+        let (region, region_new) = map.apply(g).unwrap();
+        let (shuffled, shuffled_new) = shuffle_layout(g, 7).unwrap();
+        let (s, d) = metro.query_pair(MetroQuery::AdjacentCity);
+
+        let cost = |graph: &Graph, s: NodeId, d: NodeId| -> f64 {
+            Database::open(graph)
+                .unwrap()
+                .run(Algorithm::Dijkstra, s, d)
+                .unwrap()
+                .path
+                .expect("metro networks are strongly connected")
+                .cost
+        };
+        let base = cost(g, s, d);
+        let via_region = cost(
+            &region,
+            NodeId(region_new[s.index()]),
+            NodeId(region_new[d.index()]),
+        );
+        let via_shuffle = cost(
+            &shuffled,
+            NodeId(shuffled_new[s.index()]),
+            NodeId(shuffled_new[d.index()]),
+        );
+        prop_assert!((base - via_region).abs() < 1e-9, "region layout changed the route cost");
+        prop_assert!((base - via_shuffle).abs() < 1e-9, "shuffled layout changed the route cost");
+    }
+}

@@ -151,7 +151,8 @@ fn buffer_pool_never_increases_cost_and_never_changes_answers() {
     for capacity in [1usize, 4, 16, 256] {
         let warm = Database::open(grid.graph())
             .unwrap()
-            .with_buffer_pool(capacity);
+            .with_buffer_pool(capacity)
+            .unwrap();
         for alg in Algorithm::TABLE {
             let c = cold.run(alg, s, d).unwrap();
             let w = warm.run(alg, s, d).unwrap();
@@ -181,7 +182,8 @@ fn bigger_buffer_pools_absorb_more_reads() {
     for capacity in [1usize, 8, 64] {
         let db = Database::open(grid.graph())
             .unwrap()
-            .with_buffer_pool(capacity);
+            .with_buffer_pool(capacity)
+            .unwrap();
         let t = db.run(Algorithm::Dijkstra, s, d).unwrap();
         assert!(
             t.io.block_reads <= previous,
@@ -201,7 +203,7 @@ fn node_relation_roundtrips_a_whole_grid() {
     // Every node's stored coordinates must round-trip through the f32
     // tuple encoding.
     for u in grid.graph().node_ids() {
-        let t = r.peek(u.0 as u16).unwrap();
+        let t = r.peek(u.0).unwrap();
         let p = grid.graph().point(u);
         assert!((t.x as f64 - p.x).abs() < 1e-5);
         assert!((t.y as f64 - p.y).abs() < 1e-5);
@@ -209,7 +211,7 @@ fn node_relation_roundtrips_a_whole_grid() {
     // Every edge must be reachable through its begin-node bucket.
     let mut bucket_edges = 0;
     for u in grid.graph().node_ids() {
-        bucket_edges += s.fetch_adjacency(u.0 as u16, &mut io).unwrap().len();
+        bucket_edges += s.fetch_adjacency(u.0, &mut io).unwrap().len();
     }
     assert_eq!(bucket_edges, grid.graph().edge_count());
 }
@@ -221,7 +223,7 @@ fn edge_relation_preserves_costs_exactly() {
     let mut io = IoStats::new();
     let s = EdgeRelation::load(grid.graph(), &mut io).unwrap();
     for u in grid.graph().node_ids() {
-        let adj = s.fetch_adjacency(u.0 as u16, &mut io).unwrap();
+        let adj = s.fetch_adjacency(u.0, &mut io).unwrap();
         let expect: Vec<f64> = grid.graph().neighbors(u).iter().map(|e| e.cost).collect();
         let got: Vec<f64> = adj.iter().map(|t| t.cost).collect();
         assert_eq!(expect, got);
