@@ -16,20 +16,28 @@
 #   BENCH_estimators.json  nodes_expanded and block_reads per
 #                          (network, algorithm) — lower is better; tight
 #                          tolerance (default 2%) because both counters
-#                          are deterministic. wall_ms and preprocess_ms
-#                          are recorded but never gated (wall clock is
-#                          machine-dependent).
+#                          are deterministic. wall_ms, preprocess_ms and
+#                          hierarchy_ms are recorded but never gated
+#                          (wall clock is machine-dependent). CI reruns
+#                          everything except the metro-100k long-haul
+#                          section (BENCH_estimators_smoke.json), so
+#                          baseline records for networks absent from the
+#                          fresh artifact are skipped, not failed;
+#                          dropping an algorithm *within* a measured
+#                          network still fails.
 #   BENCH_scaling.json     nodes_expanded, block_reads and physical_reads
-#                          per (network, layout, algorithm) — lower is
-#                          better, same tight tolerance (all three
-#                          counters are deterministic: seeded generator,
-#                          deterministic pool). CI reruns only the 10k
-#                          smoke scale (BENCH_scaling_smoke.json), so
-#                          baseline records for scales absent from the
-#                          fresh artifact are skipped, not failed — scale
+#                          per (network, layout, workload, algorithm) —
+#                          lower is better, same tight tolerance (all
+#                          three counters are deterministic: seeded
+#                          generator, deterministic pool). Records
+#                          predating the workload field key as
+#                          "regional". CI reruns only the 10k smoke
+#                          scale (BENCH_scaling_smoke.json), so baseline
+#                          records for scales absent from the fresh
+#                          artifact are skipped, not failed — scale
 #                          coverage is a run-mode choice; dropping an
-#                          algorithm or layout *within* a measured scale
-#                          still fails.
+#                          algorithm, layout or workload *within* a
+#                          measured scale still fails.
 # A (network, algorithm) or workers key present in the baseline but
 # missing from the fresh artifact fails the gate: silently dropping a
 # bench configuration must not read as a pass.
@@ -115,14 +123,23 @@ compare_estimators() {
             return -1
         }
         /"benchmark":"estimator_quality"/ {
-            key = str("network") "|" str("algorithm")
+            net = str("network")
+            key = net "|" str("algorithm")
             ne = num("nodes_expanded"); br = num("block_reads")
-            if (NR == FNR) { base_ne[key] = ne; base_br[key] = br }
-            else { fresh_ne[key] = ne; fresh_br[key] = br; seen[key] = 1 }
+            if (NR == FNR) { base_ne[key] = ne; base_br[key] = br; base_net[key] = net }
+            else { fresh_ne[key] = ne; fresh_br[key] = br; seen[key] = 1; nets[net] = 1 }
         }
         END {
             fail = 0
             for (k in base_ne) {
+                # A network the fresh run did not measure at all (smoke
+                # mode skips the metro-100k long-haul section) is
+                # skipped; a dropped algorithm within a measured network
+                # is a failure.
+                if (!(base_net[k] in nets)) {
+                    printf "skip estimators: %s (network not measured by this run)\n", k
+                    continue
+                }
                 if (!(k in seen)) {
                     printf "FAIL estimators: %s missing from fresh artifact\n", k
                     fail = 1
@@ -171,7 +188,10 @@ compare_scaling() {
         }
         /"benchmark":"scaling"/ {
             net = str("network")
-            key = net "|" str("layout") "|" str("algorithm")
+            # Artifacts predating the long-haul study carry no workload
+            # field; their records are the regional workload.
+            w = str("workload"); if (w == "") w = "regional"
+            key = net "|" str("layout") "|" w "|" str("algorithm")
             ne = num("nodes_expanded"); br = num("block_reads"); pr = num("physical_reads")
             if (NR == FNR) { base_ne[key] = ne; base_br[key] = br; base_pr[key] = pr; base_net[key] = net }
             else { fresh_ne[key] = ne; fresh_br[key] = br; fresh_pr[key] = pr; seen[key] = 1; nets[net] = 1 }
@@ -246,10 +266,13 @@ EOF
     cat > "$tmp/est_base.json" <<'EOF'
 {"benchmark":"estimator_quality","network":"grid30","algorithm":"A* (version 3)","nodes_expanded":1399,"block_reads":66678,"wall_ms":5.0}
 {"benchmark":"estimator_quality","network":"grid30","algorithm":"A* (version 4)","nodes_expanded":131,"block_reads":6294,"wall_ms":1.0}
+{"benchmark":"estimator_quality","network":"metro-100k","algorithm":"A* (version 4)","nodes_expanded":28286,"block_reads":409898,"wall_ms":15618.0}
+{"benchmark":"estimator_quality","network":"metro-100k","algorithm":"A* (version 5)","nodes_expanded":793,"block_reads":2421,"wall_ms":12.0}
 EOF
 
     cat > "$tmp/scaling_base.json" <<'EOF'
 {"benchmark":"scaling","network":"metro-10k","layout":"region","algorithm":"Dijkstra","nodes_expanded":856,"block_reads":13043,"physical_reads":106}
+{"benchmark":"scaling","network":"metro-10k","layout":"region","workload":"long-haul","algorithm":"A* (version 5)","nodes_expanded":166,"block_reads":558,"physical_reads":0}
 {"benchmark":"scaling","network":"metro-10k","layout":"shuffled","algorithm":"Dijkstra","nodes_expanded":856,"block_reads":13670,"physical_reads":733}
 {"benchmark":"scaling","network":"metro-100k","layout":"region","algorithm":"Dijkstra","nodes_expanded":856,"block_reads":19181,"physical_reads":822}
 EOF
@@ -321,6 +344,26 @@ EOF
         status=1
     fi
 
+    echo "self-test 8: an estimator smoke run must skip unmeasured networks, and a v5 regression must fail"
+    grep -v '"metro-100k"' "$tmp/est_base.json" > "$tmp/est_smoke.json" || true
+    compare_estimators "$tmp/est_base.json" "$tmp/est_smoke.json" || {
+        echo "self-test FAILED: estimator smoke artifact failed the gate"
+        status=1
+    }
+    sed 's/"nodes_expanded":793/"nodes_expanded":1200/' "$tmp/est_base.json" \
+        > "$tmp/est_v5_bad.json"
+    if compare_estimators "$tmp/est_base.json" "$tmp/est_v5_bad.json"; then
+        echo "self-test FAILED: regressed v5 long-haul record passed the gate"
+        status=1
+    fi
+
+    echo "self-test 9: a dropped long-haul workload within a measured scale must fail"
+    grep -v '"workload":"long-haul"' "$tmp/scaling_base.json" > "$tmp/scaling_no_lh.json" || true
+    if compare_scaling "$tmp/scaling_base.json" "$tmp/scaling_no_lh.json"; then
+        echo "self-test FAILED: dropped long-haul workload passed the gate"
+        status=1
+    fi
+
     if [ "$status" -eq 0 ]; then
         echo "compare-bench self-test OK"
     else
@@ -351,12 +394,15 @@ case "${1:-}" in
                 record_baseline "$f" "$f" || status=1
                 continue
             fi
-            # The scaling bench's CI smoke run writes a separate
-            # artifact; gate against it when present (the committed
-            # full artifact stays the baseline).
+            # The scaling and estimator benches' CI smoke runs write
+            # separate artifacts; gate against them when present (the
+            # committed full artifacts stay the baselines).
             fresh="$f"
             if [ "$f" = "BENCH_scaling.json" ] && [ -f BENCH_scaling_smoke.json ]; then
                 fresh=BENCH_scaling_smoke.json
+            fi
+            if [ "$f" = "BENCH_estimators.json" ] && [ -f BENCH_estimators_smoke.json ]; then
+                fresh=BENCH_estimators_smoke.json
             fi
             if [ ! -f "$fresh" ]; then
                 echo "FAIL: $fresh was not produced by the bench run"

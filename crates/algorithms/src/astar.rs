@@ -53,6 +53,13 @@ pub enum AStarVersion {
     /// with `AlgorithmError::LandmarksUnavailable` rather than silently
     /// degrading.
     V4,
+    /// Bidirectional upward search over a contraction-hierarchy overlay
+    /// with shortcut unpacking (the `hierarchy_search` module). Requires
+    /// a hierarchy attached to the database
+    /// (`Database::with_hierarchy`); a run without a current hierarchy
+    /// fails with `AlgorithmError::HierarchyUnavailable` rather than
+    /// silently degrading.
+    V5,
 }
 
 impl AStarVersion {
@@ -63,30 +70,44 @@ impl AStarVersion {
             AStarVersion::V2 => "A* (version 2)",
             AStarVersion::V3 => "A* (version 3)",
             AStarVersion::V4 => "A* (version 4)",
+            AStarVersion::V5 => "A* (version 5)",
         }
     }
 
     /// The geometric estimator this version uses. For version 4 this is
     /// the Euclidean *floor*; the landmark bound is supplied per run by
-    /// the database's tables and maxed with it.
+    /// the database's tables and maxed with it. Version 5 is not
+    /// estimator-guided at all — its upward search is goal-directed by
+    /// the hierarchy's structure — so it reports the zero estimator.
     pub fn estimator(&self) -> Estimator {
         match self {
             AStarVersion::V1 | AStarVersion::V2 | AStarVersion::V4 => Estimator::Euclidean,
             AStarVersion::V3 => Estimator::Manhattan,
+            AStarVersion::V5 => Estimator::Zero,
         }
     }
 
-    /// The frontier management this version uses.
+    /// The frontier management this version uses. Version 5's two
+    /// frontiers live beside the overlay rather than in a separate
+    /// relation, which is the status-attribute shape.
     pub fn frontier(&self) -> FrontierKind {
         match self {
             AStarVersion::V1 => FrontierKind::SeparateRelation,
-            AStarVersion::V2 | AStarVersion::V3 | AStarVersion::V4 => FrontierKind::StatusAttribute,
+            AStarVersion::V2 | AStarVersion::V3 | AStarVersion::V4 | AStarVersion::V5 => {
+                FrontierKind::StatusAttribute
+            }
         }
     }
 
     /// Whether this version needs landmark tables on the database.
     pub fn needs_landmarks(&self) -> bool {
         matches!(self, AStarVersion::V4)
+    }
+
+    /// Whether this version needs a contraction hierarchy on the
+    /// database.
+    pub fn needs_hierarchy(&self) -> bool {
+        matches!(self, AStarVersion::V5)
     }
 
     /// The paper's three versions in paper order. Version 4 is excluded
@@ -103,6 +124,17 @@ impl AStarVersion {
         AStarVersion::V3,
         AStarVersion::V4,
     ];
+
+    /// Every version including the preprocessing-backed v4 and v5
+    /// (databases iterating this set must have landmark tables *and* a
+    /// hierarchy attached).
+    pub const ALL_WITH_HIERARCHY: [AStarVersion; 5] = [
+        AStarVersion::V1,
+        AStarVersion::V2,
+        AStarVersion::V3,
+        AStarVersion::V4,
+        AStarVersion::V5,
+    ];
 }
 
 /// Runs one of the A\* versions.
@@ -110,7 +142,9 @@ impl AStarVersion {
 /// # Errors
 /// Version 4 additionally fails with
 /// [`AlgorithmError::LandmarksUnavailable`] when the database has no
-/// landmark tables or the tables are stale for the current edge costs.
+/// landmark tables or the tables are stale for the current edge costs;
+/// version 5 likewise fails with
+/// [`AlgorithmError::HierarchyUnavailable`] without a current hierarchy.
 pub fn run(
     db: &Database,
     s: NodeId,
@@ -118,6 +152,9 @@ pub fn run(
     version: AStarVersion,
     budgets: Budgets,
 ) -> Result<RunTrace, AlgorithmError> {
+    if version.needs_hierarchy() {
+        return crate::hierarchy_search::run(db, s, d, budgets);
+    }
     let alt = if version.needs_landmarks() {
         Some(db.alt_bounds_for(d)?)
     } else {
@@ -587,6 +624,103 @@ mod tests {
             .map(|_| ())
             .and(memory::dijkstra_pair(db.graph(), s, d));
         assert!((t.path_cost() - oracle.unwrap().cost).abs() < 1e-3);
+    }
+
+    #[test]
+    fn v5_finds_optimal_paths_on_a_metro() {
+        use atis_graph::{Metro, MetroSpec};
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let metro = Metro::new(MetroSpec::new(3, 2, 1993)).unwrap();
+        let graph = metro.graph();
+        let hierarchy = Hierarchy::build(graph, HierarchyConfig::paper()).unwrap();
+        let db = Database::open(graph).unwrap().with_hierarchy(hierarchy);
+        let mut rng = atis_graph::SplitMix64::new(8);
+        for _ in 0..25 {
+            let s = NodeId(rng.next_below(graph.node_count() as u64) as u32);
+            let d = NodeId(rng.next_below(graph.node_count() as u64) as u32);
+            let t5 = db.run(Algorithm::AStar(AStarVersion::V5), s, d).unwrap();
+            match memory::dijkstra_pair(graph, s, d) {
+                Some(oracle) => {
+                    assert!(
+                        (t5.path_cost() - oracle.cost).abs() <= oracle.cost * 1e-9 + 1e-12,
+                        "v5 got {} vs optimal {} for {s:?}->{d:?}",
+                        t5.path_cost(),
+                        oracle.cost
+                    );
+                    t5.path.unwrap().validate(graph).unwrap();
+                }
+                None => assert!(t5.path.is_none(), "{s:?}->{d:?} should be unreachable"),
+            }
+        }
+    }
+
+    #[test]
+    fn v5_expands_fewer_nodes_than_dijkstra_on_long_trips() {
+        use atis_graph::{Metro, MetroQuery, MetroSpec};
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let metro = Metro::new(MetroSpec::new(3, 2, 1993)).unwrap();
+        let graph = metro.graph();
+        let hierarchy = Hierarchy::build(graph, HierarchyConfig::paper()).unwrap();
+        let db = Database::open(graph).unwrap().with_hierarchy(hierarchy);
+        let (s, d) = metro.query_pair(MetroQuery::Diagonal);
+        let t5 = db.run(Algorithm::AStar(AStarVersion::V5), s, d).unwrap();
+        let dij = db.run(Algorithm::Dijkstra, s, d).unwrap();
+        assert!(
+            t5.iterations * 4 < dij.iterations,
+            "v5 settled {} vs dijkstra {} on the diagonal trip",
+            t5.iterations,
+            dij.iterations
+        );
+        assert!(t5.io.block_reads > 0, "v5 work must be metered");
+    }
+
+    #[test]
+    fn v5_without_hierarchy_fails_with_a_typed_error() {
+        use crate::error::HierarchyIssue;
+        let (grid, db) = grid_db(5, CostModel::Uniform, 0);
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        assert!(matches!(
+            db.run(Algorithm::AStar(AStarVersion::V5), s, d),
+            Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Missing))
+        ));
+    }
+
+    #[test]
+    fn cost_update_makes_v5_hierarchy_stale() {
+        use crate::error::HierarchyIssue;
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let (grid, db) = grid_db(6, CostModel::TWENTY_PERCENT, 2);
+        let hierarchy = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let mut db = db.with_hierarchy(hierarchy);
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        assert!(db.run(Algorithm::AStar(AStarVersion::V5), s, d).is_ok());
+        // Rush-hour update: v5 must refuse the now-stale overlay; v3
+        // (no preprocessing dependency) keeps answering.
+        db.update_edge_cost(grid.node_at(1, 1), grid.node_at(1, 2), 9.0)
+            .unwrap();
+        assert!(matches!(
+            db.run(Algorithm::AStar(AStarVersion::V5), s, d),
+            Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Stale))
+        ));
+        assert!(db.run(Algorithm::AStar(AStarVersion::V3), s, d).is_ok());
+        // Customizing for the new costs restores v5, exactly.
+        let customized = db.hierarchy().unwrap().customized_for(db.graph());
+        assert!(customized.is_degraded());
+        let db = db.with_hierarchy(customized);
+        let t = db.run(Algorithm::AStar(AStarVersion::V5), s, d).unwrap();
+        let oracle = memory::dijkstra_pair(db.graph(), s, d).unwrap();
+        assert!((t.path_cost() - oracle.cost).abs() <= oracle.cost * 1e-9 + 1e-12);
+    }
+
+    #[test]
+    fn source_equals_destination_for_v5() {
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let (grid, db) = grid_db(5, CostModel::Uniform, 0);
+        let hierarchy = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let db = db.with_hierarchy(hierarchy);
+        let s = grid.node_at(2, 2);
+        let t = db.run(Algorithm::AStar(AStarVersion::V5), s, s).unwrap();
+        assert_eq!(t.path.unwrap().cost, 0.0);
     }
 
     #[test]

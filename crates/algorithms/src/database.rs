@@ -3,11 +3,12 @@
 
 use crate::astar::{self, AStarVersion};
 use crate::dijkstra;
-use crate::error::{AlgorithmError, BudgetKind, LandmarkIssue};
+use crate::error::{AlgorithmError, BudgetKind, HierarchyIssue, LandmarkIssue};
 use crate::estimator::Estimator;
 use crate::iterative;
 use crate::trace::RunTrace;
 use atis_graph::{Graph, NodeId};
+use atis_hierarchy::Hierarchy;
 use atis_obs::{SharedRegistry, SharedSink, TraceEvent};
 use atis_preprocess::{DestBounds, LandmarkTables};
 use atis_storage::{
@@ -199,6 +200,7 @@ pub struct Database {
     sink: Option<SharedSink>,
     metrics: Option<SharedRegistry>,
     landmarks: Option<LandmarkTables>,
+    hierarchy: Option<Hierarchy>,
     /// `(regions, target, cut_edges)` of the layout partition, when known.
     partition: Option<(u64, u64, u64)>,
 }
@@ -219,6 +221,7 @@ impl std::fmt::Debug for Database {
             .field("sink", &self.sink.as_ref().map(|_| "TraceSink"))
             .field("metrics", &self.metrics)
             .field("landmarks", &self.landmarks)
+            .field("hierarchy", &self.hierarchy)
             .finish()
     }
 }
@@ -267,6 +270,7 @@ impl Database {
             sink: None,
             metrics: None,
             landmarks: None,
+            hierarchy: None,
             partition: None,
         };
         if let Some(capacity) = profile.buffer_blocks {
@@ -350,6 +354,40 @@ impl Database {
             return Err(AlgorithmError::LandmarksUnavailable(LandmarkIssue::Stale));
         }
         Ok(tables.bounds_to(d))
+    }
+
+    /// Attaches a contraction hierarchy, enabling A\* version 5. Like
+    /// landmark tables, the hierarchy is an epoch artifact: its shortcut
+    /// prices embed the edge costs it was customized against, and every
+    /// v5 run re-checks its fingerprint against the resident graph, so a
+    /// cost update through [`Database::update_edge_cost`] makes
+    /// subsequent v5 runs fail with
+    /// [`AlgorithmError::HierarchyUnavailable`] until a customized (or
+    /// re-contracted) hierarchy is attached.
+    pub fn with_hierarchy(mut self, hierarchy: Hierarchy) -> Self {
+        self.hierarchy = Some(hierarchy);
+        self
+    }
+
+    /// The attached contraction hierarchy, if any.
+    pub fn hierarchy(&self) -> Option<&Hierarchy> {
+        self.hierarchy.as_ref()
+    }
+
+    /// Resolves the hierarchy for one v5 run.
+    ///
+    /// # Errors
+    /// [`AlgorithmError::HierarchyUnavailable`] when the hierarchy is
+    /// missing or its fingerprint does not match the current edge costs
+    /// — a stale overlay would answer with stale-priced shortcuts.
+    pub(crate) fn hierarchy_for(&self) -> Result<&Hierarchy, AlgorithmError> {
+        let Some(hierarchy) = &self.hierarchy else {
+            return Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Missing));
+        };
+        if !hierarchy.is_current_for(&self.graph) {
+            return Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Stale));
+        }
+        Ok(hierarchy)
     }
 
     /// Attaches a trace sink: every subsequent run emits `RunStarted`,

@@ -46,6 +46,27 @@ impl fmt::Display for LandmarkIssue {
     }
 }
 
+/// Why the contraction hierarchy cannot serve a run (see
+/// `Database::with_hierarchy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyIssue {
+    /// No hierarchy is attached to the database.
+    Missing,
+    /// The attached hierarchy was priced for different edge costs (its
+    /// fingerprint no longer matches the graph), so its shortcuts would
+    /// answer with stale prices.
+    Stale,
+}
+
+impl fmt::Display for HierarchyIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HierarchyIssue::Missing => write!(f, "no hierarchy attached"),
+            HierarchyIssue::Stale => write!(f, "hierarchy is stale for the current costs"),
+        }
+    }
+}
+
 /// Errors raised while running a path-computation algorithm.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -64,6 +85,11 @@ pub enum AlgorithmError {
     /// stale. Not transient — the tables must be (re)built; the resilient
     /// planner reacts by degrading to version 3.
     LandmarksUnavailable(LandmarkIssue),
+    /// A\* version 5 was requested but the contraction hierarchy is
+    /// missing or stale. Not transient — the overlay must be customized
+    /// or re-contracted; the resilient planner reacts by degrading to
+    /// version 4 (then 3).
+    HierarchyUnavailable(HierarchyIssue),
 }
 
 impl AlgorithmError {
@@ -85,6 +111,9 @@ impl fmt::Display for AlgorithmError {
             AlgorithmError::BudgetExceeded(k) => write!(f, "{k} budget exceeded"),
             AlgorithmError::LandmarksUnavailable(issue) => {
                 write!(f, "landmark estimator unavailable: {issue}")
+            }
+            AlgorithmError::HierarchyUnavailable(issue) => {
+                write!(f, "hierarchy unavailable: {issue}")
             }
         }
     }

@@ -42,6 +42,7 @@ pub mod dijkstra;
 pub mod duplicates;
 pub mod error;
 pub mod estimator;
+pub(crate) mod hierarchy_search;
 pub mod iterative;
 pub mod memory;
 pub(crate) mod observe;
@@ -51,6 +52,6 @@ pub use astar::AStarVersion;
 pub use bidirectional::{bidirectional_dijkstra, BidirectionalResult};
 pub use database::{Algorithm, Budgets, Database, FrontierKind};
 pub use duplicates::DuplicatePolicy;
-pub use error::{AlgorithmError, BudgetKind, LandmarkIssue};
+pub use error::{AlgorithmError, BudgetKind, HierarchyIssue, LandmarkIssue};
 pub use estimator::Estimator;
 pub use trace::RunTrace;

@@ -42,6 +42,7 @@ impl std::fmt::Display for Finding {
 const DETERMINISM_SCOPE: &[&str] = &[
     "crates/algorithms/src/",
     "crates/costmodel/src/",
+    "crates/hierarchy/src/",
     "crates/preprocess/src/",
 ];
 
@@ -88,27 +89,27 @@ pub const RULES: &[RuleInfo] = &[
     RuleInfo {
         id: "determinism-wall-clock",
         summary: "no std::time::{Instant, SystemTime} — wall clock must not reach algorithm state",
-        scope: "atis-algorithms, atis-costmodel, atis-preprocess",
+        scope: "atis-algorithms, atis-costmodel, atis-hierarchy, atis-preprocess",
     },
     RuleInfo {
         id: "determinism-rng",
         summary: "no ambient randomness (thread_rng, rand::random, OsRng, from_entropy)",
-        scope: "atis-algorithms, atis-costmodel, atis-preprocess",
+        scope: "atis-algorithms, atis-costmodel, atis-hierarchy, atis-preprocess",
     },
     RuleInfo {
         id: "determinism-hash-iteration",
         summary: "no iteration over HashMap/HashSet — iteration order is unspecified",
-        scope: "atis-algorithms, atis-costmodel, atis-preprocess",
+        scope: "atis-algorithms, atis-costmodel, atis-hierarchy, atis-preprocess",
     },
     RuleInfo {
         id: "determinism-nan-compare",
         summary: "no partial_cmp().unwrap()/expect() — use total_cmp for floats",
-        scope: "atis-algorithms, atis-costmodel, atis-preprocess",
+        scope: "atis-algorithms, atis-costmodel, atis-hierarchy, atis-preprocess",
     },
     RuleInfo {
         id: "metered-io",
         summary: "no direct filesystem access — all I/O goes through IoStats-metered storage",
-        scope: "atis-algorithms, atis-costmodel, atis-preprocess",
+        scope: "atis-algorithms, atis-costmodel, atis-hierarchy, atis-preprocess",
     },
     RuleInfo {
         id: "panic-hygiene",

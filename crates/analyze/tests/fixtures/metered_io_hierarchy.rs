@@ -1,0 +1,6 @@
+// Fixture: trips `metered-io` inside the `atis-hierarchy` scope — a
+// contraction pass persisting its overlay through raw `std::fs` instead
+// of charging `IoStats` block writes. Never compiled.
+pub fn persist_overlay(path: &str, arcs: &[u8]) -> std::io::Result<()> {
+    std::fs::write(path, arcs)
+}

@@ -64,6 +64,16 @@ fn fixture_trips_metered_io() {
 }
 
 #[test]
+fn fixture_trips_metered_io_in_the_hierarchy_crate() {
+    // The new crate is opted into the determinism/metered-io scope: a
+    // raw std::fs call in `crates/hierarchy/src/` must fire the rule.
+    assert_eq!(
+        rules_hit("metered_io_hierarchy", "crates/hierarchy/src/fixture.rs"),
+        ["metered-io"]
+    );
+}
+
+#[test]
 fn fixture_trips_panic_hygiene() {
     assert_eq!(rules_hit("panic_hygiene", SERVE_PATH), ["panic-hygiene"]);
     let findings = check_source(SERVE_PATH, &fixture("panic_hygiene"));

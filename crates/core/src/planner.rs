@@ -5,6 +5,7 @@ use atis_algorithms::{
     memory, AStarVersion, Algorithm, AlgorithmError, Budgets, Database, RunTrace,
 };
 use atis_graph::{Graph, NodeId, Path};
+use atis_hierarchy::{Hierarchy, HierarchyConfig, HierarchyError};
 use atis_obs::{PlanEvent, SharedRegistry, SharedSink, TraceEvent};
 use atis_preprocess::{LandmarkTables, PreprocessConfig, PreprocessError};
 use atis_storage::{CostParams, FaultPlan, IoStats, JoinPolicy};
@@ -183,6 +184,30 @@ impl RoutePlanner {
         self
     }
 
+    /// Builds a contraction hierarchy for the resident network and makes
+    /// A\* version 5 the default algorithm. The resilience ladder then
+    /// runs v5 → v4 (when landmark tables are attached) → v3 → Dijkstra
+    /// → in-memory oracle: if the hierarchy goes stale (a cost update
+    /// without customization), v5 fails with `HierarchyUnavailable` and
+    /// the planner degrades down the ladder.
+    ///
+    /// # Errors
+    /// Propagates hierarchy build errors (empty graph).
+    pub fn with_hierarchy_overlay(mut self, config: HierarchyConfig) -> Result<Self, HierarchyError> {
+        let hierarchy = Hierarchy::build(self.db.graph(), config)?;
+        self.db = self.db.with_hierarchy(hierarchy);
+        self.default_algorithm = Algorithm::AStar(AStarVersion::V5);
+        Ok(self)
+    }
+
+    /// Attaches an already-built contraction hierarchy (e.g. an epoch
+    /// artifact shared by a serving fleet) without changing the default
+    /// algorithm.
+    pub fn with_hierarchy(mut self, hierarchy: Hierarchy) -> Self {
+        self.db = self.db.with_hierarchy(hierarchy);
+        self
+    }
+
     /// Overrides the join policy (e.g. `JoinPolicy::CostBased` to let the
     /// optimizer replace the paper's forced nested-loop joins).
     pub fn with_join_policy(mut self, policy: JoinPolicy) -> Self {
@@ -322,11 +347,21 @@ impl RoutePlanner {
         }
 
         let mut ladder = vec![self.default_algorithm];
+        if self.default_algorithm == Algorithm::AStar(AStarVersion::V5) {
+            // v5 depends on the hierarchy overlay: when it is missing or
+            // stale the run fails without searching. The next rung is v4
+            // when landmark tables are attached (the other preprocessing
+            // artifact may still be fresh), then v3, which needs nothing.
+            if self.db.landmarks().is_some() {
+                ladder.push(Algorithm::AStar(AStarVersion::V4));
+            }
+            ladder.push(Algorithm::AStar(AStarVersion::V3));
+        }
         if self.default_algorithm == Algorithm::AStar(AStarVersion::V4) {
-            // v4 is the only rung with a preprocessing dependency: when
-            // its landmark tables are missing or stale it fails without
-            // searching, and v3 — same engine, geometric estimator, no
-            // tables — is the natural next rung.
+            // v4's preprocessing dependency is the landmark tables: when
+            // they are missing or stale it fails without searching, and
+            // v3 — same engine, geometric estimator, no tables — is the
+            // natural next rung.
             ladder.push(Algorithm::AStar(AStarVersion::V3));
         }
         if self.default_algorithm != Algorithm::Dijkstra {
@@ -606,6 +641,80 @@ mod tests {
         assert_eq!(report.algorithm, "A* (version 3)");
         assert_eq!(report.attempts.len(), 1);
         assert!(report.attempts[0].error.contains("stale"));
+        assert!(report.found());
+    }
+
+    #[test]
+    fn hierarchy_overlay_makes_v5_the_default_and_plans_optimally() {
+        let (grid, p) = planner();
+        let p = p.with_hierarchy_overlay(HierarchyConfig::paper()).unwrap();
+        assert_eq!(p.default_algorithm(), Algorithm::AStar(AStarVersion::V5));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let report = p.plan(s, d).unwrap();
+        assert_eq!(report.algorithm, "A* (version 5)");
+        let oracle = memory::dijkstra_pair(grid.graph(), s, d).unwrap();
+        assert!((report.route.unwrap().cost - oracle.cost).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stale_hierarchy_degrades_to_v4_then_v3() {
+        let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 3).unwrap();
+        // Both artifacts built on the pristine grid; the planner runs
+        // against a mutated copy so both are stale. v5 fails fast, v4
+        // fails fast, and v3 — no preprocessing dependency — answers.
+        let hierarchy =
+            Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let tables = atis_preprocess::LandmarkTables::build(
+            grid.graph(),
+            atis_preprocess::PreprocessConfig::grid_default(),
+        )
+        .unwrap();
+        let mut changed = grid.graph().clone();
+        changed
+            .set_edge_cost(grid.node_at(3, 3), grid.node_at(3, 4), 5.0)
+            .unwrap();
+        let p = RoutePlanner::new(&changed)
+            .unwrap()
+            .with_hierarchy(hierarchy)
+            .with_landmarks(tables)
+            .with_algorithm(Algorithm::AStar(AStarVersion::V5));
+        let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+        let report = p.plan_resilient(s, d).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.algorithm, "A* (version 3)");
+        assert_eq!(report.attempts.len(), 2);
+        assert!(report.attempts[0].error.contains("hierarchy"));
+        assert!(report.attempts[0].error.contains("stale"));
+        assert!(report.attempts[1].error.contains("landmark"));
+        assert!(report.found());
+    }
+
+    #[test]
+    fn stale_hierarchy_with_fresh_landmarks_degrades_to_v4_only() {
+        let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 3).unwrap();
+        let hierarchy =
+            Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let mut changed = grid.graph().clone();
+        changed
+            .set_edge_cost(grid.node_at(3, 3), grid.node_at(3, 4), 5.0)
+            .unwrap();
+        // Landmarks built on the *changed* graph stay current; only the
+        // hierarchy is stale, so the ladder stops at v4.
+        let tables = atis_preprocess::LandmarkTables::build(
+            &changed,
+            atis_preprocess::PreprocessConfig::grid_default(),
+        )
+        .unwrap();
+        let p = RoutePlanner::new(&changed)
+            .unwrap()
+            .with_hierarchy(hierarchy)
+            .with_landmarks(tables)
+            .with_algorithm(Algorithm::AStar(AStarVersion::V5));
+        let (s, d) = grid.query_pair(QueryKind::SemiDiagonal);
+        let report = p.plan_resilient(s, d).unwrap();
+        assert!(report.degraded);
+        assert_eq!(report.algorithm, "A* (version 4)");
+        assert_eq!(report.attempts.len(), 1);
         assert!(report.found());
     }
 

@@ -1,0 +1,547 @@
+//! Contraction-hierarchy preprocessing for A* version 5.
+//!
+//! The flat algorithm ladder (v1–v4) tops out at goal-directed search
+//! over the base relations: every query still touches a corridor of
+//! nodes proportional to its length. This crate trades preprocessing
+//! for query work the way the hierarchy literature does (see PAPERS.md):
+//! contract nodes in a good order, record shortcuts over the contracted
+//! middles, and answer queries with a *bidirectional upward* search
+//! that only climbs ranks — on metro networks that means a few hundred
+//! settles regardless of trip length, where v4 expands thousands.
+//!
+//! The build splits into three passes, and the split is the point:
+//!
+//! 1. **Ordering** (`order`): nested dissection seeded from the storage
+//!    layer's [`PartitionMap`] regions — interiors first, the
+//!    inter-region boundary last. Pure structure; no costs.
+//! 2. **Contraction** (`overlay`): the elimination fill of the graph
+//!    under that order, stored as an up-arc CSR. Pure structure too, so
+//!    it survives every UPDATE.
+//! 3. **Customization** (`overlay`): price every arc direction against
+//!    the current costs via triangle relaxations, then (at build time)
+//!    run bounded witness searches that put provably useless directions
+//!    to sleep.
+//!
+//! [`Hierarchy`] carries the same staleness contract that
+//! `LandmarkTables` established for v4, keyed by
+//! [`Graph::cost_fingerprint`]: an UPDATE that raises costs can
+//! [`Hierarchy::customized_for`] the overlay in one cheap pass (correct
+//! for any metric but *degraded* — witness dormancy is cleared, so
+//! queries scan more arcs), while a decrease triggers
+//! [`Hierarchy::rebuild_for`], a full re-contraction that restores
+//! dormancy. Either way a fingerprint mismatch means *stale*, and the
+//! query layer refuses to serve stale-priced shortcuts — that refusal
+//! is the typed `HierarchyUnavailable` degrade to v4/v3.
+//!
+//! All preprocessing is metered in block I/O ([`IoStats`]) so the
+//! paper's cost-model lens extends to the build: HIERARCHY.md tabulates
+//! what a hierarchy costs to construct and refresh in the same currency
+//! queries are charged in.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+mod order;
+mod overlay;
+
+use std::sync::Arc;
+
+use atis_graph::{Graph, NodeId, PartitionMap};
+use atis_storage::block::BLOCK_SIZE;
+use atis_storage::{EdgeTuple, FixedTuple, IoStats, NodeTuple};
+
+pub use error::HierarchyError;
+
+use overlay::{Core, Pricing, NO_VIA};
+
+/// Bytes per overlay arc record: two endpoint ids (8), two directed
+/// customized costs (16), two unpack middles (8), and two dormancy
+/// words (16, block-aligned). Sets how many arcs fit a 4 KB block when
+/// queries and preprocessing are charged for touching the overlay.
+pub const ARC_TUPLE_SIZE: usize = 48;
+
+/// Overlay arc records per 4 KB block (85).
+const ARCS_PER_BLOCK: usize = BLOCK_SIZE / ARC_TUPLE_SIZE;
+
+/// Build-time knobs for [`Hierarchy::build`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Region size handed to [`PartitionMap`] when the ordering seeds
+    /// itself from partition regions.
+    pub region_target: usize,
+    /// Settle budget per witness search. Exhausting it conservatively
+    /// keeps the arc live, so a small limit trades build time for a few
+    /// extra live arcs — never correctness.
+    pub witness_settle_limit: usize,
+}
+
+impl HierarchyConfig {
+    /// The configuration used throughout the experiments: 256-node
+    /// regions (the storage layer's block-aligned choice) and a 64-node
+    /// witness budget.
+    pub fn paper() -> HierarchyConfig {
+        HierarchyConfig {
+            region_target: 256,
+            witness_settle_limit: 64,
+        }
+    }
+}
+
+impl Default for HierarchyConfig {
+    fn default() -> Self {
+        HierarchyConfig::paper()
+    }
+}
+
+/// One up-arc out of a node, as seen by the bidirectional upward
+/// search. `fwd` prices tail → head travel, `bwd` head → tail; a
+/// direction flagged dormant can be skipped without losing any shortest
+/// path (see the `overlay` module docs for the witness argument).
+#[derive(Debug, Clone, Copy)]
+pub struct UpArc {
+    /// The higher-ranked endpoint.
+    pub head: NodeId,
+    /// Customized cost tail → head (`∞` when that direction has no
+    /// path through contracted middles — e.g. against a one-way).
+    pub fwd: f64,
+    /// Customized cost head → tail.
+    pub bwd: f64,
+    /// Whether the forward direction can appear on a shortest path.
+    pub fwd_live: bool,
+    /// Whether the backward direction can appear on a shortest path.
+    pub bwd_live: bool,
+}
+
+/// A contraction hierarchy: contraction order, shortcut overlay, and
+/// customized per-direction prices, stamped with the cost fingerprint
+/// of the graph it was priced against.
+///
+/// Cloning is cheap (the topology and pricing are shared behind `Arc`),
+/// which is what lets `EpochDb` snapshots carry the hierarchy the same
+/// way they carry landmark tables.
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    core: Arc<Core>,
+    pricing: Arc<Pricing>,
+    fingerprint: u64,
+    config: HierarchyConfig,
+    degraded: bool,
+    build_io: IoStats,
+}
+
+impl Hierarchy {
+    /// Orders, contracts, and customizes a hierarchy for `graph` at its
+    /// current costs, with witness dormancy derived at this metric.
+    ///
+    /// Metered honestly: the build scans the node and edge relations
+    /// once, charges one block read per witness settle, and writes the
+    /// overlay out at [`ARC_TUPLE_SIZE`] bytes per arc. The total is
+    /// available as [`Hierarchy::build_io`] and feeds HIERARCHY.md's
+    /// preprocessing cost tables.
+    pub fn build(graph: &Graph, config: HierarchyConfig) -> Result<Hierarchy, HierarchyError> {
+        if graph.node_count() == 0 {
+            return Err(HierarchyError::EmptyGraph);
+        }
+        let mut io = IoStats::new();
+        // One sequential scan of R and S to learn structure and costs.
+        io.read_blocks(relation_blocks(graph));
+
+        let partition = PartitionMap::build(graph, config.region_target);
+        let core = Core::build(graph, &partition);
+        let mut pricing = Pricing::customize(&core, graph, &mut io);
+        pricing.apply_witnesses(&core, graph, config.witness_settle_limit, &mut io);
+
+        // Materialize the overlay relation.
+        io.write_blocks(overlay_blocks(core.arc_count()));
+        io.relations_created += 1;
+
+        Ok(Hierarchy {
+            core: Arc::new(core),
+            pricing: Arc::new(pricing),
+            fingerprint: graph.cost_fingerprint(),
+            config,
+            degraded: false,
+            build_io: io,
+        })
+    }
+
+    /// Re-prices the overlay against `graph`'s current costs *without*
+    /// re-contracting: the elimination fill is metric-independent, so
+    /// only the customization pass re-runs. The result is correct for
+    /// any metric but **degraded** — witness dormancy was derived at
+    /// the old costs and cannot be trusted, so it is cleared down to
+    /// "the direction has a finite cost" and queries scan more arcs.
+    ///
+    /// This is the hierarchy's analogue of `LandmarkTables::patched_for`
+    /// and the cheap arm of the UPDATE contract: customize when costs
+    /// rise (rush hour), re-contract ([`Hierarchy::rebuild_for`]) when
+    /// they fall and the dormancy is worth re-deriving.
+    pub fn customized_for(&self, graph: &Graph) -> Hierarchy {
+        let mut io = self.build_io;
+        // Re-read current costs, rewrite the overlay's price columns.
+        io.read_blocks(relation_blocks(graph));
+        let pricing = Pricing::customize(&self.core, graph, &mut io);
+        io.write_blocks(overlay_blocks(self.core.arc_count()));
+        Hierarchy {
+            core: Arc::clone(&self.core),
+            pricing: Arc::new(pricing),
+            fingerprint: graph.cost_fingerprint(),
+            config: self.config,
+            degraded: true,
+            build_io: io,
+        }
+    }
+
+    /// Rebuilds from scratch at `graph`'s current costs — fresh
+    /// ordering, contraction, customization, and witness dormancy. The
+    /// expensive arm of the UPDATE contract; clears the degraded flag.
+    pub fn rebuild_for(&self, graph: &Graph) -> Result<Hierarchy, HierarchyError> {
+        Hierarchy::build(graph, self.config)
+    }
+
+    /// Whether this hierarchy was priced against exactly the costs
+    /// `graph` currently has. A stale hierarchy must not answer queries
+    /// — its shortcuts embed old prices.
+    pub fn is_current_for(&self, graph: &Graph) -> bool {
+        self.fingerprint == graph.cost_fingerprint()
+    }
+
+    /// Whether witness dormancy has been cleared by a customization
+    /// pass (queries stay exact but scan more arcs).
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The cost fingerprint this hierarchy was priced at.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The configuration the hierarchy was built with.
+    pub fn config(&self) -> HierarchyConfig {
+        self.config
+    }
+
+    /// Cumulative block I/O spent building (and re-customizing) this
+    /// artifact, in the same currency queries are charged in.
+    pub fn build_io(&self) -> IoStats {
+        self.build_io
+    }
+
+    /// Number of nodes the hierarchy covers.
+    pub fn node_count(&self) -> usize {
+        self.core.rank.len()
+    }
+
+    /// Number of overlay arcs (each prices both directions).
+    pub fn arc_count(&self) -> usize {
+        self.core.arc_count()
+    }
+
+    /// Contraction rank of `u` (0 = contracted first).
+    #[inline]
+    pub fn rank(&self, u: NodeId) -> u32 {
+        self.core.rank[u.index()]
+    }
+
+    /// Number of up-arcs out of `u` — the width of one upward
+    /// relaxation step, which is what a settle at `u` is charged for.
+    #[inline]
+    pub fn up_degree(&self, u: NodeId) -> usize {
+        self.core.range(u.0).len()
+    }
+
+    /// Iterates the up-arcs out of `u` (heads in node-id order).
+    pub fn up_arcs(&self, u: NodeId) -> impl Iterator<Item = UpArc> + '_ {
+        self.core.range(u.0).map(move |idx| UpArc {
+            head: NodeId(self.core.heads[idx]),
+            fwd: self.pricing.fwd[idx],
+            bwd: self.pricing.bwd[idx],
+            fwd_live: self.pricing.fwd_live[idx],
+            bwd_live: self.pricing.bwd_live[idx],
+        })
+    }
+
+    /// Customized cost and unpack middle for travelling `from → to`
+    /// along the overlay arc joining the two nodes, if that arc exists
+    /// and the direction is reachable. A `None` middle means the step
+    /// is an original edge; a `Some(m)` step expands to `from → m → to`,
+    /// recursively, until only real edges remain.
+    pub fn arc_direction(&self, from: NodeId, to: NodeId) -> Option<(f64, Option<NodeId>)> {
+        let (cost, via) = if self.rank(from) < self.rank(to) {
+            let idx = self.core.arc_index(from.0, to.0)?;
+            (self.pricing.fwd[idx], self.pricing.fwd_via[idx])
+        } else {
+            let idx = self.core.arc_index(to.0, from.0)?;
+            (self.pricing.bwd[idx], self.pricing.bwd_via[idx])
+        };
+        if !cost.is_finite() {
+            return None;
+        }
+        let middle = (via != NO_VIA).then_some(NodeId(via));
+        Some((cost, middle))
+    }
+}
+
+/// Blocks one sequential scan of the node (R) and edge (S) relations
+/// costs, at the storage layer's tuple sizes.
+fn relation_blocks(graph: &Graph) -> u64 {
+    let edge_blocks = graph
+        .edge_count()
+        .div_ceil(BLOCK_SIZE / EdgeTuple::SIZE)
+        .max(1);
+    let node_blocks = graph
+        .node_count()
+        .div_ceil(BLOCK_SIZE / NodeTuple::SIZE)
+        .max(1);
+    (edge_blocks + node_blocks) as u64
+}
+
+/// Blocks occupied by the overlay relation.
+fn overlay_blocks(arcs: usize) -> u64 {
+    arcs.div_ceil(ARCS_PER_BLOCK).max(1) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::graph::graph_from_arcs;
+    use atis_graph::{Metro, MetroSpec, SplitMix64};
+
+    /// Exhaustive bidirectional upward search over live directions —
+    /// the reference implementation of the v5 query, kept here so the
+    /// overlay is testable without the algorithms crate.
+    fn updown_dist(h: &Hierarchy, s: NodeId, t: NodeId) -> f64 {
+        let n = h.node_count();
+        let df = upward(h, s, true, n);
+        let db = upward(h, t, false, n);
+        let mut best = f64::INFINITY;
+        for u in 0..n {
+            best = best.min(df[u] + db[u]);
+        }
+        best
+    }
+
+    fn upward(h: &Hierarchy, s: NodeId, forward: bool, n: usize) -> Vec<f64> {
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[s.index()] = 0.0;
+        heap.push((std::cmp::Reverse(ordered(0.0)), s.0));
+        while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+            let d = f64::from_bits(d.0);
+            if d > dist[u as usize] {
+                continue;
+            }
+            for arc in h.up_arcs(NodeId(u)) {
+                let (cost, live) = if forward {
+                    (arc.fwd, arc.fwd_live)
+                } else {
+                    (arc.bwd, arc.bwd_live)
+                };
+                if !live {
+                    continue;
+                }
+                let next = d + cost;
+                if next < dist[arc.head.index()] {
+                    dist[arc.head.index()] = next;
+                    heap.push((std::cmp::Reverse(ordered(next)), arc.head.0));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Order-preserving bit key for non-negative finite f64s.
+    fn ordered(x: f64) -> OrderedBits {
+        OrderedBits(x.to_bits())
+    }
+
+    #[derive(PartialEq, Eq, PartialOrd, Ord)]
+    struct OrderedBits(u64);
+
+    fn reference_dist(graph: &Graph, s: NodeId, t: NodeId) -> f64 {
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[s.index()] = 0.0;
+        heap.push((std::cmp::Reverse(ordered(0.0)), s.0));
+        while let Some((std::cmp::Reverse(d), u)) = heap.pop() {
+            let d = f64::from_bits(d.0);
+            if d > dist[u as usize] {
+                continue;
+            }
+            for e in graph.neighbors(NodeId(u)) {
+                let next = d + e.cost;
+                if next < dist[e.to.index()] {
+                    dist[e.to.index()] = next;
+                    heap.push((std::cmp::Reverse(ordered(next)), e.to.0));
+                }
+            }
+        }
+        dist[t.index()]
+    }
+
+    fn sample_pairs(n: usize, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+        let mut rng = SplitMix64::new(seed);
+        (0..count)
+            .map(|_| {
+                (
+                    NodeId(rng.next_below(n as u64) as u32),
+                    NodeId(rng.next_below(n as u64) as u32),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn updown_distances_match_dijkstra_on_a_metro() {
+        let metro = Metro::new(MetroSpec::new(3, 2, 1993)).unwrap();
+        let graph = metro.graph();
+        let h = Hierarchy::build(graph, HierarchyConfig::paper()).unwrap();
+        for (s, t) in sample_pairs(graph.node_count(), 40, 42) {
+            let got = updown_dist(&h, s, t);
+            let want = reference_dist(graph, s, t);
+            if want.is_finite() {
+                assert!(
+                    (got - want).abs() <= want.abs() * 1e-9 + 1e-12,
+                    "{s:?}->{t:?}: hierarchy {got}, dijkstra {want}"
+                );
+            } else {
+                assert!(got.is_infinite(), "{s:?}->{t:?} should be unreachable");
+            }
+        }
+    }
+
+    #[test]
+    fn one_way_arcs_never_price_the_reverse_direction() {
+        // A directed triangle with a single one-way chord: 0→1→2 plus
+        // 0→2 one-way. Travelling 2⇝0 must stay impossible.
+        let graph = graph_from_arcs(
+            3,
+            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 1.5)],
+        )
+        .unwrap();
+        let h = Hierarchy::build(&graph, HierarchyConfig::paper()).unwrap();
+        let fwd = updown_dist(&h, NodeId(0), NodeId(2));
+        let bwd = updown_dist(&h, NodeId(2), NodeId(0));
+        assert!((fwd - 1.5).abs() < 1e-12, "0->2 should use the one-way at 1.5, got {fwd}");
+        assert!((bwd - 2.0).abs() < 1e-12, "2->0 must go around at 2.0, got {bwd}");
+    }
+
+    #[test]
+    fn arc_direction_unpacks_to_real_edges() {
+        let metro = Metro::new(MetroSpec::new(2, 2, 5)).unwrap();
+        let graph = metro.graph();
+        let h = Hierarchy::build(graph, HierarchyConfig::paper()).unwrap();
+
+        fn unpack(h: &Hierarchy, g: &Graph, a: NodeId, b: NodeId, out: &mut Vec<(NodeId, NodeId)>) {
+            match h.arc_direction(a, b) {
+                Some((_, Some(m))) => {
+                    unpack(h, g, a, m, out);
+                    unpack(h, g, m, b, out);
+                }
+                _ => out.push((a, b)),
+            }
+        }
+
+        let mut checked = 0;
+        for tail in graph.node_ids() {
+            for arc in h.up_arcs(tail) {
+                let Some((cost, Some(_))) = h.arc_direction(tail, arc.head) else {
+                    continue;
+                };
+                let mut hops = Vec::new();
+                unpack(&h, graph, tail, arc.head, &mut hops);
+                let mut total = 0.0;
+                for &(a, b) in &hops {
+                    let edge = graph
+                        .edge_cost(a, b)
+                        .unwrap_or_else(|| panic!("unpacked hop {a:?}->{b:?} is not a real edge"));
+                    total += edge;
+                }
+                assert!(
+                    (total - cost).abs() <= cost * 1e-9,
+                    "shortcut {tail:?}->{:?} prices {cost} but unpacks to {total}",
+                    arc.head
+                );
+                checked += 1;
+                if checked >= 200 {
+                    return;
+                }
+            }
+        }
+        assert!(checked > 0, "metro overlay should contain shortcuts");
+    }
+
+    #[test]
+    fn update_contract_customize_then_recontract() {
+        let metro = Metro::new(MetroSpec::new(2, 2, 21)).unwrap();
+        let mut graph = metro.graph().clone();
+        let h = Hierarchy::build(&graph, HierarchyConfig::paper()).unwrap();
+        assert!(h.is_current_for(&graph));
+        assert!(!h.is_degraded());
+
+        // Rush hour: a cost increase leaves the hierarchy stale.
+        let edge = *graph.edges().next().unwrap();
+        graph.set_edge_cost(edge.from, edge.to, edge.cost * 3.0).unwrap();
+        assert!(!h.is_current_for(&graph));
+
+        // Cheap arm: customize re-prices without re-contracting and
+        // stays exact, but reports degraded.
+        let customized = h.customized_for(&graph);
+        assert!(customized.is_current_for(&graph));
+        assert!(customized.is_degraded());
+        for (s, t) in sample_pairs(graph.node_count(), 15, 7) {
+            let got = updown_dist(&customized, s, t);
+            let want = reference_dist(&graph, s, t);
+            if want.is_finite() {
+                assert!((got - want).abs() <= want.abs() * 1e-9 + 1e-12);
+            }
+        }
+
+        // Expensive arm: re-contraction restores dormancy.
+        let rebuilt = customized.rebuild_for(&graph).unwrap();
+        assert!(rebuilt.is_current_for(&graph));
+        assert!(!rebuilt.is_degraded());
+        let live = |h: &Hierarchy| {
+            (0..h.node_count() as u32)
+                .flat_map(|u| h.up_arcs(NodeId(u)).collect::<Vec<_>>())
+                .filter(|a| a.fwd_live)
+                .count()
+        };
+        assert!(live(&rebuilt) < live(&customized), "rebuild should restore dormancy");
+    }
+
+    #[test]
+    fn builds_are_deterministic() {
+        let metro = Metro::new(MetroSpec::new(2, 2, 3)).unwrap();
+        let a = Hierarchy::build(metro.graph(), HierarchyConfig::paper()).unwrap();
+        let b = Hierarchy::build(metro.graph(), HierarchyConfig::paper()).unwrap();
+        assert_eq!(a.core.heads, b.core.heads);
+        assert_eq!(a.core.order, b.core.order);
+        assert_eq!(a.pricing.fwd, b.pricing.fwd);
+        assert_eq!(a.pricing.fwd_live, b.pricing.fwd_live);
+        assert_eq!(a.build_io(), b.build_io());
+    }
+
+    #[test]
+    fn empty_graph_is_a_typed_error() {
+        let graph = graph_from_arcs(0, &[]).unwrap();
+        assert!(matches!(
+            Hierarchy::build(&graph, HierarchyConfig::paper()),
+            Err(HierarchyError::EmptyGraph)
+        ));
+    }
+
+    #[test]
+    fn build_io_is_charged() {
+        let metro = Metro::new(MetroSpec::new(2, 2, 13)).unwrap();
+        let h = Hierarchy::build(metro.graph(), HierarchyConfig::paper()).unwrap();
+        let io = h.build_io();
+        assert!(io.block_reads > 0, "scan + witness settles must be metered");
+        assert!(io.block_writes > 0, "overlay materialization must be metered");
+        assert!(io.tuple_updates > 0, "triangle improvements must be metered");
+        assert_eq!(io.relations_created, 1);
+    }
+}

@@ -1,0 +1,234 @@
+//! Partition-seeded nested-dissection node ordering.
+//!
+//! Contraction order decides everything about a hierarchy's quality: the
+//! overlay's fill-in (how many shortcut arcs the chordal completion
+//! needs) and the depth of the upward searches both follow from it. The
+//! classic recipe is nested dissection — recursively split the graph on
+//! a small separator and rank the separator *above* both halves, so no
+//! search path re-enters a part it has left.
+//!
+//! This ordering reuses the storage layout's [`PartitionMap`]: its
+//! BFS-grown 256-node regions are exactly the "cities" of the metro
+//! networks, so region structure is a free first dissection level that
+//! is also aligned with the heap segments the overlay is priced against.
+//! Within each region the interior (no incident cut edge) is ordered by
+//! recursive coordinate bisection with a one-sided vertex separator;
+//! boundary nodes — the endpoints of inter-region edges — are ordered
+//! last by the same recursion over the boundary subgraph, where two
+//! boundary nodes of one region count as adjacent (after the interior is
+//! contracted away they will be).
+//!
+//! The order is a pure function of the graph (coordinates, edges,
+//! partition), with all ties broken by node id — equal graphs yield
+//! equal hierarchies, which the bit-determinism tests pin.
+
+use atis_graph::{Graph, NodeId, PartitionMap};
+
+/// Recursion cutoff: sets this small are ordered by id directly.
+const LEAF_SIZE: usize = 8;
+
+/// Computes the contraction order: `order[rank] = node id`, lowest rank
+/// (contracted first) at index 0.
+pub(crate) fn nested_dissection_order(graph: &Graph, partition: &PartitionMap) -> Vec<u32> {
+    let n = graph.node_count();
+    let mut boundary = vec![false; n];
+    for e in graph.edges() {
+        if partition.region_of(e.from) != partition.region_of(e.to) {
+            boundary[e.from.index()] = true;
+            boundary[e.to.index()] = true;
+        }
+    }
+
+    let mut order = Vec::with_capacity(n);
+    let mut ctx = Bisection::new(graph, partition, n);
+
+    // Interiors first, region by region (regions are already
+    // deterministic: PartitionMap seeds them at the lowest unassigned
+    // id). Cross-region edges never leave an interior, so each call
+    // works on an isolated subgraph.
+    let mut interior: Vec<Vec<u32>> = vec![Vec::new(); partition.region_count()];
+    for id in 0..n as u32 {
+        if !boundary[id as usize] {
+            interior[partition.region_of(NodeId(id)) as usize].push(id);
+        }
+    }
+    for nodes in &interior {
+        ctx.recurse(nodes, false, &mut order);
+    }
+
+    // Boundary last: these are the freeway endpoints every long query
+    // climbs through, so they take the top ranks.
+    let boundary_nodes: Vec<u32> = (0..n as u32).filter(|&id| boundary[id as usize]).collect();
+    ctx.recurse(&boundary_nodes, true, &mut order);
+
+    debug_assert_eq!(order.len(), n, "ordering must cover every node");
+    order
+}
+
+/// Scratch state for the recursive coordinate bisection. The `mark`
+/// array is generation-stamped so recursion levels share it without
+/// clearing.
+struct Bisection<'a> {
+    graph: &'a Graph,
+    partition: &'a PartitionMap,
+    mark: Vec<u64>,
+    generation: u64,
+    /// Per-region count of marked nodes (for region-clique adjacency in
+    /// the boundary phase).
+    region_marked: Vec<u64>,
+    region_generation: Vec<u64>,
+}
+
+impl<'a> Bisection<'a> {
+    fn new(graph: &'a Graph, partition: &'a PartitionMap, n: usize) -> Self {
+        Bisection {
+            graph,
+            partition,
+            mark: vec![0; n],
+            generation: 0,
+            region_marked: vec![0; partition.region_count()],
+            region_generation: vec![0; partition.region_count()],
+        }
+    }
+
+    /// Appends the nodes of `set` to `order` in nested-dissection order.
+    /// With `region_clique` set (the boundary phase), two nodes of one
+    /// partition region are treated as adjacent even without a direct
+    /// edge.
+    fn recurse(&mut self, set: &[u32], region_clique: bool, order: &mut Vec<u32>) {
+        if set.len() <= LEAF_SIZE {
+            let mut leaf = set.to_vec();
+            leaf.sort_unstable();
+            order.extend_from_slice(&leaf);
+            return;
+        }
+
+        // Split on the wider coordinate axis at the median.
+        let (mut min_x, mut max_x) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut min_y, mut max_y) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &id in set {
+            let p = self.graph.point(NodeId(id));
+            min_x = min_x.min(p.x);
+            max_x = max_x.max(p.x);
+            min_y = min_y.min(p.y);
+            max_y = max_y.max(p.y);
+        }
+        let use_x = (max_x - min_x) >= (max_y - min_y);
+        let mut sorted = set.to_vec();
+        sorted.sort_unstable_by(|&a, &b| {
+            let (pa, pb) = (self.graph.point(NodeId(a)), self.graph.point(NodeId(b)));
+            let (ka, kb) = if use_x { (pa.x, pb.x) } else { (pa.y, pb.y) };
+            ka.total_cmp(&kb).then(a.cmp(&b))
+        });
+        let mid = sorted.len() / 2;
+        let (left, right) = sorted.split_at(mid);
+
+        // One-sided vertex separator: the left nodes adjacent to the
+        // right side. Removing them disconnects left from right, so
+        // ranking them above both halves keeps the dissection invariant.
+        self.generation += 1;
+        let generation = self.generation;
+        for &id in right {
+            self.mark[id as usize] = generation;
+            if region_clique {
+                let r = self.partition.region_of(NodeId(id)) as usize;
+                if self.region_generation[r] != generation {
+                    self.region_generation[r] = generation;
+                    self.region_marked[r] = 0;
+                }
+                self.region_marked[r] += 1;
+            }
+        }
+        let mut interior_left = Vec::with_capacity(left.len());
+        let mut separator = Vec::new();
+        for &id in left {
+            let u = NodeId(id);
+            let mut adjacent = self
+                .graph
+                .neighbors(u)
+                .iter()
+                .any(|e| self.mark[e.to.index()] == generation);
+            if !adjacent && region_clique {
+                let r = self.partition.region_of(u) as usize;
+                adjacent = self.region_generation[r] == generation && self.region_marked[r] > 0;
+            }
+            if adjacent {
+                separator.push(id);
+            } else {
+                interior_left.push(id);
+            }
+        }
+
+        // Degenerate split (e.g. every left node touches the right):
+        // fall back to ordering by id so the recursion always shrinks.
+        if interior_left.is_empty() && right.len() == set.len() {
+            let mut leaf = set.to_vec();
+            leaf.sort_unstable();
+            order.extend_from_slice(&leaf);
+            return;
+        }
+
+        self.recurse(&interior_left, region_clique, order);
+        self.recurse(right, region_clique, order);
+        separator.sort_unstable();
+        order.extend_from_slice(&separator);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::{CostModel, Grid, Metro, MetroSpec};
+
+    #[test]
+    fn order_is_a_permutation() {
+        let m = Metro::new(MetroSpec::new(3, 2, 1993)).unwrap();
+        let p = PartitionMap::build(m.graph(), 256);
+        let order = nested_dissection_order(m.graph(), &p);
+        let mut seen = vec![false; m.graph().node_count()];
+        for &id in &order {
+            assert!(!seen[id as usize], "node {id} ranked twice");
+            seen[id as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn order_is_deterministic() {
+        let m = Metro::new(MetroSpec::new(2, 2, 7)).unwrap();
+        let p = PartitionMap::build(m.graph(), 256);
+        let a = nested_dissection_order(m.graph(), &p);
+        let b = nested_dissection_order(m.graph(), &p);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn boundary_nodes_take_the_top_ranks() {
+        let m = Metro::new(MetroSpec::new(3, 2, 1993)).unwrap();
+        let g = m.graph();
+        let p = PartitionMap::build(g, 256);
+        let order = nested_dissection_order(g, &p);
+        let mut boundary = vec![false; g.node_count()];
+        for e in g.edges() {
+            if p.region_of(e.from) != p.region_of(e.to) {
+                boundary[e.from.index()] = true;
+                boundary[e.to.index()] = true;
+            }
+        }
+        let boundary_count = boundary.iter().filter(|&&b| b).count();
+        assert!(boundary_count > 0);
+        for &id in &order[g.node_count() - boundary_count..] {
+            assert!(boundary[id as usize], "interior node {id} outranks the boundary");
+        }
+    }
+
+    #[test]
+    fn grid_order_works_without_cut_edges() {
+        // A single-region graph has no boundary; the whole order is one
+        // interior dissection.
+        let grid = Grid::new(8, CostModel::Uniform, 0).unwrap();
+        let p = PartitionMap::build(grid.graph(), 256);
+        let order = nested_dissection_order(grid.graph(), &p);
+        assert_eq!(order.len(), grid.graph().node_count());
+    }
+}

@@ -1,0 +1,541 @@
+//! Shortcut overlay: elimination fill, metric customization, and
+//! witness dormancy.
+//!
+//! The overlay follows the customizable-contraction-hierarchy split of
+//! concerns (Strasser & Zeitz, PAPERS.md):
+//!
+//! * **Topology** ([`Core`]) depends only on the graph's *structure* and
+//!   the contraction order — it is the chordal completion (elimination
+//!   fill) of the graph under that order. Every up-arc can carry
+//!   traffic in both directions, so one arc record prices both.
+//! * **Metric** ([`Pricing`]) is a per-direction cost plus the middle
+//!   node (`via`) recorded when a triangle relaxation shortened the
+//!   arc; `via` is what lets a query unpack a shortcut back into real
+//!   edges. Re-costing the graph re-runs only this pass — the fill is
+//!   untouched, which is what makes UPDATE-driven customization cheap.
+//! * **Dormancy** is a per-direction flag valid *only at the metric the
+//!   witness searches ran against*: a direction is dormant when a
+//!   bounded Dijkstra on the original graph found a strictly shorter
+//!   path between its endpoints, so no shortest up-down path can need
+//!   it. A customized (re-priced, not re-contracted) overlay clears
+//!   dormancy down to "cost is finite" — correct for any metric, just
+//!   slower, which is why the artifact reports itself degraded.
+//!
+//! The safety argument for skipping a dormant direction: suppose a
+//! shortest up-down `s`–`t` path of cost `D` used direction `(a, b)`
+//! with customized cost `c` while some real path `a` ⇝ `b` costs
+//! `d < c`. Splicing that real path in place of the arc yields an
+//! `s`–`t` walk of cost `D - c + d < D`, and every walk is bounded
+//! below by the true distance — contradicting `D`'s optimality. The
+//! comparison uses a relative margin (`d < c · (1 − 1e-9)`) so float
+//! re-association noise between the two summation orders can never
+//! dormant an arc that is actually tied.
+
+use std::collections::BTreeSet;
+
+use atis_graph::{Graph, NodeId, PartitionMap};
+use atis_storage::IoStats;
+
+use crate::order::nested_dissection_order;
+
+/// Sentinel for "no middle node": the arc direction is an original edge.
+pub(crate) const NO_VIA: u32 = u32::MAX;
+
+/// Relative margin for the witness comparison; absorbs the float
+/// re-association difference between a summed shortcut and a summed
+/// path without ever dormanting a genuinely tied arc.
+const WITNESS_MARGIN: f64 = 1e-9;
+
+/// Metric-independent overlay topology: the contraction order and the
+/// elimination fill stored as an up-arc CSR (tails in node-id order,
+/// heads sorted by node id within each tail's range).
+#[derive(Debug)]
+pub(crate) struct Core {
+    /// `rank[node] = rank`; higher rank = contracted later.
+    pub(crate) rank: Vec<u32>,
+    /// `order[rank] = node` (inverse of `rank`).
+    pub(crate) order: Vec<u32>,
+    /// CSR offsets into `heads`, indexed by tail node id, length `n + 1`.
+    pub(crate) first: Vec<u32>,
+    /// Up-arc heads (always higher-ranked than the tail), sorted by id.
+    pub(crate) heads: Vec<u32>,
+}
+
+impl Core {
+    /// Orders the graph and computes the elimination fill.
+    ///
+    /// The fill uses the quotient-graph (minimum-neighbour) rule: when
+    /// node `m` is eliminated, instead of inserting the full clique over
+    /// its higher-ranked neighbours, arcs are inserted only from the
+    /// lowest-ranked up-neighbour to the others. The lowest neighbour is
+    /// eliminated before the rest, and its own elimination completes the
+    /// clique transitively — the resulting fill is identical (a unit
+    /// test checks this against the textbook full-clique rule).
+    pub(crate) fn build(graph: &Graph, partition: &PartitionMap) -> Core {
+        let order = nested_dissection_order(graph, partition);
+        let n = order.len();
+        let mut rank = vec![0u32; n];
+        for (r, &node) in order.iter().enumerate() {
+            rank[node as usize] = r as u32;
+        }
+
+        // Up-neighbour sets keyed by tail node id. BTreeSet keeps both
+        // membership checks and the final CSR emission deterministic.
+        let mut up: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        for e in graph.edges() {
+            let (a, b) = (e.from.0, e.to.0);
+            if a == b {
+                continue;
+            }
+            if rank[a as usize] < rank[b as usize] {
+                up[a as usize].insert(b);
+            } else {
+                up[b as usize].insert(a);
+            }
+        }
+
+        let mut scratch: Vec<u32> = Vec::new();
+        for &m in &order {
+            let set = &up[m as usize];
+            if set.len() < 2 {
+                continue;
+            }
+            scratch.clear();
+            scratch.extend(set.iter().copied());
+            let &lowest = scratch
+                .iter()
+                .min_by_key(|&&v| rank[v as usize])
+                .expect("set has at least two entries");
+            for &v in &scratch {
+                if v != lowest {
+                    up[lowest as usize].insert(v);
+                }
+            }
+        }
+
+        let mut first = Vec::with_capacity(n + 1);
+        let mut heads = Vec::new();
+        first.push(0u32);
+        for set in &up {
+            heads.extend(set.iter().copied());
+            first.push(heads.len() as u32);
+        }
+        Core {
+            rank,
+            order,
+            first,
+            heads,
+        }
+    }
+
+    /// Number of overlay arcs (each prices both directions).
+    pub(crate) fn arc_count(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// The CSR range of up-arc indexes out of `tail`.
+    #[inline]
+    pub(crate) fn range(&self, tail: u32) -> std::ops::Range<usize> {
+        self.first[tail as usize] as usize..self.first[tail as usize + 1] as usize
+    }
+
+    /// Index of the up-arc `tail → head`, if present. `heads` is sorted
+    /// within each tail's range, so this is a binary search.
+    #[inline]
+    pub(crate) fn arc_index(&self, tail: u32, head: u32) -> Option<usize> {
+        let range = self.range(tail);
+        self.heads[range.clone()]
+            .binary_search(&head)
+            .ok()
+            .map(|i| range.start + i)
+    }
+}
+
+/// Metric state for one overlay: per-direction customized costs, unpack
+/// middles, and dormancy flags. `fwd` prices tail → head, `bwd` head →
+/// tail.
+#[derive(Debug)]
+pub(crate) struct Pricing {
+    pub(crate) fwd: Vec<f64>,
+    pub(crate) bwd: Vec<f64>,
+    pub(crate) fwd_via: Vec<u32>,
+    pub(crate) bwd_via: Vec<u32>,
+    pub(crate) fwd_live: Vec<bool>,
+    pub(crate) bwd_live: Vec<bool>,
+}
+
+impl Pricing {
+    /// Prices every arc direction against `graph`'s current costs via a
+    /// bottom-up triangle pass, leaving every finite direction live.
+    ///
+    /// Arcs are initialised from the cheapest parallel original edge in
+    /// each direction (`∞` when absent — one-way streets stay one-way in
+    /// the overlay), then for each middle `m` in rank order every pair
+    /// of up-arcs `(m→x, m→y)` relaxes the third side `x–y` of the
+    /// triangle, which the chordal fill guarantees exists. Processing
+    /// middles bottom-up makes each arc final before it is used as a
+    /// side, so one pass suffices. `improvements` (tuple updates in the
+    /// cost model) counts successful relaxations.
+    pub(crate) fn customize(core: &Core, graph: &Graph, io: &mut IoStats) -> Pricing {
+        let arcs = core.arc_count();
+        let mut pricing = Pricing {
+            fwd: vec![f64::INFINITY; arcs],
+            bwd: vec![f64::INFINITY; arcs],
+            fwd_via: vec![NO_VIA; arcs],
+            bwd_via: vec![NO_VIA; arcs],
+            fwd_live: vec![false; arcs],
+            bwd_live: vec![false; arcs],
+        };
+        for tail in 0..core.rank.len() as u32 {
+            for idx in core.range(tail) {
+                let head = core.heads[idx];
+                if let Some(c) = graph.edge_cost(NodeId(tail), NodeId(head)) {
+                    pricing.fwd[idx] = c;
+                }
+                if let Some(c) = graph.edge_cost(NodeId(head), NodeId(tail)) {
+                    pricing.bwd[idx] = c;
+                }
+            }
+        }
+
+        let mut improvements = 0u64;
+        let mut fan: Vec<usize> = Vec::new();
+        for &m in &core.order {
+            let range = core.range(m);
+            if range.len() < 2 {
+                continue;
+            }
+            fan.clear();
+            fan.extend(range);
+            fan.sort_unstable_by_key(|&idx| core.rank[core.heads[idx] as usize]);
+            for i in 0..fan.len() {
+                for j in i + 1..fan.len() {
+                    let (lo, hi) = (fan[i], fan[j]);
+                    let (x, y) = (core.heads[lo], core.heads[hi]);
+                    let idx = core
+                        .arc_index(x, y)
+                        .expect("chordal fill: both up-neighbours of m are adjacent");
+                    // x → m → y uses the bwd side of (m, x) and the fwd
+                    // side of (m, y); the reverse direction mirrors it.
+                    let via_fwd = pricing.bwd[lo] + pricing.fwd[hi];
+                    if via_fwd < pricing.fwd[idx] {
+                        pricing.fwd[idx] = via_fwd;
+                        pricing.fwd_via[idx] = m;
+                        improvements += 1;
+                    }
+                    let via_bwd = pricing.bwd[hi] + pricing.fwd[lo];
+                    if via_bwd < pricing.bwd[idx] {
+                        pricing.bwd[idx] = via_bwd;
+                        pricing.bwd_via[idx] = m;
+                        improvements += 1;
+                    }
+                }
+            }
+        }
+
+        for idx in 0..arcs {
+            pricing.fwd_live[idx] = pricing.fwd[idx].is_finite();
+            pricing.bwd_live[idx] = pricing.bwd[idx].is_finite();
+        }
+        io.update_tuples(improvements);
+        pricing
+    }
+
+    /// Re-derives dormancy at the current metric: each live direction is
+    /// checked by a bounded witness Dijkstra on the original graph and
+    /// put to sleep when a strictly shorter real path exists (see the
+    /// module docs for why that is safe). Charges one metered block read
+    /// per settled witness node — the honesty that keeps preprocessing
+    /// comparable to query I/O in HIERARCHY.md's cost tables.
+    pub(crate) fn apply_witnesses(
+        &mut self,
+        core: &Core,
+        graph: &Graph,
+        settle_limit: usize,
+        io: &mut IoStats,
+    ) {
+        let mut witness = WitnessSearch::new(graph.node_count());
+        for tail in 0..core.rank.len() as u32 {
+            for idx in core.range(tail) {
+                let head = core.heads[idx];
+                if self.fwd_live[idx]
+                    && witness.shorter_path_exists(graph, tail, head, self.fwd[idx], settle_limit, io)
+                {
+                    self.fwd_live[idx] = false;
+                }
+                if self.bwd_live[idx]
+                    && witness.shorter_path_exists(graph, head, tail, self.bwd[idx], settle_limit, io)
+                {
+                    self.bwd_live[idx] = false;
+                }
+            }
+        }
+    }
+}
+
+/// Reusable scratch state for witness searches; generation-stamped so a
+/// million tiny Dijkstras share one allocation.
+struct WitnessSearch {
+    dist: Vec<f64>,
+    generation: Vec<u64>,
+    current: u64,
+    heap: std::collections::BinaryHeap<WitnessEntry>,
+}
+
+/// Min-heap entry ordered by distance with node-id tie-break, matching
+/// the deterministic heap idiom used across the algorithm crates.
+#[derive(PartialEq)]
+struct WitnessEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl Eq for WitnessEntry {}
+
+impl Ord for WitnessEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for WitnessEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl WitnessSearch {
+    fn new(n: usize) -> WitnessSearch {
+        WitnessSearch {
+            dist: vec![f64::INFINITY; n],
+            generation: vec![0; n],
+            current: 0,
+            heap: std::collections::BinaryHeap::new(),
+        }
+    }
+
+    /// Whether a real path `source ⇝ target` strictly shorter than
+    /// `bound` exists. Bounded two ways: keys at or beyond the bound are
+    /// never expanded (the ball a witness can live in has radius
+    /// `bound`), and at most `settle_limit` nodes are settled —
+    /// exhausting the limit conservatively reports "no witness", which
+    /// keeps the arc live and the overlay correct. One block read is
+    /// charged per settled node.
+    fn shorter_path_exists(
+        &mut self,
+        graph: &Graph,
+        source: u32,
+        target: u32,
+        bound: f64,
+        settle_limit: usize,
+        io: &mut IoStats,
+    ) -> bool {
+        let cutoff = bound * (1.0 - WITNESS_MARGIN);
+        self.current += 1;
+        self.heap.clear();
+        self.dist[source as usize] = 0.0;
+        self.generation[source as usize] = self.current;
+        self.heap.push(WitnessEntry {
+            dist: 0.0,
+            node: source,
+        });
+        let mut settled = 0usize;
+        while let Some(WitnessEntry { dist, node }) = self.heap.pop() {
+            if self.generation[node as usize] == self.current && dist > self.dist[node as usize] {
+                continue; // lazy deletion
+            }
+            if dist >= cutoff {
+                return false;
+            }
+            if node == target {
+                return true;
+            }
+            settled += 1;
+            io.read_blocks(1);
+            if settled >= settle_limit {
+                return false;
+            }
+            for e in graph.neighbors(NodeId(node)) {
+                let next = dist + e.cost;
+                let v = e.to.0 as usize;
+                if self.generation[v] != self.current || next < self.dist[v] {
+                    self.generation[v] = self.current;
+                    self.dist[v] = next;
+                    self.heap.push(WitnessEntry {
+                        dist: next,
+                        node: e.to.0,
+                    });
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_graph::graph::graph_from_arcs;
+    use atis_graph::{Metro, MetroSpec, SplitMix64};
+
+    /// Textbook full-clique elimination fill, for cross-checking the
+    /// quotient-graph rule used by `Core::build`.
+    fn full_clique_fill(graph: &Graph, order: &[u32]) -> BTreeSet<(u32, u32)> {
+        let n = order.len();
+        let mut rank = vec![0u32; n];
+        for (r, &node) in order.iter().enumerate() {
+            rank[node as usize] = r as u32;
+        }
+        let mut up: Vec<BTreeSet<u32>> = vec![BTreeSet::new(); n];
+        for e in graph.edges() {
+            let (a, b) = (e.from.0, e.to.0);
+            if a == b {
+                continue;
+            }
+            if rank[a as usize] < rank[b as usize] {
+                up[a as usize].insert(b);
+            } else {
+                up[b as usize].insert(a);
+            }
+        }
+        for &m in order {
+            let neighbours: Vec<u32> = up[m as usize].iter().copied().collect();
+            for (i, &x) in neighbours.iter().enumerate() {
+                for &y in &neighbours[i + 1..] {
+                    if rank[x as usize] < rank[y as usize] {
+                        up[x as usize].insert(y);
+                    } else {
+                        up[y as usize].insert(x);
+                    }
+                }
+            }
+        }
+        let mut arcs = BTreeSet::new();
+        for (tail, set) in up.iter().enumerate() {
+            for &head in set {
+                arcs.insert((tail as u32, head));
+            }
+        }
+        arcs
+    }
+
+    fn random_graph(nodes: u32, arcs: usize, seed: u64) -> Graph {
+        let mut rng = SplitMix64::new(seed);
+        let mut list = Vec::with_capacity(arcs);
+        for _ in 0..arcs {
+            let u = rng.next_below(nodes as u64) as u32;
+            let v = rng.next_below(nodes as u64) as u32;
+            if u != v {
+                let cost = 1.0 + rng.next_f64() * 9.0;
+                list.push((u, v, cost));
+                list.push((v, u, cost));
+            }
+        }
+        graph_from_arcs(nodes as usize, &list).unwrap()
+    }
+
+    #[test]
+    fn quotient_fill_matches_full_clique_fill() {
+        for seed in 0..8 {
+            let graph = random_graph(24, 40, seed);
+            let partition = PartitionMap::build(&graph, 256);
+            let core = Core::build(&graph, &partition);
+            let expected = full_clique_fill(&graph, &core.order);
+            let mut actual = BTreeSet::new();
+            for tail in 0..graph.node_count() as u32 {
+                for idx in core.range(tail) {
+                    actual.insert((tail, core.heads[idx]));
+                }
+            }
+            assert_eq!(actual, expected, "fill diverged for seed {seed}");
+        }
+    }
+
+    #[test]
+    fn triangle_pass_prices_arcs_at_true_distance_or_above() {
+        // Customized cost can exceed the true distance (the up-down
+        // restriction), but must never undercut it — undercutting would
+        // produce impossible routes.
+        let graph = random_graph(16, 30, 9);
+        let partition = PartitionMap::build(&graph, 256);
+        let core = Core::build(&graph, &partition);
+        let mut io = IoStats::new();
+        let pricing = Pricing::customize(&core, &graph, &mut io);
+        for tail in 0..graph.node_count() as u32 {
+            for idx in core.range(tail) {
+                let head = core.heads[idx];
+                for (cost, s, t) in [
+                    (pricing.fwd[idx], tail, head),
+                    (pricing.bwd[idx], head, tail),
+                ] {
+                    if cost.is_finite() {
+                        let true_dist = reference_dist(&graph, s, t);
+                        assert!(
+                            cost >= true_dist - 1e-9,
+                            "arc {s}->{t} priced {cost} below true distance {true_dist}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn witness_pass_keeps_original_shortest_edges_live() {
+        let metro = Metro::new(MetroSpec::new(2, 2, 11)).unwrap();
+        let graph = metro.graph();
+        let partition = PartitionMap::build(graph, 256);
+        let core = Core::build(graph, &partition);
+        let mut io = IoStats::new();
+        let mut pricing = Pricing::customize(&core, graph, &mut io);
+        let before = pricing.fwd_live.iter().filter(|&&l| l).count()
+            + pricing.bwd_live.iter().filter(|&&l| l).count();
+        pricing.apply_witnesses(&core, graph, 64, &mut io);
+        let after = pricing.fwd_live.iter().filter(|&&l| l).count()
+            + pricing.bwd_live.iter().filter(|&&l| l).count();
+        assert!(after < before, "witness pass should dormant some arcs");
+        assert!(io.block_reads > 0, "witness settles must be metered");
+        // A direction whose customized cost equals the true distance
+        // must stay live — it may be the only way through.
+        for tail in 0..graph.node_count() as u32 {
+            for idx in core.range(tail) {
+                let head = core.heads[idx];
+                if pricing.fwd[idx].is_finite() && !pricing.fwd_live[idx] {
+                    let true_dist = reference_dist(graph, tail, head);
+                    assert!(
+                        true_dist < pricing.fwd[idx],
+                        "dormant arc {tail}->{head} has no shorter witness"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Plain in-memory Dijkstra distance for test oracles.
+    fn reference_dist(graph: &Graph, s: u32, t: u32) -> f64 {
+        let n = graph.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[s as usize] = 0.0;
+        heap.push(WitnessEntry { dist: 0.0, node: s });
+        while let Some(WitnessEntry { dist: d, node }) = heap.pop() {
+            if d > dist[node as usize] {
+                continue;
+            }
+            for e in graph.neighbors(NodeId(node)) {
+                let next = d + e.cost;
+                if next < dist[e.to.0 as usize] {
+                    dist[e.to.0 as usize] = next;
+                    heap.push(WitnessEntry {
+                        dist: next,
+                        node: e.to.0,
+                    });
+                }
+            }
+        }
+        dist[t as usize]
+    }
+}

@@ -195,6 +195,22 @@ pub enum ServeEvent {
         /// Age of the answer in epochs (current − answer epoch).
         age: u64,
     },
+    /// The serving ladder abandoned an algorithm rung mid-request and
+    /// fell to a cheaper one (e.g. A\* v5 losing its hierarchy and
+    /// degrading to v4) — the algorithm-level sibling of
+    /// [`ServeEvent::BreakerTransition`].
+    AlgorithmDegraded {
+        /// Monotonic request id.
+        request: u64,
+        /// Rung label abandoned (`primary`, `astar-v4`).
+        from: String,
+        /// Rung label the ladder fell to (`astar-v4`, `astar-v3`).
+        to: String,
+        /// Why the abandoned rung failed (rendered error).
+        reason: String,
+        /// Virtual-time tick of the degrade.
+        at_tick: u64,
+    },
     /// A circuit breaker changed state.
     BreakerTransition {
         /// Resource the breaker guards (`storage`, `landmarks`).
@@ -438,6 +454,20 @@ impl ServeEvent {
                 .u64("epoch", *epoch)
                 .u64("age", *age)
                 .finish(),
+            ServeEvent::AlgorithmDegraded {
+                request,
+                from,
+                to,
+                reason,
+                at_tick,
+            } => JsonObject::new()
+                .string("type", "serve_algorithm_degraded")
+                .u64("request", *request)
+                .string("from", from)
+                .string("to", to)
+                .string("reason", reason)
+                .u64("at_tick", *at_tick)
+                .finish(),
             ServeEvent::BreakerTransition {
                 resource,
                 from,
@@ -588,6 +618,17 @@ mod tests {
         });
         assert!(stale.to_json().contains(r#""type":"serve_stale_served""#));
         assert!(stale.to_json().contains(r#""age":2"#));
+        let degraded = TraceEvent::Serve(ServeEvent::AlgorithmDegraded {
+            request: 9,
+            from: "primary".into(),
+            to: "astar-v4".into(),
+            reason: "hierarchy is stale for the current costs".into(),
+            at_tick: 40,
+        });
+        assert_eq!(
+            degraded.to_json(),
+            r#"{"type":"serve_algorithm_degraded","request":9,"from":"primary","to":"astar-v4","reason":"hierarchy is stale for the current costs","at_tick":40}"#
+        );
         let breaker = TraceEvent::Serve(ServeEvent::BreakerTransition {
             resource: "storage".into(),
             from: "closed".into(),

@@ -58,6 +58,28 @@ pub enum LandmarkRefresh {
     RebuildFailed,
 }
 
+/// How an update maintained the snapshot's contraction hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HierarchyRefresh {
+    /// The database carries no hierarchy (or the update touched no
+    /// edge), so there was nothing to maintain.
+    None,
+    /// Cost increase: the overlay topology stays valid and a
+    /// customization pass re-priced every shortcut for the new metric —
+    /// exact but degraded (witness dormancy cleared, so v5 expands
+    /// more arcs until the next re-contraction).
+    Customized,
+    /// Cost decrease: witness dormancy computed at the old metric could
+    /// hide the now-cheaper shortcuts, so the hierarchy was
+    /// re-contracted from scratch before the epoch installed.
+    Recontracted,
+    /// A required re-contraction failed: the stale hierarchy was left
+    /// in place (marked not-current, so v5 fails typed and the degrade
+    /// ladder serves v4/v3 instead of stale-priced shortcuts). Counted
+    /// against the hierarchy circuit breaker.
+    RebuildFailed,
+}
+
 /// The result of installing one traffic update.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EpochUpdate {
@@ -71,6 +93,8 @@ pub struct EpochUpdate {
     pub new_cost: f64,
     /// How the epoch's landmark tables were kept current.
     pub landmarks: LandmarkRefresh,
+    /// How the epoch's contraction hierarchy was kept current.
+    pub hierarchy: HierarchyRefresh,
 }
 
 /// A database versioned by epochs: lock-briefly reads, copy-on-write
@@ -149,6 +173,12 @@ impl EpochDb {
     /// them before the epoch installs, so A\* version 4 never sees a
     /// snapshot whose tables could overestimate.
     ///
+    /// A contraction hierarchy follows the same contract with cheaper
+    /// repairs: a cost increase re-prices the metric-independent overlay
+    /// via a customization pass, and a decrease re-contracts from
+    /// scratch — either way A\* version 5 never unpacks a stale-priced
+    /// shortcut.
+    ///
     /// # Errors
     /// Fails for unknown endpoints or invalid costs; the current epoch is
     /// left untouched.
@@ -169,7 +199,30 @@ impl EpochDb {
         let mut next = (*current.db).clone();
         let updated = next.update_edge_cost(u, v, cost)?;
         let mut landmarks = LandmarkRefresh::None;
+        let mut hierarchy = HierarchyRefresh::None;
         if updated > 0 {
+            if let Some(overlay) = next.hierarchy().cloned() {
+                if cost >= old_cost {
+                    // Congestion: the overlay topology is metric-independent,
+                    // so a customization pass re-prices every shortcut
+                    // exactly — no re-contraction needed.
+                    let customized = overlay.customized_for(next.graph());
+                    next = next.with_hierarchy(customized);
+                    hierarchy = HierarchyRefresh::Customized;
+                } else {
+                    match overlay.rebuild_for(next.graph()) {
+                        Ok(fresh) => {
+                            next = next.with_hierarchy(fresh);
+                            hierarchy = HierarchyRefresh::Recontracted;
+                        }
+                        // Leave the stale hierarchy in place — v5 then
+                        // fails typed and the ladder serves v4/v3:
+                        // degraded service, never a stale-priced
+                        // shortcut.
+                        Err(_) => hierarchy = HierarchyRefresh::RebuildFailed,
+                    }
+                }
+            }
             if let Some(tables) = next.landmarks().cloned() {
                 if cost >= old_cost {
                     let patched = tables.patched_for(next.graph());
@@ -203,6 +256,7 @@ impl EpochDb {
             old_cost,
             new_cost: cost,
             landmarks,
+            hierarchy,
         })
     }
 }
@@ -293,6 +347,54 @@ mod tests {
             .db
             .run(Algorithm::AStar(AStarVersion::V4), s, d)
             .is_ok());
+    }
+
+    #[test]
+    fn cost_increase_customizes_the_hierarchy_cost_decrease_recontracts() {
+        use atis_algorithms::AStarVersion;
+        use atis_graph::{CostModel, Grid, QueryKind};
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 8).unwrap();
+        let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let epochs = EpochDb::new(Database::open(grid.graph()).unwrap().with_hierarchy(overlay));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let (a, b) = (grid.node_at(2, 2), grid.node_at(2, 3));
+
+        // Congestion: a customization pass re-prices the overlay — v5
+        // answers exactly at the new epoch, never from stale shortcuts.
+        let up = epochs.update_edge_cost(a, b, 9.0).unwrap();
+        assert_eq!(up.hierarchy, HierarchyRefresh::Customized);
+        let snap = epochs.snapshot();
+        let h = snap.db.hierarchy().unwrap();
+        assert!(h.is_current_for(snap.db.graph()) && h.is_degraded());
+        let t = snap
+            .db
+            .run(Algorithm::AStar(AStarVersion::V5), s, d)
+            .unwrap();
+        let oracle = atis_algorithms::memory::dijkstra_pair(snap.db.graph(), s, d).unwrap();
+        assert!((t.path_cost() - oracle.cost).abs() < 1e-9);
+
+        // The jam clears: a decrease re-contracts, restoring witness
+        // dormancy (the degraded flag drops).
+        let down = epochs.update_edge_cost(a, b, 1.0).unwrap();
+        assert_eq!(down.hierarchy, HierarchyRefresh::Recontracted);
+        let snap = epochs.snapshot();
+        let h = snap.db.hierarchy().unwrap();
+        assert!(h.is_current_for(snap.db.graph()) && !h.is_degraded());
+        let t = snap
+            .db
+            .run(Algorithm::AStar(AStarVersion::V5), s, d)
+            .unwrap();
+        let oracle = atis_algorithms::memory::dijkstra_pair(snap.db.graph(), s, d).unwrap();
+        assert!((t.path_cost() - oracle.cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn updates_without_a_hierarchy_report_no_hierarchy_refresh() {
+        let epochs = two_route_graph();
+        let up = epochs.update_edge_cost(NodeId(0), NodeId(1), 3.0).unwrap();
+        assert_eq!(up.hierarchy, HierarchyRefresh::None);
     }
 
     #[test]

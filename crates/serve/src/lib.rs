@@ -98,7 +98,7 @@ pub use breaker::{
 pub use cache::{CacheStats, CachedRoute, RouteCache};
 #[cfg(not(loom))]
 pub use chaos::{ChaosReport, ChaosScenario, OutcomeCounts};
-pub use epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};
+pub use epoch::{EpochDb, EpochUpdate, HierarchyRefresh, LandmarkRefresh, Snapshot};
 pub use error::{ServeError, ShedReason};
 pub use service::{
     Deadline, RequestClass, RouteAnswer, RouteOutcome, RouteService, ServeConfig, Ticket,

@@ -12,7 +12,7 @@
 //! Ticket::wait() ◀── answer ◀────────────────┤ cache lookup (from,to,e)
 //!                                            │ hit: serve cached
 //!                                            └ miss: degrade ladder
-//!                                               primary → v3 → Dijkstra
+//!                                               primary → v4/v3 → Dijkstra
 //!                                               → stale tier (STALE k)
 //! ```
 //!
@@ -37,9 +37,11 @@
 //! meter — it stops consuming block reads instead of completing
 //! uselessly.
 //!
-//! **Circuit breakers** guard the storage engine and the landmark
-//! rebuild path (see `breaker.rs`). An open storage breaker skips the
-//! database rungs entirely and serves from the stale cache tier; an open
+//! **Circuit breakers** guard the storage engine, the landmark rebuild
+//! path, and the hierarchy maintenance path (see `breaker.rs`). An open
+//! storage breaker skips the database rungs entirely and serves from
+//! the stale cache tier; an open hierarchy breaker skips A\* v5 and
+//! starts the ladder at v4 (or v3 without landmark tables); an open
 //! landmark breaker skips A\* v4 and starts the ladder at v3.
 //!
 //! Updates bypass the queue: [`RouteService::update_edge_cost`] installs
@@ -51,7 +53,7 @@ use crate::breaker::{
     Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ProbeGuard,
 };
 use crate::cache::{CachedRoute, RouteCache};
-use crate::epoch::{EpochDb, EpochUpdate, LandmarkRefresh, Snapshot};
+use crate::epoch::{EpochDb, EpochUpdate, HierarchyRefresh, LandmarkRefresh, Snapshot};
 use crate::error::{ServeError, ShedReason};
 use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard};
 use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, BudgetKind, Budgets, Database};
@@ -383,6 +385,7 @@ impl QueueState {
 struct Breakers {
     storage: CircuitBreaker,
     landmarks: CircuitBreaker,
+    hierarchy: CircuitBreaker,
 }
 
 struct Shared {
@@ -554,6 +557,7 @@ impl RouteService {
             breakers: Breakers {
                 storage: CircuitBreaker::new(config.breaker),
                 landmarks: CircuitBreaker::new(config.breaker),
+                hierarchy: CircuitBreaker::new(config.breaker),
             },
             clock: AtomicU64::new(0),
             next_request: AtomicU64::new(0),
@@ -613,11 +617,12 @@ impl RouteService {
     }
 
     /// The state of a named circuit breaker (`"storage"`,
-    /// `"landmarks"`); `None` for unknown names.
+    /// `"landmarks"`, `"hierarchy"`); `None` for unknown names.
     pub fn breaker_state(&self, resource: &str) -> Option<BreakerState> {
         match resource {
             "storage" => Some(self.shared.breakers.storage.state()),
             "landmarks" => Some(self.shared.breakers.landmarks.state()),
+            "hierarchy" => Some(self.shared.breakers.hierarchy.state()),
             _ => None,
         }
     }
@@ -764,6 +769,24 @@ impl RouteService {
         cost: f64,
     ) -> Result<EpochUpdate, AlgorithmError> {
         let update = self.shared.epochs.update_edge_cost(u, v, cost)?;
+        match update.hierarchy {
+            HierarchyRefresh::RebuildFailed => {
+                self.shared.inc("serve_hierarchy_rebuild_failed_total");
+                let t = self.shared.breakers.hierarchy.on_failure(self.shared.now());
+                self.shared.emit_transition("hierarchy", t);
+            }
+            HierarchyRefresh::Customized => {
+                self.shared.inc("serve_hierarchy_customized_total");
+                let t = self.shared.breakers.hierarchy.on_success();
+                self.shared.emit_transition("hierarchy", t);
+            }
+            HierarchyRefresh::Recontracted => {
+                self.shared.inc("serve_hierarchy_recontracted_total");
+                let t = self.shared.breakers.hierarchy.on_success();
+                self.shared.emit_transition("hierarchy", t);
+            }
+            HierarchyRefresh::None => {}
+        }
         match update.landmarks {
             LandmarkRefresh::RebuildFailed => {
                 let t = self.shared.breakers.landmarks.on_failure(self.shared.now());
@@ -979,12 +1002,30 @@ fn execute(
     // aborted probe can never wedge the breaker half-open.
     let mut storage_probe = ProbeGuard::new(&shared.breakers.storage, storage_admission);
 
-    // Rung 0/1: the configured algorithm, unless the landmark breaker
-    // denies its v4 estimator — then start at v3 directly. Admission
-    // (not a bare state read) drives the machine, so an open breaker
-    // whose window has elapsed half-opens here and this request runs v4
-    // as the probe that can re-close it.
-    let needs_landmarks = shared.algorithm == Algorithm::AStar(AStarVersion::V4);
+    // Rung 0: the configured algorithm, unless a breaker denies its
+    // preprocessed artifact — an open hierarchy breaker starts a v5
+    // service one rung down (v4 when the snapshot carries landmark
+    // tables, v3 otherwise), an open landmark breaker starts v4 at v3.
+    // Admission (not a bare state read) drives the machine, so an open
+    // breaker whose window has elapsed half-opens here and this request
+    // runs the guarded rung as the probe that can re-close it.
+    let needs_hierarchy = shared.algorithm == Algorithm::AStar(AStarVersion::V5);
+    let (hierarchy_admission, t) = if needs_hierarchy {
+        shared.breakers.hierarchy.admit(now)
+    } else {
+        (Admission::Allow, None)
+    };
+    shared.emit_transition("hierarchy", t);
+    let mut hierarchy_probe = ProbeGuard::new(&shared.breakers.hierarchy, hierarchy_admission);
+    let hierarchy_denied = matches!(hierarchy_admission, Admission::Deny { .. });
+    // Where a v5 request lands when its overlay is unusable.
+    let below_v5: (&'static str, Algorithm) = if snapshot.db.landmarks().is_some() {
+        ("astar-v4", Algorithm::AStar(AStarVersion::V4))
+    } else {
+        ("astar-v3", Algorithm::AStar(AStarVersion::V3))
+    };
+    let needs_landmarks = shared.algorithm == Algorithm::AStar(AStarVersion::V4)
+        || (hierarchy_denied && below_v5.1 == Algorithm::AStar(AStarVersion::V4));
     let (landmark_admission, t) = if needs_landmarks {
         shared.breakers.landmarks.admit(now)
     } else {
@@ -1003,6 +1044,13 @@ fn execute(
                 budgets,
             ),
         )
+    } else if hierarchy_denied {
+        (
+            below_v5.0,
+            snapshot
+                .db
+                .run_with_budgets(below_v5.1, job.from, job.to, budgets),
+        )
     } else {
         (
             "primary",
@@ -1016,6 +1064,34 @@ fn execute(
     // a later rung replaced them (exact spend is unknowable without
     // threading IoStats through errors, so each is a one-unit floor).
     let mut consumed: u64 = 0;
+
+    // Hierarchy trouble (a missing or stale overlay): count it against
+    // the hierarchy breaker, announce the degrade, and fall to the
+    // strongest flat rung — still exact answers, just more expansions.
+    let hierarchy_failure = match &result {
+        Err(e @ AlgorithmError::HierarchyUnavailable(_)) => Some(e.to_string()),
+        _ => None,
+    };
+    if let Some(reason) = hierarchy_failure {
+        let t = hierarchy_probe.failure(now);
+        shared.emit_transition("hierarchy", t);
+        shared.inc("serve_hierarchy_degraded_total");
+        shared.emit(ServeEvent::AlgorithmDegraded {
+            request: job.id,
+            from: rung.to_string(),
+            to: below_v5.0.to_string(),
+            reason,
+            at_tick: now,
+        });
+        consumed += 1;
+        rung = below_v5.0;
+        result = snapshot
+            .db
+            .run_with_budgets(below_v5.1, job.from, job.to, budgets);
+    } else if needs_hierarchy && !hierarchy_denied && result.is_ok() {
+        let t = hierarchy_probe.success();
+        shared.emit_transition("hierarchy", t);
+    }
 
     // Landmark trouble: count it against the landmark breaker and fall
     // to v3 (exact, estimator degraded to Manhattan-family bounds).
@@ -1609,6 +1685,168 @@ mod tests {
             service.breaker_state("landmarks"),
             Some(BreakerState::Closed)
         );
+    }
+
+    #[test]
+    fn a_stale_hierarchy_degrades_v5_to_v4_with_a_typed_event() {
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        use atis_preprocess::{LandmarkTables, PreprocessConfig};
+        let registry = MetricsRegistry::shared();
+        let ring = RingSink::shared(256);
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        // Overlay built on the pristine grid, landmarks on the mutated
+        // copy the service actually runs: v5 fails typed (stale), the
+        // ladder lands on v4, and the answer is still exact.
+        let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let mut changed = grid.graph().clone();
+        changed
+            .set_edge_cost(grid.node_at(2, 2), grid.node_at(2, 3), 9.0)
+            .unwrap();
+        let tables = LandmarkTables::build(&changed, PreprocessConfig::grid_default()).unwrap();
+        let db = Database::open(&changed)
+            .unwrap()
+            .with_hierarchy(overlay)
+            .with_landmarks(tables);
+        let service = RouteService::with_observability(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_algorithm(Algorithm::AStar(AStarVersion::V5)),
+            Some(registry.clone()),
+            Some(ring.clone() as SharedSink),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let answer = service.route(s, d).unwrap();
+        assert_eq!(answer.outcome, RouteOutcome::Degraded { rung: "astar-v4" });
+        let oracle = atis_algorithms::memory::dijkstra_pair(&changed, s, d).unwrap();
+        assert!((answer.path.unwrap().cost - oracle.cost).abs() < 1e-3);
+        assert_eq!(registry.counter("serve_hierarchy_degraded_total"), 1);
+        assert_eq!(registry.counter("serve_degraded_total"), 1);
+        let json: Vec<String> = ring.events().iter().map(|e| e.to_json()).collect();
+        let degrade = json
+            .iter()
+            .find(|j| j.contains(r#""type":"serve_algorithm_degraded""#))
+            .expect("the v5 -> v4 fall must be announced");
+        assert!(degrade.contains(r#""from":"primary""#), "{degrade}");
+        assert!(degrade.contains(r#""to":"astar-v4""#), "{degrade}");
+        assert!(degrade.contains("stale"), "{degrade}");
+    }
+
+    #[test]
+    fn a_stale_hierarchy_without_landmarks_degrades_v5_to_v3() {
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let mut changed = grid.graph().clone();
+        changed
+            .set_edge_cost(grid.node_at(2, 2), grid.node_at(2, 3), 9.0)
+            .unwrap();
+        let db = Database::open(&changed).unwrap().with_hierarchy(overlay);
+        let service = RouteService::new(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_algorithm(Algorithm::AStar(AStarVersion::V5)),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let answer = service.route(s, d).unwrap();
+        assert_eq!(answer.outcome, RouteOutcome::Degraded { rung: "astar-v3" });
+        let oracle = atis_algorithms::memory::dijkstra_pair(&changed, s, d).unwrap();
+        assert!((answer.path.unwrap().cost - oracle.cost).abs() < 1e-3);
+    }
+
+    #[test]
+    fn a_tripped_hierarchy_breaker_recovers_through_query_probing() {
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let db = Database::open(grid.graph()).unwrap().with_hierarchy(overlay);
+        let service = RouteService::new(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_algorithm(Algorithm::AStar(AStarVersion::V5))
+                .with_breaker(BreakerConfig {
+                    failure_threshold: 1,
+                    open_ticks: 8,
+                    probes: 1,
+                }),
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+
+        // Trip the hierarchy breaker, exactly as a failed re-contraction
+        // would.
+        let tripped = service
+            .shared
+            .breakers
+            .hierarchy
+            .on_failure(service.now_ticks());
+        assert!(tripped.is_some(), "threshold 1 must trip on one failure");
+
+        // While open, the ladder starts below v5 (no landmark tables
+        // here, so at v3).
+        let degraded = service.route(s, d).unwrap();
+        assert_eq!(
+            degraded.outcome,
+            RouteOutcome::Degraded { rung: "astar-v3" }
+        );
+
+        // Once the open window elapses, admission half-opens the
+        // breaker, a request probes v5, and its success re-closes it.
+        let mut recovered = false;
+        for _ in 0..64 {
+            if service.route(s, d).unwrap().outcome == RouteOutcome::Computed {
+                recovered = true;
+                break;
+            }
+        }
+        assert!(recovered, "an elapsed open window must let v5 probe back");
+        assert_eq!(
+            service.breaker_state("hierarchy"),
+            Some(BreakerState::Closed)
+        );
+    }
+
+    #[test]
+    fn updates_maintain_the_hierarchy_and_count_refreshes() {
+        use atis_hierarchy::{Hierarchy, HierarchyConfig};
+        let registry = MetricsRegistry::shared();
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let db = Database::open(grid.graph()).unwrap().with_hierarchy(overlay);
+        let service = RouteService::with_observability(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_cache_capacity(0)
+                .with_algorithm(Algorithm::AStar(AStarVersion::V5)),
+            Some(registry.clone()),
+            None,
+        );
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let (a, b) = (grid.node_at(2, 2), grid.node_at(2, 3));
+
+        // Congestion: customize. The very next request runs v5 at full
+        // fidelity against the re-priced overlay.
+        let up = service.update_edge_cost(a, b, 9.0).unwrap();
+        assert_eq!(up.hierarchy, HierarchyRefresh::Customized);
+        assert_eq!(registry.counter("serve_hierarchy_customized_total"), 1);
+        let answer = service.route(s, d).unwrap();
+        assert_eq!(answer.outcome, RouteOutcome::Computed);
+        let snap = service.snapshot();
+        let oracle = atis_algorithms::memory::dijkstra_pair(snap.db.graph(), s, d).unwrap();
+        assert!((answer.path.unwrap().cost - oracle.cost).abs() < 1e-9);
+
+        // The jam clears: re-contract.
+        let down = service.update_edge_cost(a, b, 1.0).unwrap();
+        assert_eq!(down.hierarchy, HierarchyRefresh::Recontracted);
+        assert_eq!(registry.counter("serve_hierarchy_recontracted_total"), 1);
+        let answer = service.route(s, d).unwrap();
+        assert_eq!(answer.outcome, RouteOutcome::Computed);
+        assert_eq!(registry.counter("serve_hierarchy_degraded_total"), 0);
     }
 
     #[test]

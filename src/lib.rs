@@ -11,10 +11,14 @@
 //!   node relation `R`, hash/ISAM indexes, four join strategies) with
 //!   block-level I/O cost accounting.
 //! * [`algorithms`] — database-resident Iterative BFS, Dijkstra and A\*
-//!   (versions 1–4), plus in-memory reference implementations.
+//!   (versions 1–5), plus in-memory reference implementations.
 //! * [`preprocess`] — offline landmark (ALT) preprocessing: landmark
 //!   selection and per-epoch forward/backward distance tables, the fuel
 //!   for A\* version 4's triangle-inequality bounds.
+//! * [`hierarchy`] — contraction-hierarchy preprocessing: nested-
+//!   dissection ordering over partition regions, witness-pruned shortcut
+//!   overlay, and metric customization, the machinery behind A\*
+//!   version 5's bidirectional upward search (see `HIERARCHY.md`).
 //! * [`costmodel`] — the paper's algebraic cost models (Tables 1–3) and the
 //!   query-optimizer simulation.
 //! * [`obs`] — structured observability: iteration-level tracing, a
@@ -56,6 +60,7 @@ pub use atis_algorithms as algorithms;
 pub use atis_core as core;
 pub use atis_costmodel as costmodel;
 pub use atis_graph as graph;
+pub use atis_hierarchy as hierarchy;
 pub use atis_obs as obs;
 pub use atis_preprocess as preprocess;
 pub use atis_serve as serve;
@@ -77,6 +82,7 @@ pub mod prelude {
         CostModel, Graph, GraphBuilder, Grid, Minneapolis, NodeId, Path, Point, QueryKind,
         RadialCity,
     };
+    pub use atis_hierarchy::{Hierarchy, HierarchyConfig};
     pub use atis_obs::{JsonlSink, MetricsRegistry, RingSink, TraceEvent, TraceSink};
     pub use atis_preprocess::{LandmarkSelection, LandmarkTables, PreprocessConfig};
     pub use atis_serve::{RouteAnswer, RouteService, ServeConfig, ServeError};

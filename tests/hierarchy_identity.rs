@@ -1,0 +1,155 @@
+//! Property tests for the contraction hierarchy and A\* version 5: on
+//! seeded metro networks (one-way freeway pairs included) the upward
+//! search must return routes identical to the in-memory Dijkstra oracle
+//! — same cost, valid edge sequence, bit-exact re-priced total — under
+//! the region layout and under a seeded shuffle; and the epoch staleness
+//! contract must never let a stale-priced shortcut answer a query.
+
+use atis::algorithms::memory::dijkstra_pair;
+use atis::algorithms::{AStarVersion, Algorithm, AlgorithmError, Database, HierarchyIssue};
+use atis::graph::{shuffle_layout, Graph, Metro, MetroQuery, MetroSpec, NodeId};
+use atis::hierarchy::{Hierarchy, HierarchyConfig};
+use proptest::prelude::*;
+
+/// Strategy: a small metro lattice (2–4 cities per axis keeps each case
+/// under ~4100 nodes) with an arbitrary seed.
+fn arb_metro() -> impl Strategy<Value = Metro> {
+    (2usize..=4, 2usize..=4, 0u64..1_000_000).prop_map(|(cx, cy, seed)| {
+        Metro::new(MetroSpec::new(cx, cy, seed)).expect("lattice is non-degenerate")
+    })
+}
+
+/// The three named trips, `Diagonal` included — the corner-to-corner
+/// trip must ride the one-way freeway carriageways.
+const TRIPS: [MetroQuery; 3] = [
+    MetroQuery::IntraCity,
+    MetroQuery::AdjacentCity,
+    MetroQuery::Diagonal,
+];
+
+/// Runs v5 on `(s, d)` and checks the returned route against the
+/// in-memory Dijkstra oracle on the same graph: equal cost, a valid
+/// edge sequence, and a reported total that bit-equals the left-to-right
+/// re-priced sum (v5 unpacks shortcuts and re-prices against the f64
+/// graph, so no storage rounding is in play).
+fn assert_matches_oracle(db: &Database, graph: &Graph, s: NodeId, d: NodeId) {
+    let trace = db
+        .run(Algorithm::AStar(AStarVersion::V5), s, d)
+        .expect("v5 runs on a current hierarchy");
+    let oracle = dijkstra_pair(graph, s, d).expect("metro networks are strongly connected");
+    let path = trace.path.as_ref().expect("oracle found a path");
+    assert_eq!(path.source(), s);
+    assert_eq!(path.destination(), d);
+    assert!(
+        (trace.path_cost() - oracle.cost).abs() < 1e-9,
+        "v5 cost {} != oracle {} for {s:?}->{d:?}",
+        trace.path_cost(),
+        oracle.cost
+    );
+    let repriced: f64 = path
+        .nodes
+        .windows(2)
+        .map(|w| {
+            graph
+                .edge_cost(w[0], w[1])
+                .unwrap_or_else(|| panic!("v5 route uses a non-edge {:?}->{:?}", w[0], w[1]))
+        })
+        .sum();
+    assert_eq!(
+        repriced.to_bits(),
+        trace.path_cost().to_bits(),
+        "v5's reported cost must bit-equal its own route re-priced"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// v5 agrees with the Dijkstra oracle on every named trip, and two
+    /// identical runs return the identical route (bit-deterministic).
+    #[test]
+    fn v5_routes_match_the_dijkstra_oracle(metro in arb_metro()) {
+        let graph = metro.graph();
+        let hierarchy = Hierarchy::build(graph, HierarchyConfig::paper()).unwrap();
+        let db = Database::open(graph).unwrap().with_hierarchy(hierarchy);
+        for &trip in &TRIPS {
+            let (s, d) = metro.query_pair(trip);
+            assert_matches_oracle(&db, graph, s, d);
+            // The freeway carriageways are one-way: the reverse trip
+            // takes the opposite carriageway and must agree too.
+            assert_matches_oracle(&db, graph, d, s);
+            let once = db.run(Algorithm::AStar(AStarVersion::V5), s, d).unwrap();
+            let twice = db.run(Algorithm::AStar(AStarVersion::V5), s, d).unwrap();
+            prop_assert_eq!(&once.path, &twice.path, "v5 must be bit-deterministic");
+        }
+    }
+
+    /// A seeded shuffle of the node numbering is a pure layout change:
+    /// the hierarchy built on the shuffled graph answers with the same
+    /// costs at the renumbered endpoints.
+    #[test]
+    fn v5_is_layout_invariant_under_a_seeded_shuffle(metro in arb_metro()) {
+        let graph = metro.graph();
+        let (shuffled, new_of) = shuffle_layout(graph, 7).unwrap();
+        let hierarchy = Hierarchy::build(&shuffled, HierarchyConfig::paper()).unwrap();
+        let db = Database::open(&shuffled).unwrap().with_hierarchy(hierarchy);
+        for &trip in &TRIPS {
+            let (s, d) = metro.query_pair(trip);
+            let (ss, sd) = (NodeId(new_of[s.index()]), NodeId(new_of[d.index()]));
+            assert_matches_oracle(&db, &shuffled, ss, sd);
+            let base = dijkstra_pair(graph, s, d).unwrap().cost;
+            let via = db.run(Algorithm::AStar(AStarVersion::V5), ss, sd).unwrap();
+            prop_assert!(
+                (via.path_cost() - base).abs() < 1e-9,
+                "shuffled layout changed the v5 route cost"
+            );
+        }
+    }
+
+    /// The staleness contract, end to end: after an UPDATE the old
+    /// hierarchy is refused outright (`HierarchyUnavailable(Stale)` —
+    /// never a stale-priced answer), a cost increase is absorbed by the
+    /// cheap customization pass, and a cost decrease by re-contraction —
+    /// both re-priced hierarchies agree with the oracle on the *new*
+    /// costs.
+    #[test]
+    fn updates_never_serve_a_stale_priced_shortcut(
+        metro in arb_metro(),
+        raise_sel in 0u64..2,
+    ) {
+        let raise = raise_sel == 1;
+        let base = metro.graph();
+        let hierarchy = Hierarchy::build(base, HierarchyConfig::paper()).unwrap();
+
+        // Mutate one street edge: +60% (rush hour) or -40% (cleared).
+        let mut updated = base.clone();
+        let (s, d) = metro.query_pair(MetroQuery::IntraCity);
+        let edge = base.neighbors(s)[0];
+        let factor = if raise { 1.6 } else { 0.6 };
+        updated
+            .set_edge_cost(edge.from, edge.to, edge.cost * factor)
+            .unwrap();
+
+        // The un-refreshed hierarchy must be refused on the new graph.
+        let stale_db = Database::open(&updated)
+            .unwrap()
+            .with_hierarchy(hierarchy.clone());
+        match stale_db.run(Algorithm::AStar(AStarVersion::V5), s, d) {
+            Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Stale)) => {}
+            other => prop_assert!(false, "stale hierarchy must be refused, got {other:?}"),
+        }
+
+        // The refreshed hierarchy answers with new-cost routes.
+        let refreshed = if raise {
+            hierarchy.customized_for(&updated)
+        } else {
+            hierarchy.rebuild_for(&updated).unwrap()
+        };
+        prop_assert_eq!(refreshed.is_degraded(), raise);
+        let db = Database::open(&updated).unwrap().with_hierarchy(refreshed);
+        for &trip in &TRIPS {
+            let (qs, qd) = metro.query_pair(trip);
+            assert_matches_oracle(&db, &updated, qs, qd);
+        }
+    }
+}
