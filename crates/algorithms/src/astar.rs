@@ -681,7 +681,9 @@ mod tests {
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
         assert!(matches!(
             db.run(Algorithm::AStar(AStarVersion::V5), s, d),
-            Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Missing))
+            Err(AlgorithmError::HierarchyUnavailable(
+                HierarchyIssue::Missing
+            ))
         ));
     }
 

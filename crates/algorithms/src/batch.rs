@@ -1,0 +1,260 @@
+//! Set-at-a-time frontier expansion: one Dijkstra run serving many
+//! destinations.
+//!
+//! The paper's v1 insight is that the frontier is a *relation*, so
+//! expansion is naturally set-at-a-time. This module carries that to
+//! multi-query execution: admitted requests that share a source (and
+//! the Dijkstra algorithm) run as **one** best-first sweep that keeps
+//! going until every requested destination has settled — a single
+//! charged pass over the node relation feeds every query's frontier,
+//! instead of one full run per query.
+//!
+//! ## Why Dijkstra only
+//!
+//! With a zero estimator the selection score is `C(s, u)` alone: the
+//! expansion order is completely *target-independent*, so a shared run
+//! visits exactly the nodes — in exactly the order — that each solo run
+//! to any of its destinations would have. When destination `d` is
+//! selected, its settled cost and predecessor chain are final (costs
+//! are non-negative and closed nodes never improve under Figure 2
+//! semantics), so the path recovered for `d` is **bit-identical** to
+//! the one `Algorithm::Dijkstra` would have returned solo, and the
+//! iteration count recorded at `d`'s settle equals the solo run's
+//! count. An A\* estimator breaks all of this — `f(u, d)` makes the
+//! order depend on the destination — so batched execution never applies
+//! to the estimator versions.
+
+use crate::database::{Budgets, Database};
+use crate::error::AlgorithmError;
+use crate::observe::RunObserver;
+use crate::trace::{RunTrace, StepBreakdown};
+use atis_graph::{NodeId, Path};
+use atis_obs::IterationPhase;
+use atis_storage::{join_adjacency, IoStats, JoinStrategy, NodeStatus};
+use std::collections::{HashMap, HashSet};
+// analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
+use std::time::Instant;
+
+/// Runs one shared Dijkstra sweep from `s` until every node in
+/// `targets` has settled (or the frontier is exhausted), returning one
+/// trace per requested target, in input order.
+///
+/// Every returned trace carries the **shared** run's I/O — the batch is
+/// charged once, which is the entire point — while `iterations` is the
+/// per-target settle count (equal to the solo run's). Unreachable
+/// targets get `path: None`. The per-node `expansion_order` is not
+/// meaningful per target and is left empty.
+///
+/// # Errors
+/// Fails like a solo run: unknown endpoints are rejected by the caller
+/// ([`Database::run_many_with_budgets`]), storage faults surface as
+/// errors, and exhausting `budgets` mid-sweep fails the whole batch —
+/// sound for deadline enforcement because the batch budget is at least
+/// every member's own allowance.
+pub(crate) fn run_dijkstra_many(
+    db: &Database,
+    s: NodeId,
+    targets: &[NodeId],
+    budgets: Budgets,
+) -> Result<Vec<RunTrace>, AlgorithmError> {
+    // analyze::allow(determinism-wall-clock): wall_ms is trace reporting metadata, never an algorithm input
+    let wall_start = Instant::now();
+    let mut io = IoStats::new();
+    let mut steps = StepBreakdown::default();
+    let mut observer = RunObserver::new(db, "dijkstra_many");
+    observer.run_started(s, targets.first().copied().unwrap_or(s));
+    let s_id = s.0;
+    let mut pending: HashSet<u32> = targets.iter().map(|t| t.0).collect();
+    let mut settled: HashMap<u32, u64> = HashMap::new();
+
+    let mut r = db.create_node_relation(&mut io)?;
+    if let Some(pool) = db.buffer() {
+        r.attach_buffer(pool);
+    }
+    if let Some(faults) = db.faults() {
+        r.attach_faults(faults);
+    }
+    let meter = db.budget_meter_with(budgets);
+
+    r.replace(s_id, &mut io, |t| {
+        t.status = NodeStatus::Open;
+        t.path_cost = 0.0;
+    })?;
+    steps.init = io;
+    let mut frontier_size = 1u64;
+    let mut frontier_peak = frontier_size;
+    observer.span(IterationPhase::Init, 0, None, frontier_size, None, &io);
+
+    let mut iterations = 0u64;
+    let mut join_strategy: Option<JoinStrategy> = None;
+
+    while !pending.is_empty() {
+        meter.check(iterations, &io)?;
+        let mark = io;
+        let selected = r.select_min_open(&mut io, |_, t| t.path_cost as f64)?;
+        steps.select += io.since(&mark);
+        let Some((u, ut)) = selected else {
+            break; // frontier exhausted: remaining targets unreachable
+        };
+        frontier_size -= 1;
+
+        let mark = io;
+        r.replace(u, &mut io, |t| t.status = NodeStatus::Closed)?;
+        steps.update += io.since(&mark);
+        if pending.remove(&u) {
+            // The solo run breaks here before counting the selection as
+            // an iteration; recording the counter now reproduces its
+            // per-target iteration count exactly.
+            settled.insert(u, iterations);
+            if pending.is_empty() {
+                break;
+            }
+        }
+        iterations += 1;
+
+        let mark = io;
+        let (adjacency, strategy) = join_adjacency(
+            &[(u, ut)],
+            db.edges(),
+            db.join_policy(),
+            db.params(),
+            &mut io,
+        )?;
+        steps.join += io.since(&mark);
+        join_strategy = Some(strategy);
+
+        let mark = io;
+        for (_, e) in adjacency {
+            let candidate = ut.path_cost + e.cost as f32;
+            let mut became_open = false;
+            r.replace(e.end, &mut io, |t| {
+                if candidate < t.path_cost {
+                    t.path_cost = candidate;
+                    t.path = u;
+                    if t.status == NodeStatus::Null {
+                        t.status = NodeStatus::Open;
+                        became_open = true;
+                    }
+                }
+            })?;
+            if became_open {
+                frontier_size += 1;
+            }
+        }
+        frontier_peak = frontier_peak.max(frontier_size);
+        steps.update += io.since(&mark);
+        observer.span(
+            IterationPhase::Search,
+            iterations,
+            Some(u),
+            frontier_size,
+            Some(strategy),
+            &io,
+        );
+    }
+    let attributed = steps.total();
+    steps.bookkeeping = io.since(&attributed);
+
+    let predecessors = r.predecessors()?;
+    let mut traces = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let path = if settled.contains_key(&target.0) {
+            let cost = r.peek(target.0)?.path_cost as f64;
+            Path::from_predecessors(s, target, cost, &predecessors)
+        } else {
+            None
+        };
+        traces.push(RunTrace {
+            algorithm: "dijkstra_many".to_string(),
+            iterations: settled.get(&target.0).copied().unwrap_or(iterations),
+            expanded: settled.get(&target.0).copied().unwrap_or(iterations),
+            reopened: 0,
+            io,
+            join_strategy,
+            path,
+            wall: wall_start.elapsed(),
+            expansion_order: Vec::new(),
+            steps,
+            frontier_peak,
+        });
+    }
+    observer.finished(
+        iterations,
+        settled.len() == pending.len() + settled.len(),
+        frontier_size,
+        &io,
+        io.cost(db.params()),
+    );
+    Ok(traces)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Algorithm;
+    use atis_graph::graph::graph_from_arcs;
+    use atis_graph::{CostModel, Grid, QueryKind};
+
+    #[test]
+    fn batched_targets_are_bit_identical_to_solo_runs() {
+        let grid = Grid::new(10, CostModel::TWENTY_PERCENT, 11).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let (s, _) = grid.query_pair(QueryKind::Diagonal);
+        let targets = [
+            grid.node_at(9, 9),
+            grid.node_at(0, 9),
+            grid.node_at(5, 5),
+            grid.node_at(9, 0),
+        ];
+        let batched = run_dijkstra_many(&db, s, &targets, db.budgets()).unwrap();
+        assert_eq!(batched.len(), targets.len());
+        for (trace, &d) in batched.iter().zip(&targets) {
+            let solo = db.run(Algorithm::Dijkstra, s, d).unwrap();
+            assert_eq!(
+                trace.path.as_ref().unwrap().nodes,
+                solo.path.as_ref().unwrap().nodes,
+                "batched path to {d:?} must be bit-identical"
+            );
+            assert_eq!(trace.path.as_ref().unwrap().cost, solo.path.unwrap().cost);
+            assert_eq!(trace.iterations, solo.iterations, "settle count to {d:?}");
+        }
+    }
+
+    #[test]
+    fn one_charged_sweep_costs_less_than_solo_runs() {
+        let grid = Grid::new(10, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        let (s, _) = grid.query_pair(QueryKind::Diagonal);
+        let targets = [grid.node_at(9, 9), grid.node_at(0, 9), grid.node_at(9, 0)];
+        let batched = run_dijkstra_many(&db, s, &targets, db.budgets()).unwrap();
+        let solo_blocks: u64 = targets
+            .iter()
+            .map(|&d| db.run(Algorithm::Dijkstra, s, d).unwrap().io.block_reads)
+            .sum();
+        // Every member reports the same shared I/O, and the shared sweep
+        // reads fewer blocks than the three solo runs combined.
+        assert!(batched.iter().all(|t| t.io == batched[0].io));
+        assert!(batched[0].io.block_reads < solo_blocks);
+    }
+
+    #[test]
+    fn unreachable_targets_get_no_path_and_reachable_ones_still_do() {
+        let g = graph_from_arcs(4, &[(0, 1, 1.0), (2, 3, 1.0)]).unwrap();
+        let db = Database::open(&g).unwrap();
+        let traces =
+            run_dijkstra_many(&db, NodeId(0), &[NodeId(1), NodeId(3)], db.budgets()).unwrap();
+        assert!(traces[0].path.is_some());
+        assert!(traces[1].path.is_none());
+    }
+
+    #[test]
+    fn source_as_target_settles_at_zero_iterations() {
+        let g = graph_from_arcs(2, &[(0, 1, 1.0)]).unwrap();
+        let db = Database::open(&g).unwrap();
+        let traces =
+            run_dijkstra_many(&db, NodeId(0), &[NodeId(0), NodeId(1)], db.budgets()).unwrap();
+        assert_eq!(traces[0].iterations, 0);
+        assert_eq!(traces[0].path.as_ref().unwrap().cost, 0.0);
+        assert!(traces[1].path.is_some());
+    }
+}

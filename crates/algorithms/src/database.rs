@@ -2,6 +2,7 @@
 //! an experiment can turn (join policy, cost parameters).
 
 use crate::astar::{self, AStarVersion};
+use crate::batch;
 use crate::dijkstra;
 use crate::error::{AlgorithmError, BudgetKind, HierarchyIssue, LandmarkIssue};
 use crate::estimator::Estimator;
@@ -382,7 +383,9 @@ impl Database {
     /// — a stale overlay would answer with stale-priced shortcuts.
     pub(crate) fn hierarchy_for(&self) -> Result<&Hierarchy, AlgorithmError> {
         let Some(hierarchy) = &self.hierarchy else {
-            return Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Missing));
+            return Err(AlgorithmError::HierarchyUnavailable(
+                HierarchyIssue::Missing,
+            ));
         };
         if !hierarchy.is_current_for(&self.graph) {
             return Err(AlgorithmError::HierarchyUnavailable(HierarchyIssue::Stale));
@@ -661,6 +664,60 @@ impl Database {
         };
         let faults_fired = self.drain_faults(&algorithm.label(), fault_mark);
         self.update_metrics(&result, buffer_mark, faults_fired);
+        result
+    }
+
+    /// Runs one query per target from the shared source `s`, returning
+    /// traces in target order. For `Algorithm::Dijkstra` with more than
+    /// one target this executes as a **single batched sweep**
+    /// (set-at-a-time expansion, the paper's v1 frontier-as-relation
+    /// insight): one charged pass settles every destination, each
+    /// returned trace carries the shared I/O, and per-target paths and
+    /// iteration counts are bit-identical to solo runs (see the `batch`
+    /// module for the argument). Estimator-driven algorithms have
+    /// destination-dependent expansion orders, so they fall back to
+    /// independent solo runs.
+    ///
+    /// # Errors
+    /// As [`Database::run_with_budgets`]; a budget exhausted mid-sweep
+    /// fails the whole batch.
+    pub fn run_many_with_budgets(
+        &self,
+        algorithm: Algorithm,
+        s: NodeId,
+        targets: &[NodeId],
+        budgets: Budgets,
+    ) -> Result<Vec<RunTrace>, AlgorithmError> {
+        if targets.len() < 2 || algorithm != Algorithm::Dijkstra {
+            return targets
+                .iter()
+                .map(|&d| self.run_with_budgets(algorithm, s, d, budgets))
+                .collect();
+        }
+        if !self.graph.contains(s) {
+            return Err(AlgorithmError::UnknownSource(s));
+        }
+        if let Some(&d) = targets.iter().find(|d| !self.graph.contains(**d)) {
+            return Err(AlgorithmError::UnknownDestination(d));
+        }
+        let fault_mark = self
+            .faults
+            .as_ref()
+            .map(|f| f.lock().unwrap_or_else(|p| p.into_inner()).log.len())
+            .unwrap_or(0);
+        let buffer_mark = self.buffer.as_ref().map(|b| {
+            let pool = b.lock().unwrap_or_else(|p| p.into_inner());
+            (pool.hits, pool.misses)
+        });
+        let result = batch::run_dijkstra_many(self, s, targets, budgets);
+        let faults_fired = self.drain_faults("dijkstra_many", fault_mark);
+        // The sweep is one run: meter it once (every trace reports the
+        // same shared I/O, so the first stands for the batch).
+        let metered = result
+            .as_ref()
+            .map(|traces| traces[0].clone())
+            .map_err(|e| e.clone());
+        self.update_metrics(&metered, buffer_mark, faults_fired);
         result
     }
 

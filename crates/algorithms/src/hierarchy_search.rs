@@ -90,9 +90,15 @@ pub(crate) fn run(
     let mut parent = [vec![NO_PARENT; n], vec![NO_PARENT; n]];
     let mut heaps = [BinaryHeap::new(), BinaryHeap::new()];
     dist[FWD][s.index()] = 0.0;
-    heaps[FWD].push(HeapEntry { score: 0.0, node: s.0 });
+    heaps[FWD].push(HeapEntry {
+        score: 0.0,
+        node: s.0,
+    });
     dist[BWD][d.index()] = 0.0;
-    heaps[BWD].push(HeapEntry { score: 0.0, node: d.0 });
+    heaps[BWD].push(HeapEntry {
+        score: 0.0,
+        node: d.0,
+    });
     let mut open = [1u64, 1u64];
     let mut frontier_peak = 2u64;
 

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 
 pub mod astar;
+pub(crate) mod batch;
 pub(crate) mod bestfirst;
 pub mod bidirectional;
 pub mod closure;

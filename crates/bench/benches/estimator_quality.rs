@@ -78,6 +78,7 @@ struct Record {
 
 /// Runs `versions` over `queries` against a prepared database, one
 /// record per version.
+#[allow(clippy::too_many_arguments)]
 fn run_versions(
     network: &'static str,
     db: &Database,

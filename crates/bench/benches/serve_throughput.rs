@@ -1,92 +1,216 @@
-//! Serving-layer throughput: req/s and client-observed latency of the
-//! pooled route service at 1/2/4/8 workers on the paper's 30×30 grid.
+//! Serving-layer throughput under **open-loop** load: a seeded arrival
+//! schedule drives the route service at a fixed offered rate while a
+//! sustained stream of traffic updates installs new epochs, and the
+//! harness reports completed req/s, latency percentiles (p50/p99/p999),
+//! and the shed fraction into `BENCH_serve.json`.
 //!
-//! Not a Criterion bench: the quantity of interest is aggregate
-//! throughput of a *concurrent* system under offered load, not the
-//! wall-clock of one call, so this harness drives a fixed batch of
-//! requests through client threads and reports `BENCH_serve.json` at the
-//! repository root — the serving-side counterpart of the paper-figure
-//! benches, recorded so the perf trajectory tracks serving numbers PR
-//! over PR.
+//! Not a Criterion bench: the quantity of interest is how a *concurrent*
+//! system behaves under offered load it does not control, so the
+//! generator submits at intended times `t_i = i/rate` regardless of how
+//! fast answers come back. Latency is **coordinated-omission-safe**: a
+//! sample is measured from the request's *intended* start, as
+//! `submit lateness + queue wait + service time`, so a slow server that
+//! delays the generator cannot hide its own queueing delay the way a
+//! closed loop does. Sheds are terminal data points (no retry): the
+//! shed fraction is reported per config, not hidden behind backoff.
 //!
-//! The workload is the paper's own setting: a *disk-resident* map
-//! database (Section 2), modelled by arming the storage engine's fault
-//! layer with a per-block-read device latency
-//! ([`FaultPlan::with_read_latency`]). Requests then spend most of their
-//! wall-clock waiting on simulated I/O — which concurrent workers
-//! overlap, exactly as a real disk array overlaps independent requests —
-//! so the pool's scaling is visible even on a single-core host, where
-//! pure in-memory compute cannot parallelise at all.
+//! Two serving modes run at each worker count, same workload, same
+//! update stream:
 //!
-//! The route cache is disabled here on purpose: with repeated query
-//! pairs a warm cache short-circuits the planner and the bench would
-//! measure `HashMap` lookups, not worker-pool scaling. Cache behaviour
-//! has its own tests (`tests/route_cache.rs`).
+//! * `global` — the single-epoch baseline: 1 shard, no batching. Every
+//!   update sweeps the whole cache under the legacy invalidation rule
+//!   (which cannot see the old cost, so a cheap jam drops nearly every
+//!   cached route).
+//! * `sharded` — epochs sharded by region group (8 shards) plus batched
+//!   frontier expansion (batch ≤ 8): an update bumps only the shards
+//!   its edge touches, cached routes that never cross them stay hot,
+//!   and same-source misses share one charged Dijkstra sweep.
 //!
-//! Beyond end-to-end latency, each config records queue wait and
-//! service time *separately* (from the service's own per-answer
-//! timings), so a latency regression is attributable: queueing policy
-//! vs. planner cost. A final overload probe throws the same burst at an
-//! under-provisioned pool with client retry disabled and records the
-//! shed fraction and admitted-request p99 against an uncontended
-//! baseline — the serving-side overload trajectory, PR over PR.
+//! The in-bench acceptance assertion (the CI perf gate's ground truth):
+//! at every worker count the sharded+batched mode must complete **≥ 3×**
+//! the global baseline's req/s at **equal-or-better p99**, under the
+//! stated SLO (50 ms) — all while the update stream runs.
+//!
+//! The workload is the paper's disk-resident setting: the storage fault
+//! layer arms a per-block-read device latency, so requests spend most
+//! of their wall-clock in simulated I/O that concurrent workers overlap.
+//! The route cache is **enabled** here (unlike the old closed-loop
+//! bench): invalidation behaviour under update traffic is exactly what
+//! separates the two modes, so caching is the experiment, not a
+//! confounder. Each config **warms** the cache (one computed answer per
+//! workload pair, before the updater starts) and then measures the
+//! steady serving state — cold-start cost is the scaling study's
+//! subject, not this bench's. Requests are **local trips** (both
+//! endpoints in one grid quadrant), the dominant ATIS query shape; it
+//! is also the shape sharding rewards, since a local route's stamp
+//! covers few shards and a jam elsewhere leaves it untouched.
+//!
+//! `SERVE_SMOKE=1` runs a shortened schedule (fewer requests, one
+//! worker count) and writes `BENCH_serve_smoke.json` instead — the PR
+//! CI mode; the scheduled full run refreshes the committed baseline.
 //!
 //! ```sh
 //! cargo bench -p atis-bench --bench serve_throughput
 //! ```
 
-use atis_algorithms::Database;
+use atis_algorithms::{Algorithm, Database};
 use atis_bench::PAPER_SEED;
-use atis_graph::{CostModel, Grid, NodeId, QueryKind};
+use atis_graph::{CostModel, Grid, NodeId};
 use atis_serve::{RouteService, ServeConfig, ServeError};
 use atis_storage::FaultPlan;
+use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 const GRID_K: usize = 30;
-const WORKER_CONFIGS: [usize; 4] = [1, 2, 4, 8];
-const CLIENT_THREADS: usize = 16;
-const REQUESTS_PER_CLIENT: usize = 10;
-const QUERY_POOL: usize = 64;
-/// Simulated device latency per physical block read. A diagonal A* run
-/// on the 30×30 grid issues ~46k block reads, so 500 ns/read puts each
-/// request at ~85% simulated I/O wait — disk-resident territory.
-const READ_LATENCY: Duration = Duration::from_nanos(500);
+/// Offered load (requests per second) for the full run. Chosen above
+/// the global baseline's measured capacity so saturation behaviour —
+/// queueing, deadline sheds — is part of the measurement, and below the
+/// sharded mode's, so the 3× headroom is observable.
+const FULL_RATE: f64 = 2000.0;
+const FULL_REQUESTS: usize = 3000;
+const FULL_WORKERS: [usize; 2] = [4, 8];
+const SMOKE_RATE: f64 = 2000.0;
+const SMOKE_REQUESTS: usize = 600;
+const SMOKE_WORKERS: [usize; 1] = [4];
+/// One traffic update (a jam on a seeded random edge) installs per this
+/// interval of wall clock — sustained update traffic, paced
+/// independently of the arrival schedule. The gap is shorter than the
+/// legacy cache can refill its whole working set (it drops every entry
+/// per jam), but longer than one route recompute, so the sharded mode's
+/// stamped re-inserts land between jams. That asymmetry is precisely
+/// the failure mode sharded epochs remove.
+const UPDATE_INTERVAL: Duration = Duration::from_millis(20);
+/// The latency SLO the percentiles are reported against.
+const SLO: Duration = Duration::from_millis(50);
+const QUEUE_CAPACITY: usize = 256;
+const CACHE_CAPACITY: usize = 4096;
+/// Simulated device latency per physical block read (disk-resident
+/// setting; see module docs).
+const READ_LATENCY: Duration = Duration::from_micros(1);
+/// The sharded mode's shape: epoch shards and per-dequeue batch bound.
+const SHARDS: usize = 8;
+const BATCH_MAX: usize = 8;
 
-/// Deterministic query pairs (xorshift over the node-id space) shared by
-/// every worker configuration.
-fn query_pairs(grid: &Grid) -> Vec<(NodeId, NodeId)> {
-    let nodes = grid.graph().node_count() as u64;
-    let mut state = 0x9e37_79b9_7f4a_7c15u64;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    let mut pairs = Vec::with_capacity(QUERY_POOL);
-    // Anchor the pool with the paper's canonical worst case.
-    pairs.push(grid.query_pair(QueryKind::Diagonal));
-    while pairs.len() < QUERY_POOL {
-        let s = NodeId((next() % nodes) as u32);
-        let d = NodeId((next() % nodes) as u32);
-        if s != d {
-            pairs.push((s, d));
+/// A serving mode under test: a name for the artifact plus the two
+/// tentpole knobs.
+struct Mode {
+    name: &'static str,
+    shards: usize,
+    batch: usize,
+}
+
+const MODES: [Mode; 2] = [
+    Mode {
+        name: "global",
+        shards: 1,
+        batch: 1,
+    },
+    Mode {
+        name: "sharded",
+        shards: SHARDS,
+        batch: BATCH_MAX,
+    },
+];
+
+/// Seeded xorshift; every schedule, pair choice, and jammed edge in the
+/// bench derives from it.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+/// The request mix: all **local trips** (both endpoints inside one grid
+/// quadrant — see module docs). A hot set of eight pairs (one shared
+/// source per quadrant, two destinations each, shared-source so batched
+/// sweeps can fold misses) takes 75% of arrivals; a seeded pool of
+/// sixteen random within-quadrant pairs takes the rest. Every route is
+/// long enough that a jam's absolute cost sits far below a cached path
+/// total — which is what forces the legacy cache's conservative rule to
+/// drop everything on every jam.
+struct Workload {
+    hot: Vec<(NodeId, NodeId)>,
+    pool: Vec<(NodeId, NodeId)>,
+}
+
+impl Workload {
+    fn build(grid: &Grid) -> Workload {
+        let half = GRID_K / 2;
+        let quadrants = [(0, 0), (0, half), (half, 0), (half, half)];
+        let mut hot = Vec::new();
+        for &(qx, qy) in &quadrants {
+            let source = grid.node_at(qx + half / 2, qy + half / 2);
+            for &(dx, dy) in &[(1, 1), (half - 2, half - 2)] {
+                hot.push((source, grid.node_at(qx + dx, qy + dy)));
+            }
+        }
+        let mut rng = Rng(PAPER_SEED | 0x9e37_79b9_0000_0000);
+        let mut pool = Vec::with_capacity(16);
+        while pool.len() < 16 {
+            let (qx, qy) = quadrants[(rng.next() % 4) as usize];
+            let s = grid.node_at(
+                qx + (rng.next() as usize) % half,
+                qy + (rng.next() as usize) % half,
+            );
+            let d = grid.node_at(
+                qx + (rng.next() as usize) % half,
+                qy + (rng.next() as usize) % half,
+            );
+            if s != d {
+                pool.push((s, d));
+            }
+        }
+        Workload { hot, pool }
+    }
+
+    /// Every distinct pair, for the warmup pass.
+    fn all_pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.hot.iter().chain(self.pool.iter()).copied()
+    }
+
+    /// The i-th request's pair — 75% hot set, 25% pool, seeded.
+    fn pair(&self, rng: &mut Rng) -> (NodeId, NodeId) {
+        let roll = rng.next();
+        if !roll.is_multiple_of(4) {
+            self.hot[(roll >> 8) as usize % self.hot.len()]
+        } else {
+            self.pool[(roll >> 8) as usize % self.pool.len()]
         }
     }
-    pairs
 }
 
 struct ConfigResult {
+    mode: &'static str,
     workers: usize,
+    shards: usize,
+    batch: usize,
+    attempts: usize,
+    completed: usize,
+    shed: usize,
+    updates: usize,
     elapsed: Duration,
     req_per_s: f64,
     p50: Duration,
     p99: Duration,
-    queue_wait_p50: Duration,
+    p999: Duration,
+    lateness_p99: Duration,
     queue_wait_p99: Duration,
-    service_p50: Duration,
     service_p99: Duration,
+}
+
+impl ConfigResult {
+    fn shed_fraction(&self) -> f64 {
+        if self.attempts == 0 {
+            return 0.0;
+        }
+        self.shed as f64 / self.attempts as f64
+    }
 }
 
 fn percentile(sorted: &[Duration], p: f64) -> Duration {
@@ -97,226 +221,251 @@ fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[rank.min(sorted.len() - 1)]
 }
 
-/// One client-observed sample: end-to-end wall clock plus the service's
-/// own decomposition of where that time went (time queued vs. time a
-/// worker actually spent planning).
-struct Sample {
-    wall: Duration,
-    queue_wait: Duration,
-    service_time: Duration,
-}
-
-fn drive(grid: &Grid, pairs: &[(NodeId, NodeId)], workers: usize) -> ConfigResult {
+/// Drives one (mode, workers) config through the open-loop schedule.
+fn drive(
+    grid: &Grid,
+    workload: &Workload,
+    mode: &Mode,
+    workers: usize,
+    requests: usize,
+    rate: f64,
+) -> ConfigResult {
     let db = Database::open(grid.graph())
         .expect("30x30 grid fits the engine")
         .with_fault_plan(FaultPlan::inert(PAPER_SEED).with_read_latency(READ_LATENCY));
-    let service = Arc::new(RouteService::new(
+    let registry = atis_obs::MetricsRegistry::shared();
+    let service = Arc::new(RouteService::with_observability(
         db,
         ServeConfig::default()
             .with_workers(workers)
-            .with_queue_capacity(128)
-            .with_cache_capacity(0),
+            .with_queue_capacity(QUEUE_CAPACITY)
+            .with_cache_capacity(CACHE_CAPACITY)
+            .with_algorithm(Algorithm::Dijkstra)
+            .with_shards(mode.shards)
+            .with_batch_max(mode.batch),
+        Some(registry.clone()),
+        None,
     ));
-    let started = Instant::now();
-    let clients: Vec<_> = (0..CLIENT_THREADS)
-        .map(|c| {
-            let service = service.clone();
-            let pairs = pairs.to_vec();
-            std::thread::spawn(move || {
-                let mut samples = Vec::with_capacity(REQUESTS_PER_CLIENT);
-                for r in 0..REQUESTS_PER_CLIENT {
-                    let (s, d) = pairs[(c * REQUESTS_PER_CLIENT + r) % pairs.len()];
-                    let issued = Instant::now();
-                    loop {
-                        match service.route(s, d) {
-                            Ok(answer) => {
-                                samples.push(Sample {
-                                    wall: issued.elapsed(),
-                                    queue_wait: answer.queue_wait,
-                                    service_time: answer.service_time,
-                                });
-                                break;
-                            }
-                            Err(ServeError::Shed { .. }) => {
-                                std::thread::sleep(Duration::from_micros(100));
-                            }
-                            Err(e) => panic!("bench request failed: {e}"),
-                        }
-                    }
+
+    // Warmup: one computed answer per distinct workload pair, before
+    // any update traffic. The measured window is the steady serving
+    // state — how each mode *keeps* a warm cache under jams.
+    let warm: Vec<atis_serve::Ticket> = workload
+        .all_pairs()
+        .map(|(s, d)| service.submit(s, d).expect("warmup submit"))
+        .collect();
+    for ticket in warm {
+        ticket.wait().expect("warmup route");
+    }
+
+    // The updater: one jam per UPDATE_INTERVAL of wall clock, on a
+    // seeded random grid edge, always a cost *increase* (epoch
+    // semantics for congestion; a decrease is a separate, conservative
+    // sweep). The stop channel doubles as the pacing clock.
+    let (stop_tx, stop_rx) = mpsc::channel::<()>();
+    let updater = {
+        let service = service.clone();
+        let mut rng = Rng(PAPER_SEED | 0x5bd1_e995_0000_0000);
+        std::thread::spawn(move || {
+            let mut installed = 0usize;
+            while let Err(mpsc::RecvTimeoutError::Timeout) = stop_rx.recv_timeout(UPDATE_INTERVAL) {
+                let x = (rng.next() as usize) % (GRID_K - 1);
+                let y = (rng.next() as usize) % GRID_K;
+                let (u, v) = if rng.next().is_multiple_of(2) {
+                    (grid_node(x, y), grid_node(x + 1, y))
+                } else {
+                    (grid_node(y, x), grid_node(y, x + 1))
+                };
+                let old = service.snapshot().db.graph().edge_cost(u, v).unwrap_or(1.0);
+                if service.update_edge_cost(u, v, old * 1.1).is_ok() {
+                    installed += 1;
                 }
-                samples
-            })
+            }
+            installed
         })
+    };
+
+    // The collector: waits every admitted ticket and computes the
+    // coordinated-omission-safe sample from the answer's own timings
+    // (late observation here cannot distort the sample).
+    let (ticket_tx, ticket_rx) = mpsc::channel::<(Duration, atis_serve::Ticket)>();
+    let collector = std::thread::spawn(move || {
+        let mut samples: Vec<(Duration, Duration, Duration)> = Vec::new();
+        let mut shed = 0usize;
+        while let Ok((lateness, ticket)) = ticket_rx.recv() {
+            match ticket.wait() {
+                Ok(answer) => samples.push((lateness, answer.queue_wait, answer.service_time)),
+                Err(ServeError::Shed { .. }) => shed += 1,
+                Err(e) => panic!("bench request failed: {e}"),
+            }
+        }
+        (samples, shed)
+    });
+
+    // The open-loop generator: submit at intended times, never waiting
+    // for answers. Falling behind the schedule is *recorded* (lateness
+    // joins the sample), not absorbed.
+    let mut rng = Rng(PAPER_SEED | 0x0000_0001_c0ff_ee00);
+    let mut shed_at_submit = 0usize;
+    let start = Instant::now();
+    for i in 0..requests {
+        let intended = Duration::from_secs_f64(i as f64 / rate);
+        let elapsed = start.elapsed();
+        if elapsed < intended {
+            std::thread::sleep(intended - elapsed);
+        }
+        let lateness = start.elapsed().saturating_sub(intended);
+        let (s, d) = workload.pair(&mut rng);
+        match service.submit(s, d) {
+            Ok(ticket) => ticket_tx.send((lateness, ticket)).expect("collector alive"),
+            Err(ServeError::Shed { .. }) => shed_at_submit += 1,
+            Err(e) => panic!("bench submit failed: {e}"),
+        }
+    }
+    // The update stream runs at its fixed rate until the last answer
+    // resolves: serving is measured *under* sustained update traffic,
+    // so a mode still draining its backlog keeps facing jams — the
+    // condition it would face in production. Update counts therefore
+    // scale with each mode's own serving window; the rate is identical.
+    drop(ticket_tx);
+    let (samples, shed_in_flight) = collector.join().expect("collector thread");
+    let elapsed = start.elapsed();
+    drop(stop_tx);
+    let updates = updater.join().expect("updater thread");
+
+    if std::env::var("BENCH_DEBUG").is_ok() {
+        eprintln!(
+            "  [debug {} w={}] {}",
+            mode.name,
+            workers,
+            registry.snapshot_json()
+        );
+    }
+
+    let mut latencies: Vec<Duration> = samples
+        .iter()
+        .map(|&(late, queued, served)| late + queued + served)
         .collect();
-    let samples: Vec<Sample> = clients
-        .into_iter()
-        .flat_map(|c| c.join().expect("client thread"))
-        .collect();
-    let elapsed = started.elapsed();
-    let total = samples.len();
-    let mut latencies: Vec<Duration> = samples.iter().map(|s| s.wall).collect();
-    let mut queue_waits: Vec<Duration> = samples.iter().map(|s| s.queue_wait).collect();
-    let mut service_times: Vec<Duration> = samples.iter().map(|s| s.service_time).collect();
+    let mut lateness: Vec<Duration> = samples.iter().map(|&(late, _, _)| late).collect();
+    let mut queue_waits: Vec<Duration> = samples.iter().map(|&(_, q, _)| q).collect();
+    let mut service_times: Vec<Duration> = samples.iter().map(|&(_, _, sv)| sv).collect();
     latencies.sort();
+    lateness.sort();
     queue_waits.sort();
     service_times.sort();
+    let completed = latencies.len();
     ConfigResult {
+        mode: mode.name,
         workers,
+        shards: mode.shards,
+        batch: mode.batch,
+        attempts: requests,
+        completed,
+        shed: shed_at_submit + shed_in_flight,
+        updates,
         elapsed,
-        req_per_s: total as f64 / elapsed.as_secs_f64(),
+        req_per_s: completed as f64 / elapsed.as_secs_f64(),
         p50: percentile(&latencies, 0.50),
         p99: percentile(&latencies, 0.99),
-        queue_wait_p50: percentile(&queue_waits, 0.50),
+        p999: percentile(&latencies, 0.999),
+        lateness_p99: percentile(&lateness, 0.99),
         queue_wait_p99: percentile(&queue_waits, 0.99),
-        service_p50: percentile(&service_times, 0.50),
         service_p99: percentile(&service_times, 0.99),
     }
 }
 
-/// Overload probe: the same workload thrown at a deliberately
-/// under-provisioned pool (tiny queue, no client retry), recording how
-/// much work the admission policy sheds and what latency the *admitted*
-/// requests see versus an uncontended single client. These numbers back
-/// the overload-policy acceptance bar (admitted p99 vs. uncontended p99)
-/// but are informational here — the seeded chaos suite asserts the
-/// bound; the bench records the trajectory.
-struct OverloadResult {
-    pool: usize,
-    queue: usize,
-    attempts: usize,
-    admitted: usize,
-    shed: usize,
-    admitted_p99: Duration,
-    uncontended_p99: Duration,
-}
-
-impl OverloadResult {
-    fn shed_fraction(&self) -> f64 {
-        if self.attempts == 0 {
-            return 0.0;
-        }
-        self.shed as f64 / self.attempts as f64
-    }
-}
-
-fn overload_probe(grid: &Grid, pairs: &[(NodeId, NodeId)]) -> OverloadResult {
-    const POOL: usize = 2;
-    const QUEUE: usize = 2;
-    let open = || {
-        let db = Database::open(grid.graph())
-            .expect("30x30 grid fits the engine")
-            .with_fault_plan(FaultPlan::inert(PAPER_SEED).with_read_latency(READ_LATENCY));
-        Arc::new(RouteService::new(
-            db,
-            ServeConfig::default()
-                .with_workers(POOL)
-                .with_queue_capacity(QUEUE)
-                .with_cache_capacity(0),
-        ))
-    };
-
-    // Uncontended baseline: one client, one request in flight at a time.
-    let baseline = open();
-    let mut base_lat: Vec<Duration> = Vec::with_capacity(pairs.len().min(32));
-    for &(s, d) in pairs.iter().take(32) {
-        let issued = Instant::now();
-        baseline
-            .route(s, d)
-            .expect("uncontended request cannot shed");
-        base_lat.push(issued.elapsed());
-    }
-    base_lat.sort();
-
-    // Burst: every client fires with no retry — a shed is a data point,
-    // not something to hide behind a backoff loop.
-    let service = open();
-    let clients: Vec<_> = (0..CLIENT_THREADS)
-        .map(|c| {
-            let service = service.clone();
-            let pairs = pairs.to_vec();
-            std::thread::spawn(move || {
-                let mut admitted = Vec::new();
-                let mut shed = 0usize;
-                for r in 0..REQUESTS_PER_CLIENT {
-                    let (s, d) = pairs[(c * REQUESTS_PER_CLIENT + r) % pairs.len()];
-                    let issued = Instant::now();
-                    match service.route(s, d) {
-                        Ok(_) => admitted.push(issued.elapsed()),
-                        Err(ServeError::Shed { .. }) => shed += 1,
-                        Err(e) => panic!("overload probe failed: {e}"),
-                    }
-                }
-                (admitted, shed)
-            })
-        })
-        .collect();
-    let mut admitted_lat = Vec::new();
-    let mut shed = 0usize;
-    for client in clients {
-        let (lat, s) = client.join().expect("client thread");
-        admitted_lat.extend(lat);
-        shed += s;
-    }
-    admitted_lat.sort();
-
-    OverloadResult {
-        pool: POOL,
-        queue: QUEUE,
-        attempts: CLIENT_THREADS * REQUESTS_PER_CLIENT,
-        admitted: admitted_lat.len(),
-        shed,
-        admitted_p99: percentile(&admitted_lat, 0.99),
-        uncontended_p99: percentile(&base_lat, 0.99),
-    }
+/// `Grid::node_at` without borrowing the grid into the updater thread.
+/// The row-major id scheme is the generator's own (x * k + y).
+fn grid_node(x: usize, y: usize) -> NodeId {
+    NodeId((x * GRID_K + y) as u32)
 }
 
 fn main() {
+    let smoke = std::env::var("SERVE_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false);
+    let (requests, rate, workers, out_name): (usize, f64, &[usize], &str) = if smoke {
+        (
+            SMOKE_REQUESTS,
+            SMOKE_RATE,
+            &SMOKE_WORKERS,
+            "BENCH_serve_smoke.json",
+        )
+    } else {
+        (FULL_REQUESTS, FULL_RATE, &FULL_WORKERS, "BENCH_serve.json")
+    };
+
     let grid = Grid::new(GRID_K, CostModel::TWENTY_PERCENT, PAPER_SEED).expect("paper grid");
-    let pairs = query_pairs(&grid);
-    let total = CLIENT_THREADS * REQUESTS_PER_CLIENT;
+    // The updater thread derives node ids arithmetically; pin the
+    // assumption to the generator's actual scheme once, loudly.
+    assert_eq!(grid.node_at(3, 7), grid_node(3, 7), "grid id scheme moved");
+    let workload = Workload::build(&grid);
     println!(
-        "serve_throughput: {GRID_K}x{GRID_K} grid, {total} requests, \
-         {CLIENT_THREADS} clients, cache disabled, \
-         simulated disk {READ_LATENCY:?}/block read"
+        "serve_throughput (open loop): {GRID_K}x{GRID_K} grid, {requests} requests at {rate} req/s \
+         offered, 1 update per {UPDATE_INTERVAL:?}, Dijkstra, cache {CACHE_CAPACITY} entries, \
+         SLO {SLO:?}, simulated disk {READ_LATENCY:?}/block read{}",
+        if smoke { " [SMOKE]" } else { "" }
     );
 
-    let mut results = Vec::new();
-    for workers in WORKER_CONFIGS {
-        let result = drive(&grid, &pairs, workers);
-        println!(
-            "  workers={:<2} {:>8.1} req/s  p50 {:>7.3?}  p99 {:>7.3?}  \
-             (queue-wait p99 {:>7.3?}, service p99 {:>7.3?}, {:?} total)",
-            result.workers,
-            result.req_per_s,
-            result.p50,
-            result.p99,
-            result.queue_wait_p99,
-            result.service_p99,
-            result.elapsed
-        );
-        results.push(result);
+    let mut results: Vec<ConfigResult> = Vec::new();
+    for &w in workers {
+        for mode in &MODES {
+            let r = drive(&grid, &workload, mode, w, requests, rate);
+            println!(
+                "  {:<7} workers={:<2} shards={} batch={}  {:>8.1} req/s  p50 {:>9.3?}  p99 {:>9.3?}  \
+                 p999 {:>9.3?}  shed {:>5.1}%  ({} updates, {:?} total)",
+                r.mode,
+                r.workers,
+                r.shards,
+                r.batch,
+                r.req_per_s,
+                r.p50,
+                r.p99,
+                r.p999,
+                r.shed_fraction() * 100.0,
+                r.updates,
+                r.elapsed
+            );
+            results.push(r);
+        }
     }
 
-    let overload = overload_probe(&grid, &pairs);
-    println!(
-        "  overload: pool={} queue={}  shed {}/{} ({:.0}%)  \
-         admitted p99 {:?} vs uncontended p99 {:?}",
-        overload.pool,
-        overload.queue,
-        overload.shed,
-        overload.attempts,
-        overload.shed_fraction() * 100.0,
-        overload.admitted_p99,
-        overload.uncontended_p99,
-    );
-
-    let base = results[0].req_per_s;
-    let four = results
-        .iter()
-        .find(|r| r.workers == 4)
-        .expect("4-worker config");
-    let speedup = four.req_per_s / base;
-    println!("  4-worker speedup over 1 worker: {speedup:.2}x");
+    // The acceptance assertion the ISSUE and the CI gate stand on: at
+    // every worker count, sharded+batched serves ≥ 3× the global
+    // baseline's completed req/s at equal-or-better p99, under the same
+    // sustained update traffic.
+    let mut speedup_w4 = 0.0;
+    for &w in workers {
+        let global = results
+            .iter()
+            .find(|r| r.mode == "global" && r.workers == w)
+            .expect("global config");
+        let sharded = results
+            .iter()
+            .find(|r| r.mode == "sharded" && r.workers == w)
+            .expect("sharded config");
+        let speedup = sharded.req_per_s / global.req_per_s;
+        if w == 4 {
+            speedup_w4 = speedup;
+        }
+        println!(
+            "  workers={w}: sharded/global = {speedup:.2}x req/s, p99 {:?} vs {:?}",
+            sharded.p99, global.p99
+        );
+        assert!(
+            speedup >= 3.0,
+            "ACCEPTANCE: sharded+batched must serve >= 3x the global baseline \
+             at workers={w}, got {speedup:.2}x ({:.1} vs {:.1} req/s)",
+            sharded.req_per_s,
+            global.req_per_s
+        );
+        assert!(
+            sharded.p99 <= global.p99,
+            "ACCEPTANCE: sharded p99 ({:?}) must be equal-or-better than global ({:?}) at workers={w}",
+            sharded.p99,
+            global.p99
+        );
+    }
 
     let mut configs = String::from("[");
     for (i, r) in results.iter().enumerate() {
@@ -324,39 +473,33 @@ fn main() {
             configs.push(',');
         }
         configs.push_str(&format!(
-            r#"{{"workers":{},"req_per_s":{:.2},"p50_ms":{:.3},"p99_ms":{:.3},"queue_wait_p50_ms":{:.3},"queue_wait_p99_ms":{:.3},"service_p50_ms":{:.3},"service_p99_ms":{:.3},"elapsed_ms":{:.1}}}"#,
+            r#"{{"mode":"{}","workers":{},"shards":{},"batch":{},"req_per_s":{:.2},"p50_ms":{:.3},"p99_ms":{:.3},"p999_ms":{:.3},"shed_fraction":{:.4},"attempts":{},"completed":{},"updates":{},"lateness_p99_ms":{:.3},"queue_wait_p99_ms":{:.3},"service_p99_ms":{:.3},"elapsed_ms":{:.1}}}"#,
+            r.mode,
             r.workers,
+            r.shards,
+            r.batch,
             r.req_per_s,
             r.p50.as_secs_f64() * 1e3,
             r.p99.as_secs_f64() * 1e3,
-            r.queue_wait_p50.as_secs_f64() * 1e3,
+            r.p999.as_secs_f64() * 1e3,
+            r.shed_fraction(),
+            r.attempts,
+            r.completed,
+            r.updates,
+            r.lateness_p99.as_secs_f64() * 1e3,
             r.queue_wait_p99.as_secs_f64() * 1e3,
-            r.service_p50.as_secs_f64() * 1e3,
             r.service_p99.as_secs_f64() * 1e3,
             r.elapsed.as_secs_f64() * 1e3,
         ));
     }
     configs.push(']');
-    // NOTE: the overload object deliberately avoids the "workers" and
-    // "req_per_s" key names — ci/compare-bench.sh gates every {...}
-    // chunk carrying those keys, and the overload probe is a recorded
-    // trajectory, not a regression-gated throughput config.
-    let overload_json = format!(
-        r#"{{"pool":{},"queue_capacity":{},"attempts":{},"admitted":{},"shed":{},"shed_fraction":{:.3},"admitted_p99_ms":{:.3},"uncontended_p99_ms":{:.3}}}"#,
-        overload.pool,
-        overload.queue,
-        overload.attempts,
-        overload.admitted,
-        overload.shed,
-        overload.shed_fraction(),
-        overload.admitted_p99.as_secs_f64() * 1e3,
-        overload.uncontended_p99.as_secs_f64() * 1e3,
-    );
     let json = format!(
-        r#"{{"benchmark":"serve_throughput","network":"grid{GRID_K}","grid":"{GRID_K}x{GRID_K}","algorithm":"A* (version 3)","requests":{total},"client_threads":{CLIENT_THREADS},"cache":"disabled","io_model":"simulated disk, {}ns per block read","configs":{configs},"speedup_4_over_1":{speedup:.2},"overload":{overload_json}}}"#,
+        r#"{{"benchmark":"serve_throughput","network":"grid{GRID_K}","grid":"{GRID_K}x{GRID_K}","algorithm":"Dijkstra","open_loop":true,"slo_ms":{:.1},"requests":{requests},"rate_rps":{rate:.1},"update_interval_ms":{:.1},"cache":"{CACHE_CAPACITY} entries","io_model":"simulated disk, {}ns per block read","speedup_sharded_over_global_w4":{speedup_w4:.2},"configs":{configs}}}"#,
+        SLO.as_secs_f64() * 1e3,
+        UPDATE_INTERVAL.as_secs_f64() * 1e3,
         READ_LATENCY.as_nanos(),
     );
-    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json");
-    std::fs::write(&out, format!("{json}\n")).expect("write BENCH_serve.json");
+    let out = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(format!("../../{out_name}"));
+    std::fs::write(&out, format!("{json}\n")).expect("write serve bench artifact");
     println!("  wrote {}", out.display());
 }

@@ -193,7 +193,10 @@ impl RoutePlanner {
     ///
     /// # Errors
     /// Propagates hierarchy build errors (empty graph).
-    pub fn with_hierarchy_overlay(mut self, config: HierarchyConfig) -> Result<Self, HierarchyError> {
+    pub fn with_hierarchy_overlay(
+        mut self,
+        config: HierarchyConfig,
+    ) -> Result<Self, HierarchyError> {
         let hierarchy = Hierarchy::build(self.db.graph(), config)?;
         self.db = self.db.with_hierarchy(hierarchy);
         self.default_algorithm = Algorithm::AStar(AStarVersion::V5);
@@ -308,6 +311,34 @@ impl RoutePlanner {
     ) -> Result<PlanReport, AlgorithmError> {
         let trace = self.db.run(algorithm, s, d)?;
         Ok(PlanReport::from_trace(trace, self.db.params()))
+    }
+
+    /// Plans routes from one source to several destinations, one report
+    /// per destination in input order. With `Algorithm::Dijkstra` and
+    /// two or more destinations the whole set executes as a **single
+    /// batched sweep** (set-at-a-time frontier expansion): one charged
+    /// pass over the node relation settles every destination, and each
+    /// report's path and iteration count are bit-identical to a solo
+    /// `plan_with` call. Estimator-driven algorithms fall back to
+    /// independent runs — their expansion order depends on the
+    /// destination, so they cannot share a sweep.
+    ///
+    /// # Errors
+    /// Fails for unknown endpoints; an exhausted budget mid-sweep fails
+    /// the whole batch.
+    pub fn plan_many(
+        &self,
+        algorithm: Algorithm,
+        s: NodeId,
+        destinations: &[NodeId],
+    ) -> Result<Vec<PlanReport>, AlgorithmError> {
+        let traces =
+            self.db
+                .run_many_with_budgets(algorithm, s, destinations, self.db.budgets())?;
+        Ok(traces
+            .into_iter()
+            .map(|trace| PlanReport::from_trace(trace, self.db.params()))
+            .collect())
     }
 
     /// Runs several algorithms on the same query — the paper's comparative
@@ -662,8 +693,7 @@ mod tests {
         // Both artifacts built on the pristine grid; the planner runs
         // against a mutated copy so both are stale. v5 fails fast, v4
         // fails fast, and v3 — no preprocessing dependency — answers.
-        let hierarchy =
-            Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let hierarchy = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
         let tables = atis_preprocess::LandmarkTables::build(
             grid.graph(),
             atis_preprocess::PreprocessConfig::grid_default(),
@@ -692,8 +722,7 @@ mod tests {
     #[test]
     fn stale_hierarchy_with_fresh_landmarks_degrades_to_v4_only() {
         let grid = Grid::new(8, CostModel::TWENTY_PERCENT, 3).unwrap();
-        let hierarchy =
-            Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
+        let hierarchy = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
         let mut changed = grid.graph().clone();
         changed
             .set_edge_cost(grid.node_at(3, 3), grid.node_at(3, 4), 5.0)

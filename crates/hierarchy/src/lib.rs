@@ -419,14 +419,26 @@ mod tests {
         // 0→2 one-way. Travelling 2⇝0 must stay impossible.
         let graph = graph_from_arcs(
             3,
-            &[(0, 1, 1.0), (1, 0, 1.0), (1, 2, 1.0), (2, 1, 1.0), (0, 2, 1.5)],
+            &[
+                (0, 1, 1.0),
+                (1, 0, 1.0),
+                (1, 2, 1.0),
+                (2, 1, 1.0),
+                (0, 2, 1.5),
+            ],
         )
         .unwrap();
         let h = Hierarchy::build(&graph, HierarchyConfig::paper()).unwrap();
         let fwd = updown_dist(&h, NodeId(0), NodeId(2));
         let bwd = updown_dist(&h, NodeId(2), NodeId(0));
-        assert!((fwd - 1.5).abs() < 1e-12, "0->2 should use the one-way at 1.5, got {fwd}");
-        assert!((bwd - 2.0).abs() < 1e-12, "2->0 must go around at 2.0, got {bwd}");
+        assert!(
+            (fwd - 1.5).abs() < 1e-12,
+            "0->2 should use the one-way at 1.5, got {fwd}"
+        );
+        assert!(
+            (bwd - 2.0).abs() < 1e-12,
+            "2->0 must go around at 2.0, got {bwd}"
+        );
     }
 
     #[test]
@@ -435,11 +447,11 @@ mod tests {
         let graph = metro.graph();
         let h = Hierarchy::build(graph, HierarchyConfig::paper()).unwrap();
 
-        fn unpack(h: &Hierarchy, g: &Graph, a: NodeId, b: NodeId, out: &mut Vec<(NodeId, NodeId)>) {
+        fn unpack(h: &Hierarchy, a: NodeId, b: NodeId, out: &mut Vec<(NodeId, NodeId)>) {
             match h.arc_direction(a, b) {
                 Some((_, Some(m))) => {
-                    unpack(h, g, a, m, out);
-                    unpack(h, g, m, b, out);
+                    unpack(h, a, m, out);
+                    unpack(h, m, b, out);
                 }
                 _ => out.push((a, b)),
             }
@@ -452,7 +464,7 @@ mod tests {
                     continue;
                 };
                 let mut hops = Vec::new();
-                unpack(&h, graph, tail, arc.head, &mut hops);
+                unpack(&h, tail, arc.head, &mut hops);
                 let mut total = 0.0;
                 for &(a, b) in &hops {
                     let edge = graph
@@ -484,7 +496,9 @@ mod tests {
 
         // Rush hour: a cost increase leaves the hierarchy stale.
         let edge = *graph.edges().next().unwrap();
-        graph.set_edge_cost(edge.from, edge.to, edge.cost * 3.0).unwrap();
+        graph
+            .set_edge_cost(edge.from, edge.to, edge.cost * 3.0)
+            .unwrap();
         assert!(!h.is_current_for(&graph));
 
         // Cheap arm: customize re-prices without re-contracting and
@@ -510,7 +524,10 @@ mod tests {
                 .filter(|a| a.fwd_live)
                 .count()
         };
-        assert!(live(&rebuilt) < live(&customized), "rebuild should restore dormancy");
+        assert!(
+            live(&rebuilt) < live(&customized),
+            "rebuild should restore dormancy"
+        );
     }
 
     #[test]
@@ -540,8 +557,14 @@ mod tests {
         let h = Hierarchy::build(metro.graph(), HierarchyConfig::paper()).unwrap();
         let io = h.build_io();
         assert!(io.block_reads > 0, "scan + witness settles must be metered");
-        assert!(io.block_writes > 0, "overlay materialization must be metered");
-        assert!(io.tuple_updates > 0, "triangle improvements must be metered");
+        assert!(
+            io.block_writes > 0,
+            "overlay materialization must be metered"
+        );
+        assert!(
+            io.tuple_updates > 0,
+            "triangle improvements must be metered"
+        );
         assert_eq!(io.relations_created, 1);
     }
 }

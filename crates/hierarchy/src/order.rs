@@ -218,7 +218,10 @@ mod tests {
         let boundary_count = boundary.iter().filter(|&&b| b).count();
         assert!(boundary_count > 0);
         for &id in &order[g.node_count() - boundary_count..] {
-            assert!(boundary[id as usize], "interior node {id} outranks the boundary");
+            assert!(
+                boundary[id as usize],
+                "interior node {id} outranks the boundary"
+            );
         }
     }
 

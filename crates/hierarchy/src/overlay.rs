@@ -259,12 +259,26 @@ impl Pricing {
             for idx in core.range(tail) {
                 let head = core.heads[idx];
                 if self.fwd_live[idx]
-                    && witness.shorter_path_exists(graph, tail, head, self.fwd[idx], settle_limit, io)
+                    && witness.shorter_path_exists(
+                        graph,
+                        tail,
+                        head,
+                        self.fwd[idx],
+                        settle_limit,
+                        io,
+                    )
                 {
                     self.fwd_live[idx] = false;
                 }
                 if self.bwd_live[idx]
-                    && witness.shorter_path_exists(graph, head, tail, self.bwd[idx], settle_limit, io)
+                    && witness.shorter_path_exists(
+                        graph,
+                        head,
+                        tail,
+                        self.bwd[idx],
+                        settle_limit,
+                        io,
+                    )
                 {
                     self.bwd_live[idx] = false;
                 }

@@ -233,6 +233,36 @@ pub enum ServeEvent {
         /// Cache entries proven unaffected and carried into the new epoch.
         promoted: u64,
     },
+    /// An `UPDATE` installed a new epoch on *sharded* serving state: the
+    /// global install counter advanced, but only the listed shards'
+    /// versions moved — snapshots over other shards keep hitting the
+    /// cache unswept.
+    ShardEpochInstalled {
+        /// The new global install counter.
+        install: u64,
+        /// How many shards the update touched (the endpoint shards).
+        shards_touched: u64,
+        /// Total shards in the serving state.
+        shards_total: u64,
+        /// Cache entries dropped by the sharded invalidation rule.
+        invalidated: u64,
+        /// Cache entries re-stamped to the touched shards' new versions.
+        promoted: u64,
+    },
+    /// A worker executed a batch of admitted requests as one shared
+    /// frontier sweep (set-at-a-time expansion): a single charged run
+    /// answered every member.
+    BatchExecuted {
+        /// Pool index of the executing worker.
+        worker: u64,
+        /// Requests answered by the shared sweep (≥ 2).
+        size: u64,
+        /// Distinct `(from, to)` groups in the batch (singleflight
+        /// collapses duplicates to one run).
+        groups: u64,
+        /// Global install counter of the pinned snapshot.
+        epoch: u64,
+    },
 }
 
 /// Any event the observability layer can record.
@@ -491,6 +521,32 @@ impl ServeEvent {
                 .u64("updated_edges", *updated_edges)
                 .u64("invalidated", *invalidated)
                 .u64("promoted", *promoted)
+                .finish(),
+            ServeEvent::ShardEpochInstalled {
+                install,
+                shards_touched,
+                shards_total,
+                invalidated,
+                promoted,
+            } => JsonObject::new()
+                .string("type", "serve_shard_epoch_installed")
+                .u64("install", *install)
+                .u64("shards_touched", *shards_touched)
+                .u64("shards_total", *shards_total)
+                .u64("invalidated", *invalidated)
+                .u64("promoted", *promoted)
+                .finish(),
+            ServeEvent::BatchExecuted {
+                worker,
+                size,
+                groups,
+                epoch,
+            } => JsonObject::new()
+                .string("type", "serve_batch_executed")
+                .u64("worker", *worker)
+                .u64("size", *size)
+                .u64("groups", *groups)
+                .u64("epoch", *epoch)
                 .finish(),
         }
     }

@@ -47,7 +47,39 @@
 //! tier is invisible to [`RouteCache::len`] / [`RouteCache::is_empty`]
 //! and to the hit/miss counters; it has its own `stale_hits` /
 //! `retirements` statistics.
+//!
+//! ## Sharded validation (stamps)
+//!
+//! The epoch-keyed rule above treats every update as global: the sweep
+//! rewrites (or drops) *every* entry, and — because
+//! [`RouteCache::apply_update`] cannot see whether the cost went up or
+//! down — it must drop any entry a cheaper new cost *could* beat, which
+//! on long-route networks is nearly all of them. The sharded entry
+//! points fix both:
+//!
+//! * [`RouteCache::insert_stamped`] stores, alongside the answer, one
+//!   `(shard, version)` stamp per shard the path crosses (from the
+//!   [`crate::shard::EpochVector`] of the snapshot it was computed
+//!   against).
+//! * [`RouteCache::lookup_vec`] hits iff every stamp still matches the
+//!   querying snapshot's vector: updates in shards the path never enters
+//!   provably cannot have touched it, so the entry keeps hitting across
+//!   those installs *without ever being rewritten*.
+//! * [`RouteCache::apply_shard_update`] receives the old cost, so it can
+//!   apply the monotonicity argument: a pure cost **increase** can only
+//!   raise route costs, so an entry whose path avoids the edge remains
+//!   optimal — only entries whose stamp set intersects the touched
+//!   shards are even examined (the path cannot use the edge otherwise),
+//!   and only those actually on the edge drop. A cost **decrease** keeps
+//!   the conservative global rule (drop if on-path or the new cost
+//!   undercuts the cached total) — there is no sound shard-local bound
+//!   for "a better route may now exist elsewhere".
+//!
+//! The two families share the map, capacity, LRU clock, stale tier, and
+//! statistics, but a service instance uses one or the other: exact-epoch
+//! lookups never see stamped entries and vice versa.
 
+use crate::shard::EpochVector;
 use crate::sync::{self, Mutex, MutexGuard};
 use atis_graph::{NodeId, Path};
 use atis_obs::SharedRegistry;
@@ -93,6 +125,9 @@ pub struct CacheStats {
 #[derive(Debug)]
 struct Entry {
     route: CachedRoute,
+    /// `(shard, version)` per shard the path crosses, sorted by shard —
+    /// empty for entries inserted through the epoch-keyed API.
+    stamps: Vec<(u32, u64)>,
     last_used: u64,
 }
 
@@ -107,7 +142,20 @@ struct Inner {
     /// Highest epoch an update sweep has installed; inserts below it are
     /// stale and refused.
     latest_epoch: u64,
+    /// Highest per-shard version an [`RouteCache::apply_shard_update`]
+    /// sweep has installed, indexed by shard; stamped inserts below any
+    /// of them are stale and refused.
+    latest_versions: Vec<u64>,
     stats: CacheStats,
+}
+
+impl Inner {
+    fn latest_version(&self, shard: u32) -> u64 {
+        self.latest_versions
+            .get(shard as usize)
+            .copied()
+            .unwrap_or(0)
+    }
 }
 
 /// A bounded, invalidation-aware LRU cache of computed routes.
@@ -128,6 +176,7 @@ impl RouteCache {
                 stale: HashMap::new(),
                 tick: 0,
                 latest_epoch: 0,
+                latest_versions: Vec::new(),
                 stats: CacheStats::default(),
             }),
             metrics: None,
@@ -186,7 +235,7 @@ impl RouteCache {
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(&(from.0, to.0)) {
-            Some(entry) if entry.route.epoch == epoch => {
+            Some(entry) if entry.stamps.is_empty() && entry.route.epoch == epoch => {
                 entry.last_used = tick;
                 let route = entry.route.clone();
                 inner.stats.hits += 1;
@@ -239,10 +288,186 @@ impl RouteCache {
             (from.0, to.0),
             Entry {
                 route,
+                stamps: Vec::new(),
                 last_used: tick,
             },
         );
         inner.stats.insertions += 1;
+    }
+
+    /// Looks up `(from, to)` against a sharded snapshot's epoch vector:
+    /// a hit requires every shard the cached path crosses to still be at
+    /// the version the entry was last validated at. The returned route
+    /// keeps the install it was computed (or last promoted) at — older
+    /// than the current install when the intervening updates provably
+    /// missed the path's shards.
+    pub fn lookup_vec(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        epochs: &EpochVector,
+    ) -> Option<CachedRoute> {
+        if self.capacity == 0 {
+            return None;
+        }
+        let mut inner = self.lock_entries();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&(from.0, to.0)) {
+            Some(entry)
+                if !entry.stamps.is_empty()
+                    && entry
+                        .stamps
+                        .iter()
+                        .all(|&(shard, version)| epochs.version(shard) == version) =>
+            {
+                entry.last_used = tick;
+                let route = entry.route.clone();
+                inner.stats.hits += 1;
+                drop(inner);
+                self.bump("cache_hits_total", 1);
+                Some(route)
+            }
+            _ => {
+                inner.stats.misses += 1;
+                drop(inner);
+                self.bump("cache_misses_total", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a computed route stamped with the `(shard, version)` pairs
+    /// of the snapshot it was computed against (`route.epoch` carries the
+    /// snapshot's install counter). Refused when the cache is disabled,
+    /// when any stamp predates a version an update sweep has already
+    /// installed for that shard (a racing worker finishing against an old
+    /// snapshot), or when a newer entry for the key is present.
+    pub fn insert_stamped(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        route: CachedRoute,
+        stamps: Vec<(u32, u64)>,
+    ) {
+        if self.capacity == 0 || stamps.is_empty() {
+            return;
+        }
+        let mut inner = self.lock_entries();
+        if stamps
+            .iter()
+            .any(|&(shard, version)| version < inner.latest_version(shard))
+        {
+            return;
+        }
+        if let Some(existing) = inner.map.get(&(from.0, to.0)) {
+            if existing.route.epoch > route.epoch {
+                return;
+            }
+        }
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&(from.0, to.0)) {
+            let victim = inner
+                .map
+                .iter()
+                .min_by_key(|(key, entry)| (entry.last_used, **key))
+                .map(|(key, _)| *key);
+            if let Some(victim) = victim {
+                inner.map.remove(&victim);
+                inner.stats.evictions += 1;
+            }
+        }
+        inner.map.insert(
+            (from.0, to.0),
+            Entry {
+                route,
+                stamps,
+                last_used: tick,
+            },
+        );
+        inner.stats.insertions += 1;
+    }
+
+    /// Sweeps the cache for a sharded traffic update: directed edge
+    /// `(u, v)` went from `old_cost` to `new_cost`, bumping `shards` and
+    /// installing the post-update vector `epochs`. Returns
+    /// `(invalidated, promoted)`.
+    ///
+    /// A pure cost **increase** examines only entries whose stamp set
+    /// intersects the touched shards (the path cannot use the edge
+    /// otherwise): on-path entries drop, the rest re-stamp to the new
+    /// versions; entries in untouched shards are not visited at all. A
+    /// **decrease** examines every entry with the conservative global
+    /// rule (drop if on-path or `new_cost` undercuts the cached total).
+    pub fn apply_shard_update(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        old_cost: f64,
+        new_cost: f64,
+        shards: &[u32],
+        epochs: &EpochVector,
+    ) -> (u64, u64) {
+        if self.capacity == 0 {
+            return (0, 0);
+        }
+        let increase = new_cost >= old_cost;
+        let install = epochs.install();
+        let mut inner = self.lock_entries();
+        let mut invalidated = 0u64;
+        let mut promoted = 0u64;
+        let swept = std::mem::take(&mut inner.map);
+        let mut retired: Vec<((u32, u32), CachedRoute)> = Vec::new();
+        for (key, mut entry) in swept {
+            let intersects = entry
+                .stamps
+                .iter()
+                .any(|&(shard, _)| shards.contains(&shard));
+            if increase && !intersects {
+                // The path never enters a touched shard: the update
+                // provably missed it. Neither dropped nor rewritten.
+                inner.map.insert(key, entry);
+                continue;
+            }
+            let on_path = entry.route.path.hops().any(|(a, b)| a == u && b == v);
+            let could_beat = !increase && new_cost < entry.route.path.cost;
+            if on_path || could_beat {
+                invalidated += 1;
+                retired.push((key, entry.route));
+            } else {
+                if intersects {
+                    for stamp in entry.stamps.iter_mut() {
+                        if shards.contains(&stamp.0) {
+                            stamp.1 = epochs.version(stamp.0);
+                        }
+                    }
+                    entry.route.epoch = install;
+                    promoted += 1;
+                }
+                inner.map.insert(key, entry);
+            }
+        }
+        for (key, route) in retired {
+            self.retire(&mut inner, key, route);
+        }
+        for &shard in shards {
+            let idx = shard as usize;
+            if inner.latest_versions.len() <= idx {
+                inner.latest_versions.resize(idx + 1, 0);
+            }
+            let version = epochs.version(shard);
+            if let Some(slot) = inner.latest_versions.get_mut(idx) {
+                if *slot < version {
+                    *slot = version;
+                }
+            }
+        }
+        inner.stats.invalidations += invalidated;
+        inner.stats.promotions += promoted;
+        drop(inner);
+        self.bump("cache_invalidations_total", invalidated);
+        (invalidated, promoted)
     }
 
     /// Sweeps the cache for a traffic update that changed directed edge
@@ -497,6 +722,105 @@ mod tests {
         cache.insert(NodeId(0), NodeId(1), route(&[0, 1], 1.0, 0));
         cache.apply_update(NodeId(0), NodeId(1), 2.0, 1);
         assert!(cache.lookup_stale(NodeId(0), NodeId(1), 1, 8).is_none());
+    }
+
+    fn vector(install: u64, versions: &[u64]) -> EpochVector {
+        EpochVector::with_versions(install, versions.to_vec())
+    }
+
+    #[test]
+    fn stamped_entries_hit_across_updates_in_other_shards() {
+        let cache = RouteCache::new(8);
+        // Path crosses shards 0 and 1; computed at install 0.
+        cache.insert_stamped(
+            NodeId(0),
+            NodeId(3),
+            route(&[0, 1, 3], 2.0, 0),
+            vec![(0, 0), (1, 0)],
+        );
+        // An increase in shard 2: install 1, version vector [0, 0, 1].
+        let v1 = vector(1, &[0, 0, 1]);
+        let (invalidated, promoted) =
+            cache.apply_shard_update(NodeId(9), NodeId(10), 5.0, 40.0, &[2], &v1);
+        assert_eq!((invalidated, promoted), (0, 0), "entry was never visited");
+        let hit = cache.lookup_vec(NodeId(0), NodeId(3), &v1).unwrap();
+        assert_eq!(hit.epoch, 0, "kept its compute-time install");
+        assert_eq!(hit.path.cost, 2.0);
+    }
+
+    #[test]
+    fn increase_in_an_intersecting_shard_restamps_off_path_entries() {
+        let cache = RouteCache::new(8);
+        cache.insert_stamped(
+            NodeId(0),
+            NodeId(3),
+            route(&[0, 1, 3], 2.0, 0),
+            vec![(0, 0)],
+        );
+        cache.insert_stamped(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 0), vec![(0, 0)]);
+        // (0,1) jams from 1.0 to 40.0 in shard 0. The first path uses the
+        // hop — dropped. The second is off-path: under a pure increase it
+        // stays optimal even though 40.0 > its 7.0 total (the legacy rule
+        // would have dropped it as `could_beat` if this were a decrease).
+        let v1 = vector(1, &[1]);
+        let (invalidated, promoted) =
+            cache.apply_shard_update(NodeId(0), NodeId(1), 1.0, 40.0, &[0], &v1);
+        assert_eq!((invalidated, promoted), (1, 1));
+        assert!(cache.lookup_vec(NodeId(0), NodeId(3), &v1).is_none());
+        let hit = cache.lookup_vec(NodeId(4), NodeId(5), &v1).unwrap();
+        assert_eq!(hit.epoch, 1, "promotion advances the install");
+    }
+
+    #[test]
+    fn decrease_sweeps_every_shard_conservatively() {
+        let cache = RouteCache::new(8);
+        cache.insert_stamped(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 0), vec![(1, 0)]);
+        // A decrease in shard 0 to 1.0 could create a better route
+        // anywhere — the shard-1 entry must drop (could_beat).
+        let v1 = vector(1, &[1, 0]);
+        let (invalidated, promoted) =
+            cache.apply_shard_update(NodeId(0), NodeId(1), 5.0, 1.0, &[0], &v1);
+        assert_eq!((invalidated, promoted), (1, 0));
+        assert!(cache.lookup_vec(NodeId(4), NodeId(5), &v1).is_none());
+        // …and it retired into the stale tier like any invalidation.
+        assert!(cache.lookup_stale(NodeId(4), NodeId(5), 1, 8).is_some());
+    }
+
+    #[test]
+    fn stale_stamped_inserts_are_refused() {
+        let cache = RouteCache::new(8);
+        // A sweep installs shard 0 at version 2.
+        let v = vector(1, &[2]);
+        cache.apply_shard_update(NodeId(0), NodeId(1), 1.0, 9.0, &[0], &v);
+        // A worker that computed against shard 0 @ version 1 finishes
+        // late: refused.
+        cache.insert_stamped(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 0), vec![(0, 1)]);
+        assert!(cache.is_empty());
+        // At the swept version it is accepted.
+        cache.insert_stamped(NodeId(4), NodeId(5), route(&[4, 5], 7.0, 1), vec![(0, 2)]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn vector_lookup_misses_when_a_crossed_shard_moved() {
+        let cache = RouteCache::new(8);
+        cache.insert_stamped(
+            NodeId(0),
+            NodeId(3),
+            route(&[0, 1, 3], 2.0, 0),
+            vec![(0, 0), (1, 0)],
+        );
+        assert!(cache
+            .lookup_vec(NodeId(0), NodeId(3), &vector(0, &[0, 0]))
+            .is_some());
+        assert!(
+            cache
+                .lookup_vec(NodeId(0), NodeId(3), &vector(1, &[0, 1]))
+                .is_none(),
+            "shard 1 moved under the path"
+        );
+        // Epoch-keyed lookups never see stamped entries.
+        assert!(cache.lookup(NodeId(0), NodeId(3), 0).is_none());
     }
 
     #[test]

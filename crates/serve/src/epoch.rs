@@ -97,6 +97,69 @@ pub struct EpochUpdate {
     pub hierarchy: HierarchyRefresh,
 }
 
+/// Maintains a cloned snapshot's landmark (ALT) tables and contraction
+/// hierarchy for an edge-cost change from `old_cost` to `new_cost`:
+/// increases patch/customize (cheap, degraded-but-sound), decreases
+/// rebuild/re-contract (a failure leaves the stale artifact in place,
+/// marked not-current, so the degrade ladder serves a lower rung).
+///
+/// Shared by [`EpochDb`] (one global epoch) and
+/// [`crate::shard::ShardedEpochDb`] (per-shard epoch vector): the
+/// artifact contract is identical in both schemes — artifacts are
+/// whole-graph, only the *versioning* of installs differs.
+pub(crate) fn maintain_artifacts(
+    mut next: Database,
+    old_cost: f64,
+    new_cost: f64,
+) -> (Database, LandmarkRefresh, HierarchyRefresh) {
+    let mut landmarks = LandmarkRefresh::None;
+    let mut hierarchy = HierarchyRefresh::None;
+    if let Some(overlay) = next.hierarchy().cloned() {
+        if new_cost >= old_cost {
+            // Congestion: the overlay topology is metric-independent,
+            // so a customization pass re-prices every shortcut
+            // exactly — no re-contraction needed.
+            let customized = overlay.customized_for(next.graph());
+            next = next.with_hierarchy(customized);
+            hierarchy = HierarchyRefresh::Customized;
+        } else {
+            match overlay.rebuild_for(next.graph()) {
+                Ok(fresh) => {
+                    next = next.with_hierarchy(fresh);
+                    hierarchy = HierarchyRefresh::Recontracted;
+                }
+                // Leave the stale hierarchy in place — v5 then
+                // fails typed and the ladder serves v4/v3:
+                // degraded service, never a stale-priced
+                // shortcut.
+                Err(_) => hierarchy = HierarchyRefresh::RebuildFailed,
+            }
+        }
+    }
+    if let Some(tables) = next.landmarks().cloned() {
+        if new_cost >= old_cost {
+            let patched = tables.patched_for(next.graph());
+            next = next.with_landmarks(patched);
+            landmarks = LandmarkRefresh::Patched;
+        } else {
+            match tables.rebuild_for(next.graph()) {
+                Ok(fresh) => {
+                    next = next.with_landmarks(fresh);
+                    landmarks = LandmarkRefresh::Rebuilt;
+                }
+                // Leave the stale tables in place — v4 then
+                // fails typed and the degrade ladder serves v3:
+                // degraded service, not wrong answers. Reported
+                // so the serving layer can trip its landmark
+                // breaker instead of re-attempting the rebuild
+                // on every subsequent update.
+                Err(_) => landmarks = LandmarkRefresh::RebuildFailed,
+            }
+        }
+    }
+    (next, landmarks, hierarchy)
+}
+
 /// A database versioned by epochs: lock-briefly reads, copy-on-write
 /// updates.
 #[derive(Debug)]
@@ -201,49 +264,7 @@ impl EpochDb {
         let mut landmarks = LandmarkRefresh::None;
         let mut hierarchy = HierarchyRefresh::None;
         if updated > 0 {
-            if let Some(overlay) = next.hierarchy().cloned() {
-                if cost >= old_cost {
-                    // Congestion: the overlay topology is metric-independent,
-                    // so a customization pass re-prices every shortcut
-                    // exactly — no re-contraction needed.
-                    let customized = overlay.customized_for(next.graph());
-                    next = next.with_hierarchy(customized);
-                    hierarchy = HierarchyRefresh::Customized;
-                } else {
-                    match overlay.rebuild_for(next.graph()) {
-                        Ok(fresh) => {
-                            next = next.with_hierarchy(fresh);
-                            hierarchy = HierarchyRefresh::Recontracted;
-                        }
-                        // Leave the stale hierarchy in place — v5 then
-                        // fails typed and the ladder serves v4/v3:
-                        // degraded service, never a stale-priced
-                        // shortcut.
-                        Err(_) => hierarchy = HierarchyRefresh::RebuildFailed,
-                    }
-                }
-            }
-            if let Some(tables) = next.landmarks().cloned() {
-                if cost >= old_cost {
-                    let patched = tables.patched_for(next.graph());
-                    next = next.with_landmarks(patched);
-                    landmarks = LandmarkRefresh::Patched;
-                } else {
-                    match tables.rebuild_for(next.graph()) {
-                        Ok(fresh) => {
-                            next = next.with_landmarks(fresh);
-                            landmarks = LandmarkRefresh::Rebuilt;
-                        }
-                        // Leave the stale tables in place — v4 then
-                        // fails typed and the degrade ladder serves v3:
-                        // degraded service, not wrong answers. Reported
-                        // so the serving layer can trip its landmark
-                        // breaker instead of re-attempting the rebuild
-                        // on every subsequent update.
-                        Err(_) => landmarks = LandmarkRefresh::RebuildFailed,
-                    }
-                }
-            }
+            (next, landmarks, hierarchy) = maintain_artifacts(next, old_cost, cost);
         }
         let epoch = current.epoch + 1;
         *current = Snapshot {
@@ -357,7 +378,11 @@ mod tests {
 
         let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 8).unwrap();
         let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
-        let epochs = EpochDb::new(Database::open(grid.graph()).unwrap().with_hierarchy(overlay));
+        let epochs = EpochDb::new(
+            Database::open(grid.graph())
+                .unwrap()
+                .with_hierarchy(overlay),
+        );
         let (s, d) = grid.query_pair(QueryKind::Diagonal);
         let (a, b) = (grid.node_at(2, 2), grid.node_at(2, 3));
 

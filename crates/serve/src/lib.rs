@@ -90,6 +90,7 @@ pub mod chaos;
 pub mod epoch;
 pub mod error;
 pub mod service;
+pub mod shard;
 pub(crate) mod sync;
 
 pub use breaker::{
@@ -103,3 +104,4 @@ pub use error::{ServeError, ShedReason};
 pub use service::{
     Deadline, RequestClass, RouteAnswer, RouteOutcome, RouteService, ServeConfig, Ticket,
 };
+pub use shard::{EpochVector, ShardMap, ShardSnapshot, ShardedEpochDb, ShardedUpdate};

@@ -48,13 +48,32 @@
 //! a new epoch copy-on-write (running queries keep their snapshots) and
 //! sweeps the cache under the invalidation rule, retiring invalidated
 //! entries into the stale tier.
+//!
+//! ## Sharded epochs and batched expansion
+//!
+//! With [`ServeConfig::with_shards`] the epoch state is versioned per
+//! region-group shard (see `shard.rs`): an update bumps only the shards
+//! its edge touches, queries pin one consistent epoch *vector*, and the
+//! cache validates entries against the shard versions they were stamped
+//! with — so an update in one shard no longer invalidates routes that
+//! never cross it. With [`ServeConfig::with_batch_max`] a worker drains
+//! up to `batch_max` queued requests in one dequeue (never waiting for
+//! more — batching adds zero queueing latency), serves identical
+//! `(from, to)` keys from a single run, and — when the primary
+//! algorithm is Dijkstra — folds same-source requests into one shared
+//! frontier sweep (`dijkstra_many`) charged a single pass of block
+//! reads. Fairness bounds: a batch is drain-only (bound 1: no request
+//! ever waits for a batch to fill), and a shared run's cost budget is
+//! the *maximum* member allowance (bound 2: no member is aborted
+//! earlier than its solo run would have been).
 
 use crate::breaker::{
     Admission, BreakerConfig, BreakerState, BreakerTransition, CircuitBreaker, ProbeGuard,
 };
 use crate::cache::{CachedRoute, RouteCache};
-use crate::epoch::{EpochDb, EpochUpdate, HierarchyRefresh, LandmarkRefresh, Snapshot};
+use crate::epoch::{EpochUpdate, HierarchyRefresh, LandmarkRefresh, Snapshot};
 use crate::error::{ServeError, ShedReason};
+use crate::shard::{ShardMap, ShardSnapshot, ShardedEpochDb, ShardedUpdate};
 use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard};
 use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, BudgetKind, Budgets, Database};
 use atis_graph::{NodeId, Path};
@@ -177,6 +196,14 @@ pub struct ServeConfig {
     pub breaker: BreakerConfig,
     /// Oldest answer (in epochs) the stale-serve rung may return.
     pub stale_max_age: u64,
+    /// Epoch shards (region groups over the partition map). `1` keeps
+    /// the single global epoch; more shards confine an update's cache
+    /// invalidation to the shards its edge touches.
+    pub shards: usize,
+    /// Most requests a worker folds into one dequeue (≥ 1; `1` disables
+    /// batching). A batch is drain-only — a worker never waits for one
+    /// to fill.
+    pub batch_max: usize,
 }
 
 impl Default for ServeConfig {
@@ -191,6 +218,8 @@ impl Default for ServeConfig {
             retry_unit_ticks: 16,
             breaker: BreakerConfig::default(),
             stale_max_age: 8,
+            shards: 1,
+            batch_max: 1,
         }
     }
 }
@@ -241,6 +270,18 @@ impl ServeConfig {
     /// Overrides the maximum stale-serve age (epochs).
     pub fn with_stale_max_age(mut self, age: u64) -> Self {
         self.stale_max_age = age;
+        self
+    }
+
+    /// Overrides the epoch shard count (`1` = single global epoch).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Overrides the per-dequeue batch bound (`1` disables batching).
+    pub fn with_batch_max(mut self, batch_max: usize) -> Self {
+        self.batch_max = batch_max.max(1);
         self
     }
 }
@@ -389,12 +430,13 @@ struct Breakers {
 }
 
 struct Shared {
-    epochs: EpochDb,
+    epochs: ShardedEpochDb,
     cache: RouteCache,
     queue: Mutex<QueueState>,
     available: Condvar,
     queue_capacity: usize,
     algorithm: Algorithm,
+    batch_max: usize,
     default_deadline_ticks: u64,
     deadline_spend_fraction: f64,
     retry_unit_ticks: u64,
@@ -415,6 +457,12 @@ impl Shared {
     /// outermost lock in the declared order — see `sync.rs`).
     fn lock_queue(&self) -> MutexGuard<'_, QueueState> {
         sync::lock(&self.queue)
+    }
+
+    /// Whether epochs are sharded (more than one region group): selects
+    /// the stamped cache family over the legacy single-epoch one.
+    fn sharded(&self) -> bool {
+        !self.epochs.map().is_single()
     }
 
     fn now(&self) -> u64 {
@@ -543,13 +591,23 @@ impl RouteService {
         if let Some(m) = &metrics {
             cache = cache.with_metrics(m.clone());
         }
+        let map = if config.shards <= 1 {
+            ShardMap::single(db.graph().node_count())
+        } else {
+            ShardMap::build(db.graph(), config.shards)
+        };
+        if let Some(m) = &metrics {
+            m.set("serve_shards", map.shard_count() as u64);
+            m.set("serve_batch_max", config.batch_max.max(1) as u64);
+        }
         let shared = Arc::new(Shared {
-            epochs: EpochDb::new(db),
+            epochs: ShardedEpochDb::new(db, map),
             cache,
             queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
             queue_capacity: config.queue_capacity.max(1),
             algorithm: config.algorithm,
+            batch_max: config.batch_max.max(1),
             default_deadline_ticks: config.default_deadline_ticks.max(1),
             deadline_spend_fraction: config.deadline_spend_fraction.clamp(0.05, 1.0),
             retry_unit_ticks: config.retry_unit_ticks.max(1),
@@ -593,9 +651,20 @@ impl RouteService {
         self.shared.algorithm
     }
 
-    /// The current epoch.
+    /// The current epoch — the global install counter (every update
+    /// advances it, whichever shards it touches).
     pub fn epoch(&self) -> u64 {
-        self.shared.epochs.epoch()
+        self.shared.epochs.install()
+    }
+
+    /// The number of epoch shards (`1` = single global epoch).
+    pub fn shards(&self) -> usize {
+        self.shared.epochs.map().shard_count()
+    }
+
+    /// The per-dequeue batch bound (`1` = batching disabled).
+    pub fn batch_max(&self) -> usize {
+        self.shared.batch_max
     }
 
     /// The current virtual time, in ticks. Advances with admitted work
@@ -606,8 +675,19 @@ impl RouteService {
     }
 
     /// The current `(epoch, database)` snapshot — for read-only side
-    /// queries (`EVAL`) that must see one consistent epoch.
+    /// queries (`EVAL`) that must see one consistent epoch. The epoch
+    /// reported is the global install counter.
     pub fn snapshot(&self) -> Snapshot {
+        let snap = self.shared.epochs.snapshot();
+        Snapshot {
+            epoch: snap.install(),
+            db: snap.db,
+        }
+    }
+
+    /// The current sharded snapshot: the database plus the whole epoch
+    /// vector, pinned together under one lock acquisition.
+    pub fn shard_snapshot(&self) -> ShardSnapshot {
         self.shared.epochs.snapshot()
     }
 
@@ -768,7 +848,11 @@ impl RouteService {
         v: NodeId,
         cost: f64,
     ) -> Result<EpochUpdate, AlgorithmError> {
-        let update = self.shared.epochs.update_edge_cost(u, v, cost)?;
+        let ShardedUpdate {
+            update,
+            shards,
+            epochs,
+        } = self.shared.epochs.update_edge_cost(u, v, cost)?;
         match update.hierarchy {
             HierarchyRefresh::RebuildFailed => {
                 self.shared.inc("serve_hierarchy_rebuild_failed_total");
@@ -798,10 +882,20 @@ impl RouteService {
             }
             _ => {}
         }
-        let (invalidated, promoted) =
+        let (invalidated, promoted) = if self.shared.sharded() {
+            self.shared.cache.apply_shard_update(
+                u,
+                v,
+                update.old_cost,
+                update.new_cost,
+                &shards,
+                &epochs,
+            )
+        } else {
             self.shared
                 .cache
-                .apply_update(u, v, update.new_cost, update.epoch);
+                .apply_update(u, v, update.new_cost, update.epoch)
+        };
         self.shared.inc("serve_epoch_installs_total");
         self.shared.emit(ServeEvent::EpochInstalled {
             epoch: update.epoch,
@@ -809,6 +903,16 @@ impl RouteService {
             invalidated,
             promoted,
         });
+        if self.shared.sharded() {
+            self.shared.inc("serve_shard_installs_total");
+            self.shared.emit(ServeEvent::ShardEpochInstalled {
+                install: epochs.install(),
+                shards_touched: shards.len() as u64,
+                shards_total: self.shared.epochs.map().shard_count() as u64,
+                invalidated,
+                promoted,
+            });
+        }
         Ok(update)
     }
 }
@@ -828,11 +932,22 @@ impl Drop for RouteService {
 
 fn worker_loop(shared: &Shared, worker: usize) {
     loop {
-        let job = {
+        // Drain-only batching: take one job (waiting if necessary), then
+        // fold in whatever is *already* queued up to `batch_max`. A
+        // worker never waits for a batch to fill, so batching can only
+        // remove queueing latency, never add it (fairness bound 1).
+        let mut batch = {
             let mut queue = shared.lock_queue();
             loop {
                 if let Some(job) = queue.pop() {
-                    break job;
+                    let mut batch = vec![job];
+                    while batch.len() < shared.batch_max {
+                        match queue.pop() {
+                            Some(job) => batch.push(job),
+                            None => break,
+                        }
+                    }
+                    break batch;
                 }
                 if queue.closed {
                     return;
@@ -840,95 +955,451 @@ fn worker_loop(shared: &Shared, worker: usize) {
                 queue = sync::wait(&shared.available, queue);
             }
         };
-        let queue_wait = job.submitted.elapsed();
-        shared.observe("serve_queue_wait_seconds", queue_wait.as_secs_f64());
-        let now = shared.advance(1);
+        // One dequeue tick per admitted request, batched or not.
+        let now = shared.advance(batch.len() as u64);
 
-        // A deadline that passed while the request was queued: shed it
-        // without spending a single block read on it.
-        if job.deadline.expired(now) {
-            shared.shed_job(&job, ShedReason::DeadlineExpired, 0);
+        // Deadlines that passed while the requests were queued: shed
+        // them without spending a single block read.
+        let mut live: Vec<(Job, Duration)> = Vec::with_capacity(batch.len());
+        for job in batch.drain(..) {
+            if job.deadline.expired(now) {
+                shared.shed_job(&job, ShedReason::DeadlineExpired, 0);
+            } else {
+                let queue_wait = job.submitted.elapsed();
+                shared.observe("serve_queue_wait_seconds", queue_wait.as_secs_f64());
+                live.push((job, queue_wait));
+            }
+        }
+        if live.is_empty() {
             continue;
         }
 
+        // One pinned snapshot per batch: every member sees the same
+        // database and the same (whole) epoch vector.
         let snapshot = shared.epochs.snapshot();
-        shared.emit(ServeEvent::Started {
-            request: job.id,
-            worker: worker as u64,
-            epoch: snapshot.epoch,
-        });
-
-        let started = Instant::now();
-        let (outcome, consumed) = execute(shared, &snapshot, &job, now);
-        let service_time = started.elapsed();
-        shared.observe("serve_service_seconds", service_time.as_secs_f64());
-        shared.inc("serve_requests_total");
-        shared.inc(&format!("serve_worker_{worker}_requests_total"));
-        // The run ticks the virtual clock by what it consumed whether it
-        // completed or died: a cost-budget abort burned its whole
-        // allowance before the meter fired, and any other failed run is
-        // charged a one-unit floor — so breaker open-windows and queued
-        // deadlines keep progressing under fault storms instead of
-        // freezing while every run fails.
-        shared.advance(consumed);
-
-        let answer = outcome.map(|exec| {
-            if let RouteOutcome::Stale { age } = exec.outcome {
-                shared.inc("serve_stale_served_total");
-                shared.emit(ServeEvent::StaleServed {
-                    request: job.id,
-                    epoch: exec.epoch,
-                    age,
-                });
-            }
-            if let RouteOutcome::Degraded { .. } = exec.outcome {
-                shared.inc("serve_degraded_total");
-            }
-            shared.emit(ServeEvent::Completed {
+        for (job, _) in &live {
+            shared.emit(ServeEvent::Started {
                 request: job.id,
                 worker: worker as u64,
-                epoch: exec.epoch,
-                cached: exec.outcome == RouteOutcome::CacheHit,
-                found: exec.path.is_some(),
+                epoch: snapshot.install(),
             });
-            RouteAnswer {
-                path: exec.path,
-                epoch: exec.epoch,
-                outcome: exec.outcome,
-                deadline: job.deadline,
-                class: job.class,
-                cached: exec.outcome == RouteOutcome::CacheHit,
-                iterations: exec.iterations,
-                cost_units: exec.cost_units,
-                queue_wait,
-                service_time,
-                worker,
+        }
+
+        if live.len() == 1 {
+            // The solo path — byte-for-byte the pre-batching life cycle.
+            let Some((job, queue_wait)) = live.pop() else {
+                continue;
+            };
+            let started = Instant::now();
+            let (outcome, consumed) = execute(shared, &snapshot, &job, job.deadline, now);
+            let service_time = started.elapsed();
+            // The run ticks the virtual clock by what it consumed whether
+            // it completed or died: a cost-budget abort burned its whole
+            // allowance before the meter fired, and any other failed run
+            // is charged a one-unit floor — so breaker open-windows and
+            // queued deadlines keep progressing under fault storms
+            // instead of freezing while every run fails.
+            shared.advance(consumed);
+            finish(shared, worker, job, queue_wait, service_time, outcome);
+            continue;
+        }
+
+        // The batched path: identical (from, to) keys collapse into one
+        // run (singleflight), and — when the primary algorithm is
+        // Dijkstra — same-source groups share one multi-target frontier
+        // sweep charged a single pass of block reads.
+        let size = live.len() as u64;
+        let mut groups: Vec<Group> = Vec::new();
+        for (job, wait) in live {
+            match groups
+                .iter_mut()
+                .find(|g| g.from == job.from && g.to == job.to)
+            {
+                Some(g) => g.members.push((job, wait)),
+                None => groups.push(Group {
+                    from: job.from,
+                    to: job.to,
+                    members: vec![(job, wait)],
+                }),
             }
+        }
+        shared.observe("serve_batch_size", size as f64);
+        shared.emit(ServeEvent::BatchExecuted {
+            worker: worker as u64,
+            size,
+            groups: groups.len() as u64,
+            epoch: snapshot.install(),
         });
-        match answer {
-            Err(ServeError::Shed {
-                reason,
-                retry_after,
-                queue_depth,
-            }) => {
-                // A mid-run shed already carries its true back-off hint
-                // (the breaker's remaining countdown, a deadline
-                // renewal) and its consumed cost was metered above:
-                // resolve it as-is instead of recomputing the hint from
-                // queue depth.
-                shared.resolve_shed(&job, reason, retry_after, queue_depth);
-            }
-            other => {
-                if other.is_err() {
-                    shared.inc("serve_failed_total");
+
+        if shared.algorithm == Algorithm::Dijkstra {
+            // Cluster the groups by source; each multi-group cluster
+            // becomes one shared sweep.
+            let mut clusters: Vec<Vec<Group>> = Vec::new();
+            for group in groups {
+                match clusters
+                    .iter_mut()
+                    .find(|c| c.first().is_some_and(|g| g.from == group.from))
+                {
+                    Some(c) => c.push(group),
+                    None => clusters.push(vec![group]),
                 }
-                job.ticket.resolve(other);
+            }
+            for mut cluster in clusters {
+                if cluster.len() == 1 {
+                    if let Some(group) = cluster.pop() {
+                        run_group(shared, worker, &snapshot, group, now);
+                    }
+                } else {
+                    run_cluster(shared, worker, &snapshot, cluster, now);
+                }
+            }
+        } else {
+            for group in groups {
+                run_group(shared, worker, &snapshot, group, now);
             }
         }
     }
 }
 
-/// What one executed request produced.
+/// One singleflight batch group: requests for the same `(from, to)` key
+/// served by a single run.
+struct Group {
+    from: NodeId,
+    to: NodeId,
+    members: Vec<(Job, Duration)>,
+}
+
+impl Group {
+    /// The latest member deadline — a shared run's budget covers every
+    /// member's own allowance (fairness bound 2).
+    fn deadline(&self) -> Deadline {
+        self.members
+            .iter()
+            .map(|(job, _)| job.deadline)
+            .max()
+            .unwrap_or(Deadline { expires_at: 0 })
+    }
+}
+
+/// Classifies one request's result, counts it, emits its life-cycle
+/// events, and resolves its ticket. The caller has already advanced the
+/// virtual clock for the work consumed.
+fn finish(
+    shared: &Shared,
+    worker: usize,
+    job: Job,
+    queue_wait: Duration,
+    service_time: Duration,
+    outcome: Result<Exec, ServeError>,
+) {
+    shared.observe("serve_service_seconds", service_time.as_secs_f64());
+    shared.inc("serve_requests_total");
+    shared.inc(&format!("serve_worker_{worker}_requests_total"));
+    let answer = outcome.map(|exec| {
+        if let RouteOutcome::Stale { age } = exec.outcome {
+            shared.inc("serve_stale_served_total");
+            shared.emit(ServeEvent::StaleServed {
+                request: job.id,
+                epoch: exec.epoch,
+                age,
+            });
+        }
+        if let RouteOutcome::Degraded { .. } = exec.outcome {
+            shared.inc("serve_degraded_total");
+        }
+        shared.emit(ServeEvent::Completed {
+            request: job.id,
+            worker: worker as u64,
+            epoch: exec.epoch,
+            cached: exec.outcome == RouteOutcome::CacheHit,
+            found: exec.path.is_some(),
+        });
+        RouteAnswer {
+            path: exec.path,
+            epoch: exec.epoch,
+            outcome: exec.outcome,
+            deadline: job.deadline,
+            class: job.class,
+            cached: exec.outcome == RouteOutcome::CacheHit,
+            iterations: exec.iterations,
+            cost_units: exec.cost_units,
+            queue_wait,
+            service_time,
+            worker,
+        }
+    });
+    match answer {
+        Err(ServeError::Shed {
+            reason,
+            retry_after,
+            queue_depth,
+        }) => {
+            // A mid-run shed already carries its true back-off hint
+            // (the breaker's remaining countdown, a deadline
+            // renewal) and its consumed cost was metered above:
+            // resolve it as-is instead of recomputing the hint from
+            // queue depth.
+            shared.resolve_shed(&job, reason, retry_after, queue_depth);
+        }
+        other => {
+            if other.is_err() {
+                shared.inc("serve_failed_total");
+            }
+            job.ticket.resolve(other);
+        }
+    }
+}
+
+/// Resolves every member of a singleflight group with (a clone of) the
+/// group's one result.
+fn resolve_group(
+    shared: &Shared,
+    worker: usize,
+    group: Group,
+    result: Result<Exec, ServeError>,
+    service_time: Duration,
+) {
+    for (job, wait) in group.members {
+        finish(shared, worker, job, wait, service_time, result.clone());
+    }
+}
+
+/// Runs one batch group through the full solo ladder (cache, breakers,
+/// degrade rungs, stale tier) exactly once, under the group deadline,
+/// and fans the result out to every member.
+fn run_group(shared: &Shared, worker: usize, snapshot: &ShardSnapshot, group: Group, now: u64) {
+    let deadline = group.deadline();
+    let started = Instant::now();
+    let (result, consumed) = match group.members.first() {
+        Some((lead, _)) => execute(shared, snapshot, lead, deadline, now),
+        None => return,
+    };
+    shared.advance(consumed);
+    let service_time = started.elapsed();
+    resolve_group(shared, worker, group, result, service_time);
+}
+
+/// Runs a same-source cluster of ≥ 2 Dijkstra groups as **one** shared
+/// frontier sweep: per-group cache lookups first, then a single
+/// `dijkstra_many` run whose charged I/O pass serves every remaining
+/// frontier, under the maximum member allowance.
+fn run_cluster(
+    shared: &Shared,
+    worker: usize,
+    snapshot: &ShardSnapshot,
+    cluster: Vec<Group>,
+    now: u64,
+) {
+    let started = Instant::now();
+    let Some(source) = cluster.first().map(|g| g.from) else {
+        return;
+    };
+    let install = snapshot.install();
+
+    // Cache first: a hit detaches its group from the sweep entirely.
+    let mut misses: Vec<Group> = Vec::new();
+    for group in cluster {
+        if let Some(hit) = cache_lookup(shared, snapshot, group.from, group.to) {
+            if let Some((lead, _)) = group.members.first() {
+                shared.emit(ServeEvent::CacheHit {
+                    request: lead.id,
+                    epoch: install,
+                });
+            }
+            shared.advance(ticks(hit.cost_units));
+            let exec = Exec {
+                path: Some(hit.path),
+                outcome: RouteOutcome::CacheHit,
+                epoch: install,
+                iterations: hit.iterations,
+                cost_units: hit.cost_units,
+            };
+            resolve_group(shared, worker, group, Ok(exec), started.elapsed());
+        } else {
+            misses.push(group);
+        }
+    }
+    if misses.is_empty() {
+        return;
+    }
+
+    // Unknown endpoints fail per request, exactly as solo runs do — one
+    // bad destination must not poison the shared sweep.
+    if !snapshot.db.graph().contains(source) {
+        let service_time = started.elapsed();
+        for group in misses {
+            shared.advance(1);
+            resolve_group(
+                shared,
+                worker,
+                group,
+                Err(ServeError::from(AlgorithmError::UnknownSource(source))),
+                service_time,
+            );
+        }
+        return;
+    }
+    let mut valid: Vec<Group> = Vec::new();
+    for group in misses {
+        if snapshot.db.graph().contains(group.to) {
+            valid.push(group);
+        } else {
+            shared.advance(1);
+            let err = Err(ServeError::from(AlgorithmError::UnknownDestination(
+                group.to,
+            )));
+            resolve_group(shared, worker, group, err, started.elapsed());
+        }
+    }
+    if valid.is_empty() {
+        return;
+    }
+
+    // The shared budget is the *maximum* member allowance: if the sweep
+    // aborts on it, every member's own (smaller or equal) solo budget
+    // would have aborted too, so shedding the whole cluster is sound.
+    let deadline = valid
+        .iter()
+        .map(Group::deadline)
+        .max()
+        .unwrap_or(Deadline { expires_at: 0 });
+    let remaining = deadline.remaining(now);
+    let allowance = (remaining as f64) * shared.deadline_spend_fraction;
+    let budgets = snapshot
+        .db
+        .budgets()
+        .min_with(Budgets::unlimited().with_max_cost_units(allowance.max(1.0)));
+    let deadline_binding = budgets.max_cost_units == Some(allowance.max(1.0));
+
+    let (storage_admission, t) = shared.breakers.storage.admit(now);
+    shared.emit_transition("storage", t);
+    if let Admission::Deny { retry_after } = storage_admission {
+        for group in valid {
+            let result = stale_or_shed(shared, snapshot, group.from, group.to, retry_after);
+            if let Ok(exec) = &result {
+                shared.advance(ticks(exec.cost_units));
+            }
+            resolve_group(shared, worker, group, result, started.elapsed());
+        }
+        return;
+    }
+    let mut storage_probe = ProbeGuard::new(&shared.breakers.storage, storage_admission);
+
+    let targets: Vec<NodeId> = valid.iter().map(|g| g.to).collect();
+    let mut consumed: u64 = 0;
+    let mut result =
+        snapshot
+            .db
+            .run_many_with_budgets(Algorithm::Dijkstra, source, &targets, budgets);
+    if let Err(AlgorithmError::Storage(_)) = &result {
+        let t = storage_probe.failure(now);
+        shared.emit_transition("storage", t);
+        if matches!(
+            shared.breakers.storage.state(),
+            BreakerState::Closed | BreakerState::HalfOpen
+        ) {
+            consumed += 1;
+            result =
+                snapshot
+                    .db
+                    .run_many_with_budgets(Algorithm::Dijkstra, source, &targets, budgets);
+        }
+    }
+    match result {
+        Ok(traces) => {
+            let t = storage_probe.success();
+            shared.emit_transition("storage", t);
+            shared.inc("serve_batched_runs_total");
+            // Every trace carries the same shared I/O: the sweep is
+            // charged exactly once, which is the entire point.
+            let cost_units = traces
+                .first()
+                .map_or(0.0, |trace| trace.cost_units(snapshot.db.params()));
+            consumed += ticks(cost_units);
+            shared.advance(consumed);
+            let service_time = started.elapsed();
+            for (group, trace) in valid.into_iter().zip(traces) {
+                if let Some(path) = &trace.path {
+                    cache_insert(
+                        shared,
+                        snapshot,
+                        group.from,
+                        group.to,
+                        path.clone(),
+                        trace.iterations,
+                        cost_units,
+                    );
+                }
+                let exec = Exec {
+                    path: trace.path,
+                    outcome: RouteOutcome::Computed,
+                    epoch: install,
+                    iterations: trace.iterations,
+                    cost_units,
+                };
+                resolve_group(shared, worker, group, Ok(exec), service_time);
+            }
+        }
+        Err(e) => {
+            consumed += match &e {
+                AlgorithmError::BudgetExceeded(BudgetKind::CostUnits) => {
+                    budgets.max_cost_units.map_or(1, ticks).max(1)
+                }
+                _ => 1,
+            };
+            shared.advance(consumed);
+            let service_time = started.elapsed();
+            match e {
+                AlgorithmError::BudgetExceeded(BudgetKind::CostUnits) if deadline_binding => {
+                    for group in valid {
+                        let shed = Err(ServeError::Shed {
+                            reason: ShedReason::DeadlineExpired,
+                            retry_after: shared.default_deadline_ticks,
+                            queue_depth: 0,
+                        });
+                        resolve_group(shared, worker, group, shed, service_time);
+                    }
+                }
+                e @ AlgorithmError::Storage(_) => {
+                    let t = storage_probe.failure(now);
+                    shared.emit_transition("storage", t);
+                    for group in valid {
+                        let result = match stale_or_shed(
+                            shared,
+                            snapshot,
+                            group.from,
+                            group.to,
+                            shared.retry_unit_ticks,
+                        ) {
+                            Ok(exec) => {
+                                shared.advance(ticks(exec.cost_units));
+                                Ok(exec)
+                            }
+                            Err(ServeError::Shed { .. }) => Err(ServeError::from(e.clone())),
+                            Err(other) => Err(other),
+                        };
+                        resolve_group(shared, worker, group, result, service_time);
+                    }
+                }
+                e => {
+                    for group in valid {
+                        resolve_group(
+                            shared,
+                            worker,
+                            group,
+                            Err(ServeError::from(e.clone())),
+                            service_time,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// What one executed request produced. Cloneable so a singleflight
+/// group can fan one result out to every member.
+#[derive(Clone)]
 struct Exec {
     path: Option<Path>,
     outcome: RouteOutcome,
@@ -953,21 +1424,23 @@ fn ticks(cost_units: f64) -> u64 {
 /// virtual clock for aborted work too, not just completed work.
 fn execute(
     shared: &Shared,
-    snapshot: &Snapshot,
+    snapshot: &ShardSnapshot,
     job: &Job,
+    deadline: Deadline,
     now: u64,
 ) -> (Result<Exec, ServeError>, u64) {
-    if let Some(hit) = shared.cache.lookup(job.from, job.to, snapshot.epoch) {
+    let install = snapshot.install();
+    if let Some(hit) = cache_lookup(shared, snapshot, job.from, job.to) {
         shared.emit(ServeEvent::CacheHit {
             request: job.id,
-            epoch: snapshot.epoch,
+            epoch: install,
         });
         let consumed = ticks(hit.cost_units);
         return (
             Ok(Exec {
                 path: Some(hit.path),
                 outcome: RouteOutcome::CacheHit,
-                epoch: snapshot.epoch,
+                epoch: install,
                 iterations: hit.iterations,
                 cost_units: hit.cost_units,
             }),
@@ -977,8 +1450,9 @@ fn execute(
 
     // The deadline-derived budget: the run may spend at most
     // `deadline_spend_fraction` of the remaining ticks as cost units,
-    // intersected with the database's own standing budgets.
-    let remaining = job.deadline.remaining(now);
+    // intersected with the database's own standing budgets. `deadline`
+    // is the job's own for solo runs, the group maximum for batches.
+    let remaining = deadline.remaining(now);
     let allowance = (remaining as f64) * shared.deadline_spend_fraction;
     let budgets = snapshot
         .db
@@ -991,7 +1465,7 @@ fn execute(
     let (storage_admission, t) = shared.breakers.storage.admit(now);
     shared.emit_transition("storage", t);
     if let Admission::Deny { retry_after } = storage_admission {
-        let result = stale_or_shed(shared, snapshot, job, retry_after);
+        let result = stale_or_shed(shared, snapshot, job.from, job.to, retry_after);
         let consumed = result.as_ref().map_or(0, |exec| ticks(exec.cost_units));
         return (result, consumed);
     }
@@ -1136,15 +1610,14 @@ fn execute(
             let cost_units = trace.cost_units(snapshot.db.params());
             consumed += ticks(cost_units);
             if let Some(path) = &trace.path {
-                shared.cache.insert(
+                cache_insert(
+                    shared,
+                    snapshot,
                     job.from,
                     job.to,
-                    CachedRoute {
-                        path: path.clone(),
-                        epoch: snapshot.epoch,
-                        iterations: trace.iterations,
-                        cost_units,
-                    },
+                    path.clone(),
+                    trace.iterations,
+                    cost_units,
                 );
             }
             let outcome = if rung == "primary" {
@@ -1156,7 +1629,7 @@ fn execute(
                 Ok(Exec {
                     path: trace.path,
                     outcome,
-                    epoch: snapshot.epoch,
+                    epoch: install,
                     iterations: trace.iterations,
                     cost_units,
                 }),
@@ -1191,8 +1664,13 @@ fn execute(
                 e @ AlgorithmError::Storage(_) => {
                     let t = storage_probe.failure(now);
                     shared.emit_transition("storage", t);
-                    let result = match stale_or_shed(shared, snapshot, job, shared.retry_unit_ticks)
-                    {
+                    let result = match stale_or_shed(
+                        shared,
+                        snapshot,
+                        job.from,
+                        job.to,
+                        shared.retry_unit_ticks,
+                    ) {
                         Ok(exec) => Ok(exec),
                         Err(ServeError::Shed { .. }) => Err(ServeError::from(e)),
                         Err(other) => Err(other),
@@ -1208,18 +1686,76 @@ fn execute(
     }
 }
 
+/// Looks a key up in the cache family the service runs: the legacy
+/// single-epoch check in global mode, the stamped epoch-vector check in
+/// sharded mode.
+fn cache_lookup(
+    shared: &Shared,
+    snapshot: &ShardSnapshot,
+    from: NodeId,
+    to: NodeId,
+) -> Option<CachedRoute> {
+    if shared.sharded() {
+        shared.cache.lookup_vec(from, to, &snapshot.epochs)
+    } else {
+        shared.cache.lookup(from, to, snapshot.install())
+    }
+}
+
+/// Inserts a computed route into the running cache family. In sharded
+/// mode the entry is stamped with the version (from the pinned vector)
+/// of every shard the path crosses.
+fn cache_insert(
+    shared: &Shared,
+    snapshot: &ShardSnapshot,
+    from: NodeId,
+    to: NodeId,
+    path: Path,
+    iterations: u64,
+    cost_units: f64,
+) {
+    if shared.sharded() {
+        let stamps: Vec<(u32, u64)> = shared
+            .epochs
+            .map()
+            .path_shards(&path.nodes)
+            .into_iter()
+            .map(|shard| (shard, snapshot.epochs.version(shard)))
+            .collect();
+        let route = CachedRoute {
+            path,
+            epoch: snapshot.install(),
+            iterations,
+            cost_units,
+        };
+        shared.cache.insert_stamped(from, to, route, stamps);
+    } else {
+        shared.cache.insert(
+            from,
+            to,
+            CachedRoute {
+                path,
+                epoch: snapshot.install(),
+                iterations,
+                cost_units,
+            },
+        );
+    }
+}
+
 /// The ladder's last rung: a stale-tier answer tagged with its age, or a
 /// typed breaker-open shed when even that is empty.
 fn stale_or_shed(
     shared: &Shared,
-    snapshot: &Snapshot,
-    job: &Job,
+    snapshot: &ShardSnapshot,
+    from: NodeId,
+    to: NodeId,
     retry_after: u64,
 ) -> Result<Exec, ServeError> {
     if let Some((route, age)) =
         shared
             .cache
-            .lookup_stale(job.from, job.to, snapshot.epoch, shared.stale_max_age)
+            .lookup_stale(from, to, snapshot.install(), shared.stale_max_age)
     {
         return Ok(Exec {
             path: Some(route.path),
@@ -1762,7 +2298,9 @@ mod tests {
         use atis_hierarchy::{Hierarchy, HierarchyConfig};
         let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
         let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
-        let db = Database::open(grid.graph()).unwrap().with_hierarchy(overlay);
+        let db = Database::open(grid.graph())
+            .unwrap()
+            .with_hierarchy(overlay);
         let service = RouteService::new(
             db,
             ServeConfig::default()
@@ -1816,7 +2354,9 @@ mod tests {
         let registry = MetricsRegistry::shared();
         let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
         let overlay = Hierarchy::build(grid.graph(), HierarchyConfig::paper()).unwrap();
-        let db = Database::open(grid.graph()).unwrap().with_hierarchy(overlay);
+        let db = Database::open(grid.graph())
+            .unwrap()
+            .with_hierarchy(overlay);
         let service = RouteService::with_observability(
             db,
             ServeConfig::default()
@@ -1919,5 +2459,222 @@ mod tests {
         let answer = service.route(s, d).unwrap();
         assert_eq!(answer.outcome, RouteOutcome::Computed);
         assert_eq!(service.breaker_state("storage"), Some(BreakerState::Closed));
+    }
+
+    /// A grid big enough for the partition map to yield several regions
+    /// (and so several shards) — the 6×6 test grid collapses to one.
+    fn sharded_service(config: ServeConfig) -> (RouteService, Grid) {
+        let grid = Grid::new(32, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let db = Database::open(grid.graph()).unwrap();
+        (RouteService::new(db, config), grid)
+    }
+
+    #[test]
+    fn sharded_answers_match_the_global_mode_across_updates() {
+        let grid = Grid::new(32, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let global = RouteService::new(
+            Database::open(grid.graph()).unwrap(),
+            ServeConfig::default().with_workers(1),
+        );
+        let sharded = RouteService::new(
+            Database::open(grid.graph()).unwrap(),
+            ServeConfig::default().with_workers(1).with_shards(8),
+        );
+        assert!(sharded.shards() > 1, "the 32-grid must split into shards");
+        let pairs = [
+            (grid.node_at(0, 0), grid.node_at(31, 31)),
+            (grid.node_at(0, 31), grid.node_at(31, 0)),
+            (grid.node_at(4, 4), grid.node_at(27, 29)),
+        ];
+        for (u, v, cost) in [
+            (grid.node_at(10, 10), grid.node_at(10, 11), 9.0),
+            (grid.node_at(30, 30), grid.node_at(30, 31), 11.0),
+        ] {
+            global.update_edge_cost(u, v, cost).unwrap();
+            sharded.update_edge_cost(u, v, cost).unwrap();
+            for &(s, d) in &pairs {
+                let a = global.route(s, d).unwrap();
+                let b = sharded.route(s, d).unwrap();
+                assert_eq!(
+                    a.path.as_ref().map(|p| &p.nodes),
+                    b.path.as_ref().map(|p| &p.nodes),
+                    "sharded answers must be bit-identical to global ones"
+                );
+                assert_eq!(a.path.map(|p| p.cost), b.path.map(|p| p.cost));
+                assert_eq!(a.epoch, b.epoch, "both modes count installs globally");
+            }
+        }
+    }
+
+    #[test]
+    fn a_far_shard_update_keeps_a_sharded_route_cached_where_global_drops_it() {
+        // A cheap jam increase on a far-away edge: the legacy cache
+        // cannot see the old cost, so `new_cost < path.cost` forces it
+        // to drop the entry; the sharded cache sees the update never
+        // touches the route's shards and keeps it hot.
+        let (global, grid) = sharded_service(ServeConfig::default().with_workers(1));
+        let (sharded, _) = sharded_service(ServeConfig::default().with_workers(1).with_shards(8));
+        let (s, d) = (grid.node_at(0, 0), grid.node_at(0, 3));
+        let (ju, jv) = (grid.node_at(31, 30), grid.node_at(31, 31));
+        for service in [&global, &sharded] {
+            assert_eq!(service.route(s, d).unwrap().outcome, RouteOutcome::Computed);
+            service.update_edge_cost(ju, jv, 2.5).unwrap();
+        }
+        assert_eq!(
+            sharded.route(s, d).unwrap().outcome,
+            RouteOutcome::CacheHit,
+            "an untouched-shard route must survive the update"
+        );
+        assert_ne!(
+            global.route(s, d).unwrap().outcome,
+            RouteOutcome::CacheHit,
+            "the global epoch must have dropped the same route"
+        );
+    }
+
+    /// Spin until the worker pool has emitted `Started` for `request` —
+    /// the deterministic "the plug is running solo" barrier the batching
+    /// tests queue up behind.
+    fn wait_for_started(sink: &std::sync::Arc<RingSink>, request: u64) {
+        for _ in 0..20_000 {
+            let started = sink.events().iter().any(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Serve(ServeEvent::Started { request: r, .. }) if *r == request
+                )
+            });
+            if started {
+                return;
+            }
+            std::thread::sleep(Duration::from_micros(50));
+        }
+        panic!("worker never started request {request}");
+    }
+
+    #[test]
+    fn a_batched_worker_folds_queued_requests_into_one_shared_sweep() {
+        use atis_storage::FaultPlan;
+        let registry = MetricsRegistry::shared();
+        let sink = RingSink::shared(256);
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        // Slow, reliable reads: the plug request holds the lone worker
+        // for milliseconds while the microsecond-scale submits below
+        // pile up behind it.
+        let db = Database::open(grid.graph()).unwrap().with_fault_plan(
+            FaultPlan::inert(0x5EED).with_read_latency(Duration::from_micros(100)),
+        );
+        let oracle = Database::open(grid.graph()).unwrap();
+        let service = RouteService::with_observability(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_batch_max(8)
+                .with_cache_capacity(0)
+                .with_algorithm(Algorithm::Dijkstra),
+            Some(registry.clone()),
+            Some(sink.clone()),
+        );
+        let plug = service
+            .submit(grid.node_at(5, 5), grid.node_at(0, 0))
+            .unwrap();
+        wait_for_started(&sink, plug.id());
+        let s = grid.node_at(0, 0);
+        let targets = [
+            grid.node_at(5, 5),
+            grid.node_at(0, 5),
+            grid.node_at(5, 0),
+            grid.node_at(5, 5), // duplicate key: singleflight member
+        ];
+        let tickets: Vec<Ticket> = targets
+            .iter()
+            .map(|&d| service.submit(s, d).unwrap())
+            .collect();
+        plug.wait().unwrap();
+        let answers: Vec<RouteAnswer> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        for (answer, &d) in answers.iter().zip(&targets) {
+            let solo = oracle.run(Algorithm::Dijkstra, s, d).unwrap();
+            assert_eq!(
+                answer.path.as_ref().unwrap().nodes,
+                solo.path.as_ref().unwrap().nodes,
+                "batched answers must be bit-identical to solo runs"
+            );
+            assert_eq!(answer.iterations, solo.iterations);
+            assert_eq!(answer.outcome, RouteOutcome::Computed);
+        }
+        // All four answers came from one charged sweep: every member
+        // reports the same shared cost, and exactly one batch ran.
+        assert!(answers
+            .iter()
+            .all(|a| a.cost_units == answers[0].cost_units));
+        assert_eq!(registry.counter("serve_batched_runs_total"), 1);
+        let batches: Vec<(u64, u64)> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Serve(ServeEvent::BatchExecuted { size, groups, .. }) => {
+                    Some((*size, *groups))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, vec![(4, 3)], "4 requests, 3 distinct keys");
+    }
+
+    #[test]
+    fn batching_never_regresses_a_lone_interactive_request() {
+        // Fairness bound 1 (drain-only): with an idle queue a batched
+        // service serves a lone request exactly as an unbatched one —
+        // same outcome, same clock charge, no waiting for a batch.
+        let (batched, grid) =
+            grid_service(ServeConfig::default().with_workers(1).with_batch_max(8));
+        let (plain, _) = grid_service(ServeConfig::default().with_workers(1));
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let a = batched.route(s, d).unwrap();
+        let b = plain.route(s, d).unwrap();
+        assert_eq!(
+            a.path.as_ref().map(|p| &p.nodes),
+            b.path.as_ref().map(|p| &p.nodes)
+        );
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.cost_units, b.cost_units);
+        assert_eq!(batched.now_ticks(), plain.now_ticks());
+    }
+
+    #[test]
+    fn batched_non_dijkstra_groups_run_singleflight_per_key() {
+        // An estimator-guided primary cannot share frontiers, but
+        // identical (from, to) keys still collapse into one run.
+        use atis_storage::FaultPlan;
+        let registry = MetricsRegistry::shared();
+        let sink = RingSink::shared(256);
+        let grid = Grid::new(6, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let db = Database::open(grid.graph()).unwrap().with_fault_plan(
+            FaultPlan::inert(0x5EED).with_read_latency(Duration::from_micros(100)),
+        );
+        let service = RouteService::with_observability(
+            db,
+            ServeConfig::default()
+                .with_workers(1)
+                .with_batch_max(8)
+                .with_cache_capacity(0),
+            Some(registry.clone()),
+            Some(sink.clone()),
+        );
+        let plug = service
+            .submit(grid.node_at(5, 5), grid.node_at(0, 0))
+            .unwrap();
+        wait_for_started(&sink, plug.id());
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let tickets: Vec<Ticket> = (0..3).map(|_| service.submit(s, d).unwrap()).collect();
+        plug.wait().unwrap();
+        let answers: Vec<RouteAnswer> = tickets.into_iter().map(|t| t.wait().unwrap()).collect();
+        assert!(answers.iter().all(|a| a.outcome == RouteOutcome::Computed));
+        assert!(answers
+            .windows(2)
+            .all(|w| w[0].path.as_ref().unwrap().nodes == w[1].path.as_ref().unwrap().nodes));
+        // No shared sweep ran (not Dijkstra), every request was counted,
+        // and the singleflight saved two runs' worth of cache misses.
+        assert_eq!(registry.counter("serve_batched_runs_total"), 0);
+        assert_eq!(registry.counter("serve_requests_total"), 4);
     }
 }

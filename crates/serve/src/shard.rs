@@ -1,0 +1,405 @@
+//! Sharded epoch state: per-shard versions so an `UPDATE` does not
+//! stop the world.
+//!
+//! The global [`crate::epoch::EpochDb`] stamps every install with one
+//! epoch number, which makes *every* update look like it touched the
+//! whole network: the route cache must sweep (and re-stamp) every
+//! entry, and a cached route between two untouched suburbs misses just
+//! because a street jammed on the other side of the city.
+//!
+//! Sharding splits the serving state along the storage engine's own
+//! [`PartitionMap`] region groups ([`ShardMap`]): each shard carries its
+//! own version counter, and an update bumps only the shards whose
+//! blocks it touches — the endpoints' shards — plus one global
+//! *install* counter that totally orders installs.
+//!
+//! ## The epoch-vector consistency rule
+//!
+//! A query pins one [`ShardSnapshot`]: the `Arc<Database>` plus the
+//! whole [`EpochVector`] it was installed with, taken under one lock
+//! acquisition. Because the database and the vector are replaced
+//! together atomically, every cross-shard route runs against *one*
+//! consistent vector — it can never observe shard 3 at version 5 and
+//! shard 4 at version 4 from two different installs. Answers carry the
+//! snapshot's install counter, which plays the role the scalar epoch
+//! played before: a total order on what the answer reflects.
+//!
+//! Cached routes are then validated per shard: an entry stamped with
+//! the versions of the shards its path crosses is still exact at a
+//! later snapshot as long as those per-shard versions are unchanged —
+//! updates elsewhere provably cannot have touched it (see `cache.rs`
+//! for the full invalidation rule).
+//!
+//! The database itself stays whole-graph (one `Arc<Database>` per
+//! install): sharding versions the *validity* of derived state, it does
+//! not split the storage engine. Landmark tables and the contraction
+//! hierarchy remain whole-graph epoch artifacts maintained exactly as
+//! in the global scheme (`maintain_artifacts`).
+
+use crate::epoch::{maintain_artifacts, EpochUpdate, HierarchyRefresh, LandmarkRefresh};
+use crate::sync::{self, Arc, Mutex, MutexGuard};
+use atis_algorithms::{AlgorithmError, Database};
+use atis_graph::{Graph, NodeId, PartitionMap};
+
+/// Region size the partitioner targets when building shard maps — the
+/// workspace convention (storage blocks, hierarchy ordering, scaling
+/// bench all partition at 256).
+const REGION_TARGET: usize = 256;
+
+/// Maps every node to a serving shard: a contiguous group of
+/// [`PartitionMap`] regions.
+///
+/// Shards follow the storage layout on purpose: regions are
+/// block-aligned (PR 7's class-aware BFS partitioning), so the shards
+/// whose versions an update bumps are exactly the region groups whose
+/// blocks it dirtied.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    shard_of: Vec<u32>,
+    shards: u32,
+}
+
+impl ShardMap {
+    /// The trivial one-shard map (every node in shard 0) — the global
+    /// epoch scheme expressed in shard form.
+    pub fn single(nodes: usize) -> Self {
+        ShardMap {
+            shard_of: vec![0; nodes],
+            shards: 1,
+        }
+    }
+
+    /// Partitions `graph` into (at most) `shards` region groups: the
+    /// storage partitioner grows block-aligned regions, which are then
+    /// grouped contiguously. Deterministic for a given graph.
+    pub fn build(graph: &Graph, shards: usize) -> Self {
+        if shards <= 1 || graph.node_count() == 0 {
+            return Self::single(graph.node_count());
+        }
+        let partition = PartitionMap::build(graph, REGION_TARGET);
+        let regions = partition.region_count().max(1);
+        let shards = shards.min(regions) as u32;
+        let shard_of = (0..graph.node_count())
+            .map(|id| {
+                let region = partition.region_of(NodeId(id as u32)) as u64;
+                (region * shards as u64 / regions as u64) as u32
+            })
+            .collect();
+        ShardMap { shard_of, shards }
+    }
+
+    /// The shard owning `node` (unknown ids map to shard 0, matching
+    /// the engine's treatment of out-of-range keys as errors upstream).
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        self.shard_of.get(node.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards as usize
+    }
+
+    /// Whether this is the trivial single-shard map.
+    pub fn is_single(&self) -> bool {
+        self.shards == 1
+    }
+
+    /// The sorted, deduplicated set of shards a node sequence (a path)
+    /// crosses.
+    pub fn path_shards(&self, nodes: &[NodeId]) -> Vec<u32> {
+        let mut shards: Vec<u32> = nodes.iter().map(|&n| self.shard_of(n)).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        shards
+    }
+}
+
+/// Per-shard versions plus the global install counter, frozen at one
+/// install. Immutable once published (readers share it by `Arc`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochVector {
+    install: u64,
+    versions: Vec<u64>,
+}
+
+impl EpochVector {
+    fn new(shards: usize) -> Self {
+        EpochVector {
+            install: 0,
+            versions: vec![0; shards.max(1)],
+        }
+    }
+
+    /// Direct constructor for in-crate tests of the stamped cache.
+    #[cfg(test)]
+    pub(crate) fn with_versions(install: u64, versions: Vec<u64>) -> Self {
+        EpochVector { install, versions }
+    }
+
+    /// The global install counter: a total order on installs, and the
+    /// number every answer reports as its epoch.
+    pub fn install(&self) -> u64 {
+        self.install
+    }
+
+    /// The version of one shard (unknown shards read 0).
+    pub fn version(&self, shard: u32) -> u64 {
+        self.versions.get(shard as usize).copied().unwrap_or(0)
+    }
+
+    /// All per-shard versions, indexed by shard id.
+    pub fn versions(&self) -> &[u64] {
+        &self.versions
+    }
+
+    /// Number of shards in the vector.
+    pub fn shard_count(&self) -> usize {
+        self.versions.len()
+    }
+}
+
+/// An immutable view of the sharded serving state at one install: the
+/// database plus the epoch vector it was installed with, taken together
+/// under one lock acquisition (the consistency rule).
+#[derive(Debug, Clone)]
+pub struct ShardSnapshot {
+    /// The database frozen at this install.
+    pub db: Arc<Database>,
+    /// The per-shard versions this database reflects.
+    pub epochs: Arc<EpochVector>,
+}
+
+impl ShardSnapshot {
+    /// The snapshot's global install counter (the answer epoch).
+    pub fn install(&self) -> u64 {
+        self.epochs.install()
+    }
+}
+
+/// The result of installing one traffic update on sharded state.
+#[derive(Debug, Clone)]
+pub struct ShardedUpdate {
+    /// The classic update record; `update.epoch` is the new global
+    /// install counter.
+    pub update: EpochUpdate,
+    /// The shards whose versions this install bumped (sorted, deduped).
+    pub shards: Vec<u32>,
+    /// The epoch vector after the install.
+    pub epochs: Arc<EpochVector>,
+}
+
+/// A database versioned by a per-shard epoch vector: lock-briefly
+/// reads, copy-on-write updates that bump only the touched shards.
+#[derive(Debug)]
+pub struct ShardedEpochDb {
+    map: Arc<ShardMap>,
+    current: Mutex<ShardSnapshot>,
+}
+
+impl ShardedEpochDb {
+    /// Wraps a freshly loaded database as install 0 with every shard at
+    /// version 0.
+    pub fn new(db: Database, map: ShardMap) -> Self {
+        let shards = map.shard_count();
+        ShardedEpochDb {
+            map: Arc::new(map),
+            current: Mutex::new(ShardSnapshot {
+                db: Arc::new(db),
+                epochs: Arc::new(EpochVector::new(shards)),
+            }),
+        }
+    }
+
+    /// Designated acquirer for the epoch slot (rank 2 in the declared
+    /// lock order — see `sync.rs` and `atis-analyze rules`).
+    fn lock_current(&self) -> MutexGuard<'_, ShardSnapshot> {
+        sync::lock(&self.current)
+    }
+
+    /// The node-to-shard map this store versions by.
+    pub fn map(&self) -> &Arc<ShardMap> {
+        &self.map
+    }
+
+    /// The current `(database, epoch vector)` pair. Queries must use
+    /// the returned snapshot for *all* their reads — re-fetching
+    /// mid-query is exactly the torn-answer bug snapshots prevent, and
+    /// mixing two snapshots' vectors breaks the consistency rule.
+    pub fn snapshot(&self) -> ShardSnapshot {
+        self.lock_current().clone()
+    }
+
+    /// The current global install counter.
+    pub fn install(&self) -> u64 {
+        self.lock_current().epochs.install()
+    }
+
+    /// Applies a traffic update copy-on-write: clones the current
+    /// database, updates edge `(u, v)` on the clone, and installs it
+    /// with the endpoint shards' versions (and the install counter)
+    /// bumped. Running queries keep their old snapshots; untouched
+    /// shards keep their versions, which is what lets the cache carry
+    /// their routes across the install without a sweep.
+    ///
+    /// Landmark tables and the contraction hierarchy follow the same
+    /// maintenance contract as [`crate::epoch::EpochDb`] — they are
+    /// whole-graph artifacts, so their refresh is keyed to the install,
+    /// not to a shard.
+    ///
+    /// # Errors
+    /// Fails for unknown endpoints or invalid costs; the current
+    /// install is left untouched.
+    pub fn update_edge_cost(
+        &self,
+        u: NodeId,
+        v: NodeId,
+        cost: f64,
+    ) -> Result<ShardedUpdate, AlgorithmError> {
+        let mut current = self.lock_current();
+        if !current.db.graph().contains(u) {
+            return Err(AlgorithmError::UnknownSource(u));
+        }
+        if !current.db.graph().contains(v) {
+            return Err(AlgorithmError::UnknownDestination(v));
+        }
+        let old_cost = current.db.graph().edge_cost(u, v).unwrap_or(f64::INFINITY);
+        let mut next = (*current.db).clone();
+        let updated = next.update_edge_cost(u, v, cost)?;
+        let mut landmarks = LandmarkRefresh::None;
+        let mut hierarchy = HierarchyRefresh::None;
+        if updated > 0 {
+            (next, landmarks, hierarchy) = maintain_artifacts(next, old_cost, cost);
+        }
+        let shards = self.map.path_shards(&[u, v]);
+        let mut epochs = (*current.epochs).clone();
+        epochs.install += 1;
+        for &s in &shards {
+            if let Some(version) = epochs.versions.get_mut(s as usize) {
+                *version += 1;
+            }
+        }
+        let epochs = Arc::new(epochs);
+        *current = ShardSnapshot {
+            db: Arc::new(next),
+            epochs: epochs.clone(),
+        };
+        let install = epochs.install();
+        drop(current);
+        Ok(ShardedUpdate {
+            update: EpochUpdate {
+                epoch: install,
+                updated,
+                old_cost,
+                new_cost: cost,
+                landmarks,
+                hierarchy,
+            },
+            shards,
+            epochs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use atis_algorithms::Algorithm;
+    use atis_graph::{CostModel, Grid, QueryKind};
+
+    // 32×32 = 1024 nodes: four-plus regions at the 256 target, so a
+    // 4-shard map is genuinely multi-shard.
+    fn grid_store(shards: usize) -> (ShardedEpochDb, Grid) {
+        let grid = Grid::new(32, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let map = ShardMap::build(grid.graph(), shards);
+        let db = Database::open(grid.graph()).unwrap();
+        (ShardedEpochDb::new(db, map), grid)
+    }
+
+    #[test]
+    fn shard_map_covers_every_node_and_respects_the_bound() {
+        let grid = Grid::new(32, CostModel::TWENTY_PERCENT, 7).unwrap();
+        let map = ShardMap::build(grid.graph(), 4);
+        assert!(map.shard_count() >= 1 && map.shard_count() <= 4);
+        let mut seen = vec![false; map.shard_count()];
+        for id in 0..grid.graph().node_count() {
+            let s = map.shard_of(NodeId(id as u32));
+            assert!((s as usize) < map.shard_count());
+            seen[s as usize] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "every shard must own at least one node"
+        );
+    }
+
+    #[test]
+    fn single_map_is_the_global_scheme() {
+        let map = ShardMap::single(16);
+        assert!(map.is_single());
+        assert_eq!(map.shard_of(NodeId(7)), 0);
+        assert_eq!(map.path_shards(&[NodeId(1), NodeId(9)]), vec![0]);
+    }
+
+    #[test]
+    fn updates_bump_only_the_touched_shards() {
+        let (store, grid) = grid_store(4);
+        let map = store.map().clone();
+        let u = grid.node_at(0, 0);
+        let v = grid.node_at(0, 1);
+        let before = store.snapshot();
+        let upd = store.update_edge_cost(u, v, 9.0).unwrap();
+        assert_eq!(upd.update.epoch, 1);
+        assert_eq!(upd.shards, map.path_shards(&[u, v]));
+        let after = store.snapshot();
+        assert_eq!(after.install(), 1);
+        for s in 0..map.shard_count() as u32 {
+            let expect = if upd.shards.contains(&s) {
+                before.epochs.version(s) + 1
+            } else {
+                before.epochs.version(s)
+            };
+            assert_eq!(after.epochs.version(s), expect, "shard {s}");
+        }
+        // At least one shard must be untouched on a 4-shard grid for a
+        // corner-local update.
+        assert!(upd.shards.len() < map.shard_count());
+    }
+
+    #[test]
+    fn snapshots_pin_database_and_vector_together() {
+        let (store, grid) = grid_store(4);
+        let (s, d) = grid.query_pair(QueryKind::Diagonal);
+        let before = store.snapshot();
+        let path = before
+            .db
+            .run(Algorithm::Dijkstra, s, d)
+            .unwrap()
+            .path
+            .unwrap();
+        let (u, v) = path.hops().next().unwrap();
+        store.update_edge_cost(u, v, 500.0).unwrap();
+        // The pinned snapshot still answers with pre-update costs and
+        // its own vector — never a mix.
+        assert_eq!(before.install(), 0);
+        let replay = before.db.run(Algorithm::Dijkstra, s, d).unwrap();
+        assert_eq!(replay.path.unwrap().nodes, path.nodes);
+        let after = store.snapshot();
+        assert_eq!(after.install(), 1);
+        assert_ne!(
+            after.db.graph().edge_cost(u, v),
+            before.db.graph().edge_cost(u, v)
+        );
+    }
+
+    #[test]
+    fn failed_updates_do_not_advance_the_install() {
+        let (store, _) = grid_store(4);
+        assert!(store
+            .update_edge_cost(NodeId(0), NodeId(1), f64::NAN)
+            .is_err());
+        assert!(store
+            .update_edge_cost(NodeId(60000), NodeId(1), 1.0)
+            .is_err());
+        assert_eq!(store.install(), 0);
+    }
+}

@@ -13,7 +13,7 @@ use atis_algorithms::Database;
 use atis_graph::{CostModel, Grid, NodeId, Path, QueryKind};
 use atis_serve::{
     Admission, BreakerConfig, BreakerState, CachedRoute, CircuitBreaker, EpochDb, ProbeGuard,
-    RouteCache, RouteService, ServeConfig, ServeError,
+    RouteCache, RouteService, ServeConfig, ServeError, ShardMap, ShardedEpochDb,
 };
 use std::sync::Arc;
 
@@ -302,5 +302,101 @@ fn aborted_probe_release_vs_concurrent_failure() {
             }
             BreakerState::Closed => panic!("an aborted probe must never close the breaker"),
         }
+    });
+}
+
+/// Race: a sharded install (`ShardedEpochDb::update_edge_cost`) against
+/// a batched worker's snapshot-then-read sequence.
+///
+/// The batched path pins ONE `ShardSnapshot` per dequeued batch and
+/// serves every member from it; the hazard is a torn install — the new
+/// database observed with the old epoch vector (or vice versa), which
+/// would let a stale-stamped cache hit survive a sweep it should not
+/// have. Invariants under every interleaving:
+///
+/// * database and vector always agree: install 0 ⇔ pre-update cost and
+///   untouched endpoint-shard versions; install 1 ⇔ post-update cost
+///   and both endpoint shards bumped;
+/// * a shard the update never touched stays at version 0 throughout;
+/// * the install counter observed by one reader never goes backwards.
+#[test]
+fn shard_install_vs_batched_read_race() {
+    // A grid big enough that the region partitioner yields at least two
+    // shards (regions target 256 nodes): 24x24 = 576 nodes.
+    let grid = Grid::new(24, CostModel::TWENTY_PERCENT, 7).expect("grid");
+    let base = Database::open(grid.graph()).expect("open");
+    let map = ShardMap::build(base.graph(), 4);
+    assert!(
+        map.shard_count() >= 2,
+        "model needs a real multi-shard map, got {}",
+        map.shard_count()
+    );
+    let u = NodeId(0);
+    let v = base.graph().neighbors(u)[0].to;
+    let shard_u = map.shard_of(u);
+    let shard_v = map.shard_of(v);
+    // A node guaranteed to live in a shard the update does not touch.
+    let far = (0..base.graph().node_count() as u32)
+        .map(NodeId)
+        .find(|&n| map.shard_of(n) != shard_u && map.shard_of(n) != shard_v)
+        .expect("multi-shard map has an untouched shard");
+    let far_shard = map.shard_of(far);
+    let old_cost = base.graph().edge_cost(u, v).expect("edge");
+    let new_cost = old_cost + 50.0;
+
+    loom::model(move || {
+        let db = Arc::new(ShardedEpochDb::new(base.clone(), map.clone()));
+
+        let writer = {
+            let db = db.clone();
+            loom::thread::spawn(move || {
+                let installed = db.update_edge_cost(u, v, new_cost).expect("install");
+                assert_eq!(installed.update.epoch, 1);
+                assert!(installed.shards.contains(&shard_u));
+            })
+        };
+        let reader = {
+            let db = db.clone();
+            loom::thread::spawn(move || {
+                let mut last_install = 0;
+                for _ in 0..3 {
+                    // One snapshot per batch: db + vector under one
+                    // lock acquisition (the consistency rule).
+                    let snap = db.snapshot();
+                    let seen = snap.db.graph().edge_cost(u, v).expect("edge");
+                    let install = snap.install();
+                    let (want_cost, want_version) = if install == 0 {
+                        (old_cost, 0)
+                    } else {
+                        (new_cost, 1)
+                    };
+                    assert_eq!(
+                        seen.to_bits(),
+                        want_cost.to_bits(),
+                        "torn install: install {install} with cost {seen}"
+                    );
+                    assert_eq!(
+                        snap.epochs.version(shard_u),
+                        want_version,
+                        "vector behind the database at install {install}"
+                    );
+                    assert_eq!(
+                        snap.epochs.version(shard_v),
+                        want_version,
+                        "endpoint shard missed its bump at install {install}"
+                    );
+                    assert_eq!(
+                        snap.epochs.version(far_shard),
+                        0,
+                        "an untouched shard was bumped"
+                    );
+                    assert!(install >= last_install, "install counter went backwards");
+                    last_install = install;
+                }
+            })
+        };
+        writer.join().expect("writer");
+        reader.join().expect("reader");
+        assert_eq!(db.install(), 1);
     });
 }
