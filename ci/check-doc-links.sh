@@ -73,8 +73,14 @@ done
 #    rule table must be documented in ANALYSIS.md, so adding a rule
 #    without writing it up (or renaming one without updating the doc)
 #    fails the docs gate, not a reviewer's memory.
+#    Pass ids live as `pub const ID` in the pass modules (the rule
+#    table references them by path, so the literal never appears in
+#    rules.rs) — collect both sources.
 if [ -f crates/analyze/src/rules.rs ]; then
-    for id in $(grep -o 'id: "[a-z-]*"' crates/analyze/src/rules.rs | sed 's/id: "\(.*\)"/\1/'); do
+    rule_ids=$(grep -o 'id: "[a-z-]*"' crates/analyze/src/rules.rs | sed 's/id: "\(.*\)"/\1/')
+    pass_ids=$(grep -ho 'pub const ID: &str = "[a-z-]*"' crates/analyze/src/passes/*.rs 2>/dev/null \
+        | sed 's/.*"\(.*\)"/\1/') || true
+    for id in $rule_ids $pass_ids; do
         if ! grep -q "\`$id\`" ANALYSIS.md; then
             echo "UNDOCUMENTED RULE: $id is not documented in ANALYSIS.md"
             fail=1

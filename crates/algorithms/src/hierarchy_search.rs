@@ -136,6 +136,7 @@ pub(crate) fn run(
             _ => break,
         };
 
+        // analyze::allow(panic-reachability): invariant — the side is only selected after peeking a non-empty heap
         let HeapEntry { score, node: u } = heaps[side].pop().expect("peeked above");
         open[side] = open[side].saturating_sub(1);
         iterations += 1;
@@ -265,6 +266,7 @@ fn unpack_path(
         cost += db
             .graph()
             .edge_cost(hop[0], hop[1])
+            // analyze::allow(panic-reachability): invariant — hierarchy unpacking only emits hops that exist as edges
             .expect("unpacked hops are real edges");
     }
     Path { nodes, cost }

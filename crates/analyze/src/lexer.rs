@@ -11,7 +11,7 @@
 //! are collected into an [`Allows`] table (see `ANALYSIS.md` for the
 //! syntax); the rule engine uses it to suppress findings.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::cell::Cell;
 
 /// What kind of token this is. Rules mostly match on identifier text,
 /// but punctuation kinds matter for context (attribute vs indexing).
@@ -60,27 +60,64 @@ impl Token {
 ///
 /// Multiple rules may be listed comma-separated. An optional trailing
 /// `: reason` is encouraged (and ignored by the machinery).
+///
+/// Each directive tracks whether it ever suppressed a finding, so the
+/// `unused-allow` check (see [`crate::check_files`]) can flag stale
+/// directives that no longer mask anything.
 #[derive(Debug, Default)]
 pub struct Allows {
-    file_level: BTreeSet<String>,
-    by_line: BTreeMap<u32, BTreeSet<String>>,
+    entries: Vec<AllowEntry>,
+}
+
+/// One parsed `analyze::allow` / `allow-file` directive.
+#[derive(Debug)]
+struct AllowEntry {
+    /// The rule id the directive names.
+    rule: String,
+    /// Whether this is an `allow-file` (whole-file) directive.
+    file_level: bool,
+    /// 1-based line the directive appears on.
+    line: u32,
+    /// Whether any finding was suppressed by this entry.
+    used: Cell<bool>,
 }
 
 impl Allows {
-    /// Whether a finding of `rule` at `line` is suppressed.
+    /// Whether a finding of `rule` at `line` is suppressed. Every
+    /// directive that covers the finding is marked used.
     pub fn covers(&self, rule: &str, line: u32) -> bool {
-        if self.file_level.contains(rule) {
-            return true;
+        let mut hit = false;
+        for e in self.entries.iter().filter(|e| e.rule == rule) {
+            // A directive on line N covers N and N+1.
+            if e.file_level || line == e.line || line == e.line + 1 {
+                e.used.set(true);
+                hit = true;
+            }
         }
-        // A directive on line N covers N and N+1.
-        [line, line.saturating_sub(1)].iter().any(|l| {
-            self.by_line
-                .get(l)
-                .is_some_and(|rules| rules.contains(rule))
-        })
+        hit
+    }
+
+    /// Directives that never suppressed anything: `(rule, directive
+    /// line)`, in source order.
+    pub fn unused(&self) -> Vec<(String, u32)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.used.get())
+            .map(|e| (e.rule.clone(), e.line))
+            .collect()
     }
 
     fn record(&mut self, comment: &str, line: u32) {
+        // Doc comments describe the directive syntax; only plain
+        // comments carry live directives (otherwise every module doc
+        // quoting the syntax would register a stale entry and trip
+        // `unused-allow` on itself).
+        if ["//!", "///", "/*!", "/**"]
+            .iter()
+            .any(|doc| comment.starts_with(doc))
+        {
+            return;
+        }
         for (marker, file_level) in [("analyze::allow-file(", true), ("analyze::allow(", false)] {
             let Some(start) = comment.find(marker) else {
                 continue;
@@ -92,11 +129,12 @@ impl Allows {
                 if rule.is_empty() {
                     continue;
                 }
-                if file_level {
-                    self.file_level.insert(rule);
-                } else {
-                    self.by_line.entry(line).or_default().insert(rule);
-                }
+                self.entries.push(AllowEntry {
+                    rule,
+                    file_level,
+                    line,
+                    used: Cell::new(false),
+                });
             }
             return; // allow-file( also contains allow( — first match wins
         }
@@ -375,6 +413,23 @@ mod tests {
         assert!(allows.covers("determinism-wall-clock", 2));
         assert!(!allows.covers("determinism-wall-clock", 3));
         assert!(!allows.covers("other-rule", 2));
+    }
+
+    #[test]
+    fn unmatched_directives_are_reported_unused() {
+        let src = "// analyze::allow(panic-hygiene): stale\n// analyze::allow(lock-order)\nx;";
+        let (_, allows) = lex(src);
+        assert!(allows.covers("lock-order", 3));
+        assert_eq!(allows.unused(), vec![("panic-hygiene".to_string(), 1)]);
+    }
+
+    #[test]
+    fn doc_comments_never_carry_directives() {
+        let src = "//! syntax: analyze::allow(rule): reason\n/// e.g. analyze::allow(lock-order)\n/*! analyze::allow(a) */\nx;";
+        let (_, allows) = lex(src);
+        assert!(!allows.covers("rule", 1));
+        assert!(!allows.covers("lock-order", 2));
+        assert!(allows.unused().is_empty());
     }
 
     #[test]

@@ -1,42 +1,47 @@
-//! CLI for the workspace invariant linter.
+//! CLI for the workspace invariant analyzer.
 //!
 //! ```sh
-//! atis-analyze check [--root DIR]   # lint the workspace; exit 1 on findings
-//! atis-analyze rules                # print the rule table and lock order
+//! atis-analyze check [--root DIR] [--format text|json] [--stage all|lexical|graph]
+//! atis-analyze graph [--root DIR] --dot   # Graphviz dump of the call graph
+//! atis-analyze rules                      # print the rule table and lock order
+//! atis-analyze --self-test                # embedded end-to-end pass checks
 //! ```
+//!
+//! `check` exits 0 when clean, 1 with findings, 2 on usage or scan
+//! errors. Text findings print one header line plus the indented
+//! call-chain witness; `--format json` emits a machine-readable array
+//! (rule id, file:line, message, witness) for CI artifacts.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+use atis_analyze::Stage;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => {
-            let root = match parse_root(&args[1..]) {
+            let opts = match CheckOpts::parse(&args[1..]) {
+                Ok(opts) => opts,
+                Err(msg) => {
+                    eprintln!("{msg}");
+                    return usage();
+                }
+            };
+            run_check(&opts)
+        }
+        Some("graph") => {
+            let root = match parse_graph_args(&args[1..]) {
                 Ok(root) => root,
                 Err(msg) => {
                     eprintln!("{msg}");
                     return usage();
                 }
             };
-            match atis_analyze::check_workspace(&root) {
-                Ok(findings) if findings.is_empty() => {
-                    println!(
-                        "atis-analyze: workspace clean ({} rules)",
-                        atis_analyze::RULES.len()
-                    );
+            match atis_analyze::build_graph(&root) {
+                Ok(g) => {
+                    print!("{}", g.to_dot());
                     ExitCode::SUCCESS
-                }
-                Ok(findings) => {
-                    for f in &findings {
-                        eprintln!("{f}");
-                    }
-                    eprintln!(
-                        "atis-analyze: {} finding(s); see ANALYSIS.md for rules and \
-                         `analyze::allow(rule): reason` escape hatches",
-                        findings.len()
-                    );
-                    ExitCode::FAILURE
                 }
                 Err(e) => {
                     eprintln!("atis-analyze: workspace scan failed: {e}");
@@ -45,29 +50,138 @@ fn main() -> ExitCode {
             }
         }
         Some("rules") => {
-            println!("{:<28} {:<44} scope", "rule", "summary");
+            println!("{:<30} {:<44} scope", "rule", "summary");
             for r in atis_analyze::RULES {
-                println!("{:<28} {:<44} {}", r.id, r.summary, r.scope);
+                println!("{:<30} {:<44} {}", r.id, r.summary, r.scope);
             }
-            println!("\nlock acquisition order (lock-order rule):");
+            println!("\nlock acquisition order (lock-order rules):");
             for (name, rank, what) in atis_analyze::LOCK_ORDER {
                 println!("  {rank}. {name:<14} {what}");
             }
             ExitCode::SUCCESS
         }
+        Some("--self-test") => match atis_analyze::self_test() {
+            Ok(()) => {
+                println!("atis-analyze: self-test passed");
+                ExitCode::SUCCESS
+            }
+            Err(msg) => {
+                eprintln!("atis-analyze: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         _ => usage(),
     }
 }
 
-fn parse_root(args: &[String]) -> Result<PathBuf, String> {
-    match args {
-        [] => Ok(PathBuf::from(".")),
-        [flag, dir] if flag == "--root" => Ok(PathBuf::from(dir)),
-        other => Err(format!("unrecognized arguments: {other:?}")),
+struct CheckOpts {
+    root: PathBuf,
+    json: bool,
+    stage: Stage,
+}
+
+impl CheckOpts {
+    fn parse(args: &[String]) -> Result<CheckOpts, String> {
+        let mut opts = CheckOpts {
+            root: PathBuf::from("."),
+            json: false,
+            stage: Stage::All,
+        };
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let mut value = |name: &str| {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{name} requires a value"))
+            };
+            match flag.as_str() {
+                "--root" => opts.root = PathBuf::from(value("--root")?),
+                "--format" => {
+                    opts.json = match value("--format")? {
+                        "json" => true,
+                        "text" => false,
+                        other => return Err(format!("unknown format `{other}`")),
+                    }
+                }
+                "--stage" => {
+                    opts.stage = match value("--stage")? {
+                        "all" => Stage::All,
+                        "lexical" => Stage::Lexical,
+                        "graph" => Stage::Graph,
+                        other => return Err(format!("unknown stage `{other}`")),
+                    }
+                }
+                other => return Err(format!("unrecognized argument: {other}")),
+            }
+        }
+        Ok(opts)
     }
 }
 
+fn run_check(opts: &CheckOpts) -> ExitCode {
+    match atis_analyze::check_workspace_stage(&opts.root, opts.stage) {
+        Ok(findings) if findings.is_empty() => {
+            if opts.json {
+                println!("[]");
+            } else {
+                println!(
+                    "atis-analyze: workspace clean ({} rules)",
+                    atis_analyze::RULES.len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Ok(findings) => {
+            if opts.json {
+                println!("{}", atis_analyze::findings_to_json(&findings));
+            } else {
+                for f in &findings {
+                    eprintln!("{f}");
+                    for hop in &f.witness {
+                        eprintln!("    {hop}");
+                    }
+                }
+                eprintln!(
+                    "atis-analyze: {} finding(s); see ANALYSIS.md for rules and \
+                     `analyze::allow(rule): reason` escape hatches",
+                    findings.len()
+                );
+            }
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("atis-analyze: workspace scan failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn parse_graph_args(args: &[String]) -> Result<PathBuf, String> {
+    let mut root = PathBuf::from(".");
+    let mut dot = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--dot" => dot = true,
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root requires a value".to_string())?,
+                )
+            }
+            other => return Err(format!("unrecognized argument: {other}")),
+        }
+    }
+    if !dot {
+        return Err("graph requires --dot (the only supported output)".to_string());
+    }
+    Ok(root)
+}
+
 fn usage() -> ExitCode {
-    eprintln!("usage: atis-analyze <check [--root DIR] | rules>");
+    eprintln!(
+        "usage: atis-analyze <check [--root DIR] [--format text|json] \
+         [--stage all|lexical|graph] | graph [--root DIR] --dot | rules | --self-test>"
+    );
     ExitCode::from(2)
 }

@@ -25,6 +25,9 @@ pub struct Finding {
     pub line: u32,
     /// Human-readable explanation.
     pub message: String,
+    /// Call-chain witness for interprocedural findings: one hop per
+    /// entry, root first. Empty for lexical rules.
+    pub witness: Vec<String>,
 }
 
 impl std::fmt::Display for Finding {
@@ -135,6 +138,31 @@ pub const RULES: &[RuleInfo] = &[
         id: "lock-order",
         summary: "designated lock helpers acquired in declared rank order",
         scope: "atis-serve",
+    },
+    RuleInfo {
+        id: crate::passes::lock_order::ID,
+        summary: "no call chain acquires a lower-or-equal lock rank while one is held",
+        scope: "atis-serve callers, whole-workspace callees (graph pass)",
+    },
+    RuleInfo {
+        id: crate::passes::metered_io::ID,
+        summary: "raw I/O reachable from serving/algorithm roots only via IoStats wrappers",
+        scope: "whole workspace (graph pass)",
+    },
+    RuleInfo {
+        id: crate::passes::panic_reach::ID,
+        summary: "no panic site transitively reachable from the serving entry points",
+        scope: "whole workspace (graph pass)",
+    },
+    RuleInfo {
+        id: crate::passes::ladder::ID,
+        summary: "every constructed error variant is matched somewhere on the serving path",
+        scope: "AlgorithmError/ServeError/StorageError (graph pass)",
+    },
+    RuleInfo {
+        id: "unused-allow",
+        summary: "analyze::allow directives that suppress nothing are findings themselves",
+        scope: "all workspace crates",
     },
 ];
 
@@ -263,6 +291,7 @@ fn push(findings: &mut Vec<Finding>, rule: &'static str, path: &str, line: u32, 
         path: path.to_string(),
         line,
         message,
+        witness: Vec::new(),
     });
 }
 
@@ -534,25 +563,32 @@ fn panic_hygiene(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
             );
         }
         // indexing: `expr[...]` — `[` preceded by an identifier, `)` or `]`
-        if t.is_punct('[') && i >= 1 {
-            let prev = &tokens[i - 1];
-            let indexable = match prev.kind {
-                TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
-                TokenKind::Punct(c) => c == ')' || c == ']',
-                _ => false,
-            };
-            if indexable {
-                push(
-                    findings,
-                    "panic-hygiene",
-                    path,
-                    t.line,
-                    "slice/array indexing in the serving path: panics when out of bounds; \
-                     use .get() or pattern matching"
-                        .to_string(),
-                );
-            }
+        if t.is_punct('[') && is_indexing(tokens, i) {
+            push(
+                findings,
+                "panic-hygiene",
+                path,
+                t.line,
+                "slice/array indexing in the serving path: panics when out of bounds; \
+                 use .get() or pattern matching"
+                    .to_string(),
+            );
         }
+    }
+}
+
+/// Whether the `[` at token `i` is an indexing operation (as opposed to
+/// an array expression/type or attribute): preceded by a non-keyword
+/// identifier, `)`, or `]`. Shared with the panic-reachability pass.
+pub(crate) fn is_indexing(tokens: &[Token], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let prev = &tokens[i - 1];
+    match prev.kind {
+        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&prev.text.as_str()),
+        TokenKind::Punct(c) => c == ')' || c == ']',
+        _ => false,
     }
 }
 
@@ -777,8 +813,9 @@ fn lock_order(path: &str, tokens: &[Token], findings: &mut Vec<Finding>) {
 }
 
 /// If the statement containing token `i` is `let [mut] NAME = ...`,
-/// returns `NAME`. Searches backwards to the statement start.
-fn statement_binding(tokens: &[Token], i: usize) -> Option<String> {
+/// returns `NAME`. Searches backwards to the statement start. Shared
+/// with the interprocedural lock-order pass.
+pub(crate) fn statement_binding(tokens: &[Token], i: usize) -> Option<String> {
     let mut j = i;
     while j > 0 {
         j -= 1;

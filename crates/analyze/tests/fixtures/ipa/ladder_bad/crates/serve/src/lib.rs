@@ -1,0 +1,25 @@
+//! A degrade-ladder gap: `ServeError::Overload` is constructed by
+//! `admit` but never named in a pattern on the serving path — `label`'s
+//! `_` arm swallows it.
+
+/// Serving failures for the fixture ladder.
+pub enum ServeError {
+    /// The request outlived its deadline.
+    Timeout,
+    /// The queue is full.
+    Overload,
+}
+
+pub fn admit(full: bool) -> Result<(), ServeError> {
+    if full {
+        return Err(ServeError::Overload);
+    }
+    Err(ServeError::Timeout)
+}
+
+pub fn label(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Timeout => "timeout",
+        _ => "other",
+    }
+}

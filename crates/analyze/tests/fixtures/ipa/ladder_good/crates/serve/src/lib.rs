@@ -1,0 +1,26 @@
+//! The fixed shape of `ladder_bad`: every constructed variant is named
+//! in a pattern on the serving path, so nothing falls through the `_`
+//! arm unclassified.
+
+/// Serving failures for the fixture ladder.
+pub enum ServeError {
+    /// The request outlived its deadline.
+    Timeout,
+    /// The queue is full.
+    Overload,
+}
+
+pub fn admit(full: bool) -> Result<(), ServeError> {
+    if full {
+        return Err(ServeError::Overload);
+    }
+    Err(ServeError::Timeout)
+}
+
+pub fn label(e: &ServeError) -> &'static str {
+    match e {
+        ServeError::Timeout => "timeout",
+        ServeError::Overload => "overload",
+        _ => "other",
+    }
+}

@@ -1,0 +1,7 @@
+//! Raw filesystem I/O escaping the cost model: the serving root calls
+//! across the crate boundary into `atis_storage::spill`, which reads a
+//! file without an `IoStats` charge anywhere on the chain.
+
+fn worker_loop() {
+    atis_storage::spill();
+}

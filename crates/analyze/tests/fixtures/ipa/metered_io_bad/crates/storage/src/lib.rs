@@ -1,0 +1,5 @@
+//! Storage half of the metered-io escape: a raw read with no charge.
+
+pub fn spill() {
+    let _ = std::fs::read("spill.dat");
+}

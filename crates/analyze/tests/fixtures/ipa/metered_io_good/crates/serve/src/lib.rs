@@ -1,0 +1,7 @@
+//! The fixed shape of `metered_io_bad`: the cross-crate call goes
+//! through a charging wrapper, so the raw read sits behind an
+//! `IoStats` barrier.
+
+fn worker_loop(io: &IoStats) {
+    atis_storage::spill_charged(io);
+}

@@ -1,0 +1,12 @@
+//! Storage half of the fixed metered-io fixture: `spill_charged`
+//! records the block read before touching the filesystem, so the raw
+//! read below it is inside the cost model.
+
+pub fn spill_charged(io: &IoStats) {
+    io.read_blocks(1);
+    raw();
+}
+
+fn raw() {
+    let _ = std::fs::read("spill.dat");
+}

@@ -1,0 +1,6 @@
+//! A panic site reachable from the serving path: `execute` calls into
+//! `atis_storage::fetch`, which `expect`s outside the serve scope.
+
+fn execute() {
+    atis_storage::fetch();
+}

@@ -1,0 +1,10 @@
+//! Storage half of the panic-reachability fixture: the `expect` is the
+//! reachable panic site.
+
+pub fn fetch() -> u32 {
+    lookup().expect("key present")
+}
+
+fn lookup() -> Option<u32> {
+    None
+}

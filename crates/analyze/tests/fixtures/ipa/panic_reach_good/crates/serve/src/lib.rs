@@ -1,0 +1,7 @@
+//! The fixed shape of `panic_reach_bad`: the storage lookup returns an
+//! `Option` instead of panicking, so nothing reachable from `execute`
+//! can abort.
+
+fn execute() {
+    atis_storage::fetch();
+}

@@ -1,0 +1,10 @@
+//! Storage half of the fixed panic-reachability fixture: the miss is
+//! propagated, not unwrapped.
+
+pub fn fetch() -> Option<u32> {
+    lookup()
+}
+
+fn lookup() -> Option<u32> {
+    None
+}

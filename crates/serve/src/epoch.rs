@@ -259,7 +259,7 @@ impl EpochDb {
             return Err(AlgorithmError::UnknownDestination(v));
         }
         let old_cost = current.db.graph().edge_cost(u, v).unwrap_or(f64::INFINITY);
-        let mut next = (*current.db).clone();
+        let mut next: Database = (*current.db).clone();
         let updated = next.update_edge_cost(u, v, cost)?;
         let mut landmarks = LandmarkRefresh::None;
         let mut hierarchy = HierarchyRefresh::None;

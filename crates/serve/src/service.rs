@@ -78,6 +78,7 @@ use crate::sync::{self, Arc, Condvar, Mutex, MutexGuard};
 use atis_algorithms::{AStarVersion, Algorithm, AlgorithmError, BudgetKind, Budgets, Database};
 use atis_graph::{NodeId, Path};
 use atis_obs::{ServeEvent, SharedRegistry, SharedSink, TraceEvent};
+use atis_storage::StorageError;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
@@ -430,7 +431,7 @@ struct Breakers {
 }
 
 struct Shared {
-    epochs: ShardedEpochDb,
+    epoch_db: ShardedEpochDb,
     cache: RouteCache,
     queue: Mutex<QueueState>,
     available: Condvar,
@@ -462,7 +463,7 @@ impl Shared {
     /// Whether epochs are sharded (more than one region group): selects
     /// the stamped cache family over the legacy single-epoch one.
     fn sharded(&self) -> bool {
-        !self.epochs.map().is_single()
+        !self.epoch_db.map().is_single()
     }
 
     fn now(&self) -> u64 {
@@ -601,7 +602,7 @@ impl RouteService {
             m.set("serve_batch_max", config.batch_max.max(1) as u64);
         }
         let shared = Arc::new(Shared {
-            epochs: ShardedEpochDb::new(db, map),
+            epoch_db: ShardedEpochDb::new(db, map),
             cache,
             queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
@@ -654,12 +655,12 @@ impl RouteService {
     /// The current epoch — the global install counter (every update
     /// advances it, whichever shards it touches).
     pub fn epoch(&self) -> u64 {
-        self.shared.epochs.install()
+        self.shared.epoch_db.install()
     }
 
     /// The number of epoch shards (`1` = single global epoch).
     pub fn shards(&self) -> usize {
-        self.shared.epochs.map().shard_count()
+        self.shared.epoch_db.map().shard_count()
     }
 
     /// The per-dequeue batch bound (`1` = batching disabled).
@@ -678,7 +679,7 @@ impl RouteService {
     /// queries (`EVAL`) that must see one consistent epoch. The epoch
     /// reported is the global install counter.
     pub fn snapshot(&self) -> Snapshot {
-        let snap = self.shared.epochs.snapshot();
+        let snap = self.shared.epoch_db.snapshot();
         Snapshot {
             epoch: snap.install(),
             db: snap.db,
@@ -688,7 +689,7 @@ impl RouteService {
     /// The current sharded snapshot: the database plus the whole epoch
     /// vector, pinned together under one lock acquisition.
     pub fn shard_snapshot(&self) -> ShardSnapshot {
-        self.shared.epochs.snapshot()
+        self.shared.epoch_db.snapshot()
     }
 
     /// The route cache (counters, capacity).
@@ -852,7 +853,7 @@ impl RouteService {
             update,
             shards,
             epochs,
-        } = self.shared.epochs.update_edge_cost(u, v, cost)?;
+        } = self.shared.epoch_db.update_edge_cost(u, v, cost)?;
         match update.hierarchy {
             HierarchyRefresh::RebuildFailed => {
                 self.shared.inc("serve_hierarchy_rebuild_failed_total");
@@ -908,7 +909,7 @@ impl RouteService {
             self.shared.emit(ServeEvent::ShardEpochInstalled {
                 install: epochs.install(),
                 shards_touched: shards.len() as u64,
-                shards_total: self.shared.epochs.map().shard_count() as u64,
+                shards_total: self.shared.epoch_db.map().shard_count() as u64,
                 invalidated,
                 promoted,
             });
@@ -976,7 +977,7 @@ fn worker_loop(shared: &Shared, worker: usize) {
 
         // One pinned snapshot per batch: every member sees the same
         // database and the same (whole) epoch vector.
-        let snapshot = shared.epochs.snapshot();
+        let snapshot = shared.epoch_db.snapshot();
         for (job, _) in &live {
             shared.emit(ServeEvent::Started {
                 request: job.id,
@@ -1363,6 +1364,9 @@ fn run_cluster(
                 e @ AlgorithmError::Storage(_) => {
                     let t = storage_probe.failure(now);
                     shared.emit_transition("storage", t);
+                    if let AlgorithmError::Storage(fault) = &e {
+                        shared.inc(storage_fault_metric(fault));
+                    }
                     for group in valid {
                         let result = match stale_or_shed(
                             shared,
@@ -1664,6 +1668,9 @@ fn execute(
                 e @ AlgorithmError::Storage(_) => {
                     let t = storage_probe.failure(now);
                     shared.emit_transition("storage", t);
+                    if let AlgorithmError::Storage(fault) = &e {
+                        shared.inc(storage_fault_metric(fault));
+                    }
                     let result = match stale_or_shed(
                         shared,
                         snapshot,
@@ -1680,9 +1687,36 @@ fn execute(
                     }
                     (result, consumed)
                 }
+                e @ (AlgorithmError::Graph(_)
+                | AlgorithmError::UnknownSource(_)
+                | AlgorithmError::UnknownDestination(_)) => {
+                    // Deterministic failures — a corrupt graph or
+                    // endpoints absent from it. No degrade rung can
+                    // answer these, so they are counted and surfaced
+                    // immediately rather than retried or served stale.
+                    shared.inc("serve_deterministic_error_total");
+                    (Err(ServeError::from(e)), consumed)
+                }
                 e => (Err(ServeError::from(e)), consumed),
             }
         }
+    }
+}
+
+/// Metric name classifying a storage fault observed on the serving
+/// path. Every `StorageError` variant is named so that when the storage
+/// crate grows a failure mode, the degrade ladder is forced to decide
+/// how serving should count it; the `_` arm exists only because the
+/// enum is `#[non_exhaustive]`.
+fn storage_fault_metric(fault: &StorageError) -> &'static str {
+    match fault {
+        StorageError::IoFailed { .. } => "serve_storage_fault_io_total",
+        StorageError::CorruptBlock { .. } => "serve_storage_fault_corrupt_total",
+        StorageError::KeyNotFound(_) => "serve_storage_fault_key_total",
+        StorageError::SlotOutOfRange { .. } => "serve_storage_fault_slot_total",
+        StorageError::InvalidValue(_) => "serve_storage_fault_value_total",
+        StorageError::CapacityExceeded { .. } => "serve_storage_fault_capacity_total",
+        _ => "serve_storage_fault_other_total",
     }
 }
 
@@ -1716,7 +1750,7 @@ fn cache_insert(
 ) {
     if shared.sharded() {
         let stamps: Vec<(u32, u64)> = shared
-            .epochs
+            .epoch_db
             .map()
             .path_shards(&path.nodes)
             .into_iter()

@@ -263,7 +263,7 @@ impl ShardedEpochDb {
             return Err(AlgorithmError::UnknownDestination(v));
         }
         let old_cost = current.db.graph().edge_cost(u, v).unwrap_or(f64::INFINITY);
-        let mut next = (*current.db).clone();
+        let mut next: Database = (*current.db).clone();
         let updated = next.update_edge_cost(u, v, cost)?;
         let mut landmarks = LandmarkRefresh::None;
         let mut hierarchy = HierarchyRefresh::None;
@@ -271,14 +271,14 @@ impl ShardedEpochDb {
             (next, landmarks, hierarchy) = maintain_artifacts(next, old_cost, cost);
         }
         let shards = self.map.path_shards(&[u, v]);
-        let mut epochs = (*current.epochs).clone();
+        let mut epochs: EpochVector = (*current.epochs).clone();
         epochs.install += 1;
         for &s in &shards {
             if let Some(version) = epochs.versions.get_mut(s as usize) {
                 *version += 1;
             }
         }
-        let epochs = Arc::new(epochs);
+        let epochs: Arc<EpochVector> = Arc::new(epochs);
         *current = ShardSnapshot {
             db: Arc::new(next),
             epochs: epochs.clone(),

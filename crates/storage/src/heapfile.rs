@@ -199,6 +199,7 @@ impl<T: FixedTuple> HeapFile<T> {
     fn consult_read(&self, block: usize) -> Result<(), StorageError> {
         if let Some(f) = &self.faults {
             let stall = {
+                // analyze::allow(panic-reachability): a poisoned fault-state lock means a panicked holder; aborting is the documented policy
                 let mut state = f.lock().expect("fault state lock");
                 state.on_read(block)?;
                 state.take_stall()
@@ -212,6 +213,7 @@ impl<T: FixedTuple> HeapFile<T> {
     #[inline]
     fn consult_write(&self, block: usize) -> Result<WriteMode, StorageError> {
         match &self.faults {
+            // analyze::allow(panic-reachability): a poisoned fault-state lock means a panicked holder; aborting is the documented policy
             Some(f) => f.lock().expect("fault state lock").on_write(block),
             None => Ok(WriteMode::Clean),
         }
@@ -259,6 +261,7 @@ impl<T: FixedTuple> HeapFile<T> {
         let physical = match &self.buffer {
             Some(pool) => {
                 let (file, local) = self.block_address(block);
+                // analyze::allow(panic-reachability): a poisoned buffer-pool lock means a panicked holder; aborting is the documented policy
                 !pool.lock().expect("buffer pool lock").access(file, local)
             }
             None => true,
@@ -289,6 +292,7 @@ impl<T: FixedTuple> HeapFile<T> {
     fn install_block(&self, block: usize) {
         if let Some(pool) = &self.buffer {
             let (file, local) = self.block_address(block);
+            // analyze::allow(panic-reachability): a poisoned buffer-pool lock means a panicked holder; aborting is the documented policy
             pool.lock().expect("buffer pool lock").install(file, local);
         }
     }

@@ -442,6 +442,7 @@ impl NodeRelation {
     /// # Errors
     /// Fails for unknown node ids.
     pub fn peek(&self, id: u32) -> Result<NodeTuple, StorageError> {
+        // analyze::allow(metered-io-escape): documented uncharged accessor for assertions and post-run inspection; the metered path is `get`
         self.heap.peek_slot(id as usize)
     }
 
@@ -565,6 +566,7 @@ impl NodeRelation {
     pub fn predecessors(&self) -> Result<Vec<Option<NodeId>>, StorageError> {
         (0..self.heap.len())
             .map(|slot| {
+                // analyze::allow(metered-io-escape): documented uncharged post-run extraction; the metered path charges via `read_slot`
                 let t = self.heap.peek_slot(slot)?;
                 Ok(if t.path == crate::tuple::NO_PRED {
                     None

@@ -26,6 +26,7 @@ use std::collections::HashMap;
 fn consult_index_probe(faults: &Option<SharedFaults>, levels: u64) -> Result<(), StorageError> {
     if let Some(f) = faults {
         let stall = {
+            // analyze::allow(panic-reachability): a poisoned fault-state lock means a panicked holder; aborting is the documented policy
             let mut f = f.lock().expect("fault state lock");
             for level in 0..levels {
                 f.on_read(INDEX_BLOCK_BASE + level as usize)?;
@@ -198,6 +199,7 @@ impl<T: FixedTuple> TempRelation<T> {
     /// Surfaces checksum mismatches on corrupted blocks.
     pub fn peek(&self, key: u32) -> Result<Option<T>, StorageError> {
         match self.directory.get(&key) {
+            // analyze::allow(metered-io-escape): documented uncharged accessor for assertions and post-run inspection; the metered path is `get`
             Some(&slot) => Ok(Some(self.heap.peek_slot(slot)?)),
             None => Ok(None),
         }
